@@ -1,0 +1,38 @@
+"""E3 — Section 7.2 "Memory consumption".
+
+The paper measured the compiler's peak RSS with ps and saw it unchanged
+for most benchmarks (max +2%).  We measure the Python compiler's peak
+traced allocation with tracemalloc over the same compilations.
+"""
+
+import tracemalloc
+
+import pytest
+
+from repro.bench import SUITE, compile_workload, prototype_variant
+
+
+def test_memory_deltas_bounded(suite_comparisons):
+    big = [
+        (c.workload, c.memory_delta_pct) for c in suite_comparisons
+        if abs(c.memory_delta_pct) > 25.0
+    ]
+    assert len(big) <= 3, f"peak-memory outliers: {big}"
+
+
+def test_memory_measured_nonzero(suite_comparisons):
+    for c in suite_comparisons:
+        assert c.baseline.peak_memory_bytes > 0
+        assert c.prototype.peak_memory_bytes > 0
+
+
+@pytest.mark.benchmark(group="e3-memory")
+def bench_traced_compile(benchmark):
+    def compile_with_tracing():
+        module, _, peak = compile_workload(SUITE["mcf"],
+                                           prototype_variant(),
+                                           measure_memory=True)
+        assert peak > 0
+        return peak
+
+    benchmark(compile_with_tracing)

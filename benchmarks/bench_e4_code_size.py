@@ -1,0 +1,64 @@
+"""E4 — Section 7.2 "Object code size".
+
+The paper: object size changed within ±0.5%; freeze instructions were
+0.04–0.06% of IR instructions, except gcc (0.29%) because of its
+bit-field traffic.  We report the same two quantities; the freeze
+*fraction* depends on suite composition (our workloads are small
+kernels, not million-line programs), so the assertion checks the shape:
+freezes exist only in the bit-field-heavy workloads and the suite-level
+fraction stays below 1%.
+"""
+
+import pytest
+
+from repro.backend import compile_module, program_size
+from repro.bench import SUITE, compile_workload, prototype_variant
+
+
+def test_code_size_deltas_small(suite_comparisons):
+    for c in suite_comparisons:
+        assert abs(c.code_size_delta_pct) < 10.0, (
+            f"{c.workload}: code size delta "
+            f"{c.code_size_delta_pct:+.1f}%"
+        )
+
+
+def test_freeze_concentrated_in_bitfield_code(suite_comparisons):
+    """The gcc analog is the paper's 0.29% outlier: it is the workload
+    with bit-fields, so it should hold (nearly) all the freezes."""
+    by_name = {c.workload: c for c in suite_comparisons}
+    gcc = by_name["gcc"]
+    assert gcc.prototype.freeze_instructions > 0
+    others = sum(
+        c.prototype.freeze_instructions for c in suite_comparisons
+        if c.workload != "gcc"
+    )
+    assert gcc.prototype.freeze_instructions >= others
+
+
+def test_suite_level_freeze_fraction(suite_comparisons):
+    total_ir = sum(c.prototype.ir_instructions for c in suite_comparisons)
+    total_freeze = sum(
+        c.prototype.freeze_instructions for c in suite_comparisons
+    )
+    fraction = total_freeze / total_ir
+    # paper: 0.04%-0.29% per benchmark; our kernels are denser in
+    # bit-fields relative to their size, so allow up to 1%
+    assert 0 < fraction < 0.01, f"suite freeze fraction {fraction:.4%}"
+
+
+def test_baseline_has_no_freezes(suite_comparisons):
+    for c in suite_comparisons:
+        assert c.baseline.freeze_instructions == 0
+
+
+@pytest.mark.benchmark(group="e4-code-size")
+def bench_measure_program_size(benchmark):
+    module, _, _ = compile_workload(SUITE["gcc"], prototype_variant(),
+                                    measure_memory=False)
+
+    def measure():
+        program = compile_module(module)
+        return program_size(program)
+
+    size = benchmark(measure)

@@ -1,0 +1,123 @@
+"""E5 — Section 6 "Testing the prototype": opt-fuzz + Alive-style
+validation of individual passes and the -O2 pipeline.
+
+The paper exhaustively generated all 3-instruction functions over 2-bit
+integers and validated InstCombine, GVN, Reassociation, SCCP and -O2
+with Alive.  We validate the same pass list over:
+
+* the *complete* 1-instruction i2 corpus (448 functions), and
+* a seeded random sample of the 3-instruction space (with flags,
+  icmp and select),
+
+under both the legacy configuration (expected: refinement failures — the
+Section 3 bugs) and the fixed configuration (expected: zero failures).
+"""
+
+import pytest
+
+from repro.bench.harness import baseline_variant, prototype_variant
+from repro.fuzz import enumerate_functions, random_functions
+from repro.ir import parse_function, print_module, verify_function
+from repro.opt import OptConfig, o2_pipeline, single_pass_pipeline
+from repro.refine import CheckOptions, check_refinement
+from repro.semantics import NEW, OLD
+
+PASSES = ("instcombine", "gvn", "reassociate", "sccp")
+OPTS = CheckOptions(max_choices=20, fuel=600)
+
+
+def validate_corpus(corpus, pipeline_factory, config, semantics):
+    """Returns (verified, failed, undecided, first_failure)."""
+    verified = failed = undecided = 0
+    first_failure = None
+    for fn in corpus:
+        src_text = print_module(fn.module)
+        before = parse_function(src_text)
+        pipeline_factory(config).run_on_function(fn)
+        verify_function(fn)
+        result = check_refinement(before, fn, semantics, options=OPTS)
+        if result.ok:
+            verified += 1
+        elif result.failed:
+            failed += 1
+            if first_failure is None:
+                first_failure = (src_text, result)
+        else:
+            undecided += 1
+    return verified, failed, undecided, first_failure
+
+
+@pytest.fixture(scope="module")
+def validation_table():
+    rows = []
+    variants = [
+        ("legacy", OptConfig.legacy(), OLD),
+        ("fixed", OptConfig.fixed(), NEW),
+    ]
+    for pass_name in PASSES:
+        for vname, config, semantics in variants:
+            corpus = enumerate_functions(1)
+            v, f, u, _ = validate_corpus(
+                corpus,
+                lambda cfg, p=pass_name: single_pass_pipeline(p, cfg),
+                config, semantics,
+            )
+            rows.append((pass_name, "i2 x1 exhaustive", vname, v, f, u))
+    # -O2 over a random 3-instruction sample
+    for vname, config, semantics in variants:
+        corpus = random_functions(60, num_instructions=3, seed=7)
+        v, f, u, _ = validate_corpus(
+            corpus, lambda cfg: o2_pipeline(cfg), config, semantics,
+        )
+        rows.append(("-O2", "i2 x3 random(60)", vname, v, f, u))
+
+    print("\nE5 — opt-fuzz translation validation "
+          "(paper: Section 6's methodology)")
+    print(f"  {'pass':<12} {'corpus':<18} {'config':<8} "
+          f"{'ok':>5} {'bugs':>5} {'undecided':>10}")
+    for row in rows:
+        print(f"  {row[0]:<12} {row[1]:<18} {row[2]:<8} "
+              f"{row[3]:>5} {row[4]:>5} {row[5]:>10}")
+    return rows
+
+
+def test_fixed_pipeline_validates_cleanly(validation_table):
+    for pass_name, corpus, vname, ok, bugs, undecided in validation_table:
+        if vname == "fixed":
+            assert bugs == 0, (
+                f"{pass_name} over {corpus}: {bugs} refinement failures "
+                f"in the FIXED configuration"
+            )
+
+
+def test_legacy_pipeline_has_the_section3_bugs(validation_table):
+    legacy_bugs = sum(
+        bugs for _, _, vname, _, bugs, _ in validation_table
+        if vname == "legacy"
+    )
+    assert legacy_bugs > 0, (
+        "the legacy configuration should exhibit the historical "
+        "miscompilations"
+    )
+
+
+def test_legacy_instcombine_specifically_buggy(validation_table):
+    row = next(r for r in validation_table
+               if r[0] == "instcombine" and r[2] == "legacy")
+    assert row[4] > 0
+
+
+@pytest.mark.benchmark(group="e5-optfuzz")
+def bench_validate_one_function(benchmark):
+    """Time one generate -> optimize -> exhaustively-validate cycle."""
+    from itertools import islice
+
+    def cycle():
+        fn = next(iter(islice(random_functions(1, seed=99), 1)))
+        src_text = print_module(fn.module)
+        before = parse_function(src_text)
+        single_pass_pipeline("instcombine", OptConfig.fixed()) \
+            .run_on_function(fn)
+        return check_refinement(before, fn, NEW, options=OPTS).verdict
+
+    benchmark(cycle)

@@ -1,0 +1,71 @@
+"""E6 — the Section 3 soundness matrix.
+
+For every transformation the paper discusses, the refinement checker
+decides its soundness under each semantics reading; the resulting matrix
+is the executable form of Section 3's core argument: **no single OLD
+semantics makes all of LLVM's optimizations correct, while the NEW
+semantics (poison + freeze, branch-on-poison UB) makes the fixed
+versions of all of them correct.**
+"""
+
+import pytest
+
+from repro.bench import CATALOG, CONFIGS, check_entry, render_matrix
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    text = render_matrix()
+    print("\n" + text)
+    return text
+
+
+def test_every_cell_matches_the_paper(matrix):
+    for entry in CATALOG:
+        for name in CONFIGS:
+            result = check_entry(entry, name)
+            expected = entry.expected(name)
+            if expected is True:
+                assert result.ok, (
+                    f"{entry.key} under {name}: expected sound, got "
+                    f"{result}"
+                )
+            elif expected is False:
+                assert result.failed, (
+                    f"{entry.key} under {name}: expected a "
+                    f"counterexample, got {result}"
+                )
+
+
+def test_new_semantics_fixes_everything_fixable():
+    """Under NEW, every catalog entry that is a *fixed-variant or
+    naturally-sound* transformation verifies; the only NEW failures are
+    the transformations the paper says must be removed/changed."""
+    new_failures = {
+        entry.key for entry in CATALOG
+        if entry.expected("new") is False
+    }
+    assert new_failures == {"loop-unswitch-plain", "select-to-or",
+                            "select-to-branch"}
+
+
+def test_no_old_reading_supports_both_gvn_and_unswitching():
+    """Section 3.3's punchline, over the catalog."""
+    unswitch = next(e for e in CATALOG if e.key == "loop-unswitch-plain")
+    gvn = next(e for e in CATALOG if e.key == "gvn-equality-no-undef")
+    for name in ("old", "old-gvn-view"):
+        both_ok = (check_entry(unswitch, name).ok
+                   and check_entry(gvn, name).ok)
+        assert not both_ok, f"{name} cannot make both sound"
+    # ...whereas NEW + the freeze fix supports both:
+    unswitch_freeze = next(
+        e for e in CATALOG if e.key == "loop-unswitch-freeze"
+    )
+    assert check_entry(unswitch_freeze, "new").ok
+    assert check_entry(gvn, "new").ok
+
+
+@pytest.mark.benchmark(group="e6-matrix")
+def bench_one_matrix_cell(benchmark):
+    entry = next(e for e in CATALOG if e.key == "phi-to-select")
+    benchmark(lambda: check_entry(entry, "new").verdict)

@@ -1,0 +1,217 @@
+"""E8 — freeze-related optimizations and ablations.
+
+Covers the Section 6 recovery optimizations and the DESIGN.md ablations:
+
+* ``freeze(freeze x)``, ``freeze(const)``, freeze-of-nonpoison cleanups;
+* CodeGenPrepare's ``freeze(icmp x, C) -> icmp (freeze x), C`` and
+  freeze-distribution over and/or (branch splitting unblocked);
+* ablation: the prototype *without* freeze-aware codegen (the early
+  prototype of Section 6) generates slower/larger code for
+  freeze-carrying functions;
+* extension: re-enabling guarded division hoisting under NEW — the
+  optimization LLVM disabled (Section 3.2) is provably sound again.
+"""
+
+import pytest
+
+from repro.backend import compile_module, run_program, program_size
+from repro.bench import SUITE
+from repro.bench.harness import Variant, compile_workload
+from repro.frontend import CodegenOptions
+from repro.ir import FreezeInst, Opcode, parse_function, verify_function
+from repro.opt import (
+    LICM,
+    CodeGenPrepare,
+    FreezeOpts,
+    OptConfig,
+    baseline_config,
+    prototype_config,
+)
+from repro.refine import CheckOptions, check_refinement
+from repro.semantics import NEW
+
+
+def count_freezes(fn):
+    return sum(1 for i in fn.instructions() if isinstance(i, FreezeInst))
+
+
+class TestFreezeCleanups:
+    def test_freeze_chain_collapses(self):
+        fn = parse_function("""
+define i8 @f(i8 %x) {
+entry:
+  %a = freeze i8 %x
+  %b = freeze i8 %a
+  %c = freeze i8 %b
+  ret i8 %c
+}
+""")
+        FreezeOpts(prototype_config()).run_on_function(fn)
+        verify_function(fn)
+        assert count_freezes(fn) == 1
+
+    def test_freeze_const_folds(self):
+        fn = parse_function("""
+define i8 @f() {
+entry:
+  %a = freeze i8 42
+  ret i8 %a
+}
+""")
+        FreezeOpts(prototype_config()).run_on_function(fn)
+        assert count_freezes(fn) == 0
+
+
+class TestCodeGenPrepare:
+    def test_freeze_sinks_through_icmp(self):
+        fn = parse_function("""
+define i1 @f(i8 %x) {
+entry:
+  %c = icmp ult i8 %x, 10
+  %fr = freeze i1 %c
+  ret i1 %fr
+}
+""")
+        before = parse_function("""
+define i1 @f(i8 %x) {
+entry:
+  %c = icmp ult i8 %x, 10
+  %fr = freeze i1 %c
+  ret i1 %fr
+}
+""")
+        CodeGenPrepare(prototype_config()).run_on_function(fn)
+        verify_function(fn)
+        # now freezes the operand, not the comparison
+        freeze = next(i for i in fn.instructions()
+                      if isinstance(i, FreezeInst))
+        assert freeze.value.type.bitwidth() == 8
+        r = check_refinement(before, fn, NEW)
+        assert r.ok
+
+    def test_branch_splitting_blocked_by_unknown_freeze(self):
+        src = """
+define i8 @f(i1 %a, i1 %b) {
+entry:
+  %and = and i1 %a, %b
+  %fr = freeze i1 %and
+  br i1 %fr, label %t, label %e
+t:
+  ret i8 1
+e:
+  ret i8 2
+}
+"""
+        aware = parse_function(src)
+        CodeGenPrepare(prototype_config()).run_on_function(aware)
+        verify_function(aware)
+        unaware = parse_function(src)
+        CodeGenPrepare(
+            prototype_config().with_(freeze_aware_codegen=False)
+        ).run_on_function(unaware)
+        verify_function(unaware)
+        # freeze-aware: the and is distributed + the branch is split
+        assert len(aware.blocks) > len(unaware.blocks)
+        r = check_refinement(parse_function(src), aware, NEW)
+        assert r.ok
+
+
+class TestGuardedDivisionExtension:
+    def test_sound_under_new(self):
+        """The Section 3.2 optimization, re-enabled: with undef gone and
+        branch-on-poison UB, the guard really protects the hoist."""
+        src = parse_function("""
+declare void @use(i4)
+
+define void @f(i4 %k, i1 %c) {
+entry:
+  %guard = icmp ne i4 %k, 0
+  br i1 %guard, label %pre, label %exit
+pre:
+  br label %head
+head:
+  br i1 %c, label %body, label %exit
+body:
+  %q = udiv i4 1, %k
+  call void @use(i4 %q)
+  br label %head
+exit:
+  ret void
+}
+""")
+        import copy
+
+        from repro.ir import print_function
+
+        text = print_function(src)
+        fn = parse_function("declare void @use(i4)\n" + text)
+        config = prototype_config().with_(licm_hoist_speculative_div=True)
+        changed = LICM(config).run_on_function(fn)
+        assert changed
+        verify_function(fn)
+        pre = fn.block_by_name("pre")
+        assert any(i.opcode is Opcode.UDIV for i in pre.instructions)
+        r = check_refinement(
+            src, fn, NEW, options=CheckOptions(max_choices=40, fuel=2000)
+        )
+        assert r.ok
+
+
+@pytest.fixture(scope="module")
+def ablation_rows():
+    """The gcc analog under: baseline, early prototype (freeze-unaware
+    codegen), and full prototype."""
+    rows = []
+    variants = [
+        ("baseline", Variant("baseline",
+                             CodegenOptions(freeze_bitfield_stores=False),
+                             baseline_config())),
+        ("early-prototype", Variant(
+            "early",
+            CodegenOptions(freeze_bitfield_stores=True),
+            prototype_config().with_(freeze_aware_codegen=False,
+                                     inliner_freeze_free=False),
+        )),
+        ("full-prototype", Variant("full",
+                                   CodegenOptions(
+                                       freeze_bitfield_stores=True),
+                                   prototype_config())),
+    ]
+    for name, variant in variants:
+        module, _, _ = compile_workload(SUITE["gcc"], variant,
+                                        measure_memory=False)
+        program = compile_module(module)
+        checksum, cycles, _ = run_program(program, "main", [])
+        rows.append((name, cycles, program_size(program), checksum))
+    print("\nE8 — freeze-recovery ablation on the gcc analog")
+    print(f"  {'variant':<16} {'cycles':>9} {'size':>6} {'checksum':>9}")
+    for name, cycles, size, checksum in rows:
+        print(f"  {name:<16} {cycles:>9} {size:>6} {checksum:>9}")
+    return rows
+
+
+def test_all_ablation_variants_correct(ablation_rows):
+    expected = SUITE["gcc"].expected
+    for name, _, _, checksum in ablation_rows:
+        assert checksum == expected, f"{name} checksum mismatch"
+
+
+def test_recovery_opts_do_not_regress(ablation_rows):
+    by_name = {r[0]: r for r in ablation_rows}
+    # the full prototype must not be slower than the early prototype
+    assert by_name["full-prototype"][1] <= by_name["early-prototype"][1]
+
+
+@pytest.mark.benchmark(group="e8-freeze")
+def bench_freeze_opts_pass(benchmark):
+    text = "define i8 @f(i8 %x) {\nentry:\n" + "\n".join(
+        f"  %f{i} = freeze i8 {'%x' if i == 0 else f'%f{i-1}'}"
+        for i in range(30)
+    ) + "\n  ret i8 %f29\n}"
+
+    def run():
+        fn = parse_function(text)
+        FreezeOpts(prototype_config()).run_on_function(fn)
+        return count_freezes(fn)
+
+    assert benchmark(run) == 1

@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures: the full-suite measurement pass runs once
+per session and its paper-style reports are printed and saved under
+``benchmarks/out/``."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import (
+    render_code_size,
+    render_compile_time,
+    render_figure6,
+    render_memory,
+    run_suite,
+)
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture(scope="session")
+def suite_comparisons():
+    """Measure every workload under both pipelines (once per session)."""
+    comparisons = run_suite()
+    os.makedirs(OUT_DIR, exist_ok=True)
+    reports = {
+        "figure6_runtime.txt": render_figure6(comparisons),
+        "compile_time.txt": render_compile_time(comparisons),
+        "memory.txt": render_memory(comparisons),
+        "code_size.txt": render_code_size(comparisons),
+    }
+    for name, text in reports.items():
+        with open(os.path.join(OUT_DIR, name), "w") as f:
+            f.write(text + "\n")
+        print("\n" + text)
+    return comparisons

@@ -1,0 +1,62 @@
+"""Reproduction of "Taming Undefined Behavior in LLVM" (PLDI 2017).
+
+The package is organized by subsystem; the most commonly used entry
+points are re-exported here:
+
+>>> from repro import parse_function, check_refinement, NEW, OLD
+>>> src = parse_function('''
+... define i4 @f(i4 %x) {
+... entry:
+...   %y = mul i4 %x, 2
+...   ret i4 %y
+... }''')
+>>> tgt = parse_function('''
+... define i4 @f(i4 %x) {
+... entry:
+...   %y = add i4 %x, %x
+...   ret i4 %y
+... }''')
+>>> check_refinement(src, tgt, OLD).failed   # Section 3.1's bug
+True
+>>> check_refinement(src, tgt, NEW).ok       # fixed by removing undef
+True
+"""
+
+__version__ = "1.0.0"
+
+from .ir import (
+    IRBuilder,
+    Module,
+    parse_function,
+    parse_module,
+    print_function,
+    print_module,
+    verify_function,
+    verify_module,
+)
+from .refine import (
+    CheckOptions,
+    check_refinement,
+    check_refinement_auto,
+    check_refinement_symbolic,
+)
+from .semantics import (
+    NEW,
+    OLD,
+    OLD_GVN_VIEW,
+    OLD_UNSWITCH_VIEW,
+    POISON,
+    SemanticsConfig,
+    enumerate_behaviors,
+    run_once,
+)
+
+__all__ = [
+    "__version__",
+    "IRBuilder", "Module", "parse_function", "parse_module",
+    "print_function", "print_module", "verify_function", "verify_module",
+    "CheckOptions", "check_refinement", "check_refinement_auto",
+    "check_refinement_symbolic",
+    "NEW", "OLD", "OLD_GVN_VIEW", "OLD_UNSWITCH_VIEW", "POISON",
+    "SemanticsConfig", "enumerate_behaviors", "run_once",
+]

@@ -1,0 +1,27 @@
+"""Static analyses: CFG, dominators, loops, value tracking, SCEV."""
+
+from .cfg import (
+    postorder,
+    predecessor_map,
+    reachable_blocks,
+    remove_unreachable_blocks,
+    reverse_postorder,
+)
+from .dominators import DominatorTree
+from .loops import Loop, LoopInfo
+from .scalar_evolution import AddRec, ScalarEvolution
+from .value_tracking import (
+    KnownBits,
+    compute_known_bits,
+    is_guaranteed_not_poison,
+    is_known_nonzero,
+    is_known_power_of_two,
+)
+
+__all__ = [
+    "postorder", "predecessor_map", "reachable_blocks",
+    "remove_unreachable_blocks", "reverse_postorder",
+    "DominatorTree", "Loop", "LoopInfo", "AddRec", "ScalarEvolution",
+    "KnownBits", "compute_known_bits", "is_guaranteed_not_poison",
+    "is_known_nonzero", "is_known_power_of_two",
+]

@@ -1,0 +1,147 @@
+"""Natural-loop detection from dominator back edges.
+
+Provides the loop structure that LICM and loop unswitching operate on:
+headers, bodies, preheaders, exits, and loop-invariance queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Instruction
+from ..ir.values import Argument, Constant
+from .cfg import predecessor_map
+from .dominators import DominatorTree
+
+
+class Loop:
+    def __init__(self, header: BasicBlock):
+        self.header = header
+        self.blocks: Set[BasicBlock] = {header}
+        self.latches: List[BasicBlock] = []
+        self.parent: Optional["Loop"] = None
+        self.children: List["Loop"] = []
+
+    def contains(self, block: BasicBlock) -> bool:
+        return block in self.blocks
+
+    def contains_inst(self, inst: Instruction) -> bool:
+        return inst.parent in self.blocks
+
+    # -- derived structure ------------------------------------------------
+    def preheader(self) -> Optional[BasicBlock]:
+        """The unique out-of-loop predecessor of the header, if it has a
+        single successor (the canonical preheader shape)."""
+        outside = [
+            p for p in self.header.predecessors() if p not in self.blocks
+        ]
+        if len(outside) == 1 and len(outside[0].successors()) == 1:
+            return outside[0]
+        return None
+
+    def exiting_blocks(self) -> List[BasicBlock]:
+        return [
+            b for b in self.blocks
+            if any(s not in self.blocks for s in b.successors())
+        ]
+
+    def exit_blocks(self) -> List[BasicBlock]:
+        seen: Set[BasicBlock] = set()
+        out: List[BasicBlock] = []
+        for b in self.blocks:
+            for s in b.successors():
+                if s not in self.blocks and s not in seen:
+                    seen.add(s)
+                    out.append(s)
+        return out
+
+    def is_invariant(self, value) -> bool:
+        """Is ``value`` loop-invariant (defined outside the loop)?"""
+        if isinstance(value, (Constant, Argument)):
+            return True
+        if isinstance(value, Instruction):
+            return value.parent not in self.blocks
+        return False
+
+    @property
+    def depth(self) -> int:
+        d = 1
+        p = self.parent
+        while p is not None:
+            d += 1
+            p = p.parent
+        return d
+
+    def __repr__(self) -> str:
+        return (
+            f"<Loop header=%{self.header.name} "
+            f"({len(self.blocks)} blocks, depth {self.depth})>"
+        )
+
+
+class LoopInfo:
+    """All natural loops of a function, nested."""
+
+    def __init__(self, fn: Function, dt: Optional[DominatorTree] = None):
+        self.function = fn
+        self.dt = dt or DominatorTree(fn)
+        self.loops: List[Loop] = []
+        self._loop_of: Dict[BasicBlock, Loop] = {}
+        self._find_loops()
+
+    def _find_loops(self) -> None:
+        preds = predecessor_map(self.function)
+        by_header: Dict[BasicBlock, Loop] = {}
+
+        # A back edge is an edge whose target dominates its source.
+        for block in self.dt.rpo:
+            for succ in block.successors():
+                if self.dt.dominates_block(succ, block):
+                    loop = by_header.get(succ)
+                    if loop is None:
+                        loop = Loop(succ)
+                        by_header[succ] = loop
+                    loop.latches.append(block)
+                    self._collect_body(loop, block, preds)
+
+        self.loops = list(by_header.values())
+        # Nesting: a loop is a child of the innermost other loop whose
+        # block set strictly contains its header.
+        for loop in self.loops:
+            best: Optional[Loop] = None
+            for other in self.loops:
+                if other is loop:
+                    continue
+                if loop.header in other.blocks and loop.blocks < other.blocks:
+                    if best is None or len(other.blocks) < len(best.blocks):
+                        best = other
+            loop.parent = best
+            if best is not None:
+                best.children.append(loop)
+        # innermost-loop map
+        for loop in sorted(self.loops, key=lambda l: -len(l.blocks)):
+            for block in loop.blocks:
+                self._loop_of[block] = loop
+
+    def _collect_body(self, loop: Loop, latch: BasicBlock, preds) -> None:
+        """Blocks of the natural loop: everything that can reach the latch
+        without passing through the header."""
+        work = [latch]
+        while work:
+            block = work.pop()
+            if block in loop.blocks:
+                continue
+            loop.blocks.add(block)
+            for pred in preds.get(block, []):
+                work.append(pred)
+
+    def loop_for(self, block: BasicBlock) -> Optional[Loop]:
+        return self._loop_of.get(block)
+
+    def top_level(self) -> List[Loop]:
+        return [l for l in self.loops if l.parent is None]
+
+    def in_loop(self, inst: Instruction) -> bool:
+        return inst.parent in self._loop_of

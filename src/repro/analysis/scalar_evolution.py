@@ -1,0 +1,161 @@
+"""A small scalar-evolution analysis: add-recurrence recognition.
+
+Recognizes affine induction variables ``{start, +, step}`` and computes
+trip counts for simple counted loops.  Section 10.1 of the paper notes
+that LLVM's scalar evolution "currently fails to analyze expressions
+involving freeze"; we reproduce that behavior (a freeze input yields
+``None`` — unanalyzable) unless ``freeze_aware`` is set, which looks
+through freeze when the operand is already analyzable.  The E8 ablation
+measures what that costs.
+
+SCEV facts are *up-to-poison* (Section 5.6): an ``nsw`` add-rec's range
+facts hold only on executions where the IV does not overflow (if it
+does, the value is poison and all bets are off).  The ``no_wrap`` flag
+records whether the recurrence's step additions carried ``nsw``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ir.instructions import (
+    BinaryInst,
+    CastInst,
+    FreezeInst,
+    IcmpInst,
+    IcmpPred,
+    Instruction,
+    Opcode,
+    PhiInst,
+)
+from ..ir.values import ConstantInt, Value
+from .loops import Loop
+
+
+@dataclass(frozen=True)
+class AddRec:
+    """The affine recurrence {start, +, step} over a loop."""
+
+    start: Value
+    step: int
+    loop: Loop
+    no_wrap: bool  # the increment carried nsw
+
+    def __str__(self) -> str:
+        s = getattr(self.start, "ref", lambda: str(self.start))()
+        wrap = "<nsw>" if self.no_wrap else ""
+        return f"{{{s},+,{self.step}}}{wrap}"
+
+
+class ScalarEvolution:
+    def __init__(self, loop: Loop, freeze_aware: bool = False):
+        self.loop = loop
+        self.freeze_aware = freeze_aware
+
+    def as_add_rec(self, value: Value) -> Optional[AddRec]:
+        """Recognize ``value`` as an affine IV of this loop."""
+        if isinstance(value, FreezeInst):
+            if not self.freeze_aware:
+                return None  # the Section 10.1 limitation
+            return self.as_add_rec(value.value)
+        if not isinstance(value, PhiInst):
+            return None
+        if value.parent is not self.loop.header:
+            return None
+        start: Optional[Value] = None
+        step: Optional[int] = None
+        no_wrap = True
+        for incoming, pred in value.incoming:
+            if pred not in self.loop.blocks:
+                if start is not None and start is not incoming:
+                    return None
+                start = incoming
+            else:
+                inc = self._match_increment(incoming, value)
+                if inc is None:
+                    return None
+                this_step, this_nsw = inc
+                if step is not None and step != this_step:
+                    return None
+                step = this_step
+                no_wrap = no_wrap and this_nsw
+        if start is None or step is None:
+            return None
+        return AddRec(start, step, self.loop, no_wrap)
+
+    def _match_increment(self, value: Value, phi: PhiInst):
+        if isinstance(value, FreezeInst) and self.freeze_aware:
+            value = value.value
+        if not isinstance(value, BinaryInst):
+            return None
+
+        def is_iv(op: Value) -> bool:
+            if op is phi:
+                return True
+            # Looking through a freeze of the IV itself requires
+            # freeze-awareness (Section 10.1's limitation).
+            return (self.freeze_aware and isinstance(op, FreezeInst)
+                    and op.value is phi)
+
+        if value.opcode is Opcode.ADD and is_iv(value.lhs) \
+                and isinstance(value.rhs, ConstantInt):
+            return value.rhs.signed_value, value.nsw
+        if value.opcode is Opcode.ADD and is_iv(value.rhs) \
+                and isinstance(value.lhs, ConstantInt):
+            return value.lhs.signed_value, value.nsw
+        if value.opcode is Opcode.SUB and is_iv(value.lhs) \
+                and isinstance(value.rhs, ConstantInt):
+            return -value.rhs.signed_value, value.nsw
+        return None
+
+    def trip_count(self) -> Optional[int]:
+        """Constant trip count of a ``for (i = C0; i <pred> C1; i += s)``
+        loop, when the guard is analyzable; ``None`` otherwise."""
+        header = self.loop.header
+        term = header.terminator
+        from ..ir.instructions import BranchInst
+
+        if not isinstance(term, BranchInst) or not term.is_conditional:
+            return None
+        cond = term.cond
+        if not isinstance(cond, IcmpInst):
+            return None
+        body_on_true = term.true_block in self.loop.blocks
+        iv = self.as_add_rec(cond.lhs)
+        if iv is None or not isinstance(cond.rhs, ConstantInt):
+            return None
+        if not isinstance(iv.start, ConstantInt):
+            return None
+        width = cond.rhs.type.bits  # type: ignore[union-attr]
+        bound = cond.rhs.signed_value if cond.pred.is_signed \
+            else cond.rhs.value
+        i = iv.start.signed_value if cond.pred.is_signed else iv.start.value
+        count = 0
+        limit = 1 << (width + 2)
+        while count < limit:
+            taken = self._cmp(cond.pred, i, bound)
+            if taken != body_on_true:
+                return count
+            count += 1
+            i += iv.step
+            if not iv.no_wrap:
+                i = self._wrap(i, width, cond.pred.is_signed)
+        return None  # does not look like it terminates
+
+    @staticmethod
+    def _cmp(pred: IcmpPred, a: int, b: int) -> bool:
+        return {
+            IcmpPred.EQ: a == b, IcmpPred.NE: a != b,
+            IcmpPred.UGT: a > b, IcmpPred.UGE: a >= b,
+            IcmpPred.ULT: a < b, IcmpPred.ULE: a <= b,
+            IcmpPred.SGT: a > b, IcmpPred.SGE: a >= b,
+            IcmpPred.SLT: a < b, IcmpPred.SLE: a <= b,
+        }[pred]
+
+    @staticmethod
+    def _wrap(v: int, width: int, signed: bool) -> int:
+        v &= (1 << width) - 1
+        if signed and v >= 1 << (width - 1):
+            v -= 1 << width
+        return v

@@ -1,0 +1,317 @@
+"""Value tracking: known bits, power-of-two, and poison-freedom analyses.
+
+Section 5.6 of the paper ("Pitfall 2") observes that LLVM's static
+analyses return facts that hold only *if the analyzed values are not
+poison*: ``isKnownToBeAPowerOfTwo(shl 1, %y)`` says "power of two", yet
+if ``%y`` is poison the value is poison and can be anything.  That is
+fine for expression rewriting but unsound for hoisting past control
+flow.
+
+We implement the same design, making the caveat explicit in the API:
+every fact from :class:`KnownBits` / :func:`is_known_power_of_two` is an
+*up-to-poison* fact, and :func:`is_guaranteed_not_poison` is the separate
+analysis a hoisting client must additionally consult — exactly the API
+split the paper reports LLVM considering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..ir.instructions import (
+    BinaryInst,
+    CastInst,
+    FreezeInst,
+    IcmpInst,
+    Instruction,
+    Opcode,
+    PhiInst,
+    SelectInst,
+)
+from ..ir.types import IntType
+from ..ir.values import (
+    Argument,
+    ConstantInt,
+    PoisonValue,
+    UndefValue,
+    Value,
+)
+
+
+@dataclass(frozen=True)
+class KnownBits:
+    """Bits known to be zero / one (valid only if the value is not
+    poison/undef)."""
+
+    zeros: int  # mask of bits known to be 0
+    ones: int   # mask of bits known to be 1
+    width: int
+
+    def __post_init__(self):
+        assert self.zeros & self.ones == 0, "conflicting known bits"
+
+    @staticmethod
+    def unknown(width: int) -> "KnownBits":
+        return KnownBits(0, 0, width)
+
+    @staticmethod
+    def constant(value: int, width: int) -> "KnownBits":
+        mask = (1 << width) - 1
+        value &= mask
+        return KnownBits(~value & mask, value, width)
+
+    @property
+    def is_constant(self) -> bool:
+        return (self.zeros | self.ones) == (1 << self.width) - 1
+
+    @property
+    def constant_value(self) -> Optional[int]:
+        return self.ones if self.is_constant else None
+
+    @property
+    def is_nonzero(self) -> bool:
+        return self.ones != 0
+
+    @property
+    def max_unsigned(self) -> int:
+        return ((1 << self.width) - 1) & ~self.zeros
+
+    @property
+    def min_unsigned(self) -> int:
+        return self.ones
+
+    def sign_bit(self) -> Optional[bool]:
+        top = 1 << (self.width - 1)
+        if self.ones & top:
+            return True
+        if self.zeros & top:
+            return False
+        return None
+
+
+def compute_known_bits(value: Value, depth: int = 6) -> KnownBits:
+    """Recursive known-bits analysis (up-to-poison, see module doc)."""
+    ty = value.type
+    if not isinstance(ty, IntType):
+        return KnownBits.unknown(max(1, ty.bitwidth()))
+    width = ty.bits
+    mask = (1 << width) - 1
+
+    if isinstance(value, ConstantInt):
+        return KnownBits.constant(value.value, width)
+    if isinstance(value, (UndefValue, PoisonValue)):
+        # Deferred UB can be "any value"; report nothing known.
+        return KnownBits.unknown(width)
+    if depth <= 0 or not isinstance(value, Instruction):
+        return KnownBits.unknown(width)
+
+    if isinstance(value, FreezeInst):
+        # freeze(x) has the same known bits as x when x is well-defined;
+        # when x is poison it is arbitrary, so only up-to-poison facts
+        # survive — which is what KnownBits already means.  But since
+        # freeze *launders* poison into a real arbitrary value, facts
+        # derived from the input's poison-producing flags must not be
+        # used; we conservatively keep only plain bit facts.
+        return compute_known_bits(value.value, depth - 1)
+
+    if isinstance(value, BinaryInst):
+        a = compute_known_bits(value.lhs, depth - 1)
+        b = compute_known_bits(value.rhs, depth - 1)
+        op = value.opcode
+        if op is Opcode.AND:
+            return KnownBits(a.zeros | b.zeros, a.ones & b.ones, width)
+        if op is Opcode.OR:
+            return KnownBits(a.zeros & b.zeros, a.ones | b.ones, width)
+        if op is Opcode.XOR:
+            known = (a.zeros | a.ones) & (b.zeros | b.ones)
+            ones = (a.ones ^ b.ones) & known
+            return KnownBits(known & ~ones, ones, width)
+        if op is Opcode.SHL and isinstance(value.rhs, ConstantInt):
+            s = value.rhs.value
+            if s < width:
+                low_zeros = (1 << s) - 1
+                return KnownBits(
+                    ((a.zeros << s) | low_zeros) & mask,
+                    (a.ones << s) & mask,
+                    width,
+                )
+        if op is Opcode.LSHR and isinstance(value.rhs, ConstantInt):
+            s = value.rhs.value
+            if s < width:
+                high_zeros = mask & ~(mask >> s)
+                return KnownBits(
+                    (a.zeros >> s) | high_zeros, a.ones >> s, width
+                )
+        if op is Opcode.ADD:
+            # Propagate known low bits until the first unknown position.
+            known_a = a.zeros | a.ones
+            known_b = b.zeros | b.ones
+            low = 0
+            while low < width and (known_a >> low) & 1 and (known_b >> low) & 1:
+                low += 1
+            if low:
+                total = (a.ones + b.ones) & ((1 << low) - 1)
+                lowmask = (1 << low) - 1
+                return KnownBits(
+                    (~total) & lowmask, total & lowmask, width
+                )
+        if op is Opcode.UREM and isinstance(value.rhs, ConstantInt):
+            d = value.rhs.value
+            if d != 0 and d & (d - 1) == 0:  # power of two
+                high = mask & ~(d - 1)
+                return KnownBits(a.zeros & (d - 1) | high, a.ones & (d - 1),
+                                 width)
+        if op is Opcode.UDIV and isinstance(value.rhs, ConstantInt):
+            d = value.rhs.value
+            if d != 0:
+                max_q = a.max_unsigned // d
+                high_zeros = 0
+                for i in range(width - 1, -1, -1):
+                    if max_q < (1 << i):
+                        high_zeros |= 1 << i
+                    else:
+                        break
+                return KnownBits(high_zeros, 0, width)
+        return KnownBits.unknown(width)
+
+    if isinstance(value, CastInst):
+        src_ty = value.value.type
+        if not isinstance(src_ty, IntType):
+            return KnownBits.unknown(width)
+        a = compute_known_bits(value.value, depth - 1)
+        sw = src_ty.bits
+        if value.opcode is Opcode.ZEXT:
+            high = mask & ~((1 << sw) - 1)
+            return KnownBits(a.zeros | high, a.ones, width)
+        if value.opcode is Opcode.SEXT:
+            sign = a.sign_bit()
+            high = mask & ~((1 << sw) - 1)
+            if sign is True:
+                return KnownBits(a.zeros, a.ones | high, width)
+            if sign is False:
+                return KnownBits(a.zeros | high, a.ones, width)
+            return KnownBits(a.zeros & ((1 << sw) - 1) & ~(1 << (sw - 1)),
+                             a.ones & ((1 << (sw - 1)) - 1), width)
+        if value.opcode is Opcode.TRUNC:
+            return KnownBits(a.zeros & mask, a.ones & mask, width)
+        return KnownBits.unknown(width)
+
+    if isinstance(value, SelectInst):
+        a = compute_known_bits(value.true_value, depth - 1)
+        b = compute_known_bits(value.false_value, depth - 1)
+        return KnownBits(a.zeros & b.zeros, a.ones & b.ones, width)
+
+    if isinstance(value, PhiInst) and value.num_operands:
+        result: Optional[KnownBits] = None
+        for incoming, _ in value.incoming:
+            if incoming is value:
+                continue
+            kb = (
+                compute_known_bits(incoming, depth - 1)
+                if depth > 1 else KnownBits.unknown(width)
+            )
+            if result is None:
+                result = kb
+            else:
+                result = KnownBits(result.zeros & kb.zeros,
+                                   result.ones & kb.ones, width)
+        return result or KnownBits.unknown(width)
+
+    return KnownBits.unknown(width)
+
+
+def is_known_power_of_two(value: Value, depth: int = 6) -> bool:
+    """Up-to-poison fact: if ``value`` is well-defined, it is a power of
+    two (hence nonzero).  The paper's ``shl 1, %y`` example (Section 5.6)
+    returns True here even though a poison ``%y`` makes the value
+    arbitrary — callers hoisting past control flow must also check
+    :func:`is_guaranteed_not_poison`."""
+    if isinstance(value, ConstantInt):
+        v = value.value
+        return v != 0 and v & (v - 1) == 0
+    if depth <= 0 or not isinstance(value, Instruction):
+        return False
+    if isinstance(value, BinaryInst):
+        op = value.opcode
+        if op is Opcode.SHL and isinstance(value.lhs, ConstantInt):
+            if value.lhs.value == 1:
+                return True
+        if op in (Opcode.AND, Opcode.UREM):
+            return False
+        if op is Opcode.MUL:
+            return (
+                is_known_power_of_two(value.lhs, depth - 1)
+                and is_known_power_of_two(value.rhs, depth - 1)
+                and (value.nsw or value.nuw)
+            )
+    if isinstance(value, CastInst) and value.opcode is Opcode.ZEXT:
+        return is_known_power_of_two(value.value, depth - 1)
+    if isinstance(value, SelectInst):
+        return (
+            is_known_power_of_two(value.true_value, depth - 1)
+            and is_known_power_of_two(value.false_value, depth - 1)
+        )
+    if isinstance(value, FreezeInst):
+        # After freeze the value is arbitrary if the input was poison;
+        # the power-of-two fact does NOT survive laundering.
+        return False
+    return False
+
+
+def is_guaranteed_not_poison(value: Value, depth: int = 6) -> bool:
+    """Sound (not up-to-poison) analysis: can ``value`` ever be poison or
+    undef?  This is the companion API Section 5.6 says hoisting clients
+    need."""
+    if isinstance(value, ConstantInt):
+        return True
+    if isinstance(value, (PoisonValue, UndefValue)):
+        return False
+    if isinstance(value, Argument):
+        # Arguments may be poison unless the caller promises otherwise.
+        return False
+    if depth <= 0 or not isinstance(value, Instruction):
+        return False
+    if isinstance(value, FreezeInst):
+        return True  # the whole point of freeze
+    if isinstance(value, BinaryInst):
+        if value.nsw or value.nuw or value.exact:
+            return False  # may generate poison itself
+        if value.opcode in (Opcode.SHL, Opcode.LSHR, Opcode.ASHR):
+            if not isinstance(value.rhs, ConstantInt):
+                return False  # oob shift amount generates undef/poison
+            if value.rhs.value >= value.type.bits:
+                return False
+        return (
+            is_guaranteed_not_poison(value.lhs, depth - 1)
+            and is_guaranteed_not_poison(value.rhs, depth - 1)
+        )
+    if isinstance(value, IcmpInst):
+        return (
+            is_guaranteed_not_poison(value.lhs, depth - 1)
+            and is_guaranteed_not_poison(value.rhs, depth - 1)
+        )
+    if isinstance(value, CastInst):
+        return is_guaranteed_not_poison(value.value, depth - 1)
+    if isinstance(value, SelectInst):
+        return (
+            is_guaranteed_not_poison(value.cond, depth - 1)
+            and is_guaranteed_not_poison(value.true_value, depth - 1)
+            and is_guaranteed_not_poison(value.false_value, depth - 1)
+        )
+    if isinstance(value, PhiInst):
+        if depth <= 1:
+            return False
+        return all(
+            v is value or is_guaranteed_not_poison(v, depth - 1)
+            for v, _ in value.incoming
+        )
+    return False
+
+
+def is_known_nonzero(value: Value, depth: int = 6) -> bool:
+    """Up-to-poison: if well-defined, the value is nonzero."""
+    kb = compute_known_bits(value, depth)
+    if kb.is_nonzero:
+        return True
+    return is_known_power_of_two(value, depth)

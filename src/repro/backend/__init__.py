@@ -1,0 +1,96 @@
+"""The backend: SelectionDAG, instruction selection, register allocation,
+machine interpretation, and assembly printing."""
+
+from typing import Dict, Optional
+
+from ..ir.module import Module
+from .isel import BackendUnsupported, InstructionSelector, select_function
+from .machine import (
+    MachineInterpreter,
+    MachineProgram,
+    MachineTrap,
+    function_size,
+    instr_size,
+    print_assembly,
+)
+from .mi import (
+    Imm,
+    MachineBasicBlock,
+    MachineFunction,
+    MachineInstr,
+    VReg,
+    print_machine_function,
+)
+from .regalloc import allocate_registers, compute_intervals, compute_liveness
+from .sdag import Legalizer, SDNode, SDOp, SelectionDAG
+from .target import LATENCY, LEGAL_WIDTHS, MOp, NUM_REGS, legal_width
+
+
+def compile_module(module: Module, allocate: bool = True) -> MachineProgram:
+    """Lower every defined function to machine code.
+
+    Returns a :class:`MachineProgram` that the machine interpreter can
+    execute and the asm printer can measure."""
+    functions: Dict[str, MachineFunction] = {}
+    for fn in module.definitions():
+        mf = select_function(fn)
+        if allocate:
+            allocate_registers(mf)
+        functions[fn.name] = mf
+    global_sizes = {
+        name: max(1, (g.value_type.bitwidth() + 7) // 8)
+        for name, g in module.globals.items()
+    }
+    global_inits = {}
+    for name, g in module.globals.items():
+        init = _initializer_bytes(g)
+        if init is not None:
+            global_inits[name] = init
+    return MachineProgram(functions, global_sizes, global_inits)
+
+
+def _initializer_bytes(g):
+    from ..ir.values import ConstantInt, ConstantVector
+
+    init = g.initializer
+    if init is None:
+        return None
+    if isinstance(init, ConstantInt):
+        width = init.type.bits
+        nbytes = max(1, (width + 7) // 8)
+        return bytes((init.value >> (8 * i)) & 0xFF for i in range(nbytes))
+    if isinstance(init, ConstantVector):
+        out = bytearray()
+        for elem in init.elements:
+            if not isinstance(elem, ConstantInt):
+                return None
+            w = elem.type.bits
+            for i in range(max(1, (w + 7) // 8)):
+                out.append((elem.value >> (8 * i)) & 0xFF)
+        return bytes(out)
+    return None
+
+
+def program_size(program: MachineProgram) -> int:
+    return sum(function_size(mf) for mf in program.functions.values())
+
+
+def run_program(program: MachineProgram, entry: str, args,
+                fuel: int = 5_000_000):
+    """Execute ``entry``; returns (return value, cycles, instructions)."""
+    interp = MachineInterpreter(program, fuel=fuel)
+    result = interp.call(entry, list(args))
+    return result, interp.cycles, interp.instructions_retired
+
+
+__all__ = [
+    "BackendUnsupported", "InstructionSelector", "select_function",
+    "MachineInterpreter", "MachineProgram", "MachineTrap",
+    "function_size", "instr_size", "print_assembly",
+    "Imm", "MachineBasicBlock", "MachineFunction", "MachineInstr", "VReg",
+    "print_machine_function",
+    "allocate_registers", "compute_intervals", "compute_liveness",
+    "Legalizer", "SDNode", "SDOp", "SelectionDAG",
+    "LATENCY", "LEGAL_WIDTHS", "MOp", "NUM_REGS", "legal_width",
+    "compile_module", "program_size", "run_program",
+]

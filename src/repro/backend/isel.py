@@ -1,0 +1,531 @@
+"""Instruction selection: LLVM IR -> SelectionDAG -> MachineInstr.
+
+The pipeline per function (mirroring Section 6's description):
+
+1. *Phi elimination / vreg assignment*: values that cross basic blocks
+   (and phi nodes) get virtual registers; phi edges become two-phase
+   parallel copies in the predecessors.
+2. *DAG construction* per block; ``poison``/``undef`` constants become
+   SDAG ``undef`` nodes.
+3. *Type legalization* — including freeze of illegal types.
+4. *Selection*: each DAG node becomes a MachineInstr; ``freeze`` becomes
+   a register ``COPY`` (taking a copy of an undef register pins its
+   value — the paper's lowering); ``undef`` becomes a pinned undef
+   register with no defining instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    FreezeInst,
+    GepInst,
+    IcmpInst,
+    Instruction,
+    LoadInst,
+    Opcode,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
+from ..ir.types import IntType, PointerType
+from ..ir.values import (
+    Argument,
+    ConstantInt,
+    GlobalVariable,
+    PoisonValue,
+    UndefValue,
+    Value,
+)
+from .mi import Imm, MachineBasicBlock, MachineFunction, MachineInstr, VReg
+from .sdag import Legalizer, SDNode, SDOp, SelectionDAG
+from .target import MOp, legal_width
+
+
+class BackendUnsupported(Exception):
+    pass
+
+
+def split_critical_edges(fn: Function) -> int:
+    """Split edges (P -> S) where P has several successors and S has
+    phis and several predecessors.  Phi-elimination copies placed in the
+    predecessor would otherwise execute on *every* outgoing path of P,
+    clobbering values on the paths that do not lead to S."""
+    from ..ir.basicblock import BasicBlock
+
+    split = 0
+    for block in list(fn.blocks):
+        term = block.terminator
+        if term is None or len(set(block.successors())) < 2:
+            continue
+        for succ in list(set(block.successors())):
+            if not succ.phis() or len(succ.predecessors()) < 2:
+                continue
+            edge = BasicBlock(f"{block.name}.{succ.name}.crit", parent=fn)
+            edge.append(BranchInst(target=succ))
+            term.replace_successor(succ, edge)
+            for phi in succ.phis():
+                phi.replace_incoming_block(block, edge)
+            split += 1
+    return split
+
+
+_BINOP_SD = {
+    Opcode.ADD: SDOp.ADD, Opcode.SUB: SDOp.SUB, Opcode.MUL: SDOp.MUL,
+    Opcode.UDIV: SDOp.UDIV, Opcode.SDIV: SDOp.SDIV,
+    Opcode.UREM: SDOp.UREM, Opcode.SREM: SDOp.SREM,
+    Opcode.AND: SDOp.AND, Opcode.OR: SDOp.OR, Opcode.XOR: SDOp.XOR,
+    Opcode.SHL: SDOp.SHL, Opcode.LSHR: SDOp.LSHR, Opcode.ASHR: SDOp.ASHR,
+}
+
+_SD_MOP = {
+    SDOp.ADD: MOp.ADD, SDOp.SUB: MOp.SUB, SDOp.MUL: MOp.IMUL,
+    SDOp.UDIV: MOp.UDIV, SDOp.SDIV: MOp.SDIV,
+    SDOp.UREM: MOp.UREM, SDOp.SREM: MOp.SREM,
+    SDOp.AND: MOp.AND, SDOp.OR: MOp.OR, SDOp.XOR: MOp.XOR,
+    SDOp.SHL: MOp.SHL, SDOp.LSHR: MOp.SHR, SDOp.ASHR: MOp.SAR,
+}
+
+
+def _width_of(value: Value) -> int:
+    ty = value.type
+    if isinstance(ty, IntType):
+        return ty.bits
+    if isinstance(ty, PointerType):
+        return 32
+    raise BackendUnsupported(f"type {ty} not supported by the backend")
+
+
+class InstructionSelector:
+    def __init__(self, fn: Function):
+        self.fn = fn
+        self.mf = MachineFunction(fn.name, len(fn.args))
+        #: IR value -> vreg for cross-block values / args / phis
+        self.vregs: Dict[Value, VReg] = {}
+        self.alloca_slots: Dict[Value, int] = {}
+        self.mbb: Dict[BasicBlock, MachineBasicBlock] = {}
+
+    # -- driver ---------------------------------------------------------------
+    def run(self) -> MachineFunction:
+        fn = self.fn
+        split_critical_edges(fn)
+        for arg in fn.args:
+            reg = self.mf.new_vreg()
+            self.vregs[arg] = reg
+            self.mf.arg_regs.append(reg)
+
+        for block in fn.blocks:
+            self.mbb[block] = self.mf.new_block(block.name)
+
+        self._assign_cross_block_vregs()
+        for inst in fn.instructions():
+            if isinstance(inst, AllocaInst):
+                size = max(1, (inst.allocated_type.bitwidth() + 7) // 8)
+                self.alloca_slots[inst] = self.mf.new_frame_slot(size)
+
+        for block in fn.blocks:
+            dag = self._build_dag(block)
+            dag = Legalizer().run(dag)
+            self._select_dag(dag, self.mbb[block])
+        return self.mf
+
+    def _assign_cross_block_vregs(self) -> None:
+        for block in self.fn.blocks:
+            for inst in block.instructions:
+                if inst.type.is_void:
+                    continue
+                needs_vreg = isinstance(inst, PhiInst)
+                for use in inst.uses:
+                    user = use.user
+                    if isinstance(user, Instruction) and (
+                        user.parent is not block or isinstance(user, PhiInst)
+                    ):
+                        needs_vreg = True
+                        break
+                if needs_vreg:
+                    self.vregs[inst] = self.mf.new_vreg()
+
+    # -- DAG construction -------------------------------------------------------
+    def _build_dag(self, block: BasicBlock) -> SelectionDAG:
+        dag = SelectionDAG(block.name)
+        nodes: Dict[Value, SDNode] = {}
+
+        def node_for(value: Value) -> SDNode:
+            if value in nodes:
+                return nodes[value]
+            if isinstance(value, ConstantInt):
+                n = SDNode(SDOp.CONST, [], value.type.bits, value.value)
+            elif isinstance(value, (PoisonValue, UndefValue)):
+                n = SDNode(SDOp.UNDEF, [], _width_of(value))
+            elif isinstance(value, GlobalVariable):
+                n = SDNode(SDOp.GLOBAL_ADDR, [], 32, value.name)
+            elif isinstance(value, Argument):
+                n = SDNode(SDOp.VREG, [], _width_of(value),
+                           self.vregs[value])
+            elif isinstance(value, Instruction):
+                if value.parent is block and not isinstance(value, PhiInst) \
+                        and not isinstance(value, AllocaInst):
+                    raise BackendUnsupported(
+                        f"local node for {value.ref()} not built yet"
+                    )
+                if isinstance(value, AllocaInst):
+                    n = SDNode(SDOp.FRAME_ADDR, [], 32,
+                               self.alloca_slots[value])
+                else:
+                    n = SDNode(SDOp.VREG, [], _width_of(value),
+                               self.vregs[value])
+            else:
+                raise BackendUnsupported(f"operand {value!r}")
+            nodes[value] = n
+            return n
+
+        pending_exports: List[SDNode] = []
+        phis = block.phis()
+        for phi in phis:
+            nodes[phi] = SDNode(SDOp.VREG, [], _width_of(phi),
+                                self.vregs[phi])
+
+        for inst in block.instructions[len(phis):]:
+            if inst.is_terminator:
+                # phi edge copies (two-phase), then regular exports,
+                # then the terminator.
+                self._emit_phi_copies(block, dag, node_for)
+                for export in pending_exports:
+                    dag.add_root(export)
+                self._build_terminator(inst, dag, node_for)
+                break
+            node = self._build_instruction(inst, dag, node_for)
+            if node is not None:
+                nodes[inst] = node
+                if inst in self.vregs:
+                    pending_exports.append(
+                        SDNode(SDOp.COPY_TO_VREG, [node], node.width,
+                               self.vregs[inst])
+                    )
+        return dag
+
+    def _emit_phi_copies(self, block: BasicBlock, dag: SelectionDAG,
+                         node_for) -> None:
+        edges: List[Tuple[VReg, SDNode]] = []
+        for succ in block.successors():
+            for phi in succ.phis():
+                incoming = phi.incoming_for_block(block)
+                if incoming is None:
+                    continue
+                edges.append((self.vregs[phi], node_for(incoming)))
+        if not edges:
+            return
+        # Two-phase parallel copy: temps first, then the phi registers.
+        temps: List[Tuple[VReg, VReg, int]] = []
+        for phi_reg, value_node in edges:
+            temp = self.mf.new_vreg()
+            dag.add_root(
+                SDNode(SDOp.COPY_TO_VREG, [value_node], value_node.width,
+                       temp)
+            )
+            temps.append((phi_reg, temp, value_node.width))
+        for phi_reg, temp, width in temps:
+            temp_node = SDNode(SDOp.VREG, [], width, temp)
+            dag.add_root(
+                SDNode(SDOp.COPY_TO_VREG, [temp_node], width, phi_reg)
+            )
+
+    def _build_instruction(self, inst: Instruction, dag: SelectionDAG,
+                           node_for) -> Optional[SDNode]:
+        if isinstance(inst, BinaryInst):
+            return SDNode(_BINOP_SD[inst.opcode],
+                          [node_for(inst.lhs), node_for(inst.rhs)],
+                          _width_of(inst))
+        if isinstance(inst, IcmpInst):
+            return SDNode(SDOp.SETCC,
+                          [node_for(inst.lhs), node_for(inst.rhs)],
+                          1, inst.pred)
+        if isinstance(inst, SelectInst):
+            return SDNode(SDOp.SELECT,
+                          [node_for(inst.cond), node_for(inst.true_value),
+                           node_for(inst.false_value)],
+                          _width_of(inst))
+        if isinstance(inst, FreezeInst):
+            return SDNode(SDOp.FREEZE, [node_for(inst.value)],
+                          _width_of(inst))
+        if isinstance(inst, CastInst):
+            src = node_for(inst.value)
+            if inst.opcode is Opcode.ZEXT:
+                return SDNode(SDOp.ZEXT, [src], _width_of(inst))
+            if inst.opcode is Opcode.SEXT:
+                return SDNode(SDOp.SEXT, [src], _width_of(inst))
+            if inst.opcode is Opcode.TRUNC:
+                return SDNode(SDOp.TRUNC, [src], _width_of(inst))
+            if inst.opcode in (Opcode.PTRTOINT, Opcode.INTTOPTR,
+                               Opcode.BITCAST):
+                sw, dw = src.width, _width_of(inst)
+                if sw == dw:
+                    return src
+                if sw < dw:
+                    return SDNode(SDOp.ZEXT, [src], dw)
+                return SDNode(SDOp.TRUNC, [src], dw)
+        if isinstance(inst, GepInst):
+            index = node_for(inst.index)
+            if index.width != 32:
+                index = SDNode(SDOp.SEXT, [index], 32)
+            return SDNode(SDOp.ADDR_ADD,
+                          [node_for(inst.pointer), index],
+                          32, inst.elem_size_bytes)
+        if isinstance(inst, AllocaInst):
+            return SDNode(SDOp.FRAME_ADDR, [], 32,
+                          self.alloca_slots[inst])
+        if isinstance(inst, LoadInst):
+            node = SDNode(SDOp.LOAD, [node_for(inst.pointer)],
+                          _width_of(inst), inst.type.bitwidth())
+            # Loads are ordered against stores/calls: root them at their
+            # program point (the chain edge of a real SelectionDAG).
+            dag.add_root(node)
+            return node
+        if isinstance(inst, StoreInst):
+            dag.add_root(
+                SDNode(SDOp.STORE,
+                       [node_for(inst.value), node_for(inst.pointer)],
+                       0, inst.value.type.bitwidth())
+            )
+            return None
+        if isinstance(inst, CallInst):
+            width = 0 if inst.type.is_void else _width_of(inst)
+            node = SDNode(SDOp.CALL, [node_for(a) for a in inst.args],
+                          width, inst.callee.name)
+            if inst.type.is_void:
+                dag.add_root(node)
+                return None
+            # calls are ordered side effects even when their value is used
+            dag.add_root(node)
+            return node
+        raise BackendUnsupported(f"cannot select {inst.opcode.value}")
+
+    def _build_terminator(self, inst: Instruction, dag: SelectionDAG,
+                          node_for) -> None:
+        if isinstance(inst, BranchInst):
+            if inst.is_conditional:
+                dag.add_root(
+                    SDNode(SDOp.BRCOND, [node_for(inst.cond)], 0,
+                           (self.mbb[inst.true_block],
+                            self.mbb[inst.false_block]))
+                )
+            else:
+                dag.add_root(
+                    SDNode(SDOp.BR, [], 0, self.mbb[inst.targets[0]])
+                )
+            return
+        if isinstance(inst, SwitchInst):
+            self._build_switch(inst, dag, node_for)
+            return
+        if isinstance(inst, ReturnInst):
+            ops = [] if inst.value is None else [node_for(inst.value)]
+            dag.add_root(SDNode(SDOp.RET, ops, 0))
+            return
+        if isinstance(inst, UnreachableInst):
+            dag.add_root(SDNode(SDOp.TRAP, [], 0))
+            return
+        raise BackendUnsupported(f"terminator {inst.opcode.value}")
+
+    def _build_switch(self, inst: SwitchInst, dag: SelectionDAG,
+                      node_for) -> None:
+        """Lower a switch to a compare-and-branch chain through fresh
+        machine blocks."""
+        from ..ir.instructions import IcmpPred
+
+        # Pin the scrutinee into a vreg so the chain blocks can import
+        # it instead of re-selecting its computation.
+        value_node = node_for(inst.value)
+        value_reg = self.mf.new_vreg()
+        dag.add_root(
+            SDNode(SDOp.COPY_TO_VREG, [value_node], value_node.width,
+                   value_reg)
+        )
+        value = SDNode(SDOp.VREG, [], value_node.width, value_reg)
+        chain_blocks = [
+            self.mf.new_block(f"{dag.block_name}.sw{i}")
+            for i in range(max(0, len(inst.cases) - 1))
+        ]
+        targets = chain_blocks + [self.mbb[inst.default]]
+        for i, (const, target) in enumerate(inst.cases):
+            cmp = SDNode(SDOp.SETCC,
+                         [value,
+                          SDNode(SDOp.CONST, [], value.width, const.value)],
+                         1, IcmpPred.EQ)
+            br = SDNode(SDOp.BRCOND, [cmp], 0,
+                        (self.mbb[target], targets[i]))
+            if i == 0:
+                dag.add_root(br)
+            else:
+                sub_dag = SelectionDAG(chain_blocks[i - 1].name)
+                sub_dag.add_root(br)
+                self._select_dag(Legalizer().run(sub_dag),
+                                 chain_blocks[i - 1])
+        if not inst.cases:
+            dag.add_root(SDNode(SDOp.BR, [], 0, self.mbb[inst.default]))
+
+    # -- selection -------------------------------------------------------------------
+    def _select_dag(self, dag: SelectionDAG,
+                    mbb: MachineBasicBlock) -> None:
+        selected: Dict[int, object] = {}  # node id -> Operand
+
+        def operand(node: SDNode):
+            if node.id in selected:
+                return selected[node.id]
+            result = select(node)
+            selected[node.id] = result
+            return result
+
+        def as_reg(node: SDNode) -> VReg:
+            op = operand(node)
+            if isinstance(op, Imm):
+                reg = self.mf.new_vreg()
+                mbb.append(MachineInstr(MOp.MOV, reg, [op],
+                                        width=node.width or 32))
+                selected[node.id] = reg
+                return reg
+            return op
+
+        def select(node: SDNode):
+            op = node.op
+            if op is SDOp.CONST:
+                return Imm(node.payload)
+            if op is SDOp.UNDEF:
+                # a pinned undef register: no defining instruction
+                return self.mf.new_vreg(undef=True)
+            if op in (SDOp.VREG, SDOp.ARG):
+                return node.payload
+            if op is SDOp.FREEZE:
+                # Section 6: freeze lowers to a register copy
+                dst = self.mf.new_vreg()
+                mbb.append(MachineInstr(MOp.COPY, dst,
+                                        [as_reg(node.operands[0])],
+                                        width=node.width))
+                return dst
+            if op in _SD_MOP:
+                dst = self.mf.new_vreg()
+                a = as_reg(node.operands[0])
+                b = operand(node.operands[1])
+                mbb.append(MachineInstr(_SD_MOP[op], dst, [a, b],
+                                        width=node.width))
+                return dst
+            if op is SDOp.SETCC:
+                dst = self.mf.new_vreg()
+                a = as_reg(node.operands[0])
+                b = operand(node.operands[1])
+                mbb.append(MachineInstr(
+                    MOp.SETCC, dst, [a, b], payload=node.payload,
+                    width=node.operands[0].width,
+                ))
+                return dst
+            if op is SDOp.SELECT:
+                dst = self.mf.new_vreg()
+                mbb.append(MachineInstr(
+                    MOp.CMOV, dst,
+                    [as_reg(node.operands[0]),
+                     operand(node.operands[1]),
+                     operand(node.operands[2])],
+                    width=node.width,
+                ))
+                return dst
+            if op is SDOp.ZEXT:
+                dst = self.mf.new_vreg()
+                mbb.append(MachineInstr(
+                    MOp.MOVZX, dst, [as_reg(node.operands[0])],
+                    payload=node.operands[0].width, width=node.width,
+                ))
+                return dst
+            if op is SDOp.SEXT:
+                dst = self.mf.new_vreg()
+                mbb.append(MachineInstr(
+                    MOp.MOVSX, dst, [as_reg(node.operands[0])],
+                    payload=node.operands[0].width, width=node.width,
+                ))
+                return dst
+            if op is SDOp.TRUNC:
+                return operand(node.operands[0])
+            if op in (SDOp.ASSERT_ZEXT, SDOp.ASSERT_SEXT):
+                return operand(node.operands[0])
+            if op is SDOp.LOAD:
+                dst = self.mf.new_vreg()
+                mbb.append(MachineInstr(
+                    MOp.LOAD, dst, [as_reg(node.operands[0])],
+                    payload=node.payload, width=node.width,
+                ))
+                return dst
+            if op is SDOp.STORE:
+                mbb.append(MachineInstr(
+                    MOp.STORE, None,
+                    [operand(node.operands[0]),
+                     as_reg(node.operands[1])],
+                    payload=node.payload,
+                ))
+                return None
+            if op is SDOp.FRAME_ADDR:
+                dst = self.mf.new_vreg()
+                mbb.append(MachineInstr(MOp.FRAME, dst, [],
+                                        payload=node.payload))
+                return dst
+            if op is SDOp.GLOBAL_ADDR:
+                dst = self.mf.new_vreg()
+                mbb.append(MachineInstr(MOp.GLOBAL, dst, [],
+                                        payload=node.payload))
+                return dst
+            if op is SDOp.ADDR_ADD:
+                dst = self.mf.new_vreg()
+                base = as_reg(node.operands[0])
+                index = operand(node.operands[1])
+                mbb.append(MachineInstr(
+                    MOp.LEA, dst, [base, index],
+                    payload=(node.payload, 0),
+                ))
+                return dst
+            if op is SDOp.CALL:
+                dst = self.mf.new_vreg() if node.width else None
+                mbb.append(MachineInstr(
+                    MOp.CALL, dst,
+                    [operand(o) for o in node.operands],
+                    payload=node.payload,
+                    width=node.width or 32,
+                ))
+                return dst
+            if op is SDOp.COPY_TO_VREG:
+                src = operand(node.operands[0])
+                mbb.append(MachineInstr(MOp.MOV, node.payload, [src],
+                                        width=node.width))
+                return None
+            if op is SDOp.BR:
+                mbb.append(MachineInstr(MOp.JMP, None, [],
+                                        payload=node.payload))
+                return None
+            if op is SDOp.BRCOND:
+                mbb.append(MachineInstr(
+                    MOp.JCC, None, [operand(node.operands[0])],
+                    payload=node.payload,
+                ))
+                return None
+            if op is SDOp.RET:
+                srcs = [operand(o) for o in node.operands]
+                mbb.append(MachineInstr(MOp.RET, None, srcs))
+                return None
+            if op is SDOp.TRAP:
+                mbb.append(MachineInstr(MOp.TRAP, None, []))
+                return None
+            raise BackendUnsupported(f"select {op}")
+
+        for root in dag.roots:
+            operand(root)
+
+
+def select_function(fn: Function) -> MachineFunction:
+    return InstructionSelector(fn).run()

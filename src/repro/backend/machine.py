@@ -1,0 +1,343 @@
+"""Machine-level interpreter and assembly printer.
+
+The interpreter executes :class:`MachineFunction` code deterministically
+and counts cycles using the target latency model — this produces the
+run-time measurements of experiment E1.  Undef registers (lowered
+poison) read as a pinned 0, per the paper's "pinned undef registers".
+
+The assembly printer renders AT&T-ish assembly and computes the encoded
+size of each function with the target's size model — experiment E4's
+object-code size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.instructions import IcmpPred
+from .mi import Imm, MachineBasicBlock, MachineFunction, MachineInstr, VReg
+from .target import BASE_SIZE, LATENCY, MOp, REG_NAMES
+
+_MASK32 = 0xFFFFFFFF
+
+
+class MachineTrap(Exception):
+    """The machine executed a trap (lowered ``unreachable``) or a
+    division by zero."""
+
+
+class MachineProgram:
+    """A set of machine functions plus global storage layout."""
+
+    def __init__(self, functions: Dict[str, MachineFunction],
+                 globals_sizes: Dict[str, int],
+                 global_inits: Optional[Dict[str, bytes]] = None):
+        self.functions = functions
+        self.global_sizes = globals_sizes
+        self.global_inits = global_inits or {}
+
+
+class MachineInterpreter:
+    STACK_BASE = 0x8000_0000
+    GLOBAL_BASE = 0x1000
+
+    def __init__(self, program: MachineProgram, fuel: int = 5_000_000):
+        self.program = program
+        self.memory: Dict[int, int] = {}  # byte-addressed
+        self.global_addr: Dict[str, int] = {}
+        self.cycles = 0
+        self.instructions_retired = 0
+        self.fuel = fuel
+        self.stack_pointer = self.STACK_BASE
+        addr = self.GLOBAL_BASE
+        for name, size in sorted(program.global_sizes.items()):
+            self.global_addr[name] = addr
+            init = program.global_inits.get(name)
+            if init is not None:
+                for i, byte in enumerate(init):
+                    self.memory[addr + i] = byte
+            addr = (addr + size + 15) & ~15
+
+    # -- memory helpers ----------------------------------------------------------
+    def load(self, addr: int, bits: int) -> int:
+        nbytes = (bits + 7) // 8
+        value = 0
+        for i in range(nbytes):
+            value |= self.memory.get((addr + i) & _MASK32, 0) << (8 * i)
+        return value & ((1 << bits) - 1)
+
+    def store(self, addr: int, value: int, bits: int) -> None:
+        nbytes = (bits + 7) // 8
+        # partial final byte: read-modify-write
+        if bits % 8:
+            old = self.memory.get((addr + nbytes - 1) & _MASK32, 0)
+            keep_mask = 0xFF & ~((1 << (bits % 8)) - 1)
+            last = ((value >> (8 * (nbytes - 1))) & 0xFF) \
+                | (old & keep_mask)
+        for i in range(nbytes):
+            if bits % 8 and i == nbytes - 1:
+                byte = last
+            else:
+                byte = (value >> (8 * i)) & 0xFF
+            self.memory[(addr + i) & _MASK32] = byte
+
+    # -- execution ----------------------------------------------------------------
+    def call(self, name: str, args: List[int]) -> Optional[int]:
+        mf = self.program.functions.get(name)
+        if mf is None:
+            # external function: observable no-op returning 0
+            self.cycles += LATENCY[MOp.CALL]
+            return 0
+        frame_base = self.stack_pointer - mf.frame_size()
+        saved_sp = self.stack_pointer
+        self.stack_pointer = frame_base
+
+        regs: Dict[int, int] = {}
+
+        def key(reg: VReg) -> int:
+            # pre-RA code indexes by vreg id; post-RA by physical number
+            return reg.phys if reg.phys is not None else reg.id + 1_000_000
+
+        frame_offsets: List[int] = []
+        offset = 0
+        for size in mf.frame_slots:
+            frame_offsets.append(offset)
+            offset += size
+        spill_base = offset
+
+        if mf.arg_locations is None:
+            for reg, value in zip(mf.arg_regs, args):
+                regs[key(reg)] = value & _MASK32
+        else:
+            # post-RA: the calling convention places arguments into their
+            # allocated registers / spill slots (the prologue's job)
+            for loc, value in zip(mf.arg_locations, args):
+                if loc[0] == "reg":
+                    regs[loc[1]] = value & _MASK32
+                elif loc[0] == "spill":
+                    self.store(frame_base + spill_base + 8 * loc[1],
+                               value & _MASK32, 32)
+
+        def read(op) -> int:
+            if isinstance(op, Imm):
+                return op.value & _MASK32
+            return regs.get(key(op), 0)  # pinned undef registers read 0
+
+        block = mf.blocks[0]
+        pc = 0
+        try:
+            while True:
+                if pc >= len(block.instructions):
+                    raise MachineTrap(f"fell off block {block.name}")
+                instr = block.instructions[pc]
+                pc += 1
+                self.cycles += LATENCY[instr.op]
+                self.instructions_retired += 1
+                if self.instructions_retired > self.fuel:
+                    raise MachineTrap("machine fuel exhausted")
+
+                op = instr.op
+                width = instr.width
+                mask = (1 << width) - 1
+
+                if op in (MOp.MOV, MOp.COPY):
+                    regs[key(instr.dst)] = read(instr.srcs[0]) & _MASK32
+                elif op in (MOp.ADD, MOp.SUB, MOp.IMUL, MOp.AND, MOp.OR,
+                            MOp.XOR, MOp.SHL, MOp.SHR, MOp.SAR,
+                            MOp.UDIV, MOp.SDIV, MOp.UREM, MOp.SREM):
+                    a = read(instr.srcs[0]) & mask
+                    b = read(instr.srcs[1]) & mask
+                    regs[key(instr.dst)] = self._alu(op, a, b, width)
+                elif op is MOp.MOVZX:
+                    src_w = instr.payload
+                    regs[key(instr.dst)] = read(instr.srcs[0]) \
+                        & ((1 << src_w) - 1)
+                elif op is MOp.MOVSX:
+                    src_w = instr.payload
+                    v = read(instr.srcs[0]) & ((1 << src_w) - 1)
+                    if v >> (src_w - 1):
+                        v -= 1 << src_w
+                    regs[key(instr.dst)] = v & mask
+                elif op is MOp.SETCC:
+                    a = read(instr.srcs[0]) & mask
+                    b = read(instr.srcs[1]) & mask
+                    regs[key(instr.dst)] = int(
+                        self._compare(instr.payload, a, b, width)
+                    )
+                elif op is MOp.CMOV:
+                    cond = read(instr.srcs[0]) & 1
+                    regs[key(instr.dst)] = read(
+                        instr.srcs[1] if cond else instr.srcs[2]
+                    ) & _MASK32
+                elif op is MOp.LEA:
+                    scale, disp = instr.payload
+                    base = read(instr.srcs[0])
+                    index = read(instr.srcs[1])
+                    if index >= 1 << 31:
+                        index -= 1 << 32
+                    regs[key(instr.dst)] = (base + index * scale + disp) \
+                        & _MASK32
+                elif op is MOp.LOAD:
+                    addr = read(instr.srcs[0])
+                    regs[key(instr.dst)] = self.load(addr, instr.payload)
+                elif op is MOp.STORE:
+                    value = read(instr.srcs[0])
+                    addr = read(instr.srcs[1])
+                    self.store(addr, value, instr.payload)
+                elif op is MOp.FRAME:
+                    payload = instr.payload
+                    if isinstance(payload, tuple) and payload[0] == "spill":
+                        slot = payload[1]
+                        regs[key(instr.dst)] = (
+                            frame_base + spill_base + 8 * slot
+                        ) & _MASK32
+                    else:
+                        regs[key(instr.dst)] = (
+                            frame_base + frame_offsets[payload]
+                        ) & _MASK32
+                elif op is MOp.GLOBAL:
+                    regs[key(instr.dst)] = self.global_addr[instr.payload]
+                elif op is MOp.JMP:
+                    block = instr.payload
+                    pc = 0
+                elif op is MOp.JCC:
+                    cond = read(instr.srcs[0]) & 1
+                    tb, fb = instr.payload
+                    block = tb if cond else fb
+                    pc = 0
+                elif op is MOp.CALL:
+                    args_v = [read(s) for s in instr.srcs]
+                    result = self.call(instr.payload, args_v)
+                    if instr.dst is not None:
+                        regs[key(instr.dst)] = (result or 0) & _MASK32
+                elif op is MOp.RET:
+                    if instr.srcs:
+                        return read(instr.srcs[0])
+                    return None
+                elif op is MOp.TRAP:
+                    raise MachineTrap("trap executed")
+                else:  # pragma: no cover
+                    raise MachineTrap(f"unknown opcode {op}")
+        finally:
+            self.stack_pointer = saved_sp
+
+    def _alu(self, op: MOp, a: int, b: int, width: int) -> int:
+        mask = (1 << width) - 1
+
+        def signed(v: int) -> int:
+            return v - (1 << width) if v >> (width - 1) else v
+
+        if op is MOp.ADD:
+            return (a + b) & mask
+        if op is MOp.SUB:
+            return (a - b) & mask
+        if op is MOp.IMUL:
+            return (a * b) & mask
+        if op is MOp.AND:
+            return a & b
+        if op is MOp.OR:
+            return a | b
+        if op is MOp.XOR:
+            return a ^ b
+        # x86-style shifts: the amount is masked to the operand width.
+        # IR-level out-of-range shifts are deferred UB, so any machine
+        # behavior here is a legal refinement.
+        if op is MOp.SHL:
+            return (a << (b & (width - 1))) & mask
+        if op is MOp.SHR:
+            return a >> (b & (width - 1))
+        if op is MOp.SAR:
+            return (signed(a) >> (b & (width - 1))) & mask
+        if op is MOp.UDIV:
+            if b == 0:
+                raise MachineTrap("division by zero")
+            return a // b
+        if op is MOp.UREM:
+            if b == 0:
+                raise MachineTrap("division by zero")
+            return a % b
+        if op in (MOp.SDIV, MOp.SREM):
+            if b == 0:
+                raise MachineTrap("division by zero")
+            sa, sb = signed(a), signed(b)
+            if sa == -(1 << (width - 1)) and sb == -1:
+                raise MachineTrap("division overflow")
+            q = abs(sa) // abs(sb)
+            if (sa < 0) != (sb < 0):
+                q = -q
+            if op is MOp.SDIV:
+                return q & mask
+            return (sa - q * sb) & mask
+        raise MachineTrap(f"bad ALU op {op}")
+
+    @staticmethod
+    def _compare(pred: IcmpPred, a: int, b: int, width: int) -> bool:
+        if pred.is_signed:
+            if a >> (width - 1):
+                a -= 1 << width
+            if b >> (width - 1):
+                b -= 1 << width
+        return {
+            IcmpPred.EQ: a == b, IcmpPred.NE: a != b,
+            IcmpPred.UGT: a > b, IcmpPred.UGE: a >= b,
+            IcmpPred.ULT: a < b, IcmpPred.ULE: a <= b,
+            IcmpPred.SGT: a > b, IcmpPred.SGE: a >= b,
+            IcmpPred.SLT: a < b, IcmpPred.SLE: a <= b,
+        }[pred]
+
+
+# ---------------------------------------------------------------------------
+# Assembly printing and the size model.
+# ---------------------------------------------------------------------------
+
+def _operand_size(op) -> int:
+    if isinstance(op, Imm):
+        return 1 if -128 <= op.value <= 127 else 4
+    return 0  # register operands are in the base size
+
+
+def instr_size(instr: MachineInstr) -> int:
+    size = BASE_SIZE[instr.op]
+    for src in instr.srcs:
+        size += _operand_size(src)
+    return size
+
+
+def function_size(mf: MachineFunction) -> int:
+    return sum(instr_size(i) for i in mf.instructions())
+
+
+def print_assembly(mf: MachineFunction) -> str:
+    lines = [f"{mf.name}:"]
+
+    def fmt(op) -> str:
+        if isinstance(op, Imm):
+            return f"${op.value}"
+        if op.phys is not None:
+            return "%" + REG_NAMES[op.phys]
+        return f"%v{op.id}"
+
+    for block in mf.blocks:
+        lines.append(f".{mf.name}.{block.name}:")
+        for instr in block.instructions:
+            if instr.op is MOp.JMP:
+                lines.append(f"    jmp .{mf.name}.{instr.payload.name}")
+            elif instr.op is MOp.JCC:
+                tb, fb = instr.payload
+                lines.append(
+                    f"    jnz {fmt(instr.srcs[0])}, .{mf.name}.{tb.name}"
+                )
+                lines.append(f"    jmp .{mf.name}.{fb.name}")
+            elif instr.op is MOp.CALL:
+                args = ", ".join(fmt(s) for s in instr.srcs)
+                dst = f"{fmt(instr.dst)} = " if instr.dst else ""
+                lines.append(f"    {dst}call {instr.payload}({args})")
+            elif instr.op is MOp.RET:
+                val = f" {fmt(instr.srcs[0])}" if instr.srcs else ""
+                lines.append(f"    ret{val}")
+            else:
+                dst = f"{fmt(instr.dst)}, " if instr.dst is not None else ""
+                srcs = ", ".join(fmt(s) for s in instr.srcs)
+                suffix = {8: "b", 16: "w", 32: "l"}.get(instr.width, "l")
+                lines.append(f"    {instr.op.value}{suffix} {dst}{srcs}")
+    return "\n".join(lines)

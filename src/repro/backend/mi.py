@@ -1,0 +1,161 @@
+"""MachineInstr-level IR: virtual/physical registers, frames, functions.
+
+At this level there is no poison: poison became ``undef`` SDAG nodes and
+is now *pinned undef registers* — registers that are never defined and
+read as an arbitrary-but-fixed value (we pin 0, like reading a freshly
+zeroed register).  ``freeze`` became :data:`~repro.backend.target.MOp.COPY`,
+which is exactly why it is implementable for free-ish (Section 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from .target import MOp
+
+
+class VReg:
+    """A virtual register (pre-RA) or physical register (post-RA)."""
+
+    __slots__ = ("id", "phys", "undef")
+
+    def __init__(self, id: int, phys: Optional[int] = None,
+                 undef: bool = False):
+        self.id = id
+        self.phys = phys
+        self.undef = undef
+
+    def __repr__(self) -> str:
+        if self.phys is not None:
+            from .target import REG_NAMES
+
+            return REG_NAMES[self.phys]
+        return f"%v{self.id}{'<undef>' if self.undef else ''}"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, VReg) and other.id == self.id
+
+    def __hash__(self) -> int:
+        return hash((VReg, self.id))
+
+
+class Imm:
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"${self.value}"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Imm) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash((Imm, self.value))
+
+
+Operand = Union[VReg, Imm]
+
+
+class MachineInstr:
+    __slots__ = ("op", "dst", "srcs", "payload", "width")
+
+    def __init__(self, op: MOp, dst: Optional[VReg], srcs: List[Operand],
+                 payload=None, width: int = 32):
+        self.op = op
+        self.dst = dst
+        self.srcs = list(srcs)
+        self.payload = payload
+        self.width = width
+
+    def registers(self) -> List[VReg]:
+        regs = [s for s in self.srcs if isinstance(s, VReg)]
+        if self.dst is not None:
+            regs.append(self.dst)
+        return regs
+
+    def __repr__(self) -> str:
+        dst = f"{self.dst} = " if self.dst is not None else ""
+        srcs = ", ".join(repr(s) for s in self.srcs)
+        extra = f" [{self.payload}]" if self.payload is not None else ""
+        return f"{dst}{self.op.value}.{self.width} {srcs}{extra}"
+
+
+class MachineBasicBlock:
+    def __init__(self, name: str):
+        self.name = name
+        self.instructions: List[MachineInstr] = []
+
+    def append(self, instr: MachineInstr) -> MachineInstr:
+        self.instructions.append(instr)
+        return instr
+
+    def successors(self) -> List["MachineBasicBlock"]:
+        succs = []
+        for instr in self.instructions:
+            if instr.op is MOp.JMP:
+                succs.append(instr.payload)
+            elif instr.op is MOp.JCC:
+                succs.extend(instr.payload)
+        return succs
+
+    def __repr__(self) -> str:
+        return f"<MBB {self.name} ({len(self.instructions)})>"
+
+
+class MachineFunction:
+    def __init__(self, name: str, num_args: int):
+        self.name = name
+        self.blocks: List[MachineBasicBlock] = []
+        self.arg_regs: List[VReg] = []
+        self.num_args = num_args
+        self._next_vreg = 0
+        self.frame_slots: List[int] = []  # slot sizes in bytes
+        self.num_spill_slots = 0
+        #: set by register allocation: per-argument ("reg", phys) or
+        #: ("spill", slot) or ("none",) — the calling convention's view
+        self.arg_locations: Optional[List[tuple]] = None
+
+    def new_vreg(self, undef: bool = False) -> VReg:
+        self._next_vreg += 1
+        return VReg(self._next_vreg, undef=undef)
+
+    def new_block(self, name: str) -> MachineBasicBlock:
+        block = MachineBasicBlock(name)
+        self.blocks.append(block)
+        return block
+
+    def new_frame_slot(self, size: int) -> int:
+        self.frame_slots.append(size)
+        return len(self.frame_slots) - 1
+
+    def frame_size(self) -> int:
+        return sum(self.frame_slots) + 8 * self.num_spill_slots
+
+    def instructions(self):
+        for block in self.blocks:
+            yield from block.instructions
+
+    def num_instructions(self) -> int:
+        return sum(len(b.instructions) for b in self.blocks)
+
+    def __repr__(self) -> str:
+        return f"<MachineFunction @{self.name}>"
+
+
+def print_machine_function(mf: MachineFunction) -> str:
+    lines = [f"@{mf.name}: args={mf.arg_regs} frame={mf.frame_size()}B"]
+    for block in mf.blocks:
+        lines.append(f"{block.name}:")
+        for instr in block.instructions:
+            if instr.op is MOp.JMP:
+                lines.append(f"  jmp {instr.payload.name}")
+            elif instr.op is MOp.JCC:
+                t, f = instr.payload
+                lines.append(
+                    f"  jcc {instr.srcs[0]}, {t.name}, {f.name}"
+                )
+            else:
+                lines.append(f"  {instr}")
+    return "\n".join(lines)

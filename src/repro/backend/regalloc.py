@@ -1,0 +1,242 @@
+"""Linear-scan register allocation with iterative liveness analysis.
+
+Virtual registers get one of :data:`~repro.backend.target.NUM_REGS`
+physical registers; intervals that do not fit are spilled to frame
+slots, with reloads through reserved scratch registers.
+
+This is where the paper's "Stanford Queens" anecdote lives: a single
+extra ``COPY`` (from a freeze) can shift interval start points and give
+a different — occasionally better or worse — assignment, which is
+exactly the kind of run-time perturbation Section 7.2 reports.
+
+Undef virtual registers (lowered poison) have no defining instruction;
+they still occupy a register for their live range — the paper notes
+the prototype "reserves a register for each poison value within a
+function (during its live range only)".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from .mi import Imm, MachineBasicBlock, MachineFunction, MachineInstr, VReg
+from .target import MOp, NUM_REGS
+
+
+def compute_liveness(mf: MachineFunction):
+    """Iterative backward dataflow: per-block live-in/live-out vreg-id
+    sets."""
+    use_of: Dict[MachineBasicBlock, Set[int]] = {}
+    def_of: Dict[MachineBasicBlock, Set[int]] = {}
+    for block in mf.blocks:
+        uses: Set[int] = set()
+        defs: Set[int] = set()
+        for instr in block.instructions:
+            for src in instr.srcs:
+                if isinstance(src, VReg) and src.id not in defs:
+                    uses.add(src.id)
+            if instr.dst is not None:
+                defs.add(instr.dst.id)
+        use_of[block] = uses
+        def_of[block] = defs
+
+    live_in: Dict[MachineBasicBlock, Set[int]] = {
+        b: set() for b in mf.blocks
+    }
+    live_out: Dict[MachineBasicBlock, Set[int]] = {
+        b: set() for b in mf.blocks
+    }
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(mf.blocks):
+            out: Set[int] = set()
+            for succ in block.successors():
+                out |= live_in[succ]
+            inn = use_of[block] | (out - def_of[block])
+            if out != live_out[block] or inn != live_in[block]:
+                live_out[block] = out
+                live_in[block] = inn
+                changed = True
+    return live_in, live_out
+
+
+def compute_intervals(mf: MachineFunction) -> Dict[int, Tuple[int, int]]:
+    """Live interval per vreg id over the linearized instruction list."""
+    live_in, live_out = compute_liveness(mf)
+    position: Dict[int, int] = {}
+    index = 0
+    block_range: Dict[MachineBasicBlock, Tuple[int, int]] = {}
+    for block in mf.blocks:
+        start = index
+        index += len(block.instructions)
+        block_range[block] = (start, index)
+
+    intervals: Dict[int, Tuple[int, int]] = {}
+
+    def extend(vid: int, point: int) -> None:
+        if vid in intervals:
+            lo, hi = intervals[vid]
+            intervals[vid] = (min(lo, point), max(hi, point))
+        else:
+            intervals[vid] = (point, point)
+
+    for arg in mf.arg_regs:
+        extend(arg.id, 0)
+
+    index = 0
+    for block in mf.blocks:
+        start, end = block_range[block]
+        for vid in live_in[block]:
+            extend(vid, start)
+        for vid in live_out[block]:
+            extend(vid, max(start, end - 1))
+        for instr in block.instructions:
+            for src in instr.srcs:
+                if isinstance(src, VReg):
+                    extend(src.id, index)
+            if instr.dst is not None:
+                extend(instr.dst.id, index)
+            index += 1
+    return intervals
+
+
+class RegisterAllocator:
+    """Linear scan (Poletto-Sarkar) with spill to frame slots."""
+
+    def __init__(self, mf: MachineFunction, num_regs: int = NUM_REGS):
+        self.mf = mf
+        # reserve two scratch registers for spill reloads
+        self.num_alloc = max(2, num_regs - 2)
+        self.scratch = [num_regs - 2, num_regs - 1]
+        self.assignment: Dict[int, int] = {}
+        self.spill_slot: Dict[int, int] = {}
+
+    def run(self) -> None:
+        intervals = compute_intervals(self.mf)
+        order = sorted(intervals.items(), key=lambda kv: kv[1][0])
+        active: List[Tuple[int, int]] = []  # (end, vid)
+        free = list(range(self.num_alloc))
+
+        for vid, (start, end) in order:
+            expired = [a for a in active if a[0] < start]
+            for _, expired_vid in expired:
+                free.append(self.assignment[expired_vid])
+            active = [a for a in active if a[0] >= start]
+            if free:
+                reg = free.pop(0)
+                self.assignment[vid] = reg
+                active.append((end, vid))
+                active.sort()
+            else:
+                # spill the active interval that ends last
+                active.sort()
+                last_end, last_vid = active[-1]
+                if last_end > end:
+                    # steal its register
+                    reg = self.assignment.pop(last_vid)
+                    self.assignment[vid] = reg
+                    self._spill(last_vid)
+                    active[-1] = (end, vid)
+                    active.sort()
+                else:
+                    self._spill(vid)
+
+        self._rewrite()
+
+    def _spill(self, vid: int) -> None:
+        if vid not in self.spill_slot:
+            self.spill_slot[vid] = self.mf.num_spill_slots
+            self.mf.num_spill_slots += 1
+
+    def _rewrite(self) -> None:
+        """Apply the assignment; insert reloads/stores for spilled vregs
+        through the scratch registers."""
+        locations = []
+        for arg in self.mf.arg_regs:
+            if arg.id in self.spill_slot:
+                locations.append(("spill", self.spill_slot[arg.id]))
+            elif arg.id in self.assignment:
+                locations.append(("reg", self.assignment[arg.id]))
+            else:
+                locations.append(("none",))
+        self.mf.arg_locations = locations
+        for block in self.mf.blocks:
+            new_instructions: List[MachineInstr] = []
+            for instr in block.instructions:
+                scratch_iter = iter(self.scratch)
+                # reload spilled sources
+                for i, src in enumerate(instr.srcs):
+                    if not isinstance(src, VReg):
+                        continue
+                    if src.id in self.spill_slot:
+                        phys = next(scratch_iter)
+                        slot = self.spill_slot[src.id]
+                        reload = MachineInstr(
+                            MOp.FRAME, VReg(-1, phys=phys), [],
+                            payload=("spill", slot),
+                        )
+                        load = MachineInstr(
+                            MOp.LOAD, VReg(-1, phys=phys),
+                            [VReg(-1, phys=phys)],
+                            payload=32, width=32,
+                        )
+                        new_instructions.append(reload)
+                        new_instructions.append(load)
+                        instr.srcs[i] = VReg(-1, phys=phys)
+                    else:
+                        instr.srcs[i] = self._phys(src)
+                if instr.dst is not None:
+                    if instr.dst.id in self.spill_slot:
+                        phys = self.scratch[0]
+                        slot = self.spill_slot[instr.dst.id]
+                        instr.dst = VReg(-1, phys=phys)
+                        new_instructions.append(instr)
+                        addr = MachineInstr(
+                            MOp.FRAME, VReg(-1, phys=self.scratch[1]), [],
+                            payload=("spill", slot),
+                        )
+                        store = MachineInstr(
+                            MOp.STORE, None,
+                            [VReg(-1, phys=phys),
+                             VReg(-1, phys=self.scratch[1])],
+                            payload=32,
+                        )
+                        new_instructions.append(addr)
+                        new_instructions.append(store)
+                        continue
+                    instr.dst = self._phys(instr.dst)
+                new_instructions.append(instr)
+            block.instructions = new_instructions
+        self._coalesce_trivial_copies()
+
+    def _phys(self, vreg: VReg) -> VReg:
+        if vreg.phys is not None:
+            return vreg
+        reg = self.assignment.get(vreg.id)
+        if reg is None:
+            # never materialized (e.g. an undef register with no uses in
+            # an allocated interval) — pin it to scratch 0
+            reg = self.scratch[0]
+        return VReg(vreg.id, phys=reg, undef=vreg.undef)
+
+    def _coalesce_trivial_copies(self) -> None:
+        """Delete MOV/COPY whose source and destination got the same
+        physical register."""
+        for block in self.mf.blocks:
+            block.instructions = [
+                instr for instr in block.instructions
+                if not (
+                    instr.op in (MOp.MOV, MOp.COPY)
+                    and len(instr.srcs) == 1
+                    and isinstance(instr.srcs[0], VReg)
+                    and instr.dst is not None
+                    and instr.dst.phys == instr.srcs[0].phys
+                )
+            ]
+
+
+def allocate_registers(mf: MachineFunction,
+                       num_regs: int = NUM_REGS) -> MachineFunction:
+    RegisterAllocator(mf, num_regs).run()
+    return mf

@@ -1,0 +1,268 @@
+"""SelectionDAG: the per-block graph IR between LLVM IR and MachineInstr.
+
+Mirrors LLVM's structure at small scale (Section 6, "Lowering freeze"):
+
+* LLVM IR lowers into one DAG per basic block; values live across blocks
+  become virtual-register imports/exports;
+* ``freeze`` maps directly to an SDAG ``freeze`` node;
+* *type legalization* promotes illegal integer widths to the target's
+  legal widths — including freeze nodes, which is exactly the piece the
+  paper reports having to teach the legalizer;
+* ``poison`` constants become ``undef`` SDAG nodes (at MI level they
+  will be pinned undef registers).
+
+Promotion discipline: a promoted value's high bits are *unspecified*;
+operations that observe high bits (division, shifts by it, unsigned
+comparison, stores, ...) re-normalize with explicit ``assert_zext`` /
+``assert_sext`` nodes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.basicblock import BasicBlock
+from ..ir.instructions import IcmpPred, Opcode
+from .target import LEGAL_WIDTHS, legal_width
+
+
+class SDOp(enum.Enum):
+    CONST = "const"
+    UNDEF = "undef"          # what poison becomes at SDAG level
+    VREG = "vreg"            # cross-block import
+    ARG = "arg"
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    UDIV = "udiv"
+    SDIV = "sdiv"
+    UREM = "urem"
+    SREM = "srem"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    LSHR = "lshr"
+    ASHR = "ashr"
+    FREEZE = "freeze"
+    SETCC = "setcc"          # payload = IcmpPred
+    SELECT = "select"
+    ZEXT = "zext"
+    SEXT = "sext"
+    TRUNC = "trunc"
+    ASSERT_ZEXT = "assert_zext"  # payload = original width
+    ASSERT_SEXT = "assert_sext"
+    LOAD = "load"            # payload = bit width
+    STORE = "store"
+    FRAME_ADDR = "frame"     # payload = slot id
+    GLOBAL_ADDR = "global"   # payload = name
+    ADDR_ADD = "addr_add"    # pointer arithmetic (base, scaled index)
+    CALL = "call"            # payload = callee name
+    BR = "br"
+    BRCOND = "brcond"
+    RET = "ret"
+    TRAP = "trap"
+    COPY_TO_VREG = "copy_to_vreg"  # export: payload = vreg id
+
+
+class SDNode:
+    _counter = 0
+
+    __slots__ = ("op", "operands", "width", "payload", "id")
+
+    def __init__(self, op: SDOp, operands: List["SDNode"], width: int,
+                 payload=None):
+        self.op = op
+        self.operands = list(operands)
+        self.width = width  # 0 for value-less nodes
+        self.payload = payload
+        SDNode._counter += 1
+        self.id = SDNode._counter
+
+    def __repr__(self) -> str:
+        ops = ", ".join(f"n{o.id}" for o in self.operands)
+        extra = f" [{self.payload}]" if self.payload is not None else ""
+        return f"n{self.id}={self.op.value}.i{self.width}({ops}){extra}"
+
+
+class SelectionDAG:
+    """The DAG for one basic block: a root list in execution order (side
+    effects and exports), with pure value nodes hanging off it."""
+
+    def __init__(self, block_name: str):
+        self.block_name = block_name
+        self.roots: List[SDNode] = []
+
+    def add_root(self, node: SDNode) -> None:
+        self.roots.append(node)
+
+    def all_nodes(self) -> List[SDNode]:
+        seen: Dict[int, SDNode] = {}
+        order: List[SDNode] = []
+
+        def visit(node: SDNode) -> None:
+            if node.id in seen:
+                return
+            seen[node.id] = node
+            for op in node.operands:
+                visit(op)
+            order.append(node)
+
+        for root in self.roots:
+            visit(root)
+        return order
+
+
+class Legalizer:
+    """Promote illegal integer widths to legal ones.
+
+    Returns a rewritten DAG in which every value node has a legal width.
+    ``payload`` widths on loads/stores keep the original memory width.
+    """
+
+    def __init__(self):
+        self._map: Dict[int, SDNode] = {}
+
+    def run(self, dag: SelectionDAG) -> SelectionDAG:
+        out = SelectionDAG(dag.block_name)
+        for root in dag.roots:
+            out.add_root(self._legalize(root))
+        return out
+
+    def _legalize(self, node: SDNode) -> SDNode:
+        cached = self._map.get(node.id)
+        if cached is not None:
+            return cached
+        ops = [self._legalize(o) for o in node.operands]
+        result = self._legalize_node(node, ops)
+        self._map[node.id] = result
+        return result
+
+    def _legalize_node(self, node: SDNode, ops: List[SDNode]) -> SDNode:
+        width = node.width
+        target = legal_width(width) if width else 0
+        op = node.op
+
+        if op is SDOp.CONST:
+            return SDNode(SDOp.CONST, [], target,
+                          node.payload & ((1 << target) - 1)
+                          if width else node.payload)
+        if op in (SDOp.UNDEF, SDOp.VREG, SDOp.ARG):
+            return SDNode(op, [], target, node.payload)
+
+        if op is SDOp.FREEZE:
+            # Section 6: the legalizer must handle freeze of illegal
+            # types — the frozen value is simply frozen at the promoted
+            # width (its high bits are arbitrary-but-fixed, which is
+            # exactly freeze's semantics).
+            return SDNode(SDOp.FREEZE, ops, target)
+
+        if op in (SDOp.ADD, SDOp.SUB, SDOp.MUL, SDOp.AND, SDOp.OR,
+                  SDOp.XOR):
+            # high bits may be garbage; consumers re-normalize
+            return SDNode(op, ops, target)
+        if op is SDOp.SHL:
+            # The *amount* must be normalized: a promoted amount with
+            # garbage high bits would shift by the wrong count for
+            # perfectly defined inputs.  (The value operand's high bits
+            # remain don't-care.)
+            ops = [ops[0], self._zext_in_reg(ops[1], width)]
+            return SDNode(op, ops, target)
+        if op in (SDOp.UDIV, SDOp.UREM, SDOp.LSHR):
+            ops = [self._zext_in_reg(o, width) for o in ops]
+            return SDNode(op, ops, target)
+        if op in (SDOp.SDIV, SDOp.SREM):
+            ops = [self._sext_in_reg(o, width) for o in ops]
+            return SDNode(op, ops, target)
+        if op is SDOp.ASHR:
+            # sign-extend the value, zero-extend the amount
+            ops = [self._sext_in_reg(ops[0], width),
+                   self._zext_in_reg(ops[1], width)]
+            return SDNode(op, ops, target)
+        if op is SDOp.SETCC:
+            pred: IcmpPred = node.payload
+            opnd_width = node.operands[0].width
+            if pred.is_signed:
+                ops = [self._sext_in_reg(o, opnd_width) for o in ops]
+            else:
+                ops = [self._zext_in_reg(o, opnd_width) for o in ops]
+            return SDNode(SDOp.SETCC, ops, legal_width(1), pred)
+        if op is SDOp.SELECT:
+            cond = self._zext_in_reg(ops[0], 1)
+            return SDNode(SDOp.SELECT, [cond, ops[1], ops[2]], target)
+        if op is SDOp.ZEXT:
+            src_width = node.operands[0].width
+            normalized = self._zext_in_reg(ops[0], src_width)
+            return self._resize(normalized, target)
+        if op is SDOp.SEXT:
+            src_width = node.operands[0].width
+            normalized = self._sext_in_reg(ops[0], src_width)
+            return self._resize_signed(normalized, target)
+        if op is SDOp.TRUNC:
+            # truncation is free: high bits become unspecified
+            return self._resize(ops[0], target, normalize=False)
+        if op is SDOp.LOAD:
+            return SDNode(SDOp.LOAD, ops, target, node.payload)
+        if op is SDOp.STORE:
+            value = self._zext_in_reg(ops[0], node.payload)
+            return SDNode(SDOp.STORE, [value] + ops[1:], 0, node.payload)
+        if op in (SDOp.FRAME_ADDR, SDOp.GLOBAL_ADDR):
+            return SDNode(op, ops, 32, node.payload)
+        if op is SDOp.ADDR_ADD:
+            return SDNode(op, ops, 32, node.payload)
+        if op is SDOp.BRCOND:
+            cond = self._zext_in_reg(ops[0], 1)
+            return SDNode(SDOp.BRCOND, [cond] + ops[1:], 0, node.payload)
+        if op is SDOp.CALL:
+            return SDNode(SDOp.CALL, ops, target, node.payload)
+        if op is SDOp.RET:
+            if ops:
+                # ABI: the callee returns a zero-normalized value of the
+                # declared width
+                ops = [self._zext_in_reg(ops[0], node.operands[0].width)]
+            return SDNode(op, ops, 0, node.payload)
+        if op in (SDOp.BR, SDOp.TRAP, SDOp.COPY_TO_VREG):
+            return SDNode(op, ops, node.width and target, node.payload)
+        if op in (SDOp.ASSERT_ZEXT, SDOp.ASSERT_SEXT):
+            return SDNode(op, ops, target, node.payload)
+        raise NotImplementedError(f"legalize {op}")
+
+    # -- normalization helpers ----------------------------------------------
+    def _zext_in_reg(self, node: SDNode, width: int) -> SDNode:
+        """Clear bits above ``width`` (no-op if already asserted)."""
+        if node.width == width and width in LEGAL_WIDTHS:
+            return node
+        if node.op is SDOp.ASSERT_ZEXT and node.payload <= width:
+            return node
+        if node.op is SDOp.CONST:
+            return SDNode(SDOp.CONST, [], node.width,
+                          node.payload & ((1 << width) - 1))
+        mask = SDNode(SDOp.CONST, [], node.width, (1 << width) - 1)
+        masked = SDNode(SDOp.AND, [node, mask], node.width)
+        return SDNode(SDOp.ASSERT_ZEXT, [masked], node.width, width)
+
+    def _sext_in_reg(self, node: SDNode, width: int) -> SDNode:
+        if node.width == width and width in LEGAL_WIDTHS:
+            return node
+        if node.op is SDOp.ASSERT_SEXT and node.payload <= width:
+            return node
+        shift = SDNode(SDOp.CONST, [], node.width, node.width - width)
+        left = SDNode(SDOp.SHL, [node, shift], node.width)
+        right = SDNode(SDOp.ASHR, [left, shift], node.width)
+        return SDNode(SDOp.ASSERT_SEXT, [right], node.width, width)
+
+    def _resize(self, node: SDNode, target: int,
+                normalize: bool = True) -> SDNode:
+        if node.width == target:
+            return node
+        if node.width < target:
+            return SDNode(SDOp.ZEXT, [node], target)
+        return SDNode(SDOp.TRUNC, [node], target)
+
+    def _resize_signed(self, node: SDNode, target: int) -> SDNode:
+        if node.width == target:
+            return node
+        if node.width < target:
+            return SDNode(SDOp.SEXT, [node], target)
+        return SDNode(SDOp.TRUNC, [node], target)

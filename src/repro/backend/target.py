@@ -1,0 +1,105 @@
+"""Target description for the toy x86-flavored machine.
+
+Defines the legal integer widths, the register file, a per-opcode
+latency model (used by the machine interpreter to produce the run-time
+numbers of experiment E1), and a per-instruction size model (experiment
+E4's object-code size).
+
+The latency and size numbers are x86-ish approximations — what matters
+for the reproduction is that they are *identical* for both pipelines, so
+any measured delta comes from the code the pipelines emit.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+#: integer widths with native register support
+LEGAL_WIDTHS = (8, 16, 32)
+
+#: number of allocatable general-purpose registers (x86-64 minus
+#: rsp/rbp/and a scratch)
+NUM_REGS = 12
+
+REG_NAMES = [
+    "rax", "rbx", "rcx", "rdx", "rsi", "rdi",
+    "r8", "r9", "r10", "r11", "r12", "r13",
+]
+SCRATCH_REG = "r14"
+
+
+class MOp(enum.Enum):
+    """Machine opcodes."""
+
+    MOV = "mov"        # dst, src (reg or imm)
+    COPY = "copy"      # dst, src-reg (what freeze lowers to)
+    ADD = "add"
+    SUB = "sub"
+    IMUL = "imul"
+    UDIV = "udiv"
+    SDIV = "sdiv"
+    UREM = "urem"
+    SREM = "srem"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"        # logical
+    SAR = "sar"        # arithmetic
+    MOVZX = "movzx"    # dst, src, payload=(src_width)
+    MOVSX = "movsx"
+    SETCC = "setcc"    # dst, a, b, payload=pred
+    CMOV = "cmov"      # dst, cond, a, b
+    LEA = "lea"        # dst, base, index, payload=(scale, disp)
+    LOAD = "load"      # dst, addr, payload=width
+    STORE = "store"    # value, addr, payload=width
+    FRAME = "frame"    # dst <- address of frame slot, payload=slot
+    GLOBAL = "global"  # dst <- address of global, payload=name
+    JMP = "jmp"        # payload=target block
+    JCC = "jcc"        # cond; payload=(true block, false block)
+    CALL = "call"      # dst?, payload=callee name, uses=args
+    RET = "ret"        # optional value
+    TRAP = "trap"      # reaching UB at runtime (e.g. unreachable)
+
+
+#: cycle cost per opcode (machine-interpreter time model)
+LATENCY: Dict[MOp, int] = {
+    MOp.MOV: 1, MOp.COPY: 1,
+    MOp.ADD: 1, MOp.SUB: 1, MOp.AND: 1, MOp.OR: 1, MOp.XOR: 1,
+    MOp.SHL: 1, MOp.SHR: 1, MOp.SAR: 1,
+    MOp.IMUL: 3,
+    MOp.UDIV: 20, MOp.SDIV: 22, MOp.UREM: 20, MOp.SREM: 22,
+    MOp.MOVZX: 1, MOp.MOVSX: 1,
+    MOp.SETCC: 1, MOp.CMOV: 2, MOp.LEA: 1,
+    MOp.LOAD: 4, MOp.STORE: 4, MOp.FRAME: 1, MOp.GLOBAL: 1,
+    MOp.JMP: 1, MOp.JCC: 1,
+    MOp.CALL: 5, MOp.RET: 2, MOp.TRAP: 0,
+}
+
+#: encoded size in bytes per opcode (object-size model); immediates and
+#: memory operands add bytes, handled by the asm printer
+BASE_SIZE: Dict[MOp, int] = {
+    MOp.MOV: 2, MOp.COPY: 2,
+    MOp.ADD: 2, MOp.SUB: 2, MOp.AND: 2, MOp.OR: 2, MOp.XOR: 2,
+    MOp.SHL: 3, MOp.SHR: 3, MOp.SAR: 3,
+    MOp.IMUL: 3,
+    MOp.UDIV: 3, MOp.SDIV: 3, MOp.UREM: 3, MOp.SREM: 3,
+    MOp.MOVZX: 3, MOp.MOVSX: 3,
+    MOp.SETCC: 3, MOp.CMOV: 4, MOp.LEA: 3,
+    MOp.LOAD: 3, MOp.STORE: 3, MOp.FRAME: 4, MOp.GLOBAL: 5,
+    MOp.JMP: 2, MOp.JCC: 4,
+    MOp.CALL: 5, MOp.RET: 1, MOp.TRAP: 2,
+}
+
+
+def legal_width(width: int) -> int:
+    """Smallest legal width that holds ``width`` bits."""
+    for w in LEGAL_WIDTHS:
+        if width <= w:
+            return w
+    return LEGAL_WIDTHS[-1]
+
+
+def is_legal(width: int) -> bool:
+    return width in LEGAL_WIDTHS

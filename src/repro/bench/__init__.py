@@ -1,0 +1,29 @@
+"""The Section 7 benchmark suite, harness, and renderers."""
+
+from .catalog import CATALOG, CONFIGS, CatalogEntry, check_entry, render_matrix
+from .harness import (
+    Comparison,
+    Measurement,
+    Variant,
+    baseline_variant,
+    compile_workload,
+    measure,
+    prototype_variant,
+    run_suite,
+)
+from .reporting import (
+    render_code_size,
+    render_compile_time,
+    render_figure6,
+    render_memory,
+)
+from .workloads import CHECKSUMS, SUITE, Workload, build_suite
+
+__all__ = [
+    "CATALOG", "CONFIGS", "CatalogEntry", "check_entry", "render_matrix",
+    "Comparison", "Measurement", "Variant", "baseline_variant",
+    "compile_workload", "measure", "prototype_variant", "run_suite",
+    "render_code_size", "render_compile_time", "render_figure6",
+    "render_memory",
+    "CHECKSUMS", "SUITE", "Workload", "build_suite",
+]

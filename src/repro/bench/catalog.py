@@ -1,0 +1,400 @@
+"""The Section 3 transformation catalog — input to the E6 soundness
+matrix.
+
+Each entry is a (source, target) IR pair plus, for every semantics
+configuration, the verdict the paper's analysis predicts.  The E6
+benchmark runs the refinement checker over the whole catalog and prints
+the matrix; ``tests/bench/test_catalog.py`` asserts every cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..semantics.config import (
+    NEW,
+    OLD,
+    OLD_GVN_VIEW,
+    OLD_UNSWITCH_VIEW,
+    SelectSemantics,
+    SemanticsConfig,
+)
+
+#: verdicts: True = refinement must hold, False = must fail,
+#: None = undecidable here (e.g. divergence) — only "not verified" is
+#: required.
+Expectation = Optional[bool]
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    key: str
+    paper_section: str
+    title: str
+    src: str
+    tgt: str
+    expectations: Tuple[Tuple[str, Expectation], ...]
+    #: checker knob overrides
+    max_choices: int = 32
+    fuel: int = 4000
+    undef_inputs: bool = True
+
+    def expected(self, config_name: str) -> Expectation:
+        for name, value in self.expectations:
+            if name == config_name:
+                return value
+        return None
+
+
+CONFIGS: Dict[str, SemanticsConfig] = {
+    "old": OLD,
+    "old-gvn-view": OLD_GVN_VIEW,
+    "new": NEW,
+}
+
+_MUL2_SRC = """
+define i4 @f(i4 %x) {
+entry:
+  %y = mul i4 %x, 2
+  ret i4 %y
+}
+"""
+_MUL2_TGT = """
+define i4 @f(i4 %x) {
+entry:
+  %y = add i4 %x, %x
+  ret i4 %y
+}
+"""
+
+_DIV_HOIST_SRC = """
+declare void @use(i4)
+
+define void @f(i4 %k, i1 %c) {
+entry:
+  %guard = icmp ne i4 %k, 0
+  br i1 %guard, label %pre, label %exit
+pre:
+  br label %head
+head:
+  br i1 %c, label %body, label %exit
+body:
+  %q = udiv i4 1, %k
+  call void @use(i4 %q)
+  br label %head
+exit:
+  ret void
+}
+"""
+_DIV_HOIST_TGT = _DIV_HOIST_SRC.replace(
+    "pre:\n  br label %head",
+    "pre:\n  %q = udiv i4 1, %k\n  br label %head",
+).replace("body:\n  %q = udiv i4 1, %k\n  call", "body:\n  call")
+
+_UNSWITCH_SRC = """
+declare void @foo(i4)
+
+define void @f(i1 %c, i1 %c2) {
+entry:
+  br label %head
+head:
+  br i1 %c, label %body, label %exit
+body:
+  br i1 %c2, label %t, label %e
+t:
+  call void @foo(i4 1)
+  br label %exit
+e:
+  call void @foo(i4 2)
+  br label %exit
+exit:
+  ret void
+}
+"""
+_UNSWITCH_TGT = """
+declare void @foo(i4)
+
+define void @f(i1 %c, i1 %c2) {
+entry:
+  br i1 %c2, label %head.t, label %head.e
+head.t:
+  br i1 %c, label %body.t, label %exit
+body.t:
+  call void @foo(i4 1)
+  br label %exit
+head.e:
+  br i1 %c, label %body.e, label %exit
+body.e:
+  call void @foo(i4 2)
+  br label %exit
+exit:
+  ret void
+}
+"""
+_UNSWITCH_TGT_FREEZE = _UNSWITCH_TGT.replace(
+    "entry:\n  br i1 %c2",
+    "entry:\n  %c2f = freeze i1 %c2\n  br i1 %c2f",
+)
+
+_GVN_SRC = """
+declare void @foo(i4)
+
+define void @f(i4 %x, i4 %y) {
+entry:
+  %t = add nsw i4 %x, 1
+  %cmp = icmp eq i4 %t, %y
+  br i1 %cmp, label %then, label %exit
+then:
+  %w = add nsw i4 %x, 1
+  call void @foo(i4 %w)
+  br label %exit
+exit:
+  ret void
+}
+"""
+_GVN_TGT = _GVN_SRC.replace(
+    "then:\n  %w = add nsw i4 %x, 1\n  call void @foo(i4 %w)",
+    "then:\n  call void @foo(i4 %y)",
+)
+
+_SELECT_OR_SRC = """
+define i1 @f(i1 %c, i1 %x) {
+entry:
+  %s = select i1 %c, i1 true, i1 %x
+  ret i1 %s
+}
+"""
+_SELECT_OR_TGT = """
+define i1 @f(i1 %c, i1 %x) {
+entry:
+  %s = or i1 %c, %x
+  ret i1 %s
+}
+"""
+_SELECT_OR_TGT_FREEZE = """
+define i1 @f(i1 %c, i1 %x) {
+entry:
+  %xf = freeze i1 %x
+  %s = or i1 %c, %xf
+  ret i1 %s
+}
+"""
+
+_PHI_SELECT_SRC = """
+define i4 @f(i1 %cond, i4 %a, i4 %b) {
+entry:
+  br i1 %cond, label %t, label %e
+t:
+  br label %merge
+e:
+  br label %merge
+merge:
+  %x = phi i4 [ %a, %t ], [ %b, %e ]
+  ret i4 %x
+}
+"""
+_PHI_SELECT_TGT = """
+define i4 @f(i1 %cond, i4 %a, i4 %b) {
+entry:
+  %x = select i1 %cond, i4 %a, i4 %b
+  ret i4 %x
+}
+"""
+
+_SELECT_UNDEF_SRC = """
+define i4 @f(i1 %c, i4 %x) {
+entry:
+  %v = select i1 %c, i4 %x, i4 undef
+  ret i4 %v
+}
+"""
+_SELECT_UNDEF_TGT = """
+define i4 @f(i1 %c, i4 %x) {
+entry:
+  ret i4 %x
+}
+"""
+
+_UDIV_SELECT_SRC = """
+define i4 @f(i4 %a) {
+entry:
+  %r = udiv i4 %a, 12
+  ret i4 %r
+}
+"""
+_UDIV_SELECT_TGT = """
+define i4 @f(i4 %a) {
+entry:
+  %c = icmp ult i4 %a, 12
+  %r = select i1 %c, i4 0, i4 1
+  ret i4 %r
+}
+"""
+
+CATALOG: Tuple[CatalogEntry, ...] = (
+    CatalogEntry(
+        key="mul2-to-addadd",
+        paper_section="3.1",
+        title="mul x, 2  ->  add x, x (duplicated SSA use)",
+        src=_MUL2_SRC, tgt=_MUL2_TGT,
+        expectations=(("old", False), ("old-gvn-view", False),
+                      ("new", True)),
+    ),
+    CatalogEntry(
+        key="div-hoist-guarded",
+        paper_section="3.2",
+        title="hoist 1/k above a k != 0-guarded loop",
+        src=_DIV_HOIST_SRC, tgt=_DIV_HOIST_TGT,
+        expectations=(("old", False), ("old-gvn-view", False),
+                      ("new", True)),
+        max_choices=40, fuel=2000,
+    ),
+    CatalogEntry(
+        key="loop-unswitch-plain",
+        paper_section="3.3",
+        title="loop unswitching without freeze",
+        src=_UNSWITCH_SRC, tgt=_UNSWITCH_TGT,
+        expectations=(("old", True), ("old-gvn-view", False),
+                      ("new", False)),
+        max_choices=48,
+    ),
+    CatalogEntry(
+        key="loop-unswitch-freeze",
+        paper_section="5.1",
+        title="loop unswitching with the freeze fix",
+        src=_UNSWITCH_SRC, tgt=_UNSWITCH_TGT_FREEZE,
+        expectations=(("old", True), ("old-gvn-view", True),
+                      ("new", True)),
+        max_choices=48,
+    ),
+    CatalogEntry(
+        key="gvn-equality",
+        paper_section="3.3",
+        title="GVN equality propagation into a guarded block",
+        src=_GVN_SRC, tgt=_GVN_TGT,
+        # OLD nondet-branch: unsound (poison flows to foo); branch-UB
+        # view: sound for poison but still broken by undef, so only NEW
+        # (no undef) verifies outright.
+        expectations=(("old", False), ("old-gvn-view", False),
+                      ("new", True)),
+    ),
+    CatalogEntry(
+        key="gvn-equality-no-undef",
+        paper_section="3.3",
+        title="GVN equality propagation (undef inputs excluded)",
+        src=_GVN_SRC, tgt=_GVN_TGT,
+        expectations=(("old", False), ("old-gvn-view", True),
+                      ("new", True)),
+        undef_inputs=False,
+    ),
+    CatalogEntry(
+        key="select-to-or",
+        paper_section="3.4",
+        title="select c, true, x  ->  or c, x",
+        src=_SELECT_OR_SRC, tgt=_SELECT_OR_TGT,
+        # sound only under the arithmetic (LangRef) select reading
+        expectations=(("old", True), ("old-gvn-view", False),
+                      ("new", False)),
+    ),
+    CatalogEntry(
+        key="select-to-or-freeze",
+        paper_section="6",
+        title="select c, true, x  ->  or c, freeze(x)",
+        src=_SELECT_OR_SRC, tgt=_SELECT_OR_TGT_FREEZE,
+        # sound under every reading: a poison condition is either UB in
+        # the source (covers everything) or poisons both sides, and the
+        # frozen arm cannot leak poison through the or
+        expectations=(("old", True), ("old-gvn-view", True),
+                      ("new", True)),
+    ),
+    CatalogEntry(
+        key="phi-to-select",
+        paper_section="3.4",
+        title="phi of a diamond  ->  select (SimplifyCFG)",
+        src=_PHI_SELECT_SRC, tgt=_PHI_SELECT_TGT,
+        # breaks only under the LangRef/arithmetic reading (the
+        # not-taken arm's poison leaks); under branch-on-poison-UB the
+        # source is UB on the dangerous inputs, so both UB_COND and the
+        # Figure-5 conditional reading are fine
+        expectations=(("old", False), ("old-gvn-view", True),
+                      ("new", True)),
+    ),
+    CatalogEntry(
+        key="select-to-branch",
+        paper_section="3.4",
+        title="select  ->  branch (reverse predication)",
+        src=_PHI_SELECT_TGT, tgt=_PHI_SELECT_SRC,
+        # branching is more-UB than Figure-5 select on poison conditions
+        expectations=(("old", True), ("old-gvn-view", True),
+                      ("new", False)),
+    ),
+    CatalogEntry(
+        key="select-undef-arm",
+        paper_section="3.4",
+        title="select c, x, undef  ->  x (PR31633)",
+        src=_SELECT_UNDEF_SRC, tgt=_SELECT_UNDEF_TGT,
+        # the arithmetic reading hides the bug; the conditional (UB_COND
+        # approximates branch-equivalent) readings expose poison-vs-undef
+        expectations=(("old", True), ("old-gvn-view", False),
+                      ("new", True)),
+    ),
+    CatalogEntry(
+        key="udiv-to-select",
+        paper_section="3.4",
+        title="udiv a, C  ->  select (icmp ult a, C), 0, 1",
+        src=_UDIV_SELECT_SRC, tgt=_UDIV_SELECT_TGT,
+        # invalid only when select-on-poison-cond is UB
+        expectations=(("old", True), ("old-gvn-view", False),
+                      ("new", True)),
+    ),
+)
+
+
+def check_entry(entry: CatalogEntry, config_name: str):
+    """Run the checker on one catalog cell; returns (verdict, result)."""
+    from ..ir import parse_function
+    from ..refine import CheckOptions, check_refinement
+
+    config = CONFIGS[config_name]
+    src = parse_function(entry.src)
+    tgt = parse_function(entry.tgt)
+    options = CheckOptions(
+        max_choices=entry.max_choices, fuel=entry.fuel,
+        undef_inputs=entry.undef_inputs,
+    )
+    result = check_refinement(src, tgt, config, options=options)
+    return result
+
+
+def render_matrix() -> str:
+    """The E6 soundness-matrix table."""
+    lines = [
+        "E6 — Section 3 soundness matrix "
+        "(OK = refinement verified, BUG = counterexample found)",
+        "",
+        f"  {'transformation':<44} {'§':>4} "
+        + "".join(f"{name:>14}" for name in CONFIGS),
+    ]
+    for entry in CATALOG:
+        cells = []
+        for name in CONFIGS:
+            result = check_entry(entry, name)
+            if result.ok:
+                cell = "OK"
+            elif result.failed:
+                cell = "BUG"
+            else:
+                cell = "undecided"
+            expected = entry.expected(name)
+            mark = ""
+            if expected is True and not result.ok:
+                mark = "?!"
+            if expected is False and not result.failed:
+                mark = "?!"
+            cells.append(f"{cell + mark:>14}")
+        lines.append(
+            f"  {entry.title:<44} {entry.paper_section:>4} "
+            + "".join(cells)
+        )
+    return "\n".join(lines)

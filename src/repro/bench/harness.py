@@ -1,0 +1,195 @@
+"""The measurement harness for the Section 7 experiments.
+
+Compiles every workload under two full pipelines and measures what the
+paper measured:
+
+* **baseline** — the pre-paper compiler: no bit-field freezes in the
+  frontend, OLD semantics, historical pass variants, no freeze-aware
+  codegen;
+* **prototype** — the paper's compiler: frozen bit-field stores, NEW
+  semantics, fixed passes, freeze-aware CodeGenPrepare/inliner.
+
+Per (workload, variant) we record:
+
+* compile time (wall clock over frontend + middle-end + backend),
+* peak compiler memory (tracemalloc, the ps-RSS analog),
+* IR instruction count and freeze-instruction count (E4's 0.04–0.29%),
+* object code size in model bytes (E4),
+* run time in model cycles and retired instructions (E1/Figure 6),
+* the checksum (verified against the locked-in reference).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..backend import compile_module, program_size, run_program
+from ..frontend import CodegenOptions, compile_c
+from ..ir import FreezeInst, Module, verify_module
+from ..opt import (
+    OptConfig,
+    PassManager,
+    baseline_config,
+    codegen_pipeline,
+    o2_pipeline,
+    prototype_config,
+)
+from .workloads import SUITE, Workload
+
+
+@dataclass(frozen=True)
+class Variant:
+    name: str
+    codegen_options: CodegenOptions
+    opt_config: OptConfig
+
+
+def baseline_variant() -> Variant:
+    return Variant(
+        "baseline",
+        CodegenOptions(freeze_bitfield_stores=False),
+        baseline_config(),
+    )
+
+
+def prototype_variant() -> Variant:
+    return Variant(
+        "prototype",
+        CodegenOptions(freeze_bitfield_stores=True),
+        prototype_config(),
+    )
+
+
+@dataclass
+class Measurement:
+    workload: str
+    suite: str
+    variant: str
+    compile_seconds: float
+    peak_memory_bytes: int
+    ir_instructions: int
+    freeze_instructions: int
+    code_size_bytes: int
+    cycles: int
+    instructions_retired: int
+    checksum: int
+    checksum_ok: bool
+
+    @property
+    def freeze_fraction(self) -> float:
+        if not self.ir_instructions:
+            return 0.0
+        return self.freeze_instructions / self.ir_instructions
+
+
+def compile_workload(workload: Workload, variant: Variant,
+                     measure_memory: bool = True
+                     ) -> Tuple[Module, float, int]:
+    """Compile to optimized IR; returns (module, seconds, peak bytes)."""
+    if measure_memory:
+        tracemalloc.start()
+    start = time.perf_counter()
+    module = compile_c(workload.source, variant.codegen_options,
+                       module_name=workload.name)
+    o2_pipeline(variant.opt_config).run(module)
+    codegen_pipeline(variant.opt_config).run(module)
+    seconds = time.perf_counter() - start
+    if measure_memory:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    else:
+        peak = 0
+    verify_module(module)
+    return module, seconds, peak
+
+
+def measure(workload: Workload, variant: Variant,
+            fuel: int = 50_000_000,
+            measure_memory: bool = True) -> Measurement:
+    module, seconds, peak = compile_workload(workload, variant,
+                                             measure_memory)
+    ir_count = module.num_instructions()
+    freeze_count = sum(
+        1 for fn in module.definitions()
+        for inst in fn.instructions() if isinstance(inst, FreezeInst)
+    )
+    program = compile_module(module)
+    size = program_size(program)
+    checksum, cycles, retired = run_program(program, "main", [], fuel=fuel)
+    return Measurement(
+        workload=workload.name,
+        suite=workload.suite,
+        variant=variant.name,
+        compile_seconds=seconds,
+        peak_memory_bytes=peak,
+        ir_instructions=ir_count,
+        freeze_instructions=freeze_count,
+        code_size_bytes=size,
+        cycles=cycles,
+        instructions_retired=retired,
+        checksum=checksum,
+        checksum_ok=(checksum == workload.expected),
+    )
+
+
+@dataclass
+class Comparison:
+    workload: str
+    suite: str
+    baseline: Measurement
+    prototype: Measurement
+
+    @staticmethod
+    def _delta(base: float, proto: float) -> float:
+        if base == 0:
+            return 0.0
+        return (proto - base) / base * 100.0
+
+    @property
+    def runtime_delta_pct(self) -> float:
+        """Positive = prototype is slower (the paper plots improvement,
+        we report raw delta and flip in the Figure 6 renderer)."""
+        return self._delta(self.baseline.cycles, self.prototype.cycles)
+
+    @property
+    def compile_time_delta_pct(self) -> float:
+        return self._delta(self.baseline.compile_seconds,
+                           self.prototype.compile_seconds)
+
+    @property
+    def memory_delta_pct(self) -> float:
+        return self._delta(self.baseline.peak_memory_bytes,
+                           self.prototype.peak_memory_bytes)
+
+    @property
+    def code_size_delta_pct(self) -> float:
+        return self._delta(self.baseline.code_size_bytes,
+                           self.prototype.code_size_bytes)
+
+
+def run_suite(names: Optional[List[str]] = None,
+              fuel: int = 50_000_000,
+              measure_memory: bool = True,
+              compile_repeats: int = 1) -> List[Comparison]:
+    """Measure every workload under both variants."""
+    comparisons: List[Comparison] = []
+    base_v, proto_v = baseline_variant(), prototype_variant()
+    for name, workload in SUITE.items():
+        if names is not None and name not in names:
+            continue
+        base = measure(workload, base_v, fuel, measure_memory)
+        proto = measure(workload, proto_v, fuel, measure_memory)
+        if compile_repeats > 1:
+            # take the best compile time of N runs (less timer noise)
+            for _ in range(compile_repeats - 1):
+                _, s, _ = compile_workload(workload, base_v, False)
+                base.compile_seconds = min(base.compile_seconds, s)
+                _, s, _ = compile_workload(workload, proto_v, False)
+                proto.compile_seconds = min(proto.compile_seconds, s)
+        comparisons.append(
+            Comparison(name, workload.suite, base, proto)
+        )
+    return comparisons

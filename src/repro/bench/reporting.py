@@ -1,0 +1,118 @@
+"""Renderers that print the paper's tables and figures from measurements.
+
+``render_figure6`` prints the run-time-change series of Figure 6 (CINT
+left, CFP right, positive = improved) as an ASCII bar chart plus the raw
+rows; the other renderers produce the Section 7.2 paragraphs' numbers
+(compile time, memory, code size, freeze fraction) as tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .harness import Comparison, Measurement
+
+
+def _bar(value: float, scale: float = 8.0, width: int = 24) -> str:
+    """Signed horizontal bar centered at the middle of ``width``."""
+    half = width // 2
+    units = max(-half, min(half, round(value * scale)))
+    if units >= 0:
+        return " " * half + "|" + "#" * units + " " * (half - units)
+    return " " * (half + units) + "#" * (-units) + "|" + " " * half
+
+
+def render_figure6(comparisons: Iterable[Comparison]) -> str:
+    """Figure 6: change in performance (%) per benchmark; positive =
+    performance improved under the prototype."""
+    lines = [
+        "Figure 6 — Change in performance (%), prototype vs baseline",
+        "(positive = improved, like the paper's plot)",
+        "",
+    ]
+    for suite in ("CINT", "CFP", "Stanford"):
+        rows = [c for c in comparisons if c.suite == suite]
+        if not rows:
+            continue
+        lines.append(f"  {suite}")
+        for c in rows:
+            improvement = -c.runtime_delta_pct
+            check = "" if (c.baseline.checksum_ok
+                           and c.prototype.checksum_ok) else "  CHECKSUM!"
+            lines.append(
+                f"    {c.workload:<12} {improvement:+6.2f}% "
+                f"{_bar(improvement)}{check}"
+            )
+        lines.append("")
+    vals = [-c.runtime_delta_pct for c in comparisons]
+    if vals:
+        lines.append(
+            f"  range: {min(vals):+.2f}% .. {max(vals):+.2f}%  "
+            f"(paper: about -1.6% .. +1.6%, with Queens as the outlier)"
+        )
+    return "\n".join(lines)
+
+
+def render_compile_time(comparisons: Iterable[Comparison]) -> str:
+    lines = [
+        "Compile time — prototype vs baseline",
+        f"  {'benchmark':<12} {'base (ms)':>10} {'proto (ms)':>10} "
+        f"{'delta':>8}",
+    ]
+    deltas = []
+    for c in comparisons:
+        delta = c.compile_time_delta_pct
+        deltas.append(delta)
+        lines.append(
+            f"  {c.workload:<12} {c.baseline.compile_seconds*1e3:>10.1f} "
+            f"{c.prototype.compile_seconds*1e3:>10.1f} {delta:>+7.1f}%"
+        )
+    if deltas:
+        avg = sum(deltas) / len(deltas)
+        lines.append(f"  mean delta: {avg:+.1f}%  (paper: mostly within "
+                     f"±1%, small-file outliers up to ~19%)")
+    return "\n".join(lines)
+
+
+def render_memory(comparisons: Iterable[Comparison]) -> str:
+    lines = [
+        "Peak compiler memory — prototype vs baseline",
+        f"  {'benchmark':<12} {'base (KB)':>10} {'proto (KB)':>10} "
+        f"{'delta':>8}",
+    ]
+    for c in comparisons:
+        lines.append(
+            f"  {c.workload:<12} {c.baseline.peak_memory_bytes/1024:>10.0f} "
+            f"{c.prototype.peak_memory_bytes/1024:>10.0f} "
+            f"{c.memory_delta_pct:>+7.1f}%"
+        )
+    lines.append("  (paper: unchanged for most benchmarks, max +2%)")
+    return "\n".join(lines)
+
+
+def render_code_size(comparisons: Iterable[Comparison]) -> str:
+    lines = [
+        "Object code size and freeze fraction — prototype vs baseline",
+        f"  {'benchmark':<12} {'base (B)':>9} {'proto (B)':>9} "
+        f"{'delta':>8} {'freeze/IR':>10}",
+    ]
+    for c in comparisons:
+        frac = c.prototype.freeze_fraction * 100
+        lines.append(
+            f"  {c.workload:<12} {c.baseline.code_size_bytes:>9} "
+            f"{c.prototype.code_size_bytes:>9} "
+            f"{c.code_size_delta_pct:>+7.1f}% {frac:>9.2f}%"
+        )
+    lines.append(
+        "  (paper: size within ±0.5%; freeze 0.04–0.06% of IR, 0.29% "
+        "for bit-field-heavy gcc)"
+    )
+    return "\n".join(lines)
+
+
+def render_summary_row(m: Measurement) -> str:
+    return (
+        f"{m.workload:<12} {m.variant:<10} ir={m.ir_instructions:<6} "
+        f"freeze={m.freeze_instructions:<4} size={m.code_size_bytes:<7} "
+        f"cycles={m.cycles:<10} ok={m.checksum_ok}"
+    )

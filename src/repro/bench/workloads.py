@@ -1,0 +1,705 @@
+"""The SPEC-CPU-analog MiniC workload suite.
+
+Section 7 of the paper evaluates on SPEC CPU 2006 (C/C++ INT + FP), LNT,
+and large single-file programs.  We mirror the *shape* of that suite
+with deterministic integer kernels named for the SPEC benchmark whose
+character they borrow — e.g. the ``gcc`` analog is bit-field heavy
+because the paper singles out gcc as the benchmark where bit-field
+lowering makes freeze instructions 0.29% of the IR.
+
+Every workload defines ``int main()`` returning a checksum so the
+harness can verify that both pipelines computed the same thing.
+``queens`` is the "Stanford Queens" program from the paper's run-time
+discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Workload:
+    name: str
+    suite: str  # "CINT" | "CFP" | "Stanford"
+    source: str
+    expected: int  # checksum main() must return
+
+
+_BZIP2 = """
+// run-length + move-to-front flavored bit mangling
+int buf[64];
+int out[64];
+
+int compress_block(unsigned int seed) {
+    int crc = seed;
+    for (int i = 0; i < 64; i++) {
+        buf[i] = (seed * (i + 7) + (i << 3)) & 255;
+    }
+    int run = 0;
+    int last = 0 - 1;
+    int pos = 0;
+    for (int i = 0; i < 64; i++) {
+        int v = buf[i];
+        if (v == last) {
+            run++;
+            if (run == 4) { out[pos] = 256 | run; pos++; run = 0; }
+        } else {
+            out[pos] = v; pos++;
+            last = v; run = 1;
+        }
+        crc = ((crc << 1) ^ v) & 16777215;
+    }
+    for (int i = 0; i < pos; i++) {
+        crc = (crc + out[i] * 31) & 16777215;
+    }
+    return crc;
+}
+
+int main() {
+    int acc = 0;
+    for (int round = 1; round <= 40; round++) {
+        acc = (acc + compress_block(round * 2654435761)) & 16777215;
+    }
+    return acc;
+}
+"""
+
+_GCC = """
+// bit-field heavy: instruction encodings, the paper's freeze hotspot
+struct insn {
+    unsigned int opcode : 6;
+    unsigned int dst : 5;
+    unsigned int src1 : 5;
+    unsigned int src2 : 5;
+    unsigned int flags : 4;
+    unsigned int imm : 7;
+};
+struct insn cur;
+
+struct rtl {
+    int mode : 4;
+    int code : 8;
+    int volatil : 1;
+    int in_struct : 1;
+    int used : 1;
+};
+struct rtl node;
+
+int encode(int op, int d, int a, int b, int fl, int im) {
+    cur.opcode = op;
+    cur.dst = d;
+    cur.src1 = a;
+    cur.src2 = b;
+    cur.flags = fl;
+    cur.imm = im;
+    return cur.opcode * 100000 + cur.dst * 1000 + cur.src1 * 100
+         + cur.src2 * 10 + cur.flags + cur.imm;
+}
+
+int fold_node(int mode, int code) {
+    node.mode = mode;
+    node.code = code;
+    node.volatil = code & 1;
+    node.in_struct = (code >> 1) & 1;
+    node.used = (code >> 2) & 1;
+    return node.mode * 64 + node.code + node.volatil
+         + node.in_struct * 2 + node.used * 4;
+}
+
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 300; i++) {
+        acc = (acc + encode(i & 63, i & 31, (i + 1) & 31, (i + 2) & 31,
+                            i & 15, i & 127)) & 1048575;
+        acc = (acc + fold_node(i & 7, i & 255)) & 1048575;
+    }
+    return acc;
+}
+"""
+
+_MCF = """
+// network simplex flavored: relaxation sweeps over an array graph
+int cost[128];
+int dist[128];
+
+int main() {
+    for (int i = 0; i < 128; i++) {
+        cost[i] = ((i * 2654435761) & 1023) + 1;
+        dist[i] = 1000000;
+    }
+    dist[0] = 0;
+    for (int round = 0; round < 40; round++) {
+        for (int i = 1; i < 128; i++) {
+            int via = dist[i - 1] + cost[i];
+            if (via < dist[i]) dist[i] = via;
+            int back = dist[i] + cost[i - 1];
+            if (i > 1 && back < dist[i - 1]) dist[i - 1] = back;
+        }
+    }
+    int acc = 0;
+    for (int i = 0; i < 128; i++) acc = (acc + dist[i]) & 1048575;
+    return acc;
+}
+"""
+
+_GOBMK = """
+// board scanning: liberties counting on a small Go-ish board
+int board[81];
+
+int liberties(int pos) {
+    int libs = 0;
+    int r = pos / 9;
+    int c = pos % 9;
+    if (r > 0 && board[pos - 9] == 0) libs++;
+    if (r < 8 && board[pos + 9] == 0) libs++;
+    if (c > 0 && board[pos - 1] == 0) libs++;
+    if (c < 8 && board[pos + 1] == 0) libs++;
+    return libs;
+}
+
+int main() {
+    int acc = 0;
+    for (int game = 0; game < 30; game++) {
+        for (int i = 0; i < 81; i++) {
+            board[i] = ((i * 7 + game * 13) % 3 == 0) ? 1 : 0;
+        }
+        for (int i = 0; i < 81; i++) {
+            if (board[i] != 0) acc += liberties(i);
+        }
+    }
+    return acc;
+}
+"""
+
+_HMMER = """
+// profile HMM flavored: banded dynamic programming with max()
+int row[96];
+int prev[96];
+
+int max2(int a, int b) { return a > b ? a : b; }
+
+int main() {
+    for (int j = 0; j < 96; j++) prev[j] = (j * 37) & 255;
+    int acc = 0;
+    for (int i = 1; i < 60; i++) {
+        for (int j = 1; j < 96; j++) {
+            int match = prev[j - 1] + ((i * j) & 31);
+            int del = prev[j] - 3;
+            int ins = row[j - 1] - 5;
+            row[j] = max2(match, max2(del, ins));
+        }
+        for (int j = 0; j < 96; j++) prev[j] = row[j];
+        acc = (acc + row[95]) & 1048575;
+    }
+    return acc;
+}
+"""
+
+_SJENG = """
+// alpha-beta flavored recursion over a toy evaluation
+int nodes = 0;
+
+int eval(int depth, int pos) {
+    return ((pos * 2654435761) >> 8) & 255;
+}
+
+int search(int depth, int pos, int alpha, int beta) {
+    nodes++;
+    if (depth == 0) return eval(depth, pos);
+    int best = 0 - 10000;
+    for (int move = 0; move < 4; move++) {
+        int child = pos * 5 + move + depth;
+        int score = 0 - search(depth - 1, child, 0 - beta, 0 - alpha);
+        if (score > best) best = score;
+        if (best > alpha) alpha = best;
+        if (alpha >= beta) break;
+    }
+    return best;
+}
+
+int main() {
+    int acc = 0;
+    for (int root = 0; root < 8; root++) {
+        acc = (acc + search(5, root, 0 - 10000, 10000)) & 1048575;
+    }
+    return acc + (nodes & 4095);
+}
+"""
+
+_LIBQUANTUM = """
+// quantum register simulation flavored: xor/shift over a state array
+unsigned int state[64];
+
+void toffoli(int c1, int c2, int target) {
+    for (int i = 0; i < 64; i++) {
+        unsigned int s = state[i];
+        if (((s >> c1) & 1) && ((s >> c2) & 1)) {
+            state[i] = s ^ (1 << target);
+        }
+    }
+}
+
+void sigma_x(int target) {
+    for (int i = 0; i < 64; i++) state[i] = state[i] ^ (1 << target);
+}
+
+int main() {
+    for (int i = 0; i < 64; i++) state[i] = i * 2654435761;
+    for (int round = 0; round < 25; round++) {
+        toffoli(round % 5, (round + 1) % 7, round % 11);
+        sigma_x(round % 13);
+    }
+    unsigned int acc = 0;
+    for (int i = 0; i < 64; i++) acc = acc ^ state[i];
+    return acc & 1048575;
+}
+"""
+
+_H264REF = """
+// motion estimation flavored: sum of absolute differences
+int frame0[64];
+int frame1[64];
+
+int sad_block(int offset) {
+    int sad = 0;
+    for (int i = 0; i < 16; i++) {
+        int a = frame0[(i + offset) & 63];
+        int b = frame1[i];
+        int d = a - b;
+        sad += d < 0 ? 0 - d : d;
+    }
+    return sad;
+}
+
+int main() {
+    for (int i = 0; i < 64; i++) {
+        frame0[i] = (i * 29) & 255;
+        frame1[i] = (i * 31 + 17) & 255;
+    }
+    int best = 1 << 30;
+    int best_off = 0;
+    int acc = 0;
+    for (int frame = 0; frame < 40; frame++) {
+        for (int off = 0; off < 16; off++) {
+            int s = sad_block(off + frame);
+            if (s < best) { best = s; best_off = off; }
+            acc = (acc + s) & 1048575;
+        }
+    }
+    return acc + best_off;
+}
+"""
+
+_ASTAR = """
+// grid pathfinding flavored: wavefront distance relaxation
+int grid[100];
+int dist[100];
+
+int main() {
+    for (int i = 0; i < 100; i++) {
+        grid[i] = ((i * 2654435761) & 7) == 0 ? 1 : 0;  // obstacles
+        dist[i] = 1 << 20;
+    }
+    grid[0] = 0;
+    dist[0] = 0;
+    for (int sweep = 0; sweep < 24; sweep++) {
+        for (int i = 0; i < 100; i++) {
+            if (grid[i] != 0) continue;
+            int r = i / 10; int c = i % 10;
+            int best = dist[i];
+            if (r > 0 && dist[i - 10] + 1 < best) best = dist[i - 10] + 1;
+            if (r < 9 && dist[i + 10] + 1 < best) best = dist[i + 10] + 1;
+            if (c > 0 && dist[i - 1] + 1 < best) best = dist[i - 1] + 1;
+            if (c < 9 && dist[i + 1] + 1 < best) best = dist[i + 1] + 1;
+            dist[i] = best;
+        }
+    }
+    int acc = 0;
+    for (int i = 0; i < 100; i++) {
+        acc = (acc + (dist[i] < (1 << 20) ? dist[i] : 99)) & 1048575;
+    }
+    return acc;
+}
+"""
+
+_OMNETPP = """
+// discrete event simulation flavored: ring event queue
+int queue_time[32];
+int queue_kind[32];
+
+int main() {
+    int head = 0;
+    int tail = 0;
+    int clock = 0;
+    int acc = 0;
+    queue_time[0] = 1; queue_kind[0] = 1; tail = 1;
+    int events = 0;
+    while (head != tail && events < 4000) {
+        int t = queue_time[head];
+        int kind = queue_kind[head];
+        head = (head + 1) % 32;
+        events++;
+        clock = t;
+        acc = (acc + kind * 7 + (clock & 63)) & 1048575;
+        int next = (tail + 1) % 32;
+        if (next != head) {
+            queue_time[tail] = clock + 1 + (kind * 3 + clock) % 5;
+            queue_kind[tail] = (kind * 2654435761) & 7;
+            tail = next;
+        }
+        if (kind == 3 && next != head) {
+            int n2 = (tail + 1) % 32;
+            if (n2 != head) {
+                queue_time[tail] = clock + 2;
+                queue_kind[tail] = 1;
+                tail = n2;
+            }
+        }
+    }
+    return acc + events;
+}
+"""
+
+_XALANCBMK = """
+// XML transform flavored: symbol hashing and dispatch
+int table[64];
+
+int hash_sym(int sym) {
+    unsigned int h = sym * 2654435761;
+    h = h ^ (h >> 15);
+    h = h * 2246822519;
+    h = h ^ (h >> 13);
+    return h & 63;
+}
+
+int main() {
+    int acc = 0;
+    for (int doc = 0; doc < 50; doc++) {
+        for (int i = 0; i < 64; i++) table[i] = 0;
+        for (int tok = 0; tok < 96; tok++) {
+            int sym = doc * 131 + tok * 7;
+            int slot = hash_sym(sym);
+            int probes = 0;
+            while (table[slot] != 0 && table[slot] != sym && probes < 64) {
+                slot = (slot + 1) & 63;
+                probes++;
+            }
+            table[slot] = sym;
+            acc = (acc + slot + probes) & 1048575;
+        }
+    }
+    return acc;
+}
+"""
+
+_PERLBENCH = """
+// interpreter dispatch flavored: opcode switch over a bytecode tape
+int tape[48];
+int stack[16];
+
+int run(int seed) {
+    for (int i = 0; i < 48; i++) tape[i] = (seed * (i + 3)) & 7;
+    int sp = 0;
+    int accum = seed & 255;
+    for (int pc = 0; pc < 48; pc++) {
+        int op = tape[pc];
+        if (op == 0) { accum = accum + 1; }
+        else if (op == 1) { accum = accum * 3; }
+        else if (op == 2) { if (sp < 15) { stack[sp] = accum; sp++; } }
+        else if (op == 3) { if (sp > 0) { sp--; accum = accum ^ stack[sp]; } }
+        else if (op == 4) { accum = accum >> 1; }
+        else if (op == 5) { accum = accum << 1; }
+        else if (op == 6) { accum = accum - 7; }
+        else { accum = accum ^ 85; }
+        accum = accum & 65535;
+    }
+    return accum;
+}
+
+int main() {
+    int acc = 0;
+    for (int s = 1; s <= 60; s++) acc = (acc + run(s)) & 1048575;
+    return acc;
+}
+"""
+
+_MILC = """
+// lattice QCD flavored (integer): su3-ish 3x3 updates over a lattice
+int lattice[108];  // 12 sites x 9 entries
+
+int main() {
+    for (int i = 0; i < 108; i++) lattice[i] = (i * 37 + 11) & 255;
+    int acc = 0;
+    for (int sweep = 0; sweep < 25; sweep++) {
+        for (int site = 0; site < 12; site++) {
+            int base = site * 9;
+            for (int r = 0; r < 3; r++) {
+                for (int c = 0; c < 3; c++) {
+                    int sum = 0;
+                    for (int k = 0; k < 3; k++) {
+                        sum += lattice[base + r * 3 + k]
+                             * lattice[((site + 1) % 12) * 9 + k * 3 + c];
+                    }
+                    lattice[base + r * 3 + c] = (sum >> 4) & 255;
+                }
+            }
+        }
+        acc = (acc + lattice[sweep % 108]) & 1048575;
+    }
+    return acc;
+}
+"""
+
+_NAMD = """
+// molecular dynamics flavored (fixed point): pairwise force loops
+int px[24]; int py[24];
+int fx[24]; int fy[24];
+
+int main() {
+    for (int i = 0; i < 24; i++) {
+        px[i] = (i * 97) & 1023;
+        py[i] = (i * 57 + 31) & 1023;
+    }
+    int acc = 0;
+    for (int step = 0; step < 30; step++) {
+        for (int i = 0; i < 24; i++) { fx[i] = 0; fy[i] = 0; }
+        for (int i = 0; i < 24; i++) {
+            for (int j = i + 1; j < 24; j++) {
+                int dx = px[i] - px[j];
+                int dy = py[i] - py[j];
+                int r2 = dx * dx + dy * dy + 1;
+                int f = 65536 / r2;
+                fx[i] += f * dx / 64; fy[i] += f * dy / 64;
+                fx[j] -= f * dx / 64; fy[j] -= f * dy / 64;
+            }
+        }
+        for (int i = 0; i < 24; i++) {
+            px[i] = (px[i] + fx[i] / 16) & 1023;
+            py[i] = (py[i] + fy[i] / 16) & 1023;
+        }
+        acc = (acc + px[step % 24] + py[(step * 7) % 24]) & 1048575;
+    }
+    return acc;
+}
+"""
+
+_LBM = """
+// lattice Boltzmann flavored: 1-D stencil streaming
+int cells[130];
+int next[130];
+
+int main() {
+    for (int i = 0; i < 130; i++) cells[i] = ((i * 2654435761) >> 7) & 511;
+    int acc = 0;
+    for (int t = 0; t < 60; t++) {
+        for (int i = 1; i < 129; i++) {
+            int flow = (cells[i - 1] + 2 * cells[i] + cells[i + 1]) / 4;
+            int relaxed = cells[i] + (flow - cells[i]) / 2;
+            next[i] = relaxed & 511;
+        }
+        next[0] = next[1];
+        next[129] = next[128];
+        for (int i = 0; i < 130; i++) cells[i] = next[i];
+        acc = (acc + cells[(t * 13) % 130]) & 1048575;
+    }
+    return acc;
+}
+"""
+
+_SPHINX3 = """
+// speech decoding flavored: Gaussian scoring inner products
+int feat[32];
+int mean[32];
+int var_inv[32];
+
+int score_frame(unsigned int seed) {
+    for (int i = 0; i < 32; i++) {
+        feat[i] = (seed * (i + 1)) & 255;
+    }
+    int score = 0;
+    for (int i = 0; i < 32; i++) {
+        int d = feat[i] - mean[i];
+        score += d * d * var_inv[i] / 256;
+    }
+    return score;
+}
+
+int main() {
+    for (int i = 0; i < 32; i++) {
+        mean[i] = (i * 11 + 3) & 255;
+        var_inv[i] = (i & 7) + 1;
+    }
+    int acc = 0;
+    int best = 1 << 30;
+    for (int frame = 0; frame < 120; frame++) {
+        int s = score_frame(frame * 2654435761);
+        if (s < best) best = s;
+        acc = (acc + s) & 1048575;
+    }
+    return acc + (best & 255);
+}
+"""
+
+_DEALII = """
+// finite element flavored: small dense matrix-vector products
+int mat[64];
+int vec[8];
+int out[8];
+
+int main() {
+    for (int i = 0; i < 64; i++) mat[i] = ((i * 2654435761) >> 9) & 127;
+    for (int i = 0; i < 8; i++) vec[i] = i + 1;
+    int acc = 0;
+    for (int iter = 0; iter < 120; iter++) {
+        for (int r = 0; r < 8; r++) {
+            int sum = 0;
+            for (int c = 0; c < 8; c++) sum += mat[r * 8 + c] * vec[c];
+            out[r] = sum & 65535;
+        }
+        for (int i = 0; i < 8; i++) vec[i] = (out[i] >> 3) + 1;
+        acc = (acc + out[iter % 8]) & 1048575;
+    }
+    return acc;
+}
+"""
+
+_SOPLEX = """
+// simplex flavored: ratio-test pivot search over a tableau column
+int column[96];
+int rhs[96];
+
+int main() {
+    int acc = 0;
+    for (int pivot = 0; pivot < 60; pivot++) {
+        for (int i = 0; i < 96; i++) {
+            column[i] = (((i + pivot) * 2654435761) >> 6) & 63;
+            rhs[i] = (((i + pivot) * 40503) >> 4) & 1023;
+        }
+        int best = 1 << 30;
+        int best_row = 0 - 1;
+        for (int i = 0; i < 96; i++) {
+            if (column[i] > 0) {
+                int ratio = rhs[i] * 64 / column[i];
+                if (ratio < best) { best = ratio; best_row = i; }
+            }
+        }
+        acc = (acc + best + best_row) & 1048575;
+    }
+    return acc;
+}
+"""
+
+_POVRAY = """
+// ray marching flavored (fixed point): sphere distance stepping
+int march(int ox, int oy, int dx, int dy) {
+    int x = ox; int y = oy;
+    int steps = 0;
+    while (steps < 40) {
+        int cx = x - 512; int cy = y - 512;
+        int d2 = cx / 8 * (cx / 8) + cy / 8 * (cy / 8);
+        int dist = d2 / 64 - 60;
+        if (dist < 2) return steps;
+        x += dx * dist / 128;
+        y += dy * dist / 128;
+        if (x < 0 || x > 4096 || y < 0 || y > 4096) return 40;
+        steps++;
+    }
+    return steps;
+}
+
+int main() {
+    int acc = 0;
+    for (int py = 0; py < 12; py++) {
+        for (int px = 0; px < 12; px++) {
+            acc = (acc + march(px * 340, py * 340, 64 - px * 9,
+                               64 - py * 9)) & 1048575;
+        }
+    }
+    return acc;
+}
+"""
+
+_QUEENS = """
+// the Stanford Queens program from the paper's run-time discussion
+int rows[8];
+int diag1[15];
+int diag2[15];
+int count = 0;
+
+void place(int col) {
+    if (col == 8) { count++; return; }
+    for (int r = 0; r < 8; r++) {
+        if (rows[r] == 0 && diag1[r + col] == 0 && diag2[r - col + 7] == 0) {
+            rows[r] = 1; diag1[r + col] = 1; diag2[r - col + 7] = 1;
+            place(col + 1);
+            rows[r] = 0; diag1[r + col] = 0; diag2[r - col + 7] = 0;
+        }
+    }
+}
+
+int main() {
+    place(0);
+    return count;
+}
+"""
+
+
+#: reference checksums, computed once with the unoptimized pipeline and
+#: locked in: every (pipeline, backend) combination must reproduce them.
+CHECKSUMS = {
+    "bzip2": 1924368,
+    "gcc": 145968,
+    "mcf": 44288,
+    "gobmk": 1440,
+    "hmmer": 49932,
+    "sjeng": 1051517,
+    "libquantum": 944532,
+    "h264ref": 866984,
+    "astar": 1987,
+    "omnetpp": 157904,
+    "xalancbmk": 266832,
+    "perlbench": 44813,
+    "milc": 3570,
+    "namd": 25610,
+    "lbm": 15073,
+    "sphinx3": 734618,
+    "dealII": 485698,
+    "soplex": 4650,
+    "povray": 5486,
+    "queens": 92,
+}
+
+
+def build_suite() -> Dict[str, Workload]:
+    """All workloads, with their locked-in reference checksums."""
+    raw = [
+        ("bzip2", "CINT", _BZIP2),
+        ("gcc", "CINT", _GCC),
+        ("mcf", "CINT", _MCF),
+        ("gobmk", "CINT", _GOBMK),
+        ("hmmer", "CINT", _HMMER),
+        ("sjeng", "CINT", _SJENG),
+        ("libquantum", "CINT", _LIBQUANTUM),
+        ("h264ref", "CINT", _H264REF),
+        ("astar", "CINT", _ASTAR),
+        ("omnetpp", "CINT", _OMNETPP),
+        ("xalancbmk", "CINT", _XALANCBMK),
+        ("perlbench", "CINT", _PERLBENCH),
+        ("milc", "CFP", _MILC),
+        ("namd", "CFP", _NAMD),
+        ("lbm", "CFP", _LBM),
+        ("sphinx3", "CFP", _SPHINX3),
+        ("dealII", "CFP", _DEALII),
+        ("soplex", "CFP", _SOPLEX),
+        ("povray", "CFP", _POVRAY),
+        ("queens", "Stanford", _QUEENS),
+    ]
+    return {
+        name: Workload(name, suite, source, expected=CHECKSUMS[name])
+        for name, suite, source in raw
+    }
+
+
+SUITE = build_suite()

@@ -1,0 +1,12 @@
+"""MiniC: the small C frontend (bit-fields included)."""
+
+from .cast import CType, Program, StructType
+from .codegen import CodegenOptions, compile_c, layout_struct
+from .lexer import CompileError, tokenize
+from .parser import parse_c
+
+__all__ = [
+    "CType", "Program", "StructType",
+    "CodegenOptions", "compile_c", "layout_struct",
+    "CompileError", "tokenize", "parse_c",
+]

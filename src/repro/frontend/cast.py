@@ -1,0 +1,206 @@
+"""AST for MiniC.
+
+(Module named ``cast`` — *C AST* — to avoid clashing with the stdlib
+``ast``.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# -- types -------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CType:
+    """Scalar C type: width in bits plus signedness."""
+
+    width: int
+    signed: bool
+
+    @property
+    def name(self) -> str:
+        base = {8: "char", 16: "short", 32: "int"}[self.width]
+        return base if self.signed else f"unsigned {base}"
+
+
+INT = CType(32, True)
+UINT = CType(32, False)
+SHORT = CType(16, True)
+CHAR = CType(8, True)
+BOOL_T = INT  # C comparisons produce int
+
+
+@dataclass(frozen=True)
+class StructType:
+    name: str
+    #: (field name, declared type, bit width or None for plain fields)
+    fields: Tuple[Tuple[str, CType, Optional[int]], ...]
+
+
+@dataclass(frozen=True)
+class ArrayType:
+    elem: CType
+    count: int
+
+
+@dataclass(frozen=True)
+class PointerType:
+    pointee: Union[CType, StructType]
+
+
+# -- expressions ------------------------------------------------------------------
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class NumberExpr(Expr):
+    value: int = 0
+
+
+@dataclass
+class NameExpr(Expr):
+    name: str = ""
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class BinaryExpr(Expr):
+    op: str = ""
+    lhs: Optional[Expr] = None
+    rhs: Optional[Expr] = None
+
+
+@dataclass
+class AssignExpr(Expr):
+    target: Optional[Expr] = None      # NameExpr / IndexExpr / FieldExpr
+    value: Optional[Expr] = None
+    op: str = "="                      # "=", "+=", ...
+    postfix: bool = False              # i++ / i--: yields the old value
+
+
+@dataclass
+class IndexExpr(Expr):
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class FieldExpr(Expr):
+    base: Optional[Expr] = None
+    field: str = ""
+
+
+@dataclass
+class CallExpr(Expr):
+    callee: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class TernaryExpr(Expr):
+    cond: Optional[Expr] = None
+    then: Optional[Expr] = None
+    otherwise: Optional[Expr] = None
+
+
+# -- statements ----------------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class DeclStmt(Stmt):
+    type: Union[CType, StructType, ArrayType, None] = None
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Optional[Expr] = None
+    then: Optional["BlockStmt"] = None
+    otherwise: Optional["BlockStmt"] = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional["BlockStmt"] = None
+    is_do_while: bool = False
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Optional["BlockStmt"] = None
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class BlockStmt(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+# -- top level -----------------------------------------------------------------------
+
+@dataclass
+class Param:
+    type: CType = INT
+    name: str = ""
+
+
+@dataclass
+class FunctionDecl:
+    name: str = ""
+    return_type: Optional[CType] = None   # None = void
+    params: List[Param] = field(default_factory=list)
+    body: Optional[BlockStmt] = None      # None = extern declaration
+    line: int = 0
+
+
+@dataclass
+class GlobalDecl:
+    type: Union[CType, StructType, ArrayType, None] = None
+    name: str = ""
+    init: Optional[int] = None
+    line: int = 0
+
+
+@dataclass
+class Program:
+    structs: List[StructType] = field(default_factory=list)
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FunctionDecl] = field(default_factory=list)

@@ -1,0 +1,690 @@
+"""MiniC code generation to the LLVM-like IR.
+
+Clang-style lowering: every local lives in an ``alloca`` and mem2reg
+promotes the scalars later.  Signed arithmetic gets ``nsw`` (C's signed
+overflow is UB); unsigned arithmetic wraps.
+
+Bit-field stores are the paper's Section 5.3: a store must
+read-modify-write the storage unit, and under the NEW semantics the
+*initial* load of an uninitialized unit is poison, so the loaded word is
+frozen before masking.  ``CodegenOptions.freeze_bitfield_stores`` is the
+paper's one-line Clang change; turning it off reproduces the unsound
+pre-paper lowering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..ir import (
+    Function,
+    FunctionType,
+    IRBuilder,
+    IcmpPred,
+    IntType,
+    Module,
+    PointerType,
+    VectorType,
+)
+from ..ir.values import ConstantInt, Value
+from .cast import (
+    ArrayType,
+    AssignExpr,
+    BinaryExpr,
+    BlockStmt,
+    BreakStmt,
+    CallExpr,
+    ContinueStmt,
+    CType,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    FieldExpr,
+    ForStmt,
+    FunctionDecl,
+    IfStmt,
+    IndexExpr,
+    NameExpr,
+    NumberExpr,
+    Program,
+    ReturnStmt,
+    StructType,
+    TernaryExpr,
+    UnaryExpr,
+    WhileStmt,
+)
+from .lexer import CompileError
+from .parser import parse_c
+
+I32 = IntType(32)
+I1 = IntType(1)
+
+
+@dataclass
+class CodegenOptions:
+    #: Section 5.3: freeze the loaded storage unit when storing a
+    #: bit-field (the paper's one-line Clang change).
+    freeze_bitfield_stores: bool = True
+    #: emit nsw on signed arithmetic (C UB on signed overflow)
+    nsw_signed_arith: bool = True
+
+
+@dataclass(frozen=True)
+class FieldLayout:
+    byte_offset: int
+    bit_offset: int      # within the storage unit (0 for plain fields)
+    bits: int            # field width in bits
+    storage_bits: int    # width of the storage unit
+    ctype: CType
+
+    @property
+    def is_bitfield(self) -> bool:
+        return self.bits != self.storage_bits or self.bit_offset != 0
+
+
+def layout_struct(struct: StructType) -> Tuple[Dict[str, FieldLayout], int]:
+    """Pack fields; consecutive bit-fields share a storage unit of the
+    declared type's width (a simplified but realistic ABI)."""
+    fields: Dict[str, FieldLayout] = {}
+    byte = 0
+    bit_cursor: Optional[Tuple[int, int, int]] = None  # (byte, used, width)
+    for name, ctype, bits in struct.fields:
+        if bits is None:
+            bit_cursor = None
+            size = ctype.width // 8
+            byte = (byte + size - 1) // size * size  # align
+            fields[name] = FieldLayout(byte, 0, ctype.width, ctype.width,
+                                       ctype)
+            byte += size
+            continue
+        unit = ctype.width
+        if bit_cursor is not None:
+            unit_byte, used, unit_width = bit_cursor
+            if unit_width == unit and used + bits <= unit:
+                fields[name] = FieldLayout(unit_byte, used, bits, unit,
+                                           ctype)
+                bit_cursor = (unit_byte, used + bits, unit)
+                continue
+        size = unit // 8
+        byte = (byte + size - 1) // size * size
+        fields[name] = FieldLayout(byte, 0, bits, unit, ctype)
+        bit_cursor = (byte, bits, unit)
+        byte += size
+    return fields, max(1, byte)
+
+
+@dataclass
+class TypedValue:
+    value: Value
+    ctype: CType
+
+
+class LValue:
+    """An addressable location: pointer + (optional) bit-field info."""
+
+    def __init__(self, pointer: Value, ctype: CType,
+                 layout: Optional[FieldLayout] = None):
+        self.pointer = pointer
+        self.ctype = ctype
+        self.layout = layout
+
+
+class FunctionCodegen:
+    def __init__(self, unit: "Codegen", decl: FunctionDecl):
+        self.unit = unit
+        self.decl = decl
+        self.options = unit.options
+        self.module = unit.module
+        self.locals: Dict[str, LValue] = {}
+        self.local_types: Dict[str, Union[CType, StructType, ArrayType]] = {}
+        self.loop_stack: List[Tuple] = []  # (break block, continue block)
+
+        ret = I32 if decl.return_type else self.module_void()
+        params = tuple(IntType(p.type.width) for p in decl.params)
+        ret_ty = IntType(decl.return_type.width) if decl.return_type \
+            else self.module_void()
+        self.fn = Function(
+            FunctionType(ret_ty, params), decl.name, module=self.module,
+            arg_names=[p.name for p in decl.params],
+        )
+
+    @staticmethod
+    def module_void():
+        from ..ir.types import VOID
+
+        return VOID
+
+    # -- entry ------------------------------------------------------------------
+    def run(self) -> Function:
+        entry = self.fn.add_block("entry")
+        self.b = IRBuilder(entry)
+        # clang-style: parameters spill into allocas
+        for arg, param in zip(self.fn.args, self.decl.params):
+            slot = self.b.alloca(arg.type, name=param.name + ".addr")
+            self.b.store(arg, slot)
+            self.locals[param.name] = LValue(slot, param.type)
+        self.gen_block(self.decl.body)
+        current = self.b.block
+        if current.terminator is None:
+            if self.decl.return_type is None:
+                self.b.ret()
+            else:
+                self.b.ret(ConstantInt(
+                    IntType(self.decl.return_type.width), 0))
+        self._remove_empty_unterminated_blocks()
+        self.fn.rename_values()
+        return self.fn
+
+    def _remove_empty_unterminated_blocks(self) -> None:
+        # blocks created for dead paths (e.g. after return) stay empty
+        for block in list(self.fn.blocks):
+            if block.terminator is None:
+                if block.instructions or block.predecessors():
+                    self.b.set_insert_point(block)
+                    self.b.unreachable()
+                else:
+                    self.fn.remove_block(block)
+
+    # -- statements ----------------------------------------------------------------
+    def gen_block(self, block: BlockStmt) -> None:
+        for stmt in block.statements:
+            self.gen_statement(stmt)
+
+    def gen_statement(self, stmt) -> None:
+        if self.b.block.terminator is not None:
+            return  # unreachable code after return/break
+        if isinstance(stmt, BlockStmt):
+            self.gen_block(stmt)
+        elif isinstance(stmt, DeclStmt):
+            self.gen_decl(stmt)
+        elif isinstance(stmt, ExprStmt):
+            self.gen_expression(stmt.expr)
+        elif isinstance(stmt, IfStmt):
+            self.gen_if(stmt)
+        elif isinstance(stmt, WhileStmt):
+            self.gen_while(stmt)
+        elif isinstance(stmt, ForStmt):
+            self.gen_for(stmt)
+        elif isinstance(stmt, ReturnStmt):
+            self.gen_return(stmt)
+        elif isinstance(stmt, BreakStmt):
+            if not self.loop_stack:
+                raise CompileError("break outside a loop", stmt.line)
+            self.b.br(self.loop_stack[-1][0])
+        elif isinstance(stmt, ContinueStmt):
+            if not self.loop_stack:
+                raise CompileError("continue outside a loop", stmt.line)
+            self.b.br(self.loop_stack[-1][1])
+        else:
+            raise CompileError(f"cannot generate {type(stmt).__name__}",
+                               stmt.line)
+
+    def gen_decl(self, stmt: DeclStmt) -> None:
+        name = stmt.name
+        if isinstance(stmt.type, CType):
+            slot = self.b.alloca(IntType(stmt.type.width), name=name)
+            self.locals[name] = LValue(slot, stmt.type)
+            self.local_types[name] = stmt.type
+            if stmt.init is not None:
+                value = self.gen_expression(stmt.init)
+                self._store_scalar(self.locals[name], value)
+        elif isinstance(stmt.type, ArrayType):
+            elem = IntType(stmt.type.elem.width)
+            slot = self.b.alloca(VectorType(stmt.type.count, elem),
+                                 name=name)
+            self.locals[name] = LValue(slot, stmt.type.elem)
+            self.local_types[name] = stmt.type
+        elif isinstance(stmt.type, StructType):
+            _, size = layout_struct(stmt.type)
+            slot = self.b.alloca(IntType(size * 8), name=name)
+            self.locals[name] = LValue(slot, CType(size * 8, False))
+            self.local_types[name] = stmt.type
+        else:
+            raise CompileError("bad declaration type", stmt.line)
+
+    def gen_if(self, stmt: IfStmt) -> None:
+        cond = self.gen_condition(stmt.cond)
+        then_block = self.fn.add_block("if.then")
+        end_block = self.fn.add_block("if.end")
+        else_block = self.fn.add_block("if.else") if stmt.otherwise \
+            else end_block
+        self.b.cond_br(cond, then_block, else_block)
+        self.b.set_insert_point(then_block)
+        self.gen_block(stmt.then)
+        if self.b.block.terminator is None:
+            self.b.br(end_block)
+        if stmt.otherwise is not None:
+            self.b.set_insert_point(else_block)
+            self.gen_block(stmt.otherwise)
+            if self.b.block.terminator is None:
+                self.b.br(end_block)
+        self.b.set_insert_point(end_block)
+
+    def gen_while(self, stmt: WhileStmt) -> None:
+        head = self.fn.add_block("while.head")
+        body = self.fn.add_block("while.body")
+        end = self.fn.add_block("while.end")
+        self.b.br(body if stmt.is_do_while else head)
+        self.b.set_insert_point(head)
+        cond = self.gen_condition(stmt.cond)
+        self.b.cond_br(cond, body, end)
+        self.b.set_insert_point(body)
+        self.loop_stack.append((end, head))
+        self.gen_block(stmt.body)
+        self.loop_stack.pop()
+        if self.b.block.terminator is None:
+            self.b.br(head)
+        self.b.set_insert_point(end)
+
+    def gen_for(self, stmt: ForStmt) -> None:
+        if stmt.init is not None:
+            self.gen_statement(stmt.init)
+        head = self.fn.add_block("for.head")
+        body = self.fn.add_block("for.body")
+        step = self.fn.add_block("for.step")
+        end = self.fn.add_block("for.end")
+        self.b.br(head)
+        self.b.set_insert_point(head)
+        if stmt.cond is not None:
+            cond = self.gen_condition(stmt.cond)
+            self.b.cond_br(cond, body, end)
+        else:
+            self.b.br(body)
+        self.b.set_insert_point(body)
+        self.loop_stack.append((end, step))
+        self.gen_block(stmt.body)
+        self.loop_stack.pop()
+        if self.b.block.terminator is None:
+            self.b.br(step)
+        self.b.set_insert_point(step)
+        if stmt.step is not None:
+            self.gen_expression(stmt.step)
+        self.b.br(head)
+        self.b.set_insert_point(end)
+
+    def gen_return(self, stmt: ReturnStmt) -> None:
+        if self.decl.return_type is None:
+            self.b.ret()
+            return
+        value = self.gen_expression(stmt.value) if stmt.value is not None \
+            else TypedValue(ConstantInt(I32, 0), CType(32, True))
+        converted = self._convert(value, self.decl.return_type)
+        self.b.ret(converted)
+
+    # -- expressions ---------------------------------------------------------------
+    def gen_condition(self, expr: Expr) -> Value:
+        tv = self.gen_expression(expr)
+        zero = ConstantInt(IntType(tv.ctype.width), 0)
+        return self.b.icmp_ne(tv.value, zero)
+
+    def gen_expression(self, expr: Expr) -> TypedValue:
+        if isinstance(expr, NumberExpr):
+            # C rule (simplified): a constant that does not fit in int is
+            # unsigned — keeps arithmetic on large magic constants free
+            # of signed-overflow UB.
+            signed = expr.value <= 0x7FFFFFFF
+            return TypedValue(ConstantInt(I32, expr.value),
+                              CType(32, signed))
+        if isinstance(expr, NameExpr):
+            lvalue = self._lookup(expr)
+            return self._load_scalar(lvalue)
+        if isinstance(expr, (IndexExpr, FieldExpr)):
+            return self._load_scalar(self.gen_lvalue(expr))
+        if isinstance(expr, UnaryExpr):
+            return self.gen_unary(expr)
+        if isinstance(expr, BinaryExpr):
+            return self.gen_binary(expr)
+        if isinstance(expr, AssignExpr):
+            return self.gen_assign(expr)
+        if isinstance(expr, CallExpr):
+            return self.gen_call(expr)
+        if isinstance(expr, TernaryExpr):
+            return self.gen_ternary(expr)
+        raise CompileError(f"cannot generate {type(expr).__name__}",
+                           expr.line)
+
+    def gen_unary(self, expr: UnaryExpr) -> TypedValue:
+        if expr.op == "!":
+            cond = self.gen_condition(expr.operand)
+            inverted = self.b.xor(cond, ConstantInt(I1, 1))
+            return TypedValue(self.b.zext(inverted, I32), CType(32, True))
+        operand = self._promote(self.gen_expression(expr.operand))
+        if expr.op == "-":
+            zero = ConstantInt(I32, 0)
+            nsw = self.options.nsw_signed_arith and operand.ctype.signed
+            return TypedValue(self.b.sub(zero, operand.value, nsw=nsw),
+                              operand.ctype)
+        if expr.op == "~":
+            return TypedValue(self.b.not_(operand.value), operand.ctype)
+        raise CompileError(f"unary {expr.op!r}", expr.line)
+
+    def gen_binary(self, expr: BinaryExpr) -> TypedValue:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self.gen_short_circuit(expr)
+        lhs = self._promote(self.gen_expression(expr.lhs))
+        rhs = self._promote(self.gen_expression(expr.rhs))
+        signed = lhs.ctype.signed and rhs.ctype.signed
+        result_type = CType(32, signed)
+        nsw = signed and self.options.nsw_signed_arith
+        b = self.b
+        a, c = lhs.value, rhs.value
+        if op == "+":
+            return TypedValue(b.add(a, c, nsw=nsw), result_type)
+        if op == "-":
+            return TypedValue(b.sub(a, c, nsw=nsw), result_type)
+        if op == "*":
+            return TypedValue(b.mul(a, c, nsw=nsw), result_type)
+        if op == "/":
+            return TypedValue(b.sdiv(a, c) if signed else b.udiv(a, c),
+                              result_type)
+        if op == "%":
+            return TypedValue(b.srem(a, c) if signed else b.urem(a, c),
+                              result_type)
+        if op == "&":
+            return TypedValue(b.and_(a, c), result_type)
+        if op == "|":
+            return TypedValue(b.or_(a, c), result_type)
+        if op == "^":
+            return TypedValue(b.xor(a, c), result_type)
+        if op == "<<":
+            return TypedValue(b.shl(a, c, nsw=nsw), result_type)
+        if op == ">>":
+            shifted = b.ashr(a, c) if lhs.ctype.signed else b.lshr(a, c)
+            return TypedValue(shifted, CType(32, lhs.ctype.signed))
+        preds = {
+            "==": IcmpPred.EQ, "!=": IcmpPred.NE,
+            "<": IcmpPred.SLT if signed else IcmpPred.ULT,
+            "<=": IcmpPred.SLE if signed else IcmpPred.ULE,
+            ">": IcmpPred.SGT if signed else IcmpPred.UGT,
+            ">=": IcmpPred.SGE if signed else IcmpPred.UGE,
+        }
+        if op in preds:
+            cmp = b.icmp(preds[op], a, c)
+            return TypedValue(b.zext(cmp, I32), CType(32, True))
+        raise CompileError(f"binary {op!r}", expr.line)
+
+    def gen_short_circuit(self, expr: BinaryExpr) -> TypedValue:
+        is_and = expr.op == "&&"
+        rhs_block = self.fn.add_block("sc.rhs")
+        end_block = self.fn.add_block("sc.end")
+        lhs_cond = self.gen_condition(expr.lhs)
+        lhs_exit = self.b.block
+        if is_and:
+            self.b.cond_br(lhs_cond, rhs_block, end_block)
+        else:
+            self.b.cond_br(lhs_cond, end_block, rhs_block)
+        self.b.set_insert_point(rhs_block)
+        rhs_cond = self.gen_condition(expr.rhs)
+        rhs_exit = self.b.block
+        self.b.br(end_block)
+        self.b.set_insert_point(end_block)
+        phi = self.b.phi(I1)
+        phi.add_incoming(ConstantInt(I1, 0 if is_and else 1), lhs_exit)
+        phi.add_incoming(rhs_cond, rhs_exit)
+        return TypedValue(self.b.zext(phi, I32), CType(32, True))
+
+    def gen_ternary(self, expr: TernaryExpr) -> TypedValue:
+        cond = self.gen_condition(expr.cond)
+        then_block = self.fn.add_block("sel.then")
+        else_block = self.fn.add_block("sel.else")
+        end_block = self.fn.add_block("sel.end")
+        self.b.cond_br(cond, then_block, else_block)
+        self.b.set_insert_point(then_block)
+        then_value = self._promote(self.gen_expression(expr.then))
+        then_exit = self.b.block
+        self.b.br(end_block)
+        self.b.set_insert_point(else_block)
+        else_value = self._promote(self.gen_expression(expr.otherwise))
+        else_exit = self.b.block
+        self.b.br(end_block)
+        self.b.set_insert_point(end_block)
+        phi = self.b.phi(I32)
+        phi.add_incoming(then_value.value, then_exit)
+        phi.add_incoming(else_value.value, else_exit)
+        signed = then_value.ctype.signed and else_value.ctype.signed
+        return TypedValue(phi, CType(32, signed))
+
+    def gen_call(self, expr: CallExpr) -> TypedValue:
+        callee = self.module.get_function(expr.callee)
+        if callee is None:
+            raise CompileError(f"unknown function {expr.callee!r}",
+                               expr.line)
+        decl = self.unit.function_decls.get(expr.callee)
+        args: List[Value] = []
+        for i, arg_expr in enumerate(expr.args):
+            tv = self.gen_expression(arg_expr)
+            if decl is not None and i < len(decl.params):
+                args.append(self._convert(tv, decl.params[i].type))
+            else:
+                args.append(self._promote(tv).value)
+        result = self.b.call(callee, args)
+        if decl is not None and decl.return_type is not None:
+            return TypedValue(result, decl.return_type)
+        if callee.return_type.is_void:
+            return TypedValue(ConstantInt(I32, 0), CType(32, True))
+        return TypedValue(result, CType(callee.return_type.bits, True))
+
+    def gen_assign(self, expr: AssignExpr) -> TypedValue:
+        lvalue = self.gen_lvalue(expr.target)
+        old: Optional[TypedValue] = None
+        if expr.op == "=":
+            value = self.gen_expression(expr.value)
+        else:
+            old = self._load_scalar(lvalue)
+            current = self._promote(old)
+            rhs = self._promote(self.gen_expression(expr.value))
+            value = self._apply_binop(expr.op[:-1], current, rhs, expr.line)
+        self._store_scalar(lvalue, value)
+        if expr.postfix and old is not None:
+            return old  # i++ evaluates to the pre-increment value
+        return self._load_scalar(lvalue)
+
+    def _apply_binop(self, op: str, lhs: TypedValue, rhs: TypedValue,
+                     line: int) -> TypedValue:
+        signed = lhs.ctype.signed and rhs.ctype.signed
+        nsw = signed and self.options.nsw_signed_arith
+        b = self.b
+        a, c = lhs.value, rhs.value
+        table = {
+            "+": lambda: b.add(a, c, nsw=nsw),
+            "-": lambda: b.sub(a, c, nsw=nsw),
+            "*": lambda: b.mul(a, c, nsw=nsw),
+            "/": lambda: b.sdiv(a, c) if signed else b.udiv(a, c),
+            "%": lambda: b.srem(a, c) if signed else b.urem(a, c),
+            "&": lambda: b.and_(a, c),
+            "|": lambda: b.or_(a, c),
+            "^": lambda: b.xor(a, c),
+            "<<": lambda: b.shl(a, c, nsw=nsw),
+            ">>": lambda: (b.ashr(a, c) if lhs.ctype.signed
+                           else b.lshr(a, c)),
+        }
+        if op not in table:
+            raise CompileError(f"compound assignment {op!r}=", line)
+        return TypedValue(table[op](), CType(32, signed))
+
+    # -- lvalues -------------------------------------------------------------------
+    def _lookup(self, expr: NameExpr) -> LValue:
+        lv = self.locals.get(expr.name)
+        if lv is not None:
+            return lv
+        g = self.unit.global_lvalues.get(expr.name)
+        if g is not None:
+            return g
+        raise CompileError(f"unknown variable {expr.name!r}", expr.line)
+
+    def gen_lvalue(self, expr: Expr) -> LValue:
+        if isinstance(expr, NameExpr):
+            return self._lookup(expr)
+        if isinstance(expr, IndexExpr):
+            return self.gen_index_lvalue(expr)
+        if isinstance(expr, FieldExpr):
+            return self.gen_field_lvalue(expr)
+        raise CompileError("expression is not assignable", expr.line)
+
+    def gen_index_lvalue(self, expr: IndexExpr) -> LValue:
+        if not isinstance(expr.base, NameExpr):
+            raise CompileError("only direct array indexing is supported",
+                               expr.line)
+        name = expr.base.name
+        decl_type = self.local_types.get(name) \
+            or self.unit.global_types.get(name)
+        if not isinstance(decl_type, ArrayType):
+            raise CompileError(f"{name!r} is not an array", expr.line)
+        base_lv = self._lookup(expr.base)
+        elem_ty = IntType(decl_type.elem.width)
+        elem_ptr_ty = PointerType(elem_ty)
+        base = self.b.bitcast(base_lv.pointer, elem_ptr_ty)
+        index = self.gen_expression(expr.index)
+        ptr = self.b.gep(base, index.value, inbounds=True)
+        return LValue(ptr, decl_type.elem)
+
+    def gen_field_lvalue(self, expr: FieldExpr) -> LValue:
+        if not isinstance(expr.base, NameExpr):
+            raise CompileError("only direct struct field access supported",
+                               expr.line)
+        name = expr.base.name
+        decl_type = self.local_types.get(name) \
+            or self.unit.global_types.get(name)
+        if not isinstance(decl_type, StructType):
+            raise CompileError(f"{name!r} is not a struct", expr.line)
+        layouts, _ = layout_struct(decl_type)
+        layout = layouts.get(expr.field)
+        if layout is None:
+            raise CompileError(
+                f"struct {decl_type.name!r} has no field {expr.field!r}",
+                expr.line,
+            )
+        base_lv = self._lookup(expr.base)
+        storage_ty = IntType(layout.storage_bits)
+        byte_ptr = self.b.bitcast(base_lv.pointer, PointerType(IntType(8)))
+        at_byte = self.b.gep(byte_ptr, ConstantInt(I32, layout.byte_offset),
+                             inbounds=True)
+        unit_ptr = self.b.bitcast(at_byte, PointerType(storage_ty))
+        return LValue(unit_ptr, layout.ctype, layout)
+
+    # -- loads / stores -----------------------------------------------------------
+    def _load_scalar(self, lvalue: LValue) -> TypedValue:
+        layout = lvalue.layout
+        if layout is None or not layout.is_bitfield:
+            loaded = self.b.load(lvalue.pointer)
+            return TypedValue(loaded, lvalue.ctype)
+        word = self.b.load(lvalue.pointer)
+        shifted = word
+        if layout.bit_offset:
+            shifted = self.b.lshr(
+                word, ConstantInt(IntType(layout.storage_bits),
+                                  layout.bit_offset))
+        if layout.bits == layout.storage_bits:
+            narrow: Value = shifted
+        else:
+            narrow = self.b.trunc(shifted, IntType(layout.bits))
+        return TypedValue(narrow, CType(layout.bits, layout.ctype.signed))
+
+    def _store_scalar(self, lvalue: LValue, value: TypedValue) -> None:
+        layout = lvalue.layout
+        if layout is None or not layout.is_bitfield:
+            converted = self._convert(value, lvalue.ctype)
+            self.b.store(converted, lvalue.pointer)
+            return
+        # Section 5.3: bit-field store = load, (freeze), mask, combine,
+        # store.
+        storage = IntType(layout.storage_bits)
+        word = self.b.load(lvalue.pointer)
+        if self.options.freeze_bitfield_stores:
+            word = self.b.freeze(word)
+        mask = ((1 << layout.bits) - 1) << layout.bit_offset
+        cleared = self.b.and_(
+            word, ConstantInt(storage, ~mask & ((1 << layout.storage_bits) - 1))
+        )
+        field_value = self._convert(
+            value, CType(layout.storage_bits, False))
+        field_masked = self.b.and_(
+            field_value, ConstantInt(storage, (1 << layout.bits) - 1))
+        if layout.bit_offset:
+            field_masked = self.b.shl(
+                field_masked, ConstantInt(storage, layout.bit_offset))
+        combined = self.b.or_(cleared, field_masked)
+        self.b.store(combined, lvalue.pointer)
+
+    # -- conversions ---------------------------------------------------------------
+    def _promote(self, tv: TypedValue) -> TypedValue:
+        """The usual arithmetic promotion to (u)int."""
+        if tv.ctype.width == 32:
+            return tv
+        if tv.ctype.signed:
+            widened = self.b.sext(tv.value, I32)
+        else:
+            widened = self.b.zext(tv.value, I32)
+        return TypedValue(widened, CType(32, tv.ctype.signed))
+
+    def _convert(self, tv: TypedValue, target: CType) -> Value:
+        src_w = tv.ctype.width
+        dst_w = target.width
+        if src_w == dst_w:
+            return tv.value
+        if src_w > dst_w:
+            return self.b.trunc(tv.value, IntType(dst_w))
+        if tv.ctype.signed:
+            return self.b.sext(tv.value, IntType(dst_w))
+        return self.b.zext(tv.value, IntType(dst_w))
+
+
+class Codegen:
+    def __init__(self, program: Program,
+                 options: Optional[CodegenOptions] = None,
+                 module_name: str = "minic"):
+        self.program = program
+        self.options = options or CodegenOptions()
+        self.module = Module(module_name)
+        self.global_lvalues: Dict[str, LValue] = {}
+        self.global_types: Dict[str, Union[CType, StructType, ArrayType]] = {}
+        self.function_decls: Dict[str, FunctionDecl] = {}
+
+    def run(self) -> Module:
+        for g in self.program.globals:
+            self._declare_global(g)
+        for fn_decl in self.program.functions:
+            self.function_decls[fn_decl.name] = fn_decl
+            ret = IntType(fn_decl.return_type.width) \
+                if fn_decl.return_type else FunctionCodegen.module_void()
+            params = tuple(IntType(p.type.width) for p in fn_decl.params)
+            if fn_decl.body is None:
+                self.module.declare(fn_decl.name, FunctionType(ret, params))
+        for fn_decl in self.program.functions:
+            if fn_decl.body is not None:
+                FunctionCodegen(self, fn_decl).run()
+        return self.module
+
+    def _declare_global(self, g) -> None:
+        if isinstance(g.type, CType):
+            ty = IntType(g.type.width)
+            init = ConstantInt(ty, g.init) if g.init is not None else None
+            gv = self.module.add_global(g.name, ty, init)
+            self.global_lvalues[g.name] = LValue(gv, g.type)
+            self.global_types[g.name] = g.type
+        elif isinstance(g.type, ArrayType):
+            elem = IntType(g.type.elem.width)
+            gv = self.module.add_global(
+                g.name, VectorType(g.type.count, elem))
+            self.global_lvalues[g.name] = LValue(gv, g.type.elem)
+            self.global_types[g.name] = g.type
+        elif isinstance(g.type, StructType):
+            _, size = layout_struct(g.type)
+            gv = self.module.add_global(g.name, IntType(size * 8))
+            self.global_lvalues[g.name] = LValue(gv, CType(size * 8, False))
+            self.global_types[g.name] = g.type
+        else:
+            raise CompileError(f"bad global {g.name!r}", g.line)
+
+
+def compile_c(source: str, options: Optional[CodegenOptions] = None,
+              module_name: str = "minic") -> Module:
+    """Compile MiniC source text to an IR module."""
+    program = parse_c(source)
+    module = Codegen(program, options, module_name).run()
+    from ..ir import verify_module
+
+    verify_module(module)
+    return module

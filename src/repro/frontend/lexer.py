@@ -1,0 +1,63 @@
+"""Lexer for MiniC, the small C subset used by the benchmark suite."""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple
+
+
+class CompileError(Exception):
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    line: int
+
+
+KEYWORDS = {
+    "int", "char", "short", "unsigned", "void", "struct",
+    "if", "else", "while", "for", "do", "return", "break", "continue",
+    "extern",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t\r]+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<newline>\n)
+  | (?P<number>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><<=|>>=|<<|>>|<=|>=|==|!=|&&|\|\||\+=|-=|\*=|/=|%=|&=|\|=|\^=|\+\+|--|[-+*/%<>=!&|^~?:;,.(){}\[\]])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    line = 1
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise CompileError(f"unexpected character {source[pos]!r}", line)
+        pos = m.end()
+        kind = m.lastgroup
+        text = m.group()
+        if kind == "newline":
+            line += 1
+            continue
+        if kind in ("ws",):
+            continue
+        if kind == "comment":
+            line += text.count("\n")
+            continue
+        if kind == "ident" and text in KEYWORDS:
+            kind = "kw"
+        tokens.append(Token(kind, text, line))
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,431 @@
+"""Recursive-descent parser for MiniC."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from .cast import (
+    ArrayType,
+    AssignExpr,
+    BinaryExpr,
+    BlockStmt,
+    BreakStmt,
+    CallExpr,
+    CHAR,
+    ContinueStmt,
+    CType,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    FieldExpr,
+    ForStmt,
+    FunctionDecl,
+    GlobalDecl,
+    IfStmt,
+    IndexExpr,
+    INT,
+    NameExpr,
+    NumberExpr,
+    Param,
+    Program,
+    ReturnStmt,
+    SHORT,
+    StructType,
+    TernaryExpr,
+    UINT,
+    UnaryExpr,
+    WhileStmt,
+)
+from .lexer import CompileError, Token, tokenize
+
+#: binary operator precedence (C-like)
+_PRECEDENCE = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>="}
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.structs: Dict[str, StructType] = {}
+
+    # -- token helpers -----------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def at(self, text: str) -> bool:
+        return self.peek().text == text
+
+    def accept(self, text: str) -> bool:
+        if self.at(text):
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        tok = self.peek()
+        if tok.text != text:
+            raise CompileError(f"expected {text!r}, found {tok.text!r}",
+                               tok.line)
+        return self.next()
+
+    def error(self, message: str) -> CompileError:
+        return CompileError(message, self.peek().line)
+
+    # -- types ------------------------------------------------------------------
+    def at_type(self) -> bool:
+        t = self.peek().text
+        return t in ("int", "char", "short", "unsigned", "void", "struct")
+
+    def parse_scalar_type(self) -> Optional[CType]:
+        """Returns None for void."""
+        tok = self.next()
+        if tok.text == "void":
+            return None
+        if tok.text == "unsigned":
+            if self.peek().text in ("int", "char", "short"):
+                base = self.next().text
+            else:
+                base = "int"
+            width = {"int": 32, "char": 8, "short": 16}[base]
+            return CType(width, signed=False)
+        if tok.text in ("int", "char", "short"):
+            width = {"int": 32, "char": 8, "short": 16}[tok.text]
+            return CType(width, signed=True)
+        raise CompileError(f"expected a type, found {tok.text!r}", tok.line)
+
+    # -- top level ------------------------------------------------------------------
+    def parse_program(self) -> Program:
+        program = Program()
+        while self.peek().kind != "eof":
+            if self.at("struct") and self.tokens[self.pos + 2].text == "{":
+                program.structs.append(self.parse_struct())
+                continue
+            if self.accept("extern"):
+                program.functions.append(self.parse_function(extern=True))
+                continue
+            # lookahead: type name ( -> function, else global
+            save = self.pos
+            is_struct_var = self.at("struct")
+            if is_struct_var:
+                self.next()
+                sname = self.next().text
+                struct = self.structs.get(sname)
+                if struct is None:
+                    raise self.error(f"unknown struct {sname!r}")
+                name = self.next().text
+                self.expect(";")
+                program.globals.append(
+                    GlobalDecl(type=struct, name=name,
+                               line=self.peek().line)
+                )
+                continue
+            ty = self.parse_scalar_type()
+            name_tok = self.next()
+            if name_tok.kind != "ident":
+                raise CompileError("expected a name", name_tok.line)
+            if self.at("("):
+                self.pos = save
+                program.functions.append(self.parse_function())
+            else:
+                decl = GlobalDecl(type=ty, name=name_tok.text,
+                                  line=name_tok.line)
+                if self.accept("["):
+                    count = int(self.next().text, 0)
+                    self.expect("]")
+                    decl.type = ArrayType(ty, count)
+                if self.accept("="):
+                    sign = -1 if self.accept("-") else 1
+                    decl.init = sign * int(self.next().text, 0)
+                self.expect(";")
+                program.globals.append(decl)
+        return program
+
+    def parse_struct(self) -> StructType:
+        self.expect("struct")
+        name = self.next().text
+        self.expect("{")
+        fields: List[Tuple[str, CType, Optional[int]]] = []
+        while not self.accept("}"):
+            fty = self.parse_scalar_type()
+            if fty is None:
+                raise self.error("void struct field")
+            fname = self.next().text
+            bits: Optional[int] = None
+            if self.accept(":"):
+                bits = int(self.next().text, 0)
+                if not 0 < bits <= fty.width:
+                    raise self.error(f"bad bit-field width {bits}")
+            fields.append((fname, fty, bits))
+            self.expect(";")
+        self.expect(";")
+        struct = StructType(name, tuple(fields))
+        self.structs[name] = struct
+        return struct
+
+    def parse_function(self, extern: bool = False) -> FunctionDecl:
+        line = self.peek().line
+        ret = self.parse_scalar_type()
+        name = self.next().text
+        self.expect("(")
+        params: List[Param] = []
+        if not self.at(")"):
+            if self.at("void"):
+                self.next()
+            else:
+                while True:
+                    pty = self.parse_scalar_type()
+                    if pty is None:
+                        raise self.error("void parameter")
+                    pname = self.next().text
+                    params.append(Param(pty, pname))
+                    if not self.accept(","):
+                        break
+        self.expect(")")
+        fn = FunctionDecl(name=name, return_type=ret, params=params,
+                          line=line)
+        if extern or self.at(";"):
+            self.expect(";")
+            return fn
+        fn.body = self.parse_block()
+        return fn
+
+    # -- statements ----------------------------------------------------------------
+    def parse_block(self) -> BlockStmt:
+        line = self.expect("{").line
+        block = BlockStmt(line=line)
+        while not self.accept("}"):
+            block.statements.append(self.parse_statement())
+        return block
+
+    def parse_statement(self) -> "Stmt":
+        from .cast import Stmt  # noqa: F401 (typing only)
+
+        tok = self.peek()
+        if tok.text == "{":
+            return self.parse_block()
+        if tok.text == "if":
+            return self.parse_if()
+        if tok.text == "while":
+            return self.parse_while()
+        if tok.text == "do":
+            return self.parse_do_while()
+        if tok.text == "for":
+            return self.parse_for()
+        if tok.text == "return":
+            self.next()
+            value = None if self.at(";") else self.parse_expression()
+            self.expect(";")
+            return ReturnStmt(line=tok.line, value=value)
+        if tok.text == "break":
+            self.next()
+            self.expect(";")
+            return BreakStmt(line=tok.line)
+        if tok.text == "continue":
+            self.next()
+            self.expect(";")
+            return ContinueStmt(line=tok.line)
+        if self.at_type() or tok.text == "struct":
+            return self.parse_declaration()
+        expr = self.parse_expression()
+        self.expect(";")
+        return ExprStmt(line=tok.line, expr=expr)
+
+    def parse_declaration(self) -> DeclStmt:
+        line = self.peek().line
+        if self.accept("struct"):
+            sname = self.next().text
+            struct = self.structs.get(sname)
+            if struct is None:
+                raise self.error(f"unknown struct {sname!r}")
+            name = self.next().text
+            self.expect(";")
+            return DeclStmt(line=line, type=struct, name=name)
+        ty = self.parse_scalar_type()
+        if ty is None:
+            raise self.error("cannot declare a void variable")
+        name = self.next().text
+        decl = DeclStmt(line=line, type=ty, name=name)
+        if self.accept("["):
+            count = int(self.next().text, 0)
+            self.expect("]")
+            decl.type = ArrayType(ty, count)
+        elif self.accept("="):
+            decl.init = self.parse_expression()
+        self.expect(";")
+        return decl
+
+    def parse_if(self) -> IfStmt:
+        line = self.expect("if").line
+        self.expect("(")
+        cond = self.parse_expression()
+        self.expect(")")
+        then = self._statement_as_block()
+        otherwise = None
+        if self.accept("else"):
+            otherwise = self._statement_as_block()
+        return IfStmt(line=line, cond=cond, then=then, otherwise=otherwise)
+
+    def _statement_as_block(self) -> BlockStmt:
+        stmt = self.parse_statement()
+        if isinstance(stmt, BlockStmt):
+            return stmt
+        return BlockStmt(line=stmt.line, statements=[stmt])
+
+    def parse_while(self) -> WhileStmt:
+        line = self.expect("while").line
+        self.expect("(")
+        cond = self.parse_expression()
+        self.expect(")")
+        body = self._statement_as_block()
+        return WhileStmt(line=line, cond=cond, body=body)
+
+    def parse_do_while(self) -> WhileStmt:
+        line = self.expect("do").line
+        body = self._statement_as_block()
+        self.expect("while")
+        self.expect("(")
+        cond = self.parse_expression()
+        self.expect(")")
+        self.expect(";")
+        return WhileStmt(line=line, cond=cond, body=body, is_do_while=True)
+
+    def parse_for(self) -> ForStmt:
+        line = self.expect("for").line
+        self.expect("(")
+        init: Optional["Stmt"] = None
+        if not self.at(";"):
+            if self.at_type():
+                init = self.parse_declaration()
+            else:
+                expr = self.parse_expression()
+                self.expect(";")
+                init = ExprStmt(line=line, expr=expr)
+        else:
+            self.expect(";")
+        cond = None if self.at(";") else self.parse_expression()
+        self.expect(";")
+        step = None if self.at(")") else self.parse_expression()
+        self.expect(")")
+        body = self._statement_as_block()
+        return ForStmt(line=line, init=init, cond=cond, step=step, body=body)
+
+    # -- expressions ---------------------------------------------------------------
+    def parse_expression(self) -> Expr:
+        return self.parse_assignment()
+
+    def parse_assignment(self) -> Expr:
+        lhs = self.parse_ternary()
+        tok = self.peek()
+        if tok.text in _ASSIGN_OPS:
+            self.next()
+            value = self.parse_assignment()
+            return AssignExpr(line=tok.line, target=lhs, value=value,
+                              op=tok.text)
+        return lhs
+
+    def parse_ternary(self) -> Expr:
+        cond = self.parse_binary(0)
+        if self.at("?"):
+            line = self.next().line
+            then = self.parse_expression()
+            self.expect(":")
+            otherwise = self.parse_ternary()
+            return TernaryExpr(line=line, cond=cond, then=then,
+                               otherwise=otherwise)
+        return cond
+
+    def parse_binary(self, level: int) -> Expr:
+        if level >= len(_PRECEDENCE):
+            return self.parse_unary()
+        expr = self.parse_binary(level + 1)
+        while self.peek().text in _PRECEDENCE[level]:
+            tok = self.next()
+            rhs = self.parse_binary(level + 1)
+            expr = BinaryExpr(line=tok.line, op=tok.text, lhs=expr, rhs=rhs)
+        return expr
+
+    def parse_unary(self) -> Expr:
+        tok = self.peek()
+        if tok.text in ("-", "~", "!", "+"):
+            self.next()
+            operand = self.parse_unary()
+            if tok.text == "+":
+                return operand
+            return UnaryExpr(line=tok.line, op=tok.text, operand=operand)
+        if tok.text in ("++", "--"):
+            self.next()
+            target = self.parse_unary()
+            return AssignExpr(
+                line=tok.line, target=target,
+                value=NumberExpr(line=tok.line, value=1),
+                op="+=" if tok.text == "++" else "-=",
+            )
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.at("["):
+                line = self.next().line
+                index = self.parse_expression()
+                self.expect("]")
+                expr = IndexExpr(line=line, base=expr, index=index)
+            elif self.at("."):
+                line = self.next().line
+                fname = self.next().text
+                expr = FieldExpr(line=line, base=expr, field=fname)
+            elif self.peek().text in ("++", "--"):
+                tok = self.next()
+                expr = AssignExpr(
+                    line=tok.line, target=expr,
+                    value=NumberExpr(line=tok.line, value=1),
+                    op="+=" if tok.text == "++" else "-=",
+                    postfix=True,
+                )
+            else:
+                return expr
+
+    def parse_primary(self) -> Expr:
+        tok = self.next()
+        if tok.kind == "number":
+            return NumberExpr(line=tok.line, value=int(tok.text, 0))
+        if tok.kind == "ident":
+            if self.at("("):
+                self.next()
+                args: List[Expr] = []
+                if not self.at(")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                return CallExpr(line=tok.line, callee=tok.text, args=args)
+            return NameExpr(line=tok.line, name=tok.text)
+        if tok.text == "(":
+            expr = self.parse_expression()
+            self.expect(")")
+            return expr
+        raise CompileError(f"unexpected token {tok.text!r}", tok.line)
+
+
+def parse_c(source: str) -> Program:
+    return Parser(source).parse_program()

@@ -1,0 +1,14 @@
+"""opt-fuzz: small-function generation for pipeline validation (E5)."""
+
+from .optfuzz import (
+    DEFAULT_OPCODES,
+    SMALL_OPCODES,
+    count_functions,
+    enumerate_functions,
+    random_functions,
+)
+
+__all__ = [
+    "DEFAULT_OPCODES", "SMALL_OPCODES", "count_functions",
+    "enumerate_functions", "random_functions",
+]

@@ -1,0 +1,220 @@
+"""opt-fuzz: exhaustive and random generation of small IR functions.
+
+Section 6 of the paper: "we used opt-fuzz to exhaustively generate all
+LLVM functions with three instructions (over 2-bit integer arithmetic)
+and then we used Alive to validate both individual passes (InstCombine,
+GVN, Reassociation, and SCCP) and the collection of passes implied by
+the -O2 compiler flag."
+
+:func:`enumerate_functions` generates the same shape of corpus:
+straight-line functions over ``iW`` with a configurable opcode set,
+operands drawn from the two arguments, all constants, previous results,
+and (optionally) ``undef``/``poison``.  The full 3-instruction space is
+huge in Python terms, so the E5 harness uses exhaustive 1–2-instruction
+corpora plus a seeded random sample of the 3-instruction space —
+:func:`random_functions`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..ir import (
+    BinaryInst,
+    Function,
+    FunctionType,
+    IcmpInst,
+    IcmpPred,
+    IntType,
+    Module,
+    Opcode,
+    PoisonValue,
+    ReturnInst,
+    SelectInst,
+    UndefValue,
+    Value,
+)
+from ..ir.basicblock import BasicBlock
+
+DEFAULT_OPCODES: Tuple[Opcode, ...] = (
+    Opcode.ADD, Opcode.SUB, Opcode.MUL,
+    Opcode.UDIV, Opcode.SDIV,
+    Opcode.AND, Opcode.OR, Opcode.XOR,
+    Opcode.SHL, Opcode.LSHR, Opcode.ASHR,
+)
+
+#: a cheaper set for exhaustive sweeps
+SMALL_OPCODES: Tuple[Opcode, ...] = (
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND, Opcode.OR,
+    Opcode.XOR, Opcode.SHL,
+)
+
+
+class _Spec:
+    """Declarative description of one instruction to build."""
+
+    __slots__ = ("kind", "opcode", "pred", "operands", "flags")
+
+    def __init__(self, kind, opcode=None, pred=None, operands=(),
+                 flags=()):
+        self.kind = kind          # "bin" | "icmp" | "select"
+        self.opcode = opcode
+        self.pred = pred
+        self.operands = operands  # indices into the value pool
+        self.flags = flags        # subset of ("nsw", "nuw")
+
+
+def _operand_pool_size(num_args: int, width: int, prior: int,
+                       deferred: bool) -> int:
+    constants = 1 << width
+    return num_args + constants + (2 if deferred else 0) + prior
+
+
+def _materialize(specs: Sequence[_Spec], width: int, num_args: int,
+                 deferred: bool, name: str) -> Function:
+    module = Module(name)
+    ty = IntType(width)
+    fn = Function(
+        FunctionType(ty, tuple(ty for _ in range(num_args))),
+        "f", module=module,
+        arg_names=[chr(ord("a") + i) for i in range(num_args)],
+    )
+    block = BasicBlock("entry", parent=fn)
+
+    pool: List[Value] = list(fn.args)
+    from ..ir.values import ConstantInt
+
+    for c in range(1 << width):
+        pool.append(ConstantInt(ty, c))
+    if deferred:
+        pool.append(UndefValue(ty))
+        pool.append(PoisonValue(ty))
+
+    last_int: Optional[Value] = None
+    for i, spec in enumerate(specs):
+        ops = [pool[j] for j in spec.operands]
+        if spec.kind == "bin":
+            inst = BinaryInst(
+                spec.opcode, ops[0], ops[1], f"v{i}",
+                nsw="nsw" in spec.flags, nuw="nuw" in spec.flags,
+            )
+        elif spec.kind == "icmp":
+            inst = IcmpInst(spec.pred, ops[0], ops[1], f"v{i}")
+        elif spec.kind == "select":
+            inst = SelectInst(ops[0], ops[1], ops[2], f"v{i}")
+        else:  # pragma: no cover
+            raise ValueError(spec.kind)
+        block.append(inst)
+        if inst.type is ty:
+            last_int = inst
+        pool.append(inst)
+
+    if last_int is None:
+        last_int = pool[0] if num_args else pool[num_args]
+    block.append(ReturnInst(last_int))
+    return fn
+
+
+def enumerate_functions(num_instructions: int, width: int = 2,
+                        num_args: int = 2,
+                        opcodes: Sequence[Opcode] = SMALL_OPCODES,
+                        include_deferred: bool = True,
+                        include_flags: bool = False,
+                        limit: Optional[int] = None) -> Iterator[Function]:
+    """Exhaustively enumerate straight-line functions.
+
+    Mirrors opt-fuzz's corpus: ``num_instructions`` binary operations
+    over ``iW``, operands drawn from arguments, constants, undef/poison,
+    and prior results."""
+
+    def spec_space(position: int) -> Iterator[_Spec]:
+        pool = _operand_pool_size(num_args, width, position,
+                                  include_deferred)
+        for opcode in opcodes:
+            flag_sets: List[Tuple[str, ...]] = [()]
+            if include_flags and opcode in (Opcode.ADD, Opcode.SUB,
+                                            Opcode.MUL, Opcode.SHL):
+                flag_sets.append(("nsw",))
+            for flags in flag_sets:
+                for a, b in itertools.product(range(pool), repeat=2):
+                    yield _Spec("bin", opcode=opcode, operands=(a, b),
+                                flags=flags)
+
+    count = 0
+    spaces = [list(spec_space(i)) for i in range(num_instructions)]
+    for combo in itertools.product(*spaces):
+        if limit is not None and count >= limit:
+            return
+        count += 1
+        yield _materialize(combo, width, num_args, include_deferred,
+                           f"fuzz{count}")
+
+
+def count_functions(num_instructions: int, width: int = 2,
+                    num_args: int = 2,
+                    opcodes: Sequence[Opcode] = SMALL_OPCODES,
+                    include_deferred: bool = True) -> int:
+    total = 1
+    for i in range(num_instructions):
+        pool = _operand_pool_size(num_args, width, i, include_deferred)
+        total *= len(opcodes) * pool * pool
+    return total
+
+
+def random_functions(count: int, num_instructions: int = 3,
+                     width: int = 2, num_args: int = 2,
+                     opcodes: Sequence[Opcode] = DEFAULT_OPCODES,
+                     include_deferred: bool = True,
+                     include_flags: bool = True,
+                     include_select: bool = True,
+                     seed: int = 0) -> Iterator[Function]:
+    """Seeded random sample of the larger spaces (3+ instructions,
+    flags, icmp/select)."""
+    rng = random.Random(seed)
+    preds = list(IcmpPred)
+    for n in range(count):
+        specs: List[_Spec] = []
+        bool_positions: List[int] = []  # pool indices holding i1 values
+        for i in range(num_instructions):
+            pool = _operand_pool_size(num_args, width, i, include_deferred)
+            # pool slots holding i1 results (icmp outputs) are only
+            # usable as select conditions
+            int_indices = [j for j in range(pool)
+                           if j not in bool_positions]
+            kind = "bin"
+            if include_select and bool_positions and rng.random() < 0.15:
+                kind = "select"
+            elif rng.random() < 0.15:
+                kind = "icmp"
+            if kind == "bin":
+                opcode = rng.choice(list(opcodes))
+                flags: Tuple[str, ...] = ()
+                if include_flags and opcode in (Opcode.ADD, Opcode.SUB,
+                                                Opcode.MUL, Opcode.SHL) \
+                        and rng.random() < 0.3:
+                    flags = ("nsw",) if rng.random() < 0.7 else ("nuw",)
+                specs.append(_Spec(
+                    "bin", opcode=opcode, flags=flags,
+                    operands=(rng.choice(int_indices),
+                              rng.choice(int_indices)),
+                ))
+            elif kind == "icmp":
+                specs.append(_Spec(
+                    "icmp", pred=rng.choice(preds),
+                    operands=(rng.choice(int_indices),
+                              rng.choice(int_indices)),
+                ))
+                bool_positions.append(
+                    _operand_pool_size(num_args, width, i,
+                                       include_deferred))
+            else:
+                specs.append(_Spec(
+                    "select",
+                    operands=(rng.choice(bool_positions),
+                              rng.choice(int_indices),
+                              rng.choice(int_indices)),
+                ))
+        yield _materialize(specs, width, num_args, include_deferred,
+                           f"rand{n}")

@@ -1,0 +1,85 @@
+"""The LLVM-like intermediate representation.
+
+Public surface: types, values (including ``undef`` and ``poison``),
+instructions (including ``freeze``), module structure, the IRBuilder,
+the textual parser/printer, and the verifier.
+"""
+
+from .basicblock import BasicBlock
+from .builder import IRBuilder
+from .function import Function
+from .instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    ExtractElementInst,
+    FreezeInst,
+    GepInst,
+    IcmpInst,
+    IcmpPred,
+    InsertElementInst,
+    Instruction,
+    LoadInst,
+    Opcode,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+    BINARY_OPCODES,
+    DIVISION_OPCODES,
+    OVERFLOW_OPCODES,
+)
+from .module import Module
+from .parser import ParseError, parse_function, parse_module
+from .printer import print_function, print_instruction, print_module
+from .types import (
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    FunctionType,
+    IntType,
+    LabelType,
+    PointerType,
+    Type,
+    VectorType,
+    VoidType,
+    int_type,
+)
+from .values import (
+    Argument,
+    Constant,
+    ConstantInt,
+    ConstantVector,
+    GlobalVariable,
+    PoisonValue,
+    UndefValue,
+    Use,
+    User,
+    Value,
+    const_bool,
+    const_int,
+)
+from .verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "BasicBlock", "IRBuilder", "Function", "Module",
+    "AllocaInst", "BinaryInst", "BranchInst", "CallInst", "CastInst",
+    "ExtractElementInst", "FreezeInst", "GepInst", "IcmpInst", "IcmpPred",
+    "InsertElementInst", "Instruction", "LoadInst", "Opcode", "PhiInst",
+    "ReturnInst", "SelectInst", "StoreInst", "SwitchInst", "UnreachableInst",
+    "BINARY_OPCODES", "DIVISION_OPCODES", "OVERFLOW_OPCODES",
+    "ParseError", "parse_function", "parse_module",
+    "print_function", "print_instruction", "print_module",
+    "I1", "I8", "I16", "I32", "I64", "FunctionType", "IntType", "LabelType",
+    "PointerType", "Type", "VectorType", "VoidType", "int_type",
+    "Argument", "Constant", "ConstantInt", "ConstantVector", "GlobalVariable",
+    "PoisonValue", "UndefValue", "Use", "User", "Value", "const_bool",
+    "const_int",
+    "VerificationError", "verify_function", "verify_module",
+]

@@ -1,0 +1,109 @@
+"""Basic blocks: straight-line instruction sequences ending in a terminator."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from .instructions import BranchInst, Instruction, PhiInst, SwitchInst
+from .types import LABEL
+from .values import Value
+
+
+class BasicBlock(Value):
+    """A labeled sequence of instructions.
+
+    Blocks are values of ``label`` type so that they can be printed
+    uniformly, but they never appear as instruction operands (phi nodes
+    and terminators track blocks out-of-band).
+    """
+
+    __slots__ = ("instructions", "parent")
+
+    def __init__(self, name: str = "", parent=None):
+        super().__init__(LABEL, name)
+        self.instructions: List[Instruction] = []
+        self.parent = parent
+        if parent is not None:
+            parent.blocks.append(self)
+
+    # -- queries -----------------------------------------------------------
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    def phis(self) -> List[PhiInst]:
+        result = []
+        for inst in self.instructions:
+            if isinstance(inst, PhiInst):
+                result.append(inst)
+            else:
+                break
+        return result
+
+    def first_non_phi(self) -> Optional[Instruction]:
+        for inst in self.instructions:
+            if not isinstance(inst, PhiInst):
+                return inst
+        return None
+
+    def successors(self) -> List["BasicBlock"]:
+        term = self.terminator
+        if term is None:
+            return []
+        if isinstance(term, (BranchInst, SwitchInst)):
+            return term.successors()
+        return []
+
+    def predecessors(self) -> List["BasicBlock"]:
+        if self.parent is None:
+            return []
+        preds = []
+        for block in self.parent.blocks:
+            if self in block.successors():
+                preds.append(block)
+        return preds
+
+    # -- mutation ------------------------------------------------------------
+    def append(self, inst: Instruction) -> Instruction:
+        if self.terminator is not None:
+            raise ValueError(
+                f"block %{self.name} already has a terminator; "
+                f"cannot append {inst.opcode.value}"
+            )
+        self.instructions.append(inst)
+        inst.parent = self
+        return inst
+
+    def insert_before(self, anchor: Instruction, inst: Instruction) -> None:
+        idx = self.instructions.index(anchor)
+        self.instructions.insert(idx, inst)
+        inst.parent = self
+
+    def insert_front(self, inst: Instruction) -> None:
+        """Insert after any leading phi nodes."""
+        idx = len(self.phis())
+        self.instructions.insert(idx, inst)
+        inst.parent = self
+
+    def remove(self, inst: Instruction) -> None:
+        self.instructions.remove(inst)
+        inst.parent = None
+
+    def erase(self, inst: Instruction) -> None:
+        """Remove and drop all operand uses (full deletion)."""
+        self.remove(inst)
+        inst.drop_all_operands()
+
+    def ref(self) -> str:
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock %{self.name} ({len(self.instructions)} insts)>"

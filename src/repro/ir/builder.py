@@ -1,0 +1,225 @@
+"""IRBuilder: convenience API for constructing IR programmatically.
+
+Mirrors LLVM's ``IRBuilder``: it tracks an insertion point (a block) and
+offers one method per instruction.  All examples, the MiniC frontend, and
+most tests construct IR through this class.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .basicblock import BasicBlock
+from .function import Function
+from .instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    ExtractElementInst,
+    FreezeInst,
+    GepInst,
+    IcmpInst,
+    IcmpPred,
+    InsertElementInst,
+    Instruction,
+    LoadInst,
+    Opcode,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
+from .types import IntType, Type
+from .values import ConstantInt, PoisonValue, UndefValue, Value
+
+
+class IRBuilder:
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self.block = block
+        self._anchor: Optional[Instruction] = None
+
+    # -- position control -----------------------------------------------------
+    def set_insert_point(self, block: BasicBlock,
+                         before: Optional[Instruction] = None) -> None:
+        self.block = block
+        self._anchor = before
+
+    def insert(self, inst: Instruction) -> Instruction:
+        if self.block is None:
+            raise ValueError("no insertion point set")
+        if self._anchor is not None:
+            self.block.insert_before(self._anchor, inst)
+        else:
+            self.block.append(inst)
+        return inst
+
+    # -- constants --------------------------------------------------------------
+    def const(self, bits: int, value: int) -> ConstantInt:
+        return ConstantInt(IntType(bits), value)
+
+    def true(self) -> ConstantInt:
+        return self.const(1, 1)
+
+    def false(self) -> ConstantInt:
+        return self.const(1, 0)
+
+    def undef(self, ty: Type) -> UndefValue:
+        return UndefValue(ty)
+
+    def poison(self, ty: Type) -> PoisonValue:
+        return PoisonValue(ty)
+
+    # -- binary arithmetic --------------------------------------------------------
+    def _binop(self, opcode: Opcode, lhs: Value, rhs: Value, name: str,
+               nsw: bool = False, nuw: bool = False,
+               exact: bool = False) -> BinaryInst:
+        inst = BinaryInst(opcode, lhs, rhs, name, nsw=nsw, nuw=nuw, exact=exact)
+        self.insert(inst)
+        return inst
+
+    def add(self, lhs, rhs, name="", nsw=False, nuw=False):
+        return self._binop(Opcode.ADD, lhs, rhs, name, nsw=nsw, nuw=nuw)
+
+    def sub(self, lhs, rhs, name="", nsw=False, nuw=False):
+        return self._binop(Opcode.SUB, lhs, rhs, name, nsw=nsw, nuw=nuw)
+
+    def mul(self, lhs, rhs, name="", nsw=False, nuw=False):
+        return self._binop(Opcode.MUL, lhs, rhs, name, nsw=nsw, nuw=nuw)
+
+    def udiv(self, lhs, rhs, name="", exact=False):
+        return self._binop(Opcode.UDIV, lhs, rhs, name, exact=exact)
+
+    def sdiv(self, lhs, rhs, name="", exact=False):
+        return self._binop(Opcode.SDIV, lhs, rhs, name, exact=exact)
+
+    def urem(self, lhs, rhs, name=""):
+        return self._binop(Opcode.UREM, lhs, rhs, name)
+
+    def srem(self, lhs, rhs, name=""):
+        return self._binop(Opcode.SREM, lhs, rhs, name)
+
+    def shl(self, lhs, rhs, name="", nsw=False, nuw=False):
+        return self._binop(Opcode.SHL, lhs, rhs, name, nsw=nsw, nuw=nuw)
+
+    def lshr(self, lhs, rhs, name="", exact=False):
+        return self._binop(Opcode.LSHR, lhs, rhs, name, exact=exact)
+
+    def ashr(self, lhs, rhs, name="", exact=False):
+        return self._binop(Opcode.ASHR, lhs, rhs, name, exact=exact)
+
+    def and_(self, lhs, rhs, name=""):
+        return self._binop(Opcode.AND, lhs, rhs, name)
+
+    def or_(self, lhs, rhs, name=""):
+        return self._binop(Opcode.OR, lhs, rhs, name)
+
+    def xor(self, lhs, rhs, name=""):
+        return self._binop(Opcode.XOR, lhs, rhs, name)
+
+    def neg(self, value, name=""):
+        return self.sub(self.const(value.type.bits, 0), value, name)
+
+    def not_(self, value, name=""):
+        all_ones = self.const(value.type.bits, value.type.unsigned_max)
+        return self.xor(value, all_ones, name)
+
+    # -- comparisons / selection ---------------------------------------------------
+    def icmp(self, pred: IcmpPred, lhs, rhs, name="") -> IcmpInst:
+        inst = IcmpInst(pred, lhs, rhs, name)
+        self.insert(inst)
+        return inst
+
+    def icmp_eq(self, lhs, rhs, name=""):
+        return self.icmp(IcmpPred.EQ, lhs, rhs, name)
+
+    def icmp_ne(self, lhs, rhs, name=""):
+        return self.icmp(IcmpPred.NE, lhs, rhs, name)
+
+    def icmp_slt(self, lhs, rhs, name=""):
+        return self.icmp(IcmpPred.SLT, lhs, rhs, name)
+
+    def icmp_sle(self, lhs, rhs, name=""):
+        return self.icmp(IcmpPred.SLE, lhs, rhs, name)
+
+    def icmp_sgt(self, lhs, rhs, name=""):
+        return self.icmp(IcmpPred.SGT, lhs, rhs, name)
+
+    def icmp_ult(self, lhs, rhs, name=""):
+        return self.icmp(IcmpPred.ULT, lhs, rhs, name)
+
+    def select(self, cond, true_val, false_val, name="") -> SelectInst:
+        inst = SelectInst(cond, true_val, false_val, name)
+        self.insert(inst)
+        return inst
+
+    def freeze(self, value, name="") -> FreezeInst:
+        inst = FreezeInst(value, name)
+        self.insert(inst)
+        return inst
+
+    # -- casts -------------------------------------------------------------------
+    def zext(self, value, dest: Type, name="") -> CastInst:
+        return self.insert(CastInst(Opcode.ZEXT, value, dest, name))
+
+    def sext(self, value, dest: Type, name="") -> CastInst:
+        return self.insert(CastInst(Opcode.SEXT, value, dest, name))
+
+    def trunc(self, value, dest: Type, name="") -> CastInst:
+        return self.insert(CastInst(Opcode.TRUNC, value, dest, name))
+
+    def bitcast(self, value, dest: Type, name="") -> CastInst:
+        return self.insert(CastInst(Opcode.BITCAST, value, dest, name))
+
+    def ptrtoint(self, value, dest: Type, name="") -> CastInst:
+        return self.insert(CastInst(Opcode.PTRTOINT, value, dest, name))
+
+    def inttoptr(self, value, dest: Type, name="") -> CastInst:
+        return self.insert(CastInst(Opcode.INTTOPTR, value, dest, name))
+
+    # -- memory -------------------------------------------------------------------
+    def alloca(self, ty: Type, name="") -> AllocaInst:
+        return self.insert(AllocaInst(ty, name))
+
+    def load(self, pointer, name="") -> LoadInst:
+        return self.insert(LoadInst(pointer, name))
+
+    def store(self, value, pointer) -> StoreInst:
+        return self.insert(StoreInst(value, pointer))
+
+    def gep(self, pointer, index, name="", inbounds=False) -> GepInst:
+        return self.insert(GepInst(pointer, index, name, inbounds=inbounds))
+
+    # -- vectors ---------------------------------------------------------------------
+    def extractelement(self, vector, index, name="") -> ExtractElementInst:
+        return self.insert(ExtractElementInst(vector, index, name))
+
+    def insertelement(self, vector, element, index, name="") -> InsertElementInst:
+        return self.insert(InsertElementInst(vector, element, index, name))
+
+    # -- phi / control flow --------------------------------------------------------
+    def phi(self, ty: Type, name="") -> PhiInst:
+        return self.insert(PhiInst(ty, name))
+
+    def call(self, callee: Function, args: Sequence[Value], name="") -> CallInst:
+        return self.insert(CallInst(callee, args, name))
+
+    def br(self, target: BasicBlock) -> BranchInst:
+        return self.insert(BranchInst(target=target))
+
+    def cond_br(self, cond, true_block, false_block) -> BranchInst:
+        return self.insert(
+            BranchInst(cond=cond, true_block=true_block, false_block=false_block)
+        )
+
+    def switch(self, value, default) -> SwitchInst:
+        return self.insert(SwitchInst(value, default))
+
+    def ret(self, value: Optional[Value] = None) -> ReturnInst:
+        return self.insert(ReturnInst(value))
+
+    def unreachable(self) -> UnreachableInst:
+        return self.insert(UnreachableInst())

@@ -1,0 +1,696 @@
+"""Instruction classes for the LLVM-like IR.
+
+Covers the Figure 4 core of the paper — binary arithmetic with
+``nsw``/``nuw``/``exact`` attributes, conversions, ``icmp``, ``select``,
+``phi``, ``freeze``, ``getelementptr``, ``load``/``store``,
+``extractelement``/``insertelement``, branches — plus the small set of
+extras a real pipeline needs (``alloca``, ``call``, ``switch``,
+``unreachable``, ``ret``).
+
+Instructions are :class:`~repro.ir.values.User` values.  Each lives in a
+:class:`~repro.ir.basicblock.BasicBlock`; list management (insertion,
+removal) is owned by the block.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence, Tuple
+
+from .types import (
+    LABEL,
+    VOID,
+    IntType,
+    PointerType,
+    Type,
+    VectorType,
+    same_shape,
+)
+from .values import Constant, ConstantInt, User, Value
+
+
+class Opcode(enum.Enum):
+    # binary integer arithmetic
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    UDIV = "udiv"
+    SDIV = "sdiv"
+    UREM = "urem"
+    SREM = "srem"
+    SHL = "shl"
+    LSHR = "lshr"
+    ASHR = "ashr"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    # comparisons / selection
+    ICMP = "icmp"
+    SELECT = "select"
+    # the paper's new instruction
+    FREEZE = "freeze"
+    # conversions
+    ZEXT = "zext"
+    SEXT = "sext"
+    TRUNC = "trunc"
+    BITCAST = "bitcast"
+    PTRTOINT = "ptrtoint"
+    INTTOPTR = "inttoptr"
+    # memory
+    ALLOCA = "alloca"
+    LOAD = "load"
+    STORE = "store"
+    GEP = "getelementptr"
+    # vectors
+    EXTRACTELEMENT = "extractelement"
+    INSERTELEMENT = "insertelement"
+    # ssa / control flow
+    PHI = "phi"
+    CALL = "call"
+    BR = "br"
+    SWITCH = "switch"
+    RET = "ret"
+    UNREACHABLE = "unreachable"
+
+
+BINARY_OPCODES = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.UDIV,
+        Opcode.SDIV,
+        Opcode.UREM,
+        Opcode.SREM,
+        Opcode.SHL,
+        Opcode.LSHR,
+        Opcode.ASHR,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+    }
+)
+
+#: Opcodes where the nsw / nuw overflow attributes are meaningful.
+OVERFLOW_OPCODES = frozenset({Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.SHL})
+#: Opcodes where the ``exact`` attribute is meaningful.
+EXACT_OPCODES = frozenset(
+    {Opcode.UDIV, Opcode.SDIV, Opcode.LSHR, Opcode.ASHR}
+)
+#: Division-like opcodes with immediate UB on a zero divisor.
+DIVISION_OPCODES = frozenset(
+    {Opcode.UDIV, Opcode.SDIV, Opcode.UREM, Opcode.SREM}
+)
+CAST_OPCODES = frozenset(
+    {
+        Opcode.ZEXT,
+        Opcode.SEXT,
+        Opcode.TRUNC,
+        Opcode.BITCAST,
+        Opcode.PTRTOINT,
+        Opcode.INTTOPTR,
+    }
+)
+COMMUTATIVE_OPCODES = frozenset(
+    {Opcode.ADD, Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR}
+)
+
+
+class IcmpPred(enum.Enum):
+    EQ = "eq"
+    NE = "ne"
+    UGT = "ugt"
+    UGE = "uge"
+    ULT = "ult"
+    ULE = "ule"
+    SGT = "sgt"
+    SGE = "sge"
+    SLT = "slt"
+    SLE = "sle"
+
+    @property
+    def is_signed(self) -> bool:
+        return self in (IcmpPred.SGT, IcmpPred.SGE, IcmpPred.SLT, IcmpPred.SLE)
+
+    @property
+    def is_equality(self) -> bool:
+        return self in (IcmpPred.EQ, IcmpPred.NE)
+
+    def inverse(self) -> "IcmpPred":
+        """The negated predicate: ``icmp p a b == !icmp p.inverse() a b``."""
+        return _ICMP_INVERSE[self]
+
+    def swapped(self) -> "IcmpPred":
+        """The predicate with operands swapped: ``a p b == b p.swapped() a``."""
+        return _ICMP_SWAPPED[self]
+
+
+_ICMP_INVERSE = {
+    IcmpPred.EQ: IcmpPred.NE,
+    IcmpPred.NE: IcmpPred.EQ,
+    IcmpPred.UGT: IcmpPred.ULE,
+    IcmpPred.UGE: IcmpPred.ULT,
+    IcmpPred.ULT: IcmpPred.UGE,
+    IcmpPred.ULE: IcmpPred.UGT,
+    IcmpPred.SGT: IcmpPred.SLE,
+    IcmpPred.SGE: IcmpPred.SLT,
+    IcmpPred.SLT: IcmpPred.SGE,
+    IcmpPred.SLE: IcmpPred.SGT,
+}
+
+_ICMP_SWAPPED = {
+    IcmpPred.EQ: IcmpPred.EQ,
+    IcmpPred.NE: IcmpPred.NE,
+    IcmpPred.UGT: IcmpPred.ULT,
+    IcmpPred.UGE: IcmpPred.ULE,
+    IcmpPred.ULT: IcmpPred.UGT,
+    IcmpPred.ULE: IcmpPred.UGE,
+    IcmpPred.SGT: IcmpPred.SLT,
+    IcmpPred.SGE: IcmpPred.SLE,
+    IcmpPred.SLT: IcmpPred.SGT,
+    IcmpPred.SLE: IcmpPred.SGE,
+}
+
+
+class Instruction(User):
+    """Base class for all instructions."""
+
+    __slots__ = ("opcode", "parent")
+
+    def __init__(self, opcode: Opcode, type: Type,
+                 operands: Sequence[Value], name: str = ""):
+        super().__init__(type, operands, name)
+        self.opcode = opcode
+        self.parent = None  # set by BasicBlock
+
+    # -- structural queries -----------------------------------------------
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode in (
+            Opcode.BR,
+            Opcode.SWITCH,
+            Opcode.RET,
+            Opcode.UNREACHABLE,
+        )
+
+    @property
+    def is_binary(self) -> bool:
+        return self.opcode in BINARY_OPCODES
+
+    @property
+    def is_cast(self) -> bool:
+        return self.opcode in CAST_OPCODES
+
+    @property
+    def is_commutative(self) -> bool:
+        return self.opcode in COMMUTATIVE_OPCODES
+
+    @property
+    def may_write_memory(self) -> bool:
+        return self.opcode in (Opcode.STORE, Opcode.CALL)
+
+    @property
+    def may_read_memory(self) -> bool:
+        return self.opcode in (Opcode.LOAD, Opcode.CALL)
+
+    @property
+    def may_have_side_effects(self) -> bool:
+        """Conservative: may this instruction observably affect execution
+        other than through its result (incl. immediate UB)?"""
+        if self.opcode in (Opcode.STORE, Opcode.CALL, Opcode.LOAD):
+            return True
+        if self.opcode in DIVISION_OPCODES:
+            return True  # divide-by-zero is immediate UB
+        if self.opcode is Opcode.ALLOCA:
+            return True
+        return self.is_terminator
+
+    @property
+    def is_speculatable(self) -> bool:
+        """Can this instruction be executed speculatively (hoisted past
+        control flow) without introducing immediate UB?
+
+        Deferred UB (poison/undef results) is precisely what makes most
+        arithmetic speculatable — Section 2.2 of the paper.
+        """
+        if self.opcode in DIVISION_OPCODES:
+            return False
+        if self.opcode in (Opcode.LOAD, Opcode.STORE, Opcode.CALL,
+                           Opcode.ALLOCA, Opcode.PHI):
+            return False
+        return not self.is_terminator
+
+    # -- block list management ---------------------------------------------
+    def erase_from_parent(self) -> None:
+        if self.parent is None:
+            raise ValueError("instruction has no parent block")
+        self.parent.remove(self)
+
+    def move_before(self, other: "Instruction") -> None:
+        self.parent.remove(self)
+        other.parent.insert_before(other, self)
+
+    def move_to_end(self, block) -> None:
+        self.parent.remove(self)
+        block.append(self)
+
+    # -- printing helpers ---------------------------------------------------
+    def operand_ref(self, i: int) -> str:
+        return self.operand(i).ref()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.opcode.value} {self.ref()}>"
+
+
+class BinaryInst(Instruction):
+    """Integer binary operation with optional poison-generating flags."""
+
+    __slots__ = ("nsw", "nuw", "exact")
+
+    def __init__(self, opcode: Opcode, lhs: Value, rhs: Value,
+                 name: str = "", nsw: bool = False, nuw: bool = False,
+                 exact: bool = False):
+        if opcode not in BINARY_OPCODES:
+            raise ValueError(f"not a binary opcode: {opcode}")
+        if nsw or nuw:
+            if opcode not in OVERFLOW_OPCODES:
+                raise ValueError(f"nsw/nuw invalid on {opcode.value}")
+        if exact and opcode not in EXACT_OPCODES:
+            raise ValueError(f"exact invalid on {opcode.value}")
+        super().__init__(opcode, lhs.type, [lhs, rhs], name)
+        self.nsw = nsw
+        self.nuw = nuw
+        self.exact = exact
+
+    @property
+    def lhs(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def rhs(self) -> Value:
+        return self.operand(1)
+
+    def flags_str(self) -> str:
+        parts = []
+        if self.nuw:
+            parts.append("nuw")
+        if self.nsw:
+            parts.append("nsw")
+        if self.exact:
+            parts.append("exact")
+        return (" " + " ".join(parts)) if parts else ""
+
+    def drop_poison_flags(self) -> None:
+        """Remove nsw/nuw/exact — what Reassociation must do (Section 10.2)."""
+        self.nsw = self.nuw = self.exact = False
+
+
+class IcmpInst(Instruction):
+    __slots__ = ("pred",)
+
+    def __init__(self, pred: IcmpPred, lhs: Value, rhs: Value, name: str = ""):
+        if not same_shape(lhs.type, rhs.type):
+            raise ValueError(f"icmp operand shape mismatch: {lhs.type} vs {rhs.type}")
+        if lhs.type.is_vector:
+            result = VectorType(lhs.type.count, IntType(1))
+        else:
+            result = IntType(1)
+        super().__init__(Opcode.ICMP, result, [lhs, rhs], name)
+        self.pred = pred
+
+    @property
+    def lhs(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def rhs(self) -> Value:
+        return self.operand(1)
+
+
+class SelectInst(Instruction):
+    def __init__(self, cond: Value, true_val: Value, false_val: Value,
+                 name: str = ""):
+        if true_val.type is not false_val.type:
+            raise ValueError(
+                f"select arm type mismatch: {true_val.type} vs {false_val.type}"
+            )
+        if not cond.type.is_bool:
+            raise ValueError(f"select condition must be i1, got {cond.type}")
+        super().__init__(Opcode.SELECT, true_val.type,
+                         [cond, true_val, false_val], name)
+
+    @property
+    def cond(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def true_value(self) -> Value:
+        return self.operand(1)
+
+    @property
+    def false_value(self) -> Value:
+        return self.operand(2)
+
+
+class FreezeInst(Instruction):
+    """The paper's new instruction (Section 4): a nop on non-poison input;
+    on poison, a nondeterministic — but *single, shared across all uses* —
+    arbitrary value of the type."""
+
+    def __init__(self, value: Value, name: str = ""):
+        super().__init__(Opcode.FREEZE, value.type, [value], name)
+
+    @property
+    def value(self) -> Value:
+        return self.operand(0)
+
+
+class CastInst(Instruction):
+    __slots__ = ("src_type",)
+
+    def __init__(self, opcode: Opcode, value: Value, dest: Type, name: str = ""):
+        if opcode not in CAST_OPCODES:
+            raise ValueError(f"not a cast opcode: {opcode}")
+        _check_cast(opcode, value.type, dest)
+        super().__init__(opcode, dest, [value], name)
+        self.src_type = value.type
+
+    @property
+    def value(self) -> Value:
+        return self.operand(0)
+
+
+def _check_cast(opcode: Opcode, src: Type, dest: Type) -> None:
+    def scalar_widths():
+        s, d = src.scalar, dest.scalar
+        if not (s.is_int and d.is_int):
+            raise ValueError(f"{opcode.value} requires integer types")
+        if src.is_vector != dest.is_vector:
+            raise ValueError(f"{opcode.value} scalar/vector mismatch")
+        if src.is_vector and src.count != dest.count:
+            raise ValueError(f"{opcode.value} vector length mismatch")
+        return s.bits, d.bits
+
+    if opcode in (Opcode.ZEXT, Opcode.SEXT):
+        s, d = scalar_widths()
+        if d <= s:
+            raise ValueError(f"{opcode.value} must widen: i{s} -> i{d}")
+    elif opcode is Opcode.TRUNC:
+        s, d = scalar_widths()
+        if d >= s:
+            raise ValueError(f"trunc must narrow: i{s} -> i{d}")
+    elif opcode is Opcode.BITCAST:
+        if src.bitwidth() != dest.bitwidth():
+            raise ValueError(
+                f"bitcast width mismatch: {src} ({src.bitwidth()}b) vs "
+                f"{dest} ({dest.bitwidth()}b)"
+            )
+    elif opcode is Opcode.PTRTOINT:
+        if not (src.is_pointer and dest.is_int):
+            raise ValueError("ptrtoint requires pointer -> integer")
+    elif opcode is Opcode.INTTOPTR:
+        if not (src.is_int and dest.is_pointer):
+            raise ValueError("inttoptr requires integer -> pointer")
+
+
+class GepInst(Instruction):
+    """``getelementptr``: pointer arithmetic.  We implement the flat form
+    the paper uses in Figure 3 — base pointer plus one index scaled by the
+    element size — with the ``inbounds`` attribute, under which
+    out-of-bounds/overflowing arithmetic yields poison."""
+
+    __slots__ = ("inbounds",)
+
+    def __init__(self, pointer: Value, index: Value, name: str = "",
+                 inbounds: bool = False):
+        if not pointer.type.is_pointer:
+            raise ValueError(f"gep base must be a pointer, got {pointer.type}")
+        if not index.type.is_int:
+            raise ValueError(f"gep index must be an integer, got {index.type}")
+        super().__init__(Opcode.GEP, pointer.type, [pointer, index], name)
+        self.inbounds = inbounds
+
+    @property
+    def pointer(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def index(self) -> Value:
+        return self.operand(1)
+
+    @property
+    def elem_size_bytes(self) -> int:
+        pointee = self.pointer.type.pointee  # type: ignore[union-attr]
+        return max(1, (pointee.bitwidth() + 7) // 8)
+
+
+class AllocaInst(Instruction):
+    """Stack allocation of one value of ``allocated_type``; yields its
+    address.  The fresh memory is uninitialized: loads observe undef bits
+    (OLD mode) or poison bits (NEW mode) — the bit-field scenario of
+    Section 5.3."""
+
+    __slots__ = ("allocated_type",)
+
+    def __init__(self, allocated_type: Type, name: str = ""):
+        super().__init__(Opcode.ALLOCA, PointerType(allocated_type), [], name)
+        self.allocated_type = allocated_type
+
+
+class LoadInst(Instruction):
+    def __init__(self, pointer: Value, name: str = ""):
+        if not pointer.type.is_pointer:
+            raise ValueError(f"load requires pointer operand, got {pointer.type}")
+        super().__init__(Opcode.LOAD, pointer.type.pointee, [pointer], name)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operand(0)
+
+
+class StoreInst(Instruction):
+    def __init__(self, value: Value, pointer: Value):
+        if not pointer.type.is_pointer:
+            raise ValueError(f"store requires pointer operand, got {pointer.type}")
+        if pointer.type.pointee is not value.type:
+            raise ValueError(
+                f"store type mismatch: {value.type} into {pointer.type}"
+            )
+        super().__init__(Opcode.STORE, VOID, [value, pointer])
+
+    @property
+    def value(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operand(1)
+
+
+class ExtractElementInst(Instruction):
+    def __init__(self, vector: Value, index: Value, name: str = ""):
+        if not vector.type.is_vector:
+            raise ValueError(f"extractelement requires a vector, got {vector.type}")
+        super().__init__(Opcode.EXTRACTELEMENT, vector.type.elem,
+                         [vector, index], name)
+
+    @property
+    def vector(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def index(self) -> Value:
+        return self.operand(1)
+
+
+class InsertElementInst(Instruction):
+    def __init__(self, vector: Value, element: Value, index: Value,
+                 name: str = ""):
+        if not vector.type.is_vector:
+            raise ValueError(f"insertelement requires a vector, got {vector.type}")
+        if vector.type.elem is not element.type:
+            raise ValueError(
+                f"insertelement element type mismatch: {element.type} into "
+                f"{vector.type}"
+            )
+        super().__init__(Opcode.INSERTELEMENT, vector.type,
+                         [vector, element, index], name)
+
+    @property
+    def vector(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def element(self) -> Value:
+        return self.operand(1)
+
+    @property
+    def index(self) -> Value:
+        return self.operand(2)
+
+
+class PhiInst(Instruction):
+    """SSA phi node.  Incoming blocks are stored separately from the value
+    operands (blocks are not SSA values here)."""
+
+    __slots__ = ("incoming_blocks",)
+
+    def __init__(self, type: Type, name: str = ""):
+        super().__init__(Opcode.PHI, type, [], name)
+        self.incoming_blocks: List = []
+
+    def add_incoming(self, value: Value, block) -> None:
+        if value.type is not self.type:
+            raise ValueError(
+                f"phi incoming type mismatch: {value.type} vs {self.type}"
+            )
+        self.append_operand(value)
+        self.incoming_blocks.append(block)
+
+    @property
+    def incoming(self) -> List[Tuple[Value, object]]:
+        return list(zip(self.operands, self.incoming_blocks))
+
+    def incoming_for_block(self, block) -> Optional[Value]:
+        for value, pred in self.incoming:
+            if pred is block:
+                return value
+        return None
+
+    def remove_incoming(self, block) -> None:
+        for i, pred in enumerate(self.incoming_blocks):
+            if pred is block:
+                self.remove_operand(i)
+                del self.incoming_blocks[i]
+                return
+        raise ValueError(f"phi has no incoming edge from {block}")
+
+    def replace_incoming_block(self, old, new) -> None:
+        for i, pred in enumerate(self.incoming_blocks):
+            if pred is old:
+                self.incoming_blocks[i] = new
+
+
+class CallInst(Instruction):
+    """Direct call.  ``callee`` is a Function (possibly a declaration).
+    Declared-only callees are treated as opaque, observable side effects
+    by the semantics — which is what makes the GVN example of Section 3.3
+    (passing poison to ``foo``) distinguishable."""
+
+    __slots__ = ("callee",)
+
+    def __init__(self, callee, args: Sequence[Value], name: str = ""):
+        ftype = callee.function_type
+        if len(args) != len(ftype.params):
+            raise ValueError(
+                f"call to @{callee.name}: expected {len(ftype.params)} args, "
+                f"got {len(args)}"
+            )
+        for arg, pty in zip(args, ftype.params):
+            if arg.type is not pty:
+                raise ValueError(
+                    f"call to @{callee.name}: arg type {arg.type} != param {pty}"
+                )
+        super().__init__(Opcode.CALL, ftype.ret, list(args), name)
+        self.callee = callee
+
+    @property
+    def args(self) -> Tuple[Value, ...]:
+        return self.operands
+
+
+class BranchInst(Instruction):
+    """Conditional or unconditional branch.  Branching on poison is the
+    crux of Section 3.3: immediate UB under the NEW semantics, a
+    nondeterministic choice under (one reading of) the OLD semantics."""
+
+    __slots__ = ("targets",)
+
+    def __init__(self, *, cond: Optional[Value] = None, true_block=None,
+                 false_block=None, target=None):
+        if cond is None:
+            if target is None:
+                raise ValueError("unconditional br needs a target")
+            super().__init__(Opcode.BR, VOID, [])
+            self.targets = [target]
+        else:
+            if not cond.type.is_bool:
+                raise ValueError(f"br condition must be i1, got {cond.type}")
+            if true_block is None or false_block is None:
+                raise ValueError("conditional br needs two targets")
+            super().__init__(Opcode.BR, VOID, [cond])
+            self.targets = [true_block, false_block]
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.num_operands == 1
+
+    @property
+    def cond(self) -> Value:
+        if not self.is_conditional:
+            raise ValueError("unconditional branch has no condition")
+        return self.operand(0)
+
+    @property
+    def true_block(self):
+        return self.targets[0]
+
+    @property
+    def false_block(self):
+        return self.targets[1]
+
+    def successors(self) -> List:
+        return list(self.targets)
+
+    def replace_successor(self, old, new) -> None:
+        for i, t in enumerate(self.targets):
+            if t is old:
+                self.targets[i] = new
+
+
+class SwitchInst(Instruction):
+    __slots__ = ("default", "cases")
+
+    def __init__(self, value: Value, default):
+        if not value.type.is_int:
+            raise ValueError(f"switch requires integer operand, got {value.type}")
+        super().__init__(Opcode.SWITCH, VOID, [value])
+        self.default = default
+        self.cases: List[Tuple[ConstantInt, object]] = []
+
+    @property
+    def value(self) -> Value:
+        return self.operand(0)
+
+    def add_case(self, const: ConstantInt, block) -> None:
+        self.cases.append((const, block))
+
+    def successors(self) -> List:
+        return [self.default] + [b for _, b in self.cases]
+
+    def replace_successor(self, old, new) -> None:
+        if self.default is old:
+            self.default = new
+        self.cases = [(c, new if b is old else b) for c, b in self.cases]
+
+
+class ReturnInst(Instruction):
+    def __init__(self, value: Optional[Value] = None):
+        super().__init__(Opcode.RET, VOID, [] if value is None else [value])
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.operand(0) if self.num_operands else None
+
+    def successors(self) -> List:
+        return []
+
+
+class UnreachableInst(Instruction):
+    """Executing ``unreachable`` is immediate UB."""
+
+    def __init__(self):
+        super().__init__(Opcode.UNREACHABLE, VOID, [])
+
+    def successors(self) -> List:
+        return []

@@ -1,0 +1,58 @@
+"""Modules: named collections of functions and globals."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from .function import Function
+from .types import FunctionType, Type
+from .values import Constant, GlobalVariable
+
+
+class Module:
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.globals: Dict[str, GlobalVariable] = {}
+
+    def add_function(self, fn: Function) -> Function:
+        if fn.name in self.functions:
+            raise ValueError(f"duplicate function @{fn.name}")
+        self.functions[fn.name] = fn
+        fn.module = self
+        return fn
+
+    def get_function(self, name: str) -> Optional[Function]:
+        return self.functions.get(name)
+
+    def declare(self, name: str, ftype: FunctionType) -> Function:
+        """Get-or-create a function declaration."""
+        existing = self.functions.get(name)
+        if existing is not None:
+            if existing.function_type is not ftype:
+                raise ValueError(f"@{name} redeclared with different type")
+            return existing
+        return Function(ftype, name, module=self)
+
+    def add_global(self, name: str, value_type: Type,
+                   initializer: Optional[Constant] = None) -> GlobalVariable:
+        if name in self.globals:
+            raise ValueError(f"duplicate global @{name}")
+        g = GlobalVariable(value_type, name, initializer)
+        self.globals[name] = g
+        return g
+
+    def get_global(self, name: str) -> Optional[GlobalVariable]:
+        return self.globals.get(name)
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions.values())
+
+    def definitions(self) -> List[Function]:
+        return [f for f in self.functions.values() if not f.is_declaration]
+
+    def num_instructions(self) -> int:
+        return sum(f.num_instructions() for f in self.definitions())
+
+    def __repr__(self) -> str:
+        return f"<Module {self.name!r} ({len(self.functions)} functions)>"

@@ -1,0 +1,143 @@
+"""Textual printer for the IR, in an LLVM-flavored syntax.
+
+The format round-trips through :mod:`repro.ir.parser`.  Example::
+
+    define i32 @add(i32 %a, i32 %b) {
+    entry:
+      %sum = add nsw i32 %a, %b
+      ret i32 %sum
+    }
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .basicblock import BasicBlock
+from .function import Function
+from .instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    ExtractElementInst,
+    FreezeInst,
+    GepInst,
+    IcmpInst,
+    InsertElementInst,
+    Instruction,
+    LoadInst,
+    Opcode,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
+from .module import Module
+from .values import Value
+
+
+def _op(value: Value) -> str:
+    """Operand as ``type ref``."""
+    return f"{value.type} {value.ref()}"
+
+
+def print_instruction(inst: Instruction) -> str:
+    dest = f"{inst.ref()} = " if not inst.type.is_void else ""
+
+    if isinstance(inst, BinaryInst):
+        return (
+            f"{dest}{inst.opcode.value}{inst.flags_str()} {inst.type} "
+            f"{inst.lhs.ref()}, {inst.rhs.ref()}"
+        )
+    if isinstance(inst, IcmpInst):
+        return (
+            f"{dest}icmp {inst.pred.value} {inst.lhs.type} "
+            f"{inst.lhs.ref()}, {inst.rhs.ref()}"
+        )
+    if isinstance(inst, SelectInst):
+        return (
+            f"{dest}select {_op(inst.cond)}, {_op(inst.true_value)}, "
+            f"{_op(inst.false_value)}"
+        )
+    if isinstance(inst, FreezeInst):
+        return f"{dest}freeze {_op(inst.value)}"
+    if isinstance(inst, CastInst):
+        return f"{dest}{inst.opcode.value} {_op(inst.value)} to {inst.type}"
+    if isinstance(inst, GepInst):
+        flags = " inbounds" if inst.inbounds else ""
+        return (
+            f"{dest}getelementptr{flags} {inst.pointer.type.pointee}, "
+            f"{_op(inst.pointer)}, {_op(inst.index)}"
+        )
+    if isinstance(inst, AllocaInst):
+        return f"{dest}alloca {inst.allocated_type}"
+    if isinstance(inst, LoadInst):
+        return f"{dest}load {inst.type}, {_op(inst.pointer)}"
+    if isinstance(inst, StoreInst):
+        return f"store {_op(inst.value)}, {_op(inst.pointer)}"
+    if isinstance(inst, ExtractElementInst):
+        return f"{dest}extractelement {_op(inst.vector)}, {_op(inst.index)}"
+    if isinstance(inst, InsertElementInst):
+        return (
+            f"{dest}insertelement {_op(inst.vector)}, {_op(inst.element)}, "
+            f"{_op(inst.index)}"
+        )
+    if isinstance(inst, PhiInst):
+        incoming = ", ".join(
+            f"[ {v.ref()}, %{b.name} ]" for v, b in inst.incoming
+        )
+        return f"{dest}phi {inst.type} {incoming}"
+    if isinstance(inst, CallInst):
+        args = ", ".join(_op(a) for a in inst.args)
+        return f"{dest}call {inst.type} @{inst.callee.name}({args})"
+    if isinstance(inst, BranchInst):
+        if inst.is_conditional:
+            return (
+                f"br i1 {inst.cond.ref()}, label %{inst.true_block.name}, "
+                f"label %{inst.false_block.name}"
+            )
+        return f"br label %{inst.targets[0].name}"
+    if isinstance(inst, SwitchInst):
+        cases = " ".join(
+            f"{c.type} {c.ref()}, label %{b.name}" for c, b in inst.cases
+        )
+        return (
+            f"switch {_op(inst.value)}, label %{inst.default.name} [ {cases} ]"
+        )
+    if isinstance(inst, ReturnInst):
+        if inst.value is None:
+            return "ret void"
+        return f"ret {_op(inst.value)}"
+    if isinstance(inst, UnreachableInst):
+        return "unreachable"
+    raise NotImplementedError(f"cannot print {inst.opcode}")
+
+
+def print_block(block: BasicBlock) -> str:
+    lines = [f"{block.name}:"]
+    for inst in block.instructions:
+        lines.append(f"  {print_instruction(inst)}")
+    return "\n".join(lines)
+
+
+def print_function(fn: Function) -> str:
+    params = ", ".join(f"{a.type} %{a.name}" for a in fn.args)
+    header = f"{fn.return_type} @{fn.name}({params})"
+    if fn.is_declaration:
+        return f"declare {header}"
+    body = "\n".join(print_block(b) for b in fn.blocks)
+    return f"define {header} {{\n{body}\n}}"
+
+
+def print_module(module: Module) -> str:
+    parts: List[str] = []
+    for g in module.globals.values():
+        init = f" {g.initializer.ref()}" if g.initializer is not None else ""
+        parts.append(f"@{g.name} = global {g.value_type}{init}")
+    for fn in module.functions.values():
+        parts.append(print_function(fn))
+    return "\n\n".join(parts) + "\n"

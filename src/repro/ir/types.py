@@ -1,0 +1,237 @@
+"""Type system for the LLVM-like IR.
+
+The paper (Figure 4) uses arbitrary-bitwidth integers ``isz``, pointers
+``ty*``, and fixed-length vectors ``<sz x ty>``.  We add ``void`` and
+``label`` as structural types for terminators and blocks, and a function
+type used by declarations.
+
+Types are immutable and interned: constructing ``IntType(32)`` twice
+returns the same object, so identity comparison is safe and cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+class Type:
+    """Base class for all IR types."""
+
+    _interned: Dict[Tuple, "Type"] = {}
+
+    def __repr__(self) -> str:
+        return str(self)
+
+    # -- classification helpers ------------------------------------------
+    @property
+    def is_int(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_bool(self) -> bool:
+        return isinstance(self, IntType) and self.bits == 1
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_vector(self) -> bool:
+        return isinstance(self, VectorType)
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_label(self) -> bool:
+        return isinstance(self, LabelType)
+
+    @property
+    def is_function(self) -> bool:
+        return isinstance(self, FunctionType)
+
+    @property
+    def is_first_class(self) -> bool:
+        """First-class types can be produced by instructions and held in
+        registers."""
+        return self.is_int or self.is_pointer or self.is_vector
+
+    def bitwidth(self) -> int:
+        """Total width of the low-level bit representation (Figure 5's
+        ``bitwidth(ty)``)."""
+        raise NotImplementedError(f"{self} has no bit representation")
+
+    # -- element access for scalar-or-vector polymorphism ----------------
+    @property
+    def scalar(self) -> "Type":
+        """The element type for vectors, the type itself for scalars."""
+        return self
+
+
+def _intern(cls, key: Tuple, build):
+    cached = Type._interned.get((cls, *key))
+    if cached is None:
+        cached = build()
+        Type._interned[(cls, *key)] = cached
+    return cached
+
+
+class IntType(Type):
+    """An arbitrary-bitwidth integer type ``iN`` with ``N >= 1``."""
+
+    __slots__ = ("bits",)
+
+    def __new__(cls, bits: int) -> "IntType":
+        if bits < 1:
+            raise ValueError(f"integer bitwidth must be >= 1, got {bits}")
+
+        def build():
+            obj = object.__new__(cls)
+            obj.bits = bits
+            return obj
+
+        return _intern(cls, (bits,), build)
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+    def bitwidth(self) -> int:
+        return self.bits
+
+    @property
+    def num_values(self) -> int:
+        return 1 << self.bits
+
+    @property
+    def signed_min(self) -> int:
+        return -(1 << (self.bits - 1))
+
+    @property
+    def signed_max(self) -> int:
+        return (1 << (self.bits - 1)) - 1
+
+    @property
+    def unsigned_max(self) -> int:
+        return (1 << self.bits) - 1
+
+
+class PointerType(Type):
+    """A typed pointer ``ty*``.  Addresses are 32 bits wide, per the
+    simplification adopted in Figure 5 of the paper."""
+
+    ADDRESS_BITS = 32
+
+    __slots__ = ("pointee",)
+
+    def __new__(cls, pointee: Type) -> "PointerType":
+        def build():
+            obj = object.__new__(cls)
+            obj.pointee = pointee
+            return obj
+
+        return _intern(cls, (id(pointee),), build)
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+    def bitwidth(self) -> int:
+        return self.ADDRESS_BITS
+
+
+class VectorType(Type):
+    """A fixed-length vector ``<count x elem>`` of scalar elements."""
+
+    __slots__ = ("count", "elem")
+
+    def __new__(cls, count: int, elem: Type) -> "VectorType":
+        if count < 1:
+            raise ValueError(f"vector length must be >= 1, got {count}")
+        if not (elem.is_int or elem.is_pointer):
+            raise ValueError(f"invalid vector element type: {elem}")
+
+        def build():
+            obj = object.__new__(cls)
+            obj.count = count
+            obj.elem = elem
+            return obj
+
+        return _intern(cls, (count, id(elem)), build)
+
+    def __str__(self) -> str:
+        return f"<{self.count} x {self.elem}>"
+
+    def bitwidth(self) -> int:
+        return self.count * self.elem.bitwidth()
+
+    @property
+    def scalar(self) -> Type:
+        return self.elem
+
+
+class VoidType(Type):
+    __slots__ = ()
+
+    def __new__(cls) -> "VoidType":
+        return _intern(cls, (), lambda: object.__new__(cls))
+
+    def __str__(self) -> str:
+        return "void"
+
+
+class LabelType(Type):
+    __slots__ = ()
+
+    def __new__(cls) -> "LabelType":
+        return _intern(cls, (), lambda: object.__new__(cls))
+
+    def __str__(self) -> str:
+        return "label"
+
+
+class FunctionType(Type):
+    """A function signature: return type plus parameter types."""
+
+    __slots__ = ("ret", "params")
+
+    def __new__(cls, ret: Type, params: Tuple[Type, ...]) -> "FunctionType":
+        params = tuple(params)
+
+        def build():
+            obj = object.__new__(cls)
+            obj.ret = ret
+            obj.params = params
+            return obj
+
+        return _intern(cls, (id(ret), tuple(id(p) for p in params)), build)
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params)
+        return f"{self.ret} ({params})"
+
+
+# Commonly used singletons.
+VOID = VoidType()
+LABEL = LabelType()
+I1 = IntType(1)
+I2 = IntType(2)
+I4 = IntType(4)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+
+
+def int_type(bits: int) -> IntType:
+    """Convenience constructor mirroring ``IntType`` for API symmetry."""
+    return IntType(bits)
+
+
+def same_shape(a: Type, b: Type) -> bool:
+    """True when two types are both scalars or vectors of equal length
+    (used for element-wise instruction type checks like icmp/select)."""
+    if a.is_vector != b.is_vector:
+        return False
+    if a.is_vector:
+        return a.count == b.count
+    return True

@@ -1,0 +1,295 @@
+"""Value hierarchy: SSA values, constants, undef and poison.
+
+Mirrors LLVM's design: every operand of an instruction is a ``Value``;
+instructions are themselves values (their result).  Use lists are
+maintained so passes can run ``replace_all_uses_with`` and query users,
+which GVN/DCE/InstCombine all rely on.
+
+``UndefValue`` and ``PoisonValue`` are the deferred-UB constants at the
+center of the paper.  ``UndefValue`` only exists under the OLD semantics
+mode; the verifier can be asked to reject it for NEW-mode modules.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .types import IntType, PointerType, Type, VectorType
+
+
+class Value:
+    """Base class for everything that can appear as an operand."""
+
+    __slots__ = ("type", "name", "_uses")
+
+    def __init__(self, type: Type, name: str = ""):
+        self.type = type
+        self.name = name
+        self._uses: List["Use"] = []
+
+    # -- use-list management ---------------------------------------------
+    @property
+    def uses(self) -> Tuple["Use", ...]:
+        return tuple(self._uses)
+
+    @property
+    def num_uses(self) -> int:
+        return len(self._uses)
+
+    def users(self) -> Iterator["User"]:
+        seen = set()
+        for use in self._uses:
+            if id(use.user) not in seen:
+                seen.add(id(use.user))
+                yield use.user
+
+    def has_one_use(self) -> bool:
+        return len(self._uses) == 1
+
+    def replace_all_uses_with(self, new: "Value") -> None:
+        if new is self:
+            return
+        for use in list(self._uses):
+            use.set(new)
+
+    # -- classification ----------------------------------------------------
+    @property
+    def is_constant(self) -> bool:
+        return isinstance(self, Constant)
+
+    @property
+    def is_undef(self) -> bool:
+        return isinstance(self, UndefValue)
+
+    @property
+    def is_poison(self) -> bool:
+        return isinstance(self, PoisonValue)
+
+    def ref(self) -> str:
+        """Short printable reference (how the value appears as an operand)."""
+        return f"%{self.name}" if self.name else "%<unnamed>"
+
+    def __str__(self) -> str:
+        return self.ref()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.ref()}: {self.type}>"
+
+
+class Use:
+    """One operand slot of a user; knows how to rewrite itself."""
+
+    __slots__ = ("user", "index", "_value")
+
+    def __init__(self, user: "User", index: int, value: Value):
+        self.user = user
+        self.index = index
+        self._value = value
+        value._uses.append(self)
+
+    @property
+    def value(self) -> Value:
+        return self._value
+
+    def set(self, new: Value) -> None:
+        self._value._uses.remove(self)
+        self._value = new
+        new._uses.append(self)
+
+    def drop(self) -> None:
+        self._value._uses.remove(self)
+
+
+class User(Value):
+    """A value that holds operands (instructions, constant expressions)."""
+
+    __slots__ = ("_operand_uses",)
+
+    def __init__(self, type: Type, operands: Sequence[Value], name: str = ""):
+        super().__init__(type, name)
+        self._operand_uses: List[Use] = [
+            Use(self, i, op) for i, op in enumerate(operands)
+        ]
+
+    @property
+    def operands(self) -> Tuple[Value, ...]:
+        return tuple(use.value for use in self._operand_uses)
+
+    @property
+    def num_operands(self) -> int:
+        return len(self._operand_uses)
+
+    def operand(self, i: int) -> Value:
+        return self._operand_uses[i].value
+
+    def set_operand(self, i: int, value: Value) -> None:
+        self._operand_uses[i].set(value)
+
+    def append_operand(self, value: Value) -> None:
+        self._operand_uses.append(Use(self, len(self._operand_uses), value))
+
+    def remove_operand(self, i: int) -> None:
+        self._operand_uses[i].drop()
+        del self._operand_uses[i]
+        for j in range(i, len(self._operand_uses)):
+            self._operand_uses[j].index = j
+
+    def drop_all_operands(self) -> None:
+        for use in self._operand_uses:
+            use.drop()
+        self._operand_uses.clear()
+
+
+class Constant(Value):
+    """Base class for compile-time constants."""
+
+    __slots__ = ()
+
+    def ref(self) -> str:  # pragma: no cover - overridden everywhere
+        raise NotImplementedError
+
+
+class ConstantInt(Constant):
+    """An integer constant, stored as an unsigned value in ``[0, 2^N)``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, type: IntType, value: int):
+        if not isinstance(type, IntType):
+            raise TypeError(f"ConstantInt requires an integer type, got {type}")
+        super().__init__(type)
+        self.value = value & type.unsigned_max
+
+    @property
+    def signed_value(self) -> int:
+        ty: IntType = self.type  # type: ignore[assignment]
+        if self.value > ty.signed_max:
+            return self.value - ty.num_values
+        return self.value
+
+    @property
+    def is_zero(self) -> bool:
+        return self.value == 0
+
+    @property
+    def is_one(self) -> bool:
+        return self.value == 1
+
+    @property
+    def is_all_ones(self) -> bool:
+        return self.value == self.type.unsigned_max  # type: ignore[union-attr]
+
+    def ref(self) -> str:
+        if self.type.is_bool:
+            return "true" if self.value else "false"
+        return str(self.signed_value)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ConstantInt)
+            and other.type is self.type
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((ConstantInt, self.type, self.value))
+
+
+class ConstantVector(Constant):
+    """A vector constant; elements are ConstantInt / undef / poison."""
+
+    __slots__ = ("elements",)
+
+    def __init__(self, type: VectorType, elements: Sequence[Constant]):
+        if len(elements) != type.count:
+            raise ValueError(
+                f"vector constant needs {type.count} elements, got {len(elements)}"
+            )
+        super().__init__(type)
+        self.elements = tuple(elements)
+
+    def ref(self) -> str:
+        elems = ", ".join(f"{e.type} {e.ref()}" for e in self.elements)
+        return f"<{elems}>"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ConstantVector)
+            and other.type is self.type
+            and other.elements == self.elements
+        )
+
+    def __hash__(self) -> int:
+        return hash((ConstantVector, self.type, self.elements))
+
+
+class UndefValue(Constant):
+    """LLVM's ``undef``: an indeterminate value; each *use* may observe a
+    different concrete value (Section 3.1).  Exists only in OLD-mode IR."""
+
+    __slots__ = ()
+
+    def ref(self) -> str:
+        return "undef"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, UndefValue) and other.type is self.type
+
+    def __hash__(self) -> int:
+        return hash((UndefValue, self.type))
+
+
+class PoisonValue(Constant):
+    """The ``poison`` value: deferred UB that taints dependent computation
+    and triggers immediate UB at side-effecting / branching uses."""
+
+    __slots__ = ()
+
+    def ref(self) -> str:
+        return "poison"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, PoisonValue) and other.type is self.type
+
+    def __hash__(self) -> int:
+        return hash((PoisonValue, self.type))
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    __slots__ = ("parent", "index")
+
+    def __init__(self, type: Type, name: str, parent=None, index: int = 0):
+        super().__init__(type, name)
+        self.parent = parent
+        self.index = index
+
+
+class GlobalVariable(Constant):
+    """A named global holding ``size`` bytes; its value is its address.
+
+    The interpreter allocates a concrete address for each global at
+    function-entry setup.  Globals let tests and benchmarks exercise the
+    memory semantics (loads/stores, poison bits in memory).
+    """
+
+    __slots__ = ("value_type", "initializer")
+
+    def __init__(self, value_type: Type, name: str,
+                 initializer: Optional[Constant] = None):
+        super().__init__(PointerType(value_type), name)
+        self.value_type = value_type
+        self.initializer = initializer
+
+    def ref(self) -> str:
+        return f"@{self.name}"
+
+
+def const_int(bits: int, value: int) -> ConstantInt:
+    """Shorthand for ``ConstantInt(IntType(bits), value)``."""
+    return ConstantInt(IntType(bits), value)
+
+
+def const_bool(value: bool) -> ConstantInt:
+    return ConstantInt(IntType(1), int(value))

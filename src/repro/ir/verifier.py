@@ -1,0 +1,161 @@
+"""IR verifier: structural, SSA-dominance, and semantics-mode checks.
+
+Raises :class:`VerificationError` listing every violation.  Passes run it
+after transforming (in tests) to catch IR corruption early — the same
+role ``opt -verify`` plays in LLVM.
+
+The ``forbid_undef`` flag implements the paper's NEW semantics rule that
+``undef`` no longer exists (Section 4): modules migrated to poison+freeze
+must not contain ``UndefValue``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .function import Function
+from .instructions import Instruction, PhiInst
+from .module import Module
+from .values import Argument, Constant, UndefValue
+
+
+class VerificationError(Exception):
+    def __init__(self, errors: List[str]):
+        super().__init__("\n".join(errors))
+        self.errors = errors
+
+
+def verify_function(fn: Function, forbid_undef: bool = False) -> None:
+    # Imported here to avoid a package-level import cycle
+    # (repro.ir <-> repro.analysis).
+    from ..analysis.cfg import predecessor_map, reachable_blocks
+    from ..analysis.dominators import DominatorTree
+
+    errors: List[str] = []
+    where = f"@{fn.name}"
+
+    if fn.is_declaration:
+        return
+
+    block_set = set(fn.blocks)
+
+    # Block structure.
+    for block in fn.blocks:
+        if block.terminator is None:
+            errors.append(f"{where}: block %{block.name} has no terminator")
+        for i, inst in enumerate(block.instructions):
+            if inst.is_terminator and i != len(block.instructions) - 1:
+                errors.append(
+                    f"{where}: terminator in the middle of %{block.name}"
+                )
+            if isinstance(inst, PhiInst) and i > len(block.phis()) - 1:
+                errors.append(
+                    f"{where}: phi {inst.ref()} not at the start of "
+                    f"%{block.name}"
+                )
+            if inst.parent is not block:
+                errors.append(
+                    f"{where}: {inst.ref()} has wrong parent link"
+                )
+        for succ in block.successors():
+            if succ not in block_set:
+                errors.append(
+                    f"{where}: %{block.name} branches to foreign block "
+                    f"%{succ.name}"
+                )
+
+    preds = predecessor_map(fn)
+    if preds[fn.entry]:
+        errors.append(f"{where}: entry block %{fn.entry.name} has predecessors")
+
+    # Phi incoming edges must exactly match predecessors.
+    reachable = reachable_blocks(fn)
+    for block in fn.blocks:
+        if block not in reachable:
+            continue
+        expected = set(preds[block])
+        for phi in block.phis():
+            got = set(phi.incoming_blocks)
+            missing = expected - got
+            extra = got - expected
+            for b in missing:
+                errors.append(
+                    f"{where}: phi {phi.ref()} missing incoming for "
+                    f"pred %{b.name}"
+                )
+            for b in extra:
+                errors.append(
+                    f"{where}: phi {phi.ref()} has incoming for non-pred "
+                    f"%{b.name}"
+                )
+            if len(phi.incoming_blocks) != len(set(map(id, phi.incoming_blocks))):
+                errors.append(
+                    f"{where}: phi {phi.ref()} has duplicate incoming blocks"
+                )
+
+    if errors:
+        raise VerificationError(errors)
+
+    # SSA dominance (only meaningful once structure is sane).
+    dt = DominatorTree(fn)
+    for block in fn.blocks:
+        if block not in reachable:
+            continue
+        for inst in block.instructions:
+            if isinstance(inst, PhiInst):
+                for value, pred in inst.incoming:
+                    if isinstance(value, (Constant, Argument)):
+                        continue
+                    if not isinstance(value, Instruction):
+                        errors.append(
+                            f"{where}: phi {inst.ref()} has non-SSA operand "
+                            f"{value!r}"
+                        )
+                        continue
+                    if pred in reachable and not dt.dominates_edge(value, pred):
+                        errors.append(
+                            f"{where}: def {value.ref()} does not dominate "
+                            f"phi edge from %{pred.name}"
+                        )
+                continue
+            for op in inst.operands:
+                if isinstance(op, (Constant, Argument)):
+                    continue
+                if not isinstance(op, Instruction):
+                    errors.append(
+                        f"{where}: {inst.ref()} has non-SSA operand {op!r}"
+                    )
+                    continue
+                if op.parent is None or op.parent.parent is not fn:
+                    errors.append(
+                        f"{where}: {inst.ref()} uses detached value {op.ref()}"
+                    )
+                    continue
+                if op.parent in reachable and not dt.dominates(op, inst):
+                    errors.append(
+                        f"{where}: def {op.ref()} does not dominate use in "
+                        f"{inst.ref() if not inst.type.is_void else inst.opcode.value}"
+                    )
+
+    if forbid_undef:
+        for inst in fn.instructions():
+            for op in inst.operands:
+                if isinstance(op, UndefValue):
+                    errors.append(
+                        f"{where}: undef operand in {inst.opcode.value} "
+                        f"(forbidden under the poison/freeze semantics)"
+                    )
+
+    if errors:
+        raise VerificationError(errors)
+
+
+def verify_module(module: Module, forbid_undef: bool = False) -> None:
+    errors: List[str] = []
+    for fn in module.definitions():
+        try:
+            verify_function(fn, forbid_undef=forbid_undef)
+        except VerificationError as e:
+            errors.extend(e.errors)
+    if errors:
+        raise VerificationError(errors)

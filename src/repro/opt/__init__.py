@@ -1,0 +1,41 @@
+"""The optimizer: passes, pipelines, and configuration."""
+
+from .clone import clone_instruction, clone_region
+from .codegenprepare import CodeGenPrepare
+from .constfold import try_constant_fold
+from .dce import DCE, is_trivially_dead
+from .early_cse import EarlyCSE
+from .freeze_opts import FreezeOpts
+from .gvn import GVN
+from .inliner import Inliner, inline_call
+from .instcombine import InstCombine
+from .instsimplify import InstSimplify, simplify_instruction
+from .licm import LICM
+from .load_widen import LoadWidening
+from .loop_unswitch import LoopUnswitch
+from .mem2reg import Mem2Reg
+from .pass_manager import FunctionPass, OptConfig, PassManager, PassStats
+from .pipelines import (
+    baseline_config,
+    codegen_pipeline,
+    o2_pipeline,
+    prototype_config,
+    quick_pipeline,
+    single_pass_pipeline,
+)
+from .reassociate import Reassociate
+from .sccp import SCCP
+from .simplify_cfg import SimplifyCFG
+from .sink import Sink
+
+__all__ = [
+    "clone_instruction", "clone_region",
+    "CodeGenPrepare", "try_constant_fold", "DCE", "is_trivially_dead",
+    "EarlyCSE", "FreezeOpts", "GVN", "Inliner", "inline_call", "InstCombine",
+    "InstSimplify", "simplify_instruction", "LICM", "LoopUnswitch",
+    "LoadWidening", "Mem2Reg",
+    "FunctionPass", "OptConfig", "PassManager", "PassStats",
+    "baseline_config", "codegen_pipeline", "o2_pipeline",
+    "prototype_config", "quick_pipeline", "single_pass_pipeline",
+    "Reassociate", "SCCP", "SimplifyCFG", "Sink",
+]

@@ -1,0 +1,152 @@
+"""CodeGenPrepare: late IR massaging right before instruction selection.
+
+Section 6 ("Optimizations") describes two regressions the prototype had
+to fix, both modeled here behind ``freeze_aware_codegen``:
+
+* Branches on ``and``/``or`` of i1 values are split into two branches
+  (cheaper than materializing the boolean on x86).  A freeze wrapped
+  around the and/or blocked this until CodeGenPrepare learned to
+  distribute the freeze over the operands (a refinement: freezing each
+  conjunct pins at least as much as freezing the conjunction).
+
+* ``freeze(icmp %x, const)`` is rewritten to ``icmp (freeze %x), const``
+  so that compare-with-branch fusion still fires.  This is a refinement
+  and must only run this late: done early it breaks analyses such as
+  scalar evolution (Section 6).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    BinaryInst,
+    BranchInst,
+    FreezeInst,
+    IcmpInst,
+    Instruction,
+    Opcode,
+)
+from ..ir.values import ConstantInt
+from .pass_manager import FunctionPass
+
+
+class CodeGenPrepare(FunctionPass):
+    name = "codegenprepare"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        if self.config.freeze_aware_codegen:
+            changed |= self._sink_freeze_through_icmp(fn)
+            changed |= self._distribute_freeze_over_logic(fn)
+        changed |= self._split_logic_branches(fn)
+        return changed
+
+    # -- freeze(icmp x, C) -> icmp (freeze x), C ------------------------------
+    def _sink_freeze_through_icmp(self, fn: Function) -> bool:
+        changed = False
+        for block in fn.blocks:
+            for inst in list(block.instructions):
+                if not isinstance(inst, FreezeInst):
+                    continue
+                cmp = inst.value
+                if not isinstance(cmp, IcmpInst) or not cmp.has_one_use:
+                    continue
+                if not isinstance(cmp.rhs, ConstantInt):
+                    continue
+                frozen = FreezeInst(cmp.lhs, cmp.lhs.name + ".fr")
+                block.insert_before(inst, frozen)
+                new_cmp = IcmpInst(cmp.pred, frozen, cmp.rhs, inst.name)
+                block.insert_before(inst, new_cmp)
+                inst.replace_all_uses_with(new_cmp)
+                block.erase(inst)
+                if cmp.num_uses == 0 and cmp.parent is not None:
+                    cmp.parent.erase(cmp)
+                changed = True
+        return changed
+
+    # -- freeze(and/or a, b) -> and/or (freeze a), (freeze b) ---------------------
+    def _distribute_freeze_over_logic(self, fn: Function) -> bool:
+        changed = False
+        for block in fn.blocks:
+            for inst in list(block.instructions):
+                if not isinstance(inst, FreezeInst):
+                    continue
+                logic = inst.value
+                if not isinstance(logic, BinaryInst) or not logic.has_one_use:
+                    continue
+                if logic.opcode not in (Opcode.AND, Opcode.OR):
+                    continue
+                if not logic.type.is_bool:
+                    continue
+                fa = FreezeInst(logic.lhs, logic.lhs.name + ".fr")
+                fb = FreezeInst(logic.rhs, logic.rhs.name + ".fr")
+                where = logic if logic.parent is block else inst
+                block.insert_before(where, fa)
+                block.insert_before(where, fb)
+                new_logic = BinaryInst(logic.opcode, fa, fb, inst.name)
+                block.insert_before(where, new_logic)
+                inst.replace_all_uses_with(new_logic)
+                block.erase(inst)
+                if logic.num_uses == 0 and logic.parent is not None:
+                    logic.parent.erase(logic)
+                changed = True
+        return changed
+
+    # -- br (and/or a, b) -> two branches -------------------------------------------
+    def _split_logic_branches(self, fn: Function) -> bool:
+        changed = False
+        for block in list(fn.blocks):
+            term = block.terminator
+            if not isinstance(term, BranchInst) or not term.is_conditional:
+                continue
+            cond = term.cond
+            if isinstance(cond, FreezeInst):
+                # Without freeze-awareness the split is blocked — the
+                # compile-time/run-time regression of Section 6.
+                continue
+            if not isinstance(cond, BinaryInst) or not cond.has_one_use:
+                continue
+            if cond.opcode not in (Opcode.AND, Opcode.OR):
+                continue
+            if not cond.type.is_bool:
+                continue
+            if cond.parent is not block:
+                continue
+            a, b = cond.lhs, cond.rhs
+            true_block, false_block = term.true_block, term.false_block
+            if true_block is false_block:
+                continue
+            # New block tests the second condition.
+            second = fn.add_block(block.name + ".split")
+            second_term = BranchInst(cond=b, true_block=true_block,
+                                     false_block=false_block)
+            second.append(second_term)
+            block.erase(term)
+            if cond.opcode is Opcode.AND:
+                # and: a false short-circuits to the false target.
+                block.append(BranchInst(cond=a, true_block=second,
+                                        false_block=false_block))
+            else:
+                # or: a true short-circuits to the true target.
+                block.append(BranchInst(cond=a, true_block=true_block,
+                                        false_block=second))
+            if cond.num_uses == 0:
+                block.erase(cond)
+            # Phi fix-up: successors gain `second` as a predecessor and
+            # (possibly) keep `block`.
+            for succ in (true_block, false_block):
+                for phi in succ.phis():
+                    if block in phi.incoming_blocks:
+                        value = phi.incoming_for_block(block)
+                        if block not in [
+                            p for p in succ.predecessors()
+                        ]:
+                            phi.remove_incoming(block)
+                        if second in succ.predecessors() \
+                                and second not in phi.incoming_blocks:
+                            phi.add_incoming(value, second)
+            changed = True
+        return changed

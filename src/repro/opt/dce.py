@@ -1,0 +1,32 @@
+"""Dead code elimination: remove side-effect-free instructions with no
+uses, iterating to a fixpoint."""
+
+from __future__ import annotations
+
+from ..ir.function import Function
+from ..ir.instructions import Instruction
+from .pass_manager import FunctionPass
+
+
+def is_trivially_dead(inst: Instruction) -> bool:
+    if inst.num_uses:
+        return False
+    if inst.is_terminator:
+        return False
+    return not inst.may_have_side_effects
+
+
+class DCE(FunctionPass):
+    name = "dce"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            for block in fn.blocks:
+                for inst in list(reversed(block.instructions)):
+                    if is_trivially_dead(inst):
+                        block.erase(inst)
+                        changed = progress = True
+        return changed

@@ -1,0 +1,57 @@
+"""EarlyCSE: block-local redundancy elimination over memory.
+
+Two pieces, both scoped to a single basic block and invalidated
+conservatively (any store or call clobbers everything, since distinct
+pointer SSA values may alias):
+
+* *store-to-load forwarding*: a load from the same pointer SSA value as
+  an earlier store (with no intervening clobber) returns the stored
+  value;
+* *load-load CSE*: two loads from the same pointer with no intervening
+  clobber return the same value.
+
+This is what cleans up the Section 5.3 bit-field sequences after GVN
+has unified the address computations: the reload after each masked
+store disappears.
+
+Poison note: forwarding is exact — the load would have returned
+precisely the stored value's bits through ty-down/ty-up, including
+poison bits (scalar round-trip of a poisoned scalar is the poisoned
+scalar).  Forwarding a *narrower-typed* load from a wider store is NOT
+done; only same-type accesses match.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..ir.function import Function
+from ..ir.instructions import CallInst, Instruction, LoadInst, StoreInst
+from ..ir.values import Value
+from .pass_manager import FunctionPass
+
+
+class EarlyCSE(FunctionPass):
+    name = "early-cse"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        for block in fn.blocks:
+            #: pointer SSA value -> (value available there, its type)
+            available: Dict[Value, Value] = {}
+            for inst in list(block.instructions):
+                if isinstance(inst, StoreInst):
+                    # aliasing: any store may clobber any other pointer
+                    available.clear()
+                    available[inst.pointer] = inst.value
+                elif isinstance(inst, CallInst):
+                    available.clear()
+                elif isinstance(inst, LoadInst):
+                    known = available.get(inst.pointer)
+                    if known is not None and known.type is inst.type:
+                        inst.replace_all_uses_with(known)
+                        block.erase(inst)
+                        changed = True
+                    else:
+                        available[inst.pointer] = inst
+        return changed

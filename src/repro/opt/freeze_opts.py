@@ -1,0 +1,38 @@
+"""Freeze-specific cleanups (Section 6, "Implementation").
+
+* ``freeze(freeze x) -> freeze x``
+* ``freeze(const) -> const`` (for a fully defined constant)
+* ``freeze(poison) / freeze(undef) -> arbitrary constant``
+* ``freeze x -> x`` when ``x`` is provably never poison/undef
+
+These keep the freeze instructions introduced by loop unswitching and
+bit-field lowering from piling up, which is how the prototype keeps the
+freeze fraction of IR around 0.04–0.06% (experiment E4).
+"""
+
+from __future__ import annotations
+
+from ..ir.function import Function
+from ..ir.instructions import FreezeInst
+from .instsimplify import simplify_instruction
+from .pass_manager import FunctionPass
+
+
+class FreezeOpts(FunctionPass):
+    name = "freeze-opts"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            for block in fn.blocks:
+                for inst in list(block.instructions):
+                    if not isinstance(inst, FreezeInst):
+                        continue
+                    simpler = simplify_instruction(inst, self.config)
+                    if simpler is not None and simpler is not inst:
+                        inst.replace_all_uses_with(simpler)
+                        block.erase(inst)
+                        changed = progress = True
+        return changed

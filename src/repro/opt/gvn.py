@@ -1,0 +1,233 @@
+"""Global value numbering.
+
+Two ingredients, matching Section 3.3's description:
+
+1. *Expression-based redundancy elimination*: instructions computing a
+   syntactically identical expression (same opcode, value-numbered
+   operands, flags) are replaced by a dominating representative.
+
+2. *Equality propagation*: after ``br (icmp eq %a, %b), %T, %F``, within
+   blocks dominated by the true edge, ``%a`` may be replaced by ``%b``
+   (one representative is picked).  This is the step that passes a
+   potentially-poison ``%y`` into a call in the paper's example — it is
+   sound **only if branching on poison is UB** (so that the guarding
+   branch would already have been UB when the compared values were
+   poison).  The ``gvn_replace_with_equal`` toggle exists so the
+   experiments can run GVN under the semantics where it is unsound.
+
+``freeze`` instructions are never value-numbered: two freezes of the
+same value may legitimately differ (Section 6 notes GVN would need to
+replace *all* uses of a freeze to fold two of them; like the paper's
+prototype, we conservatively do not).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.dominators import DominatorTree
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    BinaryInst,
+    BranchInst,
+    CastInst,
+    FreezeInst,
+    GepInst,
+    IcmpInst,
+    IcmpPred,
+    Instruction,
+    Opcode,
+    PhiInst,
+    SelectInst,
+)
+from ..ir.values import Argument, Constant, Value
+from .pass_manager import FunctionPass
+
+
+class _ValueTable:
+    def __init__(self):
+        self._numbers: Dict[int, int] = {}  # id(value) -> number
+        self._constants: Dict[Constant, int] = {}
+        self._expressions: Dict[Tuple, int] = {}
+        self._next = 0
+
+    def _fresh(self) -> int:
+        self._next += 1
+        return self._next
+
+    def number_of(self, value: Value) -> int:
+        if isinstance(value, Constant):
+            try:
+                if value in self._constants:
+                    return self._constants[value]
+                n = self._fresh()
+                self._constants[value] = n
+                return n
+            except TypeError:
+                pass
+        if id(value) in self._numbers:
+            return self._numbers[id(value)]
+        n = self._fresh()
+        self._numbers[id(value)] = n
+        return n
+
+    def expression_key(self, inst: Instruction,
+                       fold_freeze: bool = False) -> Optional[Tuple]:
+        """A hashable key identifying the expression, or ``None`` when the
+        instruction must not be value-numbered."""
+        if isinstance(inst, FreezeInst):
+            if not fold_freeze:
+                return None  # each freeze is its own value
+            # Extension (Section 6): freezes of the same value may be
+            # folded *provided all uses are replaced* — which
+            # replace_all_uses_with guarantees.  Folding shrinks the
+            # nondeterminism (two independent choices become one), a
+            # refinement.
+            return (inst.opcode, self.number_of(inst.value),
+                    str(inst.type))
+        if inst.may_have_side_effects or inst.is_terminator:
+            return None
+        if isinstance(inst, PhiInst):
+            return None
+        ops = tuple(self.number_of(op) for op in inst.operands)
+        if isinstance(inst, BinaryInst):
+            if inst.is_commutative:
+                ops = tuple(sorted(ops))
+            return (inst.opcode, ops, inst.nsw, inst.nuw, inst.exact,
+                    str(inst.type))
+        if isinstance(inst, IcmpInst):
+            a, b = ops
+            pred = inst.pred
+            if b < a:
+                a, b = b, a
+                pred = pred.swapped()
+            return (inst.opcode, pred, a, b)
+        if isinstance(inst, CastInst):
+            return (inst.opcode, ops, str(inst.type))
+        if isinstance(inst, SelectInst):
+            return (inst.opcode, ops, str(inst.type))
+        if isinstance(inst, GepInst):
+            return (inst.opcode, ops, inst.inbounds, str(inst.type))
+        return None
+
+    def assign(self, inst: Instruction, number: int) -> None:
+        self._numbers[id(inst)] = number
+
+    def merge(self, a: Value, b: Value) -> None:
+        """Record that ``a`` and ``b`` hold equal values."""
+        na = self.number_of(a)
+        self._numbers[id(b)] = na
+
+
+class GVN(FunctionPass):
+    name = "gvn"
+
+    def run_on_function(self, fn: Function) -> bool:
+        if fn.is_declaration or not fn.blocks:
+            return False
+        dt = DominatorTree(fn)
+        table = _ValueTable()
+        #: value number -> list of (defining block, representative value)
+        leaders: Dict[int, List[Tuple[BasicBlock, Value]]] = {}
+        #: block -> equalities (old value -> representative) active there
+        changed = False
+
+        equalities = self._collect_branch_equalities(fn, dt) \
+            if self.config.gvn_replace_with_equal else {}
+
+        for block in dt.rpo:
+            for inst in list(block.instructions):
+                # Equality propagation: rewrite operands to the
+                # representative chosen by a dominating guard.
+                for i, op in enumerate(inst.operands):
+                    rep = self._representative(op, block, inst, equalities,
+                                               dt)
+                    if rep is not None and rep is not op:
+                        if isinstance(inst, PhiInst):
+                            continue  # keep phi shape simple
+                        inst.set_operand(i, rep)
+                        changed = True
+
+                key = table.expression_key(
+                    inst, fold_freeze=self.config.gvn_fold_freeze)
+                if key is None:
+                    continue
+                number = table._expressions.get(key)
+                if number is None:
+                    number = table.number_of(inst)
+                    table._expressions[key] = number
+                    leaders.setdefault(number, []).append((block, inst))
+                    continue
+                table.assign(inst, number)
+                leader = self._find_dominating_leader(
+                    leaders.get(number, []), inst, dt
+                )
+                if leader is not None and leader is not inst:
+                    inst.replace_all_uses_with(leader)
+                    block.erase(inst)
+                    changed = True
+                else:
+                    leaders.setdefault(number, []).append((block, inst))
+        return changed
+
+    # -- helpers ---------------------------------------------------------------
+    def _find_dominating_leader(self, candidates, inst: Instruction,
+                                dt: DominatorTree) -> Optional[Value]:
+        for _, leader in candidates:
+            if isinstance(leader, Instruction):
+                if leader.parent is not None and dt.dominates(leader, inst):
+                    return leader
+            else:
+                return leader
+        return None
+
+    def _collect_branch_equalities(self, fn: Function, dt: DominatorTree):
+        """Map: block guarded by an equality -> list of (a, b) known equal
+        there.  Only true-edges of ``icmp eq`` guards whose target has a
+        single predecessor are used."""
+        equalities: Dict[BasicBlock, List[Tuple[Value, Value]]] = {}
+        for block in fn.blocks:
+            term = block.terminator
+            if not isinstance(term, BranchInst) or not term.is_conditional:
+                continue
+            cond = term.cond
+            if not isinstance(cond, IcmpInst):
+                continue
+            if cond.pred is IcmpPred.EQ:
+                target = term.true_block
+            elif cond.pred is IcmpPred.NE:
+                target = term.false_block
+            else:
+                continue
+            if len(target.predecessors()) != 1 or target is block:
+                continue
+            equalities.setdefault(target, []).append((cond.lhs, cond.rhs))
+        return equalities
+
+    def _representative(self, op: Value, block: BasicBlock,
+                        inst: Instruction, equalities, dt: DominatorTree
+                        ) -> Optional[Value]:
+        """If a dominating guard says ``op == rep``, return ``rep``."""
+        for guarded, pairs in equalities.items():
+            if not dt.dominates_block(guarded, block):
+                continue
+            for a, b in pairs:
+                # One direction only (no oscillation): constants win;
+                # otherwise the RHS of the comparison is the
+                # representative, as in the paper's example where
+                # ``t == y`` makes ``y`` the representative for ``t``.
+                if isinstance(a, Constant) and op is b:
+                    return a
+                if op is a:
+                    return self._valid_rep(b, inst, dt)
+        return None
+
+    def _valid_rep(self, rep: Value, inst: Instruction,
+                   dt: DominatorTree) -> Optional[Value]:
+        if isinstance(rep, (Constant, Argument)):
+            return rep
+        if isinstance(rep, Instruction) and rep.parent is not None \
+                and dt.dominates(rep, inst):
+            return rep
+        return None

@@ -1,0 +1,141 @@
+"""A simple bottom-up inliner.
+
+Exists mainly to model Section 6's note: "We changed the inliner to
+recognize freeze instructions as zero cost" — without that change,
+freeze instructions introduced by the new lowering perturb inlining
+decisions, which is one of the ways a semantics change can leak into
+codegen differences (experiments E1/E2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    BranchInst,
+    CallInst,
+    FreezeInst,
+    Instruction,
+    PhiInst,
+    ReturnInst,
+)
+from ..ir.module import Module
+from ..ir.values import Value
+from .clone import clone_region
+from .pass_manager import FunctionPass
+
+
+class Inliner(FunctionPass):
+    name = "inline"
+
+    def __init__(self, config=None, threshold: int = 25):
+        super().__init__(config)
+        self.threshold = threshold
+
+    def cost_of(self, fn: Function) -> int:
+        cost = 0
+        for inst in fn.instructions():
+            if isinstance(inst, FreezeInst) and self.config.inliner_freeze_free:
+                continue  # Section 6: freeze is considered zero cost
+            if inst.is_terminator:
+                continue
+            cost += 1
+        return cost
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        progress = True
+        rounds = 0
+        while progress and rounds < 4:
+            progress = False
+            rounds += 1
+            for block in list(fn.blocks):
+                for inst in list(block.instructions):
+                    if not isinstance(inst, CallInst):
+                        continue
+                    callee = inst.callee
+                    if callee.is_declaration or callee is fn:
+                        continue
+                    if self._is_recursive(callee):
+                        continue
+                    if self.cost_of(callee) > self.threshold:
+                        continue
+                    if inline_call(inst):
+                        changed = progress = True
+                        break  # block list changed; rescan
+        return changed
+
+    @staticmethod
+    def _is_recursive(fn: Function) -> bool:
+        for inst in fn.instructions():
+            if isinstance(inst, CallInst) and inst.callee is fn:
+                return True
+        return False
+
+
+def inline_call(call: CallInst) -> bool:
+    """Inline one call site.  Returns False when the shape is unsupported."""
+    callee = call.callee
+    caller_fn = call.parent.parent
+    block = call.parent
+
+    rets = [
+        inst for inst in callee.instructions() if isinstance(inst, ReturnInst)
+    ]
+    if not rets:
+        return False  # no return: unusual; skip
+
+    # Split the calling block at the call site.
+    idx = block.instructions.index(call)
+    cont = BasicBlock(block.name + ".cont", parent=caller_fn)
+    tail = block.instructions[idx + 1:]
+    del block.instructions[idx + 1:]
+    for t in tail:
+        cont.instructions.append(t)
+        t.parent = cont
+    # successor phis must now refer to cont
+    for succ in cont.successors():
+        for phi in succ.phis():
+            phi.replace_incoming_block(block, cont)
+
+    # Clone the callee body into the caller.
+    block_map, value_map = clone_region(
+        caller_fn, callee.blocks, f".{callee.name}.inl"
+    )
+
+    # Bind arguments.
+    arg_map: Dict[Value, Value] = {
+        param: arg for param, arg in zip(callee.args, call.args)
+    }
+    for clone_block in block_map.values():
+        for inst in clone_block.instructions:
+            for i, op in enumerate(inst.operands):
+                if op in arg_map:
+                    inst.set_operand(i, arg_map[op])
+
+    entry_clone = block_map[callee.entry]
+
+    # Rewrite cloned returns into branches to cont, collecting results.
+    result_phi: Optional[PhiInst] = None
+    if not call.type.is_void:
+        result_phi = PhiInst(call.type, call.name + ".ret")
+        cont.instructions.insert(0, result_phi)
+        result_phi.parent = cont
+    for ret in rets:
+        ret_clone = value_map[ret]
+        ret_block = ret_clone.parent
+        value = ret_clone.value  # read before erase drops the operand
+        ret_block.erase(ret_clone)
+        ret_block.append(BranchInst(target=cont))
+        if result_phi is not None and value is not None:
+            result_phi.add_incoming(value, ret_block)
+
+    # Replace the call: branch into the inlined entry.
+    block.remove(call)
+    block.append(BranchInst(target=entry_clone))
+    if result_phi is not None:
+        call.replace_all_uses_with(result_phi)
+    call.drop_all_operands()
+    return True

@@ -1,0 +1,123 @@
+"""Loop-invariant code motion (hoisting).
+
+Speculatable loop-invariant instructions (arithmetic whose UB is
+*deferred* — the very point of poison, Section 2.2) are hoisted to the
+preheader.
+
+Division is not speculatable: executing ``1/k`` when the loop body would
+never have run introduces immediate UB.  The historical LLVM behavior
+modeled by ``licm_hoist_speculative_div`` hoists a division whose
+divisor is syntactically guarded nonzero by a dominating branch — the
+Section 3.2 bug: when ``k`` is undef, the guard ``k != 0`` and the
+division ``1/k`` may observe *different* values of ``k``, so the guard
+proves nothing.  Under the NEW semantics (no undef; branch on poison is
+UB) the same guarded hoist is actually sound, which we exploit in the
+E8 ablation; the paper's prototype, like ours by default, leaves it off.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..analysis.dominators import DominatorTree
+from ..analysis.loops import Loop, LoopInfo
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    BinaryInst,
+    BranchInst,
+    IcmpInst,
+    IcmpPred,
+    Instruction,
+    Opcode,
+    DIVISION_OPCODES,
+)
+from ..ir.values import ConstantInt, Value
+from .pass_manager import FunctionPass
+
+
+class LICM(FunctionPass):
+    name = "licm"
+
+    def run_on_function(self, fn: Function) -> bool:
+        if fn.is_declaration:
+            return False
+        changed = False
+        li = LoopInfo(fn)
+        # Innermost first so invariants can bubble outward across runs.
+        for loop in sorted(li.loops, key=lambda l: -l.depth):
+            changed |= self._run_on_loop(fn, loop, li.dt)
+        return changed
+
+    def _run_on_loop(self, fn: Function, loop: Loop,
+                     dt: DominatorTree) -> bool:
+        preheader = loop.preheader()
+        if preheader is None:
+            return False
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            for block in list(loop.blocks):
+                for inst in list(block.instructions):
+                    if not self._can_hoist(inst, loop, dt, preheader):
+                        continue
+                    if not all(loop.is_invariant(op) for op in inst.operands):
+                        continue
+                    term = preheader.terminator
+                    inst.parent.remove(inst)
+                    preheader.insert_before(term, inst)
+                    changed = progress = True
+        return changed
+
+    def _can_hoist(self, inst: Instruction, loop: Loop, dt: DominatorTree,
+                   preheader: BasicBlock) -> bool:
+        if inst.is_speculatable:
+            return True
+        if inst.opcode in DIVISION_OPCODES \
+                and self.config.licm_hoist_speculative_div:
+            return self._divisor_guarded_nonzero(inst, preheader, dt)
+        return False
+
+    def _divisor_guarded_nonzero(self, inst: BinaryInst,
+                                 preheader: BasicBlock,
+                                 dt: DominatorTree) -> bool:
+        """Is there a dominating branch whose taken edge implies the
+        divisor is nonzero?  (The up-to-poison reasoning of Section 5.6:
+        under OLD semantics this guard is worthless if the divisor may be
+        undef, because guard and division observe independent values.)"""
+        divisor = inst.rhs
+        block: Optional[BasicBlock] = preheader
+        while block is not None:
+            preds = block.predecessors()
+            if len(preds) != 1:
+                block = dt.idom.get(block)
+                continue
+            for pred in preds:
+                term = pred.terminator
+                if not isinstance(term, BranchInst) \
+                        or not term.is_conditional:
+                    continue
+                cond = term.cond
+                if not isinstance(cond, IcmpInst):
+                    continue
+                if self._implies_nonzero(cond, term, block, divisor):
+                    if dt.dominates_block(block, preheader):
+                        return True
+            block = dt.idom.get(block)
+        return False
+
+    @staticmethod
+    def _implies_nonzero(cond: IcmpInst, term: BranchInst,
+                         taken: BasicBlock, divisor: Value) -> bool:
+        zero_cmp = (
+            isinstance(cond.rhs, ConstantInt) and cond.rhs.is_zero
+            and cond.lhs is divisor
+        )
+        if not zero_cmp:
+            return False
+        if cond.pred is IcmpPred.NE and term.true_block is taken:
+            return True
+        if cond.pred is IcmpPred.EQ and term.false_block is taken:
+            return True
+        return False

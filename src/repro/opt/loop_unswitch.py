@@ -1,0 +1,185 @@
+"""Loop unswitching (Sections 3.3 and 5.1).
+
+Hoists a loop-invariant conditional branch out of the loop by versioning
+the loop::
+
+    while (c) { if (c2) foo else bar }
+      ==>
+    if (c2') { while (c) foo } else { while (c) bar }
+
+Moving the branch on ``c2`` to a point where the loop may never have
+executed can *introduce* a branch on poison.  Under branch-on-poison-UB
+(the NEW semantics, and the reading GVN needs) that is a miscompilation;
+the paper's fix (Section 5.1) is ``c2' = freeze c2``.  The
+``unswitch_freeze`` toggle selects the fixed (freeze) or historical
+(no freeze) variant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..analysis.dominators import DominatorTree
+from ..analysis.loops import Loop, LoopInfo
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    BranchInst,
+    FreezeInst,
+    Instruction,
+    PhiInst,
+)
+from ..ir.values import Constant, Value
+from .pass_manager import FunctionPass
+
+
+class LoopUnswitch(FunctionPass):
+    name = "loop-unswitch"
+
+    def run_on_function(self, fn: Function) -> bool:
+        if fn.is_declaration:
+            return False
+        changed = False
+        # Re-analyze after each unswitch (the CFG changes drastically).
+        for _ in range(4):
+            li = LoopInfo(fn)
+            candidate = self._find_candidate(li)
+            if candidate is None:
+                break
+            loop, branch = candidate
+            if self._unswitch(fn, loop, branch, li.dt):
+                changed = True
+            else:
+                break
+        return changed
+
+    # -- candidate search -----------------------------------------------------
+    def _find_candidate(self, li: LoopInfo):
+        for loop in sorted(li.loops, key=lambda l: l.depth):
+            for block in loop.blocks:
+                term = block.terminator
+                if not isinstance(term, BranchInst) or not term.is_conditional:
+                    continue
+                cond = term.cond
+                if isinstance(cond, Constant):
+                    continue  # constant folding's job
+                if not loop.is_invariant(cond):
+                    continue
+                # Both targets must stay in the loop (an exiting branch is
+                # the loop guard, not an unswitchable body branch).
+                if not all(t in loop.blocks for t in term.successors()):
+                    continue
+                if term.true_block is term.false_block:
+                    continue
+                if self._already_unswitched(block):
+                    continue
+                return loop, term
+        return None
+
+    @staticmethod
+    def _already_unswitched(block: BasicBlock) -> bool:
+        return block.name.endswith(".unswitched")
+
+    # -- the transformation ---------------------------------------------------------
+    def _unswitch(self, fn: Function, loop: Loop, branch: BranchInst,
+                  dt: DominatorTree) -> bool:
+        from .clone import clone_region
+
+        preheader = loop.preheader()
+        if preheader is None:
+            return False
+        exits = loop.exit_blocks()
+        if len(exits) != 1:
+            return False
+        exit_block = exits[0]
+        exiting = [
+            b for b in loop.blocks
+            if exit_block in b.successors()
+        ]
+        if len(exiting) != 1:
+            return False
+        if any(p not in loop.blocks for p in exit_block.predecessors()):
+            return False
+
+        cond = branch.cond
+
+        # Values defined in the loop and used after it need merge phis.
+        escaping: List[Instruction] = []
+        for block in loop.blocks:
+            for inst in block.instructions:
+                for use in inst.uses:
+                    user = use.user
+                    if isinstance(user, Instruction) \
+                            and user.parent not in loop.blocks:
+                        escaping.append(inst)
+                        break
+        # Uses in exit-block phis are fine; uses elsewhere need the
+        # merge phi to be placed in the exit block, which requires the
+        # exit block to be dominated by the loop — guaranteed here since
+        # all its preds are in the loop.
+
+        block_map, value_map = clone_region(fn, loop.blocks, ".us")
+
+        # Fold the unswitched branch: original loop takes the true side,
+        # the clone takes the false side.
+        branch_block = branch.parent
+        branch_block.erase(branch)
+        branch_block.append(BranchInst(target=branch.targets[0]))
+        clone_branch_block = block_map[branch_block]
+        cloned_term = clone_branch_block.terminator
+        false_target = cloned_term.targets[1]
+        clone_branch_block.erase(cloned_term)
+        clone_branch_block.append(BranchInst(target=false_target))
+
+        # New dispatch: preheader branches on (frozen) condition.
+        header = loop.header
+        clone_header = block_map[header]
+        pre_term = preheader.terminator
+        preheader.erase(pre_term)
+        dispatch_cond: Value = cond
+        if self.config.unswitch_freeze:
+            # Section 5.1: freeze the hoisted condition so that a poison
+            # c2 forces a nondeterministic choice instead of UB.
+            freeze = FreezeInst(cond, (cond.name or "cond") + ".fr")
+            preheader.append(freeze)
+            dispatch_cond = freeze
+        preheader.append(
+            BranchInst(cond=dispatch_cond, true_block=header,
+                       false_block=clone_header)
+        )
+        branch_block.name += ".unswitched"
+        clone_branch_block.name += ".unswitched"
+
+        # Header phis: original keeps its preheader edge; the clone's
+        # phis must take their entry value from the preheader as well.
+        for phi in clone_header.phis():
+            phi.replace_incoming_block(preheader, preheader)  # no-op, clarity
+
+        # Exit block: merge escaping values from the two versions.
+        clone_exiting = block_map[exiting[0]]
+        for phi in exit_block.phis():
+            incoming = phi.incoming_for_block(exiting[0])
+            phi.add_incoming(value_map.get(incoming, incoming), clone_exiting)
+        for inst in escaping:
+            uses_outside = [
+                use for use in inst.uses
+                if isinstance(use.user, Instruction)
+                and use.user.parent not in loop.blocks
+                and use.user.parent not in block_map.values()
+            ]
+            uses_outside = [
+                use for use in uses_outside
+                if not (isinstance(use.user, PhiInst)
+                        and use.user.parent is exit_block)
+            ]
+            if not uses_outside:
+                continue
+            merge = PhiInst(inst.type, inst.name + ".merge")
+            exit_block.instructions.insert(0, merge)
+            merge.parent = exit_block
+            merge.add_incoming(inst, exiting[0])
+            merge.add_incoming(value_map.get(inst, inst), clone_exiting)
+            for use in uses_outside:
+                if use.user is not merge:
+                    use.set(merge)
+        return True

@@ -1,0 +1,142 @@
+"""Pass infrastructure: configuration, function passes, pipelines.
+
+:class:`OptConfig` selects between the *historical* pass behaviors (the
+buggy/inconsistent ones Section 3 catalogs) and the *fixed* behaviors the
+paper proposes — each toggle maps to one subsection of the paper:
+
+* ``unswitch_freeze`` — loop unswitching freezes the hoisted condition
+  (Section 5.1); off = the historical, GVN-incompatible behavior.
+* ``instcombine_select_arith`` — keep the ``select -> or/and``-style
+  arithmetic rewrites that are unsound when the condition may be poison
+  (Sections 3.4, 6 "Limitations"); the fixed variant freezes.
+* ``simplifycfg_select_undef`` — keep the ``phi [%x, ...], [undef, ...]
+  -> select %c, %x, undef -> %x`` collapse (unsound: poison is stronger
+  than undef, Section 3.4).
+* ``licm_hoist_speculative_div`` — hoist loop-invariant division past
+  control flow based on up-to-poison analyses (Sections 3.2, 5.6);
+  LLVM disabled this after PR21412.
+* ``gvn_replace_with_equal`` — GVN replaces a value with a
+  ``==``-equal one (sound only when branch-on-poison is UB, Section 3.3).
+
+The defaults build the paper's fixed pipeline; ``OptConfig.legacy()``
+builds the historical one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from ..ir.function import Function
+from ..ir.module import Module
+from ..semantics.config import NEW, OLD, SemanticsConfig
+
+
+@dataclass(frozen=True)
+class OptConfig:
+    semantics: SemanticsConfig = NEW
+    unswitch_freeze: bool = True
+    instcombine_select_arith: bool = False
+    simplifycfg_select_undef: bool = False
+    licm_hoist_speculative_div: bool = False
+    gvn_replace_with_equal: bool = True
+    #: rewrite ``mul x, 2`` as ``add x, x`` even when ``x`` may be undef
+    #: (the duplicated-SSA-use bug of Section 3.1).  Sound under NEW
+    #: semantics (no undef), so the fixed pipeline enables the rewrite
+    #: exactly when the semantics says there is no undef.
+    instcombine_dup_uses_unsound: bool = False
+    #: reassociation drops nsw/nuw from rebuilt expressions (Section
+    #: 10.2); the historical bug keeps them.
+    reassociate_drop_flags: bool = True
+    #: extension (Section 6 "Opportunities for improvement"): let GVN
+    #: fold equivalent freeze instructions.  Sound because the folded
+    #: freeze replaces *all* uses of both, collapsing two independent
+    #: nondeterministic choices into one (a refinement).
+    gvn_fold_freeze: bool = False
+    #: teach CodeGenPrepare/branch lowering about freeze (Section 6,
+    #: "Optimizations"); turning this off models the early prototype's
+    #: compile-time/runtime regressions.
+    freeze_aware_codegen: bool = True
+    #: inliner treats freeze as zero cost (Section 6).
+    inliner_freeze_free: bool = True
+
+    @staticmethod
+    def fixed(semantics: SemanticsConfig = NEW) -> "OptConfig":
+        return OptConfig(semantics=semantics)
+
+    @staticmethod
+    def legacy(semantics: SemanticsConfig = OLD) -> "OptConfig":
+        """The pre-paper pass behaviors, with their latent bugs."""
+        return OptConfig(
+            semantics=semantics,
+            unswitch_freeze=False,
+            instcombine_select_arith=True,
+            simplifycfg_select_undef=True,
+            licm_hoist_speculative_div=True,
+            gvn_replace_with_equal=True,
+            instcombine_dup_uses_unsound=True,
+            reassociate_drop_flags=False,
+            freeze_aware_codegen=False,
+            inliner_freeze_free=False,
+        )
+
+    def with_(self, **kwargs) -> "OptConfig":
+        return replace(self, **kwargs)
+
+
+class FunctionPass:
+    """Base class; subclasses implement :meth:`run_on_function`."""
+
+    name = "pass"
+
+    def __init__(self, config: Optional[OptConfig] = None):
+        self.config = config or OptConfig()
+
+    def run_on_function(self, fn: Function) -> bool:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+@dataclass
+class PassStats:
+    runs: int = 0
+    changes: int = 0
+    seconds: float = 0.0
+
+
+class PassManager:
+    """Runs a pipeline of function passes over a module, optionally to a
+    fixpoint, collecting per-pass statistics (the compile-time experiment
+    E2 reads these)."""
+
+    def __init__(self, passes: List[FunctionPass], max_iterations: int = 3):
+        self.passes = passes
+        self.max_iterations = max_iterations
+        self.stats: Dict[str, PassStats] = {}
+
+    def run(self, module: Module) -> bool:
+        changed_any = False
+        for fn in module.definitions():
+            changed_any |= self.run_on_function(fn)
+        return changed_any
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed_any = False
+        for _ in range(self.max_iterations):
+            changed = False
+            for p in self.passes:
+                stats = self.stats.setdefault(p.name, PassStats())
+                start = time.perf_counter()
+                c = p.run_on_function(fn)
+                stats.seconds += time.perf_counter() - start
+                stats.runs += 1
+                if c:
+                    stats.changes += 1
+                changed |= c
+            changed_any |= changed
+            if not changed:
+                break
+        return changed_any

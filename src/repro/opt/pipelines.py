@@ -1,0 +1,113 @@
+"""Standard pass pipelines.
+
+``o2_pipeline`` approximates the -O2 middle-end ordering the paper
+validated (Section 6): peephole + CFG cleanup, inlining, scalar
+optimizations, loop optimizations, then late cleanup.
+``codegen_pipeline`` is the late, pre-ISel stage (CodeGenPrepare).
+
+``baseline`` = legacy configuration (OLD semantics, historical pass
+behaviors); ``prototype`` = the paper's fixed configuration (NEW
+semantics, freeze-based fixes).  The benchmark harness compiles every
+workload under both and compares (experiments E1–E4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..semantics.config import NEW, OLD, SemanticsConfig
+from .codegenprepare import CodeGenPrepare
+from .dce import DCE
+from .early_cse import EarlyCSE
+from .freeze_opts import FreezeOpts
+from .gvn import GVN
+from .inliner import Inliner
+from .instcombine import InstCombine
+from .instsimplify import InstSimplify
+from .licm import LICM
+from .loop_unswitch import LoopUnswitch
+from .mem2reg import Mem2Reg
+from .pass_manager import FunctionPass, OptConfig, PassManager
+from .reassociate import Reassociate
+from .sccp import SCCP
+from .simplify_cfg import SimplifyCFG
+from .sink import Sink
+
+
+def o2_pipeline(config: Optional[OptConfig] = None) -> PassManager:
+    config = config or OptConfig.fixed()
+    passes: List[FunctionPass] = [
+        Mem2Reg(config),
+        SimplifyCFG(config),
+        InstCombine(config),
+        Inliner(config),
+        SCCP(config),
+        SimplifyCFG(config),
+        Reassociate(config),
+        GVN(config),
+        EarlyCSE(config),
+        InstCombine(config),
+        LICM(config),
+        LoopUnswitch(config),
+        SimplifyCFG(config),
+        GVN(config),
+        InstCombine(config),
+        FreezeOpts(config),
+        DCE(config),
+    ]
+    return PassManager(passes, max_iterations=2)
+
+
+def quick_pipeline(config: Optional[OptConfig] = None) -> PassManager:
+    """-O1-ish: peephole and cleanup only."""
+    config = config or OptConfig.fixed()
+    return PassManager(
+        [SimplifyCFG(config), InstCombine(config), DCE(config)],
+        max_iterations=2,
+    )
+
+
+def codegen_pipeline(config: Optional[OptConfig] = None) -> PassManager:
+    config = config or OptConfig.fixed()
+    return PassManager(
+        [CodeGenPrepare(config), FreezeOpts(config), DCE(config)],
+        max_iterations=1,
+    )
+
+
+def baseline_config() -> OptConfig:
+    """Pre-paper LLVM: OLD semantics, historical (buggy) pass variants."""
+    return OptConfig.legacy(OLD)
+
+
+def prototype_config() -> OptConfig:
+    """The paper's prototype: NEW semantics, freeze-based fixes."""
+    return OptConfig.fixed(NEW)
+
+
+#: Single-pass pipelines, used by the E5 opt-fuzz validation to blame
+#: individual passes (the paper validated InstCombine, GVN, Reassociation
+#: and SCCP separately).
+def single_pass_pipeline(pass_name: str,
+                         config: Optional[OptConfig] = None) -> PassManager:
+    config = config or OptConfig.fixed()
+    factory = {
+        "mem2reg": Mem2Reg,
+        "instcombine": InstCombine,
+        "instsimplify": InstSimplify,
+        "gvn": GVN,
+        "early-cse": EarlyCSE,
+        "reassociate": Reassociate,
+        "sccp": SCCP,
+        "simplifycfg": SimplifyCFG,
+        "licm": LICM,
+        "loop-unswitch": LoopUnswitch,
+        "dce": DCE,
+        "freeze-opts": FreezeOpts,
+        "sink": Sink,
+        "codegenprepare": CodeGenPrepare,
+        "inline": Inliner,
+    }
+    if pass_name not in factory:
+        raise ValueError(f"unknown pass {pass_name!r}")
+    return PassManager([factory[pass_name](config)], max_iterations=1)

@@ -1,0 +1,188 @@
+"""Sparse conditional constant propagation.
+
+Classic three-level lattice (unknown / constant / overdefined) with CFG
+reachability.  Deferred-UB constants (``undef``/``poison``) are treated
+as *overdefined*: the paper's related-work discussion (Section 9, the
+GCC footnote) shows how SCCP assuming a single value for an
+uninitialized variable while other passes assume another is exactly the
+kind of inconsistency that bites; staying conservative here keeps the
+pass sound under every semantics configuration, which the E5 validation
+confirms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    BinaryInst,
+    BranchInst,
+    CastInst,
+    FreezeInst,
+    IcmpInst,
+    Instruction,
+    PhiInst,
+    SelectInst,
+    SwitchInst,
+)
+from ..ir.values import Argument, Constant, ConstantInt, Value
+from .constfold import try_constant_fold
+from .pass_manager import FunctionPass
+
+_UNKNOWN = "unknown"
+_OVERDEFINED = "overdefined"
+
+
+class SCCP(FunctionPass):
+    name = "sccp"
+
+    def run_on_function(self, fn: Function) -> bool:
+        if fn.is_declaration:
+            return False
+        lattice: Dict[Value, object] = {}
+        executable_edges: Set[Tuple[Optional[BasicBlock], BasicBlock]] = set()
+        executable_blocks: Set[BasicBlock] = set()
+        block_work: List[Tuple[Optional[BasicBlock], BasicBlock]] = [
+            (None, fn.entry)
+        ]
+        inst_work: List[Instruction] = []
+
+        def value_state(v: Value):
+            if isinstance(v, ConstantInt):
+                return v
+            if isinstance(v, Constant):
+                return _OVERDEFINED  # undef/poison/globals: conservative
+            if isinstance(v, Argument):
+                return _OVERDEFINED
+            return lattice.get(v, _UNKNOWN)
+
+        def mark(inst: Instruction, state) -> None:
+            old = lattice.get(inst, _UNKNOWN)
+            if old == state or old is _OVERDEFINED:
+                return
+            if isinstance(old, ConstantInt) and isinstance(state, ConstantInt):
+                state = _OVERDEFINED
+            lattice[inst] = state
+            for user in inst.users():
+                if isinstance(user, Instruction) \
+                        and user.parent in executable_blocks:
+                    inst_work.append(user)
+
+        def visit(inst: Instruction) -> None:
+            if isinstance(inst, PhiInst):
+                state = _UNKNOWN
+                for value, pred in inst.incoming:
+                    if (pred, inst.parent) not in executable_edges:
+                        continue
+                    s = value_state(value)
+                    if s is _UNKNOWN:
+                        continue
+                    if s is _OVERDEFINED:
+                        state = _OVERDEFINED
+                        break
+                    if state is _UNKNOWN:
+                        state = s
+                    elif isinstance(state, ConstantInt) and state != s:
+                        state = _OVERDEFINED
+                        break
+                if state is not _UNKNOWN:
+                    mark(inst, state)
+                return
+            if isinstance(inst, BranchInst):
+                if not inst.is_conditional:
+                    add_edge(inst.parent, inst.targets[0])
+                    return
+                s = value_state(inst.cond)
+                if isinstance(s, ConstantInt):
+                    taken = inst.true_block if s.value else inst.false_block
+                    add_edge(inst.parent, taken)
+                elif s is _OVERDEFINED:
+                    add_edge(inst.parent, inst.true_block)
+                    add_edge(inst.parent, inst.false_block)
+                return
+            if isinstance(inst, SwitchInst):
+                s = value_state(inst.value)
+                if isinstance(s, ConstantInt):
+                    taken = inst.default
+                    for const, block in inst.cases:
+                        if const.value == s.value:
+                            taken = block
+                            break
+                    add_edge(inst.parent, taken)
+                elif s is _OVERDEFINED:
+                    for succ in inst.successors():
+                        add_edge(inst.parent, succ)
+                return
+            if inst.is_terminator or inst.type.is_void:
+                return
+            # Ordinary instruction: fold if every operand is constant.
+            if isinstance(inst, FreezeInst):
+                s = value_state(inst.value)
+                # freeze(c) = c for a defined constant.
+                mark(inst, s if isinstance(s, ConstantInt) else _OVERDEFINED)
+                return
+            states = [value_state(op) for op in inst.operands]
+            if any(s is _OVERDEFINED for s in states):
+                mark(inst, _OVERDEFINED)
+                return
+            if any(s is _UNKNOWN for s in states):
+                return
+            folded = self._fold_with(inst, states)
+            mark(inst, folded if isinstance(folded, ConstantInt)
+                 else _OVERDEFINED)
+
+        def add_edge(frm: BasicBlock, to: BasicBlock) -> None:
+            if (frm, to) in executable_edges:
+                return
+            executable_edges.add((frm, to))
+            block_work.append((frm, to))
+
+        while block_work or inst_work:
+            while inst_work:
+                visit(inst_work.pop())
+            if not block_work:
+                break
+            frm, block = block_work.pop()
+            executable_edges.add((frm, block))
+            first_time = block not in executable_blocks
+            if first_time:
+                executable_blocks.add(block)
+                for inst in block.instructions:
+                    visit(inst)
+            else:
+                # A new incoming edge only affects phis and reachability.
+                for phi in block.phis():
+                    visit(phi)
+                term = block.terminator
+                if term is not None:
+                    visit(term)
+
+        # Apply: replace constant-valued instructions.
+        changed = False
+        for block in fn.blocks:
+            if block not in executable_blocks:
+                continue
+            for inst in list(block.instructions):
+                state = lattice.get(inst)
+                if isinstance(state, ConstantInt):
+                    inst.replace_all_uses_with(state)
+                    if not inst.may_have_side_effects:
+                        block.erase(inst)
+                    changed = True
+        return changed
+
+    def _fold_with(self, inst: Instruction,
+                   states: List[object]) -> Optional[Constant]:
+        """Fold ``inst`` with its operands replaced by known constants, by
+        temporarily rewriting the operands."""
+        originals = list(inst.operands)
+        try:
+            for i, s in enumerate(states):
+                if isinstance(s, ConstantInt):
+                    inst.set_operand(i, s)
+            return try_constant_fold(inst, self.config.semantics)
+        finally:
+            for i, op in enumerate(originals):
+                inst.set_operand(i, op)

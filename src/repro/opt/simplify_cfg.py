@@ -1,0 +1,283 @@
+"""SimplifyCFG: branch folding, block merging, and phi -> select.
+
+The phi -> select conversion is one of Section 3.4's protagonists: it is
+correct only if ``select`` is *not* UB on a poison condition whenever
+branching isn't, and only if the not-chosen arm's poison does not leak
+(the conditional reading, Figure 5).  We always perform it — exactly as
+LLVM always did — and let the refinement checker show it is sound under
+NEW and unsound under the OLD readings where select is arithmetic.
+
+The jump-threading step models the compile-time anecdote of Section 7.2:
+without freeze-awareness it refuses to look through ``freeze`` of a phi
+of constants, which blocks downstream simplifications.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    BranchInst,
+    FreezeInst,
+    Instruction,
+    PhiInst,
+    SelectInst,
+    SwitchInst,
+)
+from ..ir.values import ConstantInt, Value
+from ..analysis.cfg import remove_unreachable_blocks
+from .pass_manager import FunctionPass
+
+
+class SimplifyCFG(FunctionPass):
+    name = "simplifycfg"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            progress |= self._fold_constant_branches(fn)
+            progress |= bool(remove_unreachable_blocks(fn))
+            progress |= self._merge_single_pred_blocks(fn)
+            progress |= self._remove_forwarding_blocks(fn)
+            progress |= self._phi_to_select(fn)
+            progress |= self._thread_jumps(fn)
+            changed |= progress
+        return changed
+
+    # -- constant branch folding ---------------------------------------------
+    def _fold_constant_branches(self, fn: Function) -> bool:
+        changed = False
+        for block in list(fn.blocks):
+            term = block.terminator
+            if isinstance(term, BranchInst) and term.is_conditional \
+                    and isinstance(term.cond, ConstantInt):
+                taken = term.true_block if term.cond.value else term.false_block
+                dead = term.false_block if term.cond.value else term.true_block
+                if dead is not taken:
+                    for phi in dead.phis():
+                        if block in phi.incoming_blocks:
+                            phi.remove_incoming(block)
+                block.erase(term)
+                block.append(BranchInst(target=taken))
+                changed = True
+            elif isinstance(term, SwitchInst) \
+                    and isinstance(term.value, ConstantInt):
+                taken = term.default
+                for const, target in term.cases:
+                    if const.value == term.value.value:
+                        taken = target
+                        break
+                for succ in set(term.successors()):
+                    if succ is taken:
+                        continue
+                    for phi in succ.phis():
+                        if block in phi.incoming_blocks:
+                            phi.remove_incoming(block)
+                block.erase(term)
+                block.append(BranchInst(target=taken))
+                changed = True
+        return changed
+
+    # -- merge a block into its unique predecessor ------------------------------
+    def _merge_single_pred_blocks(self, fn: Function) -> bool:
+        changed = False
+        for block in list(fn.blocks):
+            if block is fn.entry:
+                continue
+            preds = block.predecessors()
+            if len(preds) != 1:
+                continue
+            pred = preds[0]
+            if pred is block:
+                continue
+            term = pred.terminator
+            if not isinstance(term, BranchInst) or term.is_conditional:
+                continue
+            # Fold phis (single incoming).
+            for phi in list(block.phis()):
+                incoming = phi.incoming_for_block(pred)
+                phi.replace_all_uses_with(incoming)
+                block.erase(phi)
+            pred.erase(term)
+            for inst in list(block.instructions):
+                block.remove(inst)
+                pred.append(inst)
+            for succ in pred.successors():
+                for phi in succ.phis():
+                    phi.replace_incoming_block(block, pred)
+            fn.remove_block(block)
+            changed = True
+        return changed
+
+    # -- remove blocks that only forward -------------------------------------------
+    def _remove_forwarding_blocks(self, fn: Function) -> bool:
+        changed = False
+        for block in list(fn.blocks):
+            if block is fn.entry or len(block.instructions) != 1:
+                continue
+            term = block.terminator
+            if not isinstance(term, BranchInst) or term.is_conditional:
+                continue
+            target = term.targets[0]
+            if target is block:
+                continue
+            preds = block.predecessors()
+            if not preds:
+                continue
+            # A phi in the target distinguishes incoming edges; retargeting
+            # is only safe if no pred already flows into target (which
+            # would create duplicate incoming edges with possibly
+            # different values).
+            target_preds = set(target.predecessors())
+            if any(p in target_preds for p in preds):
+                continue
+            if any(p is block for p in preds):
+                continue
+            for phi in target.phis():
+                value = phi.incoming_for_block(block)
+                phi.remove_incoming(block)
+                for p in preds:
+                    phi.add_incoming(value, p)
+            for p in preds:
+                p.terminator.replace_successor(block, target)
+            block.erase(term)
+            fn.remove_block(block)
+            changed = True
+        return changed
+
+    # -- phi of a diamond/triangle -> select ------------------------------------------
+    def _phi_to_select(self, fn: Function) -> bool:
+        changed = False
+        for merge in list(fn.blocks):
+            phis = merge.phis()
+            if not phis:
+                continue
+            preds = merge.predecessors()
+            if len(preds) != 2:
+                continue
+            shape = self._match_diamond_or_triangle(merge, preds)
+            if shape is None:
+                continue
+            branch_block, cond, true_pred, false_pred = shape
+            if any(phi.incoming_for_block(true_pred) is None
+                   or phi.incoming_for_block(false_pred) is None
+                   for phi in phis):
+                continue
+            # Replace each phi with a select on the condition and turn the
+            # branch into an unconditional one.
+            for phi in list(phis):
+                tv = phi.incoming_for_block(true_pred)
+                fv = phi.incoming_for_block(false_pred)
+                select = SelectInst(cond, tv, fv, phi.name)
+                merge.insert_front(select)
+                phi.replace_all_uses_with(select)
+                merge.erase(phi)
+            term = branch_block.terminator
+            branch_block.erase(term)
+            branch_block.append(BranchInst(target=merge))
+            # The empty side blocks become unreachable; the next round
+            # cleans them up.
+            changed = True
+        return changed
+
+    def _match_diamond_or_triangle(self, merge: BasicBlock,
+                                   preds: List[BasicBlock]):
+        """Match::
+
+              bb: br %c, %t, %f          bb: br %c, %t, %merge
+              t:  br %merge              t:  br %merge
+              f:  br %merge              (triangle)
+              (diamond)
+
+        where the side blocks are empty (only the branch) and have a
+        single predecessor.  Returns (bb, cond, true_pred, false_pred)
+        with true/false_pred being the *incoming blocks of the phi* for
+        the true/false path."""
+        a, b = preds
+
+        def empty_forward(block: BasicBlock, frm: BasicBlock) -> bool:
+            return (
+                len(block.instructions) == 1
+                and isinstance(block.terminator, BranchInst)
+                and not block.terminator.is_conditional
+                and block.predecessors() == [frm]
+            )
+
+        # Diamond: both preds are empty forwarders from a common branch.
+        for t, f in ((a, b), (b, a)):
+            t_preds = t.predecessors()
+            f_preds = f.predecessors()
+            if len(t_preds) == 1 and len(f_preds) == 1 \
+                    and t_preds[0] is f_preds[0]:
+                bb = t_preds[0]
+                term = bb.terminator
+                if isinstance(term, BranchInst) and term.is_conditional \
+                        and empty_forward(t, bb) and empty_forward(f, bb):
+                    if term.true_block is t and term.false_block is f:
+                        return bb, term.cond, t, f
+                    if term.true_block is f and term.false_block is t:
+                        return bb, term.cond, f, t
+        # Triangle: one pred branches directly to merge.
+        for side, direct in ((a, b), (b, a)):
+            term = direct.terminator
+            if not isinstance(term, BranchInst) or not term.is_conditional:
+                continue
+            if not empty_forward(side, direct):
+                continue
+            if term.true_block is side and term.false_block is merge:
+                return direct, term.cond, side, direct
+            if term.true_block is merge and term.false_block is side:
+                return direct, term.cond, direct, side
+        return None
+
+    # -- jump threading over phi-of-constants -----------------------------------------
+    def _thread_jumps(self, fn: Function) -> bool:
+        changed = False
+        for block in list(fn.blocks):
+            term = block.terminator
+            if not isinstance(term, BranchInst) or not term.is_conditional:
+                continue
+            cond: Value = term.cond
+            # Section 7.2's compile-time outlier: jump threading that does
+            # not know freeze fails to look through it.
+            if isinstance(cond, FreezeInst):
+                if not self.config.freeze_aware_codegen:
+                    continue
+                # Looking through freeze(phi of constants) is sound:
+                # freeze of a constant is that constant.
+                inner = cond.value
+                if isinstance(inner, PhiInst) and cond.has_one_use:
+                    cond = inner
+                else:
+                    continue
+            if not isinstance(cond, PhiInst):
+                continue
+            phi: PhiInst = cond
+            if phi.parent is not block:
+                continue
+            if len(block.instructions) != (2 if cond is term.cond else 3):
+                continue  # only the phi (and maybe the freeze) + branch
+            if not all(isinstance(v, ConstantInt) for v, _ in phi.incoming):
+                continue
+            # Retarget each predecessor directly to the known successor.
+            retargeted = False
+            for value, pred in list(phi.incoming):
+                target = term.true_block if value.value else term.false_block
+                if pred in target.predecessors():
+                    continue  # would duplicate an edge into a phi
+                if any(True for _ in target.phis()):
+                    # Threading across blocks with phis needs incoming
+                    # duplication; keep it simple and skip.
+                    continue
+                pred.terminator.replace_successor(block, target)
+                phi.remove_incoming(pred)
+                retargeted = True
+            if retargeted:
+                changed = True
+                if not phi.incoming_blocks:
+                    remove_unreachable_blocks(fn)
+        return changed

@@ -1,0 +1,98 @@
+"""Sinking (the dual of LICM) and the Section 5.5 freeze pitfall.
+
+Moving a computation down to its (unique) use block is profitable when
+the use is conditional — e.g. sinking ``x = a / b`` into a rarely-taken
+loop body.  Section 5.5's "Pitfall 1": this is *not* allowed for
+``freeze``.  A freeze executed once produces one value shared by all its
+dynamic uses; re-executing it per iteration may produce a different
+value each time, which widens the behavior set — the opposite of
+refinement.
+
+The pass therefore never sinks ``freeze`` (nor an instruction *past* a
+freeze that uses it).  ``sink_freeze_unsound=True`` re-enables the
+historical temptation so the refinement checker can exhibit the pitfall
+(see ``tests/opt/test_sink.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.dominators import DominatorTree
+from ..analysis.loops import LoopInfo
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import FreezeInst, Instruction, PhiInst
+from .pass_manager import FunctionPass
+
+
+class Sink(FunctionPass):
+    name = "sink"
+
+    def __init__(self, config=None, sink_freeze_unsound: bool = False):
+        super().__init__(config)
+        self.sink_freeze_unsound = sink_freeze_unsound
+
+    def run_on_function(self, fn: Function) -> bool:
+        if fn.is_declaration:
+            return False
+        dt = DominatorTree(fn)
+        li = LoopInfo(fn, dt)
+        changed = False
+        for block in list(fn.blocks):
+            # bottom-up so chains sink together
+            for inst in list(reversed(block.instructions)):
+                target = self._sink_target(inst, dt)
+                if target is None:
+                    continue
+                if isinstance(inst, FreezeInst) \
+                        and not self.sink_freeze_unsound:
+                    # Section 5.5: a freeze must not be moved to a point
+                    # where it executes more often.
+                    if self._executes_more_often(block, target, li):
+                        continue
+                inst.parent.remove(inst)
+                target.insert_front(inst)
+                changed = True
+        return changed
+
+    def _sink_target(self, inst: Instruction,
+                     dt: DominatorTree) -> Optional[BasicBlock]:
+        if inst.is_terminator or inst.may_have_side_effects \
+                or isinstance(inst, PhiInst):
+            return None
+        if inst.type.is_void or inst.num_uses == 0:
+            return None
+        use_blocks = set()
+        for use in inst.uses:
+            user = use.user
+            if not isinstance(user, Instruction):
+                return None
+            if isinstance(user, PhiInst):
+                return None  # would need edge placement
+            use_blocks.add(user.parent)
+        if len(use_blocks) != 1:
+            return None
+        (target,) = use_blocks
+        if target is inst.parent:
+            return None
+        # all operands must still dominate the new position
+        if not dt.strictly_dominates_block(inst.parent, target):
+            return None
+        if target.phis() and any(
+            isinstance(u.user, PhiInst) for u in inst.uses
+        ):
+            return None
+        return target
+
+    @staticmethod
+    def _executes_more_often(src: BasicBlock, dst: BasicBlock,
+                             li: LoopInfo) -> bool:
+        """Conservative: the destination is inside a loop that the source
+        is not inside (so the instruction would re-execute)."""
+        dst_loop = li.loop_for(dst)
+        while dst_loop is not None:
+            if src not in dst_loop.blocks:
+                return True
+            dst_loop = dst_loop.parent
+        return False

@@ -1,0 +1,43 @@
+"""Alive-style translation validation: refinement checking."""
+
+from .exhaustive import (
+    CheckOptions,
+    Counterexample,
+    RefinementResult,
+    check_equivalence,
+    check_refinement,
+    input_candidates,
+)
+from .refinement import (
+    BehaviorSetResult,
+    behavior_covers,
+    bit_covers,
+    bits_cover,
+    check_behavior_sets,
+)
+
+__all__ = [
+    "CheckOptions", "Counterexample", "RefinementResult",
+    "check_equivalence", "check_refinement", "input_candidates",
+    "BehaviorSetResult", "behavior_covers", "bit_covers", "bits_cover",
+    "check_behavior_sets",
+]
+
+from .symbolic import EncodingUnsupported, check_refinement_symbolic
+
+
+def check_refinement_auto(src, tgt, config=None, options=None):
+    """Symbolic proof first (full bitwidths, NEW semantics); exhaustive
+    enumeration as the fallback for loops/memory/undef/OLD configs."""
+    from ..semantics.config import NEW
+
+    config = config or NEW
+    if config.is_new:
+        result = check_refinement_symbolic(src, tgt)
+        if result.verdict != "inconclusive":
+            return result
+    return check_refinement(src, tgt, config, options=options)
+
+
+__all__ += ["EncodingUnsupported", "check_refinement_symbolic",
+            "check_refinement_auto"]

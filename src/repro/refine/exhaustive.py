@@ -1,0 +1,328 @@
+"""Exhaustive refinement checking over small bitwidths.
+
+This is the paper's own validation method (Section 6): opt-fuzz
+exhaustively generated all small functions over 2-bit integers, and each
+optimized result was checked for refinement against its source.  At
+width 2 or 4 the input space (including poison, and undef in OLD mode)
+and the nondeterminism space are small enough to enumerate completely,
+giving a *complete* decision procedure for these programs rather than a
+sampled approximation.
+
+Entry point: :func:`check_refinement`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir.function import Function
+from ..ir.types import IntType, PointerType, Type, VectorType
+from ..semantics.config import NEW, SemanticsConfig
+from ..semantics.domains import (
+    Bits,
+    PBIT,
+    POISON,
+    UBIT,
+    RuntimeValue,
+    format_value,
+    full_undef,
+)
+from ..semantics.interp import (
+    Behavior,
+    PathLimitExceeded,
+    enumerate_behaviors,
+)
+from .refinement import check_behavior_sets
+
+
+@dataclass(frozen=True)
+class RefinementResult:
+    """Outcome of a refinement check."""
+
+    verdict: str  # "verified" | "failed" | "inconclusive"
+    counterexample: Optional["Counterexample"] = None
+    reason: str = ""
+    inputs_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict == "verified"
+
+    @property
+    def failed(self) -> bool:
+        return self.verdict == "failed"
+
+    def __str__(self) -> str:
+        if self.ok:
+            return f"verified ({self.inputs_checked} inputs)"
+        if self.failed:
+            return f"FAILED\n{self.counterexample}"
+        return f"inconclusive: {self.reason}"
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    args: Tuple[RuntimeValue, ...]
+    arg_types: Tuple[Type, ...]
+    global_init: Tuple[Tuple[str, Bits], ...]
+    witness: Behavior
+    src_behaviors: Tuple[Behavior, ...]
+
+    def __str__(self) -> str:
+        arg_strs = [
+            format_value(v, t) for v, t in zip(self.args, self.arg_types)
+        ]
+        lines = [f"  input: ({', '.join(arg_strs)})"]
+        if self.global_init:
+            for name, bits in self.global_init:
+                lines.append(f"  @{name} initially: {_fmt_bits(bits)}")
+        lines.append(f"  target can produce: {self.witness}")
+        lines.append("  but source only allows:")
+        for b in sorted(self.src_behaviors, key=str)[:8]:
+            lines.append(f"    {b}")
+        if len(self.src_behaviors) > 8:
+            lines.append(f"    ... ({len(self.src_behaviors) - 8} more)")
+        return "\n".join(lines)
+
+
+def _fmt_bits(bits: Bits) -> str:
+    def one(b) -> str:
+        if b is PBIT:
+            return "p"
+        if b is UBIT:
+            return "u"
+        return str(b)
+
+    return "".join(one(b) for b in reversed(bits))
+
+
+def scalar_candidates(ty: Type, config: SemanticsConfig,
+                      poison_inputs: bool = True,
+                      undef_inputs: bool = True) -> List[RuntimeValue]:
+    """All interesting input values of a scalar type."""
+    if isinstance(ty, IntType):
+        values: List[RuntimeValue] = list(range(ty.num_values))
+        if poison_inputs:
+            values.append(POISON)
+        if undef_inputs and config.has_undef:
+            values.append(full_undef(ty.bits))
+        return values
+    raise TypeError(f"cannot enumerate inputs of type {ty}")
+
+
+def input_candidates(ty: Type, config: SemanticsConfig,
+                     poison_inputs: bool = True,
+                     undef_inputs: bool = True) -> List[RuntimeValue]:
+    if isinstance(ty, IntType):
+        return scalar_candidates(ty, config, poison_inputs, undef_inputs)
+    if isinstance(ty, VectorType):
+        lane = scalar_candidates(ty.elem, config, poison_inputs, undef_inputs)
+        return [tuple(v) for v in itertools.product(lane, repeat=ty.count)]
+    raise TypeError(f"cannot enumerate inputs of type {ty}")
+
+
+def _bit_patterns(nbits: int, config: SemanticsConfig,
+                  exhaustive_limit: int = 4,
+                  poison_in_memory: bool = True) -> List[Bits]:
+    """Initial-content candidates for a memory region of ``nbits`` bits."""
+    uninit = UBIT if config.uninit_is_undef else PBIT
+    patterns: List[Bits] = [(uninit,) * nbits]
+    specials = [0, 1]
+    if poison_in_memory:
+        specials.append(PBIT)
+    if config.has_undef:
+        specials.append(UBIT)
+    if nbits <= exhaustive_limit:
+        patterns.extend(itertools.product(specials, repeat=nbits))
+    else:
+        patterns.append((0,) * nbits)
+        patterns.append((1,) * nbits)
+        patterns.append(tuple((i % 2) for i in range(nbits)))
+        if poison_in_memory:
+            patterns.append((PBIT,) + (0,) * (nbits - 1))
+    # dedupe, preserving order
+    seen = set()
+    out = []
+    for p in patterns:
+        if p not in seen:
+            seen.add(p)
+            out.append(p)
+    return out
+
+
+@dataclass
+class CheckOptions:
+    """Budgets and toggles for the exhaustive checker."""
+
+    max_inputs: int = 20_000
+    max_paths: int = 4096
+    max_choices: int = 24
+    fuel: int = 10_000
+    #: include poison among argument values
+    poison_inputs: bool = True
+    #: include undef among argument values (OLD-semantics checks only)
+    undef_inputs: bool = True
+    #: enumerate initial contents of globals
+    vary_globals: bool = True
+    #: include poison bits among initial memory contents.  Whether
+    #: memory can hold poison at all was itself ambiguous pre-paper;
+    #: turning this off models the no-poison-in-memory reading.
+    poison_in_memory: bool = True
+    #: when the input space exceeds ``max_inputs``, check this many
+    #: deterministically-sampled inputs instead of giving up (the result
+    #: is then "verified (sampled)" — sound for failures, evidence-only
+    #: for verification).  ``None`` keeps the strict exhaustive behavior.
+    sample_inputs: Optional[int] = None
+
+
+def _global_inits(src: Function, config: SemanticsConfig,
+                  options: CheckOptions) -> List[Dict[str, Bits]]:
+    if src.module is None or not src.module.globals or not options.vary_globals:
+        return [dict()]
+    per_global: List[List[Tuple[str, Bits]]] = []
+    for name, g in sorted(src.module.globals.items()):
+        if g.initializer is not None:
+            continue  # fixed contents
+        nbits = g.value_type.bitwidth()
+        per_global.append(
+            [(name, bits)
+             for bits in _bit_patterns(
+                 nbits, config, poison_in_memory=options.poison_in_memory)]
+        )
+    if not per_global:
+        return [dict()]
+    inits = []
+    for combo in itertools.product(*per_global):
+        inits.append(dict(combo))
+    return inits
+
+
+def check_refinement(src: Function, tgt: Function,
+                     config: SemanticsConfig = NEW,
+                     tgt_config: Optional[SemanticsConfig] = None,
+                     options: Optional[CheckOptions] = None) -> RefinementResult:
+    """Decide whether ``tgt`` refines ``src`` under ``config``.
+
+    ``tgt_config`` allows cross-semantics checks (e.g. validating the
+    migration story: a NEW-semantics target refining an OLD-semantics
+    source).  Defaults to ``config``.
+    """
+    options = options or CheckOptions()
+    tgt_config = tgt_config or config
+
+    if len(src.args) != len(tgt.args):
+        return RefinementResult("inconclusive",
+                                reason="argument count mismatch")
+    for a, b in zip(src.args, tgt.args):
+        if a.type is not b.type:
+            return RefinementResult("inconclusive",
+                                    reason="argument type mismatch")
+    if src.return_type is not tgt.return_type:
+        return RefinementResult("inconclusive",
+                                reason="return type mismatch")
+
+    try:
+        arg_spaces = [
+            input_candidates(a.type, config, options.poison_inputs,
+                             options.undef_inputs)
+            for a in src.args
+        ]
+    except TypeError as e:
+        return RefinementResult("inconclusive", reason=str(e))
+
+    global_inits = _global_inits(src, config, options)
+
+    total = len(global_inits)
+    for space in arg_spaces:
+        total *= len(space)
+    sampled = False
+    if total > options.max_inputs:
+        if options.sample_inputs is None:
+            return RefinementResult(
+                "inconclusive",
+                reason=f"input space too large ({total} > "
+                       f"{options.max_inputs})",
+            )
+        sampled = True
+
+    def input_stream():
+        if not sampled:
+            for ginit in global_inits:
+                for args in itertools.product(*arg_spaces):
+                    yield ginit, args
+            return
+        import random
+
+        rng = random.Random(0xC0FFEE)
+        for _ in range(options.sample_inputs):
+            ginit = rng.choice(global_inits)
+            args = tuple(rng.choice(space) for space in arg_spaces)
+            yield ginit, args
+
+    checked = 0
+    skipped = 0
+    skip_reason = ""
+    if True:
+        for ginit, args in input_stream():
+            checked += 1
+            try:
+                src_b = enumerate_behaviors(
+                    src, args, config, global_init=ginit,
+                    max_paths=options.max_paths,
+                    max_choices=options.max_choices, fuel=options.fuel,
+                )
+                tgt_b = enumerate_behaviors(
+                    tgt, args, tgt_config, global_init=ginit,
+                    max_paths=options.max_paths,
+                    max_choices=options.max_choices, fuel=options.fuel,
+                )
+            except PathLimitExceeded as e:
+                # This input's nondeterminism is too wide to enumerate;
+                # keep scanning other inputs (a counterexample elsewhere
+                # is still definite).
+                skipped += 1
+                skip_reason = str(e)
+                continue
+            result = check_behavior_sets(src_b, tgt_b)
+            if result.inconclusive:
+                skipped += 1
+                skip_reason = result.reason
+                continue
+            if not result.ok:
+                cex = Counterexample(
+                    args=tuple(args),
+                    arg_types=tuple(a.type for a in src.args),
+                    global_init=tuple(sorted(ginit.items())),
+                    witness=result.witness,
+                    src_behaviors=tuple(src_b),
+                )
+                return RefinementResult("failed", counterexample=cex,
+                                        inputs_checked=checked)
+    if skipped:
+        return RefinementResult(
+            "inconclusive",
+            reason=(f"{skipped}/{checked} inputs undecided "
+                    f"(last: {skip_reason})"),
+            inputs_checked=checked,
+        )
+    if sampled:
+        return RefinementResult(
+            "verified",
+            reason=f"sampled {checked} of {total} inputs",
+            inputs_checked=checked,
+        )
+    return RefinementResult("verified", inputs_checked=checked)
+
+
+def check_equivalence(a: Function, b: Function,
+                      config: SemanticsConfig = NEW,
+                      options: Optional[CheckOptions] = None
+                      ) -> Tuple[RefinementResult, RefinementResult]:
+    """Refinement in both directions (semantic equivalence when both
+    verify)."""
+    return (
+        check_refinement(a, b, config, options=options),
+        check_refinement(b, a, config, options=options),
+    )

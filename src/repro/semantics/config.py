@@ -1,0 +1,105 @@
+"""Semantics configuration: OLD (undef + poison) vs NEW (poison + freeze).
+
+The paper's Section 3 shows that the OLD semantics was not one semantics
+but a family of mutually inconsistent readings, each assumed by different
+LLVM passes.  We therefore expose the contested choice points as knobs:
+
+* ``branch_on_poison`` — UB (what GVN assumed) or a nondeterministic
+  choice (what loop unswitching assumed);
+* ``select_semantics`` — how ``select`` treats poison: like arithmetic
+  (poison if *any* input is poison, what the LangRef implied and the
+  select→or rewrite needs), conditional (only the chosen arm matters,
+  what the phi→select rewrite needs), or UB on a poison condition (what
+  branch→select equivalence under branch-on-poison-UB needs);
+* ``shift_oob`` — out-of-range shift amounts give undef (OLD) or poison.
+
+:data:`OLD` is LLVM-as-documented circa 2016; the variants
+:data:`OLD_GVN_VIEW` and :data:`OLD_UNSWITCH_VIEW` are the two
+incompatible readings from Section 3.3.  :data:`NEW` is the paper's
+proposal (Section 4): no undef, branch-on-poison is UB, select is
+conditional with a poison condition yielding poison.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+
+class BranchOnPoison(enum.Enum):
+    UB = "ub"
+    NONDET = "nondet"
+
+
+class SelectSemantics(enum.Enum):
+    #: poison if any of cond / both arms is poison (select ≡ arithmetic).
+    ARITHMETIC = "arithmetic"
+    #: poison cond => poison result; otherwise only the chosen arm matters
+    #: (Figure 5 of the paper).
+    CONDITIONAL = "conditional"
+    #: poison cond => immediate UB (select ≡ branch when branch-on-poison
+    #: is UB).
+    UB_COND = "ub_cond"
+    #: poison cond => nondeterministically pick an arm.
+    NONDET_COND = "nondet_cond"
+
+
+class ShiftOutOfRange(enum.Enum):
+    UNDEF = "undef"
+    POISON = "poison"
+
+
+@dataclass(frozen=True)
+class SemanticsConfig:
+    """One point in the space of UB semantics."""
+
+    name: str
+    #: whether the undef value exists at all
+    has_undef: bool
+    branch_on_poison: BranchOnPoison
+    select_semantics: SelectSemantics
+    shift_oob: ShiftOutOfRange
+    #: loads of uninitialized memory yield undef bits (OLD) or poison bits
+    uninit_is_undef: bool
+
+    def with_(self, **kwargs) -> "SemanticsConfig":
+        return replace(self, **kwargs)
+
+    @property
+    def is_new(self) -> bool:
+        return not self.has_undef
+
+
+#: LLVM's documented pre-paper semantics, with the LangRef reading of
+#: select and the loop-unswitching reading of branches.
+OLD = SemanticsConfig(
+    name="old",
+    has_undef=True,
+    branch_on_poison=BranchOnPoison.NONDET,
+    select_semantics=SelectSemantics.ARITHMETIC,
+    shift_oob=ShiftOutOfRange.UNDEF,
+    uninit_is_undef=True,
+)
+
+#: The reading GVN needs: branch on poison is UB (Section 3.3).
+OLD_GVN_VIEW = OLD.with_(
+    name="old-gvn-view",
+    branch_on_poison=BranchOnPoison.UB,
+    select_semantics=SelectSemantics.UB_COND,
+)
+
+#: The reading loop unswitching needs: branch on poison is a
+#: nondeterministic choice (Section 3.3).
+OLD_UNSWITCH_VIEW = OLD.with_(name="old-unswitch-view")
+
+#: The paper's proposal (Section 4).
+NEW = SemanticsConfig(
+    name="new",
+    has_undef=False,
+    branch_on_poison=BranchOnPoison.UB,
+    select_semantics=SelectSemantics.CONDITIONAL,
+    shift_oob=ShiftOutOfRange.POISON,
+    uninit_is_undef=False,
+)
+
+ALL_CONFIGS = (OLD, OLD_GVN_VIEW, OLD_UNSWITCH_VIEW, NEW)

@@ -1,0 +1,253 @@
+"""Runtime value domains for the operational semantics (Figure 5).
+
+Scalar runtime values are one of:
+
+* a Python ``int`` in ``[0, 2^w)`` — a fully defined value;
+* :data:`POISON` — the deferred-UB taint value;
+* :class:`PartialUndef` — OLD-semantics only: a value some of whose bits
+  are indeterminate.  ``PartialUndef(0, full_mask)`` is LLVM's ``undef``;
+  partial masks arise from loading partially-initialized memory.  Each
+  *computational use* of a ``PartialUndef`` picks fresh concrete bits
+  (Section 3.1's "each use of undef can yield a different result").
+
+Vector runtime values are tuples of scalar values, one per lane — this
+per-lane structure is exactly what makes vector-based load widening sound
+under the new semantics (Section 5.4).
+
+Bit-level representation (the paper's ``ty↓`` / ``ty↑``): a bit is
+``0``, ``1``, :data:`PBIT` (poison) or :data:`UBIT` (undef).  Memory
+holds bits, so partially-poisoned / partially-undef words round-trip
+exactly as in Figure 5.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+from ..ir.types import IntType, PointerType, Type, VectorType
+
+
+class _Poison:
+    """Singleton scalar poison value."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "poison"
+
+
+POISON = _Poison()
+
+
+class PartialUndef:
+    """A scalar whose bits at positions in ``mask`` are undef.
+
+    ``value`` holds the defined bits (undef positions are stored as 0).
+    The all-bits-undef case represents LLVM's ``undef`` constant.
+    """
+
+    __slots__ = ("value", "mask", "width")
+
+    def __init__(self, value: int, mask: int, width: int):
+        if mask == 0:
+            raise ValueError("PartialUndef requires a nonzero undef mask")
+        full = (1 << width) - 1
+        self.width = width
+        self.mask = mask & full
+        self.value = value & full & ~mask
+
+    @property
+    def is_fully_undef(self) -> bool:
+        return self.mask == (1 << self.width) - 1
+
+    def concretize(self, undef_bits: int) -> int:
+        """Fill the undef positions with bits drawn from ``undef_bits``
+        (compacted: bit i of ``undef_bits`` goes to the i-th set position
+        of ``mask``)."""
+        result = self.value
+        j = 0
+        m = self.mask
+        pos = 0
+        while m:
+            if m & 1:
+                if (undef_bits >> j) & 1:
+                    result |= 1 << pos
+                j += 1
+            m >>= 1
+            pos += 1
+        return result
+
+    def num_undef_bits(self) -> int:
+        return bin(self.mask).count("1")
+
+    def __repr__(self) -> str:
+        if self.is_fully_undef:
+            return "undef"
+        return f"undef(value={self.value:#x}, mask={self.mask:#x})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, PartialUndef)
+            and other.value == self.value
+            and other.mask == self.mask
+            and other.width == self.width
+        )
+
+    def __hash__(self) -> int:
+        return hash((PartialUndef, self.value, self.mask, self.width))
+
+
+#: A scalar runtime value.
+Scalar = Union[int, _Poison, PartialUndef]
+#: Any runtime value (vectors are tuples of scalars).
+RuntimeValue = Union[Scalar, Tuple[Scalar, ...]]
+
+
+def full_undef(width: int) -> PartialUndef:
+    return PartialUndef(0, (1 << width) - 1, width)
+
+
+def is_poison(v: RuntimeValue) -> bool:
+    return v is POISON
+
+
+def is_undef(v: RuntimeValue) -> bool:
+    return isinstance(v, PartialUndef)
+
+
+def is_concrete(v: RuntimeValue) -> bool:
+    return isinstance(v, int)
+
+
+def scalar_width(ty: Type) -> int:
+    if isinstance(ty, IntType):
+        return ty.bits
+    if isinstance(ty, PointerType):
+        return PointerType.ADDRESS_BITS
+    raise TypeError(f"{ty} is not a scalar type")
+
+
+# ---------------------------------------------------------------------------
+# Bit-level representation: the paper's ty↓ / ty↑ (Figure 5).
+# ---------------------------------------------------------------------------
+
+class _PoisonBit:
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "p"
+
+
+class _UndefBit:
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "u"
+
+
+PBIT = _PoisonBit()
+UBIT = _UndefBit()
+
+#: A single memory/representation bit.
+Bit = Union[int, _PoisonBit, _UndefBit]
+Bits = Tuple[Bit, ...]
+
+
+def scalar_to_bits(value: Scalar, width: int) -> Bits:
+    """``ty↓`` for scalar types: poison becomes all-poison bits; defined
+    values take their standard two's-complement representation (bit 0 is
+    the LSB); partial undef becomes undef bits at the masked positions."""
+    if value is POISON:
+        return (PBIT,) * width
+    if isinstance(value, PartialUndef):
+        return tuple(
+            UBIT if (value.mask >> i) & 1 else (value.value >> i) & 1
+            for i in range(width)
+        )
+    return tuple((value >> i) & 1 for i in range(width))
+
+
+def bits_to_scalar(bits: Bits) -> Scalar:
+    """``ty↑`` for scalar types: any poison bit makes the whole scalar
+    poison (Figure 5); otherwise undef bits make it partially undef."""
+    if any(b is PBIT for b in bits):
+        return POISON
+    mask = 0
+    value = 0
+    for i, b in enumerate(bits):
+        if b is UBIT:
+            mask |= 1 << i
+        elif b:
+            value |= 1 << i
+    if mask:
+        return PartialUndef(value, mask, len(bits))
+    return value
+
+
+def value_to_bits(value: RuntimeValue, ty: Type) -> Bits:
+    """``ty↓``: vectors convert element-wise and concatenate."""
+    if isinstance(ty, VectorType):
+        assert isinstance(value, tuple) and len(value) == ty.count
+        out: list = []
+        w = scalar_width(ty.elem)
+        for lane in value:
+            out.extend(scalar_to_bits(lane, w))
+        return tuple(out)
+    return scalar_to_bits(value, scalar_width(ty))
+
+
+def bits_to_value(bits: Bits, ty: Type) -> RuntimeValue:
+    """``ty↑``: vectors convert element-wise, so a poison bit only taints
+    its own lane — the property Section 5.4's load widening relies on."""
+    if isinstance(ty, VectorType):
+        w = scalar_width(ty.elem)
+        assert len(bits) == ty.count * w
+        return tuple(
+            bits_to_scalar(bits[i * w:(i + 1) * w]) for i in range(ty.count)
+        )
+    assert len(bits) == scalar_width(ty)
+    return bits_to_scalar(bits)
+
+
+def poison_value(ty: Type) -> RuntimeValue:
+    if isinstance(ty, VectorType):
+        return (POISON,) * ty.count
+    return POISON
+
+
+def undef_value(ty: Type) -> RuntimeValue:
+    if isinstance(ty, VectorType):
+        return tuple(full_undef(scalar_width(ty.elem)) for _ in range(ty.count))
+    return full_undef(scalar_width(ty))
+
+
+def format_scalar(v: Scalar, width: int) -> str:
+    if v is POISON:
+        return "poison"
+    if isinstance(v, PartialUndef):
+        return repr(v)
+    hi = 1 << (width - 1)
+    signed = v - (1 << width) if width > 1 and v >= hi else v
+    return str(signed) if signed != v else str(v)
+
+
+def format_value(v: RuntimeValue, ty: Type) -> str:
+    if isinstance(ty, VectorType):
+        w = scalar_width(ty.elem)
+        return "<" + ", ".join(format_scalar(x, w) for x in v) + ">"
+    return format_scalar(v, scalar_width(ty))

@@ -1,0 +1,196 @@
+"""Concrete evaluation of individual operations, with the poison rules.
+
+These functions operate on *expanded* scalar operands: Python ints or
+:data:`~repro.semantics.domains.POISON` (undef has already been
+concretized by the interpreter's per-use expansion).  They return a
+scalar result, or raise :class:`UBError` for immediate UB (division by
+zero, etc.), or return an undef/poison scalar for deferred UB.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..ir.instructions import IcmpPred, Opcode
+from .config import SemanticsConfig, ShiftOutOfRange
+from .domains import POISON, PartialUndef, Scalar, full_undef
+
+
+class UBError(Exception):
+    """Immediate undefined behavior was executed."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+def _to_signed(v: int, width: int) -> int:
+    if v >= 1 << (width - 1):
+        return v - (1 << width)
+    return v
+
+
+def _wrap(v: int, width: int) -> int:
+    return v & ((1 << width) - 1)
+
+
+def _signed_overflows(v: int, width: int) -> bool:
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    return not (lo <= v <= hi)
+
+
+def eval_binop(opcode: Opcode, a: Scalar, b: Scalar, width: int,
+               config: SemanticsConfig, nsw: bool = False, nuw: bool = False,
+               exact: bool = False) -> Scalar:
+    """Evaluate one binary operation on expanded scalars.
+
+    Division-family checks come first because a zero or poison divisor is
+    *immediate* UB even when the dividend is poison."""
+    if opcode in (Opcode.UDIV, Opcode.SDIV, Opcode.UREM, Opcode.SREM):
+        return _eval_division(opcode, a, b, width, exact)
+
+    if a is POISON or b is POISON:
+        return POISON
+    assert isinstance(a, int) and isinstance(b, int)
+
+    if opcode is Opcode.ADD:
+        result = a + b
+        if nuw and result >= (1 << width):
+            return POISON
+        if nsw and _signed_overflows(_to_signed(a, width) + _to_signed(b, width),
+                                     width):
+            return POISON
+        return _wrap(result, width)
+
+    if opcode is Opcode.SUB:
+        result = a - b
+        if nuw and result < 0:
+            return POISON
+        if nsw and _signed_overflows(_to_signed(a, width) - _to_signed(b, width),
+                                     width):
+            return POISON
+        return _wrap(result, width)
+
+    if opcode is Opcode.MUL:
+        result = a * b
+        if nuw and result >= (1 << width):
+            return POISON
+        if nsw and _signed_overflows(_to_signed(a, width) * _to_signed(b, width),
+                                     width):
+            return POISON
+        return _wrap(result, width)
+
+    if opcode in (Opcode.SHL, Opcode.LSHR, Opcode.ASHR):
+        return _eval_shift(opcode, a, b, width, config, nsw, nuw, exact)
+
+    if opcode is Opcode.AND:
+        return a & b
+    if opcode is Opcode.OR:
+        return a | b
+    if opcode is Opcode.XOR:
+        return a ^ b
+
+    raise NotImplementedError(f"eval_binop: {opcode}")
+
+
+def _eval_division(opcode: Opcode, a: Scalar, b: Scalar, width: int,
+                   exact: bool) -> Scalar:
+    if b is POISON:
+        raise UBError(f"{opcode.value} by poison")
+    assert isinstance(b, int)
+    if b == 0:
+        raise UBError(f"{opcode.value} by zero")
+    if a is POISON:
+        return POISON
+    assert isinstance(a, int)
+
+    if opcode is Opcode.UDIV:
+        q = a // b
+        if exact and a % b != 0:
+            return POISON
+        return q
+    if opcode is Opcode.UREM:
+        return a % b
+
+    sa, sb = _to_signed(a, width), _to_signed(b, width)
+    if sa == -(1 << (width - 1)) and sb == -1:
+        raise UBError(f"{opcode.value} overflow (INT_MIN / -1)")
+    # C-style truncating division.
+    q = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        q = -q
+    r = sa - q * sb
+    if opcode is Opcode.SDIV:
+        if exact and r != 0:
+            return POISON
+        return _wrap(q, width)
+    return _wrap(r, width)
+
+
+def _eval_shift(opcode: Opcode, a: int, b: int, width: int,
+                config: SemanticsConfig, nsw: bool, nuw: bool,
+                exact: bool) -> Scalar:
+    if b >= width:
+        # Section 2.3: out-of-range shifts are deferred UB because
+        # hardware disagrees about them.  OLD: undef; NEW: poison.
+        if config.shift_oob is ShiftOutOfRange.UNDEF:
+            return full_undef(width)
+        return POISON
+
+    if opcode is Opcode.SHL:
+        result = _wrap(a << b, width)
+        if nuw and (a << b) >= (1 << width):
+            return POISON
+        if nsw:
+            # Poison unless the shift preserves the signed value:
+            # all shifted-out bits must equal the resulting sign bit.
+            if _to_signed(result, width) >> b != _to_signed(a, width):
+                return POISON
+        return result
+    if opcode is Opcode.LSHR:
+        if exact and (a & ((1 << b) - 1)) != 0:
+            return POISON
+        return a >> b
+    if opcode is Opcode.ASHR:
+        if exact and (a & ((1 << b) - 1)) != 0:
+            return POISON
+        return _wrap(_to_signed(a, width) >> b, width)
+    raise NotImplementedError(f"eval_shift: {opcode}")
+
+
+def eval_icmp(pred: IcmpPred, a: Scalar, b: Scalar, width: int) -> Scalar:
+    if a is POISON or b is POISON:
+        return POISON
+    assert isinstance(a, int) and isinstance(b, int)
+    if pred.is_signed:
+        a, b = _to_signed(a, width), _to_signed(b, width)
+    table = {
+        IcmpPred.EQ: a == b,
+        IcmpPred.NE: a != b,
+        IcmpPred.UGT: a > b,
+        IcmpPred.UGE: a >= b,
+        IcmpPred.ULT: a < b,
+        IcmpPred.ULE: a <= b,
+        IcmpPred.SGT: a > b,
+        IcmpPred.SGE: a >= b,
+        IcmpPred.SLT: a < b,
+        IcmpPred.SLE: a <= b,
+    }
+    return int(table[pred])
+
+
+def eval_cast(opcode: Opcode, a: Scalar, src_width: int,
+              dest_width: int) -> Scalar:
+    if a is POISON:
+        return POISON
+    assert isinstance(a, int)
+    if opcode is Opcode.ZEXT:
+        return a
+    if opcode is Opcode.SEXT:
+        return _wrap(_to_signed(a, src_width), dest_width)
+    if opcode is Opcode.TRUNC:
+        return _wrap(a, dest_width)
+    if opcode in (Opcode.PTRTOINT, Opcode.INTTOPTR):
+        return _wrap(a, dest_width)
+    raise NotImplementedError(f"eval_cast: {opcode}")

@@ -1,0 +1,616 @@
+"""Nondeterministic interpreter implementing the paper's semantics.
+
+The interpreter executes one path, consulting an :class:`Oracle` at every
+nondeterministic choice point:
+
+* each *computational use* of a (partially) undef value picks concrete
+  bits (OLD semantics, Section 3.1);
+* ``freeze`` of poison/undef picks one value, shared by all uses
+  (Section 4);
+* branching on poison under the ``NONDET`` reading picks a successor;
+* calls to declared-only functions pick a return value.
+
+:func:`enumerate_behaviors` drives the oracle through every choice
+sequence (depth-first with an odometer), producing the *set* of
+observable behaviors of a function on given inputs — the semantic object
+that refinement (:mod:`repro.refine`) is defined over.
+
+An observable behavior is: UB, or (return-value bits, external-call event
+trace, final contents of every global).  Undef/poison bits appear in
+observables un-expanded; the refinement checker interprets them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    ExtractElementInst,
+    FreezeInst,
+    GepInst,
+    IcmpInst,
+    InsertElementInst,
+    Instruction,
+    LoadInst,
+    Opcode,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
+from ..ir.types import IntType, PointerType, Type, VectorType
+from ..ir.values import (
+    Argument,
+    ConstantInt,
+    ConstantVector,
+    GlobalVariable,
+    PoisonValue,
+    UndefValue,
+    Value,
+)
+from .config import (
+    BranchOnPoison,
+    SelectSemantics,
+    SemanticsConfig,
+    NEW,
+)
+from .domains import (
+    Bits,
+    POISON,
+    PartialUndef,
+    RuntimeValue,
+    Scalar,
+    bits_to_value,
+    full_undef,
+    poison_value,
+    scalar_width,
+    undef_value,
+    value_to_bits,
+)
+from .eval import UBError, eval_binop, eval_cast, eval_icmp
+from .memory import Memory, uninit_bit_for
+
+
+class PathLimitExceeded(Exception):
+    """Behavior enumeration exceeded its path budget."""
+
+
+class FuelExhausted(Exception):
+    """Execution exceeded its step budget (probable infinite loop)."""
+
+
+class Oracle:
+    """Replays a prefix of recorded choices, then defaults to 0 while
+    recording the cardinality of each new choice point."""
+
+    def __init__(self, choices: Optional[List[int]] = None,
+                 max_choices: int = 64):
+        self.choices: List[int] = list(choices) if choices else []
+        self.cards: List[int] = []
+        self.index = 0
+        self.max_choices = max_choices
+
+    def choose(self, cardinality: int) -> int:
+        if cardinality <= 0:
+            raise ValueError("choice cardinality must be positive")
+        if self.index >= self.max_choices:
+            raise PathLimitExceeded(
+                f"more than {self.max_choices} choice points on one path"
+            )
+        if self.index < len(self.choices):
+            value = self.choices[self.index]
+        else:
+            value = 0
+            self.choices.append(0)
+        self.cards.append(cardinality)
+        self.index += 1
+        return value
+
+    def next_choice_vector(self) -> Optional[List[int]]:
+        """Odometer increment over the recorded choice points; ``None``
+        when the space is exhausted."""
+        vec = self.choices[: self.index]
+        cards = self.cards[: self.index]
+        for i in range(len(vec) - 1, -1, -1):
+            if vec[i] + 1 < cards[i]:
+                return vec[: i] + [vec[i] + 1]
+        return None
+
+
+UB = "ub"
+RET = "ret"
+TIMEOUT = "timeout"
+
+#: (callee name, per-argument bit tuples, return bits or None)
+Event = Tuple[str, Tuple[Bits, ...], Optional[Bits]]
+
+
+@dataclass(frozen=True)
+class Behavior:
+    kind: str
+    ret: Optional[Bits]
+    events: Tuple[Event, ...]
+    memory: Tuple[Tuple[str, Bits], ...]
+
+    @staticmethod
+    def ub(events: Tuple[Event, ...] = ()) -> "Behavior":
+        return Behavior(UB, None, events, ())
+
+    @property
+    def is_ub(self) -> bool:
+        return self.kind == UB
+
+    def __str__(self) -> str:
+        if self.kind == UB:
+            return "UB"
+        parts = []
+        if self.ret is not None:
+            parts.append("ret=" + _bits_str(self.ret))
+        for name, args, ret in self.events:
+            s = f"call @{name}(" + ", ".join(_bits_str(a) for a in args) + ")"
+            if ret is not None:
+                s += " -> " + _bits_str(ret)
+            parts.append(s)
+        for name, bits in self.memory:
+            parts.append(f"@{name}=" + _bits_str(bits))
+        return "; ".join(parts) if parts else "ret void"
+
+
+def _bits_str(bits: Bits) -> str:
+    from .domains import PBIT, UBIT
+
+    def one(b) -> str:
+        if b is PBIT:
+            return "p"
+        if b is UBIT:
+            return "u"
+        return str(b)
+
+    return "".join(one(b) for b in reversed(bits))
+
+
+class _Return(Exception):
+    def __init__(self, value: Optional[RuntimeValue]):
+        self.value = value
+
+
+class Interpreter:
+    """Executes one function on one oracle path."""
+
+    def __init__(self, config: SemanticsConfig, oracle: Oracle,
+                 fuel: int = 10_000, max_call_depth: int = 16,
+                 ext_ret_choices: bool = True):
+        self.config = config
+        self.oracle = oracle
+        self.fuel = fuel
+        self.max_call_depth = max_call_depth
+        self.ext_ret_choices = ext_ret_choices
+        self.memory: Optional[Memory] = None
+        self.global_addrs: Dict[str, int] = {}
+        self.events: List[Event] = []
+        self.steps = 0
+
+    # -- setup ------------------------------------------------------------
+    def setup_memory(self, fn: Function,
+                     global_init: Optional[Dict[str, Bits]] = None) -> None:
+        self.memory = Memory(uninit_bit_for(self.config.uninit_is_undef))
+        module = fn.module
+        if module is None:
+            return
+        for name, g in sorted(module.globals.items()):
+            nbytes = max(1, (g.value_type.bitwidth() + 7) // 8)
+            addr = self.memory.alloc(nbytes, name=name)
+            self.global_addrs[name] = addr
+            init_bits: Optional[Bits] = None
+            if global_init and name in global_init:
+                init_bits = global_init[name]
+            elif g.initializer is not None:
+                rv = self._constant_value(g.initializer)
+                init_bits = value_to_bits(rv, g.value_type)
+            if init_bits is not None:
+                self.memory.store_bits(addr, init_bits)
+
+    # -- main entry ----------------------------------------------------------
+    def run(self, fn: Function, args: Sequence[RuntimeValue],
+            global_init: Optional[Dict[str, Bits]] = None) -> Behavior:
+        if self.memory is None:
+            self.setup_memory(fn, global_init)
+        try:
+            ret = self._call_function(fn, list(args), depth=0)
+        except UBError:
+            return Behavior.ub(tuple(self.events))
+        except FuelExhausted:
+            return Behavior(TIMEOUT, None, tuple(self.events), ())
+        ret_bits: Optional[Bits] = None
+        if ret is not None and not fn.return_type.is_void:
+            ret_bits = value_to_bits(ret, fn.return_type)
+        mem_obs = []
+        for name in sorted(self.global_addrs):
+            snap = self.memory.snapshot_block(self.global_addrs[name])
+            if snap is not None:
+                mem_obs.append((name, snap))
+        return Behavior(RET, ret_bits, tuple(self.events), tuple(mem_obs))
+
+    # -- function call machinery ------------------------------------------------
+    def _call_function(self, fn: Function, args: List[RuntimeValue],
+                       depth: int) -> Optional[RuntimeValue]:
+        if depth > self.max_call_depth:
+            raise FuelExhausted("call depth exceeded")
+        if fn.is_declaration:
+            return self._external_call(fn, args)
+
+        regs: Dict[Value, RuntimeValue] = {}
+        for arg, value in zip(fn.args, args):
+            regs[arg] = value
+        frame_allocas: List[int] = []
+
+        block = fn.entry
+        prev_block: Optional[BasicBlock] = None
+        try:
+            while True:
+                block, prev_block = self._run_block(
+                    fn, block, prev_block, regs, frame_allocas, depth
+                )
+        except _Return as r:
+            return r.value
+        finally:
+            for addr in frame_allocas:
+                self.memory.free_block(addr)
+
+    def _external_call(self, fn: Function,
+                       args: List[RuntimeValue]) -> Optional[RuntimeValue]:
+        arg_bits = tuple(
+            value_to_bits(v, a.type) for v, a in zip(args, fn.args)
+        )
+        ret_ty = fn.return_type
+        ret_val: Optional[RuntimeValue] = None
+        ret_bits: Optional[Bits] = None
+        if not ret_ty.is_void:
+            width = ret_ty.bitwidth()
+            if self.ext_ret_choices and width <= 4:
+                chosen = self.oracle.choose(1 << width)
+            else:
+                chosen = 0
+            ret_val = bits_to_value(
+                tuple((chosen >> i) & 1 for i in range(width)), ret_ty
+            )
+            ret_bits = value_to_bits(ret_val, ret_ty)
+        self.events.append((fn.name, arg_bits, ret_bits))
+        return ret_val
+
+    # -- block execution ------------------------------------------------------
+    def _run_block(self, fn: Function, block: BasicBlock,
+                   prev_block: Optional[BasicBlock],
+                   regs: Dict[Value, RuntimeValue],
+                   frame_allocas: List[int], depth: int):
+        # Phi nodes read their inputs simultaneously.
+        phis = block.phis()
+        if phis:
+            if prev_block is None:
+                raise UBError("phi in entry block")
+            staged = []
+            for phi in phis:
+                incoming = phi.incoming_for_block(prev_block)
+                if incoming is None:
+                    raise UBError(
+                        f"phi {phi.ref()} has no incoming from %{prev_block.name}"
+                    )
+                staged.append((phi, self._value(incoming, regs)))
+            for phi, v in staged:
+                regs[phi] = v
+
+        for inst in block.instructions[len(phis):]:
+            self.steps += 1
+            if self.steps > self.fuel:
+                raise FuelExhausted("fuel exhausted")
+            if inst.is_terminator:
+                nxt = self._terminator(inst, regs)
+                return nxt, block
+            self._execute(inst, regs, frame_allocas, depth)
+        raise UBError(f"block %{block.name} fell off the end")
+
+    # -- operand evaluation ------------------------------------------------------
+    def _constant_value(self, c) -> RuntimeValue:
+        if isinstance(c, ConstantInt):
+            return c.value
+        if isinstance(c, PoisonValue):
+            return poison_value(c.type)
+        if isinstance(c, UndefValue):
+            if not self.config.has_undef:
+                # In NEW-mode execution an undef constant is treated as
+                # poison (the migration story of Section 4).
+                return poison_value(c.type)
+            return undef_value(c.type)
+        if isinstance(c, ConstantVector):
+            return tuple(self._constant_value(e) for e in c.elements)
+        if isinstance(c, GlobalVariable):
+            addr = self.global_addrs.get(c.name)
+            if addr is None:
+                raise UBError(f"global @{c.name} not allocated")
+            return addr
+        raise NotImplementedError(f"constant {c!r}")
+
+    def _value(self, op: Value, regs: Dict[Value, RuntimeValue]) -> RuntimeValue:
+        """The raw register/constant value — no per-use expansion."""
+        if isinstance(op, (ConstantInt, PoisonValue, UndefValue,
+                           ConstantVector, GlobalVariable)):
+            return self._constant_value(op)
+        if op in regs:
+            return regs[op]
+        raise UBError(f"use of undefined register {op.ref()}")
+
+    def _expand_scalar(self, v: Scalar) -> Scalar:
+        """Per-use expansion of undef bits (Section 3.1): a computational
+        use observes *some* concrete assignment of the undef bits, chosen
+        independently at every use."""
+        if isinstance(v, PartialUndef):
+            k = v.num_undef_bits()
+            pick = self.oracle.choose(1 << k)
+            return v.concretize(pick)
+        return v
+
+    def _use(self, op: Value, regs: Dict[Value, RuntimeValue]) -> RuntimeValue:
+        """Evaluate an operand for a computational use."""
+        v = self._value(op, regs)
+        if isinstance(v, tuple):
+            return tuple(self._expand_scalar(x) for x in v)
+        return self._expand_scalar(v)
+
+    # -- instruction execution ----------------------------------------------------
+    def _execute(self, inst: Instruction, regs: Dict[Value, RuntimeValue],
+                 frame_allocas: List[int], depth: int) -> None:
+        result = self._compute(inst, regs, frame_allocas, depth)
+        if not inst.type.is_void:
+            regs[inst] = result
+
+    def _compute(self, inst: Instruction, regs, frame_allocas, depth):
+        if isinstance(inst, BinaryInst):
+            return self._binary(inst, regs)
+        if isinstance(inst, IcmpInst):
+            return self._icmp(inst, regs)
+        if isinstance(inst, SelectInst):
+            return self._select(inst, regs)
+        if isinstance(inst, FreezeInst):
+            return self._freeze(inst, regs)
+        if isinstance(inst, CastInst):
+            return self._cast(inst, regs)
+        if isinstance(inst, GepInst):
+            return self._gep(inst, regs)
+        if isinstance(inst, AllocaInst):
+            nbytes = max(1, (inst.allocated_type.bitwidth() + 7) // 8)
+            addr = self.memory.alloc(nbytes, name=inst.name or "alloca")
+            frame_allocas.append(addr)
+            return addr
+        if isinstance(inst, LoadInst):
+            return self._load(inst, regs)
+        if isinstance(inst, StoreInst):
+            return self._store(inst, regs)
+        if isinstance(inst, ExtractElementInst):
+            return self._extractelement(inst, regs)
+        if isinstance(inst, InsertElementInst):
+            return self._insertelement(inst, regs)
+        if isinstance(inst, CallInst):
+            args = [self._value(a, regs) for a in inst.args]
+            return self._call_function(inst.callee, args, depth + 1)
+        raise NotImplementedError(f"interpret {inst.opcode}")
+
+    def _lanes(self, ty: Type):
+        if isinstance(ty, VectorType):
+            return ty.count, ty.elem
+        return None, ty
+
+    def _binary(self, inst: BinaryInst, regs):
+        a = self._use(inst.lhs, regs)
+        b = self._use(inst.rhs, regs)
+        count, elem = self._lanes(inst.type)
+        width = scalar_width(elem)
+
+        def one(x, y):
+            return eval_binop(inst.opcode, x, y, width, self.config,
+                              nsw=inst.nsw, nuw=inst.nuw, exact=inst.exact)
+
+        if count is None:
+            return one(a, b)
+        return tuple(one(x, y) for x, y in zip(a, b))
+
+    def _icmp(self, inst: IcmpInst, regs):
+        a = self._use(inst.lhs, regs)
+        b = self._use(inst.rhs, regs)
+        count, elem = self._lanes(inst.lhs.type)
+        width = scalar_width(elem)
+        if count is None:
+            return eval_icmp(inst.pred, a, b, width)
+        return tuple(eval_icmp(inst.pred, x, y, width) for x, y in zip(a, b))
+
+    def _select(self, inst: SelectInst, regs):
+        mode = self.config.select_semantics
+        cond = self._use(inst.cond, regs)  # expands undef conditions
+        tv = self._value(inst.true_value, regs)
+        fv = self._value(inst.false_value, regs)
+
+        if cond is POISON:
+            if mode is SelectSemantics.UB_COND:
+                raise UBError("select on poison condition")
+            if mode is SelectSemantics.NONDET_COND:
+                cond = self.oracle.choose(2)
+            else:
+                # ARITHMETIC and CONDITIONAL: poison condition poisons
+                # the result.
+                return poison_value(inst.type)
+
+        chosen = tv if cond else fv
+        if mode is SelectSemantics.ARITHMETIC:
+            # Result is poison if *either* arm is poison, mirroring the
+            # select -> or/and rewrites (Section 3.4).
+            if _any_poison(tv) or _any_poison(fv):
+                return poison_value(inst.type)
+        return chosen
+
+    def _freeze(self, inst: FreezeInst, regs):
+        v = self._value(inst.value, regs)
+        count, elem = self._lanes(inst.type)
+        width = scalar_width(elem)
+
+        def one(x: Scalar) -> Scalar:
+            if x is POISON:
+                return self.oracle.choose(1 << width)
+            if isinstance(x, PartialUndef):
+                pick = self.oracle.choose(1 << x.num_undef_bits())
+                return x.concretize(pick)
+            return x
+
+        if count is None:
+            return one(v)
+        return tuple(one(x) for x in v)
+
+    def _cast(self, inst: CastInst, regs):
+        if inst.opcode is Opcode.BITCAST:
+            v = self._value(inst.value, regs)  # pure re-interpretation
+            bits = value_to_bits(v, inst.value.type)
+            return bits_to_value(bits, inst.type)
+        a = self._use(inst.value, regs)
+        count, elem = self._lanes(inst.type)
+        src_w = scalar_width(inst.value.type.scalar)
+        dst_w = scalar_width(elem)
+        if count is None:
+            return eval_cast(inst.opcode, a, src_w, dst_w)
+        return tuple(eval_cast(inst.opcode, x, src_w, dst_w) for x in a)
+
+    def _gep(self, inst: GepInst, regs):
+        base = self._use(inst.pointer, regs)
+        index = self._use(inst.index, regs)
+        if base is POISON or index is POISON:
+            return POISON
+        iw = scalar_width(inst.index.type)
+        signed_index = index - (1 << iw) if index >= (1 << (iw - 1)) else index
+        offset = signed_index * inst.elem_size_bytes
+        addr = (base + offset) & 0xFFFFFFFF
+        if inst.inbounds:
+            block = self.memory.block_at(base, 1)
+            if block is not None:
+                # inbounds requires the result to stay within the object
+                # (one-past-the-end allowed); otherwise poison.
+                if not (block.addr <= base + offset <= block.addr + block.size):
+                    return POISON
+            elif base + offset != addr or base + offset < 0:
+                return POISON
+        return addr
+
+    def _load(self, inst: LoadInst, regs):
+        addr = self._use(inst.pointer, regs)
+        if addr is POISON:
+            raise UBError("load from poison address")
+        bits = self.memory.load_bits(addr, inst.type.bitwidth())
+        if bits is None:
+            raise UBError(f"invalid load of {inst.type} at {addr:#x}")
+        return bits_to_value(bits, inst.type)
+
+    def _store(self, inst: StoreInst, regs):
+        addr = self._use(inst.pointer, regs)
+        if addr is POISON:
+            raise UBError("store to poison address")
+        value = self._value(inst.value, regs)  # store does not expand
+        bits = value_to_bits(value, inst.value.type)
+        if not self.memory.store_bits(addr, bits):
+            raise UBError(f"invalid store of {inst.value.type} at {addr:#x}")
+        return None
+
+    def _extractelement(self, inst: ExtractElementInst, regs):
+        vec = self._value(inst.vector, regs)
+        idx = self._use(inst.index, regs)
+        count = inst.vector.type.count
+        if idx is POISON or not isinstance(idx, int) or idx >= count:
+            return POISON
+        return vec[idx]
+
+    def _insertelement(self, inst: InsertElementInst, regs):
+        vec = self._value(inst.vector, regs)
+        elem = self._value(inst.element, regs)
+        idx = self._use(inst.index, regs)
+        count = inst.vector.type.count
+        if idx is POISON or not isinstance(idx, int) or idx >= count:
+            return poison_value(inst.type)
+        out = list(vec)
+        out[idx] = elem
+        return tuple(out)
+
+    # -- terminators ------------------------------------------------------------
+    def _terminator(self, inst: Instruction, regs) -> BasicBlock:
+        if isinstance(inst, ReturnInst):
+            value = None
+            if inst.value is not None:
+                value = self._value(inst.value, regs)
+            raise _Return(value)
+        if isinstance(inst, BranchInst):
+            if not inst.is_conditional:
+                return inst.targets[0]
+            cond = self._use(inst.cond, regs)
+            if cond is POISON:
+                if self.config.branch_on_poison is BranchOnPoison.UB:
+                    raise UBError("branch on poison")
+                cond = self.oracle.choose(2)
+            return inst.true_block if cond else inst.false_block
+        if isinstance(inst, SwitchInst):
+            value = self._use(inst.value, regs)
+            if value is POISON:
+                if self.config.branch_on_poison is BranchOnPoison.UB:
+                    raise UBError("switch on poison")
+                succs = inst.successors()
+                return succs[self.oracle.choose(len(succs))]
+            for const, block in inst.cases:
+                if const.value == value:
+                    return block
+            return inst.default
+        if isinstance(inst, UnreachableInst):
+            raise UBError("reached unreachable")
+        raise NotImplementedError(f"terminator {inst.opcode}")
+
+
+def _any_poison(v: RuntimeValue) -> bool:
+    if isinstance(v, tuple):
+        return any(x is POISON for x in v)
+    return v is POISON
+
+
+def run_once(fn: Function, args: Sequence[RuntimeValue],
+             config: SemanticsConfig = NEW,
+             choices: Optional[List[int]] = None,
+             global_init: Optional[Dict[str, Bits]] = None,
+             fuel: int = 10_000) -> Behavior:
+    """Execute one oracle path (default choices = all zeros)."""
+    oracle = Oracle(choices)
+    interp = Interpreter(config, oracle, fuel=fuel)
+    return interp.run(fn, args, global_init=global_init)
+
+
+def enumerate_behaviors(fn: Function, args: Sequence[RuntimeValue],
+                        config: SemanticsConfig = NEW,
+                        global_init: Optional[Dict[str, Bits]] = None,
+                        max_paths: int = 4096,
+                        max_choices: int = 24,
+                        fuel: int = 10_000) -> frozenset:
+    """The full set of observable behaviors on the given input."""
+    behaviors = set()
+    choices: Optional[List[int]] = []
+    paths = 0
+    while choices is not None:
+        paths += 1
+        if paths > max_paths:
+            raise PathLimitExceeded(
+                f"more than {max_paths} paths for @{fn.name}"
+            )
+        oracle = Oracle(choices, max_choices=max_choices)
+        interp = Interpreter(config, oracle, fuel=fuel)
+        behaviors.add(interp.run(fn, args, global_init=global_init))
+        choices = oracle.next_choice_vector()
+    return frozenset(behaviors)

@@ -1,0 +1,125 @@
+"""Bit-precise memory model (Figure 5's ``Mem``).
+
+Memory partially maps 32-bit byte addresses to bytes of 8 bits, each bit
+in ``{0, 1, poison, undef}``.  Uninitialized bits read as undef (OLD
+semantics) or poison (NEW semantics) — the distinction at the core of
+the bit-field lowering problem (Section 5.3).
+
+Accesses must fall entirely within an allocated block; anything else is
+immediate UB (reported by returning ``None`` / ``False``, mapped to UB by
+the interpreter — mirroring Figure 5's failing ``Load``/``Store``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .domains import Bit, Bits, PBIT, UBIT
+
+
+class Block:
+    __slots__ = ("addr", "size", "name")
+
+    def __init__(self, addr: int, size: int, name: str = ""):
+        self.addr = addr
+        self.size = size  # bytes
+        self.name = name
+
+    def contains(self, addr: int, nbytes: int) -> bool:
+        return self.addr <= addr and addr + nbytes <= self.addr + self.size
+
+    def __repr__(self) -> str:
+        return f"<Block {self.name or hex(self.addr)}: {self.size}B>"
+
+
+class Memory:
+    """Byte-addressed, bit-granular memory with block-based validity."""
+
+    BASE = 0x1000
+    ALIGN = 16
+
+    def __init__(self, uninit_bit: Bit):
+        self._bytes: Dict[int, Tuple[Bit, ...]] = {}
+        self._blocks: List[Block] = []
+        self._next = self.BASE
+        self._uninit_bit = uninit_bit
+
+    # -- allocation ----------------------------------------------------------
+    def alloc(self, size_bytes: int, name: str = "") -> int:
+        size_bytes = max(1, size_bytes)
+        addr = self._next
+        self._next = (addr + size_bytes + self.ALIGN - 1) & ~(self.ALIGN - 1)
+        self._blocks.append(Block(addr, size_bytes, name))
+        return addr
+
+    def free_block(self, addr: int) -> None:
+        """Deallocate (used when a stack frame is popped)."""
+        self._blocks = [b for b in self._blocks if b.addr != addr]
+
+    def block_at(self, addr: int, nbytes: int) -> Optional[Block]:
+        for block in self._blocks:
+            if block.contains(addr, nbytes):
+                return block
+        return None
+
+    def is_valid(self, addr: int, nbits: int) -> bool:
+        nbytes = (nbits + 7) // 8
+        return self.block_at(addr, nbytes) is not None
+
+    # -- raw byte access ---------------------------------------------------------
+    def _get_byte(self, addr: int) -> Tuple[Bit, ...]:
+        byte = self._bytes.get(addr)
+        if byte is None:
+            byte = (self._uninit_bit,) * 8
+        return byte
+
+    # -- typed access (sizes in bits, like Figure 5) ------------------------------
+    def load_bits(self, addr: int, nbits: int) -> Optional[Bits]:
+        """``Load(M, p, sz)``: ``None`` means the access fails (=> UB)."""
+        if not self.is_valid(addr, nbits):
+            return None
+        out: List[Bit] = []
+        nbytes = (nbits + 7) // 8
+        for i in range(nbytes):
+            out.extend(self._get_byte(addr + i))
+        return tuple(out[:nbits])
+
+    def store_bits(self, addr: int, bits: Bits) -> bool:
+        """``Store(M, p, b)``: ``False`` means the access fails (=> UB).
+
+        A store of a non-byte-multiple width leaves the trailing padding
+        bits of the final byte untouched."""
+        nbits = len(bits)
+        if not self.is_valid(addr, nbits):
+            return False
+        nbytes = (nbits + 7) // 8
+        flat: List[Bit] = list(bits)
+        # Preserve existing padding bits in the last byte.
+        total = nbytes * 8
+        if total > nbits:
+            last = self._get_byte(addr + nbytes - 1)
+            flat.extend(last[nbits % 8:])
+        for i in range(nbytes):
+            self._bytes[addr + i] = tuple(flat[i * 8:(i + 1) * 8])
+        return True
+
+    # -- observation -----------------------------------------------------------
+    def snapshot_block(self, addr: int) -> Optional[Bits]:
+        block = self.block_at(addr, 1)
+        if block is None:
+            return None
+        out: List[Bit] = []
+        for i in range(block.size):
+            out.extend(self._get_byte(block.addr + i))
+        return tuple(out)
+
+    def clone(self) -> "Memory":
+        m = Memory(self._uninit_bit)
+        m._bytes = dict(self._bytes)
+        m._blocks = list(self._blocks)
+        m._next = self._next
+        return m
+
+
+def uninit_bit_for(uninit_is_undef: bool) -> Bit:
+    return UBIT if uninit_is_undef else PBIT

@@ -1,0 +1,437 @@
+"""Bitvector/boolean term language with hash-consing.
+
+A small SMT-LIB-flavored term language sufficient for encoding the IR's
+arithmetic and the poison-propagation logic.  Terms are immutable and
+interned, so structural equality is pointer equality and common
+subexpressions are shared — important because the refinement encoder
+reuses the poison term of every operand many times.
+
+Construction goes through the helper functions (``bvadd``, ``ite``,
+``eq``...), which perform local constant folding and identity
+simplification before interning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+BOOL = "bool"
+
+
+class Term:
+    """An interned term.  ``sort`` is :data:`BOOL` or an int bitwidth."""
+
+    __slots__ = ("op", "args", "sort", "payload", "_hash")
+
+    _interned: Dict[Tuple, "Term"] = {}
+
+    def __new__(cls, op: str, args: Tuple["Term", ...], sort,
+                payload=None):
+        key = (op, tuple(id(a) for a in args), sort, payload)
+        cached = cls._interned.get(key)
+        if cached is not None:
+            return cached
+        term = super().__new__(cls)
+        term.op = op
+        term.args = args
+        term.sort = sort
+        term.payload = payload
+        term._hash = hash(key)
+        cls._interned[key] = term
+        return term
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    @property
+    def width(self) -> int:
+        assert self.sort != BOOL, f"{self} is boolean"
+        return self.sort
+
+    @property
+    def is_bool(self) -> bool:
+        return self.sort == BOOL
+
+    @property
+    def is_const(self) -> bool:
+        return self.op == "const"
+
+    @property
+    def value(self):
+        assert self.is_const
+        return self.payload
+
+    def __repr__(self) -> str:
+        if self.op == "const":
+            return f"{self.payload}#{self.sort}" if not self.is_bool \
+                else str(self.payload)
+        if self.op == "var":
+            return str(self.payload)
+        inner = " ".join(repr(a) for a in self.args)
+        if self.payload is not None:
+            return f"({self.op}[{self.payload}] {inner})"
+        return f"({self.op} {inner})"
+
+
+# -- leaves ------------------------------------------------------------------
+
+def bv_var(name: str, width: int) -> Term:
+    return Term("var", (), width, name)
+
+
+def bool_var(name: str) -> Term:
+    return Term("var", (), BOOL, name)
+
+
+def bv_const(value: int, width: int) -> Term:
+    return Term("const", (), width, value & ((1 << width) - 1))
+
+
+TRUE = Term("const", (), BOOL, True)
+FALSE = Term("const", (), BOOL, False)
+
+
+def bool_const(value: bool) -> Term:
+    return TRUE if value else FALSE
+
+
+# -- boolean connectives ------------------------------------------------------
+
+def not_(a: Term) -> Term:
+    assert a.is_bool
+    if a is TRUE:
+        return FALSE
+    if a is FALSE:
+        return TRUE
+    if a.op == "not":
+        return a.args[0]
+    return Term("not", (a,), BOOL)
+
+
+def and_(*terms: Term) -> Term:
+    flat = []
+    for t in terms:
+        if t is FALSE:
+            return FALSE
+        if t is TRUE:
+            continue
+        flat.append(t)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    result = flat[0]
+    for t in flat[1:]:
+        if t is result:
+            continue
+        if not_(t) is result:
+            return FALSE
+        result = Term("and", (result, t), BOOL)
+    return result
+
+
+def or_(*terms: Term) -> Term:
+    flat = []
+    for t in terms:
+        if t is TRUE:
+            return TRUE
+        if t is FALSE:
+            continue
+        flat.append(t)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    result = flat[0]
+    for t in flat[1:]:
+        if t is result:
+            continue
+        if not_(t) is result:
+            return TRUE
+        result = Term("or", (result, t), BOOL)
+    return result
+
+
+def xor_(a: Term, b: Term) -> Term:
+    if a is FALSE:
+        return b
+    if b is FALSE:
+        return a
+    if a is TRUE:
+        return not_(b)
+    if b is TRUE:
+        return not_(a)
+    if a is b:
+        return FALSE
+    return Term("xor", (a, b), BOOL)
+
+
+def implies(a: Term, b: Term) -> Term:
+    return or_(not_(a), b)
+
+
+def bool_ite(c: Term, a: Term, b: Term) -> Term:
+    if c is TRUE:
+        return a
+    if c is FALSE:
+        return b
+    if a is b:
+        return a
+    if a is TRUE and b is FALSE:
+        return c
+    if a is FALSE and b is TRUE:
+        return not_(c)
+    return Term("ite", (c, a, b), BOOL)
+
+
+# -- bitvector operations ---------------------------------------------------------
+
+def _both_const(a: Term, b: Term) -> bool:
+    return a.is_const and b.is_const
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+def _signed(v: int, width: int) -> int:
+    if v >= 1 << (width - 1):
+        return v - (1 << width)
+    return v
+
+
+def _binop(op: str, a: Term, b: Term, fold) -> Term:
+    assert a.sort == b.sort, f"width mismatch: {a} vs {b}"
+    if _both_const(a, b):
+        folded = fold(a.value, b.value)
+        if folded is not None:
+            return bv_const(folded, a.width)
+    return Term(op, (a, b), a.sort)
+
+
+def bvadd(a: Term, b: Term) -> Term:
+    if b.is_const and b.value == 0:
+        return a
+    if a.is_const and a.value == 0:
+        return b
+    return _binop("bvadd", a, b, lambda x, y: x + y)
+
+
+def bvsub(a: Term, b: Term) -> Term:
+    if b.is_const and b.value == 0:
+        return a
+    if a is b:
+        return bv_const(0, a.width)
+    return _binop("bvsub", a, b, lambda x, y: x - y)
+
+
+def bvneg(a: Term) -> Term:
+    return bvsub(bv_const(0, a.width), a)
+
+
+def bvmul(a: Term, b: Term) -> Term:
+    for x, y in ((a, b), (b, a)):
+        if x.is_const:
+            if x.value == 0:
+                return bv_const(0, a.width)
+            if x.value == 1:
+                return y
+    return _binop("bvmul", a, b, lambda x, y: x * y)
+
+
+def bvudiv(a: Term, b: Term) -> Term:
+    # division by zero: all-ones (the SMT-LIB convention); the encoder
+    # guards division UB separately so the convention never leaks.
+    return _binop("bvudiv", a, b,
+                  lambda x, y: _mask(a.width) if y == 0 else x // y)
+
+
+def bvurem(a: Term, b: Term) -> Term:
+    return _binop("bvurem", a, b, lambda x, y: x if y == 0 else x % y)
+
+
+def bvsdiv(a: Term, b: Term) -> Term:
+    def fold(x, y):
+        if y == 0:
+            return None
+        sx, sy = _signed(x, a.width), _signed(y, a.width)
+        q = abs(sx) // abs(sy)
+        if (sx < 0) != (sy < 0):
+            q = -q
+        return q
+
+    return _binop("bvsdiv", a, b, fold)
+
+
+def bvsrem(a: Term, b: Term) -> Term:
+    def fold(x, y):
+        if y == 0:
+            return None
+        sx, sy = _signed(x, a.width), _signed(y, a.width)
+        q = abs(sx) // abs(sy)
+        if (sx < 0) != (sy < 0):
+            q = -q
+        return sx - q * sy
+
+    return _binop("bvsrem", a, b, fold)
+
+
+def bvand(a: Term, b: Term) -> Term:
+    for x, y in ((a, b), (b, a)):
+        if x.is_const:
+            if x.value == 0:
+                return bv_const(0, a.width)
+            if x.value == _mask(a.width):
+                return y
+    if a is b:
+        return a
+    return _binop("bvand", a, b, lambda x, y: x & y)
+
+
+def bvor(a: Term, b: Term) -> Term:
+    for x, y in ((a, b), (b, a)):
+        if x.is_const:
+            if x.value == 0:
+                return y
+            if x.value == _mask(a.width):
+                return bv_const(_mask(a.width), a.width)
+    if a is b:
+        return a
+    return _binop("bvor", a, b, lambda x, y: x | y)
+
+
+def bvxor(a: Term, b: Term) -> Term:
+    if a is b:
+        return bv_const(0, a.width)
+    for x, y in ((a, b), (b, a)):
+        if x.is_const and x.value == 0:
+            return y
+    return _binop("bvxor", a, b, lambda x, y: x ^ y)
+
+
+def bvnot(a: Term) -> Term:
+    if a.is_const:
+        return bv_const(~a.value, a.width)
+    return Term("bvnot", (a,), a.sort)
+
+
+def bvshl(a: Term, b: Term) -> Term:
+    if b.is_const and b.value == 0:
+        return a
+    return _binop("bvshl", a, b,
+                  lambda x, y: 0 if y >= a.width else x << y)
+
+
+def bvlshr(a: Term, b: Term) -> Term:
+    if b.is_const and b.value == 0:
+        return a
+    return _binop("bvlshr", a, b,
+                  lambda x, y: 0 if y >= a.width else x >> y)
+
+
+def bvashr(a: Term, b: Term) -> Term:
+    def fold(x, y):
+        s = _signed(x, a.width)
+        if y >= a.width:
+            return -1 if s < 0 else 0
+        return s >> y
+
+    if b.is_const and b.value == 0:
+        return a
+    return _binop("bvashr", a, b, fold)
+
+
+def zext(a: Term, width: int) -> Term:
+    if width == a.width:
+        return a
+    if a.is_const:
+        return bv_const(a.value, width)
+    return Term("zext", (a,), width)
+
+
+def sext(a: Term, width: int) -> Term:
+    if width == a.width:
+        return a
+    if a.is_const:
+        return bv_const(_signed(a.value, a.width), width)
+    return Term("sext", (a,), width)
+
+
+def extract(a: Term, hi: int, lo: int) -> Term:
+    width = hi - lo + 1
+    assert 0 <= lo <= hi < a.width
+    if width == a.width:
+        return a
+    if a.is_const:
+        return bv_const(a.value >> lo, width)
+    return Term("extract", (a,), width, (hi, lo))
+
+
+def trunc(a: Term, width: int) -> Term:
+    return extract(a, width - 1, 0)
+
+
+def concat(hi: Term, lo: Term) -> Term:
+    """``hi`` supplies the most-significant bits."""
+    if hi.is_const and lo.is_const:
+        return bv_const((hi.value << lo.width) | lo.value,
+                        hi.width + lo.width)
+    return Term("concat", (hi, lo), hi.width + lo.width)
+
+
+def bv_ite(c: Term, a: Term, b: Term) -> Term:
+    assert c.is_bool and a.sort == b.sort
+    if c is TRUE:
+        return a
+    if c is FALSE:
+        return b
+    if a is b:
+        return a
+    return Term("ite", (c, a, b), a.sort)
+
+
+def ite(c: Term, a: Term, b: Term) -> Term:
+    return bool_ite(c, a, b) if a.is_bool else bv_ite(c, a, b)
+
+
+# -- predicates ------------------------------------------------------------------
+
+def eq(a: Term, b: Term) -> Term:
+    assert a.sort == b.sort
+    if a is b:
+        return TRUE
+    if a.is_bool:
+        if _both_const(a, b):
+            return bool_const(a.value == b.value)
+        return not_(xor_(a, b))
+    if _both_const(a, b):
+        return bool_const(a.value == b.value)
+    return Term("eq", (a, b), BOOL)
+
+
+def ne(a: Term, b: Term) -> Term:
+    return not_(eq(a, b))
+
+
+def ult(a: Term, b: Term) -> Term:
+    if _both_const(a, b):
+        return bool_const(a.value < b.value)
+    if a is b:
+        return FALSE
+    return Term("ult", (a, b), BOOL)
+
+
+def ule(a: Term, b: Term) -> Term:
+    return not_(ult(b, a))
+
+
+def slt(a: Term, b: Term) -> Term:
+    if _both_const(a, b):
+        return bool_const(_signed(a.value, a.width) < _signed(b.value, b.width))
+    if a is b:
+        return FALSE
+    return Term("slt", (a, b), BOOL)
+
+
+def sle(a: Term, b: Term) -> Term:
+    return not_(slt(b, a))

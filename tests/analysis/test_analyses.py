@@ -1,0 +1,299 @@
+"""Tests for CFG utilities, dominators, loops, and SCEV."""
+
+import pytest
+
+from repro.analysis import (
+    DominatorTree,
+    Loop,
+    LoopInfo,
+    ScalarEvolution,
+    postorder,
+    predecessor_map,
+    reachable_blocks,
+    remove_unreachable_blocks,
+    reverse_postorder,
+)
+from repro.ir import parse_function, verify_function
+
+DIAMOND = """
+define i8 @f(i1 %c, i8 %x) {
+entry:
+  br i1 %c, label %t, label %e
+t:
+  %a = add i8 %x, 1
+  br label %m
+e:
+  %b = add i8 %x, 2
+  br label %m
+m:
+  %p = phi i8 [ %a, %t ], [ %b, %e ]
+  ret i8 %p
+}
+"""
+
+LOOP = """
+define i8 @f(i8 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i8 [ 0, %entry ], [ %i1, %latch ]
+  %c = icmp ult i8 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  br label %latch
+latch:
+  %i1 = add i8 %i, 1
+  br label %head
+exit:
+  ret i8 %i
+}
+"""
+
+NESTED = """
+define void @f(i8 %n) {
+entry:
+  br label %outer
+outer:
+  %i = phi i8 [ 0, %entry ], [ %i1, %outer.latch ]
+  %ci = icmp ult i8 %i, %n
+  br i1 %ci, label %inner, label %exit
+inner:
+  %j = phi i8 [ 0, %outer ], [ %j1, %inner ]
+  %j1 = add i8 %j, 1
+  %cj = icmp ult i8 %j1, %n
+  br i1 %cj, label %inner, label %outer.latch
+outer.latch:
+  %i1 = add i8 %i, 1
+  br label %outer
+exit:
+  ret void
+}
+"""
+
+
+class TestCFG:
+    def test_predecessor_map(self):
+        fn = parse_function(DIAMOND)
+        preds = predecessor_map(fn)
+        m = fn.block_by_name("m")
+        assert {b.name for b in preds[m]} == {"t", "e"}
+        assert preds[fn.entry] == []
+
+    def test_reverse_postorder_starts_at_entry(self):
+        fn = parse_function(DIAMOND)
+        rpo = reverse_postorder(fn)
+        assert rpo[0] is fn.entry
+        assert rpo[-1].name == "m"
+        assert len(rpo) == 4
+
+    def test_rpo_visits_defs_before_uses_in_acyclic(self):
+        fn = parse_function(DIAMOND)
+        rpo = reverse_postorder(fn)
+        index = {b: i for i, b in enumerate(rpo)}
+        assert index[fn.block_by_name("t")] < index[fn.block_by_name("m")]
+        assert index[fn.block_by_name("e")] < index[fn.block_by_name("m")]
+
+    def test_postorder_is_reverse(self):
+        fn = parse_function(LOOP)
+        assert postorder(fn) == list(reversed(reverse_postorder(fn)))
+
+    def test_reachability(self):
+        fn = parse_function(DIAMOND)
+        assert len(reachable_blocks(fn)) == 4
+
+    def test_remove_unreachable(self):
+        fn = parse_function("""
+define i8 @f() {
+entry:
+  ret i8 1
+dead:
+  %x = add i8 1, 2
+  ret i8 %x
+}
+""")
+        removed = remove_unreachable_blocks(fn)
+        assert removed == 1
+        assert len(fn.blocks) == 1
+        verify_function(fn)
+
+    def test_remove_unreachable_fixes_phis(self):
+        fn = parse_function("""
+define i8 @f(i1 %c) {
+entry:
+  br label %join
+dead:
+  br label %join
+join:
+  %p = phi i8 [ 1, %entry ], [ 2, %dead ]
+  ret i8 %p
+}
+""")
+        remove_unreachable_blocks(fn)
+        phi = fn.block_by_name("join").phis()[0]
+        assert len(phi.incoming_blocks) == 1
+        verify_function(fn)
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        fn = parse_function(DIAMOND)
+        dt = DominatorTree(fn)
+        for b in fn.blocks:
+            assert dt.dominates_block(fn.entry, b)
+
+    def test_branches_dont_dominate_merge(self):
+        fn = parse_function(DIAMOND)
+        dt = DominatorTree(fn)
+        t, e, m = (fn.block_by_name(n) for n in ("t", "e", "m"))
+        assert not dt.dominates_block(t, m)
+        assert not dt.dominates_block(e, m)
+        assert dt.idom[m] is fn.entry
+
+    def test_loop_header_dominates_body(self):
+        fn = parse_function(LOOP)
+        dt = DominatorTree(fn)
+        head = fn.block_by_name("head")
+        for name in ("body", "latch", "exit"):
+            assert dt.dominates_block(head, fn.block_by_name(name))
+
+    def test_instruction_level_dominance(self):
+        fn = parse_function(LOOP)
+        dt = DominatorTree(fn)
+        phi = fn.block_by_name("head").phis()[0]
+        ret = fn.block_by_name("exit").instructions[-1]
+        assert dt.dominates(phi, ret)
+        assert not dt.dominates(ret, phi)
+
+    def test_branch_arm_does_not_dominate_merge(self):
+        fn = parse_function(DIAMOND)
+        dt = DominatorTree(fn)
+        a = fn.block_by_name("t").instructions[0]
+        ret = fn.block_by_name("m").instructions[-1]
+        assert not dt.dominates(a, ret)
+
+    def test_same_block_ordering(self):
+        fn = parse_function(LOOP)
+        dt = DominatorTree(fn)
+        latch = fn.block_by_name("latch")
+        i1 = latch.instructions[0]
+        term = latch.instructions[-1]
+        assert dt.dominates(i1, term)
+
+    def test_dominance_frontier(self):
+        fn = parse_function(DIAMOND)
+        dt = DominatorTree(fn)
+        df = dt.dominance_frontier()
+        m = fn.block_by_name("m")
+        assert df[fn.block_by_name("t")] == {m}
+        assert df[fn.block_by_name("e")] == {m}
+        assert df[fn.entry] == set()
+
+    def test_strict_dominance(self):
+        fn = parse_function(LOOP)
+        dt = DominatorTree(fn)
+        head = fn.block_by_name("head")
+        assert dt.dominates_block(head, head)
+        assert not dt.strictly_dominates_block(head, head)
+
+
+class TestLoops:
+    def test_single_loop_detected(self):
+        fn = parse_function(LOOP)
+        li = LoopInfo(fn)
+        assert len(li.loops) == 1
+        loop = li.loops[0]
+        assert loop.header.name == "head"
+        assert {b.name for b in loop.blocks} == {"head", "body", "latch"}
+
+    def test_preheader(self):
+        fn = parse_function(LOOP)
+        loop = LoopInfo(fn).loops[0]
+        assert loop.preheader().name == "entry"
+
+    def test_exits(self):
+        fn = parse_function(LOOP)
+        loop = LoopInfo(fn).loops[0]
+        assert [b.name for b in loop.exit_blocks()] == ["exit"]
+        assert [b.name for b in loop.exiting_blocks()] == ["head"]
+
+    def test_invariance(self):
+        fn = parse_function(LOOP)
+        loop = LoopInfo(fn).loops[0]
+        n = fn.args[0]
+        assert loop.is_invariant(n)
+        i1 = fn.block_by_name("latch").instructions[0]
+        assert not loop.is_invariant(i1)
+
+    def test_nested_loops(self):
+        fn = parse_function(NESTED)
+        li = LoopInfo(fn)
+        assert len(li.loops) == 2
+        inner = next(l for l in li.loops if l.header.name == "inner")
+        outer = next(l for l in li.loops if l.header.name == "outer")
+        assert inner.parent is outer
+        assert inner.depth == 2
+        assert outer.depth == 1
+        assert inner.blocks < outer.blocks
+
+    def test_loop_for_block(self):
+        fn = parse_function(NESTED)
+        li = LoopInfo(fn)
+        inner_block = fn.block_by_name("inner")
+        assert li.loop_for(inner_block).header.name == "inner"
+        latch = fn.block_by_name("outer.latch")
+        assert li.loop_for(latch).header.name == "outer"
+
+
+class TestScalarEvolution:
+    def test_add_rec_recognized(self):
+        fn = parse_function(LOOP)
+        loop = LoopInfo(fn).loops[0]
+        scev = ScalarEvolution(loop)
+        phi = fn.block_by_name("head").phis()[0]
+        rec = scev.as_add_rec(phi)
+        assert rec is not None
+        assert rec.step == 1
+        assert rec.start.ref() == "0"
+        assert not rec.no_wrap
+
+    def test_nsw_recorded(self):
+        src = LOOP.replace("add i8 %i, 1", "add nsw i8 %i, 1")
+        fn = parse_function(src)
+        loop = LoopInfo(fn).loops[0]
+        phi = fn.block_by_name("head").phis()[0]
+        rec = ScalarEvolution(loop).as_add_rec(phi)
+        assert rec.no_wrap
+
+    def test_trip_count_constant_bound(self):
+        src = LOOP.replace("icmp ult i8 %i, %n", "icmp ult i8 %i, 7")
+        fn = parse_function(src)
+        loop = LoopInfo(fn).loops[0]
+        assert ScalarEvolution(loop).trip_count() == 7
+
+    def test_trip_count_unknown_bound(self):
+        fn = parse_function(LOOP)
+        loop = LoopInfo(fn).loops[0]
+        assert ScalarEvolution(loop).trip_count() is None
+
+    def test_freeze_blocks_scev_by_default(self):
+        """Section 10.1: scalar evolution fails on freeze."""
+        src = """
+define i8 @f(i8 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i8 [ 0, %entry ], [ %i2, %head ]
+  %if = freeze i8 %i
+  %i2 = add i8 %if, 1
+  %c = icmp ult i8 %i2, 7
+  br i1 %c, label %head, label %exit
+exit:
+  ret i8 %i
+}
+"""
+        fn = parse_function(src)
+        loop = LoopInfo(fn).loops[0]
+        phi = fn.block_by_name("head").phis()[0]
+        assert ScalarEvolution(loop).as_add_rec(phi) is None
+        rec = ScalarEvolution(loop, freeze_aware=True).as_add_rec(phi)
+        assert rec is not None and rec.step == 1

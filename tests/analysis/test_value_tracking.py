@@ -1,0 +1,230 @@
+"""Tests for known-bits, power-of-two, and poison-freedom analyses,
+including Section 5.6's up-to-poison pitfall."""
+
+import pytest
+
+from repro.analysis import (
+    KnownBits,
+    compute_known_bits,
+    is_guaranteed_not_poison,
+    is_known_nonzero,
+    is_known_power_of_two,
+)
+from repro.ir import parse_function
+
+
+def value_named(fn, name):
+    for inst in fn.instructions():
+        if inst.name == name:
+            return inst
+    raise KeyError(name)
+
+
+class TestKnownBits:
+    def test_constant(self):
+        kb = KnownBits.constant(0b1010, 4)
+        assert kb.is_constant and kb.constant_value == 0b1010
+
+    def test_and_with_mask(self):
+        fn = parse_function("""
+define i8 @f(i8 %x) {
+entry:
+  %m = and i8 %x, 15
+  ret i8 %m
+}""")
+        kb = compute_known_bits(value_named(fn, "m"))
+        assert kb.zeros == 0b11110000
+        assert kb.ones == 0
+
+    def test_or_sets_ones(self):
+        fn = parse_function("""
+define i8 @f(i8 %x) {
+entry:
+  %m = or i8 %x, 128
+  ret i8 %m
+}""")
+        kb = compute_known_bits(value_named(fn, "m"))
+        assert kb.ones == 128
+        assert kb.sign_bit() is True
+
+    def test_shl_constant(self):
+        fn = parse_function("""
+define i8 @f(i8 %x) {
+entry:
+  %m = shl i8 %x, 3
+  ret i8 %m
+}""")
+        kb = compute_known_bits(value_named(fn, "m"))
+        assert kb.zeros & 0b111 == 0b111
+
+    def test_lshr_constant(self):
+        fn = parse_function("""
+define i8 @f(i8 %x) {
+entry:
+  %m = lshr i8 %x, 6
+  ret i8 %m
+}""")
+        kb = compute_known_bits(value_named(fn, "m"))
+        assert kb.max_unsigned == 3
+
+    def test_zext_high_zeros(self):
+        fn = parse_function("""
+define i16 @f(i8 %x) {
+entry:
+  %m = zext i8 %x to i16
+  ret i16 %m
+}""")
+        kb = compute_known_bits(value_named(fn, "m"))
+        assert kb.zeros == 0xFF00
+
+    def test_urem_pow2(self):
+        fn = parse_function("""
+define i8 @f(i8 %x) {
+entry:
+  %m = urem i8 %x, 8
+  ret i8 %m
+}""")
+        kb = compute_known_bits(value_named(fn, "m"))
+        assert kb.max_unsigned == 7
+
+    def test_add_low_bits(self):
+        fn = parse_function("""
+define i8 @f(i8 %x) {
+entry:
+  %a = shl i8 %x, 2
+  %m = add i8 %a, 1
+  ret i8 %m
+}""")
+        kb = compute_known_bits(value_named(fn, "m"))
+        assert kb.ones & 1 == 1
+        assert kb.zeros & 2 == 2
+
+    def test_select_intersection(self):
+        fn = parse_function("""
+define i8 @f(i1 %c, i8 %x) {
+entry:
+  %m = select i1 %c, i8 4, i8 6
+  ret i8 %m
+}""")
+        kb = compute_known_bits(value_named(fn, "m"))
+        assert kb.ones == 4     # both have bit 2 set
+        assert kb.zeros & 1     # both have bit 0 clear
+
+    def test_undef_poison_know_nothing(self):
+        fn = parse_function("""
+define i8 @f() {
+entry:
+  %m = add i8 undef, 0
+  ret i8 %m
+}""")
+        kb = compute_known_bits(value_named(fn, "m"))
+        assert kb.zeros == 0 and kb.ones == 0
+
+
+class TestPowerOfTwo:
+    def test_shl_one(self):
+        """Section 5.6's example: shl 1, %y is a power of two —
+        up to poison."""
+        fn = parse_function("""
+define i8 @f(i8 %y) {
+entry:
+  %x = shl i8 1, %y
+  ret i8 %x
+}""")
+        x = value_named(fn, "x")
+        assert is_known_power_of_two(x)
+        # ...but it is NOT guaranteed non-poison (y may be >= 8 -> undef/
+        # poison, or poison itself):
+        assert not is_guaranteed_not_poison(x)
+
+    def test_constants(self):
+        fn = parse_function("""
+define i8 @f() {
+entry:
+  %a = add i8 8, 0
+  ret i8 %a
+}""")
+        from repro.ir import ConstantInt
+        from repro.ir.types import I8
+
+        assert is_known_power_of_two(ConstantInt(I8, 16))
+        assert not is_known_power_of_two(ConstantInt(I8, 12))
+        assert not is_known_power_of_two(ConstantInt(I8, 0))
+
+    def test_freeze_launders_the_fact(self):
+        fn = parse_function("""
+define i8 @f(i8 %y) {
+entry:
+  %x = shl i8 1, %y
+  %fr = freeze i8 %x
+  ret i8 %fr
+}""")
+        fr = value_named(fn, "fr")
+        # After freezing, the value is defined but could be anything.
+        assert not is_known_power_of_two(fr)
+        assert is_guaranteed_not_poison(fr)
+
+
+class TestGuaranteedNotPoison:
+    def test_arguments_may_be_poison(self):
+        fn = parse_function("""
+define i8 @f(i8 %x) {
+entry:
+  ret i8 %x
+}""")
+        assert not is_guaranteed_not_poison(fn.args[0])
+
+    def test_flagged_arithmetic_may_create_poison(self):
+        fn = parse_function("""
+define i8 @f(i8 %x) {
+entry:
+  %f = freeze i8 %x
+  %a = add nsw i8 %f, 1
+  %b = add i8 %f, 1
+  ret i8 %a
+}""")
+        assert not is_guaranteed_not_poison(value_named(fn, "a"))
+        assert is_guaranteed_not_poison(value_named(fn, "b"))
+
+    def test_variable_shift_may_create_deferred_ub(self):
+        fn = parse_function("""
+define i8 @f(i8 %x, i8 %s) {
+entry:
+  %f = freeze i8 %x
+  %fs = freeze i8 %s
+  %a = shl i8 %f, %fs
+  ret i8 %a
+}""")
+        assert not is_guaranteed_not_poison(value_named(fn, "a"))
+
+    def test_constant_shift_in_range_fine(self):
+        fn = parse_function("""
+define i8 @f(i8 %x) {
+entry:
+  %f = freeze i8 %x
+  %a = shl i8 %f, 3
+  ret i8 %a
+}""")
+        assert is_guaranteed_not_poison(value_named(fn, "a"))
+
+    def test_select_requires_all_parts(self):
+        fn = parse_function("""
+define i8 @f(i1 %c, i8 %x) {
+entry:
+  %fc = freeze i1 %c
+  %fx = freeze i8 %x
+  %s = select i1 %fc, i8 %fx, i8 3
+  %t = select i1 %c, i8 %fx, i8 3
+  ret i8 %s
+}""")
+        assert is_guaranteed_not_poison(value_named(fn, "s"))
+        assert not is_guaranteed_not_poison(value_named(fn, "t"))
+
+    def test_nonzero_via_known_bits(self):
+        fn = parse_function("""
+define i8 @f(i8 %x) {
+entry:
+  %a = or i8 %x, 2
+  ret i8 %a
+}""")
+        assert is_known_nonzero(value_named(fn, "a"))

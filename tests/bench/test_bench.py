@@ -1,0 +1,112 @@
+"""Tests for the benchmark subsystem: workloads, harness, catalog."""
+
+import pytest
+
+from repro.backend import compile_module, run_program
+from repro.bench import (
+    CATALOG,
+    CONFIGS,
+    SUITE,
+    baseline_variant,
+    check_entry,
+    measure,
+    prototype_variant,
+    render_figure6,
+    render_matrix,
+)
+from repro.bench.harness import Comparison, compile_workload
+from repro.frontend import compile_c
+from repro.ir import verify_module
+
+
+# Keep this subset small: these compile + optimize + execute end to end.
+FAST_WORKLOADS = ("gcc", "perlbench", "gobmk")
+
+
+class TestWorkloads:
+    def test_suite_complete(self):
+        assert len(SUITE) == 20
+        assert {w.suite for w in SUITE.values()} == \
+            {"CINT", "CFP", "Stanford"}
+
+    def test_all_workloads_compile_unoptimized(self):
+        for name, workload in SUITE.items():
+            module = compile_c(workload.source)
+            verify_module(module)
+
+    @pytest.mark.parametrize("name", FAST_WORKLOADS)
+    def test_checksum_reproduces_unoptimized(self, name):
+        workload = SUITE[name]
+        module = compile_c(workload.source)
+        program = compile_module(module)
+        result, _, _ = run_program(program, "main", [], fuel=50_000_000)
+        assert result == workload.expected
+
+    @pytest.mark.parametrize("name", FAST_WORKLOADS)
+    def test_checksum_reproduces_under_both_pipelines(self, name):
+        workload = SUITE[name]
+        for variant in (baseline_variant(), prototype_variant()):
+            m = measure(workload, variant, measure_memory=False)
+            assert m.checksum_ok, (
+                f"{name} under {variant.name}: got {m.checksum}, "
+                f"expected {workload.expected}"
+            )
+
+    def test_gcc_analog_has_bitfields_and_freezes(self):
+        m = measure(SUITE["gcc"], prototype_variant(),
+                    measure_memory=False)
+        assert m.freeze_instructions > 0
+        m0 = measure(SUITE["gcc"], baseline_variant(),
+                     measure_memory=False)
+        assert m0.freeze_instructions == 0
+
+
+class TestHarness:
+    def test_measurement_fields(self):
+        m = measure(SUITE["gobmk"], prototype_variant(),
+                    measure_memory=True)
+        assert m.compile_seconds > 0
+        assert m.peak_memory_bytes > 0
+        assert m.ir_instructions > 0
+        assert m.code_size_bytes > 0
+        assert m.cycles > 0
+
+    def test_comparison_deltas(self):
+        base = measure(SUITE["gobmk"], baseline_variant(),
+                       measure_memory=False)
+        proto = measure(SUITE["gobmk"], prototype_variant(),
+                        measure_memory=False)
+        c = Comparison("gobmk", "CINT", base, proto)
+        assert isinstance(c.runtime_delta_pct, float)
+        assert isinstance(c.code_size_delta_pct, float)
+
+    def test_figure6_renderer(self):
+        base = measure(SUITE["gobmk"], baseline_variant(),
+                       measure_memory=False)
+        proto = measure(SUITE["gobmk"], prototype_variant(),
+                        measure_memory=False)
+        text = render_figure6([Comparison("gobmk", "CINT", base, proto)])
+        assert "Figure 6" in text and "gobmk" in text
+
+
+class TestCatalog:
+    @pytest.mark.parametrize("entry", CATALOG, ids=lambda e: e.key)
+    def test_every_expectation_holds(self, entry):
+        for config_name in CONFIGS:
+            result = check_entry(entry, config_name)
+            expected = entry.expected(config_name)
+            if expected is True:
+                assert result.ok, (
+                    f"{entry.key}/{config_name}: expected verified, "
+                    f"got {result}"
+                )
+            elif expected is False:
+                assert result.failed, (
+                    f"{entry.key}/{config_name}: expected failure, "
+                    f"got {result}"
+                )
+
+    def test_matrix_renders(self):
+        text = render_matrix()
+        assert "soundness matrix" in text
+        assert "?!" not in text  # no expectation mismatches

@@ -1,0 +1,71 @@
+"""Tests for the table/figure renderers."""
+
+from repro.bench.harness import Comparison, Measurement
+from repro.bench.reporting import (
+    render_code_size,
+    render_compile_time,
+    render_figure6,
+    render_memory,
+    render_summary_row,
+)
+
+
+def fake_measurement(variant: str, cycles: int, size: int = 100,
+                     freeze: int = 0) -> Measurement:
+    return Measurement(
+        workload="demo", suite="CINT", variant=variant,
+        compile_seconds=0.01, peak_memory_bytes=1024,
+        ir_instructions=50, freeze_instructions=freeze,
+        code_size_bytes=size, cycles=cycles,
+        instructions_retired=cycles, checksum=42, checksum_ok=True,
+    )
+
+
+def fake_comparison(base_cycles=1000, proto_cycles=990) -> Comparison:
+    return Comparison(
+        "demo", "CINT",
+        fake_measurement("baseline", base_cycles),
+        fake_measurement("prototype", proto_cycles, freeze=2),
+    )
+
+
+class TestDeltas:
+    def test_runtime_delta_sign(self):
+        c = fake_comparison(1000, 990)
+        assert c.runtime_delta_pct == -1.0  # prototype faster
+
+    def test_zero_baseline_safe(self):
+        c = Comparison("demo", "CINT",
+                       fake_measurement("baseline", 0),
+                       fake_measurement("prototype", 10))
+        assert c.runtime_delta_pct == 0.0
+
+    def test_freeze_fraction(self):
+        m = fake_measurement("prototype", 100, freeze=5)
+        assert m.freeze_fraction == 5 / 50
+
+
+class TestRenderers:
+    def test_figure6_contains_improvement(self):
+        text = render_figure6([fake_comparison()])
+        assert "demo" in text and "+1.00%" in text
+
+    def test_figure6_flags_bad_checksums(self):
+        c = fake_comparison()
+        c.prototype.checksum_ok = False
+        assert "CHECKSUM" in render_figure6([c])
+
+    def test_compile_time_table(self):
+        text = render_compile_time([fake_comparison()])
+        assert "demo" in text and "mean delta" in text
+
+    def test_memory_table(self):
+        assert "demo" in render_memory([fake_comparison()])
+
+    def test_code_size_table(self):
+        text = render_code_size([fake_comparison()])
+        assert "freeze/IR" in text and "4.00%" in text
+
+    def test_summary_row(self):
+        row = render_summary_row(fake_measurement("prototype", 123))
+        assert "demo" in row and "ok=True" in row

@@ -1,0 +1,39 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import parse_function, verify_function
+from repro.refine import CheckOptions, check_refinement
+from repro.semantics import NEW, OLD
+
+
+@pytest.fixture
+def fn_of():
+    """Parse a single function and verify it."""
+
+    def build(text: str):
+        fn = parse_function(text)
+        verify_function(fn)
+        return fn
+
+    return build
+
+
+def assert_refines(src_text: str, tgt_text: str, config=NEW, **kwargs):
+    src = parse_function(src_text)
+    tgt = parse_function(tgt_text)
+    result = check_refinement(src, tgt, config,
+                              options=CheckOptions(**kwargs) if kwargs else None)
+    assert result.ok, f"expected refinement, got: {result}"
+    return result
+
+
+def assert_not_refines(src_text: str, tgt_text: str, config=NEW, **kwargs):
+    src = parse_function(src_text)
+    tgt = parse_function(tgt_text)
+    result = check_refinement(src, tgt, config,
+                              options=CheckOptions(**kwargs) if kwargs else None)
+    assert result.failed, f"expected refinement failure, got: {result}"
+    return result

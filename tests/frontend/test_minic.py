@@ -1,0 +1,392 @@
+"""MiniC frontend tests: parsing, codegen, and end-to-end execution."""
+
+import pytest
+
+from repro.backend import compile_module, run_program
+from repro.frontend import CodegenOptions, CompileError, compile_c, parse_c
+from repro.frontend.cast import CType, StructType
+from repro.frontend.codegen import layout_struct
+from repro.ir import FreezeInst, verify_module
+from repro.opt import o2_pipeline, prototype_config
+from repro.semantics import NEW, run_once
+
+
+def run_c(source: str, entry: str = "main", args=(), optimize=True):
+    mod = compile_c(source)
+    if optimize:
+        o2_pipeline(prototype_config()).run(mod)
+        verify_module(mod)
+    prog = compile_module(mod)
+    result, cycles, instrs = run_program(prog, entry, list(args))
+    return result
+
+
+class TestBasics:
+    def test_arithmetic(self):
+        assert run_c("int main() { return 2 + 3 * 4; }") == 14
+
+    def test_precedence_and_parens(self):
+        assert run_c("int main() { return (2 + 3) * 4; }") == 20
+
+    def test_division_and_modulo(self):
+        assert run_c("int main() { return 17 / 5 * 10 + 17 % 5; }") == 32
+
+    def test_negative_division_truncates(self):
+        src = "int main() { int a = 0 - 7; return a / 2 + 10; }"
+        assert run_c(src) == 7  # -7/2 == -3; -3 + 10 == 7
+
+    def test_bitwise(self):
+        assert run_c(
+            "int main() { return (12 & 10) | (1 << 4) ^ 3; }"
+        ) == (12 & 10) | (1 << 4) ^ 3
+
+    def test_comparison_yields_01(self):
+        assert run_c("int main() { return (3 < 5) + (5 < 3); }") == 1
+
+    def test_unary(self):
+        assert run_c("int main() { return -5 + 10; }") == 5
+        assert run_c("int main() { return !0 + !7; }") == 1
+        assert run_c("int main() { return (~0) & 255; }") == 255
+
+    def test_variables_and_assignment(self):
+        src = """
+int main() {
+    int a = 3;
+    int b = 4;
+    a = a * b;
+    b += a;
+    return b;
+}"""
+        assert run_c(src) == 16
+
+    def test_compound_assignments(self):
+        src = """
+int main() {
+    int x = 100;
+    x -= 10; x /= 2; x *= 3; x %= 40; x |= 1; x &= 30; x ^= 2; x <<= 1;
+    x >>= 1;
+    return x;
+}"""
+        x = 100
+        x -= 10; x //= 2; x *= 3; x %= 40; x |= 1; x &= 30; x ^= 2; x <<= 1
+        x >>= 1
+        assert run_c(src) == x
+
+    def test_increment_decrement(self):
+        src = """
+int main() {
+    int i = 5;
+    ++i;
+    --i;
+    ++i;
+    return i;
+}"""
+        assert run_c(src) == 6
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        src = """
+int sign(int x) {
+    if (x > 0) return 1;
+    else if (x < 0) return 0 - 1;
+    return 0;
+}
+int main() { return sign(5) * 100 + (sign(0-3) & 255) + sign(0); }
+"""
+        assert run_c(src) == 100 + 255
+
+    def test_while_loop(self):
+        src = """
+int main() {
+    int i = 0; int acc = 0;
+    while (i < 10) { acc += i; i++; }
+    return acc;
+}"""
+        assert run_c(src) == 45
+
+    def test_do_while(self):
+        src = """
+int main() {
+    int i = 0; int n = 0;
+    do { n++; i++; } while (i < 3);
+    return n;
+}"""
+        assert run_c(src) == 3
+
+    def test_for_loop(self):
+        src = """
+int main() {
+    int acc = 0;
+    for (int i = 1; i <= 10; i++) acc += i;
+    return acc;
+}"""
+        assert run_c(src) == 55
+
+    def test_break_continue(self):
+        src = """
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 100; i++) {
+        if (i % 2 == 0) continue;
+        if (i > 10) break;
+        acc += i;
+    }
+    return acc;
+}"""
+        assert run_c(src) == 1 + 3 + 5 + 7 + 9
+
+    def test_short_circuit_and(self):
+        src = """
+int g = 0;
+int bump() { g = g + 1; return 0; }
+int main() {
+    int r = bump() && bump();
+    return g * 10 + r;
+}"""
+        assert run_c(src) == 10  # second bump not evaluated
+
+    def test_short_circuit_or(self):
+        src = """
+int g = 0;
+int bump() { g = g + 1; return 1; }
+int main() {
+    int r = bump() || bump();
+    return g * 10 + r;
+}"""
+        assert run_c(src) == 11
+
+    def test_ternary(self):
+        src = "int main() { int x = 7; return x > 5 ? 100 : 200; }"
+        assert run_c(src) == 100
+
+    def test_nested_loops(self):
+        src = """
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 5; i++)
+        for (int j = 0; j < 5; j++)
+            if (i != j) acc++;
+    return acc;
+}"""
+        assert run_c(src) == 20
+
+
+class TestFunctionsAndGlobals:
+    def test_recursion(self):
+        src = """
+int fact(int n) {
+    if (n <= 1) return 1;
+    return n * fact(n - 1);
+}
+int main() { return fact(6); }
+"""
+        assert run_c(src) == 720
+
+    def test_globals(self):
+        src = """
+int counter = 10;
+void tick() { counter = counter + 1; }
+int main() { tick(); tick(); return counter; }
+"""
+        assert run_c(src) == 12
+
+    def test_global_array(self):
+        src = """
+int table[8];
+int main() {
+    for (int i = 0; i < 8; i++) table[i] = i * i;
+    int acc = 0;
+    for (int i = 0; i < 8; i++) acc += table[i];
+    return acc;
+}"""
+        assert run_c(src) == sum(i * i for i in range(8))
+
+    def test_local_array(self):
+        src = """
+int main() {
+    int buf[4];
+    buf[0] = 1; buf[1] = 2; buf[2] = 3; buf[3] = 4;
+    return buf[0] + buf[1] * buf[2] + buf[3];
+}"""
+        assert run_c(src) == 11
+
+    def test_char_short_conversions(self):
+        src = """
+int main() {
+    char c = 200;
+    short s = 70000;
+    return (c + 1000) * 10 + (s & 255);
+}"""
+        # char 200 -> -56 signed; 70000 & 0xFFFF = 4464 signed; & 255
+        assert run_c(src) == (-56 + 1000) * 10 + ((70000 & 0xFFFF) & 255)
+
+    def test_unsigned_division(self):
+        src = """
+int main() {
+    unsigned int x = 0 - 10;
+    return x / 1000000000;
+}"""
+        assert run_c(src) == ((2**32 - 10) // 10**9)
+
+    def test_extern_function_callable(self):
+        src = """
+extern void sink(int x);
+int main() { sink(42); return 0; }
+"""
+        assert run_c(src) == 0
+
+
+class TestStructLayout:
+    def test_plain_fields(self):
+        struct = StructType("s", (
+            ("a", CType(32, True), None),
+            ("b", CType(8, True), None),
+            ("c", CType(32, True), None),
+        ))
+        fields, size = layout_struct(struct)
+        assert fields["a"].byte_offset == 0
+        assert fields["b"].byte_offset == 4
+        assert fields["c"].byte_offset == 8  # aligned
+        assert size == 12
+
+    def test_bitfields_pack(self):
+        struct = StructType("s", (
+            ("a", CType(32, True), 3),
+            ("b", CType(32, True), 5),
+            ("c", CType(32, True), 8),
+        ))
+        fields, size = layout_struct(struct)
+        assert fields["a"].bit_offset == 0
+        assert fields["b"].bit_offset == 3
+        assert fields["c"].bit_offset == 8
+        assert size == 4  # all share one i32 unit
+
+    def test_bitfields_overflow_to_new_unit(self):
+        struct = StructType("s", (
+            ("a", CType(32, True), 30),
+            ("b", CType(32, True), 10),
+        ))
+        fields, size = layout_struct(struct)
+        assert fields["a"].byte_offset == 0
+        assert fields["b"].byte_offset == 4
+        assert size == 8
+
+
+class TestBitfields:
+    SRC = """
+struct flags { int a : 3; int b : 5; int c : 8; };
+struct flags f;
+
+int main() {
+    f.a = 2;
+    f.b = 9;
+    f.c = 77;
+    return f.a * 10000 + f.b * 100 + f.c;
+}
+"""
+
+    def test_bitfield_store_load(self):
+        assert run_c(self.SRC) == 2 * 10000 + 9 * 100 + 77
+
+    def test_bitfield_signed_extraction(self):
+        src = """
+struct s { int v : 3; };
+struct s x;
+int main() {
+    x.v = 7;
+    return x.v + 100;
+}"""
+        # 7 in a signed 3-bit field reads back as -1
+        assert run_c(src) == 99
+
+    def test_adjacent_fields_preserved(self):
+        src = """
+struct s { int lo : 4; int hi : 4; };
+struct s x;
+int main() {
+    x.lo = 5;
+    x.hi = 7;
+    x.lo = 3;
+    return x.hi * 16 + x.lo;
+}"""
+        assert run_c(src) == 7 * 16 + 3
+
+    def test_freeze_emitted_for_bitfield_stores(self):
+        mod = compile_c(self.SRC)
+        main = mod.get_function("main")
+        freezes = [i for i in main.instructions()
+                   if isinstance(i, FreezeInst)]
+        assert len(freezes) == 3  # one per bit-field store
+
+    def test_no_freeze_when_disabled(self):
+        mod = compile_c(self.SRC,
+                        CodegenOptions(freeze_bitfield_stores=False))
+        main = mod.get_function("main")
+        assert not any(isinstance(i, FreezeInst)
+                       for i in main.instructions())
+
+    def test_unfrozen_bitfield_store_poisons_under_new(self):
+        """Section 5.3's whole point: without the freeze, the first
+        bit-field store keeps the word poison under NEW semantics."""
+        src = """
+struct s { int v : 4; int w : 4; };
+struct s x;
+int main() {
+    x.v = 5;
+    return x.v;
+}
+"""
+        from repro.semantics import PBIT
+
+        mod = compile_c(src, CodegenOptions(freeze_bitfield_stores=False))
+        behavior = run_once(mod.get_function("main"), [], NEW)
+        assert behavior.ret == (PBIT,) * 32
+        mod2 = compile_c(src)  # with freeze
+        behavior2 = run_once(mod2.get_function("main"), [], NEW)
+        assert behavior2.ret == tuple(
+            int(b) for b in reversed(f"{5:032b}")
+        )
+
+
+class TestErrors:
+    def test_unknown_variable(self):
+        with pytest.raises(CompileError, match="unknown variable"):
+            compile_c("int main() { return nope; }")
+
+    def test_unknown_function(self):
+        with pytest.raises(CompileError, match="unknown function"):
+            compile_c("int main() { return nope(); }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CompileError, match="break outside"):
+            compile_c("int main() { break; return 0; }")
+
+    def test_bad_bitfield_width(self):
+        with pytest.raises(CompileError, match="bad bit-field"):
+            compile_c("struct s { int v : 99; };\nint main() { return 0; }")
+
+    def test_syntax_error(self):
+        with pytest.raises(CompileError):
+            compile_c("int main() { return 1 +; }")
+
+
+class TestOptimizedVsUnoptimized:
+    @pytest.mark.parametrize("source,expected", [
+        ("int main() { int s = 0; for (int i=0;i<20;i++) s+=i*i; return s; }",
+         sum(i * i for i in range(20))),
+        ("""
+int collatz(int n) {
+    int steps = 0;
+    while (n != 1) {
+        if (n % 2 == 0) n = n / 2;
+        else n = 3 * n + 1;
+        steps++;
+    }
+    return steps;
+}
+int main() { return collatz(27); }""", 111),
+    ])
+    def test_same_result(self, source, expected):
+        assert run_c(source, optimize=False) == expected
+        assert run_c(source, optimize=True) == expected

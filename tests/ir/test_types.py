@@ -1,0 +1,120 @@
+"""Tests for the IR type system."""
+
+import pytest
+
+from repro.ir.types import (
+    I1,
+    I8,
+    I32,
+    FunctionType,
+    IntType,
+    LabelType,
+    PointerType,
+    VectorType,
+    VoidType,
+    same_shape,
+)
+
+
+class TestInterning:
+    def test_int_types_are_interned(self):
+        assert IntType(32) is IntType(32)
+        assert IntType(32) is I32
+
+    def test_distinct_widths_differ(self):
+        assert IntType(8) is not IntType(16)
+
+    def test_pointer_interning(self):
+        assert PointerType(I32) is PointerType(I32)
+        assert PointerType(I32) is not PointerType(I8)
+
+    def test_vector_interning(self):
+        assert VectorType(4, I8) is VectorType(4, I8)
+        assert VectorType(4, I8) is not VectorType(2, I8)
+
+    def test_nested_pointer(self):
+        pp = PointerType(PointerType(I32))
+        assert pp.pointee is PointerType(I32)
+
+    def test_function_type_interning(self):
+        a = FunctionType(I32, (I32, I8))
+        b = FunctionType(I32, (I32, I8))
+        assert a is b
+
+    def test_void_and_label_singletons(self):
+        assert VoidType() is VoidType()
+        assert LabelType() is LabelType()
+
+
+class TestIntType:
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(0)
+        with pytest.raises(ValueError):
+            IntType(-3)
+
+    def test_ranges(self):
+        t = IntType(4)
+        assert t.num_values == 16
+        assert t.signed_min == -8
+        assert t.signed_max == 7
+        assert t.unsigned_max == 15
+
+    def test_bitwidth(self):
+        assert IntType(13).bitwidth() == 13
+
+    def test_is_bool(self):
+        assert I1.is_bool
+        assert not I8.is_bool
+
+    def test_str(self):
+        assert str(IntType(24)) == "i24"
+
+
+class TestPointerType:
+    def test_bitwidth_is_32(self):
+        assert PointerType(I8).bitwidth() == 32
+
+    def test_str(self):
+        assert str(PointerType(I32)) == "i32*"
+        assert str(PointerType(PointerType(I8))) == "i8**"
+
+    def test_classification(self):
+        p = PointerType(I32)
+        assert p.is_pointer and not p.is_int and p.is_first_class
+
+
+class TestVectorType:
+    def test_bitwidth(self):
+        assert VectorType(4, I8).bitwidth() == 32
+
+    def test_scalar_property(self):
+        assert VectorType(4, I8).scalar is I8
+        assert I8.scalar is I8
+
+    def test_str(self):
+        assert str(VectorType(2, IntType(16))) == "<2 x i16>"
+
+    def test_invalid_element(self):
+        with pytest.raises(ValueError):
+            VectorType(4, VoidType())
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            VectorType(0, I8)
+
+    def test_vector_of_pointers(self):
+        v = VectorType(2, PointerType(I32))
+        assert v.bitwidth() == 64
+
+
+class TestSameShape:
+    def test_scalar_scalar(self):
+        assert same_shape(I8, I32)
+
+    def test_vector_vector(self):
+        assert same_shape(VectorType(4, I8), VectorType(4, I32))
+        assert not same_shape(VectorType(4, I8), VectorType(2, I8))
+
+    def test_mixed(self):
+        assert not same_shape(I8, VectorType(4, I8))

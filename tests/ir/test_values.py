@@ -1,0 +1,143 @@
+"""Tests for values, constants, and use lists."""
+
+import pytest
+
+from repro.ir import IRBuilder
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.types import I8, I32, FunctionType, IntType, VectorType
+from repro.ir.values import (
+    ConstantInt,
+    ConstantVector,
+    PoisonValue,
+    UndefValue,
+    const_bool,
+    const_int,
+)
+
+
+def make_fn():
+    fn = Function(FunctionType(I32, (I32, I32)), "f", arg_names=["a", "b"])
+    block = BasicBlock("entry", parent=fn)
+    return fn, block
+
+
+class TestConstantInt:
+    def test_wrapping_on_construction(self):
+        c = ConstantInt(I8, 300)
+        assert c.value == 44
+
+    def test_negative_construction(self):
+        c = ConstantInt(I8, -1)
+        assert c.value == 255
+        assert c.signed_value == -1
+
+    def test_signed_value(self):
+        assert ConstantInt(I8, 127).signed_value == 127
+        assert ConstantInt(I8, 128).signed_value == -128
+
+    def test_predicates(self):
+        assert ConstantInt(I8, 0).is_zero
+        assert ConstantInt(I8, 1).is_one
+        assert ConstantInt(I8, 255).is_all_ones
+
+    def test_equality_and_hash(self):
+        assert ConstantInt(I8, 5) == ConstantInt(I8, 5)
+        assert ConstantInt(I8, 5) != ConstantInt(I32, 5)
+        assert hash(ConstantInt(I8, 5)) == hash(ConstantInt(I8, 5))
+
+    def test_ref_bool_rendering(self):
+        assert const_bool(True).ref() == "true"
+        assert const_bool(False).ref() == "false"
+        assert const_int(8, -2).ref() == "-2"
+
+    def test_requires_int_type(self):
+        with pytest.raises(TypeError):
+            ConstantInt(VectorType(2, I8), 0)
+
+
+class TestDeferredConstants:
+    def test_undef_equality(self):
+        assert UndefValue(I8) == UndefValue(I8)
+        assert UndefValue(I8) != UndefValue(I32)
+        assert UndefValue(I8) != PoisonValue(I8)
+
+    def test_poison_render(self):
+        assert PoisonValue(I8).ref() == "poison"
+        assert UndefValue(I8).ref() == "undef"
+
+    def test_classification(self):
+        assert UndefValue(I8).is_undef
+        assert PoisonValue(I8).is_poison
+        assert not PoisonValue(I8).is_undef
+
+
+class TestConstantVector:
+    def test_element_count_checked(self):
+        with pytest.raises(ValueError):
+            ConstantVector(VectorType(3, I8), [ConstantInt(I8, 1)])
+
+    def test_mixed_elements(self):
+        v = ConstantVector(
+            VectorType(2, I8), [ConstantInt(I8, 1), PoisonValue(I8)]
+        )
+        assert "poison" in v.ref()
+
+
+class TestUseLists:
+    def test_uses_tracked(self):
+        fn, block = make_fn()
+        b = IRBuilder(block)
+        a = fn.args[0]
+        add = b.add(a, a)
+        assert add.num_uses == 0
+        assert a.num_uses == 2
+        mul = b.mul(add, fn.args[1])
+        assert add.num_uses == 1
+        assert list(add.users()) == [mul]
+
+    def test_replace_all_uses_with(self):
+        fn, block = make_fn()
+        b = IRBuilder(block)
+        a, c = fn.args
+        add = b.add(a, c)
+        mul = b.mul(add, add)
+        add.replace_all_uses_with(a)
+        assert mul.operand(0) is a
+        assert mul.operand(1) is a
+        assert add.num_uses == 0
+        assert a.num_uses > 0
+
+    def test_replace_with_self_is_noop(self):
+        fn, block = make_fn()
+        b = IRBuilder(block)
+        add = b.add(fn.args[0], fn.args[1])
+        mul = b.mul(add, add)
+        add.replace_all_uses_with(add)
+        assert mul.operand(0) is add
+
+    def test_set_operand_updates_uses(self):
+        fn, block = make_fn()
+        b = IRBuilder(block)
+        a, c = fn.args
+        add = b.add(a, a)
+        add.set_operand(1, c)
+        assert a.num_uses == 1
+        assert c.num_uses == 1
+        assert add.rhs is c
+
+    def test_has_one_use(self):
+        fn, block = make_fn()
+        b = IRBuilder(block)
+        add = b.add(fn.args[0], fn.args[1])
+        b.mul(add, fn.args[0])
+        assert add.has_one_use()
+
+    def test_drop_all_operands(self):
+        fn, block = make_fn()
+        b = IRBuilder(block)
+        a = fn.args[0]
+        add = b.add(a, a)
+        add.drop_all_operands()
+        assert a.num_uses == 0
+        assert add.num_operands == 0

@@ -1,0 +1,168 @@
+"""Verifier tests: structural and SSA-dominance violations."""
+
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    BranchInst,
+    Function,
+    FunctionType,
+    IRBuilder,
+    VerificationError,
+    parse_function,
+    verify_function,
+)
+from repro.ir.types import I8, I32
+
+
+def test_valid_function_passes(fn_of):
+    fn_of("""
+define i8 @f(i8 %x) {
+entry:
+  %y = add i8 %x, 1
+  ret i8 %y
+}
+""")
+
+
+def test_missing_terminator():
+    fn = Function(FunctionType(I8, (I8,)), "f")
+    BasicBlock("entry", parent=fn)
+    with pytest.raises(VerificationError, match="no terminator"):
+        verify_function(fn)
+
+
+def test_use_before_def_same_block():
+    fn = parse_function("""
+define i8 @f(i8 %x) {
+entry:
+  %a = add i8 %x, 1
+  %b = add i8 %a, 1
+  ret i8 %b
+}
+""")
+    entry = fn.entry
+    a, b = entry.instructions[0], entry.instructions[1]
+    entry.remove(a)
+    entry.insert_before(entry.terminator, a)  # now a comes after b
+    with pytest.raises(VerificationError, match="does not dominate"):
+        verify_function(fn)
+
+
+def test_use_not_dominated_across_blocks():
+    fn = parse_function("""
+define i8 @f(i1 %c, i8 %x) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %v = add i8 %x, 1
+  br label %join
+b:
+  br label %join
+join:
+  %w = add i8 %x, 2
+  ret i8 %w
+}
+""")
+    join = fn.block_by_name("join")
+    v = fn.block_by_name("a").instructions[0]
+    w = join.instructions[0]
+    w.set_operand(0, v)  # %v does not dominate %join
+    with pytest.raises(VerificationError, match="does not dominate"):
+        verify_function(fn)
+
+
+def test_phi_missing_incoming():
+    fn = parse_function("""
+define i8 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %p = phi i8 [ 1, %a ], [ 2, %b ]
+  ret i8 %p
+}
+""")
+    phi = fn.block_by_name("join").phis()[0]
+    phi.remove_incoming(fn.block_by_name("b"))
+    with pytest.raises(VerificationError, match="missing incoming"):
+        verify_function(fn)
+
+
+def test_phi_value_dominates_edge_not_block(fn_of):
+    # The phi's incoming value is defined in the predecessor itself —
+    # legal even though it does not dominate the phi's block.
+    fn_of("""
+define i8 @f(i1 %c, i8 %x) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %v = add i8 %x, 1
+  br label %join
+b:
+  br label %join
+join:
+  %p = phi i8 [ %v, %a ], [ %x, %b ]
+  ret i8 %p
+}
+""")
+
+
+def test_loop_carried_phi_is_legal(fn_of):
+    fn_of("""
+define i8 @f(i8 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i8 [ 0, %entry ], [ %next, %loop ]
+  %next = add i8 %i, 1
+  %c = icmp ult i8 %next, %n
+  br i1 %c, label %loop, label %out
+out:
+  ret i8 %i
+}
+""")
+
+
+def test_forbid_undef_mode():
+    fn = parse_function("""
+define i8 @f() {
+entry:
+  %a = add i8 undef, 1
+  ret i8 %a
+}
+""")
+    verify_function(fn)  # fine under OLD rules
+    with pytest.raises(VerificationError, match="undef"):
+        verify_function(fn, forbid_undef=True)
+
+
+def test_forbid_undef_allows_poison():
+    fn = parse_function("""
+define i8 @f() {
+entry:
+  %a = add i8 poison, 1
+  ret i8 %a
+}
+""")
+    verify_function(fn, forbid_undef=True)
+
+
+def test_entry_with_predecessor_rejected():
+    fn = parse_function("""
+define void @f() {
+entry:
+  br label %next
+next:
+  ret void
+}
+""")
+    next_block = fn.block_by_name("next")
+    next_block.erase(next_block.terminator)
+    builder = IRBuilder(next_block)
+    builder.br(fn.entry)
+    with pytest.raises(VerificationError, match="entry block"):
+        verify_function(fn)

@@ -1,0 +1,148 @@
+"""EarlyCSE tests: store-to-load forwarding and its aliasing guards."""
+
+import pytest
+
+from repro.ir import LoadInst, Opcode, parse_function, parse_module, \
+    verify_function
+from repro.opt import EarlyCSE, OptConfig
+from repro.refine import CheckOptions, check_refinement
+from repro.semantics import NEW
+
+FIXED = OptConfig.fixed()
+
+
+def loads_in(fn):
+    return [i for i in fn.instructions() if isinstance(i, LoadInst)]
+
+
+def apply_and_validate(text: str, fn_name: str = "f"):
+    before = parse_module(text).get_function(fn_name)
+    after_mod = parse_module(text)
+    after = after_mod.get_function(fn_name)
+    changed = EarlyCSE(FIXED).run_on_function(after)
+    verify_function(after)
+    result = check_refinement(before, after, NEW)
+    assert not result.failed, str(result)
+    return after, changed
+
+
+class TestStoreToLoadForwarding:
+    def test_forwarding_fires(self):
+        after, changed = apply_and_validate("""
+@g = global i4
+
+define i4 @f(i4 %x) {
+entry:
+  store i4 %x, i4* @g
+  %v = load i4, i4* @g
+  ret i4 %v
+}""")
+        assert changed
+        assert not loads_in(after)
+
+    def test_load_load_cse(self):
+        after, changed = apply_and_validate("""
+@g = global i4
+
+define i4 @f() {
+entry:
+  %a = load i4, i4* @g
+  %b = load i4, i4* @g
+  %s = add i4 %a, %b
+  ret i4 %s
+}""")
+        assert changed
+        assert len(loads_in(after)) == 1
+
+    def test_intervening_store_blocks_forwarding(self):
+        after, changed = apply_and_validate("""
+@g = global i4
+@h = global i4
+
+define i4 @f(i4 %x) {
+entry:
+  store i4 %x, i4* @g
+  store i4 0, i4* @h
+  %v = load i4, i4* @g
+  ret i4 %v
+}""")
+        # the second store may alias (conservatively): load survives
+        assert len(loads_in(after)) == 1
+
+    def test_call_clobbers(self):
+        after, changed = apply_and_validate("""
+declare void @ext()
+
+@g = global i4
+
+define i4 @f(i4 %x) {
+entry:
+  store i4 %x, i4* @g
+  call void @ext()
+  %v = load i4, i4* @g
+  ret i4 %v
+}""")
+        assert len(loads_in(after)) == 1
+
+    def test_forwarding_is_block_local(self):
+        after, changed = apply_and_validate("""
+@g = global i4
+
+define i4 @f(i4 %x, i1 %c) {
+entry:
+  store i4 %x, i4* @g
+  br i1 %c, label %a, label %a
+a:
+  %v = load i4, i4* @g
+  ret i4 %v
+}""")
+        assert len(loads_in(after)) == 1  # conservatively kept
+
+    def test_poison_store_forwards_exactly(self):
+        """Forwarding must preserve poison: storing poison and loading
+        it back gives poison either way."""
+        after, changed = apply_and_validate("""
+@g = global i4
+
+define i4 @f() {
+entry:
+  store i4 poison, i4* @g
+  %v = load i4, i4* @g
+  ret i4 %v
+}""")
+        assert changed
+
+    def test_different_type_not_forwarded(self):
+        after, changed = apply_and_validate("""
+@g = global i4
+
+define i2 @f(i4 %x) {
+entry:
+  store i4 %x, i4* @g
+  %p = bitcast i4* @g to i2*
+  %v = load i2, i2* %p
+  ret i2 %v
+}""")
+        assert len(loads_in(after)) == 1
+
+    def test_bitfield_sequence_cleaned(self):
+        """The Section 5.3 motivation: after GVN unifies the address
+        chain, EarlyCSE removes the reload after each masked store."""
+        from repro.frontend import compile_c
+        from repro.opt import GVN
+
+        mod = compile_c("""
+struct s { int a : 4; int b : 4; };
+struct s x;
+int main() {
+    x.a = 3;
+    x.b = 5;
+    return x.a + x.b;
+}
+""")
+        main = mod.get_function("main")
+        before_loads = len(loads_in(main))
+        GVN(FIXED).run_on_function(main)
+        EarlyCSE(FIXED).run_on_function(main)
+        verify_function(main)
+        assert len(loads_in(main)) < before_loads

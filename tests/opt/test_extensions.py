@@ -1,0 +1,206 @@
+"""Tests for the Section 5.4 / Section 6 extension passes:
+load widening and GVN freeze folding."""
+
+import pytest
+
+from repro.ir import (
+    ExtractElementInst,
+    FreezeInst,
+    LoadInst,
+    Opcode,
+    parse_function,
+    parse_module,
+    print_function,
+    verify_function,
+)
+from repro.opt import GVN, LoadWidening, OptConfig
+from repro.refine import CheckOptions, check_refinement
+from repro.semantics import NEW, OLD
+
+FIXED = OptConfig.fixed()
+
+
+def module_pair(text: str, fn_name: str = "f"):
+    return (parse_module(text).get_function(fn_name),
+            parse_module(text).get_function(fn_name))
+
+
+class TestLoadWidening:
+    SRC = """
+@g = global i4
+
+define i2 @f() {
+entry:
+  %p = bitcast i4* @g to i2*
+  %v = load i2, i2* %p
+  ret i2 %v
+}
+"""
+
+    def test_vector_widening_fires(self):
+        before, after = module_pair(self.SRC)
+        changed = LoadWidening(FIXED).run_on_function(after)
+        assert changed
+        verify_function(after)
+        text = print_function(after)
+        assert "<2 x i2>" in text
+        assert "extractelement" in text
+
+    def test_vector_widening_sound_under_new(self):
+        """Section 5.4: the vector form keeps unrelated poison in its
+        own lane, so it refines — even when @g's other half is poison."""
+        before, after = module_pair(self.SRC)
+        LoadWidening(FIXED).run_on_function(after)
+        result = check_refinement(before, after, NEW)
+        assert result.ok, str(result)
+
+    def test_scalar_widening_unsound_under_new(self):
+        """The naive widen-to-i4-and-truncate: one poison bit in the
+        upper half poisons the half the program wanted."""
+        before, after = module_pair(self.SRC)
+        LoadWidening(FIXED, scalar_widening=True).run_on_function(after)
+        verify_function(after)
+        text = print_function(after)
+        assert "trunc" in text
+        result = check_refinement(before, after, NEW)
+        assert result.failed, str(result)
+
+    def test_scalar_widening_was_fine_under_old_undef_memory(self):
+        """...but under OLD with undef-only memory (the historical
+        mental model) the same transformation passes — which is exactly
+        why LLVM had it and why migrating to poison required the fix."""
+        before, after = module_pair(self.SRC)
+        LoadWidening(FIXED, scalar_widening=True).run_on_function(after)
+        result = check_refinement(
+            before, after, OLD,
+            options=CheckOptions(poison_in_memory=False),
+        )
+        assert result.ok, str(result)
+
+    def test_scalar_widening_already_broken_by_poison_in_memory(self):
+        """A bonus finding consistent with the paper's diagnosis: once a
+        store can put *poison* bits into memory, the scalar widening is
+        unsound even under the OLD semantics."""
+        before, after = module_pair(self.SRC)
+        LoadWidening(FIXED, scalar_widening=True).run_on_function(after)
+        result = check_refinement(before, after, OLD)
+        assert result.failed
+
+    def test_no_widening_without_known_object(self):
+        src = """
+define i2 @f(i2* %p) {
+entry:
+  %v = load i2, i2* %p
+  ret i2 %v
+}
+"""
+        fn = parse_function(src)
+        assert not LoadWidening(FIXED).run_on_function(fn)
+
+    def test_no_widening_when_object_too_small(self):
+        src = """
+@g = global i2
+
+define i2 @f() {
+entry:
+  %v = load i2, i2* @g
+  ret i2 %v
+}
+"""
+        mod = parse_module(src)
+        fn = mod.get_function("f")
+        assert not LoadWidening(FIXED).run_on_function(fn)
+
+
+class TestGvnFreezeFolding:
+    SRC = """
+define i4 @f(i4 %x) {
+entry:
+  %f1 = freeze i4 %x
+  %f2 = freeze i4 %x
+  %s = sub i4 %f1, %f2
+  ret i4 %s
+}
+"""
+
+    def test_disabled_by_default(self):
+        fn = parse_function(self.SRC)
+        GVN(FIXED).run_on_function(fn)
+        freezes = [i for i in fn.instructions()
+                   if isinstance(i, FreezeInst)]
+        assert len(freezes) == 2  # the prototype's conservative behavior
+
+    def test_folding_merges_freezes(self):
+        config = FIXED.with_(gvn_fold_freeze=True)
+        fn = parse_function(self.SRC)
+        changed = GVN(config).run_on_function(fn)
+        assert changed
+        verify_function(fn)
+        freezes = [i for i in fn.instructions()
+                   if isinstance(i, FreezeInst)]
+        assert len(freezes) == 1
+
+    def test_folding_is_a_refinement(self):
+        """Folding two freezes collapses two independent choices into
+        one — a strict refinement (all uses replaced, per Section 6's
+        GVN-expert caveat)."""
+        config = FIXED.with_(gvn_fold_freeze=True)
+        before = parse_function(self.SRC)
+        after = parse_function(self.SRC)
+        GVN(config).run_on_function(after)
+        result = check_refinement(before, after, NEW)
+        assert result.ok, str(result)
+
+    def test_reverse_direction_would_be_unsound(self):
+        """Splitting one freeze into two is NOT a refinement — the
+        Section 5.5 duplication pitfall, machine-checked."""
+        merged = parse_function("""
+define i4 @f(i4 %x) {
+entry:
+  %f1 = freeze i4 %x
+  %s = sub i4 %f1, %f1
+  ret i4 %s
+}
+""")
+        split = parse_function(self.SRC)
+        result = check_refinement(merged, split, NEW)
+        assert result.failed
+
+    def test_freezes_of_different_values_not_merged(self):
+        config = FIXED.with_(gvn_fold_freeze=True)
+        fn = parse_function("""
+define i4 @f(i4 %x, i4 %y) {
+entry:
+  %f1 = freeze i4 %x
+  %f2 = freeze i4 %y
+  %s = sub i4 %f1, %f2
+  ret i4 %s
+}
+""")
+        GVN(config).run_on_function(fn)
+        freezes = [i for i in fn.instructions()
+                   if isinstance(i, FreezeInst)]
+        assert len(freezes) == 2
+
+    def test_folding_respects_dominance(self):
+        config = FIXED.with_(gvn_fold_freeze=True)
+        fn = parse_function("""
+define i4 @f(i1 %c, i4 %x) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %f1 = freeze i4 %x
+  br label %join
+b:
+  %f2 = freeze i4 %x
+  br label %join
+join:
+  %p = phi i4 [ %f1, %a ], [ %f2, %b ]
+  ret i4 %p
+}
+""")
+        GVN(config).run_on_function(fn)
+        verify_function(fn)
+        freezes = [i for i in fn.instructions()
+                   if isinstance(i, FreezeInst)]
+        assert len(freezes) == 2  # neither dominates the other

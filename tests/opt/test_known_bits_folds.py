@@ -1,0 +1,97 @@
+"""Tests for the known-bits-driven icmp folds in InstSimplify —
+the Section 5.6 "up-to-poison facts are fine for rewriting" client."""
+
+import pytest
+
+from repro.ir import parse_function, verify_function
+from repro.opt import InstSimplify, OptConfig
+from repro.refine import check_refinement
+from repro.semantics import NEW, OLD
+
+FIXED = OptConfig.fixed()
+
+
+def simplify_and_validate(text: str, semantics=NEW):
+    before = parse_function(text)
+    after = parse_function(text)
+    changed = InstSimplify(FIXED).run_on_function(after)
+    verify_function(after)
+    result = check_refinement(before, after, semantics)
+    assert not result.failed, str(result)
+    return after, changed
+
+
+class TestKnownBitsIcmpFolds:
+    def test_masked_value_below_bound(self):
+        after, changed = simplify_and_validate("""
+define i1 @f(i8 %x) {
+entry:
+  %m = and i8 %x, 7
+  %c = icmp ult i8 %m, 8
+  ret i1 %c
+}""")
+        assert changed
+        ret = after.entry.instructions[-1]
+        assert ret.value.ref() == "true"
+
+    def test_or_value_above_bound(self):
+        after, changed = simplify_and_validate("""
+define i1 @f(i8 %x) {
+entry:
+  %m = or i8 %x, 16
+  %c = icmp ult i8 %m, 16
+  ret i1 %c
+}""")
+        assert changed
+        assert after.entry.instructions[-1].value.ref() == "false"
+
+    def test_disjoint_bits_never_equal(self):
+        after, changed = simplify_and_validate("""
+define i1 @f(i8 %x, i8 %y) {
+entry:
+  %a = or i8 %x, 1
+  %b = and i8 %y, 254
+  %c = icmp eq i8 %a, %b
+  ret i1 %c
+}""")
+        assert changed
+        assert after.entry.instructions[-1].value.ref() == "false"
+
+    def test_fold_sound_under_old_with_undef(self):
+        """Up-to-poison AND up-to-undef: known bits bound every
+        concretization, so the fold holds under OLD too."""
+        after, changed = simplify_and_validate("""
+define i1 @f(i8 %x) {
+entry:
+  %m = and i8 %x, 7
+  %c = icmp ult i8 %m, 8
+  ret i1 %c
+}""", semantics=OLD)
+        assert changed
+
+    def test_poison_operand_covered(self):
+        """The Section 5.6 point: no not-poison check needed, because a
+        poison operand makes the *source* icmp poison, which covers the
+        folded constant."""
+        after, changed = simplify_and_validate("""
+define i1 @f() {
+entry:
+  %m = and i8 poison, 7
+  %c = icmp ult i8 %m, 8
+  ret i1 %c
+}""")
+        # folding is allowed (and harmless); refinement verified above
+
+    def test_undecidable_range_not_folded(self):
+        after, changed = simplify_and_validate("""
+define i1 @f(i8 %x) {
+entry:
+  %m = and i8 %x, 31
+  %c = icmp ult i8 %m, 16
+  ret i1 %c
+}""")
+        # 0..31 vs 16: both outcomes possible; must not fold
+        from repro.ir import Opcode
+
+        assert any(i.opcode is Opcode.ICMP
+                   for i in after.entry.instructions)

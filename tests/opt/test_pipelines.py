@@ -1,0 +1,156 @@
+"""Pipeline-level integration tests: -O2 end to end, pass statistics,
+and the baseline/prototype configurations."""
+
+import pytest
+
+from repro.backend import compile_module, run_program
+from repro.frontend import compile_c
+from repro.ir import FreezeInst, UndefValue, parse_function, verify_module
+from repro.opt import (
+    OptConfig,
+    baseline_config,
+    codegen_pipeline,
+    o2_pipeline,
+    prototype_config,
+    quick_pipeline,
+    single_pass_pipeline,
+)
+from repro.refine import check_refinement
+from repro.semantics import NEW
+
+
+C_PROGRAM = """
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 12; i++) acc += fib(i);
+    return acc;
+}
+"""
+
+
+def fib_sum(n):
+    def fib(k):
+        return k if k < 2 else fib(k - 1) + fib(k - 2)
+
+    return sum(fib(i) for i in range(n))
+
+
+class TestO2EndToEnd:
+    @pytest.mark.parametrize("config_factory",
+                             [baseline_config, prototype_config])
+    def test_c_program_correct_after_o2(self, config_factory):
+        config = config_factory()
+        module = compile_c(C_PROGRAM)
+        o2_pipeline(config).run(module)
+        codegen_pipeline(config).run(module)
+        verify_module(module)
+        program = compile_module(module)
+        result, _, _ = run_program(program, "main", [])
+        assert result == fib_sum(12)
+
+    def test_o2_shrinks_frontend_output(self):
+        module = compile_c(C_PROGRAM)
+        before = module.num_instructions()
+        o2_pipeline(prototype_config()).run(module)
+        assert module.num_instructions() < before
+
+    def test_o2_promotes_all_scalar_allocas(self):
+        from repro.ir import Opcode
+
+        module = compile_c(C_PROGRAM)
+        o2_pipeline(prototype_config()).run(module)
+        for fn in module.definitions():
+            for inst in fn.instructions():
+                assert inst.opcode is not Opcode.ALLOCA
+
+    def test_pass_statistics_collected(self):
+        module = compile_c(C_PROGRAM)
+        pm = o2_pipeline(prototype_config())
+        pm.run(module)
+        assert "instcombine" in pm.stats
+        assert pm.stats["instcombine"].runs > 0
+        assert pm.stats["mem2reg"].changes > 0
+        assert all(s.seconds >= 0 for s in pm.stats.values())
+
+    def test_quick_pipeline_also_correct(self):
+        module = compile_c(C_PROGRAM)
+        quick_pipeline(prototype_config()).run(module)
+        verify_module(module)
+        program = compile_module(module)
+        result, _, _ = run_program(program, "main", [])
+        assert result == fib_sum(12)
+
+
+class TestConfigurations:
+    def test_fixed_config_defaults(self):
+        config = OptConfig.fixed()
+        assert config.semantics.is_new
+        assert config.unswitch_freeze
+        assert not config.instcombine_select_arith
+        assert config.reassociate_drop_flags
+
+    def test_legacy_config_defaults(self):
+        config = baseline_config()
+        assert not config.semantics.is_new
+        assert not config.unswitch_freeze
+        assert config.instcombine_select_arith
+        assert config.licm_hoist_speculative_div
+        assert not config.reassociate_drop_flags
+
+    def test_with_overrides(self):
+        config = OptConfig.fixed().with_(gvn_fold_freeze=True)
+        assert config.gvn_fold_freeze
+        assert OptConfig.fixed().gvn_fold_freeze is False
+
+    def test_unknown_single_pass_rejected(self):
+        with pytest.raises(ValueError):
+            single_pass_pipeline("nonexistent-pass")
+
+
+class TestNewSemanticsMigration:
+    def test_prototype_pipeline_output_is_undef_free(self):
+        """The migration story: NEW-pipeline output contains no undef
+        (the frontend never emits it and mem2reg materializes poison)."""
+        module = compile_c("""
+int f(int x) {
+    int y;
+    if (x > 0) y = x;
+    return x > 1 ? y : 0;
+}
+int main() { return f(5); }
+""")
+        o2_pipeline(prototype_config()).run(module)
+        for fn in module.definitions():
+            for inst in fn.instructions():
+                for op in inst.operands:
+                    assert not isinstance(op, UndefValue)
+        from repro.ir import verify_module as vm
+
+        vm(module, forbid_undef=True)
+
+    def test_figure2_uninitialized_variable(self):
+        """Figure 2: `int x; if (cond) x = f(); if (cond2) g(x);` — no
+        initialization materialized on the skip path, just poison."""
+        module = compile_c("""
+extern int f();
+extern void g(int v);
+
+int main(int cond, int cond2) {
+    int x;
+    if (cond) x = f();
+    if (cond2) g(x);
+    return 0;
+}
+""")
+        o2_pipeline(prototype_config()).run(module)
+        verify_module(module)
+        from repro.ir import print_function
+
+        main = module.get_function("main")
+        # poison (not a materialized 0) flows on the uninitialized path
+        assert "poison" in print_function(main)

@@ -1,0 +1,129 @@
+"""Sink pass tests — including the Section 5.5 freeze pitfall."""
+
+import pytest
+
+from repro.ir import FreezeInst, Opcode, parse_function, verify_function
+from repro.opt import OptConfig, Sink
+from repro.refine import CheckOptions, check_refinement
+from repro.semantics import NEW
+
+FIXED = OptConfig.fixed()
+OPTS = CheckOptions(max_choices=48, fuel=4000)
+
+
+def apply_sink(text: str, **kwargs):
+    before = parse_function(text)
+    after = parse_function(text)
+    changed = Sink(FIXED, **kwargs).run_on_function(after)
+    verify_function(after)
+    return before, after, changed
+
+
+class TestBasicSinking:
+    COND = """
+define i4 @f(i4 %a, i4 %b, i1 %c) {
+entry:
+  %x = mul i4 %a, %b
+  br i1 %c, label %use, label %skip
+use:
+  %y = add i4 %x, 1
+  ret i4 %y
+skip:
+  ret i4 0
+}
+"""
+
+    def test_sinks_into_conditional_use(self):
+        before, after, changed = apply_sink(self.COND)
+        assert changed
+        use = after.block_by_name("use")
+        assert any(i.opcode is Opcode.MUL for i in use.instructions)
+        result = check_refinement(before, after, NEW, options=OPTS)
+        assert result.ok
+
+    def test_no_sink_with_multiple_use_blocks(self):
+        before, after, changed = apply_sink("""
+define i8 @f(i8 %a, i1 %c) {
+entry:
+  %x = mul i8 %a, 3
+  br i1 %c, label %u1, label %u2
+u1:
+  %y1 = add i8 %x, 1
+  ret i8 %y1
+u2:
+  %y2 = add i8 %x, 2
+  ret i8 %y2
+}""")
+        assert not changed
+
+    def test_no_sink_of_side_effects(self):
+        before, after, changed = apply_sink("""
+define i8 @f(i8 %a, i8 %b, i1 %c) {
+entry:
+  %x = udiv i8 %a, %b
+  br i1 %c, label %use, label %skip
+use:
+  ret i8 %x
+skip:
+  ret i8 0
+}""")
+        assert not changed  # division traps; cannot move past the branch
+
+
+class TestFreezePitfall:
+    LOOP = """
+declare void @use(i4)
+
+define void @f(i4 %v) {
+entry:
+  %fr = freeze i4 %v
+  br label %head
+head:
+  %i = phi i2 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp ult i2 %i, 2
+  br i1 %c, label %body, label %exit
+body:
+  %s = add i4 %fr, 0
+  call void @use(i4 %s)
+  %i1 = add i2 %i, 1
+  br label %head
+exit:
+  ret void
+}
+"""
+
+    def test_freeze_not_sunk_into_loop(self):
+        """Section 5.5, Pitfall 1: the sound pass refuses."""
+        before, after, changed = apply_sink(self.LOOP)
+        entry = after.entry
+        assert any(isinstance(i, FreezeInst) for i in entry.instructions)
+
+    def test_unsound_variant_caught_by_checker(self):
+        """Force the sink: the checker exhibits the widened behavior
+        (two iterations may observe different values of the freeze)."""
+        before, after, changed = apply_sink(self.LOOP,
+                                            sink_freeze_unsound=True)
+        assert changed
+        body = after.block_by_name("body")
+        assert any(isinstance(i, FreezeInst) for i in body.instructions)
+        result = check_refinement(before, after, NEW, options=OPTS)
+        assert result.failed
+        assert "poison" in str(result.counterexample)
+
+    def test_freeze_may_sink_outside_loops(self):
+        src = """
+define i4 @f(i4 %v, i1 %c) {
+entry:
+  %fr = freeze i4 %v
+  br i1 %c, label %use, label %skip
+use:
+  %y = add i4 %fr, 1
+  ret i4 %y
+skip:
+  ret i4 0
+}
+"""
+        before, after, changed = apply_sink(src)
+        assert changed  # once-per-execution position: fine
+        result = check_refinement(before, after, NEW, options=OPTS)
+        assert result.ok

@@ -1,0 +1,719 @@
+"""Every §2/§3 example from the paper, decided by the refinement checker.
+
+This file is the executable form of the paper's core claims: each test
+shows a transformation being sound under one semantics and unsound under
+another, exactly as the paper argues.  The benchmark
+``benchmarks/bench_e6_soundness_matrix.py`` renders the same catalog as
+the E6 table.
+"""
+
+import pytest
+
+from repro.semantics import (
+    NEW,
+    OLD,
+    OLD_GVN_VIEW,
+    OLD_UNSWITCH_VIEW,
+    SelectSemantics,
+)
+from tests.conftest import assert_not_refines, assert_refines
+
+
+class TestSection21NswHoisting:
+    """Figure 1: hoisting `x + 1` (nsw) out of a loop."""
+
+    SRC = """
+define void @f(i4 %x, i4 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i4 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp slt i4 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %x1 = add nsw i4 %x, 1
+  %i1 = add nsw i4 %i, 1
+  br label %head
+exit:
+  ret void
+}
+"""
+    TGT = """
+define void @f(i4 %x, i4 %n) {
+entry:
+  %x1 = add nsw i4 %x, 1
+  br label %head
+head:
+  %i = phi i4 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp slt i4 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %i1 = add nsw i4 %i, 1
+  br label %head
+exit:
+  ret void
+}
+"""
+
+    def test_hoist_sound_with_deferred_ub_new(self):
+        # Deferred UB (poison) makes speculation legal: the hoisted add
+        # may produce poison in the n == 0 case, but nothing uses it.
+        assert_refines(self.SRC, self.TGT, NEW)
+
+    def test_hoist_not_refuted_under_old(self):
+        # Under OLD, an undef/poison loop bound makes the source loop
+        # nondeterministically divergent, which exhaustive checking
+        # cannot decide; the decidable inputs all verify.
+        from repro.ir import parse_function
+        from repro.refine import check_refinement
+
+        r = check_refinement(parse_function(self.SRC),
+                             parse_function(self.TGT), OLD)
+        assert not r.failed
+
+    def test_hoist_verifies_under_old_on_defined_bounds(self):
+        from repro.ir import parse_function
+        from repro.refine import CheckOptions, check_refinement
+
+        r = check_refinement(
+            parse_function(self.SRC), parse_function(self.TGT), OLD,
+            options=CheckOptions(poison_inputs=False, undef_inputs=False),
+        )
+        assert r.ok
+
+
+class TestSection24PoisonVsUndef:
+    """a+b > a  ==>  b > 0 (signed overflow deferred)."""
+
+    TGT = """
+define i1 @f(i4 %a, i4 %b) {
+entry:
+  %cmp = icmp sgt i4 %b, 0
+  ret i1 %cmp
+}
+"""
+
+    def _src(self, flags: str) -> str:
+        return f"""
+define i1 @f(i4 %a, i4 %b) {{
+entry:
+  %add = add {flags} i4 %a, %b
+  %cmp = icmp sgt i4 %add, %a
+  ret i1 %cmp
+}}
+"""
+
+    def test_without_nsw_unsound(self):
+        assert_not_refines(self._src(""), self.TGT, NEW)
+
+    def test_with_nsw_sound_under_poison(self):
+        assert_refines(self._src("nsw"), self.TGT, NEW)
+        # also sound under OLD because nsw overflow yields poison there
+        # too, and icmp propagates it.
+        assert_refines(self._src("nsw"), self.TGT, OLD)
+
+    def test_undef_would_be_inadequate(self):
+        """Section 2.4's point: an add that yielded *undef* on signed
+        overflow would be too weak to justify the rewrite: with
+        a = INT_MAX, b = 1 the source computes `undef > INT_MAX`, which
+        is false under every concretization of undef, while `b > 0` is
+        true.  We model undef-on-overflow with an explicit widened
+        overflow check selecting undef."""
+        src = """
+define i1 @f(i4 %a, i4 %b) {
+entry:
+  %aw = sext i4 %a to i8
+  %bw = sext i4 %b to i8
+  %sw = add i8 %aw, %bw
+  %add = add i4 %a, %b
+  %addw = sext i4 %add to i8
+  %ovf = icmp ne i8 %sw, %addw
+  %val = select i1 %ovf, i4 undef, i4 %add
+  %cmp = icmp sgt i4 %val, %a
+  ret i1 %cmp
+}
+"""
+        assert_not_refines(src, self.TGT, OLD)
+
+
+class TestSection24InductionVariableWidening:
+    """Figure 3's sext-elimination, at i2 -> i4 scale.
+
+    Computing sext(i) at width 4 from an i2 counter must match widening
+    the counter itself only when counter overflow is deferred UB.
+    """
+
+    def _src(self, flags: str) -> str:
+        return f"""
+declare void @use(i4)
+
+define void @f(i2 %n) {{
+entry:
+  br label %head
+head:
+  %i = phi i2 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp sle i2 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %iext = sext i2 %i to i4
+  call void @use(i4 %iext)
+  %i1 = add {flags} i2 %i, 1
+  br label %head
+exit:
+  ret void
+}}
+"""
+
+    TGT = """
+declare void @use(i4)
+
+define void @f(i2 %n) {
+entry:
+  %next = sext i2 %n to i4
+  br label %head
+head:
+  %iw = phi i4 [ 0, %entry ], [ %iw1, %body ]
+  %c = icmp sle i4 %iw, %next
+  br i1 %c, label %body, label %exit
+body:
+  call void @use(i4 %iw)
+  %iw1 = add nsw i4 %iw, 1
+  br label %head
+exit:
+  ret void
+}
+"""
+
+    def test_widening_sound_with_nsw(self):
+        assert_refines(self._src("nsw"), self.TGT, NEW,
+                       max_choices=40, fuel=2000)
+
+    def test_widening_unsound_with_wrapping(self):
+        # n = 1 (i2): the narrow counter wraps 0,1,-2,... and loops
+        # forever re-calling use; the wide counter exits after i = 2.
+        # The difference is (non)termination, which exhaustive execution
+        # can only bound — the checker must at minimum refuse to call
+        # this transformation correct.
+        from repro.ir import parse_function
+        from repro.refine import CheckOptions, check_refinement
+
+        r = check_refinement(
+            parse_function(self._src("")), parse_function(self.TGT), NEW,
+            options=CheckOptions(max_choices=40, fuel=2000),
+        )
+        assert not r.ok
+
+
+class TestSection31DuplicateSSAUses:
+    SRC = """
+define i4 @f(i4 %x) {
+entry:
+  %y = mul i4 %x, 2
+  ret i4 %y
+}
+"""
+    TGT = """
+define i4 @f(i4 %x) {
+entry:
+  %y = add i4 %x, %x
+  ret i4 %y
+}
+"""
+
+    def test_unsound_under_old(self):
+        r = assert_not_refines(self.SRC, self.TGT, OLD)
+        # the counterexample must be the undef input
+        assert "undef" in str(r.counterexample)
+
+    def test_sound_under_new(self):
+        assert_refines(self.SRC, self.TGT, NEW)
+
+    def test_reverse_direction_always_sound(self):
+        # add x, x -> mul x, 2 *increases* the result set under OLD:
+        # refinement holds in that direction.
+        assert_refines(self.TGT, self.SRC, OLD)
+        assert_refines(self.TGT, self.SRC, NEW)
+
+
+class TestSection32HoistingPastControlFlow:
+    """if (k != 0) while (c) use(1/k)  ==>  hoisting 1/k out of the loop."""
+
+    SRC = """
+declare void @use(i4)
+
+define void @f(i4 %k, i1 %c) {
+entry:
+  %guard = icmp ne i4 %k, 0
+  br i1 %guard, label %pre, label %exit
+pre:
+  br label %head
+head:
+  br i1 %c, label %body, label %exit
+body:
+  %q = udiv i4 1, %k
+  call void @use(i4 %q)
+  br label %head
+exit:
+  ret void
+}
+"""
+    TGT = """
+declare void @use(i4)
+
+define void @f(i4 %k, i1 %c) {
+entry:
+  %guard = icmp ne i4 %k, 0
+  br i1 %guard, label %pre, label %exit
+pre:
+  %q = udiv i4 1, %k
+  br label %head
+head:
+  br i1 %c, label %body, label %exit
+body:
+  call void @use(i4 %q)
+  br label %head
+exit:
+  ret void
+}
+"""
+
+    def test_unsound_under_old(self):
+        """PR21412: a deferred-UB k can pass the guard and still divide
+        by zero (undef: each use independent; poison: the guard branch
+        is a nondeterministic choice)."""
+        r = assert_not_refines(self.SRC, self.TGT, OLD,
+                               max_choices=40, fuel=2000)
+        cex = str(r.counterexample)
+        assert "undef" in cex or "poison" in cex
+
+    def test_unsound_under_old_with_undef_k(self):
+        """Specifically the undef story: exclude poison inputs so the
+        counterexample must exploit per-use undef expansion."""
+        from repro.ir import parse_function
+        from repro.refine import CheckOptions, check_refinement
+
+        r = check_refinement(
+            parse_function(self.SRC), parse_function(self.TGT), OLD,
+            options=CheckOptions(max_choices=40, fuel=2000,
+                                 poison_inputs=False),
+        )
+        assert r.failed
+        assert "undef" in str(r.counterexample)
+
+    def test_sound_under_new(self):
+        """Without undef, branch-on-poison-UB makes the guard meaningful:
+        a poison k is already UB at the guard."""
+        assert_refines(self.SRC, self.TGT, NEW, max_choices=40, fuel=2000)
+
+
+class TestSection33GvnVsLoopUnswitching:
+    """The two halves of the conflict, each checked under each reading."""
+
+    # A one-trip "loop" (the body runs at most once) keeps every
+    # execution finite so the exhaustive checker can decide all inputs;
+    # the semantic crux — does the branch on %c2 execute when the body
+    # would never have run? — is identical to the while-loop version.
+    UNSWITCH_SRC = """
+declare void @foo(i4)
+
+define void @f(i1 %c, i1 %c2) {
+entry:
+  br label %head
+head:
+  br i1 %c, label %body, label %exit
+body:
+  br i1 %c2, label %t, label %e
+t:
+  call void @foo(i4 1)
+  br label %exit
+e:
+  call void @foo(i4 2)
+  br label %exit
+exit:
+  ret void
+}
+"""
+    UNSWITCH_TGT_NO_FREEZE = """
+declare void @foo(i4)
+
+define void @f(i1 %c, i1 %c2) {
+entry:
+  br i1 %c2, label %head.t, label %head.e
+head.t:
+  br i1 %c, label %body.t, label %exit
+body.t:
+  call void @foo(i4 1)
+  br label %exit
+head.e:
+  br i1 %c, label %body.e, label %exit
+body.e:
+  call void @foo(i4 2)
+  br label %exit
+exit:
+  ret void
+}
+"""
+    UNSWITCH_TGT_FREEZE = UNSWITCH_TGT_NO_FREEZE.replace(
+        "entry:\n  br i1 %c2",
+        "entry:\n  %c2f = freeze i1 %c2\n  br i1 %c2f",
+    )
+
+    GVN_SRC = """
+declare void @foo(i4)
+
+define void @f(i4 %x, i4 %y) {
+entry:
+  %t = add nsw i4 %x, 1
+  %cmp = icmp eq i4 %t, %y
+  br i1 %cmp, label %then, label %exit
+then:
+  %w = add nsw i4 %x, 1
+  call void @foo(i4 %w)
+  br label %exit
+exit:
+  ret void
+}
+"""
+    GVN_TGT = """
+declare void @foo(i4)
+
+define void @f(i4 %x, i4 %y) {
+entry:
+  %t = add nsw i4 %x, 1
+  %cmp = icmp eq i4 %t, %y
+  br i1 %cmp, label %then, label %exit
+then:
+  call void @foo(i4 %y)
+  br label %exit
+exit:
+  ret void
+}
+"""
+
+    def test_unswitching_ok_when_branch_poison_nondet(self):
+        assert_refines(self.UNSWITCH_SRC, self.UNSWITCH_TGT_NO_FREEZE,
+                       OLD_UNSWITCH_VIEW, max_choices=48, fuel=4000)
+
+    def test_unswitching_bad_when_branch_poison_ub(self):
+        assert_not_refines(self.UNSWITCH_SRC, self.UNSWITCH_TGT_NO_FREEZE,
+                           OLD_GVN_VIEW, max_choices=48, fuel=4000)
+        assert_not_refines(self.UNSWITCH_SRC, self.UNSWITCH_TGT_NO_FREEZE,
+                           NEW, max_choices=48, fuel=4000)
+
+    def test_gvn_ok_when_branch_poison_ub(self):
+        assert_refines(self.GVN_SRC, self.GVN_TGT, NEW)
+
+    def test_gvn_ok_under_old_gvn_view_without_undef(self):
+        from repro.ir import parse_function
+        from repro.refine import CheckOptions, check_refinement
+
+        r = check_refinement(
+            parse_function(self.GVN_SRC), parse_function(self.GVN_TGT),
+            OLD_GVN_VIEW, options=CheckOptions(undef_inputs=False),
+        )
+        assert r.ok
+
+    def test_gvn_equality_propagation_broken_by_undef(self):
+        """Even under the branch-on-poison-is-UB reading, *undef* breaks
+        GVN's equality propagation: `t == undef` can evaluate to true,
+        after which the target passes undef where the source passed a
+        defined value.  One more reason the paper removes undef."""
+        r = assert_not_refines(self.GVN_SRC, self.GVN_TGT, OLD_GVN_VIEW)
+        assert "undef" in str(r.counterexample)
+
+    def test_gvn_bad_when_branch_poison_nondet(self):
+        """If branching on poison merely picks a side, `t == y` can be
+        poison while execution still enters %then with y poison: the
+        call argument degrades from a defined value to poison."""
+        assert_not_refines(self.GVN_SRC, self.GVN_TGT, OLD_UNSWITCH_VIEW)
+
+    def test_freeze_fixes_unswitching_under_new(self):
+        assert_refines(self.UNSWITCH_SRC, self.UNSWITCH_TGT_FREEZE, NEW,
+                       max_choices=48, fuel=4000)
+
+    def test_no_single_old_semantics_supports_both(self):
+        """The punchline of Section 3.3: for each OLD reading, one of the
+        two transformations is unsound."""
+        for view in (OLD_UNSWITCH_VIEW, OLD_GVN_VIEW):
+            from repro.ir import parse_function
+            from repro.refine import CheckOptions, check_refinement
+
+            opts = CheckOptions(max_choices=48, fuel=4000)
+            unswitch_ok = check_refinement(
+                parse_function(self.UNSWITCH_SRC),
+                parse_function(self.UNSWITCH_TGT_NO_FREEZE),
+                view, options=opts,
+            ).ok
+            gvn_ok = check_refinement(
+                parse_function(self.GVN_SRC),
+                parse_function(self.GVN_TGT),
+                view, options=opts,
+            ).ok
+            assert not (unswitch_ok and gvn_ok)
+
+
+class TestSection34Select:
+    SELECT_TO_OR_SRC = """
+define i1 @f(i1 %c, i1 %x) {
+entry:
+  %s = select i1 %c, i1 true, i1 %x
+  ret i1 %s
+}
+"""
+    SELECT_TO_OR_TGT = """
+define i1 @f(i1 %c, i1 %x) {
+entry:
+  %s = or i1 %c, %x
+  ret i1 %s
+}
+"""
+    SELECT_TO_OR_TGT_FREEZE = """
+define i1 @f(i1 %c, i1 %x) {
+entry:
+  %xf = freeze i1 %x
+  %s = or i1 %c, %xf
+  ret i1 %s
+}
+"""
+
+    def test_select_to_or_sound_when_select_is_arithmetic(self):
+        assert_refines(self.SELECT_TO_OR_SRC, self.SELECT_TO_OR_TGT,
+                       NEW.with_(select_semantics=SelectSemantics.ARITHMETIC))
+
+    def test_select_to_or_unsound_under_conditional_select(self):
+        # c = true, x = poison: select gives true, or gives poison.
+        assert_not_refines(self.SELECT_TO_OR_SRC, self.SELECT_TO_OR_TGT, NEW)
+
+    def test_select_to_or_with_frozen_arm_sound_under_new(self):
+        assert_refines(self.SELECT_TO_OR_SRC, self.SELECT_TO_OR_TGT_FREEZE,
+                       NEW)
+
+    UDIV_SRC = """
+define i4 @f(i4 %a) {
+entry:
+  %r = udiv i4 %a, 12
+  ret i4 %r
+}
+"""
+    UDIV_TGT = """
+define i4 @f(i4 %a) {
+entry:
+  %c = icmp ult i4 %a, 12
+  %r = select i1 %c, i4 0, i4 1
+  ret i4 %r
+}
+"""
+
+    def test_udiv_to_select_sound_under_conditional(self):
+        assert_refines(self.UDIV_SRC, self.UDIV_TGT, NEW)
+
+    def test_udiv_to_select_unsound_when_select_cond_poison_is_ub(self):
+        # a = poison: udiv gives poison; select-on-poison-cond UB.
+        assert_not_refines(
+            self.UDIV_SRC, self.UDIV_TGT,
+            NEW.with_(select_semantics=SelectSemantics.UB_COND),
+        )
+
+    PHI_SRC = """
+define i4 @f(i1 %cond, i4 %a, i4 %b) {
+entry:
+  br i1 %cond, label %t, label %e
+t:
+  br label %merge
+e:
+  br label %merge
+merge:
+  %x = phi i4 [ %a, %t ], [ %b, %e ]
+  ret i4 %x
+}
+"""
+    PHI_TGT = """
+define i4 @f(i1 %cond, i4 %a, i4 %b) {
+entry:
+  %x = select i1 %cond, i4 %a, i4 %b
+  ret i4 %x
+}
+"""
+
+    def test_phi_to_select_sound_under_new(self):
+        assert_refines(self.PHI_SRC, self.PHI_TGT, NEW)
+
+    def test_phi_to_select_unsound_when_select_arithmetic_branch_nondet(self):
+        """Under the OLD LangRef reading (select poisoned by either arm)
+        phi->select leaks the not-taken arm's poison."""
+        assert_not_refines(self.PHI_SRC, self.PHI_TGT, OLD)
+
+    def test_select_to_branch_sound_when_both_ub(self):
+        assert_refines(
+            self.PHI_TGT, self.PHI_SRC,
+            NEW.with_(select_semantics=SelectSemantics.UB_COND),
+        )
+
+    def test_select_to_branch_unsound_under_new(self):
+        """Figure-5 select returns poison on a poison condition, but the
+        branch version is UB: branching is *more* UB than select."""
+        assert_not_refines(self.PHI_TGT, self.PHI_SRC, NEW)
+
+    SEL_UNDEF_SRC = """
+define i4 @f(i1 %c, i4 %x) {
+entry:
+  %v = select i1 %c, i4 %x, i4 undef
+  ret i4 %v
+}
+"""
+    SEL_UNDEF_TGT = """
+define i4 @f(i1 %c, i4 %x) {
+entry:
+  ret i4 %x
+}
+"""
+
+    def test_select_undef_collapse_unsound_conditional(self):
+        """PR31633: %x may be poison, and poison is stronger than undef;
+        when %c is false the source returns undef but the target returns
+        poison.  The bug needs the conditional (chosen-arm) select
+        semantics — under the ARITHMETIC reading the poison arm already
+        poisons the source."""
+        cfg = OLD.with_(select_semantics=SelectSemantics.CONDITIONAL)
+        r = assert_not_refines(self.SEL_UNDEF_SRC, self.SEL_UNDEF_TGT, cfg)
+        assert "poison" in str(r.counterexample)
+
+    def test_select_undef_collapse_accidentally_ok_when_arithmetic(self):
+        assert_refines(self.SEL_UNDEF_SRC, self.SEL_UNDEF_TGT, OLD)
+
+
+class TestSection4FreezeBasics:
+    def test_freeze_nop_on_defined(self):
+        # The inner freeze guarantees %a is never poison, so the outer
+        # freeze can be dropped.  (Dropping a freeze of a *possibly
+        # poison* value is NOT a refinement: freeze pins to a defined
+        # value, while the original stays poison.)
+        assert_refines(
+            """
+define i4 @f(i4 %x) {
+entry:
+  %x1 = freeze i4 %x
+  %a = add i4 %x1, 1
+  %y = freeze i4 %a
+  ret i4 %y
+}
+""",
+            """
+define i4 @f(i4 %x) {
+entry:
+  %x1 = freeze i4 %x
+  %a = add i4 %x1, 1
+  ret i4 %a
+}
+""",
+            NEW,
+        )
+
+    def test_dropping_freeze_of_possibly_poison_ret_unsound(self):
+        # The target can return poison where the source returned a
+        # pinned concrete value — the refinement goes the *wrong way*.
+        assert_not_refines(
+            """
+define i4 @f(i4 %x) {
+entry:
+  %y = freeze i4 %x
+  ret i4 %y
+}
+""",
+            """
+define i4 @f(i4 %x) {
+entry:
+  ret i4 %x
+}
+""",
+            NEW,
+        )
+
+    def test_dropping_freeze_of_possibly_poison_unsound(self):
+        assert_not_refines(
+            """
+define i4 @f(i4 %x) {
+entry:
+  %a = add nsw i4 %x, 1
+  %y = freeze i4 %a
+  %z = sub i4 %y, %y
+  ret i4 %z
+}
+""",
+            """
+define i4 @f(i4 %x) {
+entry:
+  %a = add nsw i4 %x, 1
+  %z = sub i4 %a, %a
+  ret i4 %z
+}
+""",
+            NEW,
+        )
+
+    def test_freeze_duplication_unsound(self):
+        """Section 5.5 (pitfall 1): two freezes of the same poison value
+        may differ; one freeze with two uses may not."""
+        assert_not_refines(
+            """
+define i4 @f(i4 %x) {
+entry:
+  %y = freeze i4 %x
+  %z = sub i4 %y, %y
+  ret i4 %z
+}
+""",
+            """
+define i4 @f(i4 %x) {
+entry:
+  %y1 = freeze i4 %x
+  %y2 = freeze i4 %x
+  %z = sub i4 %y1, %y2
+  ret i4 %z
+}
+""",
+            NEW,
+        )
+
+    def test_merging_freezes_is_sound(self):
+        # the reverse direction (two freezes -> one) shrinks behaviors
+        assert_refines(
+            """
+define i4 @f(i4 %x) {
+entry:
+  %y1 = freeze i4 %x
+  %y2 = freeze i4 %x
+  %z = sub i4 %y1, %y2
+  ret i4 %z
+}
+""",
+            """
+define i4 @f(i4 %x) {
+entry:
+  %y = freeze i4 %x
+  %z = sub i4 %y, %y
+  ret i4 %z
+}
+""",
+            NEW,
+        )
+
+    def test_freeze_of_freeze_collapses(self):
+        assert_refines(
+            """
+define i4 @f(i4 %x) {
+entry:
+  %y = freeze i4 %x
+  %z = freeze i4 %y
+  ret i4 %z
+}
+""",
+            """
+define i4 @f(i4 %x) {
+entry:
+  %y = freeze i4 %x
+  ret i4 %y
+}
+""",
+            NEW,
+        )

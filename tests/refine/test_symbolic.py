@@ -1,0 +1,319 @@
+"""Symbolic (SMT) refinement checker tests, cross-checked against the
+exhaustive checker at small widths."""
+
+import pytest
+
+from repro.ir import parse_function
+from repro.refine import (
+    check_refinement,
+    check_refinement_auto,
+    check_refinement_symbolic,
+)
+from repro.semantics import NEW
+
+
+def sym(src, tgt):
+    return check_refinement_symbolic(parse_function(src), parse_function(tgt))
+
+
+class TestBasicVerification:
+    def test_identity(self):
+        r = sym(
+            "define i32 @f(i32 %x) {\nentry:\n  ret i32 %x\n}",
+            "define i32 @f(i32 %x) {\nentry:\n  ret i32 %x\n}",
+        )
+        assert r.ok
+
+    def test_add_commutes_at_i32(self):
+        r = sym(
+            """
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %s = add i32 %a, %b
+  ret i32 %s
+}""",
+            """
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %s = add i32 %b, %a
+  ret i32 %s
+}""",
+        )
+        assert r.ok
+
+    def test_mul2_equals_shl1_at_i16(self):
+        r = sym(
+            """
+define i16 @f(i16 %x) {
+entry:
+  %y = mul i16 %x, 2
+  ret i16 %y
+}""",
+            """
+define i16 @f(i16 %x) {
+entry:
+  %y = shl i16 %x, 1
+  ret i16 %y
+}""",
+        )
+        assert r.ok
+
+    def test_wrong_constant_refuted(self):
+        r = sym(
+            """
+define i32 @f(i32 %x) {
+entry:
+  %y = add i32 %x, 1
+  ret i32 %y
+}""",
+            """
+define i32 @f(i32 %x) {
+entry:
+  %y = add i32 %x, 2
+  ret i32 %y
+}""",
+        )
+        assert r.failed
+
+
+class TestPoisonReasoning:
+    def test_dropping_nsw_is_sound(self):
+        r = sym(
+            """
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %s = add nsw i32 %a, %b
+  ret i32 %s
+}""",
+            """
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %s = add i32 %a, %b
+  ret i32 %s
+}""",
+        )
+        assert r.ok
+
+    def test_adding_nsw_is_unsound(self):
+        r = sym(
+            """
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %s = add i32 %a, %b
+  ret i32 %s
+}""",
+            """
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %s = add nsw i32 %a, %b
+  ret i32 %s
+}""",
+        )
+        assert r.failed
+
+    def test_select_to_or_unsound_symbolically(self):
+        r = sym(
+            """
+define i1 @f(i1 %c, i1 %x) {
+entry:
+  %s = select i1 %c, i1 true, i1 %x
+  ret i1 %s
+}""",
+            """
+define i1 @f(i1 %c, i1 %x) {
+entry:
+  %s = or i1 %c, %x
+  ret i1 %s
+}""",
+        )
+        assert r.failed
+
+    def test_select_to_or_with_freeze_sound_symbolically(self):
+        r = sym(
+            """
+define i1 @f(i1 %c, i1 %x) {
+entry:
+  %s = select i1 %c, i1 true, i1 %x
+  ret i1 %s
+}""",
+            """
+define i1 @f(i1 %c, i1 %x) {
+entry:
+  %xf = freeze i1 %x
+  %s = or i1 %c, %xf
+  ret i1 %s
+}""",
+        )
+        assert r.ok
+
+    def test_branch_ub_covers_anything(self):
+        # source branches on a poison-producing comparison; target returns
+        # a constant: fine, because the source is UB whenever poison flows
+        r = sym(
+            """
+define i8 @f(i8 %x) {
+entry:
+  %a = add nsw i8 %x, 1
+  %c = icmp eq i8 %a, 0
+  br i1 %c, label %t, label %e
+t:
+  ret i8 1
+e:
+  ret i8 2
+}""",
+            """
+define i8 @f(i8 %x) {
+entry:
+  %c = icmp eq i8 %x, -1
+  br i1 %c, label %t, label %e
+t:
+  ret i8 1
+e:
+  ret i8 2
+}""",
+        )
+        # x = INT_MAX: source's add nsw is poison -> branch on poison UB;
+        # everywhere else the functions agree.
+        assert r.ok
+
+    def test_tgt_introducing_branch_ub_refuted(self):
+        r = sym(
+            """
+define i8 @f(i8 %x) {
+entry:
+  ret i8 0
+}""",
+            """
+define i8 @f(i8 %x) {
+entry:
+  %a = add nsw i8 %x, 1
+  %c = icmp eq i8 %a, 0
+  br i1 %c, label %t, label %e
+t:
+  ret i8 0
+e:
+  ret i8 0
+}""",
+        )
+        assert r.failed  # x = INT_MAX makes the target UB
+
+
+class TestFragmentLimits:
+    def test_loops_fall_out(self):
+        loop = """
+define i8 @f(i8 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i8 [ 0, %entry ], [ %i1, %head ]
+  %i1 = add i8 %i, 1
+  %c = icmp ult i8 %i1, %n
+  br i1 %c, label %head, label %exit
+exit:
+  ret i8 %i
+}"""
+        r = sym(loop, loop)
+        assert r.verdict == "inconclusive"
+
+    def test_undef_falls_out(self):
+        src = """
+define i8 @f() {
+entry:
+  %x = add i8 undef, 1
+  ret i8 %x
+}"""
+        r = sym(src, src)
+        assert r.verdict == "inconclusive"
+
+    def test_source_freeze_falls_out(self):
+        src = """
+define i8 @f(i8 %x) {
+entry:
+  %y = freeze i8 %x
+  ret i8 %y
+}"""
+        r = sym(src, src)
+        assert r.verdict == "inconclusive"
+
+    def test_auto_falls_back_to_exhaustive(self):
+        src = """
+define i2 @f(i2 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i2 [ 0, %entry ], [ %i1, %head ]
+  %i1 = add i2 %i, 1
+  %c = icmp ult i2 %i1, %n
+  br i1 %c, label %head, label %exit
+exit:
+  ret i2 %i1
+}"""
+        r = check_refinement_auto(parse_function(src), parse_function(src))
+        assert r.ok  # decided by the exhaustive fallback
+
+
+class TestCrossValidation:
+    """The two checkers must agree on the same small-width programs."""
+
+    PAIRS = [
+        # (src, tgt)
+        ("""
+define i4 @f(i4 %x) {
+entry:
+  %y = mul i4 %x, 2
+  ret i4 %y
+}""", """
+define i4 @f(i4 %x) {
+entry:
+  %y = add i4 %x, %x
+  ret i4 %y
+}"""),
+        ("""
+define i4 @f(i4 %a, i4 %b) {
+entry:
+  %add = add nsw i4 %a, %b
+  %cmp = icmp sgt i4 %add, %a
+  %r = zext i1 %cmp to i4
+  ret i4 %r
+}""", """
+define i4 @f(i4 %a, i4 %b) {
+entry:
+  %cmp = icmp sgt i4 %b, 0
+  %r = zext i1 %cmp to i4
+  ret i4 %r
+}"""),
+        ("""
+define i4 @f(i1 %c, i4 %a, i4 %b) {
+entry:
+  %s = select i1 %c, i4 %a, i4 %b
+  ret i4 %s
+}""", """
+define i4 @f(i1 %c, i4 %a, i4 %b) {
+entry:
+  %s = select i1 %c, i4 %b, i4 %a
+  ret i4 %s
+}"""),
+        ("""
+define i4 @f(i4 %x) {
+entry:
+  %q = udiv i4 %x, 2
+  ret i4 %q
+}""", """
+define i4 @f(i4 %x) {
+entry:
+  %q = lshr i4 %x, 1
+  ret i4 %q
+}"""),
+    ]
+
+    @pytest.mark.parametrize("idx", range(len(PAIRS)))
+    def test_checkers_agree(self, idx):
+        src_text, tgt_text = self.PAIRS[idx]
+        src, tgt = parse_function(src_text), parse_function(tgt_text)
+        symbolic = check_refinement_symbolic(src, tgt)
+        exhaustive = check_refinement(src, tgt, NEW)
+        assert symbolic.verdict != "inconclusive"
+        assert exhaustive.verdict != "inconclusive"
+        assert symbolic.ok == exhaustive.ok, (
+            f"disagreement: symbolic={symbolic}, exhaustive={exhaustive}"
+        )

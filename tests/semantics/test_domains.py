@@ -1,0 +1,109 @@
+"""Tests for runtime value domains and the ty↓/ty↑ conversions (Fig. 5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.types import I8, IntType, PointerType, VectorType
+from repro.semantics.domains import (
+    PBIT,
+    POISON,
+    UBIT,
+    PartialUndef,
+    bits_to_scalar,
+    bits_to_value,
+    full_undef,
+    poison_value,
+    scalar_to_bits,
+    undef_value,
+    value_to_bits,
+)
+
+
+class TestPartialUndef:
+    def test_requires_nonzero_mask(self):
+        with pytest.raises(ValueError):
+            PartialUndef(0, 0, 8)
+
+    def test_fully_undef(self):
+        u = full_undef(8)
+        assert u.is_fully_undef
+        assert u.num_undef_bits() == 8
+
+    def test_concretize_fills_masked_positions(self):
+        # value 0b0101 with undef bits at positions 1 and 3
+        u = PartialUndef(0b0101, 0b1010, 4)
+        assert u.concretize(0b00) == 0b0101
+        assert u.concretize(0b01) == 0b0111   # first undef bit -> pos 1
+        assert u.concretize(0b10) == 0b1101   # second undef bit -> pos 3
+        assert u.concretize(0b11) == 0b1111
+
+    def test_defined_bits_masked_out_of_value(self):
+        u = PartialUndef(0b1111, 0b0011, 4)
+        assert u.value == 0b1100
+
+    def test_equality(self):
+        assert PartialUndef(1, 2, 4) == PartialUndef(1, 2, 4)
+        assert PartialUndef(1, 2, 4) != PartialUndef(0, 2, 4)
+
+
+class TestScalarBits:
+    def test_concrete_roundtrip(self):
+        bits = scalar_to_bits(0b1011, 4)
+        assert bits == (1, 1, 0, 1)  # LSB first
+        assert bits_to_scalar(bits) == 0b1011
+
+    def test_poison_scalar_is_all_poison_bits(self):
+        assert scalar_to_bits(POISON, 4) == (PBIT,) * 4
+
+    def test_any_poison_bit_poisons_scalar(self):
+        assert bits_to_scalar((0, 1, PBIT, 0)) is POISON
+
+    def test_undef_bits_make_partial_undef(self):
+        v = bits_to_scalar((1, UBIT, 0, UBIT))
+        assert isinstance(v, PartialUndef)
+        assert v.value == 0b0001
+        assert v.mask == 0b1010
+
+    def test_poison_beats_undef(self):
+        assert bits_to_scalar((UBIT, PBIT)) is POISON
+
+    def test_partial_undef_roundtrip(self):
+        u = PartialUndef(0b01, 0b10, 2)
+        assert bits_to_scalar(scalar_to_bits(u, 2)) == u
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_roundtrip_property(self, v):
+        assert bits_to_scalar(scalar_to_bits(v, 8)) == v
+
+
+class TestVectorBits:
+    def test_vector_lowering_concatenates(self):
+        ty = VectorType(2, IntType(4))
+        bits = value_to_bits((0b0001, 0b0010), ty)
+        assert bits == (1, 0, 0, 0, 0, 1, 0, 0)
+
+    def test_poison_lane_stays_in_lane(self):
+        """The heart of Section 5.4: a poison element poisons only its
+        own lane on the way back up."""
+        ty = VectorType(2, IntType(4))
+        bits = value_to_bits((POISON, 0b0110), ty)
+        back = bits_to_value(bits, ty)
+        assert back[0] is POISON
+        assert back[1] == 0b0110
+
+    def test_scalar_reinterpret_spreads_poison(self):
+        """Contrast with 5.4: loading the same bits at a scalar type
+        poisons everything."""
+        ty = VectorType(2, IntType(4))
+        bits = value_to_bits((POISON, 0b0110), ty)
+        assert bits_to_scalar(bits) is POISON
+
+    def test_poison_undef_value_builders(self):
+        ty = VectorType(3, IntType(2))
+        assert poison_value(ty) == (POISON,) * 3
+        uv = undef_value(ty)
+        assert all(isinstance(u, PartialUndef) for u in uv)
+
+    def test_pointer_width(self):
+        p = PointerType(I8)
+        assert len(value_to_bits(0x1000, p)) == 32

@@ -1,0 +1,188 @@
+"""Tests for the scalar operation evaluator (poison rules, flags, UB)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.instructions import IcmpPred, Opcode
+from repro.semantics.config import NEW, OLD
+from repro.semantics.domains import POISON, PartialUndef
+from repro.semantics.eval import UBError, eval_binop, eval_cast, eval_icmp
+
+W = 4  # default width for the tests
+MAXU = (1 << W) - 1
+
+
+class TestWrapArithmetic:
+    @given(st.integers(0, MAXU), st.integers(0, MAXU))
+    def test_add_wraps(self, a, b):
+        assert eval_binop(Opcode.ADD, a, b, W, NEW) == (a + b) & MAXU
+
+    @given(st.integers(0, MAXU), st.integers(0, MAXU))
+    def test_sub_wraps(self, a, b):
+        assert eval_binop(Opcode.SUB, a, b, W, NEW) == (a - b) & MAXU
+
+    @given(st.integers(0, MAXU), st.integers(0, MAXU))
+    def test_mul_wraps(self, a, b):
+        assert eval_binop(Opcode.MUL, a, b, W, NEW) == (a * b) & MAXU
+
+    def test_bitwise(self):
+        assert eval_binop(Opcode.AND, 0b1100, 0b1010, W, NEW) == 0b1000
+        assert eval_binop(Opcode.OR, 0b1100, 0b1010, W, NEW) == 0b1110
+        assert eval_binop(Opcode.XOR, 0b1100, 0b1010, W, NEW) == 0b0110
+
+
+class TestOverflowFlags:
+    def test_nsw_overflow_is_poison(self):
+        # 7 + 1 = -8 in i4: signed overflow
+        assert eval_binop(Opcode.ADD, 7, 1, W, NEW, nsw=True) is POISON
+
+    def test_nsw_ok(self):
+        assert eval_binop(Opcode.ADD, 3, 3, W, NEW, nsw=True) == 6
+
+    def test_nuw_overflow_is_poison(self):
+        assert eval_binop(Opcode.ADD, 15, 1, W, NEW, nuw=True) is POISON
+
+    def test_sub_nuw_underflow(self):
+        assert eval_binop(Opcode.SUB, 0, 1, W, NEW, nuw=True) is POISON
+
+    def test_sub_nsw(self):
+        # -8 - 1 underflows in i4
+        assert eval_binop(Opcode.SUB, 8, 1, W, NEW, nsw=True) is POISON
+
+    def test_mul_nsw_overflow(self):
+        assert eval_binop(Opcode.MUL, 4, 4, W, NEW, nsw=True) is POISON
+
+    def test_mul_nuw_overflow(self):
+        assert eval_binop(Opcode.MUL, 8, 2, W, NEW, nuw=True) is POISON
+
+    def test_negative_nsw_ok(self):
+        # -1 + -1 = -2: fine
+        assert eval_binop(Opcode.ADD, 15, 15, W, NEW, nsw=True) == 14
+
+
+class TestDivision:
+    def test_udiv(self):
+        assert eval_binop(Opcode.UDIV, 13, 3, W, NEW) == 4
+
+    def test_sdiv_truncates_toward_zero(self):
+        # -7 / 2 == -3 (C semantics)
+        assert eval_binop(Opcode.SDIV, 9, 2, W, NEW) == (-3) & MAXU
+
+    def test_srem_sign_follows_dividend(self):
+        # -7 % 2 == -1
+        assert eval_binop(Opcode.SREM, 9, 2, W, NEW) == (-1) & MAXU
+
+    def test_divide_by_zero_is_ub(self):
+        for op in (Opcode.UDIV, Opcode.SDIV, Opcode.UREM, Opcode.SREM):
+            with pytest.raises(UBError):
+                eval_binop(op, 1, 0, W, NEW)
+
+    def test_divide_by_poison_is_ub(self):
+        with pytest.raises(UBError):
+            eval_binop(Opcode.UDIV, 1, POISON, W, NEW)
+
+    def test_poison_dividend_is_poison(self):
+        assert eval_binop(Opcode.UDIV, POISON, 3, W, NEW) is POISON
+
+    def test_sdiv_int_min_by_minus_one_is_ub(self):
+        with pytest.raises(UBError):
+            eval_binop(Opcode.SDIV, 8, 15, W, NEW)  # -8 / -1
+
+    def test_exact_udiv(self):
+        assert eval_binop(Opcode.UDIV, 6, 3, W, NEW, exact=True) == 2
+        assert eval_binop(Opcode.UDIV, 7, 3, W, NEW, exact=True) is POISON
+
+    @given(st.integers(0, MAXU), st.integers(1, MAXU))
+    def test_sdiv_srem_identity(self, a, b):
+        sa = a - 16 if a >= 8 else a
+        sb = b - 16 if b >= 8 else b
+        if sa == -8 and sb == -1:
+            return
+        q = eval_binop(Opcode.SDIV, a, b, W, NEW)
+        r = eval_binop(Opcode.SREM, a, b, W, NEW)
+        assert (q * sb + (r - 16 if r >= 8 else r)) & MAXU == a or True
+        # precise identity on signed values:
+        sq = q - 16 if q >= 8 else q
+        sr = r - 16 if r >= 8 else r
+        assert sq * sb + sr == sa
+
+
+class TestShifts:
+    def test_shl(self):
+        assert eval_binop(Opcode.SHL, 0b0011, 2, W, NEW) == 0b1100
+
+    def test_out_of_range_shift_new_is_poison(self):
+        assert eval_binop(Opcode.SHL, 1, 4, W, NEW) is POISON
+        assert eval_binop(Opcode.LSHR, 1, 5, W, NEW) is POISON
+
+    def test_out_of_range_shift_old_is_undef(self):
+        r = eval_binop(Opcode.SHL, 1, 4, W, OLD)
+        assert isinstance(r, PartialUndef) and r.is_fully_undef
+
+    def test_shl_nuw(self):
+        assert eval_binop(Opcode.SHL, 0b1000, 1, W, NEW, nuw=True) is POISON
+        assert eval_binop(Opcode.SHL, 0b0100, 1, W, NEW, nuw=True) == 0b1000
+
+    def test_shl_nsw(self):
+        # shifting 0b0100 (=4) left by 1 gives -8: sign changes
+        assert eval_binop(Opcode.SHL, 4, 1, W, NEW, nsw=True) is POISON
+        assert eval_binop(Opcode.SHL, 1, 1, W, NEW, nsw=True) == 2
+        # -1 << 1 = -2: sign preserved
+        assert eval_binop(Opcode.SHL, 15, 1, W, NEW, nsw=True) == 14
+
+    def test_lshr_ashr(self):
+        assert eval_binop(Opcode.LSHR, 0b1000, 3, W, NEW) == 1
+        assert eval_binop(Opcode.ASHR, 0b1000, 3, W, NEW) == 0b1111
+
+    def test_exact_shr(self):
+        assert eval_binop(Opcode.LSHR, 0b0101, 1, W, NEW,
+                          exact=True) is POISON
+        assert eval_binop(Opcode.ASHR, 0b0100, 2, W, NEW, exact=True) == 1
+
+
+class TestPoisonPropagation:
+    @pytest.mark.parametrize("op", [
+        Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND, Opcode.OR,
+        Opcode.XOR, Opcode.SHL, Opcode.LSHR, Opcode.ASHR,
+    ])
+    def test_poison_in_poison_out(self, op):
+        assert eval_binop(op, POISON, 1, W, NEW) is POISON
+        assert eval_binop(op, 1, POISON, W, NEW) is POISON
+
+
+class TestIcmp:
+    def test_signed_vs_unsigned(self):
+        # 15 is -1 signed
+        assert eval_icmp(IcmpPred.UGT, 15, 1, W) == 1
+        assert eval_icmp(IcmpPred.SGT, 15, 1, W) == 0
+
+    def test_poison_operand(self):
+        assert eval_icmp(IcmpPred.EQ, POISON, 1, W) is POISON
+
+    @given(st.integers(0, MAXU), st.integers(0, MAXU))
+    def test_inverse_predicate(self, a, b):
+        for pred in IcmpPred:
+            r = eval_icmp(pred, a, b, W)
+            ri = eval_icmp(pred.inverse(), a, b, W)
+            assert r != ri
+
+    @given(st.integers(0, MAXU), st.integers(0, MAXU))
+    def test_swapped_predicate(self, a, b):
+        for pred in IcmpPred:
+            assert eval_icmp(pred, a, b, W) == \
+                eval_icmp(pred.swapped(), b, a, W)
+
+
+class TestCasts:
+    def test_zext(self):
+        assert eval_cast(Opcode.ZEXT, 0b1111, 4, 8) == 0b00001111
+
+    def test_sext(self):
+        assert eval_cast(Opcode.SEXT, 0b1111, 4, 8) == 0b11111111
+        assert eval_cast(Opcode.SEXT, 0b0111, 4, 8) == 0b00000111
+
+    def test_trunc(self):
+        assert eval_cast(Opcode.TRUNC, 0b10110, 5, 3) == 0b110
+
+    def test_poison_propagates(self):
+        assert eval_cast(Opcode.ZEXT, POISON, 4, 8) is POISON

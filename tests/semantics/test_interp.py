@@ -1,0 +1,606 @@
+"""Interpreter tests: the operational semantics of Figure 5.
+
+These tests pin down the behaviors the paper's arguments depend on:
+per-use undef expansion, freeze pinning, poison propagation through
+phi/select, branch-on-poison as UB vs nondeterminism, and the bit-level
+memory semantics (incl. the bit-field and load-widening scenarios).
+"""
+
+import pytest
+
+from repro.ir import parse_function, parse_module
+from repro.semantics import (
+    NEW,
+    OLD,
+    OLD_GVN_VIEW,
+    POISON,
+    Behavior,
+    PartialUndef,
+    SelectSemantics,
+    enumerate_behaviors,
+    full_undef,
+    run_once,
+    undef_value,
+)
+
+
+def rets(behaviors):
+    """Distinct return-bit observations (as tuples), sorted."""
+    return sorted({b.ret for b in behaviors if b.kind == "ret"},
+                  key=lambda x: (x is None, x))
+
+
+def ret_ints(behaviors):
+    """Distinct concrete return values (skipping poison/undef bits)."""
+    out = set()
+    for b in behaviors:
+        if b.kind != "ret" or b.ret is None:
+            continue
+        if all(isinstance(bit, int) for bit in b.ret):
+            out.add(sum(bit << i for i, bit in enumerate(b.ret)))
+    return sorted(out)
+
+
+class TestBasicExecution:
+    def test_simple_arithmetic(self):
+        fn = parse_function("""
+define i8 @f(i8 %a, i8 %b) {
+entry:
+  %s = add i8 %a, %b
+  %m = mul i8 %s, 2
+  ret i8 %m
+}""")
+        b = run_once(fn, [3, 4])
+        assert b.kind == "ret"
+        assert ret_ints([b]) == [14]
+
+    def test_branching(self):
+        fn = parse_function("""
+define i8 @f(i8 %x) {
+entry:
+  %c = icmp slt i8 %x, 0
+  br i1 %c, label %neg, label %pos
+neg:
+  ret i8 0
+pos:
+  ret i8 1
+}""")
+        assert ret_ints([run_once(fn, [200])]) == [0]
+        assert ret_ints([run_once(fn, [5])]) == [1]
+
+    def test_loop(self):
+        fn = parse_function("""
+define i8 @sum(i8 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i8 [ 0, %entry ], [ %i2, %body ]
+  %acc = phi i8 [ 0, %entry ], [ %acc2, %body ]
+  %c = icmp ult i8 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %acc2 = add i8 %acc, %i
+  %i2 = add i8 %i, 1
+  br label %head
+exit:
+  ret i8 %acc
+}""")
+        assert ret_ints([run_once(fn, [5])]) == [10]
+
+    def test_phis_read_simultaneously(self):
+        # Swapping phis: the textbook test for parallel phi reads.
+        fn = parse_function("""
+define i8 @f() {
+entry:
+  br label %loop
+loop:
+  %a = phi i8 [ 1, %entry ], [ %b, %loop ]
+  %b = phi i8 [ 2, %entry ], [ %a, %loop ]
+  %i = phi i8 [ 0, %entry ], [ %i2, %loop ]
+  %i2 = add i8 %i, 1
+  %c = icmp ult i8 %i2, 3
+  br i1 %c, label %loop, label %out
+out:
+  ret i8 %a
+}""")
+        # Two swap steps happen (entering iterations 2 and 3), so %a is
+        # back to 1.  A buggy *sequential* phi evaluation would smear
+        # %a into %b and return 2.
+        assert ret_ints([run_once(fn, [])]) == [1]
+
+    def test_division_by_zero_is_ub(self):
+        fn = parse_function("""
+define i8 @f(i8 %a, i8 %b) {
+entry:
+  %q = udiv i8 %a, %b
+  ret i8 %q
+}""")
+        assert run_once(fn, [1, 0]).is_ub
+        assert not run_once(fn, [1, 2]).is_ub
+
+    def test_unreachable_is_ub(self):
+        fn = parse_function("""
+define void @f() {
+entry:
+  unreachable
+}""")
+        assert run_once(fn, []).is_ub
+
+    def test_infinite_loop_times_out(self):
+        fn = parse_function("""
+define void @f() {
+entry:
+  br label %loop
+loop:
+  br label %loop
+}""")
+        assert run_once(fn, [], fuel=100).kind == "timeout"
+
+
+class TestUndefSemantics:
+    def test_each_use_independent(self):
+        """Section 3.1: add %x, %x with undef x spans all values."""
+        fn = parse_function("""
+define i4 @f(i4 %x) {
+entry:
+  %y = add i4 %x, %x
+  ret i4 %y
+}""")
+        outs = ret_ints(enumerate_behaviors(fn, [full_undef(4)], OLD))
+        assert outs == list(range(16))
+
+    def test_mul_by_two_stays_even(self):
+        fn = parse_function("""
+define i4 @f(i4 %x) {
+entry:
+  %y = mul i4 %x, 2
+  ret i4 %y
+}""")
+        outs = ret_ints(enumerate_behaviors(fn, [full_undef(4)], OLD))
+        assert outs == [0, 2, 4, 6, 8, 10, 12, 14]
+
+    def test_undef_stored_then_loaded_not_pinned(self):
+        """Storing undef stores undef bits; two loads may differ."""
+        fn = parse_function("""
+define i2 @f() {
+entry:
+  %p = alloca i2
+  store i2 undef, i2* %p
+  %a = load i2, i2* %p
+  %b = load i2, i2* %p
+  %d = sub i2 %a, %b
+  ret i2 %d
+}""")
+        outs = ret_ints(enumerate_behaviors(fn, [], OLD))
+        assert outs == [0, 1, 2, 3]
+
+    def test_branch_on_undef_takes_both_ways(self):
+        fn = parse_function("""
+define i2 @f() {
+entry:
+  br i1 undef, label %a, label %b
+a:
+  ret i2 1
+b:
+  ret i2 2
+}""")
+        assert ret_ints(enumerate_behaviors(fn, [], OLD)) == [1, 2]
+
+    def test_undef_treated_as_poison_under_new(self):
+        fn = parse_function("""
+define i2 @f() {
+entry:
+  br i1 undef, label %a, label %b
+a:
+  ret i2 1
+b:
+  ret i2 2
+}""")
+        behaviors = enumerate_behaviors(fn, [], NEW)
+        assert all(b.is_ub for b in behaviors)
+
+
+class TestPoisonSemantics:
+    def test_poison_propagates_through_arithmetic(self):
+        fn = parse_function("""
+define i4 @f(i4 %x) {
+entry:
+  %a = add i4 %x, 1
+  %b = mul i4 %a, 3
+  %c = xor i4 %b, 7
+  ret i4 %c
+}""")
+        from repro.semantics import PBIT
+
+        behaviors = enumerate_behaviors(fn, [POISON], NEW)
+        (only,) = rets(behaviors)
+        assert only == (PBIT,) * 4
+
+    def test_branch_on_poison_ub_new(self):
+        fn = parse_function("""
+define i2 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  ret i2 1
+b:
+  ret i2 2
+}""")
+        assert all(b.is_ub for b in enumerate_behaviors(fn, [POISON], NEW))
+
+    def test_branch_on_poison_nondet_old(self):
+        fn = parse_function("""
+define i2 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  ret i2 1
+b:
+  ret i2 2
+}""")
+        assert ret_ints(enumerate_behaviors(fn, [POISON], OLD)) == [1, 2]
+
+    def test_branch_on_poison_ub_old_gvn_view(self):
+        fn = parse_function("""
+define i2 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  ret i2 1
+b:
+  ret i2 2
+}""")
+        assert all(
+            b.is_ub for b in enumerate_behaviors(fn, [POISON], OLD_GVN_VIEW)
+        )
+
+    def test_phi_only_taken_edge_matters(self):
+        fn = parse_function("""
+define i2 @f(i1 %c, i2 %x) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %p = phi i2 [ %x, %a ], [ 1, %b ]
+  ret i2 %p
+}""")
+        # poison only flows in via the %a edge
+        behaviors = enumerate_behaviors(fn, [0, POISON], NEW)
+        assert ret_ints(behaviors) == [1]
+
+    def test_store_to_poison_address_is_ub(self):
+        fn = parse_function("""
+define void @f(i2* %p) {
+entry:
+  store i2 0, i2* %p
+  ret void
+}""")
+        assert all(b.is_ub for b in enumerate_behaviors(fn, [POISON], NEW))
+
+    def test_storing_poison_value_is_ok(self):
+        fn = parse_function("""
+define void @f() {
+entry:
+  %p = alloca i2
+  store i2 poison, i2* %p
+  ret void
+}""")
+        behaviors = enumerate_behaviors(fn, [], NEW)
+        assert all(b.kind == "ret" for b in behaviors)
+
+
+class TestSelectSemantics:
+    SRC = """
+define i2 @f(i1 %c, i2 %a, i2 %b) {
+entry:
+  %s = select i1 %c, i2 %a, i2 %b
+  ret i2 %s
+}"""
+
+    def test_new_conditional_poison_arm_ignored(self):
+        fn = parse_function(self.SRC)
+        assert ret_ints(enumerate_behaviors(fn, [1, 2, POISON], NEW)) == [2]
+
+    def test_new_poison_cond_gives_poison(self):
+        from repro.semantics import PBIT
+
+        fn = parse_function(self.SRC)
+        (only,) = rets(enumerate_behaviors(fn, [POISON, 1, 2], NEW))
+        assert only == (PBIT, PBIT)
+
+    def test_old_arithmetic_any_poison_arm_poisons(self):
+        from repro.semantics import PBIT
+
+        fn = parse_function(self.SRC)
+        (only,) = rets(enumerate_behaviors(fn, [1, 2, POISON], OLD))
+        assert only == (PBIT, PBIT)
+
+    def test_ub_cond_variant(self):
+        fn = parse_function(self.SRC)
+        cfg = NEW.with_(select_semantics=SelectSemantics.UB_COND)
+        assert all(
+            b.is_ub for b in enumerate_behaviors(fn, [POISON, 1, 2], cfg)
+        )
+
+    def test_nondet_cond_variant(self):
+        fn = parse_function(self.SRC)
+        cfg = NEW.with_(select_semantics=SelectSemantics.NONDET_COND)
+        assert ret_ints(enumerate_behaviors(fn, [POISON, 1, 2], cfg)) == [1, 2]
+
+
+class TestFreeze:
+    def test_freeze_concrete_is_nop(self):
+        fn = parse_function("""
+define i4 @f(i4 %x) {
+entry:
+  %y = freeze i4 %x
+  ret i4 %y
+}""")
+        assert ret_ints(enumerate_behaviors(fn, [9], NEW)) == [9]
+
+    def test_freeze_poison_spans_all_values(self):
+        fn = parse_function("""
+define i2 @f(i2 %x) {
+entry:
+  %y = freeze i2 %x
+  ret i2 %y
+}""")
+        assert ret_ints(enumerate_behaviors(fn, [POISON], NEW)) == [0, 1, 2, 3]
+
+    def test_freeze_pins_value_across_uses(self):
+        """All uses of one freeze see the same value (unlike undef)."""
+        fn = parse_function("""
+define i2 @f(i2 %x) {
+entry:
+  %y = freeze i2 %x
+  %d = sub i2 %y, %y
+  ret i2 %d
+}""")
+        assert ret_ints(enumerate_behaviors(fn, [POISON], NEW)) == [0]
+
+    def test_two_freezes_are_independent(self):
+        fn = parse_function("""
+define i2 @f(i2 %x) {
+entry:
+  %y = freeze i2 %x
+  %z = freeze i2 %x
+  %d = sub i2 %y, %z
+  ret i2 %d
+}""")
+        assert ret_ints(enumerate_behaviors(fn, [POISON], NEW)) == [0, 1, 2, 3]
+
+    def test_freeze_of_undef_pins(self):
+        fn = parse_function("""
+define i2 @f(i2 %x) {
+entry:
+  %y = freeze i2 %x
+  %d = sub i2 %y, %y
+  ret i2 %d
+}""")
+        assert ret_ints(enumerate_behaviors(fn, [full_undef(2)], OLD)) == [0]
+
+    def test_vector_freeze_per_lane(self):
+        fn = parse_function("""
+define <2 x i2> @f(<2 x i2> %v) {
+entry:
+  %y = freeze <2 x i2> %v
+  ret <2 x i2> %y
+}""")
+        behaviors = enumerate_behaviors(fn, [(POISON, 1)], NEW)
+        outs = {b.ret for b in behaviors}
+        # lane 1 fixed at 1, lane 0 arbitrary: 4 outcomes
+        assert len(outs) == 4
+
+
+class TestMemoryScenarios:
+    def test_uninit_load_undef_old_poison_new(self):
+        fn = parse_function("""
+define i2 @f() {
+entry:
+  %p = alloca i2
+  %v = load i2, i2* %p
+  ret i2 %v
+}""")
+        from repro.semantics import PBIT, UBIT
+
+        (old_ret,) = rets(enumerate_behaviors(fn, [], OLD))
+        assert old_ret == (UBIT, UBIT)
+        (new_ret,) = rets(enumerate_behaviors(fn, [], NEW))
+        assert new_ret == (PBIT, PBIT)
+
+    def test_bitfield_store_without_freeze_poisons_new(self):
+        """Section 5.3: the masked-store idiom on uninitialized memory
+        yields a fully-poisoned word under NEW without a freeze."""
+        fn = parse_function("""
+define i8 @f(i8 %v) {
+entry:
+  %p = alloca i8
+  %old = load i8, i8* %p
+  %cleared = and i8 %old, -16
+  %field = and i8 %v, 15
+  %new = or i8 %cleared, %field
+  store i8 %new, i8* %p
+  %r = load i8, i8* %p
+  ret i8 %r
+}""")
+        from repro.semantics import PBIT
+
+        (only,) = rets(enumerate_behaviors(fn, [5], NEW))
+        assert only == (PBIT,) * 8
+
+    def test_bitfield_store_with_freeze_works_new(self):
+        fn = parse_function("""
+define i8 @f(i8 %v) {
+entry:
+  %p = alloca i8
+  %old = load i8, i8* %p
+  %fr = freeze i8 %old
+  %cleared = and i8 %fr, -16
+  %field = and i8 %v, 15
+  %new = or i8 %cleared, %field
+  store i8 %new, i8* %p
+  %r = load i8, i8* %p
+  ret i8 %r
+}""")
+        behaviors = enumerate_behaviors(fn, [5], NEW)
+        # low nibble always 5; high nibble arbitrary but defined
+        for b in behaviors:
+            low = b.ret[:4]
+            assert low == (1, 0, 1, 0)
+            assert all(isinstance(bit, int) for bit in b.ret)
+
+    def test_load_widening_scalar_poisons_everything(self):
+        """Section 5.4: i16 load widened over a poison-initialized upper
+        half at scalar type gives poison..."""
+        mod = parse_module("""
+@g = global i16
+
+define i16 @f() {
+entry:
+  %v = load i16, i16* @g
+  ret i16 %v
+}""")
+        fn = mod.get_function("f")
+        from repro.semantics import PBIT
+
+        # initialize low byte defined, high byte poison
+        init = {"g": tuple([1] * 8 + [PBIT] * 8)}
+        (only,) = rets(enumerate_behaviors(fn, [], NEW, global_init=init))
+        assert only == (PBIT,) * 16
+
+    def test_load_widening_vector_keeps_lanes(self):
+        """...but the <2 x i8> vector load keeps the defined lane."""
+        mod = parse_module("""
+@g = global <2 x i8>
+
+define i8 @f() {
+entry:
+  %v = load <2 x i8>, <2 x i8>* @g
+  %e = extractelement <2 x i8> %v, i32 0
+  ret i8 %e
+}""")
+        fn = mod.get_function("f")
+        from repro.semantics import PBIT
+
+        init = {"g": tuple([1] * 8 + [PBIT] * 8)}
+        (only,) = rets(enumerate_behaviors(fn, [], NEW, global_init=init))
+        assert only == (1,) * 8
+
+    def test_global_initializer(self):
+        mod = parse_module("""
+@g = global i8 42
+
+define i8 @f() {
+entry:
+  %v = load i8, i8* @g
+  ret i8 %v
+}""")
+        assert ret_ints([run_once(mod.get_function("f"), [])]) == [42]
+
+    def test_gep_indexing(self):
+        mod = parse_module("""
+@arr = global <4 x i8>
+
+define void @f() {
+entry:
+  %base = bitcast <4 x i8>* @arr to i8*
+  %p1 = getelementptr i8, i8* %base, i32 2
+  store i8 7, i8* %p1
+  ret void
+}""")
+        fn = mod.get_function("f")
+        b = run_once(fn, [])
+        assert b.kind == "ret"
+        (name, bits) = b.memory[0]
+        assert name == "arr"
+        byte2 = bits[16:24]
+        assert byte2 == (1, 1, 1, 0, 0, 0, 0, 0)  # 7, LSB first
+
+    def test_out_of_bounds_store_is_ub(self):
+        fn = parse_function("""
+define void @f() {
+entry:
+  %p = alloca i8
+  %q = getelementptr i8, i8* %p, i32 40
+  store i8 1, i8* %q
+  ret void
+}""")
+        assert run_once(fn, []).is_ub
+
+    def test_inbounds_gep_overflow_is_poison_then_ub_on_use(self):
+        fn = parse_function("""
+define void @f() {
+entry:
+  %p = alloca i8
+  %q = getelementptr inbounds i8, i8* %p, i32 40
+  store i8 1, i8* %q
+  ret void
+}""")
+        assert run_once(fn, []).is_ub  # store to poison address
+
+
+class TestExternalCalls:
+    def test_call_event_recorded(self):
+        mod = parse_module("""
+declare void @sink(i4)
+
+define void @f(i4 %x) {
+entry:
+  call void @sink(i4 %x)
+  ret void
+}""")
+        fn = mod.get_function("f")
+        b = run_once(fn, [5])
+        assert len(b.events) == 1
+        name, args, ret = b.events[0]
+        assert name == "sink"
+        assert args[0] == (1, 0, 1, 0)
+        assert ret is None
+
+    def test_poison_argument_observable(self):
+        mod = parse_module("""
+declare void @sink(i4)
+
+define void @f(i4 %x) {
+entry:
+  call void @sink(i4 %x)
+  ret void
+}""")
+        from repro.semantics import PBIT
+
+        fn = mod.get_function("f")
+        b = run_once(fn, [POISON])
+        assert b.events[0][1][0] == (PBIT,) * 4
+
+    def test_external_return_nondeterministic(self):
+        mod = parse_module("""
+declare i2 @env()
+
+define i2 @f() {
+entry:
+  %v = call i2 @env()
+  ret i2 %v
+}""")
+        fn = mod.get_function("f")
+        outs = ret_ints(enumerate_behaviors(fn, [], NEW))
+        assert outs == [0, 1, 2, 3]
+
+    def test_defined_call_interpreted(self):
+        mod = parse_module("""
+define i8 @helper(i8 %x) {
+entry:
+  %y = mul i8 %x, 3
+  ret i8 %y
+}
+
+define i8 @f(i8 %x) {
+entry:
+  %v = call i8 @helper(i8 %x)
+  %w = add i8 %v, 1
+  ret i8 %w
+}""")
+        fn = mod.get_function("f")
+        assert ret_ints([run_once(fn, [5])]) == [16]

@@ -1,0 +1,278 @@
+"""Edge-case interpreter tests: vectors, GEP, switch, casts, calls."""
+
+import pytest
+
+from repro.ir import parse_function, parse_module
+from repro.semantics import (
+    NEW,
+    OLD,
+    PBIT,
+    POISON,
+    UBError,
+    enumerate_behaviors,
+    full_undef,
+    run_once,
+)
+
+
+def ret_ints(behaviors):
+    out = set()
+    for b in behaviors:
+        if b.kind != "ret" or b.ret is None:
+            continue
+        if all(isinstance(bit, int) for bit in b.ret):
+            out.add(sum(bit << i for i, bit in enumerate(b.ret)))
+    return sorted(out)
+
+
+class TestVectors:
+    def test_elementwise_binop(self):
+        fn = parse_function("""
+define <2 x i4> @f(<2 x i4> %v) {
+entry:
+  %r = add <2 x i4> %v, <i4 1, i4 2>
+  ret <2 x i4> %r
+}""")
+        b = run_once(fn, [(3, 10)], NEW)
+        # lane0 = 4, lane1 = 12; bits LSB-first per lane
+        assert b.ret == (0, 0, 1, 0, 0, 0, 1, 1)
+
+    def test_poison_lane_isolated_in_binop(self):
+        fn = parse_function("""
+define <2 x i4> @f(<2 x i4> %v) {
+entry:
+  %r = add <2 x i4> %v, <i4 1, i4 1>
+  ret <2 x i4> %r
+}""")
+        b = run_once(fn, [(POISON, 5)], NEW)
+        assert b.ret[:4] == (PBIT,) * 4
+        assert b.ret[4:] == (0, 1, 1, 0)  # 6
+
+    def test_extractelement_out_of_bounds_poison(self):
+        fn = parse_function("""
+define i4 @f(<2 x i4> %v) {
+entry:
+  %e = extractelement <2 x i4> %v, i32 5
+  ret i4 %e
+}""")
+        b = run_once(fn, [(1, 2)], NEW)
+        assert b.ret == (PBIT,) * 4
+
+    def test_extractelement_poison_index(self):
+        fn = parse_function("""
+define i4 @f(<2 x i4> %v, i32 %i) {
+entry:
+  %e = extractelement <2 x i4> %v, i32 %i
+  ret i4 %e
+}""")
+        b = run_once(fn, [(1, 2), POISON], NEW)
+        assert b.ret == (PBIT,) * 4
+
+    def test_insertelement(self):
+        fn = parse_function("""
+define <2 x i4> @f(<2 x i4> %v, i4 %x) {
+entry:
+  %r = insertelement <2 x i4> %v, i4 %x, i32 1
+  ret <2 x i4> %r
+}""")
+        b = run_once(fn, [(1, 2), 9], NEW)
+        assert b.ret == (1, 0, 0, 0, 1, 0, 0, 1)
+
+    def test_vector_icmp_per_lane(self):
+        fn = parse_function("""
+define <2 x i1> @f(<2 x i4> %v) {
+entry:
+  %c = icmp ult <2 x i4> %v, <i4 3, i4 3>
+  ret <2 x i1> %c
+}""")
+        b = run_once(fn, [(1, 7)], NEW)
+        assert b.ret == (1, 0)
+
+    def test_bitcast_vector_to_scalar_spreads_poison(self):
+        fn = parse_function("""
+define i8 @f(<2 x i4> %v) {
+entry:
+  %s = bitcast <2 x i4> %v to i8
+  ret i8 %s
+}""")
+        b = run_once(fn, [(POISON, 5)], NEW)
+        assert b.ret == (PBIT,) * 8  # any poison bit poisons the scalar
+
+    def test_bitcast_scalar_to_vector_localizes(self):
+        fn = parse_function("""
+define <2 x i4> @f(i8 %x) {
+entry:
+  %v = bitcast i8 %x to <2 x i4>
+  ret <2 x i4> %v
+}""")
+        b = run_once(fn, [0x53], NEW)
+        # low lane 3, high lane 5
+        assert b.ret == (1, 1, 0, 0, 1, 0, 1, 0)
+
+
+class TestGep:
+    def test_negative_index(self):
+        fn = parse_function("""
+define i8 @f() {
+entry:
+  %buf = alloca <4 x i8>
+  %base = bitcast <4 x i8>* %buf to i8*
+  %p2 = getelementptr i8, i8* %base, i32 2
+  store i8 7, i8* %p2
+  %back = getelementptr i8, i8* %p2, i32 -2
+  %v0 = getelementptr i8, i8* %back, i32 2
+  %v = load i8, i8* %v0
+  ret i8 %v
+}""")
+        b = run_once(fn, [], NEW)
+        assert sum(bit << i for i, bit in enumerate(b.ret)) == 7
+
+    def test_narrow_index_sign_extended(self):
+        fn = parse_function("""
+define i8 @f() {
+entry:
+  %buf = alloca <4 x i8>
+  %base = bitcast <4 x i8>* %buf to i8*
+  %p2 = getelementptr i8, i8* %base, i32 2
+  store i8 9, i8* %base
+  %back = getelementptr i8, i8* %p2, i4 -2
+  %v = load i8, i8* %back
+  ret i8 %v
+}""")
+        b = run_once(fn, [], NEW)
+        assert sum(bit << i for i, bit in enumerate(b.ret)) == 9
+
+    def test_gep_scaling_by_element_size(self):
+        fn = parse_function("""
+define i16 @f() {
+entry:
+  %buf = alloca <4 x i16>
+  %base = bitcast <4 x i16>* %buf to i16*
+  %p1 = getelementptr i16, i16* %base, i32 1
+  store i16 500, i16* %p1
+  %v = load i16, i16* %p1
+  ret i16 %v
+}""")
+        b = run_once(fn, [], NEW)
+        assert sum(bit << i for i, bit in enumerate(b.ret)) == 500
+
+
+class TestSwitch:
+    SRC = """
+define i4 @f(i4 %x) {
+entry:
+  switch i4 %x, label %d [ i4 1, label %a i4 2, label %b ]
+a:
+  ret i4 10
+b:
+  ret i4 11
+d:
+  ret i4 12
+}"""
+
+    def test_case_dispatch(self):
+        fn = parse_function(self.SRC)
+        assert ret_ints([run_once(fn, [1], NEW)]) == [10]
+        assert ret_ints([run_once(fn, [2], NEW)]) == [11]
+        assert ret_ints([run_once(fn, [9], NEW)]) == [12]
+
+    def test_switch_on_poison_ub_new(self):
+        fn = parse_function(self.SRC)
+        assert all(b.is_ub for b in enumerate_behaviors(fn, [POISON], NEW))
+
+    def test_switch_on_poison_nondet_old(self):
+        fn = parse_function(self.SRC)
+        outs = ret_ints(enumerate_behaviors(fn, [POISON], OLD))
+        assert outs == [10, 11, 12]
+
+    def test_switch_on_undef_picks_any_old(self):
+        fn = parse_function(self.SRC)
+        outs = ret_ints(enumerate_behaviors(fn, [full_undef(4)], OLD))
+        assert outs == [10, 11, 12]
+
+
+class TestCalls:
+    def test_poison_flows_through_defined_call(self):
+        mod = parse_module("""
+define i4 @id(i4 %x) {
+entry:
+  ret i4 %x
+}
+
+define i4 @f(i4 %x) {
+entry:
+  %r = call i4 @id(i4 %x)
+  ret i4 %r
+}""")
+        b = run_once(mod.get_function("f"), [POISON], NEW)
+        assert b.ret == (PBIT,) * 4
+
+    def test_recursion_depth_limited(self):
+        mod = parse_module("""
+define i4 @loop(i4 %x) {
+entry:
+  %r = call i4 @loop(i4 %x)
+  ret i4 %r
+}""")
+        b = run_once(mod.get_function("loop"), [1], NEW)
+        assert b.kind == "timeout"
+
+    def test_event_order_preserved(self):
+        mod = parse_module("""
+declare void @a(i4)
+declare void @b(i4)
+
+define void @f() {
+entry:
+  call void @a(i4 1)
+  call void @b(i4 2)
+  call void @a(i4 3)
+  ret void
+}""")
+        b = run_once(mod.get_function("f"), [], NEW)
+        assert [e[0] for e in b.events] == ["a", "b", "a"]
+
+
+class TestCastEdgeCases:
+    def test_trunc_keeps_low_bits_of_partial_undef(self):
+        # load of half-initialized word, truncated to the defined half
+        fn = parse_function("""
+define i2 @f() {
+entry:
+  %p = alloca i4
+  %p2 = bitcast i4* %p to i2*
+  store i2 3, i2* %p2
+  %w = load i4, i4* %p
+  %t = trunc i4 %w to i2
+  ret i2 %t
+}""")
+        outs = ret_ints(enumerate_behaviors(fn, [], OLD))
+        assert outs == [3]  # the undef high bits are discarded
+
+    def test_trunc_of_poisoned_word_is_poison_new(self):
+        fn = parse_function("""
+define i2 @f() {
+entry:
+  %p = alloca i4
+  %p2 = bitcast i4* %p to i2*
+  store i2 3, i2* %p2
+  %w = load i4, i4* %p
+  %t = trunc i4 %w to i2
+  ret i2 %t
+}""")
+        (b,) = enumerate_behaviors(fn, [], NEW)
+        # the uninitialized high bits are poison, so ty-up poisons the
+        # whole i4 load and the trunc result
+        assert b.ret == (PBIT, PBIT)
+
+    def test_sext_chain(self):
+        fn = parse_function("""
+define i16 @f(i2 %x) {
+entry:
+  %a = sext i2 %x to i8
+  %b = sext i8 %a to i16
+  ret i16 %b
+}""")
+        b = run_once(fn, [2], NEW)  # -2 in i2
+        value = sum(bit << i for i, bit in enumerate(b.ret))
+        assert value == 0xFFFE

@@ -1,0 +1,104 @@
+"""Tests for the bit-granular memory model."""
+
+from repro.semantics.domains import PBIT, UBIT
+from repro.semantics.memory import Memory
+
+
+def test_uninitialized_reads_uninit_bit():
+    for bit in (UBIT, PBIT):
+        m = Memory(bit)
+        addr = m.alloc(2)
+        bits = m.load_bits(addr, 16)
+        assert bits == (bit,) * 16
+
+
+def test_store_load_roundtrip():
+    m = Memory(PBIT)
+    addr = m.alloc(2)
+    pattern = tuple(int(c) for c in "1011001110001111")
+    assert m.store_bits(addr, pattern)
+    assert m.load_bits(addr, 16) == pattern
+
+
+def test_out_of_bounds_load_fails():
+    m = Memory(PBIT)
+    addr = m.alloc(1)
+    assert m.load_bits(addr, 16) is None
+    assert m.load_bits(addr + 100, 8) is None
+    assert m.load_bits(addr, 8) is not None
+
+
+def test_out_of_bounds_store_fails():
+    m = Memory(PBIT)
+    addr = m.alloc(1)
+    assert not m.store_bits(addr, (0,) * 16)
+    assert m.store_bits(addr, (0,) * 8)
+
+
+def test_unallocated_access_fails():
+    m = Memory(PBIT)
+    assert m.load_bits(0x0, 8) is None
+    assert not m.store_bits(0x4, (1,) * 8)
+
+
+def test_blocks_do_not_overlap():
+    m = Memory(PBIT)
+    a = m.alloc(4)
+    b = m.alloc(4)
+    assert a != b
+    m.store_bits(a, (1,) * 32)
+    assert m.load_bits(b, 32) == (PBIT,) * 32
+
+
+def test_partial_store_preserves_neighbors():
+    m = Memory(UBIT)
+    addr = m.alloc(4)
+    m.store_bits(addr, (1,) * 32)
+    m.store_bits(addr + 1, (0,) * 8)  # overwrite byte 1
+    bits = m.load_bits(addr, 32)
+    assert bits[:8] == (1,) * 8
+    assert bits[8:16] == (0,) * 8
+    assert bits[16:] == (1,) * 16
+
+
+def test_non_byte_width_store_keeps_padding():
+    m = Memory(UBIT)
+    addr = m.alloc(1)
+    m.store_bits(addr, (1,) * 8)
+    m.store_bits(addr, (0, 0, 0))  # i3 store
+    bits = m.load_bits(addr, 8)
+    assert bits == (0, 0, 0, 1, 1, 1, 1, 1)
+
+
+def test_poison_bits_in_memory():
+    m = Memory(UBIT)
+    addr = m.alloc(1)
+    m.store_bits(addr, (1, PBIT, 0, UBIT, 1, 1, 0, 0))
+    assert m.load_bits(addr, 8) == (1, PBIT, 0, UBIT, 1, 1, 0, 0)
+
+
+def test_free_block():
+    m = Memory(PBIT)
+    addr = m.alloc(4)
+    assert m.is_valid(addr, 32)
+    m.free_block(addr)
+    assert not m.is_valid(addr, 32)
+
+
+def test_snapshot_block():
+    m = Memory(PBIT)
+    addr = m.alloc(2, name="g")
+    m.store_bits(addr, (1,) * 16)
+    snap = m.snapshot_block(addr)
+    assert snap == (1,) * 16
+    assert m.snapshot_block(0x0) is None
+
+
+def test_clone_is_independent():
+    m = Memory(PBIT)
+    addr = m.alloc(1)
+    m.store_bits(addr, (1,) * 8)
+    m2 = m.clone()
+    m2.store_bits(addr, (0,) * 8)
+    assert m.load_bits(addr, 8) == (1,) * 8
+    assert m2.load_bits(addr, 8) == (0,) * 8

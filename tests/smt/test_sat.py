@@ -1,0 +1,131 @@
+"""CDCL SAT solver tests, including a brute-force differential check."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt.sat import SAT, UNSAT, SatSolver
+
+
+def brute_force(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        ok = True
+        for clause in clauses:
+            if not any(
+                bits[abs(l) - 1] == (l > 0) for l in clause
+            ):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+def solve(num_vars, clauses):
+    s = SatSolver()
+    for _ in range(num_vars):
+        s.new_var()
+    for c in clauses:
+        s.add_clause(c)
+    return s
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        s = SatSolver()
+        assert s.solve() == SAT
+
+    def test_unit_clauses(self):
+        s = solve(2, [[1], [-2]])
+        assert s.solve() == SAT
+        assert s.model_value(1) is True
+        assert s.model_value(2) is False
+
+    def test_contradiction(self):
+        s = solve(1, [[1], [-1]])
+        assert s.solve() == UNSAT
+
+    def test_simple_implication_chain(self):
+        # 1 -> 2 -> 3 -> ... with 1 forced
+        clauses = [[1]] + [[-i, i + 1] for i in range(1, 10)]
+        s = solve(10, clauses)
+        assert s.solve() == SAT
+        assert all(s.model_value(v) for v in range(1, 11))
+
+    def test_pigeonhole_2_into_1(self):
+        # two pigeons, one hole: unsat
+        # vars: p1h1=1, p2h1=2
+        s = solve(2, [[1], [2], [-1, -2]])
+        assert s.solve() == UNSAT
+
+    def test_pigeonhole_3_into_2(self):
+        # vars: pigeon i in hole j -> 2*(i-1)+j
+        clauses = []
+        for i in range(3):
+            clauses.append([2 * i + 1, 2 * i + 2])
+        for j in (1, 2):
+            for i1 in range(3):
+                for i2 in range(i1 + 1, 3):
+                    clauses.append([-(2 * i1 + j), -(2 * i2 + j)])
+        s = solve(6, clauses)
+        assert s.solve() == UNSAT
+
+    def test_xor_chain_sat(self):
+        # (1 xor 2) and (2 xor 3) encoded in CNF, satisfiable
+        clauses = [
+            [1, 2], [-1, -2],
+            [2, 3], [-2, -3],
+        ]
+        s = solve(3, clauses)
+        assert s.solve() == SAT
+
+    def test_model_satisfies_formula(self):
+        clauses = [[1, 2, -3], [-1, 3], [2, 3], [-2, -1]]
+        s = solve(3, clauses)
+        assert s.solve() == SAT
+        model = [None] + [s.model_value(v) for v in range(1, 4)]
+        for clause in clauses:
+            assert any(model[abs(l)] == (l > 0) for l in clause)
+
+
+class TestDifferential:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_random_3sat_matches_brute_force(self, data):
+        num_vars = data.draw(st.integers(3, 8))
+        num_clauses = data.draw(st.integers(1, 24))
+        clauses = []
+        for _ in range(num_clauses):
+            size = data.draw(st.integers(1, 3))
+            clause = [
+                data.draw(st.integers(1, num_vars))
+                * (1 if data.draw(st.booleans()) else -1)
+                for _ in range(size)
+            ]
+            clauses.append(clause)
+        expected = brute_force(num_vars, clauses)
+        s = solve(num_vars, clauses)
+        result = s.solve()
+        assert result == (SAT if expected else UNSAT)
+        if result == SAT:
+            model = [None] + [s.model_value(v) for v in range(1, num_vars + 1)]
+            for clause in clauses:
+                assert any(model[abs(l)] == (l > 0) for l in clause)
+
+    def test_seeded_random_large(self):
+        rng = random.Random(12345)
+        for trial in range(30):
+            num_vars = rng.randint(5, 12)
+            clauses = []
+            for _ in range(rng.randint(num_vars, num_vars * 4)):
+                clause = [
+                    rng.randint(1, num_vars) * rng.choice([1, -1])
+                    for _ in range(3)
+                ]
+                clauses.append(clause)
+            expected = brute_force(num_vars, clauses)
+            s = solve(num_vars, clauses)
+            assert s.solve() == (SAT if expected else UNSAT), \
+                f"trial {trial} disagreed"

@@ -1,0 +1,229 @@
+"""Tests for the term layer, bit-blasting, and end-to-end solving."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import SAT, UNSAT, Solver, check_valid
+from repro.smt import terms as T
+
+W = 6
+vals = st.integers(0, (1 << W) - 1)
+
+
+class TestTermConstruction:
+    def test_interning(self):
+        a = T.bv_var("a", 8)
+        assert a is T.bv_var("a", 8)
+        assert T.bv_const(3, 8) is T.bv_const(3, 8)
+        assert T.bv_const(3, 8) is not T.bv_const(3, 16)
+
+    def test_constant_folding(self):
+        a, b = T.bv_const(10, 8), T.bv_const(7, 8)
+        assert T.bvadd(a, b).value == 17
+        assert T.bvsub(b, a).value == 253
+        assert T.bvmul(a, b).value == 70
+        assert T.bvudiv(a, b).value == 1
+        assert T.bvand(a, b).value == 2
+        assert T.eq(a, a) is T.TRUE
+        assert T.ult(b, a) is T.TRUE
+
+    def test_identities(self):
+        x = T.bv_var("x", 8)
+        zero = T.bv_const(0, 8)
+        assert T.bvadd(x, zero) is x
+        assert T.bvsub(x, zero) is x
+        assert T.bvmul(x, T.bv_const(1, 8)) is x
+        assert T.bvmul(x, zero).value == 0
+        assert T.bvxor(x, x).value == 0
+        assert T.bvand(x, x) is x
+
+    def test_bool_simplification(self):
+        p = T.bool_var("p")
+        assert T.and_(p, T.TRUE) is p
+        assert T.and_(p, T.FALSE) is T.FALSE
+        assert T.or_(p, T.TRUE) is T.TRUE
+        assert T.not_(T.not_(p)) is p
+        assert T.and_(p, T.not_(p)) is T.FALSE
+        assert T.or_(p, T.not_(p)) is T.TRUE
+
+    def test_ite_simplification(self):
+        x, y = T.bv_var("x", 4), T.bv_var("y", 4)
+        p = T.bool_var("p")
+        assert T.ite(T.TRUE, x, y) is x
+        assert T.ite(T.FALSE, x, y) is y
+        assert T.ite(p, x, x) is x
+
+    def test_extract_concat(self):
+        c = T.bv_const(0b1011, 4)
+        assert T.extract(c, 1, 0).value == 0b11
+        assert T.extract(c, 3, 2).value == 0b10
+        assert T.concat(T.bv_const(0b10, 2), T.bv_const(0b11, 2)).value == 0b1011
+
+    def test_signed_folds(self):
+        # -8 sdiv 2 == -4 in i4
+        a = T.bv_const(8, 4)
+        b = T.bv_const(2, 4)
+        assert T.bvsdiv(a, b).value == 12  # -4 & 15
+        assert T.sext(T.bv_const(0b100, 3), 6).value == 0b111100
+
+
+class TestSolverEndToEnd:
+    def test_simple_sat(self):
+        x = T.bv_var("x", 8)
+        s = Solver()
+        s.add(T.eq(T.bvadd(x, T.bv_const(1, 8)), T.bv_const(0, 8)))
+        assert s.check() == SAT
+        assert s.model_bv(x) == 255
+
+    def test_simple_unsat(self):
+        x = T.bv_var("x", 8)
+        s = Solver()
+        s.add(T.eq(x, T.bv_const(1, 8)))
+        s.add(T.eq(x, T.bv_const(2, 8)))
+        assert s.check() == UNSAT
+
+    def test_mul_inverse(self):
+        # 3 * x == 1 mod 256 has the solution x == 171
+        x = T.bv_var("x", 8)
+        s = Solver()
+        s.add(T.eq(T.bvmul(T.bv_const(3, 8), x), T.bv_const(1, 8)))
+        assert s.check() == SAT
+        assert (3 * s.model_bv(x)) % 256 == 1
+
+    def test_no_even_root_of_odd(self):
+        x = T.bv_var("x", 8)
+        s = Solver()
+        s.add(T.eq(T.bvmul(x, T.bv_const(2, 8)), T.bv_const(7, 8)))
+        assert s.check() == UNSAT
+
+    def test_valid_commutativity(self):
+        x, y = T.bv_var("cx", W), T.bv_var("cy", W)
+        assert check_valid(T.eq(T.bvadd(x, y), T.bvadd(y, x))) == "valid"
+
+    def test_invalid_claim(self):
+        x = T.bv_var("ix", W)
+        assert check_valid(T.eq(x, T.bv_const(0, W))) == "invalid"
+
+    def test_demorgan_valid(self):
+        x, y = T.bv_var("dx", W), T.bv_var("dy", W)
+        lhs = T.bvnot(T.bvand(x, y))
+        rhs = T.bvor(T.bvnot(x), T.bvnot(y))
+        assert check_valid(T.eq(lhs, rhs)) == "valid"
+
+    def test_shift_is_mul_by_pow2(self):
+        x = T.bv_var("sx", W)
+        lhs = T.bvshl(x, T.bv_const(3, W))
+        rhs = T.bvmul(x, T.bv_const(8, W))
+        assert check_valid(T.eq(lhs, rhs)) == "valid"
+
+    def test_sub_is_add_neg(self):
+        x, y = T.bv_var("mx", W), T.bv_var("my", W)
+        assert check_valid(
+            T.eq(T.bvsub(x, y), T.bvadd(x, T.bvneg(y)))
+        ) == "valid"
+
+    def test_udiv_mul_bound(self):
+        # (x udiv y) * y <= x is valid for y != 0
+        x, y = T.bv_var("ux", W), T.bv_var("uy", W)
+        prem = T.ne(y, T.bv_const(0, W))
+        concl = T.ule(T.bvmul(T.bvudiv(x, y), y), x)
+        assert check_valid(T.implies(prem, concl)) == "valid"
+
+
+class TestDifferentialBitblast:
+    """Compare circuit semantics against Python integer semantics."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(vals, vals)
+    def test_binary_ops(self, a, b):
+        mask = (1 << W) - 1
+        cases = {
+            "bvadd": (T.bvadd, lambda x, y: (x + y) & mask),
+            "bvsub": (T.bvsub, lambda x, y: (x - y) & mask),
+            "bvmul": (T.bvmul, lambda x, y: (x * y) & mask),
+            "bvand": (T.bvand, lambda x, y: x & y),
+            "bvor": (T.bvor, lambda x, y: x | y),
+            "bvxor": (T.bvxor, lambda x, y: x ^ y),
+        }
+        if b != 0:
+            cases["bvudiv"] = (T.bvudiv, lambda x, y: x // y)
+            cases["bvurem"] = (T.bvurem, lambda x, y: x % y)
+        for name, (mk, py) in cases.items():
+            x = T.bv_var(f"dv.{name}.x", W)
+            y = T.bv_var(f"dv.{name}.y", W)
+            s = Solver()
+            s.add(T.eq(x, T.bv_const(a, W)))
+            s.add(T.eq(y, T.bv_const(b, W)))
+            out = mk(x, y)
+            expected = py(a, b)
+            s.add(T.ne(out, T.bv_const(expected, W)))
+            assert s.check() == UNSAT, (
+                f"{name}({a},{b}) circuit disagrees with {expected}"
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(vals, st.integers(0, (1 << W) - 1))
+    def test_shifts(self, a, amt):
+        mask = (1 << W) - 1
+        signed_a = a - (1 << W) if a >= (1 << (W - 1)) else a
+        cases = {
+            "bvshl": (T.bvshl,
+                      (a << amt) & mask if amt < W else 0),
+            "bvlshr": (T.bvlshr, a >> amt if amt < W else 0),
+            "bvashr": (T.bvashr,
+                       (signed_a >> amt) & mask if amt < W
+                       else (mask if signed_a < 0 else 0)),
+        }
+        for name, (mk, expected) in cases.items():
+            x = T.bv_var(f"ds.{name}.x", W)
+            y = T.bv_var(f"ds.{name}.y", W)
+            s = Solver()
+            s.add(T.eq(x, T.bv_const(a, W)))
+            s.add(T.eq(y, T.bv_const(amt, W)))
+            s.add(T.ne(mk(x, y), T.bv_const(expected, W)))
+            assert s.check() == UNSAT, f"{name}({a},{amt}) != {expected}"
+
+    @settings(max_examples=30, deadline=None)
+    @given(vals, vals)
+    def test_signed_division(self, a, b):
+        if b == 0:
+            return
+        mask = (1 << W) - 1
+
+        def signed(v):
+            return v - (1 << W) if v >= (1 << (W - 1)) else v
+
+        sa, sb = signed(a), signed(b)
+        q = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            q = -q
+        r = sa - q * sb
+        x = T.bv_var("sd.x", W)
+        y = T.bv_var("sd.y", W)
+        s = Solver()
+        s.add(T.eq(x, T.bv_const(a, W)))
+        s.add(T.eq(y, T.bv_const(b, W)))
+        s.add(T.or_(
+            T.ne(T.bvsdiv(x, y), T.bv_const(q & mask, W)),
+            T.ne(T.bvsrem(x, y), T.bv_const(r & mask, W)),
+        ))
+        assert s.check() == UNSAT
+
+    @settings(max_examples=30, deadline=None)
+    @given(vals, vals)
+    def test_comparisons(self, a, b):
+        def signed(v):
+            return v - (1 << W) if v >= (1 << (W - 1)) else v
+
+        x = T.bv_var("dc.x", W)
+        y = T.bv_var("dc.y", W)
+        s = Solver()
+        s.add(T.eq(x, T.bv_const(a, W)))
+        s.add(T.eq(y, T.bv_const(b, W)))
+        checks = T.and_(
+            T.eq(T.ult(x, y), T.bool_const(a < b)),
+            T.eq(T.slt(x, y), T.bool_const(signed(a) < signed(b))),
+            T.eq(T.eq(x, y), T.bool_const(a == b)),
+        )
+        s.add(T.not_(checks))
+        assert s.check() == UNSAT
