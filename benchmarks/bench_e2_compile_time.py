@@ -13,8 +13,44 @@ import pytest
 
 from repro.bench import SUITE, baseline_variant, compile_workload, \
     prototype_variant
+from repro.diag import PassTiming
 from repro.ir import parse_function, verify_function
 from repro.opt import OptConfig, SimplifyCFG
+
+
+def test_per_pass_timing_attributes_compile_time():
+    """The hierarchical -time-passes report: the harness attributes
+    compile time to individual (pass, function) pairs, so E2's deltas
+    can be broken down past the wall-clock total."""
+    timing = PassTiming()
+    compile_workload(SUITE["perlbench"], prototype_variant(),
+                     measure_memory=False, timing=timing)
+
+    data = timing.as_dict()
+    assert "instcombine" in data
+    inst = data["instcombine"]
+    assert inst["runs"] > 0
+    assert inst["seconds"] >= 0.0
+    # per-function breakdown is populated and sums to the pass total
+    assert inst["per_function"]
+    assert abs(sum(f["seconds"] for f in inst["per_function"].values())
+               - inst["seconds"]) < 1e-9
+    # the aggregate total covers every pass in both pipelines
+    assert timing.total_seconds() >= inst["seconds"]
+
+    report = timing.report(per_function=True)
+    assert "instcombine" in report
+    assert "Total" in report
+
+
+def test_suite_measurements_carry_pass_timing(suite_comparisons):
+    """measure() threads a PassTiming through both pipelines, so every
+    Measurement can explain where its compile_seconds went."""
+    for c in suite_comparisons:
+        for m in (c.baseline, c.prototype):
+            assert m.pass_timing is not None, m.workload
+            assert m.pass_timing.total_seconds() <= m.compile_seconds
+            assert "instcombine" in m.pass_timing.passes
 
 
 def test_compile_time_deltas_small(suite_comparisons):

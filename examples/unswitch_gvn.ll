@@ -1,0 +1,33 @@
+; Demo input for `python -m repro` — exercises the observability layer.
+;
+; * `%m = mul i8 %x, 2` fires InstCombine's strength reduction
+;   (num-mul-to-add / num-mul-to-shl counters).
+; * The loop-invariant branch on %c2 inside the loop fires LoopUnswitch;
+;   under the fixed config the hoisted condition is frozen (Section 5.1),
+;   emitting the "froze hoisted condition" remark and bumping
+;   loop-unswitch/num-conditions-frozen.
+
+declare void @effect(i8)
+
+define i8 @main(i8 %x, i1 %c2) {
+entry:
+  %m = mul i8 %x, 2
+  br label %head
+head:
+  %i = phi i8 [ 0, %entry ], [ %next, %latch ]
+  %cmp = icmp ult i8 %i, 4
+  br i1 %cmp, label %body, label %exit
+body:
+  br i1 %c2, label %then, label %else
+then:
+  call void @effect(i8 %i)
+  br label %latch
+else:
+  call void @effect(i8 %m)
+  br label %latch
+latch:
+  %next = add i8 %i, 1
+  br label %head
+exit:
+  ret i8 %m
+}

@@ -7,6 +7,7 @@ from .harness import (
     Variant,
     baseline_variant,
     compile_workload,
+    freeze_density,
     measure,
     prototype_variant,
     run_suite,
@@ -22,7 +23,8 @@ from .workloads import CHECKSUMS, SUITE, Workload, build_suite
 __all__ = [
     "CATALOG", "CONFIGS", "CatalogEntry", "check_entry", "render_matrix",
     "Comparison", "Measurement", "Variant", "baseline_variant",
-    "compile_workload", "measure", "prototype_variant", "run_suite",
+    "compile_workload", "freeze_density", "measure", "prototype_variant",
+    "run_suite",
     "render_code_size", "render_compile_time", "render_figure6",
     "render_memory",
     "CHECKSUMS", "SUITE", "Workload", "build_suite",

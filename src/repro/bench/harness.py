@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..backend import compile_module, program_size, run_program
+from ..diag import PassTiming, Statistic
 from ..frontend import CodegenOptions, compile_c
 from ..ir import FreezeInst, Module, verify_module
 from ..opt import (
@@ -38,6 +39,13 @@ from ..opt import (
     prototype_config,
 )
 from .workloads import SUITE, Workload
+
+NUM_FREEZE_INSTRUCTIONS = Statistic(
+    "pipeline", "num-freeze-instructions",
+    "Freeze instructions in optimized IR (E4 freeze density)")
+NUM_IR_INSTRUCTIONS = Statistic(
+    "pipeline", "num-ir-instructions",
+    "Total instructions in optimized IR (E4 freeze density)")
 
 
 @dataclass(frozen=True)
@@ -77,6 +85,10 @@ class Measurement:
     instructions_retired: int
     checksum: int
     checksum_ok: bool
+    #: per-pass × per-function timing of the compile, when the caller
+    #: passed a ``PassTiming`` (or left the default) — ``None`` only when
+    #: measured through an older call site that opted out.
+    pass_timing: Optional[PassTiming] = field(default=None, repr=False)
 
     @property
     def freeze_fraction(self) -> float:
@@ -85,17 +97,35 @@ class Measurement:
         return self.freeze_instructions / self.ir_instructions
 
 
+def freeze_density(module: Module) -> float:
+    """Fraction of IR instructions that are ``freeze`` (E4/E8's
+    0.04–0.29%), also recorded in the stats registry under
+    ``pipeline/num-freeze-instructions`` and ``num-ir-instructions``."""
+    total = module.num_instructions()
+    freezes = sum(
+        1 for fn in module.definitions()
+        for inst in fn.instructions() if isinstance(inst, FreezeInst)
+    )
+    NUM_IR_INSTRUCTIONS.inc(total)
+    NUM_FREEZE_INSTRUCTIONS.inc(freezes)
+    return freezes / total if total else 0.0
+
+
 def compile_workload(workload: Workload, variant: Variant,
-                     measure_memory: bool = True
+                     measure_memory: bool = True,
+                     timing: Optional[PassTiming] = None
                      ) -> Tuple[Module, float, int]:
-    """Compile to optimized IR; returns (module, seconds, peak bytes)."""
+    """Compile to optimized IR; returns (module, seconds, peak bytes).
+
+    ``timing`` collects per-pass × per-function timing across *both*
+    pipeline invocations (O2 then codegen)."""
     if measure_memory:
         tracemalloc.start()
     start = time.perf_counter()
     module = compile_c(workload.source, variant.codegen_options,
                        module_name=workload.name)
-    o2_pipeline(variant.opt_config).run(module)
-    codegen_pipeline(variant.opt_config).run(module)
+    o2_pipeline(variant.opt_config, timing=timing).run(module)
+    codegen_pipeline(variant.opt_config, timing=timing).run(module)
     seconds = time.perf_counter() - start
     if measure_memory:
         _, peak = tracemalloc.get_traced_memory()
@@ -109,8 +139,9 @@ def compile_workload(workload: Workload, variant: Variant,
 def measure(workload: Workload, variant: Variant,
             fuel: int = 50_000_000,
             measure_memory: bool = True) -> Measurement:
+    timing = PassTiming()
     module, seconds, peak = compile_workload(workload, variant,
-                                             measure_memory)
+                                             measure_memory, timing=timing)
     ir_count = module.num_instructions()
     freeze_count = sum(
         1 for fn in module.definitions()
@@ -132,6 +163,7 @@ def measure(workload: Workload, variant: Variant,
         instructions_retired=retired,
         checksum=checksum,
         checksum_ok=(checksum == workload.expected),
+        pass_timing=timing,
     )
 
 

@@ -1,0 +1,49 @@
+"""Compiler observability: statistics, remarks, timing, and tracing.
+
+The diagnostics layer mirrors LLVM's telemetry surfaces:
+
+* :mod:`repro.diag.stats` — ``STATISTIC``-style named counters with a
+  process-wide registry (``-stats``);
+* :mod:`repro.diag.remarks` — optimization remarks with a subscriber
+  API (``-Rpass`` / serialized remark files);
+* :mod:`repro.diag.timing` — hierarchical per-pass × per-function
+  timing (``-time-passes``);
+* :mod:`repro.diag.trace` — interpreter event traces attached to
+  :class:`~repro.semantics.interp.Behavior` results.
+
+This package deliberately imports nothing from the rest of ``repro``,
+so every subsystem (opt, semantics, fuzz, bench) can depend on it.
+"""
+
+from .remarks import (
+    REMARK_ANALYSIS,
+    REMARK_KINDS,
+    REMARK_MISSED,
+    REMARK_PASSED,
+    Remark,
+    RemarkEmitter,
+    default_emitter,
+    emit_remark,
+    remarks_from_json,
+    remarks_to_json,
+)
+from .stats import (
+    Statistic,
+    StatsRegistry,
+    default_registry,
+    format_stats,
+    reset_stats,
+    stats_snapshot,
+)
+from .timing import PassStats, PassTiming, TimeRecord
+from .trace import ExecTrace
+
+__all__ = [
+    "REMARK_ANALYSIS", "REMARK_KINDS", "REMARK_MISSED", "REMARK_PASSED",
+    "Remark", "RemarkEmitter", "default_emitter", "emit_remark",
+    "remarks_from_json", "remarks_to_json",
+    "Statistic", "StatsRegistry", "default_registry", "format_stats",
+    "reset_stats", "stats_snapshot",
+    "PassStats", "PassTiming", "TimeRecord",
+    "ExecTrace",
+]

@@ -1,0 +1,153 @@
+"""Optimization remarks (LLVM's ``-Rpass`` / ``opt-remarks``).
+
+A :class:`Remark` records one transformation decision: which pass, in
+which function/block, anchored to which instruction, and a free-form
+message — e.g. ``loop-unswitch: froze hoisted condition %c``.  Passes
+emit through the process-wide :class:`RemarkEmitter`; anyone interested
+subscribes a callback (the CLI collects them into a JSON report, the
+tests into plain lists).  Subscribers are invoked synchronously in
+subscription order.  When nobody is subscribed, :func:`emit_remark` is a
+cheap no-op, so instrumented passes cost nothing in normal runs.
+
+The three remark kinds follow LLVM:
+
+* ``passed``  — an optimization was applied;
+* ``missed``  — an optimization was declined (and why);
+* ``analysis`` — a fact the pass derived that explains its decision.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, Iterator, List, Optional
+
+REMARK_PASSED = "passed"
+REMARK_MISSED = "missed"
+REMARK_ANALYSIS = "analysis"
+
+REMARK_KINDS = (REMARK_PASSED, REMARK_MISSED, REMARK_ANALYSIS)
+
+
+@dataclass(frozen=True)
+class Remark:
+    """One machine-readable optimization decision."""
+
+    pass_name: str
+    kind: str
+    function: str
+    block: str
+    instruction: str
+    message: str
+
+    def as_dict(self) -> Dict[str, str]:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: Dict[str, str]) -> "Remark":
+        return Remark(
+            pass_name=data["pass_name"],
+            kind=data.get("kind", REMARK_PASSED),
+            function=data.get("function", ""),
+            block=data.get("block", ""),
+            instruction=data.get("instruction", ""),
+            message=data["message"],
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "Remark":
+        return Remark.from_dict(json.loads(text))
+
+    def __str__(self) -> str:
+        where = ""
+        if self.function:
+            where = f" [@{self.function}"
+            if self.block:
+                where += f":%{self.block}"
+            where += "]"
+        tag = "" if self.kind == REMARK_PASSED else f" ({self.kind})"
+        return f"{self.pass_name}: {self.message}{tag}{where}"
+
+
+Subscriber = Callable[[Remark], None]
+
+
+class RemarkEmitter:
+    """Dispatches remarks to subscribers, in subscription order."""
+
+    def __init__(self):
+        self._subscribers: List[Subscriber] = []
+
+    @property
+    def active(self) -> bool:
+        """True when at least one subscriber is listening; passes may
+        use this to skip building expensive messages."""
+        return bool(self._subscribers)
+
+    def subscribe(self, callback: Subscriber) -> Subscriber:
+        self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: Subscriber) -> None:
+        self._subscribers.remove(callback)
+
+    def emit(self, pass_name: str, message: str, *,
+             kind: str = REMARK_PASSED, function: str = "",
+             block: str = "", instruction: str = "") -> Optional[Remark]:
+        if not self._subscribers:
+            return None
+        if kind not in REMARK_KINDS:
+            raise ValueError(f"unknown remark kind {kind!r}")
+        remark = Remark(pass_name=pass_name, kind=kind, function=function,
+                        block=block, instruction=instruction, message=message)
+        for callback in list(self._subscribers):
+            callback(remark)
+        return remark
+
+    def emit_remark(self, remark: Remark) -> None:
+        for callback in list(self._subscribers):
+            callback(remark)
+
+    @contextmanager
+    def collect(self) -> Iterator[List[Remark]]:
+        """Subscribe a list for the duration of a ``with`` block::
+
+            with emitter.collect() as remarks:
+                pipeline.run(module)
+            # remarks now holds every Remark, in emission order
+        """
+        remarks: List[Remark] = []
+        self.subscribe(remarks.append)
+        try:
+            yield remarks
+        finally:
+            self.unsubscribe(remarks.append)
+
+
+#: The process-wide emitter every compiler pass emits through.
+_DEFAULT_EMITTER = RemarkEmitter()
+
+
+def default_emitter() -> RemarkEmitter:
+    return _DEFAULT_EMITTER
+
+
+def emit_remark(pass_name: str, message: str, *, kind: str = REMARK_PASSED,
+                function: str = "", block: str = "",
+                instruction: str = "") -> Optional[Remark]:
+    """Emit through the default emitter (no-op with no subscribers)."""
+    return _DEFAULT_EMITTER.emit(pass_name, message, kind=kind,
+                                 function=function, block=block,
+                                 instruction=instruction)
+
+
+def remarks_to_json(remarks: List[Remark], indent: int = 2) -> str:
+    return json.dumps([r.as_dict() for r in remarks], indent=indent)
+
+
+def remarks_from_json(text: str) -> List[Remark]:
+    return [Remark.from_dict(d) for d in json.loads(text)]

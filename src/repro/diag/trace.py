@@ -1,0 +1,75 @@
+"""Interpreter event tracing.
+
+:class:`ExecTrace` counts the semantically interesting events of one
+interpreter execution: steps, memory traffic, poison creation, freeze
+resolutions (how often ``freeze`` actually had to pick a value —
+Section 4), per-use undef expansions (the OLD-semantics multiplicity of
+Section 3.1), and UB triggers with their reason.  The interpreter
+attaches the trace to the :class:`~repro.semantics.interp.Behavior` it
+returns (excluded from equality/hashing: two runs observing the same
+behavior through different events are still the same behavior), which
+lets the refinement checker report *which* UB event a failing target
+executed rather than just "UB".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class ExecTrace:
+    """Mutable event counters for one interpreter execution."""
+
+    steps: int = 0
+    loads: int = 0
+    stores: int = 0
+    poison_created: int = 0
+    undef_expansions: int = 0
+    freeze_resolutions: int = 0
+    external_calls: int = 0
+    ub_triggers: int = 0
+    ub_reason: str = ""
+    fuel_exhausted: int = 0
+
+    def as_dict(self) -> Dict:
+        return {
+            "steps": self.steps,
+            "loads": self.loads,
+            "stores": self.stores,
+            "poison_created": self.poison_created,
+            "undef_expansions": self.undef_expansions,
+            "freeze_resolutions": self.freeze_resolutions,
+            "external_calls": self.external_calls,
+            "ub_triggers": self.ub_triggers,
+            "ub_reason": self.ub_reason,
+            "fuel_exhausted": self.fuel_exhausted,
+        }
+
+    def merge(self, other: "ExecTrace") -> None:
+        """Accumulate another execution's counters (path enumeration)."""
+        self.steps += other.steps
+        self.loads += other.loads
+        self.stores += other.stores
+        self.poison_created += other.poison_created
+        self.undef_expansions += other.undef_expansions
+        self.freeze_resolutions += other.freeze_resolutions
+        self.external_calls += other.external_calls
+        self.ub_triggers += other.ub_triggers
+        if other.ub_reason and not self.ub_reason:
+            self.ub_reason = other.ub_reason
+        self.fuel_exhausted += other.fuel_exhausted
+
+    def __str__(self) -> str:
+        parts = [f"steps={self.steps}", f"loads={self.loads}",
+                 f"stores={self.stores}",
+                 f"poison_created={self.poison_created}",
+                 f"undef_expansions={self.undef_expansions}",
+                 f"freeze_resolutions={self.freeze_resolutions}",
+                 f"ub_triggers={self.ub_triggers}"]
+        if self.ub_reason:
+            parts.append(f"ub_reason={self.ub_reason!r}")
+        if self.fuel_exhausted:
+            parts.append(f"fuel_exhausted={self.fuel_exhausted}")
+        return "trace(" + ", ".join(parts) + ")"

@@ -21,6 +21,7 @@ import itertools
 import random
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from ..diag import Statistic
 from ..ir import (
     BinaryInst,
     Function,
@@ -50,6 +51,13 @@ SMALL_OPCODES: Tuple[Opcode, ...] = (
     Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND, Opcode.OR,
     Opcode.XOR, Opcode.SHL,
 )
+
+NUM_ENUMERATED = Statistic(
+    "optfuzz", "num-functions-enumerated",
+    "Functions produced by exhaustive enumeration")
+NUM_RANDOM = Statistic(
+    "optfuzz", "num-random-functions",
+    "Functions produced by seeded random sampling")
 
 
 class _Spec:
@@ -148,6 +156,7 @@ def enumerate_functions(num_instructions: int, width: int = 2,
         if limit is not None and count >= limit:
             return
         count += 1
+        NUM_ENUMERATED.inc()
         yield _materialize(combo, width, num_args, include_deferred,
                            f"fuzz{count}")
 
@@ -216,5 +225,6 @@ def random_functions(count: int, num_instructions: int = 3,
                               rng.choice(int_indices),
                               rng.choice(int_indices)),
                 ))
+        NUM_RANDOM.inc()
         yield _materialize(specs, width, num_args, include_deferred,
                            f"rand{n}")

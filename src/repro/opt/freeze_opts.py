@@ -12,10 +12,15 @@ freeze fraction of IR around 0.04–0.06% (experiment E4).
 
 from __future__ import annotations
 
+from ..diag import Statistic
 from ..ir.function import Function
 from ..ir.instructions import FreezeInst
 from .instsimplify import simplify_instruction
 from .pass_manager import FunctionPass
+
+NUM_FREEZES_SIMPLIFIED = Statistic(
+    "freeze-opts", "num-freezes-simplified",
+    "Redundant freeze instructions removed (Section 6 cleanups)")
 
 
 class FreezeOpts(FunctionPass):
@@ -32,6 +37,10 @@ class FreezeOpts(FunctionPass):
                         continue
                     simpler = simplify_instruction(inst, self.config)
                     if simpler is not None and simpler is not inst:
+                        NUM_FREEZES_SIMPLIFIED.inc()
+                        self.remark(
+                            f"simplified {inst.ref()} to {simpler.ref()}",
+                            inst=inst)
                         inst.replace_all_uses_with(simpler)
                         block.erase(inst)
                         changed = progress = True

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.dominators import DominatorTree
+from ..diag import Statistic
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import (
@@ -43,6 +44,17 @@ from ..ir.instructions import (
 )
 from ..ir.values import Argument, Constant, Value
 from .pass_manager import FunctionPass
+
+
+NUM_ELIMINATED = Statistic(
+    "gvn", "num-instructions-eliminated",
+    "Redundant instructions replaced by a dominating leader")
+NUM_EQUALITY_REPLACEMENTS = Statistic(
+    "gvn", "num-equality-replacements",
+    "Operands replaced via a dominating equality (Section 3.3)")
+NUM_FREEZES_FOLDED = Statistic(
+    "gvn", "num-freezes-folded",
+    "Equivalent freezes folded (Section 6 extension)")
 
 
 class _ValueTable:
@@ -147,6 +159,12 @@ class GVN(FunctionPass):
                         if isinstance(inst, PhiInst):
                             continue  # keep phi shape simple
                         inst.set_operand(i, rep)
+                        NUM_EQUALITY_REPLACEMENTS.inc()
+                        self.remark(
+                            f"replaced operand {op.ref()} of {inst.ref()} "
+                            f"with {rep.ref()} under a dominating equality "
+                            "(sound only when branch-on-poison is UB)",
+                            inst=inst)
                         changed = True
 
                 key = table.expression_key(
@@ -164,6 +182,17 @@ class GVN(FunctionPass):
                     leaders.get(number, []), inst, dt
                 )
                 if leader is not None and leader is not inst:
+                    NUM_ELIMINATED.inc()
+                    if isinstance(inst, FreezeInst):
+                        NUM_FREEZES_FOLDED.inc()
+                        self.remark(
+                            f"folded {inst.ref()} into equivalent freeze "
+                            f"{leader.ref()} (all uses replaced)",
+                            inst=inst)
+                    else:
+                        self.remark(
+                            f"eliminated {inst.ref()} in favor of "
+                            f"dominating {leader.ref()}", inst=inst)
                     inst.replace_all_uses_with(leader)
                     block.erase(inst)
                     changed = True

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..diag import REMARK_ANALYSIS, Statistic
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import (
@@ -45,6 +46,29 @@ from ..ir.values import ConstantInt, UndefValue, Value
 from ..semantics.config import SelectSemantics
 from .instsimplify import simplify_instruction
 from .pass_manager import FunctionPass, OptConfig
+
+
+NUM_COMBINED = Statistic(
+    "instcombine", "num-combined", "Instructions combined")
+NUM_DEAD = Statistic(
+    "instcombine", "num-dead-removed", "Dead instructions swept")
+NUM_MUL_TO_ADD = Statistic(
+    "instcombine", "num-mul-to-add",
+    "mul x, 2 rewritten to add x, x (Section 3.1 duplicated use)")
+NUM_MUL_TO_SHL = Statistic(
+    "instcombine", "num-mul-to-shl", "mul x, 2^k rewritten to shl")
+NUM_UDIV_TO_SELECT = Statistic(
+    "instcombine", "num-udiv-to-select",
+    "udiv by big constant rewritten to select (Section 3.4)")
+NUM_SELECTS_TO_ARITH = Statistic(
+    "instcombine", "num-selects-to-arith",
+    "i1 selects rewritten to or/and (Sections 3.4/6)")
+NUM_SELECT_ARMS_FROZEN = Statistic(
+    "instcombine", "num-selects-frozen",
+    "Non-selected select arms frozen by the fixed rewrite")
+NUM_SELECT_UNDEF_COLLAPSED = Statistic(
+    "instcombine", "num-select-undef-collapsed",
+    "select of undef collapsed (legacy, unsound: PR31633)")
 
 
 def _insert_before(anchor: Instruction, new_inst: Instruction) -> Instruction:
@@ -78,6 +102,7 @@ class InstCombine(FunctionPass):
                     if new_value is not None and new_value is not inst:
                         inst.replace_all_uses_with(new_value)
                         block.erase(inst)
+                        NUM_COMBINED.inc()
                         changed = progress = True
             # like LLVM's InstCombine, sweep instructions the rewrites
             # just made dead
@@ -87,6 +112,7 @@ class InstCombine(FunctionPass):
                 for inst in list(reversed(block.instructions)):
                     if is_trivially_dead(inst):
                         block.erase(inst)
+                        NUM_DEAD.inc()
                         changed = progress = True
         return changed
 
@@ -195,6 +221,11 @@ class InstCombine(FunctionPass):
         dup_ok = self.config.semantics.is_new \
             or self.config.instcombine_dup_uses_unsound
         if v == 2 and dup_ok and not inst.nsw and not inst.nuw:
+            NUM_MUL_TO_ADD.inc()
+            self.remark(
+                f"rewrote {inst.ref()} = mul x, 2 to add x, x "
+                "(duplicates the SSA use; sound without undef)",
+                inst=inst)
             return _insert_before(
                 inst, BinaryInst(Opcode.ADD, inst.lhs, inst.lhs, inst.name)
             )
@@ -204,6 +235,7 @@ class InstCombine(FunctionPass):
                 and not inst.nuw:
             k = v.bit_length() - 1
             if v != 2 or not dup_ok:
+                NUM_MUL_TO_SHL.inc()
                 return _insert_before(
                     inst,
                     BinaryInst(Opcode.SHL, inst.lhs,
@@ -235,6 +267,11 @@ class InstCombine(FunctionPass):
             if self.config.semantics.select_semantics \
                     is SelectSemantics.UB_COND:
                 return None
+            NUM_UDIV_TO_SELECT.inc()
+            self.remark(
+                f"rewrote {inst.ref()} = udiv by a top-bit-set constant "
+                "to select (needs non-UB select on poison)",
+                inst=inst)
             cmp = _insert_before(
                 inst, IcmpInst(IcmpPred.ULT, inst.lhs, rc, inst.name + ".c")
             )
@@ -255,8 +292,18 @@ class InstCombine(FunctionPass):
         # is stronger than undef.  Historical behavior only.
         if self.config.simplifycfg_select_undef:
             if isinstance(fv, UndefValue):
+                NUM_SELECT_UNDEF_COLLAPSED.inc()
+                self.remark(
+                    f"collapsed {inst.ref()} = select of undef to its "
+                    "other arm (legacy; unsound when the arm is poison)",
+                    inst=inst)
                 return tv
             if isinstance(tv, UndefValue):
+                NUM_SELECT_UNDEF_COLLAPSED.inc()
+                self.remark(
+                    f"collapsed {inst.ref()} = select of undef to its "
+                    "other arm (legacy; unsound when the arm is poison)",
+                    inst=inst)
                 return fv
 
         if not inst.type.is_bool:
@@ -276,7 +323,16 @@ class InstCombine(FunctionPass):
             # The fixed variant freezes the non-selected arm so its
             # poison cannot leak through the strict or/and.
             if fixed:
+                NUM_SELECT_ARMS_FROZEN.inc()
+                self.remark(
+                    f"froze non-selected arm {x.ref()} of {inst.ref()} "
+                    "before the select-to-arithmetic rewrite",
+                    inst=inst)
                 return _insert_before(inst, FreezeInst(x, inst.name + ".fr"))
+            self.remark(
+                f"rewrote {inst.ref()} to arithmetic without freezing "
+                f"arm {x.ref()} (legacy; leaks the arm's poison)",
+                kind=REMARK_ANALYSIS, inst=inst)
             return x
 
         def not_of(c: Value) -> Value:
@@ -287,21 +343,25 @@ class InstCombine(FunctionPass):
             )
 
         if tc is not None and tc.is_one:
+            NUM_SELECTS_TO_ARITH.inc()
             return _insert_before(
                 inst,
                 BinaryInst(Opcode.OR, inst.cond, arm(fv), inst.name),
             )
         if fc is not None and fc.is_zero:
+            NUM_SELECTS_TO_ARITH.inc()
             return _insert_before(
                 inst,
                 BinaryInst(Opcode.AND, inst.cond, arm(tv), inst.name),
             )
         if tc is not None and tc.is_zero:
+            NUM_SELECTS_TO_ARITH.inc()
             return _insert_before(
                 inst,
                 BinaryInst(Opcode.AND, not_of(inst.cond), arm(fv), inst.name),
             )
         if fc is not None and fc.is_one:
+            NUM_SELECTS_TO_ARITH.inc()
             return _insert_before(
                 inst,
                 BinaryInst(Opcode.OR, not_of(inst.cond), arm(tv), inst.name),

@@ -21,6 +21,7 @@ from typing import List, Optional
 
 from ..analysis.dominators import DominatorTree
 from ..analysis.loops import Loop, LoopInfo
+from ..diag import REMARK_ANALYSIS, Statistic
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import (
@@ -34,6 +35,13 @@ from ..ir.instructions import (
 )
 from ..ir.values import ConstantInt, Value
 from .pass_manager import FunctionPass
+
+
+NUM_HOISTED = Statistic(
+    "licm", "num-hoisted", "Loop-invariant instructions hoisted")
+NUM_GUARDED_DIV_HOISTED = Statistic(
+    "licm", "num-guarded-div-hoisted",
+    "Divisions hoisted past a nonzero guard (Section 3.2)")
 
 
 class LICM(FunctionPass):
@@ -65,8 +73,22 @@ class LICM(FunctionPass):
                     if not all(loop.is_invariant(op) for op in inst.operands):
                         continue
                     term = preheader.terminator
+                    speculative_div = inst.opcode in DIVISION_OPCODES
                     inst.parent.remove(inst)
                     preheader.insert_before(term, inst)
+                    NUM_HOISTED.inc()
+                    if speculative_div:
+                        NUM_GUARDED_DIV_HOISTED.inc()
+                        self.remark(
+                            f"hoisted guarded division {inst.ref()} to "
+                            f"%{preheader.name} (guard is worthless when "
+                            "the divisor may be undef)",
+                            kind=REMARK_ANALYSIS, inst=inst,
+                            block=preheader, fn=fn)
+                    else:
+                        self.remark(
+                            f"hoisted {inst.ref()} to %{preheader.name}",
+                            inst=inst, block=preheader, fn=fn)
                     changed = progress = True
         return changed
 

@@ -21,6 +21,7 @@ from typing import List, Optional
 
 from ..analysis.dominators import DominatorTree
 from ..analysis.loops import Loop, LoopInfo
+from ..diag import REMARK_ANALYSIS, Statistic
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import (
@@ -31,6 +32,13 @@ from ..ir.instructions import (
 )
 from ..ir.values import Constant, Value
 from .pass_manager import FunctionPass
+
+
+NUM_UNSWITCHED = Statistic(
+    "loop-unswitch", "num-loops-unswitched", "Loops unswitched")
+NUM_CONDITIONS_FROZEN = Statistic(
+    "loop-unswitch", "num-conditions-frozen",
+    "Hoisted conditions frozen (the Section 5.1 fix)")
 
 
 class LoopUnswitch(FunctionPass):
@@ -137,12 +145,25 @@ class LoopUnswitch(FunctionPass):
         pre_term = preheader.terminator
         preheader.erase(pre_term)
         dispatch_cond: Value = cond
+        NUM_UNSWITCHED.inc()
+        self.remark(
+            f"unswitched loop at %{header.name} on invariant condition "
+            f"{cond.ref()}", block=preheader, fn=fn)
         if self.config.unswitch_freeze:
             # Section 5.1: freeze the hoisted condition so that a poison
             # c2 forces a nondeterministic choice instead of UB.
             freeze = FreezeInst(cond, (cond.name or "cond") + ".fr")
             preheader.append(freeze)
             dispatch_cond = freeze
+            NUM_CONDITIONS_FROZEN.inc()
+            self.remark(
+                f"froze hoisted condition {cond.ref()}",
+                inst=freeze, block=preheader, fn=fn)
+        else:
+            self.remark(
+                f"hoisted condition {cond.ref()} without freeze "
+                "(legacy; may introduce a branch on poison)",
+                kind=REMARK_ANALYSIS, block=preheader, fn=fn)
         preheader.append(
             BranchInst(cond=dispatch_cond, true_block=header,
                        false_block=clone_header)

@@ -24,11 +24,12 @@ builds the historical one.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
+from ..diag import REMARK_PASSED, PassStats, PassTiming, emit_remark
 from ..ir.function import Function
+from ..ir.instructions import Instruction
 from ..ir.module import Module
 from ..semantics.config import NEW, OLD, SemanticsConfig
 
@@ -96,26 +97,52 @@ class FunctionPass:
     def run_on_function(self, fn: Function) -> bool:
         raise NotImplementedError
 
+    def remark(self, message: str, *, kind: str = REMARK_PASSED,
+               inst: Optional[Instruction] = None,
+               block=None, fn: Optional[Function] = None) -> None:
+        """Emit an optimization remark attributed to this pass.
+
+        Location defaults are derived from ``inst`` (its block and
+        function) when not given explicitly.  A no-op when nobody is
+        subscribed to the process-wide emitter."""
+        if block is None and inst is not None:
+            block = inst.parent
+        if fn is None and block is not None:
+            fn = block.parent
+        emit_remark(
+            self.name, message, kind=kind,
+            function=fn.name if fn is not None else "",
+            block=block.name if block is not None else "",
+            instruction=inst.ref() if inst is not None else "",
+        )
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__}>"
 
 
-@dataclass
-class PassStats:
-    runs: int = 0
-    changes: int = 0
-    seconds: float = 0.0
-
-
 class PassManager:
     """Runs a pipeline of function passes over a module, optionally to a
-    fixpoint, collecting per-pass statistics (the compile-time experiment
-    E2 reads these)."""
+    fixpoint, collecting hierarchical per-pass × per-function timing
+    (the compile-time experiment E2 and the ``--time-passes`` CLI flag
+    read these).  ``stats`` exposes the per-pass aggregates, as before;
+    ``timing`` is the full :class:`~repro.diag.PassTiming` collector and
+    may be shared between several managers to accumulate one compilation
+    end to end."""
 
-    def __init__(self, passes: List[FunctionPass], max_iterations: int = 3):
+    def __init__(self, passes: List[FunctionPass], max_iterations: int = 3,
+                 timing: Optional[PassTiming] = None):
         self.passes = passes
         self.max_iterations = max_iterations
-        self.stats: Dict[str, PassStats] = {}
+        self.timing = timing if timing is not None else PassTiming()
+
+    @property
+    def stats(self) -> Dict[str, PassStats]:
+        """Per-pass statistics (aggregates plus per-function records)."""
+        return self.timing.passes
+
+    def report(self, per_function: bool = False) -> str:
+        """The ``-time-passes`` style report for this manager's runs."""
+        return self.timing.report(per_function=per_function)
 
     def run(self, module: Module) -> bool:
         changed_any = False
@@ -128,14 +155,12 @@ class PassManager:
         for _ in range(self.max_iterations):
             changed = False
             for p in self.passes:
-                stats = self.stats.setdefault(p.name, PassStats())
-                start = time.perf_counter()
-                c = p.run_on_function(fn)
-                stats.seconds += time.perf_counter() - start
-                stats.runs += 1
-                if c:
-                    stats.changes += 1
-                changed |= c
+                # measure() accounts in a finally block: a pass that
+                # raises mid-run still records its elapsed time with a
+                # matching runs increment.
+                with self.timing.measure(p.name, fn.name) as m:
+                    m.changed = p.run_on_function(fn)
+                changed |= m.changed
             changed_any |= changed
             if not changed:
                 break

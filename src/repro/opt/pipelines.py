@@ -27,6 +27,7 @@ from .instsimplify import InstSimplify
 from .licm import LICM
 from .loop_unswitch import LoopUnswitch
 from .mem2reg import Mem2Reg
+from ..diag import PassTiming
 from .pass_manager import FunctionPass, OptConfig, PassManager
 from .reassociate import Reassociate
 from .sccp import SCCP
@@ -34,7 +35,8 @@ from .simplify_cfg import SimplifyCFG
 from .sink import Sink
 
 
-def o2_pipeline(config: Optional[OptConfig] = None) -> PassManager:
+def o2_pipeline(config: Optional[OptConfig] = None,
+                timing: Optional[PassTiming] = None) -> PassManager:
     config = config or OptConfig.fixed()
     passes: List[FunctionPass] = [
         Mem2Reg(config),
@@ -55,23 +57,25 @@ def o2_pipeline(config: Optional[OptConfig] = None) -> PassManager:
         FreezeOpts(config),
         DCE(config),
     ]
-    return PassManager(passes, max_iterations=2)
+    return PassManager(passes, max_iterations=2, timing=timing)
 
 
-def quick_pipeline(config: Optional[OptConfig] = None) -> PassManager:
+def quick_pipeline(config: Optional[OptConfig] = None,
+                   timing: Optional[PassTiming] = None) -> PassManager:
     """-O1-ish: peephole and cleanup only."""
     config = config or OptConfig.fixed()
     return PassManager(
         [SimplifyCFG(config), InstCombine(config), DCE(config)],
-        max_iterations=2,
+        max_iterations=2, timing=timing,
     )
 
 
-def codegen_pipeline(config: Optional[OptConfig] = None) -> PassManager:
+def codegen_pipeline(config: Optional[OptConfig] = None,
+                     timing: Optional[PassTiming] = None) -> PassManager:
     config = config or OptConfig.fixed()
     return PassManager(
         [CodeGenPrepare(config), FreezeOpts(config), DCE(config)],
-        max_iterations=1,
+        max_iterations=1, timing=timing,
     )
 
 
@@ -89,7 +93,8 @@ def prototype_config() -> OptConfig:
 #: individual passes (the paper validated InstCombine, GVN, Reassociation
 #: and SCCP separately).
 def single_pass_pipeline(pass_name: str,
-                         config: Optional[OptConfig] = None) -> PassManager:
+                         config: Optional[OptConfig] = None,
+                         timing: Optional[PassTiming] = None) -> PassManager:
     config = config or OptConfig.fixed()
     factory = {
         "mem2reg": Mem2Reg,
@@ -110,4 +115,5 @@ def single_pass_pipeline(pass_name: str,
     }
     if pass_name not in factory:
         raise ValueError(f"unknown pass {pass_name!r}")
-    return PassManager([factory[pass_name](config)], max_iterations=1)
+    return PassManager([factory[pass_name](config)], max_iterations=1,
+                       timing=timing)

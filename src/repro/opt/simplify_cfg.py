@@ -28,7 +28,23 @@ from ..ir.instructions import (
 )
 from ..ir.values import ConstantInt, Value
 from ..analysis.cfg import remove_unreachable_blocks
+from ..diag import REMARK_MISSED, Statistic
 from .pass_manager import FunctionPass
+
+NUM_BRANCHES_FOLDED = Statistic(
+    "simplifycfg", "num-branches-folded", "Constant branches folded")
+NUM_BLOCKS_MERGED = Statistic(
+    "simplifycfg", "num-blocks-merged",
+    "Blocks merged into their unique predecessor")
+NUM_PHIS_TO_SELECT = Statistic(
+    "simplifycfg", "num-phis-to-select",
+    "Phi nodes converted to select (Section 3.4)")
+NUM_JUMPS_THREADED = Statistic(
+    "simplifycfg", "num-jumps-threaded",
+    "Branches threaded over phi-of-constants")
+NUM_FREEZE_THREADS_BLOCKED = Statistic(
+    "simplifycfg", "num-freeze-threads-blocked",
+    "Threading refused by freeze-unaware codegen (Section 7.2)")
 
 
 class SimplifyCFG(FunctionPass):
@@ -63,6 +79,7 @@ class SimplifyCFG(FunctionPass):
                             phi.remove_incoming(block)
                 block.erase(term)
                 block.append(BranchInst(target=taken))
+                NUM_BRANCHES_FOLDED.inc()
                 changed = True
             elif isinstance(term, SwitchInst) \
                     and isinstance(term.value, ConstantInt):
@@ -110,6 +127,7 @@ class SimplifyCFG(FunctionPass):
                 for phi in succ.phis():
                     phi.replace_incoming_block(block, pred)
             fn.remove_block(block)
+            NUM_BLOCKS_MERGED.inc()
             changed = True
         return changed
 
@@ -174,6 +192,11 @@ class SimplifyCFG(FunctionPass):
                 fv = phi.incoming_for_block(false_pred)
                 select = SelectInst(cond, tv, fv, phi.name)
                 merge.insert_front(select)
+                NUM_PHIS_TO_SELECT.inc()
+                self.remark(
+                    f"converted phi {phi.ref()} to select on "
+                    f"{cond.ref()} (needs the conditional select "
+                    "semantics, Figure 5)", inst=select)
                 phi.replace_all_uses_with(select)
                 merge.erase(phi)
             term = branch_block.terminator
@@ -246,6 +269,12 @@ class SimplifyCFG(FunctionPass):
             # not know freeze fails to look through it.
             if isinstance(cond, FreezeInst):
                 if not self.config.freeze_aware_codegen:
+                    NUM_FREEZE_THREADS_BLOCKED.inc()
+                    self.remark(
+                        f"refused to thread through {cond.ref()}: "
+                        "freeze-unaware codegen (the Section 7.2 "
+                        "compile-time outlier)", kind=REMARK_MISSED,
+                        inst=cond, block=block, fn=fn)
                     continue
                 # Looking through freeze(phi of constants) is sound:
                 # freeze of a constant is that constant.
@@ -277,6 +306,10 @@ class SimplifyCFG(FunctionPass):
                 phi.remove_incoming(pred)
                 retargeted = True
             if retargeted:
+                NUM_JUMPS_THREADED.inc()
+                self.remark(
+                    f"threaded jump over phi-of-constants {phi.ref()}",
+                    inst=phi, block=block, fn=fn)
                 changed = True
                 if not phi.incoming_blocks:
                     remove_unreachable_blocks(fn)

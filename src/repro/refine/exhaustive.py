@@ -79,6 +79,14 @@ class Counterexample:
             for name, bits in self.global_init:
                 lines.append(f"  @{name} initially: {_fmt_bits(bits)}")
         lines.append(f"  target can produce: {self.witness}")
+        trace = self.witness.trace
+        if trace is not None and trace.ub_reason:
+            # The interpreter's event trace names the exact UB event the
+            # target executed — the divergence, not just "UB".
+            lines.append(
+                f"  target UB event: {trace.ub_reason} "
+                f"(after {trace.steps} steps)"
+            )
         lines.append("  but source only allows:")
         for b in sorted(self.src_behaviors, key=str)[:8]:
             lines.append(f"    {b}")

@@ -22,9 +22,10 @@ observables un-expanded; the refinement checker interprets them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..diag import ExecTrace, Statistic
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import (
@@ -81,12 +82,23 @@ from .eval import UBError, eval_binop, eval_cast, eval_icmp
 from .memory import Memory, uninit_bit_for
 
 
+NUM_FUEL_EXHAUSTED = Statistic(
+    "interp", "num-fuel-exhausted",
+    "Executions that ran out of fuel (probable infinite loops)")
+NUM_UB_EXECUTIONS = Statistic(
+    "interp", "num-ub-executions",
+    "Executions that triggered immediate UB")
+
+
 class PathLimitExceeded(Exception):
     """Behavior enumeration exceeded its path budget."""
 
 
 class FuelExhausted(Exception):
-    """Execution exceeded its step budget (probable infinite loop)."""
+    """Execution exceeded its step budget (probable infinite loop).
+
+    The message reports the step count and the function/block that was
+    executing, so a stuck workload is attributable without a debugger."""
 
 
 class Oracle:
@@ -141,10 +153,15 @@ class Behavior:
     ret: Optional[Bits]
     events: Tuple[Event, ...]
     memory: Tuple[Tuple[str, Bits], ...]
+    #: Event counters of the execution that produced this behavior.
+    #: Excluded from equality/hashing: two paths observing the same
+    #: behavior through different events are still the same behavior.
+    trace: Optional[ExecTrace] = field(default=None, compare=False)
 
     @staticmethod
-    def ub(events: Tuple[Event, ...] = ()) -> "Behavior":
-        return Behavior(UB, None, events, ())
+    def ub(events: Tuple[Event, ...] = (),
+           trace: Optional[ExecTrace] = None) -> "Behavior":
+        return Behavior(UB, None, events, (), trace)
 
     @property
     def is_ub(self) -> bool:
@@ -199,6 +216,10 @@ class Interpreter:
         self.global_addrs: Dict[str, int] = {}
         self.events: List[Event] = []
         self.steps = 0
+        self.trace = ExecTrace()
+        #: where execution currently is (FuelExhausted reporting)
+        self.current_function: Optional[Function] = None
+        self.current_block: Optional[BasicBlock] = None
 
     # -- setup ------------------------------------------------------------
     def setup_memory(self, fn: Function,
@@ -227,10 +248,19 @@ class Interpreter:
             self.setup_memory(fn, global_init)
         try:
             ret = self._call_function(fn, list(args), depth=0)
-        except UBError:
-            return Behavior.ub(tuple(self.events))
+        except UBError as e:
+            self.trace.steps = self.steps
+            self.trace.ub_triggers += 1
+            self.trace.ub_reason = e.reason
+            NUM_UB_EXECUTIONS.inc()
+            return Behavior.ub(tuple(self.events), trace=self.trace)
         except FuelExhausted:
-            return Behavior(TIMEOUT, None, tuple(self.events), ())
+            self.trace.steps = self.steps
+            self.trace.fuel_exhausted += 1
+            NUM_FUEL_EXHAUSTED.inc()
+            return Behavior(TIMEOUT, None, tuple(self.events), (),
+                            self.trace)
+        self.trace.steps = self.steps
         ret_bits: Optional[Bits] = None
         if ret is not None and not fn.return_type.is_void:
             ret_bits = value_to_bits(ret, fn.return_type)
@@ -239,13 +269,17 @@ class Interpreter:
             snap = self.memory.snapshot_block(self.global_addrs[name])
             if snap is not None:
                 mem_obs.append((name, snap))
-        return Behavior(RET, ret_bits, tuple(self.events), tuple(mem_obs))
+        return Behavior(RET, ret_bits, tuple(self.events), tuple(mem_obs),
+                        self.trace)
 
     # -- function call machinery ------------------------------------------------
     def _call_function(self, fn: Function, args: List[RuntimeValue],
                        depth: int) -> Optional[RuntimeValue]:
         if depth > self.max_call_depth:
-            raise FuelExhausted("call depth exceeded")
+            raise FuelExhausted(
+                f"call depth {depth} exceeded entering @{fn.name} "
+                f"after {self.steps} steps"
+            )
         if fn.is_declaration:
             return self._external_call(fn, args)
 
@@ -286,6 +320,7 @@ class Interpreter:
             )
             ret_bits = value_to_bits(ret_val, ret_ty)
         self.events.append((fn.name, arg_bits, ret_bits))
+        self.trace.external_calls += 1
         return ret_val
 
     # -- block execution ------------------------------------------------------
@@ -293,6 +328,8 @@ class Interpreter:
                    prev_block: Optional[BasicBlock],
                    regs: Dict[Value, RuntimeValue],
                    frame_allocas: List[int], depth: int):
+        self.current_function = fn
+        self.current_block = block
         # Phi nodes read their inputs simultaneously.
         phis = block.phis()
         if phis:
@@ -312,7 +349,10 @@ class Interpreter:
         for inst in block.instructions[len(phis):]:
             self.steps += 1
             if self.steps > self.fuel:
-                raise FuelExhausted("fuel exhausted")
+                raise FuelExhausted(
+                    f"fuel exhausted after {self.steps} steps "
+                    f"in @{fn.name}:%{block.name}"
+                )
             if inst.is_terminator:
                 nxt = self._terminator(inst, regs)
                 return nxt, block
@@ -356,6 +396,7 @@ class Interpreter:
         if isinstance(v, PartialUndef):
             k = v.num_undef_bits()
             pick = self.oracle.choose(1 << k)
+            self.trace.undef_expansions += 1
             return v.concretize(pick)
         return v
 
@@ -371,6 +412,11 @@ class Interpreter:
                  frame_allocas: List[int], depth: int) -> None:
         result = self._compute(inst, regs, frame_allocas, depth)
         if not inst.type.is_void:
+            if result is POISON or (
+                type(result) is tuple
+                and any(x is POISON for x in result)
+            ):
+                self.trace.poison_created += 1
             regs[inst] = result
 
     def _compute(self, inst: Instruction, regs, frame_allocas, depth):
@@ -463,9 +509,11 @@ class Interpreter:
 
         def one(x: Scalar) -> Scalar:
             if x is POISON:
+                self.trace.freeze_resolutions += 1
                 return self.oracle.choose(1 << width)
             if isinstance(x, PartialUndef):
                 pick = self.oracle.choose(1 << x.num_undef_bits())
+                self.trace.freeze_resolutions += 1
                 return x.concretize(pick)
             return x
 
@@ -508,6 +556,7 @@ class Interpreter:
 
     def _load(self, inst: LoadInst, regs):
         addr = self._use(inst.pointer, regs)
+        self.trace.loads += 1
         if addr is POISON:
             raise UBError("load from poison address")
         bits = self.memory.load_bits(addr, inst.type.bitwidth())
@@ -517,6 +566,7 @@ class Interpreter:
 
     def _store(self, inst: StoreInst, regs):
         addr = self._use(inst.pointer, regs)
+        self.trace.stores += 1
         if addr is POISON:
             raise UBError("store to poison address")
         value = self._value(inst.value, regs)  # store does not expand

@@ -1,0 +1,102 @@
+"""The ``python -m repro`` driver: flag handling and the JSON report
+contract (the acceptance surface for the observability layer)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+EXAMPLE = str(Path(__file__).resolve().parents[2]
+              / "examples" / "unswitch_gvn.ll")
+
+
+def run_cli(capsys, *argv):
+    rc = main(list(argv))
+    out = capsys.readouterr().out
+    return rc, out
+
+
+class TestJsonReport:
+    @pytest.fixture()
+    def report(self, capsys):
+        rc, out = run_cli(capsys, EXAMPLE, "--stats", "--time-passes",
+                          "--remarks=json")
+        assert rc == 0
+        return json.loads(out)
+
+    def test_contains_an_instcombine_counter(self, report):
+        counters = report["stats"]["instcombine"]
+        assert any(v > 0 for v in counters.values())
+
+    def test_contains_the_unswitch_freeze_remark(self, report):
+        froze = [r for r in report["remarks"]
+                 if r["pass_name"] == "loop-unswitch"
+                 and "froze" in r["message"]]
+        assert froze
+        assert report["stats"]["loop-unswitch"]["num-conditions-frozen"] > 0
+
+    def test_contains_per_pass_timing(self, report):
+        timing = report["timing"]
+        assert "instcombine" in timing
+        assert timing["instcombine"]["runs"] > 0
+        assert timing["instcombine"]["per_function"]
+
+    def test_header_identifies_the_compile(self, report):
+        assert report["input"] == EXAMPLE
+        assert report["pipeline"] == "o2"
+        assert report["opt_config"] == "fixed"
+
+
+class TestModes:
+    def test_json_flag_without_remarks(self, capsys):
+        rc, out = run_cli(capsys, EXAMPLE, "--stats", "--json")
+        assert rc == 0
+        assert "remarks" not in json.loads(out)
+
+    def test_text_stats(self, capsys):
+        rc, out = run_cli(capsys, EXAMPLE, "--stats")
+        assert rc == 0
+        assert "Statistics Collected" in out
+        assert "loop-unswitch" in out
+
+    def test_text_remarks_and_timing(self, capsys):
+        rc, out = run_cli(capsys, EXAMPLE, "--remarks", "--time-passes")
+        assert rc == 0
+        assert "remark: loop-unswitch: froze hoisted condition" in out
+        assert "Pass execution timing report" in out
+
+    def test_trace_runs_the_entry_function(self, capsys):
+        rc, out = run_cli(capsys, EXAMPLE, "--trace", "--json")
+        assert rc == 0
+        trace = json.loads(out)["trace"]
+        assert trace["function"] == "main"
+        assert trace["kind"] == "ret"
+        assert trace["events"]["steps"] > 0
+
+    def test_legacy_config_emits_no_freeze_remark(self, capsys):
+        rc, out = run_cli(capsys, EXAMPLE, "--opt-config", "legacy",
+                          "--remarks=json")
+        assert rc == 0
+        remarks = json.loads(out)["remarks"]
+        assert not any("froze hoisted" in r["message"] for r in remarks)
+        assert any("without freeze" in r["message"] for r in remarks)
+
+    def test_emit_ir(self, capsys):
+        rc, out = run_cli(capsys, EXAMPLE, "--emit-ir")
+        assert rc == 0
+        assert "define i8 @main" in out
+
+    def test_missing_file_fails(self, capsys):
+        rc = main(["/nonexistent/input.ll"])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_input_fails_cleanly(self, capsys, tmp_path):
+        bad = tmp_path / "bad.ll"
+        bad.write_text("define i8 @f( {\n garbage\n")
+        rc = main([str(bad), "--stats"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "error" in err and "expected a type" in err

@@ -1,0 +1,184 @@
+"""Optimization remarks: emitter contract, serialization, and the
+legacy-vs-fixed pipelines telling different stories on the paper's
+Section 3 examples."""
+
+import json
+
+import pytest
+
+from repro.diag import (
+    REMARK_ANALYSIS,
+    REMARK_PASSED,
+    Remark,
+    RemarkEmitter,
+    default_emitter,
+    emit_remark,
+    remarks_from_json,
+    remarks_to_json,
+)
+from repro.ir import parse_function
+from repro.opt import InstCombine, LoopUnswitch, OptConfig
+
+
+class TestEmitter:
+    def test_no_subscribers_is_a_noop(self):
+        e = RemarkEmitter()
+        assert not e.active
+        assert e.emit("p", "nothing listens") is None
+
+    def test_subscribers_called_in_subscription_order(self):
+        e = RemarkEmitter()
+        order = []
+        e.subscribe(lambda r: order.append(("first", r.message)))
+        e.subscribe(lambda r: order.append(("second", r.message)))
+        e.emit("p", "m1")
+        e.emit("p", "m2")
+        assert order == [("first", "m1"), ("second", "m1"),
+                         ("first", "m2"), ("second", "m2")]
+
+    def test_unsubscribe_stops_delivery(self):
+        e = RemarkEmitter()
+        seen = []
+        cb = e.subscribe(seen.append)
+        e.emit("p", "before")
+        e.unsubscribe(cb)
+        e.emit("p", "after")
+        assert [r.message for r in seen] == ["before"]
+
+    def test_collect_captures_and_detaches(self):
+        e = RemarkEmitter()
+        with e.collect() as remarks:
+            e.emit("p", "inside")
+        e.emit("p", "outside")
+        assert [r.message for r in remarks] == ["inside"]
+        assert not e.active
+
+    def test_nested_collectors_both_receive(self):
+        e = RemarkEmitter()
+        with e.collect() as outer:
+            with e.collect() as inner:
+                e.emit("p", "m")
+        assert len(outer) == len(inner) == 1
+
+    def test_unknown_kind_rejected(self):
+        e = RemarkEmitter()
+        e.subscribe(lambda r: None)
+        with pytest.raises(ValueError):
+            e.emit("p", "m", kind="celebration")
+
+    def test_module_level_emit_uses_default_emitter(self):
+        with default_emitter().collect() as remarks:
+            emit_remark("p", "via helper", function="f", block="entry",
+                        instruction="%x")
+        assert len(remarks) == 1
+        r = remarks[0]
+        assert (r.pass_name, r.function, r.block, r.instruction) == \
+            ("p", "f", "entry", "%x")
+
+
+class TestSerialization:
+    REMARK = Remark(pass_name="loop-unswitch", kind=REMARK_PASSED,
+                    function="f", block="entry", instruction="%c2.fr",
+                    message="froze hoisted condition %c2")
+
+    def test_single_remark_round_trip(self):
+        assert Remark.from_json(self.REMARK.to_json()) == self.REMARK
+
+    def test_list_round_trip(self):
+        other = Remark(pass_name="gvn", kind=REMARK_ANALYSIS, function="g",
+                       block="b", instruction="", message="m")
+        text = remarks_to_json([self.REMARK, other])
+        assert remarks_from_json(text) == [self.REMARK, other]
+        # and the payload is plain JSON a non-Python consumer can read
+        payload = json.loads(text)
+        assert payload[0]["pass_name"] == "loop-unswitch"
+        assert payload[0]["message"] == "froze hoisted condition %c2"
+
+    def test_str_rendering(self):
+        s = str(self.REMARK)
+        assert s.startswith("loop-unswitch: froze hoisted condition %c2")
+        assert "[@f:%entry]" in s
+        missed = Remark(pass_name="p", kind="missed", function="",
+                        block="", instruction="", message="declined")
+        assert str(missed) == "p: declined (missed)"
+
+
+UNSWITCH_LOOP = """
+declare void @effect(i8)
+
+define void @f(i1 %c2, i8 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i8 [ 0, %entry ], [ %next, %latch ]
+  %cmp = icmp ult i8 %i, %n
+  br i1 %cmp, label %body, label %exit
+body:
+  br i1 %c2, label %t, label %e
+t:
+  call void @effect(i8 1)
+  br label %latch
+e:
+  call void @effect(i8 2)
+  br label %latch
+latch:
+  %next = add i8 %i, 1
+  br label %head
+exit:
+  ret void
+}
+"""
+
+SELECT_ARITH = """
+define i1 @f(i1 %c, i1 %x) {
+entry:
+  %s = select i1 %c, i1 %x, i1 false
+  ret i1 %s
+}
+"""
+
+
+class TestLegacyVsFixedStreams:
+    """Section 3/5.1: the fixed and legacy pipelines make *different*
+    decisions on the motivating examples, and the remark streams are
+    where that difference becomes observable."""
+
+    def _run(self, pass_cls, config, source):
+        fn = parse_function(source)
+        with default_emitter().collect() as remarks:
+            pass_cls(config).run_on_function(fn)
+        return remarks
+
+    def test_unswitch_fixed_freezes_legacy_does_not(self):
+        fixed = self._run(LoopUnswitch, OptConfig.fixed(), UNSWITCH_LOOP)
+        legacy = self._run(LoopUnswitch, OptConfig.legacy(), UNSWITCH_LOOP)
+
+        # both unswitch...
+        assert any("unswitched loop" in r.message for r in fixed)
+        assert any("unswitched loop" in r.message for r in legacy)
+        # ...but only the fixed pipeline freezes the hoisted condition
+        froze = [r for r in fixed if "froze hoisted condition" in r.message]
+        assert froze and froze[0].kind == REMARK_PASSED
+        assert froze[0].instruction  # anchored to the freeze instruction
+        assert not any("froze" in r.message for r in legacy)
+        # the legacy stream instead explains the latent bug
+        warn = [r for r in legacy if "without freeze" in r.message]
+        assert warn and warn[0].kind == REMARK_ANALYSIS
+
+    def test_select_arith_streams_differ(self):
+        """Section 3.4's select -> and rewrite: the fixed pipeline
+        freezes the non-selected arm, the legacy one leaks its poison —
+        and says so, as an analysis remark."""
+        fixed = self._run(InstCombine, OptConfig.fixed(), SELECT_ARITH)
+        legacy = self._run(InstCombine, OptConfig.legacy(), SELECT_ARITH)
+        assert any("froze non-selected arm" in r.message for r in fixed)
+        leaks = [r for r in legacy if "without freezing" in r.message]
+        assert leaks and leaks[0].kind == REMARK_ANALYSIS
+        assert [r.message for r in fixed] != [r.message for r in legacy]
+
+    def test_passes_stay_silent_with_no_subscribers(self):
+        # instrumented passes are free when nobody listens: nothing
+        # blows up and no state accumulates in the emitter
+        fn = parse_function(UNSWITCH_LOOP)
+        LoopUnswitch(OptConfig.fixed()).run_on_function(fn)
+        assert not default_emitter().active

@@ -1,0 +1,150 @@
+"""Hierarchical pass timing: accounting, failure safety, reporting,
+and the PassManager integration."""
+
+import pytest
+
+from repro.diag import PassStats, PassTiming, TimeRecord
+from repro.ir import parse_function, parse_module
+from repro.opt import FunctionPass, OptConfig, PassManager, quick_pipeline
+
+SIMPLE_FN = """
+define i8 @f(i8 %x) {
+entry:
+  %a = add i8 %x, 0
+  %m = mul i8 %a, 2
+  ret i8 %m
+}
+"""
+
+
+class TestMeasure:
+    def test_records_runs_changes_and_seconds(self):
+        t = PassTiming()
+        with t.measure("mypass", "f") as m:
+            m.changed = True
+        with t.measure("mypass", "g"):
+            pass
+        stats = t.passes["mypass"]
+        assert stats.runs == 2
+        assert stats.changes == 1
+        assert stats.seconds > 0.0
+        assert stats.per_function["f"].changes == 1
+        assert stats.per_function["g"].changes == 0
+
+    def test_raising_pass_still_recorded(self):
+        """The try/finally contract: a pass that blows up mid-run still
+        gets its wall time recorded with a matching runs increment."""
+        t = PassTiming()
+        with pytest.raises(RuntimeError):
+            with t.measure("broken", "f"):
+                raise RuntimeError("pass failed")
+        stats = t.passes["broken"]
+        assert stats.runs == 1
+        assert stats.changes == 0
+        assert stats.seconds > 0.0
+        assert stats.per_function["f"].runs == 1
+
+    def test_per_function_sums_to_pass_total(self):
+        t = PassTiming()
+        for fn in ("a", "b", "c"):
+            with t.measure("p", fn):
+                pass
+        stats = t.passes["p"]
+        assert abs(sum(r.seconds for r in stats.per_function.values())
+                   - stats.seconds) < 1e-9
+
+    def test_shared_collector_accumulates_across_managers(self):
+        t = PassTiming()
+        with t.measure("p", "f"):
+            pass
+        with t.measure("p", "f"):
+            pass
+        assert t.passes["p"].runs == 2
+        assert t.passes["p"].per_function["f"].runs == 2
+
+
+class TestSerialization:
+    def _timed(self):
+        t = PassTiming()
+        with t.measure("zeta", "f") as m:
+            m.changed = True
+        with t.measure("alpha", "g"):
+            pass
+        return t
+
+    def test_as_dict_shape_and_ordering(self):
+        data = self._timed().as_dict()
+        # sorted by pass name, stable keys at every level
+        assert list(data) == ["alpha", "zeta"]
+        zeta = data["zeta"]
+        assert set(zeta) == {"runs", "changes", "seconds", "per_function"}
+        assert zeta["per_function"]["f"]["runs"] == 1
+
+    def test_report_table(self):
+        t = self._timed()
+        text = t.report(per_function=True)
+        assert "Pass execution timing report" in text
+        assert "Total execution time" in text
+        assert "zeta" in text and "alpha" in text
+        assert "@f" in text and "@g" in text
+        # without the flag, no per-function rows
+        assert "@f" not in t.report(per_function=False)
+
+    def test_merge_folds_records(self):
+        a, b = self._timed(), self._timed()
+        a.merge(b)
+        assert a.passes["zeta"].runs == 2
+        assert a.passes["zeta"].per_function["f"].runs == 2
+        assert b.passes["zeta"].runs == 1  # source unchanged
+
+    def test_reset(self):
+        t = self._timed()
+        t.reset()
+        assert t.passes == {} and t.total_seconds() == 0.0
+
+    def test_time_record_as_dict(self):
+        rec = TimeRecord(runs=2, changes=1, seconds=0.5)
+        assert rec.as_dict() == {"runs": 2, "changes": 1, "seconds": 0.5}
+
+
+class TestPassManagerIntegration:
+    def test_pipeline_populates_shared_collector(self):
+        timing = PassTiming()
+        module = parse_module(SIMPLE_FN)
+        pm = quick_pipeline(OptConfig.fixed(), timing=timing)
+        pm.run(module)
+        assert pm.timing is timing
+        assert "instcombine" in timing.passes
+        inst = timing.passes["instcombine"]
+        assert inst.runs > 0
+        assert inst.per_function["f"].runs == inst.runs
+
+    def test_legacy_stats_surface_still_works(self):
+        """tests/opt reads pm.stats[name].runs/.changes/.seconds; the
+        hierarchical collector keeps that interface."""
+        module = parse_module(SIMPLE_FN)
+        pm = quick_pipeline(OptConfig.fixed())
+        pm.run(module)
+        stats = pm.stats["instcombine"]
+        assert isinstance(stats, PassStats)
+        assert stats.runs > 0 and stats.seconds >= 0.0
+
+    def test_crashing_pass_is_accounted(self):
+        class Exploding(FunctionPass):
+            name = "exploding"
+
+            def run_on_function(self, fn):
+                raise RuntimeError("boom")
+
+        fn = parse_function(SIMPLE_FN)
+        pm = PassManager([Exploding(OptConfig.fixed())])
+        with pytest.raises(RuntimeError):
+            pm.run_on_function(fn)
+        stats = pm.stats["exploding"]
+        assert stats.runs == 1 and stats.seconds > 0.0
+
+    def test_report_available_from_pass_manager(self):
+        module = parse_module(SIMPLE_FN)
+        pm = quick_pipeline(OptConfig.fixed())
+        pm.run(module)
+        assert "instcombine" in pm.report()

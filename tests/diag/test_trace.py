@@ -1,0 +1,176 @@
+"""Interpreter event tracing: counters on Behavior, fuel-exhaustion
+diagnostics, and the interp statistics."""
+
+import pytest
+
+from repro.diag import ExecTrace, default_registry, reset_stats
+from repro.ir import parse_function
+from repro.semantics import NEW, OLD, run_once
+from repro.semantics.domains import POISON
+from repro.semantics.interp import (
+    Behavior,
+    FuelExhausted,
+    Interpreter,
+    Oracle,
+)
+
+LOOP_FOREVER = """
+define i8 @spin() {
+entry:
+  br label %loop
+loop:
+  %i = phi i8 [ 0, %entry ], [ %j, %loop ]
+  %j = add i8 %i, 1
+  br label %loop
+}
+"""
+
+MEM_FN = """
+define i8 @mem(i8 %x) {
+entry:
+  %p = alloca i8
+  store i8 %x, i8* %p
+  %v = load i8, i8* %p
+  ret i8 %v
+}
+"""
+
+FREEZE_FN = """
+define i8 @fr(i8 %x) {
+entry:
+  %f = freeze i8 %x
+  ret i8 %f
+}
+"""
+
+BRANCH_FN = """
+define i8 @br_on(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  ret i8 1
+b:
+  ret i8 2
+}
+"""
+
+
+class TestTraceCounters:
+    def test_every_behavior_carries_a_trace(self):
+        b = run_once(parse_function(MEM_FN), [5], NEW)
+        assert b.trace is not None
+        assert b.trace.steps > 0
+
+    def test_loads_and_stores_counted(self):
+        b = run_once(parse_function(MEM_FN), [5], NEW)
+        assert b.trace.loads == 1
+        assert b.trace.stores == 1
+
+    def test_freeze_resolution_counted_only_for_poison(self):
+        fn = parse_function(FREEZE_FN)
+        frozen = run_once(fn, [POISON], NEW)
+        assert frozen.trace.freeze_resolutions == 1
+        concrete = run_once(fn, [5], NEW)
+        assert concrete.trace.freeze_resolutions == 0
+
+    def test_ub_trace_names_the_event(self):
+        b = run_once(parse_function(BRANCH_FN), [POISON], NEW)
+        assert b.is_ub
+        assert b.trace.ub_triggers == 1
+        assert "poison" in b.trace.ub_reason
+
+    def test_trace_excluded_from_behavior_equality(self):
+        """Two runs observing the same behavior through different event
+        counts are the same behavior (Behavior lives in frozensets)."""
+        t1, t2 = ExecTrace(steps=1), ExecTrace(steps=99)
+        a = Behavior("ret", (0, 0), (), (), t1)
+        b = Behavior("ret", (0, 0), (), (), t2)
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestFuelExhaustion:
+    def test_timeout_behavior_counts_exhaustion(self):
+        reset_stats()
+        b = run_once(parse_function(LOOP_FOREVER), [], NEW, fuel=50)
+        assert b.kind == "timeout"
+        assert b.trace.fuel_exhausted == 1
+        assert default_registry().get("interp", "num-fuel-exhausted") == 1
+        reset_stats()
+
+    def test_message_reports_steps_and_position(self):
+        """The FuelExhausted message pinpoints where fuel ran out:
+        step count, function, and block."""
+        fn = parse_function(LOOP_FOREVER)
+        interp = Interpreter(NEW, Oracle(), fuel=50)
+        interp.setup_memory(fn, None)
+        with pytest.raises(FuelExhausted) as exc:
+            interp._call_function(fn, [], depth=0)
+        msg = str(exc.value)
+        assert "fuel exhausted after" in msg
+        assert "51 steps" in msg
+        assert "@spin:%loop" in msg
+
+    def test_call_depth_message_reports_function_and_steps(self):
+        fn = parse_function("""
+define i8 @rec(i8 %x) {
+entry:
+  %r = call i8 @rec(i8 %x)
+  ret i8 %r
+}
+""")
+        interp = Interpreter(NEW, Oracle(), fuel=100_000)
+        interp.setup_memory(fn, None)
+        with pytest.raises(FuelExhausted) as exc:
+            interp._call_function(fn, [0], depth=0)
+        msg = str(exc.value)
+        assert "call depth" in msg and "@rec" in msg and "steps" in msg
+
+
+class TestUbStatistics:
+    def test_ub_executions_counted_in_registry(self):
+        reset_stats()
+        fn = parse_function(BRANCH_FN)
+        run_once(fn, [POISON], NEW)
+        run_once(fn, [POISON], NEW)
+        run_once(fn, [1], NEW)  # defined: no UB
+        assert default_registry().get("interp", "num-ub-executions") == 2
+        reset_stats()
+
+    def test_undef_expansions_counted_under_old(self):
+        fn = parse_function("""
+define i4 @g(i4 %x) {
+entry:
+  %a = add i4 %x, 0
+  ret i4 %a
+}
+""")
+        from repro.semantics.domains import full_undef
+
+        b = run_once(fn, [full_undef(4)], OLD)
+        assert b.trace.undef_expansions >= 1
+
+
+class TestExecTrace:
+    def test_as_dict_lists_every_counter(self):
+        t = ExecTrace(steps=3, loads=1, ub_reason="why")
+        d = t.as_dict()
+        assert d["steps"] == 3 and d["loads"] == 1
+        assert d["ub_reason"] == "why"
+        assert set(d) == {
+            "steps", "loads", "stores", "poison_created",
+            "undef_expansions", "freeze_resolutions", "external_calls",
+            "ub_triggers", "ub_reason", "fuel_exhausted",
+        }
+
+    def test_merge_accumulates_and_keeps_first_reason(self):
+        a = ExecTrace(steps=2, ub_reason="first")
+        b = ExecTrace(steps=3, ub_reason="second", ub_triggers=1)
+        a.merge(b)
+        assert a.steps == 5
+        assert a.ub_triggers == 1
+        assert a.ub_reason == "first"
+
+    def test_str_mentions_key_counters(self):
+        s = str(ExecTrace(steps=7, ub_reason="branch on poison"))
+        assert "steps=7" in s and "branch on poison" in s
