@@ -3,86 +3,85 @@ validation of individual passes and the -O2 pipeline.
 
 The paper exhaustively generated all 3-instruction functions over 2-bit
 integers and validated InstCombine, GVN, Reassociation, SCCP and -O2
-with Alive.  We validate the same pass list over:
+with Alive.  We validate the same pass list through the campaign engine
+(``repro.campaign``) over:
 
 * the *complete* 1-instruction i2 corpus (448 functions), and
-* a seeded random sample of the 3-instruction space (with flags,
-  icmp and select),
+* a seeded random sample of the 3-instruction space (with icmp and
+  select),
 
 under both the legacy configuration (expected: refinement failures — the
 Section 3 bugs) and the fixed configuration (expected: zero failures).
+
+Worker count is configurable via ``E5_WORKERS`` (default 1); the verdict
+sets are worker-count-independent by construction, so the table is the
+same at any setting — only wall time changes.  Each benchmark records
+the worker count and the dedup-cache hit rate in ``extra_info``.
 """
+
+import os
 
 import pytest
 
-from repro.bench.harness import baseline_variant, prototype_variant
-from repro.fuzz import enumerate_functions, random_functions
-from repro.ir import parse_function, print_module, verify_function
-from repro.opt import OptConfig, o2_pipeline, single_pass_pipeline
+from repro.campaign import CampaignSpec, run_campaign
+from repro.fuzz import random_functions
+from repro.ir import parse_function, print_module
+from repro.opt import OptConfig, single_pass_pipeline
 from repro.refine import CheckOptions, check_refinement
-from repro.semantics import NEW, OLD
+from repro.semantics import NEW
 
 PASSES = ("instcombine", "gvn", "reassociate", "sccp")
 OPTS = CheckOptions(max_choices=20, fuel=600)
 
+#: Shard-parallelism for the campaign runs below (1 = in-process).
+WORKERS = int(os.environ.get("E5_WORKERS", "1"))
 
-def validate_corpus(corpus, pipeline_factory, config, semantics):
-    """Returns (verified, failed, undecided, first_failure)."""
-    verified = failed = undecided = 0
-    first_failure = None
-    for fn in corpus:
-        src_text = print_module(fn.module)
-        before = parse_function(src_text)
-        pipeline_factory(config).run_on_function(fn)
-        verify_function(fn)
-        result = check_refinement(before, fn, semantics, options=OPTS)
-        if result.ok:
-            verified += 1
-        elif result.failed:
-            failed += 1
-            if first_failure is None:
-                first_failure = (src_text, result)
-        else:
-            undecided += 1
-    return verified, failed, undecided, first_failure
+
+def _campaign(pipeline, opt_config, **overrides):
+    spec = CampaignSpec(
+        mode="enumerate", num_instructions=1, shard_size=64,
+        pipeline=pipeline, opt_config=opt_config,
+        max_choices=OPTS.max_choices, fuel=OPTS.fuel, **overrides,
+    )
+    return run_campaign(spec, workers=WORKERS)
 
 
 @pytest.fixture(scope="module")
 def validation_table():
     rows = []
-    variants = [
-        ("legacy", OptConfig.legacy(), OLD),
-        ("fixed", OptConfig.fixed(), NEW),
-    ]
     for pass_name in PASSES:
-        for vname, config, semantics in variants:
-            corpus = enumerate_functions(1)
-            v, f, u, _ = validate_corpus(
-                corpus,
-                lambda cfg, p=pass_name: single_pass_pipeline(p, cfg),
-                config, semantics,
-            )
-            rows.append((pass_name, "i2 x1 exhaustive", vname, v, f, u))
+        for vname in ("legacy", "fixed"):
+            s = _campaign(pass_name, vname)
+            assert not s.shards_errored
+            rows.append((pass_name, "i2 x1 exhaustive", vname,
+                         s.verified, s.failed, s.inconclusive,
+                         s.dedup_hit_rate))
     # -O2 over a random 3-instruction sample
-    for vname, config, semantics in variants:
-        corpus = random_functions(60, num_instructions=3, seed=7)
-        v, f, u, _ = validate_corpus(
-            corpus, lambda cfg: o2_pipeline(cfg), config, semantics,
+    for vname in ("legacy", "fixed"):
+        s = run_campaign(
+            CampaignSpec(mode="random", num_instructions=3, count=60,
+                         seed=7, shard_size=30, pipeline="o2",
+                         opt_config=vname, max_choices=OPTS.max_choices,
+                         fuel=OPTS.fuel),
+            workers=WORKERS,
         )
-        rows.append(("-O2", "i2 x3 random(60)", vname, v, f, u))
+        assert not s.shards_errored
+        rows.append(("-O2", "i2 x3 random(60)", vname,
+                     s.verified, s.failed, s.inconclusive,
+                     s.dedup_hit_rate))
 
     print("\nE5 — opt-fuzz translation validation "
-          "(paper: Section 6's methodology)")
+          f"(paper: Section 6's methodology; workers={WORKERS})")
     print(f"  {'pass':<12} {'corpus':<18} {'config':<8} "
-          f"{'ok':>5} {'bugs':>5} {'undecided':>10}")
+          f"{'ok':>5} {'bugs':>5} {'undecided':>10} {'dedup':>7}")
     for row in rows:
         print(f"  {row[0]:<12} {row[1]:<18} {row[2]:<8} "
-              f"{row[3]:>5} {row[4]:>5} {row[5]:>10}")
+              f"{row[3]:>5} {row[4]:>5} {row[5]:>10} {row[6]:>6.1%}")
     return rows
 
 
 def test_fixed_pipeline_validates_cleanly(validation_table):
-    for pass_name, corpus, vname, ok, bugs, undecided in validation_table:
+    for pass_name, corpus, vname, ok, bugs, undecided, _ in validation_table:
         if vname == "fixed":
             assert bugs == 0, (
                 f"{pass_name} over {corpus}: {bugs} refinement failures "
@@ -92,7 +91,7 @@ def test_fixed_pipeline_validates_cleanly(validation_table):
 
 def test_legacy_pipeline_has_the_section3_bugs(validation_table):
     legacy_bugs = sum(
-        bugs for _, _, vname, _, bugs, _ in validation_table
+        bugs for _, _, vname, _, bugs, _, _ in validation_table
         if vname == "legacy"
     )
     assert legacy_bugs > 0, (
@@ -121,3 +120,29 @@ def bench_validate_one_function(benchmark):
         return check_refinement(before, fn, NEW, options=OPTS).verdict
 
     benchmark(cycle)
+
+
+@pytest.mark.benchmark(group="e5-optfuzz")
+def bench_campaign_exhaustive_instcombine(benchmark):
+    """Time a full sharded campaign over the 1-instruction i2 corpus
+    (the E5 inner loop the engine parallelizes)."""
+    summary = benchmark(lambda: _campaign("instcombine", "fixed"))
+    benchmark.extra_info["workers"] = WORKERS
+    benchmark.extra_info["checked"] = summary.checked
+    benchmark.extra_info["dedup_hit_rate"] = round(
+        summary.dedup_hit_rate, 4)
+
+
+@pytest.mark.benchmark(group="e5-optfuzz")
+def bench_campaign_random_dedup(benchmark):
+    """Time a random-mode campaign where the dedup cache absorbs
+    structural duplicates (worker count + hit rate in extra_info)."""
+    spec = CampaignSpec(mode="random", num_instructions=1,
+                        opcodes=("add", "mul"), count=200, seed=13,
+                        shard_size=50, pipeline="instcombine",
+                        opt_config="fixed")
+    summary = benchmark(lambda: run_campaign(spec, workers=WORKERS))
+    benchmark.extra_info["workers"] = WORKERS
+    benchmark.extra_info["checked"] = summary.checked
+    benchmark.extra_info["dedup_hit_rate"] = round(
+        summary.dedup_hit_rate, 4)

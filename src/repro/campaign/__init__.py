@@ -1,0 +1,34 @@
+"""Validation campaign engine (Section 6 at scale).
+
+Turns the E5 methodology — opt-fuzz corpus generation × Alive-style
+refinement checking — into a scalable, resumable subsystem: sharded
+corpora, a parallel executor with crash accounting, a canonical-hash
+dedup cache, JSONL checkpoint/resume, a counterexample reducer, and a
+CLI (``python -m repro campaign run|resume|reduce|report``) integrated
+with the observability layer.
+"""
+
+from .canon import DedupCache, canonical_function, canonical_hash, canonical_text
+from .checkpoint import CheckpointStore, load_manifest, save_manifest
+from .cli import campaign_main
+from .executor import CampaignRunner, CampaignSummary, run_campaign
+from .reduce import (
+    ReductionResult,
+    make_failure_oracle,
+    reduce_counterexamples,
+    reduce_failure,
+)
+from .report import aggregate_records, build_diag, render_report
+from .sharding import Shard, iter_shard_functions, plan_shards, shard_stream_seed
+from .spec import CampaignSpec
+from .worker import run_shard
+
+__all__ = [
+    "CampaignRunner", "CampaignSpec", "CampaignSummary", "CheckpointStore",
+    "DedupCache", "ReductionResult", "Shard", "aggregate_records",
+    "build_diag", "campaign_main", "canonical_function", "canonical_hash",
+    "canonical_text", "iter_shard_functions", "load_manifest",
+    "make_failure_oracle", "plan_shards", "reduce_counterexamples",
+    "reduce_failure", "render_report", "run_campaign", "run_shard",
+    "save_manifest", "shard_stream_seed",
+]

@@ -1,0 +1,109 @@
+"""Canonical IR text and hashing for the dedup cache.
+
+Two functions that differ only in value names, block labels, or the
+function's own name are the *same* test case for a validation campaign:
+optimizing and refinement-checking both wastes a full checker run.
+:func:`canonical_text` alpha-renames a function into a fixed namespace —
+arguments become ``%c0, %c1, ...`` in signature order, blocks ``b0,
+b1, ...`` in layout order, instruction results ``%t0, %t1, ...`` in
+program order — and :func:`canonical_hash` is the SHA-256 of that text.
+Renaming happens on a freshly parsed copy, so the input function is
+never mutated.
+
+The guarantee the campaign engine relies on (and the property tests
+enforce): the printed IR round-trips through the parser, and canonical
+hashing is invariant under any consistent renaming of values and blocks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Union
+
+from ..ir import Function, ParseError, parse_function, parse_module, print_function, print_module
+
+
+def _fresh_copy(fn: Union[Function, str]) -> Function:
+    """Parse a private copy of ``fn`` that is safe to mutate."""
+    if isinstance(fn, str):
+        return parse_function(fn)
+    try:
+        return parse_function(print_function(fn))
+    except (ParseError, ValueError):
+        # The function references module-level entities (declarations,
+        # globals); reparse the whole module and pick the function out.
+        if fn.module is None:
+            raise
+        copy = parse_module(print_module(fn.module)).get_function(fn.name)
+        if copy is None:  # pragma: no cover - printer/parser disagree
+            raise
+        return copy
+
+
+def canonical_function(fn: Union[Function, str]) -> Function:
+    """A freshly parsed copy of ``fn`` renamed into the canonical
+    namespace (``%cN`` args, ``bN`` blocks, ``%tN`` results)."""
+    copy = _fresh_copy(fn)
+    copy.name = "f"
+    for i, arg in enumerate(copy.args):
+        arg.name = f"c{i}"
+    for i, block in enumerate(copy.blocks):
+        block.name = f"b{i}"
+    n = 0
+    for inst in copy.instructions():
+        if not inst.type.is_void:
+            inst.name = f"t{n}"
+            n += 1
+    return copy
+
+
+def canonical_text(fn: Union[Function, str]) -> str:
+    """The function's text with canonical value/block/function names."""
+    return print_function(canonical_function(fn))
+
+
+def canonical_hash(fn: Union[Function, str]) -> str:
+    """SHA-256 (hex) of :func:`canonical_text`; the dedup-cache key."""
+    return hashlib.sha256(canonical_text(fn).encode("utf-8")).hexdigest()
+
+
+class DedupCache:
+    """Hash → verdict map with hit/miss accounting.
+
+    The campaign coordinator preloads it with every hash recorded by
+    earlier runs (the persisted dedup log) before shards launch, so the
+    preloaded set is identical no matter how many workers execute the
+    shards — a requirement for worker-count-independent verdict sets.
+    Shards then add their own discoveries locally.
+    """
+
+    def __init__(self, known: Optional[Dict[str, str]] = None):
+        self._verdicts: Dict[str, str] = dict(known or {})
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._verdicts)
+
+    def __contains__(self, h: str) -> bool:
+        return h in self._verdicts
+
+    def lookup(self, h: str) -> Optional[str]:
+        """The cached verdict, counting the probe as a hit or miss."""
+        verdict = self._verdicts.get(h)
+        if verdict is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return verdict
+
+    def add(self, h: str, verdict: str) -> None:
+        self._verdicts[h] = verdict
+
+    def as_dict(self) -> Dict[str, str]:
+        return dict(self._verdicts)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

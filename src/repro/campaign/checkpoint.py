@@ -1,0 +1,128 @@
+"""Durable campaign state: manifest, shard checkpoint, dedup log.
+
+Everything is append-only JSONL (plus one JSON manifest), chosen so a
+mid-run kill can at worst truncate the final line — the loader skips
+unparseable trailing garbage instead of failing, and ``resume`` simply
+re-runs the shard whose record was lost.
+
+* ``manifest.json``  — the :class:`~repro.campaign.spec.CampaignSpec`
+  and the shard plan's vital statistics; ``campaign resume`` rebuilds
+  the exact shard plan from it.
+* ``checkpoint.jsonl`` — one record per *completed* shard (``done`` or
+  ``errored``): verdict counts, counterexamples, dedup hits, wall time,
+  and a stats-registry delta.  The last record for a shard id wins, so
+  a retried shard simply appends its new outcome.
+* ``dedup.jsonl``     — one ``{"hash": ..., "verdict": ...}`` line per
+  newly checked canonical hash; preloaded into the dedup cache on
+  resume so previously checked functions are never re-verified.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, Optional, Tuple
+
+from .spec import CampaignSpec
+
+MANIFEST_NAME = "manifest.json"
+CHECKPOINT_NAME = "checkpoint.jsonl"
+DEDUP_NAME = "dedup.jsonl"
+REDUCED_NAME = "reduced.jsonl"
+
+
+def _append_jsonl(path: str, records: Iterable[dict]) -> None:
+    with open(path, "a", encoding="utf-8") as f:
+        for record in records:
+            f.write(json.dumps(record, sort_keys=True) + "\n")
+        f.flush()
+        os.fsync(f.fileno())
+
+
+def _load_jsonl(path: str) -> Iterable[dict]:
+    """Parse a JSONL file, skipping corrupt lines (a killed writer can
+    leave a truncated final record — that shard just reruns)."""
+    if not os.path.exists(path):
+        return
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                continue
+
+
+class CheckpointStore:
+    """The per-shard completion log of one campaign directory."""
+
+    def __init__(self, out_dir: str):
+        self.out_dir = out_dir
+        os.makedirs(out_dir, exist_ok=True)
+        self.path = os.path.join(out_dir, CHECKPOINT_NAME)
+        self.dedup_path = os.path.join(out_dir, DEDUP_NAME)
+
+    # -- shard records -----------------------------------------------------
+    def append(self, record: dict) -> None:
+        _append_jsonl(self.path, [record])
+
+    def load(self) -> Dict[int, dict]:
+        """All shard records, last-record-per-shard-id wins."""
+        records: Dict[int, dict] = {}
+        for record in _load_jsonl(self.path):
+            if "shard_id" in record:
+                records[int(record["shard_id"])] = record
+        return records
+
+    def done_ids(self) -> frozenset:
+        """Shards that finished successfully (``errored`` shards are
+        *not* done: resume retries them)."""
+        return frozenset(
+            sid for sid, record in self.load().items()
+            if record.get("status") == "done"
+        )
+
+    # -- dedup log ---------------------------------------------------------
+    def append_dedup(self, verdicts: Dict[str, str]) -> None:
+        _append_jsonl(
+            self.dedup_path,
+            ({"hash": h, "verdict": v} for h, v in sorted(verdicts.items())),
+        )
+
+    def load_dedup(self) -> Dict[str, str]:
+        known: Dict[str, str] = {}
+        for record in _load_jsonl(self.dedup_path):
+            if "hash" in record:
+                known[record["hash"]] = record.get("verdict", "")
+        return known
+
+    # -- reduced counterexamples ------------------------------------------
+    def append_reduced(self, records: Iterable[dict]) -> None:
+        _append_jsonl(os.path.join(self.out_dir, REDUCED_NAME), records)
+
+    def load_reduced(self) -> list:
+        return list(_load_jsonl(os.path.join(self.out_dir, REDUCED_NAME)))
+
+
+def save_manifest(out_dir: str, spec: CampaignSpec,
+                  extra: Optional[dict] = None) -> str:
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, MANIFEST_NAME)
+    payload = {"spec": spec.as_dict(),
+               "total_functions": spec.total_functions()}
+    payload.update(extra or {})
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_manifest(out_dir: str) -> Tuple[CampaignSpec, dict]:
+    path = os.path.join(out_dir, MANIFEST_NAME)
+    with open(path, encoding="utf-8") as f:
+        payload = json.load(f)
+    return CampaignSpec.from_dict(payload["spec"]), payload

@@ -1,0 +1,237 @@
+"""``python -m repro campaign`` — the campaign engine's CLI surface.
+
+Four subcommands over one campaign directory::
+
+    python -m repro campaign run --width 2 --instructions 3 --workers 4
+    python -m repro campaign resume --out campaign-out --workers 4
+    python -m repro campaign reduce --out campaign-out
+    python -m repro campaign report --out campaign-out [--json]
+
+``run`` writes a manifest + JSONL checkpoint under ``--out``;
+``resume`` reloads the manifest and finishes (or retries) the shards the
+checkpoint doesn't mark done; ``reduce`` shrinks every recorded
+counterexample to a minimal reproducer (``reduced.jsonl``); ``report``
+renders the aggregate — verdict totals, dedup hit rate, per-shard
+timing, and the stats registry — without re-running anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .checkpoint import CheckpointStore, load_manifest
+from .executor import CampaignRunner
+from .report import aggregate_records, render_report
+from .reduce import reduce_counterexamples
+from .spec import CampaignSpec
+
+DEFAULT_OUT = "campaign-out"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign",
+        description="Parallel sharded opt-fuzz x refinement-checking "
+                    "campaigns with checkpoint/resume and a "
+                    "counterexample reducer.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="start a fresh campaign")
+    run.add_argument("--mode", choices=["enumerate", "random"],
+                     default="enumerate")
+    run.add_argument("--width", type=int, default=2,
+                     help="integer bitwidth (default: 2)")
+    run.add_argument("--instructions", type=int, default=1,
+                     help="instructions per generated function")
+    run.add_argument("--num-args", type=int, default=2, dest="num_args")
+    run.add_argument("--opcodes", default="",
+                     help="comma-separated opcode names "
+                          "(default: the mode's standard set)")
+    run.add_argument("--include-flags", action="store_true",
+                     dest="include_flags",
+                     help="enumerate nsw-flagged variants too")
+    run.add_argument("--no-deferred", action="store_false",
+                     dest="include_deferred",
+                     help="exclude undef/poison from operand pools")
+    run.add_argument("--count", type=int, default=256,
+                     help="random mode: total functions to draw")
+    run.add_argument("--seed", type=int, default=0,
+                     help="random mode: campaign base seed")
+    run.add_argument("--pipeline", default="o2",
+                     help="o2, quick, or a single pass name "
+                          "(default: o2)")
+    run.add_argument("--opt-config", choices=["fixed", "legacy"],
+                     default="fixed", dest="opt_config")
+    run.add_argument("--shard-size", type=int, default=64,
+                     dest="shard_size")
+    run.add_argument("--limit", type=int, default=None,
+                     help="enumerate mode: cap on corpus indices covered")
+    run.add_argument("--start", type=int, default=0,
+                     help="enumerate mode: first corpus index")
+    run.add_argument("--max-choices", type=int, default=20,
+                     dest="max_choices")
+    run.add_argument("--fuel", type=int, default=600)
+
+    for p in (run, sub.add_parser("resume",
+                                  help="finish an interrupted campaign")):
+        p.add_argument("--out", default=DEFAULT_OUT,
+                       help=f"campaign directory (default: {DEFAULT_OUT})")
+        p.add_argument("--workers", type=int, default=1,
+                       help="parallel shard workers (default: 1)")
+        p.add_argument("--shard-timeout", type=float, default=None,
+                       dest="shard_timeout",
+                       help="per-shard wall timeout in seconds "
+                            "(workers > 1 only)")
+        p.add_argument("--stop-after", type=int, default=None,
+                       dest="stop_after",
+                       help="stop after N completed shards (graceful "
+                            "interrupt; resume finishes the rest)")
+        p.add_argument("--json", action="store_true",
+                       help="emit the summary as JSON")
+
+    red = sub.add_parser("reduce",
+                         help="shrink recorded counterexamples to "
+                              "minimal reproducers")
+    red.add_argument("--out", default=DEFAULT_OUT)
+    red.add_argument("--max-rounds", type=int, default=32,
+                     dest="max_rounds")
+    red.add_argument("--json", action="store_true")
+
+    rep = sub.add_parser("report",
+                         help="render the campaign aggregate from the "
+                              "checkpoint")
+    rep.add_argument("--out", default=DEFAULT_OUT)
+    rep.add_argument("--json", action="store_true")
+    return parser
+
+
+def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
+    opcodes = tuple(
+        name.strip() for name in args.opcodes.split(",") if name.strip()
+    )
+    return CampaignSpec(
+        mode=args.mode,
+        width=args.width,
+        num_instructions=args.instructions,
+        num_args=args.num_args,
+        opcodes=opcodes,
+        include_deferred=args.include_deferred,
+        include_flags=args.include_flags,
+        count=args.count,
+        seed=args.seed,
+        pipeline=args.pipeline,
+        opt_config=args.opt_config,
+        shard_size=args.shard_size,
+        limit=args.limit,
+        start=args.start,
+        max_choices=args.max_choices,
+        fuel=args.fuel,
+    )
+
+
+def _print_summary(summary, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(summary.as_dict(), indent=2, sort_keys=True))
+        return
+    print(f"campaign: {summary.shards_run} shard(s) run, "
+          f"{summary.shards_skipped} skipped (already done), "
+          f"{len(summary.shards_errored)} errored")
+    print(f"  {summary.checked} functions checked, "
+          f"{summary.dedup_hits} dedup hits "
+          f"({summary.dedup_hit_rate * 100:.1f}%)")
+    print(f"  verdicts: {summary.verified} verified, "
+          f"{summary.failed} failed, "
+          f"{summary.inconclusive} inconclusive")
+    if summary.failed:
+        print(f"  {len(summary.counterexamples)} counterexample(s) "
+              f"recorded; run `campaign reduce` to shrink them")
+    if summary.shards_errored:
+        print(f"  errored shards (will retry on resume): "
+              f"{summary.shards_errored}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        spec = _spec_from_args(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    runner = CampaignRunner(spec, out_dir=args.out, workers=args.workers,
+                            shard_timeout=args.shard_timeout)
+    summary = runner.run(stop_after=args.stop_after)
+    _print_summary(summary, args.json)
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    try:
+        spec, _ = load_manifest(args.out)
+    except FileNotFoundError:
+        print(f"error: no campaign manifest under {args.out!r} "
+              f"(run `campaign run --out {args.out}` first)",
+              file=sys.stderr)
+        return 1
+    runner = CampaignRunner(spec, out_dir=args.out, workers=args.workers,
+                            shard_timeout=args.shard_timeout)
+    summary = runner.run(resume=True, stop_after=args.stop_after)
+    _print_summary(summary, args.json)
+    return 0
+
+
+def _cmd_reduce(args: argparse.Namespace) -> int:
+    try:
+        spec, _ = load_manifest(args.out)
+    except FileNotFoundError:
+        print(f"error: no campaign manifest under {args.out!r}",
+              file=sys.stderr)
+        return 1
+    store = CheckpointStore(args.out)
+    agg = aggregate_records(spec, store.load())
+    counterexamples = agg["counterexamples"]
+    if not counterexamples:
+        print("no counterexamples recorded; nothing to reduce")
+        return 0
+    reduced = reduce_counterexamples(counterexamples, spec,
+                                     max_rounds=args.max_rounds)
+    store.append_reduced(reduced)
+    if args.json:
+        print(json.dumps(reduced, indent=2, sort_keys=True))
+        return 0
+    for record in reduced:
+        print(f"counterexample {record['hash'][:12]}: "
+              f"{record['original_instructions']} -> "
+              f"{record['reduced_instructions']} instructions "
+              f"({record['candidates_tried']} candidates, "
+              f"{record['rounds']} round(s))")
+        for line in record["reduced"].strip().splitlines():
+            print(f"  {line}")
+    print(f"wrote {len(reduced)} reduced reproducer(s) to "
+          f"{args.out}/reduced.jsonl")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        spec, _ = load_manifest(args.out)
+    except FileNotFoundError:
+        print(f"error: no campaign manifest under {args.out!r}",
+              file=sys.stderr)
+        return 1
+    records = CheckpointStore(args.out).load()
+    if args.json:
+        print(json.dumps(aggregate_records(spec, records), indent=2,
+                         sort_keys=True))
+    else:
+        print(render_report(spec, records))
+    return 0
+
+
+def campaign_main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {"run": _cmd_run, "resume": _cmd_resume,
+                "reduce": _cmd_reduce, "report": _cmd_report}
+    return handlers[args.command](args)

@@ -1,0 +1,335 @@
+"""The campaign coordinator: shard scheduling, crash handling, resume.
+
+:class:`CampaignRunner` drives a shard plan to completion:
+
+* **workers = 1** (default) runs shards in-process — no serialization
+  overhead, ideal for tests and benchmarks;
+* **workers > 1** runs each shard in its own child process (fork where
+  available), up to ``workers`` at a time, with optional per-shard wall
+  timeouts.  A worker that dies without reporting (segfault analog,
+  ``os._exit``, OOM-kill) is *accounted*, not lost: the shard's record
+  says ``errored`` with the exit code, the campaign completes, and a
+  later ``resume`` retries exactly the errored/missing shards.
+
+Every completed shard is appended to the JSONL checkpoint immediately,
+so killing the coordinator forfeits at most the shards in flight.
+Results integrate with the PR 1 observability layer: aggregate counters
+land in the default :class:`StatsRegistry` under the ``campaign`` pass
+name, per-shard wall time flows through :class:`PassTiming` (rendered by
+``campaign report``), and each refinement failure is emitted as an
+optimization remark.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..diag import PassStats, PassTiming, Statistic, emit_remark
+from ..diag.remarks import REMARK_ANALYSIS
+from .checkpoint import CheckpointStore, save_manifest
+from .sharding import Shard, plan_shards
+from .spec import CampaignSpec
+from .worker import run_shard
+
+NUM_CHECKED = Statistic(
+    "campaign", "num-functions-checked",
+    "Functions optimized and refinement-checked by campaign shards")
+NUM_DEDUP_HITS = Statistic(
+    "campaign", "num-dedup-hits",
+    "Functions skipped because their canonical hash was already checked")
+NUM_FAILURES = Statistic(
+    "campaign", "num-refinement-failures",
+    "Refinement failures (miscompilations) found by campaigns")
+NUM_SHARDS_DONE = Statistic(
+    "campaign", "num-shards-done", "Shards that completed successfully")
+NUM_SHARDS_ERRORED = Statistic(
+    "campaign", "num-shards-errored",
+    "Shards whose worker crashed or timed out")
+NUM_SHARDS_SKIPPED = Statistic(
+    "campaign", "num-shards-skipped",
+    "Shards skipped on resume (already checkpointed as done)")
+
+
+@dataclass
+class CampaignSummary:
+    """Aggregate view over every checkpointed shard of a campaign."""
+
+    spec: CampaignSpec
+    shards_total: int
+    shards_run: int
+    shards_skipped: int
+    shards_errored: List[int]
+    checked: int = 0
+    dedup_hits: int = 0
+    verified: int = 0
+    failed: int = 0
+    inconclusive: int = 0
+    wall_seconds: float = 0.0
+    counterexamples: List[dict] = field(default_factory=list)
+    #: canonical hash → verdict, merged across shards in shard-id order
+    #: (first occurrence wins), so the set is schedule-independent.
+    verdicts: Dict[str, str] = field(default_factory=dict)
+    timing: PassTiming = field(default_factory=PassTiming, repr=False)
+    records: Dict[int, dict] = field(default_factory=dict, repr=False)
+
+    @property
+    def dedup_hit_rate(self) -> float:
+        total = self.checked + self.dedup_hits
+        return self.dedup_hits / total if total else 0.0
+
+    def verdict_lines(self) -> List[str]:
+        """Sorted ``"<hash> <verdict>"`` lines — the canonical,
+        worker-count-independent result of a campaign."""
+        return [f"{h} {v}" for h, v in sorted(self.verdicts.items())]
+
+    def as_dict(self) -> dict:
+        return {
+            "spec": self.spec.as_dict(),
+            "shards_total": self.shards_total,
+            "shards_run": self.shards_run,
+            "shards_skipped": self.shards_skipped,
+            "shards_errored": list(self.shards_errored),
+            "checked": self.checked,
+            "dedup_hits": self.dedup_hits,
+            "dedup_hit_rate": self.dedup_hit_rate,
+            "verified": self.verified,
+            "failed": self.failed,
+            "inconclusive": self.inconclusive,
+            "wall_seconds": self.wall_seconds,
+            "counterexamples": self.counterexamples,
+        }
+
+
+def _shard_entry(conn, spec_dict: dict, shard_dict: dict,
+                 known_hashes: Dict[str, str]) -> None:
+    """Child-process entry: run one shard, report through the pipe."""
+    shard = Shard.from_dict(shard_dict)
+    try:
+        record = run_shard(CampaignSpec.from_dict(spec_dict), shard,
+                           known_hashes)
+    except BaseException as e:  # report instead of dying silently
+        record = {"shard_id": shard.shard_id, "status": "errored",
+                  "error": repr(e), "checked": 0, "dedup_hits": 0,
+                  "verdicts": {}, "hashes": {}, "counterexamples": [],
+                  "wall_seconds": 0.0}
+    try:
+        conn.send(record)
+    finally:
+        conn.close()
+
+
+def _errored_record(shard: Shard, reason: str) -> dict:
+    return {"shard_id": shard.shard_id, "status": "errored",
+            "error": reason, "checked": 0, "dedup_hits": 0,
+            "verdicts": {}, "hashes": {}, "counterexamples": [],
+            "wall_seconds": 0.0}
+
+
+class CampaignRunner:
+    """Run (or resume) one campaign against an output directory.
+
+    ``out_dir=None`` runs fully in memory — no manifest, checkpoint, or
+    dedup log — which is what the benchmark harness uses.
+    """
+
+    def __init__(self, spec: CampaignSpec, out_dir: Optional[str] = None,
+                 workers: int = 1, shard_timeout: Optional[float] = None,
+                 use_processes: Optional[bool] = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.spec = spec
+        self.out_dir = out_dir
+        self.workers = workers
+        self.shard_timeout = shard_timeout
+        #: None = processes exactly when workers > 1.
+        self.use_processes = use_processes
+        self.store = CheckpointStore(out_dir) if out_dir else None
+
+    # -- public API --------------------------------------------------------
+    def run(self, resume: bool = False, stop_after: Optional[int] = None,
+            progress: Optional[Callable[[dict], None]] = None
+            ) -> CampaignSummary:
+        """Execute the shard plan; returns the campaign-wide summary.
+
+        ``resume=True`` skips shards already checkpointed as ``done``
+        and retries errored/missing ones.  ``stop_after=N`` stops after
+        N newly completed shards (a graceful interrupt: the checkpoint
+        stays consistent and ``resume`` finishes the rest).
+        """
+        shards = plan_shards(self.spec)
+        prior: Dict[int, dict] = {}
+        known: Dict[str, str] = {}
+        if self.store is not None:
+            if resume:
+                prior = {
+                    sid: record
+                    for sid, record in self.store.load().items()
+                    if record.get("status") == "done"
+                }
+                known = self.store.load_dedup()
+            else:
+                save_manifest(self.out_dir, self.spec,
+                              extra={"shards": len(shards)})
+
+        pending = [s for s in shards if s.shard_id not in prior]
+        if stop_after is not None:
+            pending = pending[:stop_after]
+        NUM_SHARDS_SKIPPED.inc(len(prior))
+
+        new_records: Dict[int, dict] = {}
+
+        def finalize(shard: Shard, record: dict) -> None:
+            new_records[shard.shard_id] = record
+            if self.store is not None:
+                self.store.append(record)
+                if record.get("hashes"):
+                    self.store.append_dedup(record["hashes"])
+            if progress is not None:
+                progress(record)
+
+        run_processes = (self.use_processes if self.use_processes is not None
+                         else self.workers > 1)
+        if run_processes:
+            self._run_subprocess(pending, known, finalize)
+        else:
+            self._run_inprocess(pending, known, finalize)
+
+        summary = self._summarize({**prior, **new_records}, shards,
+                                  shards_run=len(new_records),
+                                  shards_skipped=len(prior))
+        self._account(new_records, summary)
+        return summary
+
+    # -- execution strategies ---------------------------------------------
+    def _run_inprocess(self, pending: List[Shard], known: Dict[str, str],
+                       finalize) -> None:
+        for shard in pending:
+            try:
+                record = run_shard(self.spec, shard, known)
+            except Exception as e:
+                record = _errored_record(shard, repr(e))
+            finalize(shard, record)
+
+    def _run_subprocess(self, pending: List[Shard], known: Dict[str, str],
+                        finalize) -> None:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        spec_dict = self.spec.as_dict()
+        queue = deque(pending)
+        running: Dict[int, tuple] = {}
+
+        while queue or running:
+            while queue and len(running) < self.workers:
+                shard = queue.popleft()
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_shard_entry,
+                    args=(child_conn, spec_dict, shard.as_dict(), known),
+                )
+                proc.start()
+                child_conn.close()
+                running[shard.shard_id] = (proc, parent_conn,
+                                           time.monotonic(), shard)
+
+            for sid in list(running):
+                proc, conn, started, shard = running[sid]
+                record = None
+                if conn.poll(0.01):
+                    try:
+                        record = conn.recv()
+                    except EOFError:
+                        record = None
+                    proc.join()
+                    if record is None:
+                        record = _errored_record(
+                            shard, f"worker died mid-report "
+                                   f"(exit code {proc.exitcode})")
+                elif not proc.is_alive():
+                    proc.join()
+                    record = _errored_record(
+                        shard, f"worker crashed without reporting "
+                               f"(exit code {proc.exitcode})")
+                elif (self.shard_timeout is not None
+                      and time.monotonic() - started > self.shard_timeout):
+                    proc.terminate()
+                    proc.join()
+                    record = _errored_record(
+                        shard, f"shard exceeded its {self.shard_timeout}s "
+                               f"timeout")
+                else:
+                    continue
+                conn.close()
+                del running[sid]
+                finalize(shard, record)
+
+    # -- aggregation -------------------------------------------------------
+    def _summarize(self, records: Dict[int, dict], shards: List[Shard],
+                   shards_run: int, shards_skipped: int) -> CampaignSummary:
+        summary = CampaignSummary(
+            spec=self.spec,
+            shards_total=len(shards),
+            shards_run=shards_run,
+            shards_skipped=shards_skipped,
+            shards_errored=[],
+            records=records,
+        )
+        for sid in sorted(records):
+            record = records[sid]
+            if record.get("status") == "errored":
+                summary.shards_errored.append(sid)
+                continue
+            summary.checked += record.get("checked", 0)
+            summary.dedup_hits += record.get("dedup_hits", 0)
+            verdicts = record.get("verdicts", {})
+            summary.verified += verdicts.get("verified", 0)
+            summary.failed += verdicts.get("failed", 0)
+            summary.inconclusive += verdicts.get("inconclusive", 0)
+            summary.wall_seconds += record.get("wall_seconds", 0.0)
+            summary.counterexamples.extend(
+                record.get("counterexamples", []))
+            # First occurrence (lowest shard id) wins: the merged verdict
+            # set is independent of worker count and scheduling order.
+            for h, v in sorted(record.get("hashes", {}).items()):
+                summary.verdicts.setdefault(h, v)
+            summary.timing.passes.setdefault(
+                "campaign-shard", PassStats()
+            ).record(f"shard{sid}", record.get("wall_seconds", 0.0),
+                     changed=bool(verdicts.get("failed")))
+        return summary
+
+    def _account(self, new_records: Dict[int, dict],
+                 summary: CampaignSummary) -> None:
+        """Feed this run's results into the diag layer."""
+        for sid in sorted(new_records):
+            record = new_records[sid]
+            if record.get("status") == "errored":
+                NUM_SHARDS_ERRORED.inc()
+                continue
+            NUM_SHARDS_DONE.inc()
+            NUM_CHECKED.inc(record.get("checked", 0))
+            NUM_DEDUP_HITS.inc(record.get("dedup_hits", 0))
+            NUM_FAILURES.inc(record.get("verdicts", {}).get("failed", 0))
+            for cex in record.get("counterexamples", []):
+                emit_remark(
+                    "campaign",
+                    f"refinement failure: {self.spec.pipeline} "
+                    f"({self.spec.opt_config}) miscompiles corpus "
+                    f"function #{cex['index']} "
+                    f"(shard {sid}, hash {cex['hash'][:12]})",
+                    kind=REMARK_ANALYSIS, function="f",
+                )
+
+
+def run_campaign(spec: CampaignSpec, out_dir: Optional[str] = None,
+                 workers: int = 1, resume: bool = False,
+                 shard_timeout: Optional[float] = None,
+                 stop_after: Optional[int] = None) -> CampaignSummary:
+    """One-call convenience wrapper around :class:`CampaignRunner`."""
+    runner = CampaignRunner(spec, out_dir=out_dir, workers=workers,
+                            shard_timeout=shard_timeout)
+    return runner.run(resume=resume, stop_after=stop_after)

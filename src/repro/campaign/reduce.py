@@ -1,0 +1,317 @@
+"""Counterexample reduction: shrink a failing pair to a minimal repro.
+
+The llvm-reduce analog for campaign findings.  Given the *source* text
+of a function the pipeline miscompiles, greedily apply shrinking steps —
+delete an instruction (rerouting its uses to an operand or a constant),
+replace an operand with a simpler value (0, 1, -1, poison, undef),
+collapse a conditional branch and drop the unreachable blocks, merge
+straight-line blocks — and
+keep a step only if the reduced function still *fails* refinement after
+re-optimizing it.  The oracle re-runs the exact pipeline + checker the
+campaign used, so the final reproducer demonstrably exhibits the same
+class of miscompilation, just smaller.
+
+Every candidate is built on a freshly parsed copy (functions are cheap
+to parse at this size), which keeps mutations isolated and guarantees
+the reducer can never corrupt the original counterexample.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List
+
+from ..ir import (
+    BranchInst,
+    ConstantInt,
+    Function,
+    IntType,
+    ParseError,
+    PoisonValue,
+    SwitchInst,
+    UndefValue,
+    parse_function,
+    print_function,
+    verify_function,
+)
+from ..refine import check_refinement
+from .spec import CampaignSpec
+
+Oracle = Callable[[str], bool]
+
+
+def make_failure_oracle(spec: CampaignSpec) -> Oracle:
+    """``oracle(text)`` — does the spec's pipeline still miscompile it?
+
+    False for anything that fails to parse, verify, or optimize: an
+    interestingness test must reject broken candidates, not crash.
+    """
+    options = spec.check_options()
+    semantics = spec.semantics()
+
+    def still_fails(text: str) -> bool:
+        try:
+            fn = parse_function(text)
+            before = parse_function(text)
+            spec.make_pipeline().run_on_function(fn)
+            verify_function(fn)
+        except Exception:
+            return False
+        return check_refinement(before, fn, semantics,
+                                options=options).failed
+
+    return still_fails
+
+
+@dataclass
+class ReductionResult:
+    """Outcome of reducing one counterexample."""
+
+    original: str
+    reduced: str
+    original_instructions: int
+    reduced_instructions: int
+    rounds: int
+    candidates_tried: int
+    seconds: float
+    #: True iff the *final* text still fails the oracle (always the case
+    #: when the original failed; False means the input wasn't failing).
+    still_failing: bool = True
+    steps: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "original": self.original,
+            "reduced": self.reduced,
+            "original_instructions": self.original_instructions,
+            "reduced_instructions": self.reduced_instructions,
+            "rounds": self.rounds,
+            "candidates_tried": self.candidates_tried,
+            "seconds": self.seconds,
+            "still_failing": self.still_failing,
+            "steps": self.steps,
+        }
+
+
+def _num_instructions(text: str) -> int:
+    try:
+        return parse_function(text).num_instructions()
+    except (ParseError, ValueError):
+        return 0
+
+
+def _replacement_values(ty) -> List:
+    """Simpler stand-ins for a value of type ``ty`` (int types only)."""
+    values: List = []
+    if isinstance(ty, IntType):
+        values.append(ConstantInt(ty, 0))
+        if ty.bits > 1:
+            values.append(ConstantInt(ty, 1))
+            values.append(ConstantInt(ty, (1 << ty.bits) - 1))
+        values.append(PoisonValue(ty))
+        values.append(UndefValue(ty))
+    return values
+
+
+def _candidates(text: str) -> Iterator[tuple]:
+    """Yield ``(description, candidate_text)`` pairs, best-first: block
+    drops, then instruction deletions, then operand simplifications."""
+
+    def fresh() -> Function:
+        return parse_function(text)
+
+    base = fresh()
+    num_blocks = len(base.blocks)
+    num_insts = base.num_instructions()
+
+    # 1) Collapse a conditional terminator to one successor and drop the
+    #    blocks that become unreachable.
+    if num_blocks > 1:
+        for block_idx, block in enumerate(base.blocks):
+            term = block.terminator
+            targets = []
+            if isinstance(term, BranchInst) and term.is_conditional:
+                targets = [0, 1]
+            elif isinstance(term, SwitchInst):
+                targets = list(range(len(term.targets)))
+            for t in targets:
+                fn = fresh()
+                b = fn.blocks[block_idx]
+                old = b.terminator
+                succ = old.targets[t]
+                b.erase(old)
+                b.append(BranchInst(target=succ))
+                _drop_unreachable(fn)
+                yield (f"collapse %{b.name} terminator to "
+                       f"%{succ.name}", print_function(fn))
+
+    # 2) Merge a block that ends in an unconditional branch into its
+    #    successor when the successor has no other predecessors (the
+    #    shape step 1 leaves behind).
+    if num_blocks > 1:
+        for block_idx, block in enumerate(base.blocks):
+            term = block.terminator
+            if not (isinstance(term, BranchInst)
+                    and not term.is_conditional):
+                continue
+            succ = term.targets[0]
+            if succ is block or succ.predecessors() != [block]:
+                continue
+            fn = fresh()
+            b = fn.blocks[block_idx]
+            s = b.terminator.targets[0]
+            b.erase(b.terminator)
+            for phi in list(s.phis()):
+                phi.replace_all_uses_with(phi.incoming_for_block(b))
+                s.erase(phi)
+            for inst in list(s.instructions):
+                s.remove(inst)
+                b.append(inst)
+            fn.remove_block(s)
+            yield (f"merge %{s.name} into %{b.name}",
+                   print_function(fn))
+
+    # 3) Delete one instruction, rerouting its uses.
+    for inst_idx in range(num_insts):
+        target = list(base.instructions())[inst_idx]
+        if target.parent is not None and target is target.parent.terminator:
+            continue
+        plain_delete = target.type.is_void or not list(target.users())
+        if plain_delete:
+            n_options = 1
+        else:
+            n_options = (
+                sum(1 for op in target.operands if op.type is target.type)
+                + len(_replacement_values(target.type)))
+        for r_idx in range(n_options):
+            fn = fresh()
+            victim = list(fn.instructions())[inst_idx]
+            if plain_delete:
+                desc = f"delete {victim.opcode.value}"
+            else:
+                pool = [op for op in victim.operands
+                        if op.type is victim.type]
+                pool += _replacement_values(victim.type)
+                repl = pool[r_idx]
+                victim.replace_all_uses_with(repl)
+                desc = f"delete {victim.opcode.value}, uses -> {repl.ref()}"
+            victim.parent.erase(victim)
+            yield (desc, print_function(fn))
+
+    # 4) Replace one operand with a simpler value.
+    for inst_idx in range(num_insts):
+        insts = list(base.instructions())
+        target = insts[inst_idx]
+        for op_idx, op in enumerate(target.operands):
+            if op.is_constant or op.is_poison:
+                continue
+            for v_idx, _ in enumerate(_replacement_values(op.type)):
+                fn = fresh()
+                victim = list(fn.instructions())[inst_idx]
+                values = _replacement_values(victim.operand(op_idx).type)
+                if v_idx >= len(values):
+                    continue
+                victim.set_operand(op_idx, values[v_idx])
+                yield (f"operand {op_idx} of {victim.opcode.value} -> "
+                       f"{values[v_idx].ref()}", print_function(fn))
+
+
+def _drop_unreachable(fn: Function) -> None:
+    """Remove blocks unreachable from entry, fixing phi edges."""
+    reachable = set()
+    stack = [fn.entry]
+    while stack:
+        block = stack.pop()
+        if id(block) in reachable:
+            continue
+        reachable.add(id(block))
+        stack.extend(block.successors())
+    dead = [b for b in fn.blocks if id(b) not in reachable]
+    for block in dead:
+        for inst in list(block.instructions):
+            block.erase(inst)
+    for block in fn.blocks:
+        if id(block) not in reachable:
+            continue
+        for phi in block.phis():
+            for pred in [b for b in phi.incoming_blocks
+                         if id(b) not in reachable]:
+                phi.remove_incoming(pred)
+    for block in dead:
+        fn.remove_block(block)
+
+
+def reduce_failure(src_text: str, oracle: Oracle,
+                   max_rounds: int = 32) -> ReductionResult:
+    """Greedy fixpoint reduction of ``src_text`` under ``oracle``.
+
+    Each round scans the candidate list and restarts from the first
+    candidate that still fails; the loop ends when a full scan finds
+    nothing (a 1-minimal reproducer for these step kinds) or after
+    ``max_rounds``.
+    """
+    start = time.perf_counter()
+    original = src_text
+    # Normalize through the printer so size comparisons are meaningful.
+    try:
+        current = print_function(parse_function(src_text))
+    except (ParseError, ValueError):
+        current = src_text
+
+    if not oracle(current):
+        return ReductionResult(
+            original=original, reduced=current,
+            original_instructions=_num_instructions(current),
+            reduced_instructions=_num_instructions(current),
+            rounds=0, candidates_tried=0,
+            seconds=time.perf_counter() - start, still_failing=False,
+        )
+
+    tried = 0
+    rounds = 0
+    steps: List[str] = []
+    progressed = True
+    while progressed and rounds < max_rounds:
+        progressed = False
+        rounds += 1
+        for desc, candidate in _candidates(current):
+            if candidate == current:
+                continue
+            tried += 1
+            if oracle(candidate):
+                current = candidate
+                steps.append(desc)
+                progressed = True
+                break
+
+    return ReductionResult(
+        original=original, reduced=current,
+        original_instructions=_num_instructions(original),
+        reduced_instructions=_num_instructions(current),
+        rounds=rounds, candidates_tried=tried,
+        seconds=time.perf_counter() - start, still_failing=True,
+        steps=steps,
+    )
+
+
+def reduce_counterexamples(counterexamples: List[dict],
+                           spec: CampaignSpec,
+                           max_rounds: int = 32) -> List[dict]:
+    """Reduce each unique counterexample (by canonical hash); returns
+    JSONL-ready records pairing the original finding with its minimal
+    reproducer."""
+    oracle = make_failure_oracle(spec)
+    seen = set()
+    out = []
+    for cex in counterexamples:
+        key = cex.get("hash") or cex.get("source")
+        if key in seen:
+            continue
+        seen.add(key)
+        result = reduce_failure(cex["source"], oracle,
+                                max_rounds=max_rounds)
+        record = dict(cex)
+        record.update(result.as_dict())
+        out.append(record)
+    return out

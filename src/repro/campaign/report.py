@@ -1,0 +1,121 @@
+"""Campaign reporting: aggregate checkpointed shards into diag output.
+
+``campaign report`` reconstructs a :class:`CampaignSummary`-shaped view
+purely from the on-disk checkpoint (no re-execution), rebuilds a
+:class:`StatsRegistry` and a :class:`PassTiming` from the records, and
+renders them with the same formatters the compiler CLI uses — the
+classic ``-stats`` table and the ``-time-passes`` table, one row per
+shard.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..diag import PassStats, PassTiming, StatsRegistry
+from .spec import CampaignSpec
+
+
+def aggregate_records(spec: CampaignSpec,
+                      records: Dict[int, dict]) -> dict:
+    """Campaign-wide totals from a checkpoint's shard records."""
+    agg = {
+        "spec": spec.as_dict(),
+        "shards_done": 0,
+        "shards_errored": [],
+        "checked": 0,
+        "dedup_hits": 0,
+        "verified": 0,
+        "failed": 0,
+        "inconclusive": 0,
+        "wall_seconds": 0.0,
+        "counterexamples": [],
+        "verdicts": {},
+    }
+    for sid in sorted(records):
+        record = records[sid]
+        if record.get("status") == "errored":
+            agg["shards_errored"].append(
+                {"shard_id": sid, "error": record.get("error", "")})
+            continue
+        agg["shards_done"] += 1
+        agg["checked"] += record.get("checked", 0)
+        agg["dedup_hits"] += record.get("dedup_hits", 0)
+        verdicts = record.get("verdicts", {})
+        agg["verified"] += verdicts.get("verified", 0)
+        agg["failed"] += verdicts.get("failed", 0)
+        agg["inconclusive"] += verdicts.get("inconclusive", 0)
+        agg["wall_seconds"] += record.get("wall_seconds", 0.0)
+        agg["counterexamples"].extend(record.get("counterexamples", []))
+        for h, v in sorted(record.get("hashes", {}).items()):
+            agg["verdicts"].setdefault(h, v)
+    total = agg["checked"] + agg["dedup_hits"]
+    agg["dedup_hit_rate"] = agg["dedup_hits"] / total if total else 0.0
+    return agg
+
+
+def build_diag(records: Dict[int, dict]
+               ) -> Tuple[StatsRegistry, PassTiming]:
+    """A private StatsRegistry + PassTiming reconstructed from shard
+    records — the checkpointed form of what a live run feeds into the
+    process-wide diag layer."""
+    registry = StatsRegistry()
+    timing = PassTiming()
+    for sid in sorted(records):
+        record = records[sid]
+        if record.get("status") == "errored":
+            registry.add("campaign", "num-shards-errored")
+            continue
+        registry.add("campaign", "num-shards-done")
+        registry.add("campaign", "num-functions-checked",
+                     record.get("checked", 0))
+        registry.add("campaign", "num-dedup-hits",
+                     record.get("dedup_hits", 0))
+        registry.add("campaign", "num-refinement-failures",
+                     record.get("verdicts", {}).get("failed", 0))
+        for pass_name, counters in record.get("stats", {}).items():
+            for name, value in counters.items():
+                registry.add(pass_name, name, value)
+        timing.passes.setdefault("campaign-shard", PassStats()).record(
+            f"shard{sid}", record.get("wall_seconds", 0.0),
+            changed=bool(record.get("verdicts", {}).get("failed")))
+    return registry, timing
+
+
+def render_report(spec: CampaignSpec, records: Dict[int, dict]) -> str:
+    """The human-readable ``campaign report`` body."""
+    agg = aggregate_records(spec, records)
+    registry, timing = build_diag(records)
+
+    corpus = (f"enumerate x{spec.num_instructions} i{spec.width}"
+              if spec.mode == "enumerate"
+              else f"random({spec.count}) x{spec.num_instructions} "
+                   f"i{spec.width} seed={spec.seed}")
+    lines: List[str] = [
+        f"campaign: {spec.pipeline} pipeline, {spec.opt_config} config, "
+        f"{corpus}",
+        f"  shards:       {agg['shards_done']} done, "
+        f"{len(agg['shards_errored'])} errored",
+        f"  functions:    {agg['checked']} checked, "
+        f"{agg['dedup_hits']} dedup hits "
+        f"({agg['dedup_hit_rate'] * 100:.1f}%)",
+        f"  verdicts:     {agg['verified']} verified, "
+        f"{agg['failed']} failed, {agg['inconclusive']} inconclusive",
+        f"  shard wall:   {agg['wall_seconds']:.3f}s total",
+    ]
+    for err in agg["shards_errored"]:
+        lines.append(f"  errored shard {err['shard_id']}: {err['error']}")
+    if agg["counterexamples"]:
+        lines.append("")
+        lines.append(f"  {len(agg['counterexamples'])} refinement "
+                     f"failure(s); first:")
+        first = agg["counterexamples"][0]
+        for text_line in first["source"].strip().splitlines():
+            lines.append(f"    {text_line}")
+        lines.append(f"    -- {first['counterexample'].strip().splitlines()[0].strip()}")
+    lines.append("")
+    lines.append(timing.report(per_function=True,
+                               title="Campaign shard timing"))
+    lines.append("")
+    lines.append(registry.format_text())
+    return "\n".join(lines)

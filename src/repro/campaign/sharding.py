@@ -1,0 +1,89 @@
+"""Partitioning a campaign's corpus into independent work units.
+
+Exhaustive campaigns shard the enumeration space by *index range*:
+``enumerate_functions(start=a, stop=b)`` addresses positions ``[a, b)``
+directly (mixed-radix decoding, no prefix walk), so a shard's corpus is
+a pure function of the spec and the shard id.  Random campaigns give
+each shard its own *derived stream seed*, mixed from the campaign seed
+and the shard id — shard corpora are therefore independent of worker
+count, scheduling order, and how many times the campaign was resumed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterator, List, Optional
+
+from ..ir import Function
+from .spec import CampaignSpec
+
+#: odd 32-bit mixing constant (golden-ratio hash), so consecutive shard
+#: ids land on well-separated stream seeds.
+_SEED_MIX = 0x9E3779B1
+
+
+def shard_stream_seed(base_seed: int, shard_id: int) -> int:
+    """The derived RNG seed for a random-mode shard."""
+    return (base_seed ^ ((shard_id + 1) * _SEED_MIX)) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One work unit: a contiguous corpus index range ``[start, stop)``
+    plus, in random mode, the shard's derived stream seed."""
+
+    shard_id: int
+    start: int
+    stop: int
+    seed: Optional[int] = None
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    def as_dict(self) -> Dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: Dict) -> "Shard":
+        return Shard(**data)
+
+
+def plan_shards(spec: CampaignSpec) -> List[Shard]:
+    """The campaign's full shard plan — a pure function of the spec."""
+    total = spec.total_functions()
+    offset = spec.start if spec.mode == "enumerate" else 0
+    shards: List[Shard] = []
+    for shard_id, lo in enumerate(range(0, total, spec.shard_size)):
+        hi = min(lo + spec.shard_size, total)
+        seed = (shard_stream_seed(spec.seed, shard_id)
+                if spec.mode == "random" else None)
+        shards.append(Shard(shard_id, offset + lo, offset + hi, seed))
+    return shards
+
+
+def iter_shard_functions(spec: CampaignSpec,
+                         shard: Shard) -> Iterator[Function]:
+    """Generate exactly the functions this shard is responsible for."""
+    if spec.mode == "enumerate":
+        from ..fuzz import enumerate_functions
+
+        yield from enumerate_functions(
+            spec.num_instructions, width=spec.width,
+            num_args=spec.num_args, opcodes=spec.resolved_opcodes(),
+            include_deferred=spec.include_deferred,
+            include_flags=spec.include_flags,
+            start=shard.start, stop=shard.stop,
+        )
+    else:
+        from ..fuzz import random_functions
+
+        yield from random_functions(
+            shard.size, num_instructions=spec.num_instructions,
+            width=spec.width, num_args=spec.num_args,
+            opcodes=spec.resolved_opcodes(),
+            include_deferred=spec.include_deferred,
+            include_flags=spec.include_flags,
+            rng=random.Random(shard.seed),
+        )

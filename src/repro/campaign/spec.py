@@ -1,0 +1,128 @@
+"""Campaign specifications: what to generate, how to optimize, how to check.
+
+A :class:`CampaignSpec` is the complete, JSON-serializable description of
+one validation campaign — corpus shape (exhaustive index range or seeded
+random streams), the pipeline under test, the semantics configuration,
+and the checker budgets.  The manifest written next to a campaign's
+checkpoint stores exactly this spec, so ``campaign resume`` rebuilds the
+same shard plan the interrupted run was executing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from ..fuzz import DEFAULT_OPCODES, SMALL_OPCODES
+from ..ir import Opcode
+from ..opt import OptConfig, o2_pipeline, quick_pipeline, single_pass_pipeline
+from ..refine import CheckOptions
+from ..semantics import NEW, OLD
+
+#: pipelines addressable by name (anything else is a single-pass name)
+_PIPELINES = ("o2", "quick")
+
+_CONFIGS = ("fixed", "legacy")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything needed to reproduce a campaign from scratch."""
+
+    #: "enumerate" walks an index range of the exhaustive space;
+    #: "random" draws seeded streams (one derived seed per shard).
+    mode: str = "enumerate"
+    width: int = 2
+    num_instructions: int = 1
+    num_args: int = 2
+    #: opcode names (e.g. ``("add", "shl")``); empty = the mode's default
+    #: set (SMALL_OPCODES for enumerate, DEFAULT_OPCODES for random).
+    opcodes: Tuple[str, ...] = ()
+    include_deferred: bool = True
+    include_flags: bool = False
+    #: random mode only: total functions to draw across all shards.
+    count: int = 256
+    #: random mode base seed; each shard derives its own stream seed.
+    seed: int = 0
+    #: "o2", "quick", or a single-pass name ("instcombine", "gvn", ...).
+    pipeline: str = "o2"
+    #: "fixed" (NEW semantics, paper pipeline) or "legacy" (OLD
+    #: semantics, historical pass behaviors).
+    opt_config: str = "fixed"
+    shard_size: int = 64
+    #: exhaustive mode: cap on the number of corpus indices covered.
+    limit: Optional[int] = None
+    #: exhaustive mode: first corpus index to cover.
+    start: int = 0
+    #: refinement-checker budgets.
+    max_choices: int = 20
+    fuel: int = 600
+    max_inputs: int = 20_000
+
+    def __post_init__(self):
+        if self.mode not in ("enumerate", "random"):
+            raise ValueError(f"unknown campaign mode {self.mode!r}")
+        if self.opt_config not in _CONFIGS:
+            raise ValueError(f"unknown opt config {self.opt_config!r}")
+        if self.shard_size <= 0:
+            raise ValueError("shard_size must be positive")
+        for name in self.opcodes:
+            Opcode(name)  # raises ValueError on an unknown opcode name
+
+    # -- derived configuration --------------------------------------------
+    def resolved_opcodes(self) -> Tuple[Opcode, ...]:
+        if self.opcodes:
+            return tuple(Opcode(name) for name in self.opcodes)
+        return SMALL_OPCODES if self.mode == "enumerate" else DEFAULT_OPCODES
+
+    def make_opt_config(self) -> OptConfig:
+        if self.opt_config == "legacy":
+            return OptConfig.legacy(OLD)
+        return OptConfig.fixed(NEW)
+
+    def semantics(self):
+        return OLD if self.opt_config == "legacy" else NEW
+
+    def make_pipeline(self):
+        config = self.make_opt_config()
+        if self.pipeline == "o2":
+            return o2_pipeline(config)
+        if self.pipeline == "quick":
+            return quick_pipeline(config)
+        return single_pass_pipeline(self.pipeline, config)
+
+    def check_options(self) -> CheckOptions:
+        return CheckOptions(max_choices=self.max_choices, fuel=self.fuel,
+                            max_inputs=self.max_inputs)
+
+    def total_functions(self) -> int:
+        """Size of the corpus this campaign covers (across all shards)."""
+        if self.mode == "random":
+            return self.count
+        from ..fuzz import enumeration_size
+
+        total = enumeration_size(
+            self.num_instructions, width=self.width, num_args=self.num_args,
+            opcodes=self.resolved_opcodes(),
+            include_deferred=self.include_deferred,
+            include_flags=self.include_flags,
+        )
+        total = max(0, total - self.start)
+        if self.limit is not None:
+            total = min(total, self.limit)
+        return total
+
+    # -- serialization ------------------------------------------------------
+    def as_dict(self) -> Dict:
+        data = asdict(self)
+        data["opcodes"] = list(self.opcodes)
+        return data
+
+    @staticmethod
+    def from_dict(data: Dict) -> "CampaignSpec":
+        data = dict(data)
+        data["opcodes"] = tuple(data.get("opcodes", ()))
+        return CampaignSpec(**data)
+
+    def with_(self, **kwargs) -> "CampaignSpec":
+        return replace(self, **kwargs)

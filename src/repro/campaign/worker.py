@@ -1,0 +1,109 @@
+"""The per-shard work function: generate → dedup → optimize → check.
+
+:func:`run_shard` is the unit the executor schedules, in-process or in a
+child process.  It is deliberately self-contained and deterministic: its
+result is a pure function of ``(spec, shard, known_hashes)``, so a shard
+produces the same record whether it runs first on one worker or last on
+eight — the property behind the engine's worker-count-independent
+verdict sets.
+
+The returned record is the JSONL checkpoint schema: shard id, status,
+verdict counts, newly discovered ``hash → verdict`` pairs, full
+counterexample reproducers, wall time, and a stats-registry delta
+covering exactly this shard's work.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Optional
+
+from ..diag import stats_snapshot
+from ..ir import parse_function, print_function, print_module, verify_function
+from ..refine import check_refinement
+from .canon import DedupCache, canonical_hash
+from .sharding import Shard, iter_shard_functions
+from .spec import CampaignSpec
+
+#: Test hook: comma-separated shard ids that should hard-crash (die
+#: without reporting), exercising the executor's lost-worker accounting.
+CRASH_ENV = "REPRO_CAMPAIGN_CRASH_SHARDS"
+
+
+def _maybe_crash(shard_id: int) -> None:
+    crash_ids = os.environ.get(CRASH_ENV, "")
+    if crash_ids and str(shard_id) in crash_ids.split(","):
+        os._exit(17)  # simulate a hard worker death (no cleanup, no report)
+
+
+def _stats_delta(before: Dict[str, Dict[str, int]],
+                 after: Dict[str, Dict[str, int]]) -> Dict[str, Dict[str, int]]:
+    """Non-zero counter increments between two registry snapshots."""
+    delta: Dict[str, Dict[str, int]] = {}
+    for pass_name, counters in after.items():
+        for name, value in counters.items():
+            diff = value - before.get(pass_name, {}).get(name, 0)
+            if diff:
+                delta.setdefault(pass_name, {})[name] = diff
+    return delta
+
+
+def run_shard(spec: CampaignSpec, shard: Shard,
+              known_hashes: Optional[Dict[str, str]] = None) -> dict:
+    """Check every function in ``shard``; returns the checkpoint record.
+
+    ``known_hashes`` preloads the dedup cache (hash → verdict) with
+    functions earlier runs already checked; those — and structural
+    duplicates within the shard — are counted as dedup hits and skipped.
+    """
+    _maybe_crash(shard.shard_id)
+    start_time = time.perf_counter()
+    stats_before = stats_snapshot()
+
+    cache = DedupCache(known_hashes)
+    options = spec.check_options()
+    semantics = spec.semantics()
+    verdicts = {"verified": 0, "failed": 0, "inconclusive": 0}
+    new_hashes: Dict[str, str] = {}
+    counterexamples = []
+
+    for offset, fn in enumerate(iter_shard_functions(spec, shard)):
+        index = shard.start + offset
+        src_text = print_module(fn.module)
+        h = canonical_hash(fn)
+        if cache.lookup(h) is not None:
+            continue
+
+        before = parse_function(src_text)
+        spec.make_pipeline().run_on_function(fn)
+        verify_function(fn)
+        result = check_refinement(before, fn, semantics, options=options)
+
+        verdicts[result.verdict] = verdicts.get(result.verdict, 0) + 1
+        cache.add(h, result.verdict)
+        new_hashes[h] = result.verdict
+        if result.failed:
+            counterexamples.append({
+                "shard_id": shard.shard_id,
+                "index": index,
+                "hash": h,
+                "source": src_text,
+                "optimized": print_function(fn),
+                "counterexample": str(result.counterexample),
+                "inputs_checked": result.inputs_checked,
+            })
+
+    return {
+        "shard_id": shard.shard_id,
+        "status": "done",
+        "start": shard.start,
+        "stop": shard.stop,
+        "checked": sum(verdicts.values()),
+        "dedup_hits": cache.hits,
+        "verdicts": verdicts,
+        "hashes": new_hashes,
+        "counterexamples": counterexamples,
+        "wall_seconds": time.perf_counter() - start_time,
+        "stats": _stats_delta(stats_before, stats_snapshot()),
+    }

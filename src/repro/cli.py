@@ -16,6 +16,10 @@ Output is plain text by default.  With ``--remarks=json`` or ``--json``
 the whole report becomes a single JSON document with one key per
 requested section (``stats``, ``timing``, ``remarks``, ``trace``, …),
 which is what the CI smoke test and the acceptance check parse.
+
+``python -m repro campaign ...`` dispatches to the validation campaign
+engine (:mod:`repro.campaign`): parallel sharded opt-fuzz × refinement
+checking with checkpoint/resume, dedup, and counterexample reduction.
 """
 
 from __future__ import annotations
@@ -140,6 +144,11 @@ def _run_trace(module, args: argparse.Namespace, config) -> dict:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "campaign":
+        from .campaign import campaign_main
+
+        return campaign_main(argv[1:])
     args = _build_parser().parse_args(argv)
 
     try:

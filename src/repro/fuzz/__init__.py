@@ -5,10 +5,13 @@ from .optfuzz import (
     SMALL_OPCODES,
     count_functions,
     enumerate_functions,
+    enumeration_size,
+    function_at_index,
     random_functions,
 )
 
 __all__ = [
     "DEFAULT_OPCODES", "SMALL_OPCODES", "count_functions",
-    "enumerate_functions", "random_functions",
+    "enumerate_functions", "enumeration_size", "function_at_index",
+    "random_functions",
 ]

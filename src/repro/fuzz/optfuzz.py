@@ -125,17 +125,10 @@ def _materialize(specs: Sequence[_Spec], width: int, num_args: int,
     return fn
 
 
-def enumerate_functions(num_instructions: int, width: int = 2,
-                        num_args: int = 2,
-                        opcodes: Sequence[Opcode] = SMALL_OPCODES,
-                        include_deferred: bool = True,
-                        include_flags: bool = False,
-                        limit: Optional[int] = None) -> Iterator[Function]:
-    """Exhaustively enumerate straight-line functions.
-
-    Mirrors opt-fuzz's corpus: ``num_instructions`` binary operations
-    over ``iW``, operands drawn from arguments, constants, undef/poison,
-    and prior results."""
+def _enum_spaces(num_instructions: int, width: int, num_args: int,
+                 opcodes: Sequence[Opcode], include_deferred: bool,
+                 include_flags: bool) -> List[List[_Spec]]:
+    """The per-position spec spaces whose product is the corpus."""
 
     def spec_space(position: int) -> Iterator[_Spec]:
         pool = _operand_pool_size(num_args, width, position,
@@ -150,15 +143,74 @@ def enumerate_functions(num_instructions: int, width: int = 2,
                     yield _Spec("bin", opcode=opcode, operands=(a, b),
                                 flags=flags)
 
-    count = 0
-    spaces = [list(spec_space(i)) for i in range(num_instructions)]
-    for combo in itertools.product(*spaces):
-        if limit is not None and count >= limit:
-            return
-        count += 1
+    return [list(spec_space(i)) for i in range(num_instructions)]
+
+
+def _decode_index(spaces: Sequence[Sequence[_Spec]],
+                  index: int) -> Tuple[_Spec, ...]:
+    """Mixed-radix decode of a corpus index into one spec per position.
+
+    Matches the ordering of ``itertools.product(*spaces)`` (the last
+    position varies fastest), so slicing by index is equivalent to
+    slicing the historical enumeration stream."""
+    specs: List[Optional[_Spec]] = [None] * len(spaces)
+    for i in range(len(spaces) - 1, -1, -1):
+        index, digit = divmod(index, len(spaces[i]))
+        specs[i] = spaces[i][digit]
+    return tuple(specs)  # type: ignore[arg-type]
+
+
+def enumerate_functions(num_instructions: int, width: int = 2,
+                        num_args: int = 2,
+                        opcodes: Sequence[Opcode] = SMALL_OPCODES,
+                        include_deferred: bool = True,
+                        include_flags: bool = False,
+                        limit: Optional[int] = None,
+                        start: int = 0,
+                        stop: Optional[int] = None) -> Iterator[Function]:
+    """Exhaustively enumerate straight-line functions.
+
+    Mirrors opt-fuzz's corpus: ``num_instructions`` binary operations
+    over ``iW``, operands drawn from arguments, constants, undef/poison,
+    and prior results.
+
+    The enumeration order is a fixed function of the parameters, and
+    ``start``/``stop`` address it by index *without* walking the prefix:
+    ``enumerate_functions(n, start=a, stop=b)`` produces exactly the
+    functions a full enumeration would yield at positions ``[a, b)``.
+    Campaign shards rely on this to partition the space.  ``limit``
+    additionally caps the number of functions yielded."""
+    spaces = _enum_spaces(num_instructions, width, num_args, opcodes,
+                          include_deferred, include_flags)
+    total = 1
+    for space in spaces:
+        total *= len(space)
+    start = max(0, start)
+    stop = total if stop is None else min(stop, total)
+    if limit is not None:
+        stop = min(stop, start + limit)
+    for index in range(start, stop):
         NUM_ENUMERATED.inc()
-        yield _materialize(combo, width, num_args, include_deferred,
-                           f"fuzz{count}")
+        yield _materialize(_decode_index(spaces, index), width, num_args,
+                           include_deferred, f"fuzz{index}")
+
+
+def function_at_index(index: int, num_instructions: int, width: int = 2,
+                      num_args: int = 2,
+                      opcodes: Sequence[Opcode] = SMALL_OPCODES,
+                      include_deferred: bool = True,
+                      include_flags: bool = False) -> Function:
+    """Random access into the enumeration space: the function a full
+    ``enumerate_functions`` run would yield at position ``index``."""
+    spaces = _enum_spaces(num_instructions, width, num_args, opcodes,
+                          include_deferred, include_flags)
+    total = 1
+    for space in spaces:
+        total *= len(space)
+    if not 0 <= index < total:
+        raise IndexError(f"corpus index {index} out of range [0, {total})")
+    return _materialize(_decode_index(spaces, index), width, num_args,
+                        include_deferred, f"fuzz{index}")
 
 
 def count_functions(num_instructions: int, width: int = 2,
@@ -172,16 +224,40 @@ def count_functions(num_instructions: int, width: int = 2,
     return total
 
 
+def enumeration_size(num_instructions: int, width: int = 2,
+                     num_args: int = 2,
+                     opcodes: Sequence[Opcode] = SMALL_OPCODES,
+                     include_deferred: bool = True,
+                     include_flags: bool = False) -> int:
+    """Exact size of the :func:`enumerate_functions` space — unlike
+    :func:`count_functions` this accounts for ``include_flags``."""
+    spaces = _enum_spaces(num_instructions, width, num_args, opcodes,
+                          include_deferred, include_flags)
+    total = 1
+    for space in spaces:
+        total *= len(space)
+    return total
+
+
 def random_functions(count: int, num_instructions: int = 3,
                      width: int = 2, num_args: int = 2,
                      opcodes: Sequence[Opcode] = DEFAULT_OPCODES,
                      include_deferred: bool = True,
                      include_flags: bool = True,
                      include_select: bool = True,
-                     seed: int = 0) -> Iterator[Function]:
+                     seed: int = 0,
+                     rng: Optional[random.Random] = None) -> Iterator[Function]:
     """Seeded random sample of the larger spaces (3+ instructions,
-    flags, icmp/select)."""
-    rng = random.Random(seed)
+    flags, icmp/select).
+
+    **Determinism:** the stream is a pure function of the generator
+    parameters and the seed.  ``random.Random`` produces identical
+    sequences for a given seed across processes and supported Python
+    versions, so two workers (or a run and its later resume) that
+    construct the same stream draw byte-identical corpora.  Pass ``rng``
+    to supply the generator state explicitly — e.g. a campaign shard's
+    derived stream — in which case ``seed`` is ignored."""
+    rng = rng if rng is not None else random.Random(seed)
     preds = list(IcmpPred)
     for n in range(count):
         specs: List[_Spec] = []

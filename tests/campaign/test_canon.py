@@ -1,0 +1,105 @@
+"""Canonical hashing: renumbering invariance and dedup accounting."""
+
+import pytest
+
+from repro.campaign import DedupCache, canonical_hash, canonical_text
+from repro.fuzz import enumerate_functions
+from repro.ir import parse_function, print_function
+
+BASE = """
+define i2 @f(i2 %a, i2 %b) {
+entry:
+  %x = mul i2 %a, %b
+  %y = add i2 %x, 1
+  ret i2 %y
+}
+"""
+
+RENAMED = """
+define i2 @weird(i2 %lhs, i2 %rhs) {
+top:
+  %product = mul i2 %lhs, %rhs
+  %sum = add i2 %product, 1
+  ret i2 %sum
+}
+"""
+
+SWAPPED_OPERANDS = """
+define i2 @f(i2 %a, i2 %b) {
+entry:
+  %x = mul i2 %b, %a
+  %y = add i2 %x, 1
+  ret i2 %y
+}
+"""
+
+
+class TestCanonicalHash:
+    def test_alpha_renaming_invariant(self):
+        assert canonical_hash(BASE) == canonical_hash(RENAMED)
+        assert canonical_text(BASE) == canonical_text(RENAMED)
+
+    def test_operand_order_is_significant(self):
+        # mul %a, %b and mul %b, %a are different *functions of the
+        # arguments*; canonicalization must not conflate them.
+        assert canonical_hash(BASE) != canonical_hash(SWAPPED_OPERANDS)
+
+    def test_accepts_function_objects_and_text(self):
+        fn = parse_function(BASE)
+        assert canonical_hash(fn) == canonical_hash(BASE)
+
+    def test_input_function_not_mutated(self):
+        fn = parse_function(BASE)
+        before = print_function(fn)
+        canonical_text(fn)
+        assert print_function(fn) == before
+
+    def test_multi_block_renaming(self):
+        a = """
+define i2 @f(i2 %a, i1 %c) {
+entry:
+  br i1 %c, label %then, label %done
+then:
+  br label %done
+done:
+  %r = phi i2 [ %a, %entry ], [ 1, %then ]
+  ret i2 %r
+}
+"""
+        b = a.replace("%then", "%left").replace("then:", "left:") \
+             .replace("%done", "%exit").replace("done:", "exit:") \
+             .replace("%r", "%result")
+        assert canonical_hash(a) == canonical_hash(b)
+
+    def test_corpus_hashes_are_distinct(self):
+        # The exhaustive 1-instruction corpus is duplicate-free by
+        # construction (448 structurally distinct functions); the hash
+        # must not collide any of them.
+        hashes = {canonical_hash(fn) for fn in enumerate_functions(1)}
+        assert len(hashes) == 448
+
+    def test_flags_are_significant(self):
+        plain = BASE
+        flagged = BASE.replace("add i2", "add nsw i2")
+        assert canonical_hash(plain) != canonical_hash(flagged)
+
+
+class TestDedupCache:
+    def test_hit_miss_accounting(self):
+        cache = DedupCache({"h1": "verified"})
+        assert cache.lookup("h1") == "verified"
+        assert cache.lookup("h2") is None
+        cache.add("h2", "failed")
+        assert cache.lookup("h2") == "failed"
+        assert cache.hits == 2
+        assert cache.misses == 1
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_preloaded_entries_count_as_hits(self):
+        cache = DedupCache()
+        assert cache.lookup("x") is None
+        assert "x" not in cache
+        cache.add("x", "verified")
+        assert "x" in cache
+        assert len(cache) == 1
+        assert cache.as_dict() == {"x": "verified"}

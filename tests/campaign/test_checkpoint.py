@@ -1,0 +1,116 @@
+"""Checkpoint store: JSONL round-trips, interrupt tolerance, manifest."""
+
+import json
+import os
+
+from repro.campaign import (
+    CampaignSpec,
+    CheckpointStore,
+    load_manifest,
+    plan_shards,
+    save_manifest,
+    shard_stream_seed,
+)
+
+
+def _record(sid, status="done", checked=5):
+    return {"shard_id": sid, "status": status, "checked": checked,
+            "dedup_hits": 0, "verdicts": {"verified": checked},
+            "hashes": {f"h{sid}": "verified"}, "counterexamples": [],
+            "wall_seconds": 0.1}
+
+
+class TestCheckpointStore:
+    def test_append_load_round_trip(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.append(_record(0))
+        store.append(_record(2))
+        loaded = store.load()
+        assert set(loaded) == {0, 2}
+        assert loaded[0]["verdicts"] == {"verified": 5}
+
+    def test_last_record_per_shard_wins(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.append(_record(1, status="errored", checked=0))
+        store.append(_record(1, status="done", checked=7))
+        assert store.load()[1]["checked"] == 7
+        assert store.done_ids() == {1}
+
+    def test_errored_shards_are_not_done(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.append(_record(0))
+        store.append(_record(1, status="errored"))
+        assert store.done_ids() == {0}
+
+    def test_truncated_final_line_is_skipped(self, tmp_path):
+        """A mid-write kill leaves a partial line; the loader must
+        recover the intact prefix instead of raising."""
+        store = CheckpointStore(str(tmp_path))
+        store.append(_record(0))
+        with open(store.path, "a") as f:
+            f.write(json.dumps(_record(1))[: 25])  # torn write
+        loaded = store.load()
+        assert set(loaded) == {0}
+
+    def test_dedup_log_round_trip(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.append_dedup({"aa": "verified", "bb": "failed"})
+        store.append_dedup({"cc": "verified"})
+        assert store.load_dedup() == {
+            "aa": "verified", "bb": "failed", "cc": "verified"}
+
+    def test_reduced_log_round_trip(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.append_reduced([{"hash": "aa", "reduced": "..."}])
+        assert store.load_reduced() == [{"hash": "aa", "reduced": "..."}]
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        spec = CampaignSpec(mode="random", num_instructions=3, count=100,
+                            seed=7, opcodes=("add", "shl"),
+                            pipeline="instcombine", opt_config="legacy",
+                            shard_size=40)
+        save_manifest(str(tmp_path), spec)
+        loaded, payload = load_manifest(str(tmp_path))
+        assert loaded == spec
+        assert payload["total_functions"] == 100
+
+    def test_spec_dict_round_trip(self):
+        spec = CampaignSpec(opcodes=("mul",), limit=10)
+        assert CampaignSpec.from_dict(spec.as_dict()) == spec
+
+
+class TestShardPlan:
+    def test_covers_space_exactly(self):
+        spec = CampaignSpec(num_instructions=1, opcodes=("add",),
+                            shard_size=20)
+        shards = plan_shards(spec)
+        assert shards[0].start == 0
+        assert shards[-1].stop == spec.total_functions()
+        for a, b in zip(shards, shards[1:]):
+            assert a.stop == b.start
+        assert sum(s.size for s in shards) == spec.total_functions()
+
+    def test_respects_start_and_limit(self):
+        spec = CampaignSpec(num_instructions=1, opcodes=("add",),
+                            shard_size=10, start=5, limit=25)
+        shards = plan_shards(spec)
+        assert shards[0].start == 5
+        assert shards[-1].stop == 30
+        assert sum(s.size for s in shards) == 25
+
+    def test_random_mode_derives_distinct_stream_seeds(self):
+        spec = CampaignSpec(mode="random", count=100, shard_size=40,
+                            seed=3)
+        shards = plan_shards(spec)
+        seeds = [s.seed for s in shards]
+        assert len(set(seeds)) == len(seeds)
+        assert seeds == [shard_stream_seed(3, s.shard_id) for s in shards]
+        # derived seeds are a pure function of (base seed, shard id)
+        assert seeds == [s.seed for s in plan_shards(spec)]
+
+    def test_plan_is_pure_function_of_spec(self):
+        spec = CampaignSpec(num_instructions=2, opcodes=("add", "mul"),
+                            shard_size=100)
+        assert plan_shards(spec) == plan_shards(spec)

@@ -1,0 +1,184 @@
+"""End-to-end campaign engine tests: determinism across worker counts,
+resume-skips-done-shards, worker-crash accounting, dedup, diag flow."""
+
+import os
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    CheckpointStore,
+    run_campaign,
+    run_shard,
+    plan_shards,
+)
+from repro.campaign.executor import NUM_CHECKED, NUM_SHARDS_ERRORED
+from repro.campaign.worker import CRASH_ENV
+from repro.diag import default_emitter
+
+#: A corpus small enough for the test suite but rich enough to contain
+#: the Section 3 instcombine bugs: 1-instruction mul/shl over i2.
+LEGACY_SPEC = CampaignSpec(
+    mode="enumerate", num_instructions=1, opcodes=("mul", "shl"),
+    pipeline="instcombine", opt_config="legacy", shard_size=32,
+)
+FIXED_SPEC = LEGACY_SPEC.with_(opt_config="fixed")
+
+
+@pytest.fixture(scope="module")
+def legacy_summary():
+    return run_campaign(LEGACY_SPEC, workers=1)
+
+
+class TestVerdicts:
+    def test_legacy_campaign_finds_the_bugs(self, legacy_summary):
+        assert legacy_summary.checked == 128
+        assert legacy_summary.failed > 0
+        assert len(legacy_summary.counterexamples) == legacy_summary.failed
+
+    def test_fixed_campaign_is_clean(self):
+        summary = run_campaign(FIXED_SPEC, workers=1)
+        assert summary.failed == 0
+        assert summary.checked == 128
+
+    def test_counterexamples_carry_reproducers(self, legacy_summary):
+        cex = legacy_summary.counterexamples[0]
+        assert "define" in cex["source"]
+        assert "define" in cex["optimized"]
+        assert cex["counterexample"]
+        assert len(cex["hash"]) == 64
+
+
+class TestWorkerCountIndependence:
+    def test_verdict_sets_identical_across_worker_counts(
+            self, legacy_summary, tmp_path):
+        parallel = run_campaign(LEGACY_SPEC, out_dir=str(tmp_path),
+                                workers=2)
+        assert parallel.verdict_lines() == legacy_summary.verdict_lines()
+        assert parallel.failed == legacy_summary.failed
+
+    def test_shard_results_are_deterministic(self):
+        shard = plan_shards(LEGACY_SPEC)[1]
+        a = run_shard(LEGACY_SPEC, shard)
+        b = run_shard(LEGACY_SPEC, shard)
+        assert a["hashes"] == b["hashes"]
+        assert a["verdicts"] == b["verdicts"]
+
+
+class TestResume:
+    def test_resume_skips_done_shards(self, tmp_path, legacy_summary):
+        out = str(tmp_path)
+        partial = run_campaign(LEGACY_SPEC, out_dir=out, stop_after=2)
+        assert partial.shards_run == 2
+        assert partial.shards_total == 4
+
+        resumed = run_campaign(LEGACY_SPEC, out_dir=out, resume=True)
+        assert resumed.shards_skipped == 2
+        assert resumed.shards_run == 2
+        # the resumed summary covers the whole campaign
+        assert resumed.checked == 128
+        assert resumed.verdict_lines() == legacy_summary.verdict_lines()
+
+    def test_resume_after_everything_done_runs_nothing(self, tmp_path):
+        out = str(tmp_path)
+        run_campaign(LEGACY_SPEC, out_dir=out)
+        again = run_campaign(LEGACY_SPEC, out_dir=out, resume=True)
+        assert again.shards_run == 0
+        assert again.shards_skipped == 4
+        assert again.checked == 128
+
+    def test_resume_preloads_dedup_from_prior_runs(self, tmp_path):
+        out = str(tmp_path)
+        run_campaign(LEGACY_SPEC, out_dir=out)
+        store = CheckpointStore(out)
+        known = store.load_dedup()
+        assert len(known) == 128
+        # a later shard run against the preloaded cache skips everything
+        shard = plan_shards(LEGACY_SPEC)[0]
+        record = run_shard(LEGACY_SPEC, shard, known)
+        assert record["checked"] == 0
+        assert record["dedup_hits"] == shard.size
+
+
+class TestWorkerCrash:
+    def test_crashed_shard_is_accounted_not_lost(self, tmp_path,
+                                                 legacy_summary):
+        out = str(tmp_path)
+        os.environ[CRASH_ENV] = "1"
+        try:
+            summary = run_campaign(LEGACY_SPEC, out_dir=out, workers=2)
+        finally:
+            del os.environ[CRASH_ENV]
+        assert summary.shards_errored == [1]
+        assert summary.checked == 96  # the other three shards completed
+        record = CheckpointStore(out).load()[1]
+        assert record["status"] == "errored"
+        assert "exit code" in record["error"]
+
+        # resume retries exactly the crashed shard and completes
+        resumed = run_campaign(LEGACY_SPEC, out_dir=out, resume=True,
+                               workers=2)
+        assert resumed.shards_run == 1
+        assert resumed.shards_skipped == 3
+        assert resumed.shards_errored == []
+        assert resumed.verdict_lines() == legacy_summary.verdict_lines()
+
+    def test_inprocess_exception_is_accounted(self, tmp_path):
+        bad = LEGACY_SPEC.with_(pipeline="no-such-pass")
+        summary = run_campaign(bad, out_dir=str(tmp_path))
+        assert len(summary.shards_errored) == summary.shards_total
+        assert summary.checked == 0
+
+
+class TestDedup:
+    def test_random_streams_dedup_within_shards(self):
+        # 120 draws from a ~64-function space: plenty of structural
+        # duplicates for the canonical-hash cache to absorb.
+        spec = CampaignSpec(mode="random", num_instructions=1,
+                            opcodes=("add",), count=120, seed=5,
+                            shard_size=40, pipeline="instcombine")
+        summary = run_campaign(spec)
+        assert summary.dedup_hits > 0
+        assert summary.checked + summary.dedup_hits == 120
+        assert 0.0 < summary.dedup_hit_rate < 1.0
+        # Shards dedup internally; a duplicate spanning two shards of
+        # the same run is checked twice but *reported* once (the merge
+        # keeps the first occurrence), so the verdict set is still the
+        # set of distinct functions.
+        assert len(summary.verdicts) <= summary.checked
+        assert set(summary.verdicts.values()) == {"verified"}
+
+
+class TestDiagIntegration:
+    def test_stats_flow_into_default_registry(self):
+        before = NUM_CHECKED.value
+        run_campaign(FIXED_SPEC.with_(opcodes=("add",)))
+        assert NUM_CHECKED.value == before + 64
+
+    def test_errored_shards_counted(self, tmp_path):
+        before = NUM_SHARDS_ERRORED.value
+        run_campaign(LEGACY_SPEC.with_(pipeline="no-such-pass"),
+                     out_dir=str(tmp_path))
+        assert NUM_SHARDS_ERRORED.value == before + 4
+
+    def test_failures_emitted_as_remarks(self):
+        with default_emitter().collect() as remarks:
+            run_campaign(LEGACY_SPEC)
+        campaign_remarks = [r for r in remarks
+                            if r.pass_name == "campaign"]
+        assert campaign_remarks
+        assert all("refinement failure" in r.message
+                   for r in campaign_remarks)
+
+    def test_per_shard_timing_in_summary(self, legacy_summary):
+        stats = legacy_summary.timing.passes["campaign-shard"]
+        assert stats.runs == 4
+        assert set(stats.per_function) == {
+            "shard0", "shard1", "shard2", "shard3"}
+        assert stats.seconds > 0
+
+    def test_shard_records_carry_stats_deltas(self):
+        shard = plan_shards(LEGACY_SPEC)[0]
+        record = run_shard(LEGACY_SPEC, shard)
+        assert record["stats"]["optfuzz"]["num-functions-enumerated"] == 32

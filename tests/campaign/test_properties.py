@@ -1,0 +1,93 @@
+"""Property tests guarding the canonical-hash layer (hypothesis).
+
+The dedup cache keys on a hash of *re-printed, re-parsed* IR, so its
+soundness rests on the printer/parser being a bijection on the corpus:
+``print -> parse -> print`` must be a fixed point for every function
+opt-fuzz can generate, and canonical hashing must be stable across the
+round-trip and across alpha-renaming.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.campaign import canonical_hash, canonical_text
+from repro.fuzz import enumerate_functions, function_at_index, random_functions
+from repro.ir import parse_function, print_function, print_module
+
+_FAST = settings(max_examples=60, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+def _random_fn(seed):
+    return next(iter(random_functions(1, seed=seed)))
+
+
+class TestRoundTrip:
+    @_FAST
+    @given(st.integers(0, 100_000))
+    def test_print_parse_print_fixed_point_random(self, seed):
+        fn = _random_fn(seed)
+        text = print_module(fn.module)
+        reparsed = parse_function(text)
+        assert print_function(reparsed) == print_function(fn)
+        assert print_module(reparsed.module) == text
+
+    @_FAST
+    @given(st.integers(0, 447))
+    def test_print_parse_print_fixed_point_enumerated(self, index):
+        fn = function_at_index(index, 1)
+        text = print_function(fn)
+        assert print_function(parse_function(text)) == text
+
+
+class TestCanonicalHashProperties:
+    @_FAST
+    @given(st.integers(0, 100_000))
+    def test_hash_stable_across_round_trip(self, seed):
+        fn = _random_fn(seed)
+        reparsed = parse_function(print_module(fn.module))
+        assert canonical_hash(fn) == canonical_hash(reparsed)
+
+    @_FAST
+    @given(st.integers(0, 100_000))
+    def test_hash_invariant_under_renaming(self, seed):
+        fn = _random_fn(seed)
+        renamed = parse_function(print_module(fn.module))
+        renamed.name = "completely_different"
+        for i, arg in enumerate(renamed.args):
+            arg.name = f"zz{i}"
+        for i, block in enumerate(renamed.blocks):
+            block.name = f"blk_{i}"
+        n = 0
+        for inst in renamed.instructions():
+            if not inst.type.is_void:
+                inst.name = f"val{n}"
+                n += 1
+        assert canonical_hash(renamed) == canonical_hash(fn)
+
+    @_FAST
+    @given(st.integers(0, 100_000))
+    def test_canonical_text_is_canonical(self, seed):
+        """Canonicalizing twice is the same as canonicalizing once."""
+        fn = _random_fn(seed)
+        once = canonical_text(fn)
+        assert canonical_text(once) == once
+
+    @_FAST
+    @given(st.integers(0, 446), st.integers(1, 447))
+    def test_distinct_corpus_functions_hash_distinct(self, i, delta):
+        j = (i + delta) % 448
+        a = function_at_index(i, 1)
+        b = function_at_index(j, 1)
+        assert canonical_hash(a) != canonical_hash(b)
+
+
+class TestSlicingEquivalence:
+    @_FAST
+    @given(st.integers(0, 447), st.integers(1, 64))
+    def test_sliced_enumeration_matches_full_walk(self, start, size):
+        stop = min(start + size, 448)
+        sliced = [print_function(f)
+                  for f in enumerate_functions(1, start=start, stop=stop)]
+        prefix = [print_function(f)
+                  for f in enumerate_functions(1, limit=stop)]
+        assert sliced == prefix[start:stop]

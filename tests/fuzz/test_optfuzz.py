@@ -4,10 +4,14 @@ import itertools
 
 import pytest
 
+import random
+
 from repro.fuzz import (
     SMALL_OPCODES,
     count_functions,
     enumerate_functions,
+    enumeration_size,
+    function_at_index,
     random_functions,
 )
 from repro.ir import Opcode, parse_function, print_module, verify_function
@@ -55,6 +59,50 @@ class TestEnumeration:
             assert fn.entry.instructions[0].opcode is Opcode.ADD
 
 
+class TestIndexedAccess:
+    """start/stop slicing and random access into the enumeration space
+    (what campaign shards use to partition work)."""
+
+    def test_slice_matches_full_enumeration(self):
+        full = [print_module(f.module) for f in enumerate_functions(1)]
+        sliced = [print_module(f.module)
+                  for f in enumerate_functions(1, start=100, stop=130)]
+        assert sliced == full[100:130]
+
+    def test_slices_tile_the_space(self):
+        full = [print_module(f.module) for f in enumerate_functions(1)]
+        tiled = []
+        for start in range(0, 448, 100):
+            tiled.extend(
+                print_module(f.module)
+                for f in enumerate_functions(1, start=start,
+                                             stop=start + 100)
+            )
+        assert tiled == full
+
+    def test_function_at_index(self):
+        full = [print_module(f.module) for f in enumerate_functions(1)]
+        for index in (0, 17, 250, 447):
+            assert print_module(
+                function_at_index(index, 1).module) == full[index]
+
+    def test_function_at_index_bounds(self):
+        with pytest.raises(IndexError):
+            function_at_index(448, 1)
+        with pytest.raises(IndexError):
+            function_at_index(-1, 1)
+
+    def test_limit_composes_with_start(self):
+        fns = list(enumerate_functions(1, start=440, limit=100))
+        assert len(fns) == 8  # clipped at the end of the space
+
+    def test_enumeration_size_counts_flags(self):
+        plain = enumeration_size(1)
+        flagged = enumeration_size(1, include_flags=True)
+        assert plain == count_functions(1) == 448
+        assert flagged > plain
+
+
 class TestRandomGeneration:
     def test_seeded_reproducible(self):
         a = [print_module(f.module)
@@ -71,6 +119,26 @@ class TestRandomGeneration:
     def test_all_valid(self):
         for fn in random_functions(50, seed=5):
             verify_function(fn)
+
+    def test_explicit_rng_overrides_seed(self):
+        via_seed = [print_module(f.module)
+                    for f in random_functions(10, seed=42)]
+        via_rng = [print_module(f.module)
+                   for f in random_functions(10, seed=999,
+                                             rng=random.Random(42))]
+        assert via_seed == via_rng
+
+    def test_rng_state_is_consumed_sequentially(self):
+        """One rng threaded through two calls continues the stream —
+        how a shard worker resumes a derived stream mid-way."""
+        whole = [print_module(f.module)
+                 for f in random_functions(10, seed=3)]
+        rng = random.Random(3)
+        first = [print_module(f.module)
+                 for f in random_functions(4, rng=rng)]
+        second = [print_module(f.module)
+                  for f in random_functions(6, rng=rng)]
+        assert first + second == whole
 
     def test_icmp_and_select_appear(self):
         corpus = "".join(
