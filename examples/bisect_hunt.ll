@@ -1,0 +1,28 @@
+; Demo input for the opt-bisect driver — a pipeline over this function
+; makes several dozen pass applications, enough for the binary search
+; to be visibly logarithmic:
+;
+;   python -m repro bisect examples/bisect_hunt.ll \
+;       --chaos-fail-at 5 --chaos-mode corrupt --verbose
+;
+; prints each probe and pinpoints application #5 as the culprit.  With
+; --checker interp the checker compares the interpreted behavior of
+; @main against the unoptimized module instead of just verifying.
+
+define i8 @main(i8 %a, i8 %b) {
+entry:
+  %p = mul i8 %a, 2
+  %q = add i8 %p, %b
+  %c = icmp ult i8 %q, 32
+  br i1 %c, label %small, label %big
+small:
+  %s = shl i8 %q, 1
+  br label %join
+big:
+  %g = sub i8 %q, %a
+  br label %join
+join:
+  %r = phi i8 [ %s, %small ], [ %g, %big ]
+  %folded = add i8 %r, 0
+  ret i8 %folded
+}

@@ -1,0 +1,38 @@
+; Demo input for the resilience layer — a phi- and call-heavy function
+; that gives chaos corruption plenty of surface (terminators to drop,
+; phis to duplicate, instructions to misplace):
+;
+;   python -m repro examples/chaos_recovery.ll \
+;       --chaos --chaos-seed 7 --chaos-rate 0.3 --verify-each \
+;       --crash-dir crashes --stats
+;
+; Every injected fault shows up as a resilience/num-recoveries tick, a
+; "rolled back ..." remark, and a replayable bundle under crashes/.
+
+declare void @effect(i8)
+
+define i8 @main(i8 %n, i1 %flip) {
+entry:
+  %doubled = mul i8 %n, 2
+  br label %head
+head:
+  %i = phi i8 [ 0, %entry ], [ %next, %latch ]
+  %acc = phi i8 [ %doubled, %entry ], [ %sum, %latch ]
+  %cmp = icmp ult i8 %i, 8
+  br i1 %cmp, label %body, label %exit
+body:
+  br i1 %flip, label %odd, label %even
+odd:
+  %t1 = add i8 %acc, %i
+  call void @effect(i8 %t1)
+  br label %latch
+even:
+  %t2 = sub i8 %acc, %i
+  br label %latch
+latch:
+  %sum = phi i8 [ %t1, %odd ], [ %t2, %even ]
+  %next = add i8 %i, 1
+  br label %head
+exit:
+  ret i8 %acc
+}

@@ -75,6 +75,25 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-choices", type=int, default=20,
                      dest="max_choices")
     run.add_argument("--fuel", type=int, default=600)
+    run.add_argument("--policy",
+                     choices=["none", "strict", "recover", "quarantine"],
+                     default="recover",
+                     help="pipeline recovery policy: none = unguarded "
+                          "(a pass crash kills the shard), strict = "
+                          "per-function crash records, recover/"
+                          "quarantine = roll back and continue "
+                          "(default: recover)")
+    run.add_argument("--verify-each", action="store_true",
+                     dest="verify_each",
+                     help="verify after every pass application")
+    run.add_argument("--chaos-seed", type=int, default=None,
+                     dest="chaos_seed",
+                     help="enable chaos fault injection with this seed")
+    run.add_argument("--chaos-rate", type=float, default=0.05,
+                     dest="chaos_rate")
+    run.add_argument("--chaos-mode",
+                     choices=["raise", "corrupt", "mixed"],
+                     default="mixed", dest="chaos_mode")
 
     for p in (run, sub.add_parser("resume",
                                   help="finish an interrupted campaign")):
@@ -130,6 +149,11 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         start=args.start,
         max_choices=args.max_choices,
         fuel=args.fuel,
+        policy=args.policy,
+        verify_each=args.verify_each,
+        chaos_seed=args.chaos_seed,
+        chaos_rate=args.chaos_rate,
+        chaos_mode=args.chaos_mode,
     )
 
 
@@ -145,7 +169,13 @@ def _print_summary(summary, as_json: bool) -> None:
           f"({summary.dedup_hit_rate * 100:.1f}%)")
     print(f"  verdicts: {summary.verified} verified, "
           f"{summary.failed} failed, "
-          f"{summary.inconclusive} inconclusive")
+          f"{summary.inconclusive} inconclusive, "
+          f"{summary.timeout} timeout")
+    if summary.recoveries or summary.crashes:
+        print(f"  resilience: {summary.recoveries} pass failure(s) "
+              f"recovered, {len(summary.crashes)} function(s) crashed"
+              + (f", {len(summary.bundle_paths)} crash bundle(s)"
+                 if summary.bundle_paths else ""))
     if summary.failed:
         print(f"  {len(summary.counterexamples)} counterexample(s) "
               f"recorded; run `campaign reduce` to shrink them")

@@ -23,6 +23,7 @@ optimization remark.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -30,10 +31,14 @@ from typing import Callable, Dict, List, Optional
 
 from ..diag import PassStats, PassTiming, Statistic, emit_remark
 from ..diag.remarks import REMARK_ANALYSIS
+from ..opt.resilience import write_bundle
 from .checkpoint import CheckpointStore, save_manifest
 from .sharding import Shard, plan_shards
 from .spec import CampaignSpec
 from .worker import run_shard
+
+#: subdirectory of a campaign's out_dir holding crash bundles.
+CRASHES_DIR = "crashes"
 
 NUM_CHECKED = Statistic(
     "campaign", "num-functions-checked",
@@ -52,6 +57,15 @@ NUM_SHARDS_ERRORED = Statistic(
 NUM_SHARDS_SKIPPED = Statistic(
     "campaign", "num-shards-skipped",
     "Shards skipped on resume (already checkpointed as done)")
+NUM_PASS_RECOVERIES = Statistic(
+    "campaign", "num-pass-recoveries",
+    "Guarded pass failures rolled back inside campaign shards")
+NUM_PASS_CRASHES = Statistic(
+    "campaign", "num-pass-crashes",
+    "Per-function pipeline crashes recorded by campaign shards")
+NUM_TIMEOUTS = Statistic(
+    "campaign", "num-timeout-verdicts",
+    "Functions whose refinement check exhausted its fuel budget")
 
 
 @dataclass
@@ -68,6 +82,15 @@ class CampaignSummary:
     verified: int = 0
     failed: int = 0
     inconclusive: int = 0
+    timeout: int = 0
+    #: guarded pass failures rolled back inside shards (the pipeline
+    #: survived; the functions still concluded).
+    recoveries: int = 0
+    #: per-function pipeline crashes (strict policy or unguarded code);
+    #: these functions have no verdict and are retried on resume.
+    crashes: List[dict] = field(default_factory=list)
+    #: crash-bundle paths written under ``out_dir/crashes/``.
+    bundle_paths: List[str] = field(default_factory=list)
     wall_seconds: float = 0.0
     counterexamples: List[dict] = field(default_factory=list)
     #: canonical hash → verdict, merged across shards in shard-id order
@@ -99,6 +122,10 @@ class CampaignSummary:
             "verified": self.verified,
             "failed": self.failed,
             "inconclusive": self.inconclusive,
+            "timeout": self.timeout,
+            "recoveries": self.recoveries,
+            "crashes": self.crashes,
+            "bundles": self.bundle_paths,
             "wall_seconds": self.wall_seconds,
             "counterexamples": self.counterexamples,
         }
@@ -112,10 +139,7 @@ def _shard_entry(conn, spec_dict: dict, shard_dict: dict,
         record = run_shard(CampaignSpec.from_dict(spec_dict), shard,
                            known_hashes)
     except BaseException as e:  # report instead of dying silently
-        record = {"shard_id": shard.shard_id, "status": "errored",
-                  "error": repr(e), "checked": 0, "dedup_hits": 0,
-                  "verdicts": {}, "hashes": {}, "counterexamples": [],
-                  "wall_seconds": 0.0}
+        record = _errored_record(shard, repr(e))
     try:
         conn.send(record)
     finally:
@@ -126,6 +150,7 @@ def _errored_record(shard: Shard, reason: str) -> dict:
     return {"shard_id": shard.shard_id, "status": "errored",
             "error": reason, "checked": 0, "dedup_hits": 0,
             "verdicts": {}, "hashes": {}, "counterexamples": [],
+            "crashes": [], "recoveries": 0, "bundles": [],
             "wall_seconds": 0.0}
 
 
@@ -183,6 +208,7 @@ class CampaignRunner:
         new_records: Dict[int, dict] = {}
 
         def finalize(shard: Shard, record: dict) -> None:
+            self._persist_bundles(record)
             new_records[shard.shard_id] = record
             if self.store is not None:
                 self.store.append(record)
@@ -203,6 +229,21 @@ class CampaignRunner:
                                   shards_skipped=len(prior))
         self._account(new_records, summary)
         return summary
+
+    def _persist_bundles(self, record: dict) -> None:
+        """Materialize a shard's in-memory crash bundles under
+        ``out_dir/crashes/`` and swap the payloads for their paths.
+
+        Bundle ids are content-hashed, so retried shards rewrite the
+        same directories instead of accumulating duplicates."""
+        payloads = record.get("bundles") or []
+        if not payloads:
+            return
+        if self.out_dir is None:
+            record["bundles"] = [p.get("bundle_id", "") for p in payloads]
+            return
+        root = os.path.join(self.out_dir, CRASHES_DIR)
+        record["bundles"] = [write_bundle(root, p) for p in payloads]
 
     # -- execution strategies ---------------------------------------------
     def _run_inprocess(self, pending: List[Shard], known: Dict[str, str],
@@ -281,14 +322,20 @@ class CampaignRunner:
         for sid in sorted(records):
             record = records[sid]
             if record.get("status") == "errored":
+                # Still aggregate: a guarded shard that hit per-function
+                # crashes reports partial results (everything that did
+                # conclude) instead of losing the whole shard.
                 summary.shards_errored.append(sid)
-                continue
             summary.checked += record.get("checked", 0)
             summary.dedup_hits += record.get("dedup_hits", 0)
             verdicts = record.get("verdicts", {})
             summary.verified += verdicts.get("verified", 0)
             summary.failed += verdicts.get("failed", 0)
             summary.inconclusive += verdicts.get("inconclusive", 0)
+            summary.timeout += verdicts.get("timeout", 0)
+            summary.recoveries += record.get("recoveries", 0)
+            summary.crashes.extend(record.get("crashes", []))
+            summary.bundle_paths.extend(record.get("bundles", []))
             summary.wall_seconds += record.get("wall_seconds", 0.0)
             summary.counterexamples.extend(
                 record.get("counterexamples", []))
@@ -309,11 +356,23 @@ class CampaignRunner:
             record = new_records[sid]
             if record.get("status") == "errored":
                 NUM_SHARDS_ERRORED.inc()
-                continue
-            NUM_SHARDS_DONE.inc()
+            else:
+                NUM_SHARDS_DONE.inc()
             NUM_CHECKED.inc(record.get("checked", 0))
             NUM_DEDUP_HITS.inc(record.get("dedup_hits", 0))
             NUM_FAILURES.inc(record.get("verdicts", {}).get("failed", 0))
+            NUM_TIMEOUTS.inc(record.get("verdicts", {}).get("timeout", 0))
+            NUM_PASS_RECOVERIES.inc(record.get("recoveries", 0))
+            NUM_PASS_CRASHES.inc(len(record.get("crashes", [])))
+            for crash in record.get("crashes", []):
+                emit_remark(
+                    "campaign",
+                    f"pipeline crash on corpus function "
+                    f"#{crash.get('index')} (shard {sid}"
+                    f"{', pass ' + crash['pass'] if crash.get('pass') else ''}"
+                    f"): {crash.get('error', '')}",
+                    kind=REMARK_ANALYSIS, function="f",
+                )
             for cex in record.get("counterexamples", []):
                 emit_remark(
                     "campaign",

@@ -28,6 +28,10 @@ def aggregate_records(spec: CampaignSpec,
         "verified": 0,
         "failed": 0,
         "inconclusive": 0,
+        "timeout": 0,
+        "recoveries": 0,
+        "crashes": [],
+        "bundles": [],
         "wall_seconds": 0.0,
         "counterexamples": [],
         "verdicts": {},
@@ -37,14 +41,21 @@ def aggregate_records(spec: CampaignSpec,
         if record.get("status") == "errored":
             agg["shards_errored"].append(
                 {"shard_id": sid, "error": record.get("error", "")})
-            continue
-        agg["shards_done"] += 1
+        else:
+            agg["shards_done"] += 1
+        # Errored shards still contribute their partial results: with a
+        # guarded pipeline, a shard with per-function crashes reports
+        # everything that did conclude.
         agg["checked"] += record.get("checked", 0)
         agg["dedup_hits"] += record.get("dedup_hits", 0)
         verdicts = record.get("verdicts", {})
         agg["verified"] += verdicts.get("verified", 0)
         agg["failed"] += verdicts.get("failed", 0)
         agg["inconclusive"] += verdicts.get("inconclusive", 0)
+        agg["timeout"] += verdicts.get("timeout", 0)
+        agg["recoveries"] += record.get("recoveries", 0)
+        agg["crashes"].extend(record.get("crashes", []))
+        agg["bundles"].extend(record.get("bundles", []))
         agg["wall_seconds"] += record.get("wall_seconds", 0.0)
         agg["counterexamples"].extend(record.get("counterexamples", []))
         for h, v in sorted(record.get("hashes", {}).items()):
@@ -65,14 +76,20 @@ def build_diag(records: Dict[int, dict]
         record = records[sid]
         if record.get("status") == "errored":
             registry.add("campaign", "num-shards-errored")
-            continue
-        registry.add("campaign", "num-shards-done")
+        else:
+            registry.add("campaign", "num-shards-done")
         registry.add("campaign", "num-functions-checked",
                      record.get("checked", 0))
         registry.add("campaign", "num-dedup-hits",
                      record.get("dedup_hits", 0))
         registry.add("campaign", "num-refinement-failures",
                      record.get("verdicts", {}).get("failed", 0))
+        registry.add("campaign", "num-timeout-verdicts",
+                     record.get("verdicts", {}).get("timeout", 0))
+        registry.add("campaign", "num-pass-recoveries",
+                     record.get("recoveries", 0))
+        registry.add("campaign", "num-pass-crashes",
+                     len(record.get("crashes", [])))
         for pass_name, counters in record.get("stats", {}).items():
             for name, value in counters.items():
                 registry.add(pass_name, name, value)
@@ -100,9 +117,16 @@ def render_report(spec: CampaignSpec, records: Dict[int, dict]) -> str:
         f"{agg['dedup_hits']} dedup hits "
         f"({agg['dedup_hit_rate'] * 100:.1f}%)",
         f"  verdicts:     {agg['verified']} verified, "
-        f"{agg['failed']} failed, {agg['inconclusive']} inconclusive",
+        f"{agg['failed']} failed, {agg['inconclusive']} inconclusive, "
+        f"{agg['timeout']} timeout",
         f"  shard wall:   {agg['wall_seconds']:.3f}s total",
     ]
+    if agg["recoveries"] or agg["crashes"]:
+        lines.append(
+            f"  resilience:   {agg['recoveries']} pass failure(s) "
+            f"recovered, {len(agg['crashes'])} function(s) crashed")
+    for bundle in agg["bundles"]:
+        lines.append(f"  crash bundle: {bundle}")
     for err in agg["shards_errored"]:
         lines.append(f"  errored shard {err['shard_id']}: {err['error']}")
     if agg["counterexamples"]:

@@ -16,6 +16,7 @@ from typing import Dict, Optional, Tuple
 from ..fuzz import DEFAULT_OPCODES, SMALL_OPCODES
 from ..ir import Opcode
 from ..opt import OptConfig, o2_pipeline, quick_pipeline, single_pass_pipeline
+from ..opt.resilience import CHAOS_MODES, ChaosEngine, guarded_pipeline
 from ..refine import CheckOptions
 from ..semantics import NEW, OLD
 
@@ -23,6 +24,8 @@ from ..semantics import NEW, OLD
 _PIPELINES = ("o2", "quick")
 
 _CONFIGS = ("fixed", "legacy")
+
+_POLICIES = ("none", "strict", "recover", "quarantine")
 
 
 @dataclass(frozen=True)
@@ -58,6 +61,19 @@ class CampaignSpec:
     max_choices: int = 20
     fuel: int = 600
     max_inputs: int = 20_000
+    #: recovery policy for the pipeline under test: "none" runs the
+    #: plain PassManager (a pass crash kills the whole shard, as before);
+    #: everything else runs a GuardedPassManager, turning a pass crash
+    #: into a per-function record with an attached crash bundle.
+    policy: str = "recover"
+    #: verify the function after every pass application (rolled back on
+    #: rejection).  Forced on whenever chaos is enabled, so injected IR
+    #: corruptions are caught at the faulting pass, not downstream.
+    verify_each: bool = False
+    #: chaos fault injection over the pipeline under test; None = off.
+    chaos_seed: Optional[int] = None
+    chaos_rate: float = 0.05
+    chaos_mode: str = "mixed"
 
     def __post_init__(self):
         if self.mode not in ("enumerate", "random"):
@@ -66,6 +82,10 @@ class CampaignSpec:
             raise ValueError(f"unknown opt config {self.opt_config!r}")
         if self.shard_size <= 0:
             raise ValueError("shard_size must be positive")
+        if self.policy not in _POLICIES:
+            raise ValueError(f"unknown recovery policy {self.policy!r}")
+        if self.chaos_mode not in CHAOS_MODES:
+            raise ValueError(f"unknown chaos mode {self.chaos_mode!r}")
         for name in self.opcodes:
             Opcode(name)  # raises ValueError on an unknown opcode name
 
@@ -85,11 +105,21 @@ class CampaignSpec:
 
     def make_pipeline(self):
         config = self.make_opt_config()
-        if self.pipeline == "o2":
-            return o2_pipeline(config)
-        if self.pipeline == "quick":
-            return quick_pipeline(config)
-        return single_pass_pipeline(self.pipeline, config)
+        if self.policy == "none" and self.chaos_seed is None:
+            if self.pipeline == "o2":
+                return o2_pipeline(config)
+            if self.pipeline == "quick":
+                return quick_pipeline(config)
+            return single_pass_pipeline(self.pipeline, config)
+        chaos = (ChaosEngine(seed=self.chaos_seed, rate=self.chaos_rate,
+                             mode=self.chaos_mode)
+                 if self.chaos_seed is not None else None)
+        return guarded_pipeline(
+            self.pipeline, config,
+            policy=self.policy if self.policy != "none" else "recover",
+            verify_each=self.verify_each or chaos is not None,
+            chaos=chaos,
+        )
 
     def check_options(self) -> CheckOptions:
         return CheckOptions(max_choices=self.max_choices, fuel=self.fuel,

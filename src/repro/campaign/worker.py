@@ -11,20 +11,41 @@ The returned record is the JSONL checkpoint schema: shard id, status,
 verdict counts, newly discovered ``hash → verdict`` pairs, full
 counterexample reproducers, wall time, and a stats-registry delta
 covering exactly this shard's work.
+
+With a guarded pipeline (any spec ``policy`` but ``"none"``) the shard
+additionally survives buggy passes: a pass crash or a ``verify-each``
+rejection rolls the function back and — under the recover/quarantine
+policies — the function still concludes normally, with the rollback
+counted in the record's ``recoveries`` and its crash bundle attached
+under ``bundles``.  A failure the policy does *not* absorb (``strict``,
+or a crash in unguarded code) becomes a per-function ``crashes`` entry:
+the function gets **no** dedup verdict (so resume retries it), the rest
+of the shard keeps running, and the shard reports status ``errored``.
+
+Interpreter fuel exhaustion is *not* a crash: a refinement check that
+comes back inconclusive because either side ran out of fuel gets the
+terminal ``timeout`` verdict — it enters the dedup log and is never
+retried, because re-running a too-slow function can only time out again.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from typing import Dict, Optional
+import traceback as traceback_module
+from typing import Dict, List, Optional
 
 from ..diag import stats_snapshot
 from ..ir import parse_function, print_function, print_module, verify_function
+from ..opt.resilience import GuardedPassError
 from ..refine import check_refinement
 from .canon import DedupCache, canonical_hash
 from .sharding import Shard, iter_shard_functions
 from .spec import CampaignSpec
+
+#: RefinementResult reasons with this substring are fuel exhaustion —
+#: the interpreter's timeout analog, a terminal verdict, not a crash.
+FUEL_REASON = "fuel budget"
 
 #: Test hook: comma-separated shard ids that should hard-crash (die
 #: without reporting), exercising the executor's lost-worker accounting.
@@ -64,9 +85,13 @@ def run_shard(spec: CampaignSpec, shard: Shard,
     cache = DedupCache(known_hashes)
     options = spec.check_options()
     semantics = spec.semantics()
-    verdicts = {"verified": 0, "failed": 0, "inconclusive": 0}
+    verdicts = {"verified": 0, "failed": 0, "inconclusive": 0,
+                "timeout": 0}
     new_hashes: Dict[str, str] = {}
     counterexamples = []
+    crashes: List[dict] = []
+    bundles: List[dict] = []
+    recoveries = 0
 
     for offset, fn in enumerate(iter_shard_functions(spec, shard)):
         index = shard.start + offset
@@ -76,13 +101,43 @@ def run_shard(spec: CampaignSpec, shard: Shard,
             continue
 
         before = parse_function(src_text)
-        spec.make_pipeline().run_on_function(fn)
-        verify_function(fn)
-        result = check_refinement(before, fn, semantics, options=options)
+        pipeline = spec.make_pipeline()
+        try:
+            pipeline.run_on_function(fn)
+            verify_function(fn)
+        except Exception as e:
+            # A failure the policy did not absorb: GuardedPassError
+            # under strict, or a raw crash/verifier rejection from an
+            # unguarded pipeline.  Record it per-function — no dedup
+            # verdict, so resume retries exactly this function — and
+            # keep the shard alive.
+            failure = getattr(e, "failure", None)
+            crashes.append({
+                "shard_id": shard.shard_id,
+                "index": index,
+                "hash": h,
+                "pass": failure.pass_name if failure else "",
+                "kind": failure.kind if failure else "exception",
+                "error": repr(e),
+                "traceback": traceback_module.format_exc(),
+                "source": src_text,
+            })
+            recovered, payloads = _harvest(pipeline, fatal=failure)
+            recoveries += recovered
+            bundles.extend(payloads)
+            continue
 
-        verdicts[result.verdict] = verdicts.get(result.verdict, 0) + 1
-        cache.add(h, result.verdict)
-        new_hashes[h] = result.verdict
+        recovered, payloads = _harvest(pipeline)
+        recoveries += recovered
+        bundles.extend(payloads)
+
+        result = check_refinement(before, fn, semantics, options=options)
+        verdict = result.verdict
+        if verdict == "inconclusive" and FUEL_REASON in result.reason:
+            verdict = "timeout"
+        verdicts[verdict] = verdicts.get(verdict, 0) + 1
+        cache.add(h, verdict)
+        new_hashes[h] = verdict
         if result.failed:
             counterexamples.append({
                 "shard_id": shard.shard_id,
@@ -94,9 +149,9 @@ def run_shard(spec: CampaignSpec, shard: Shard,
                 "inputs_checked": result.inputs_checked,
             })
 
-    return {
+    record = {
         "shard_id": shard.shard_id,
-        "status": "done",
+        "status": "errored" if crashes else "done",
         "start": shard.start,
         "stop": shard.stop,
         "checked": sum(verdicts.values()),
@@ -104,6 +159,28 @@ def run_shard(spec: CampaignSpec, shard: Shard,
         "verdicts": verdicts,
         "hashes": new_hashes,
         "counterexamples": counterexamples,
+        "crashes": crashes,
+        "recoveries": recoveries,
+        "bundles": bundles,
         "wall_seconds": time.perf_counter() - start_time,
         "stats": _stats_delta(stats_before, stats_snapshot()),
     }
+    if crashes:
+        record["error"] = (
+            f"{len(crashes)} function(s) crashed the pipeline "
+            f"(first: {crashes[0]['error']})")
+    return record
+
+
+def _harvest(pipeline, fatal=None) -> tuple:
+    """Collect (recoveries, bundle payloads) off a guarded pipeline.
+
+    ``fatal`` is the :class:`PassFailure` that escaped as an exception
+    (strict policy); it is bundled but not counted as a recovery.
+    """
+    failures = getattr(pipeline, "failures", None)
+    if not failures:
+        return 0, []
+    payloads = [f.bundle for f in failures if f.bundle]
+    recovered = sum(1 for f in failures if f is not fatal)
+    return recovered, payloads

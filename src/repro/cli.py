@@ -20,6 +20,20 @@ which is what the CI smoke test and the acceptance check parse.
 ``python -m repro campaign ...`` dispatches to the validation campaign
 engine (:mod:`repro.campaign`): parallel sharded opt-fuzz × refinement
 checking with checkpoint/resume, dedup, and counterexample reduction.
+
+Resilience (``repro.opt.resilience``) is wired in three places:
+
+* compile-mode flags — ``--policy``, ``--verify-each``, ``--crash-dir``,
+  ``--opt-bisect-limit`` and the ``--chaos*`` fault-injection family —
+  run the pipeline under a :class:`GuardedPassManager` and add a
+  ``resilience`` report section.  A guarded-pass failure under the
+  ``strict`` policy (or a final verification failure) exits with code 2.
+* ``python -m repro crash {list,show,replay} ...`` — inspect and replay
+  the crash bundles that guarded runs capture.
+* ``python -m repro bisect <input> ...`` — the ``-opt-bisect-limit``
+  driver: binary-search the first pass application that makes a checker
+  (IR verification, or interpreted behavior vs. the unoptimized module)
+  fail.
 """
 
 from __future__ import annotations
@@ -38,12 +52,24 @@ from .diag import (
 )
 from .ir import ParseError, parse_module, print_module, verify_module
 from .ir.types import IntType, VectorType
+from .ir.verifier import VerificationError
 from .opt import (
     baseline_config,
     codegen_pipeline,
     o2_pipeline,
     prototype_config,
     quick_pipeline,
+)
+from .opt.resilience import (
+    CHAOS_MODES,
+    POLICIES,
+    ChaosEngine,
+    GuardedPassError,
+    bisect_failure,
+    guarded_pipeline,
+    list_bundles,
+    load_bundle,
+    replay_bundle,
 )
 from .semantics import run_once
 
@@ -94,7 +120,82 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="print the optimized module")
     parser.add_argument("--json", action="store_true",
                         help="emit the whole report as one JSON document")
+    _add_resilience_arguments(parser)
     return parser
+
+
+#: exit code for strict guarded-pass failures and verification failures.
+EXIT_GUARDED_FAILURE = 2
+
+
+def _add_resilience_arguments(parser: argparse.ArgumentParser,
+                              with_policy: bool = True) -> None:
+    group = parser.add_argument_group("resilience")
+    if with_policy:
+        group.add_argument("--policy", choices=("none",) + POLICIES,
+                           default="none",
+                           help="run under the guarded pass manager with "
+                                "this recovery policy (default: none = "
+                                "unguarded; other resilience flags imply "
+                                "strict, or recover under --chaos)")
+        group.add_argument("--verify-each", action="store_true",
+                           dest="verify_each",
+                           help="verify the function after every pass "
+                                "application; failures roll back")
+        group.add_argument("--crash-dir", default=None, dest="crash_dir",
+                           help="write a replayable crash bundle for "
+                                "every guarded pass failure")
+        group.add_argument("--opt-bisect-limit", type=int, default=None,
+                           dest="bisect_limit", metavar="N",
+                           help="skip pass applications beyond the Nth "
+                                "(the -opt-bisect-limit analog)")
+        group.add_argument("--quarantine-after", type=int, default=3,
+                           dest="quarantine_after", metavar="N",
+                           help="under the quarantine policy, disable a "
+                                "pass after N failures (default: 3)")
+    group.add_argument("--chaos", action="store_true",
+                       help="inject deterministic faults into every "
+                            "pass (fault-injection harness)")
+    group.add_argument("--chaos-seed", type=int, default=0,
+                       dest="chaos_seed", metavar="SEED",
+                       help="chaos fault-schedule seed (default: 0)")
+    group.add_argument("--chaos-rate", type=float, default=0.05,
+                       dest="chaos_rate", metavar="P",
+                       help="per-application fault probability "
+                            "(default: 0.05)")
+    group.add_argument("--chaos-mode", choices=CHAOS_MODES,
+                       default="mixed", dest="chaos_mode",
+                       help="inject exceptions, IR corruptions, or both "
+                            "(default: mixed)")
+    group.add_argument("--chaos-fail-at", default=None,
+                       dest="chaos_fail_at", metavar="N[,N...]",
+                       help="inject exactly at these 1-based pass "
+                            "application indices (overrides the rate)")
+
+
+def _parse_fail_at(text: Optional[str]) -> tuple:
+    if not text:
+        return ()
+    try:
+        return tuple(int(p) for p in text.split(",") if p.strip())
+    except ValueError:
+        raise SystemExit(
+            f"error: --chaos-fail-at expects comma-separated integers, "
+            f"got {text!r}")
+
+
+def _chaos_engine(args: argparse.Namespace) -> Optional[ChaosEngine]:
+    fail_at = _parse_fail_at(args.chaos_fail_at)
+    if not (args.chaos or fail_at):
+        return None
+    return ChaosEngine(seed=args.chaos_seed, rate=args.chaos_rate,
+                       mode=args.chaos_mode, fail_at=fail_at)
+
+
+def _wants_guard(args: argparse.Namespace, chaos) -> bool:
+    return (args.policy != "none" or args.verify_each
+            or chaos is not None or args.bisect_limit is not None
+            or args.crash_dir is not None)
 
 
 def _traceable(fn) -> bool:
@@ -149,6 +250,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .campaign import campaign_main
 
         return campaign_main(argv[1:])
+    if argv and argv[0] == "crash":
+        return _crash_main(argv[1:])
+    if argv and argv[0] == "bisect":
+        return _bisect_main(argv[1:])
     args = _build_parser().parse_args(argv)
 
     try:
@@ -169,10 +274,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     timing = PassTiming()
     emitter = default_emitter()
 
+    chaos = _chaos_engine(args)
+    guarded = _wants_guard(args, chaos)
+    policy = args.policy
+    if guarded and policy == "none":
+        # --verify-each alone should fail loudly; chaos experiments
+        # default to surviving their own injected faults.
+        policy = "recover" if chaos is not None else "strict"
+
+    failure_exit = 0
     with emitter.collect() as remarks:
-        pm = _PIPELINES[args.pipeline](config, timing=timing)
-        pm.run(module)
-        verify_module(module)
+        if guarded:
+            pm = guarded_pipeline(
+                args.pipeline, config, timing=timing, policy=policy,
+                verify_each=args.verify_each,
+                quarantine_after=args.quarantine_after,
+                bisect_limit=args.bisect_limit,
+                crash_dir=args.crash_dir, chaos=chaos)
+        else:
+            pm = _PIPELINES[args.pipeline](config, timing=timing)
+        try:
+            pm.run(module)
+            verify_module(module)
+        except GuardedPassError as e:
+            print(f"error: {e}", file=sys.stderr)
+            failure_exit = EXIT_GUARDED_FAILURE
+        except VerificationError as e:
+            print(f"error: verification failed after the pipeline: {e}",
+                  file=sys.stderr)
+            failure_exit = EXIT_GUARDED_FAILURE
 
     json_mode = args.json or args.remarks == "json"
     report: dict = {
@@ -197,16 +327,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.emit_ir:
         report["ir"] = print_module(module)
         sections.append("ir")
+    if guarded:
+        resilience = pm.resilience_report()
+        if chaos is not None:
+            resilience["chaos"] = dict(chaos.as_dict(),
+                                       injected=chaos.injected)
+        report["resilience"] = resilience
+        sections.append("resilience")
 
     if json_mode:
         print(json.dumps(report, indent=2))
-        return 0
+        return failure_exit
 
     if not sections:
         print(f"; optimized {args.input} with the {args.pipeline} "
               f"pipeline ({args.opt_config} config); nothing requested "
               "(try --stats/--time-passes/--remarks/--trace)")
-        return 0
+        return failure_exit
     if "ir" in sections:
         print(report["ir"])
     if "remarks" in sections:
@@ -230,7 +367,216 @@ def main(argv: Optional[List[str]] = None) -> int:
                     print(f"  {name:>20}: {count}")
             elif key != "function":
                 print(f"  {key}: {value}")
-    return 0
+        print()
+    if "resilience" in sections:
+        r = report["resilience"]
+        print("--- resilience ---")
+        print(f"  policy: {r['policy']}  verify-each: {r['verify_each']}")
+        print(f"  pass applications: {r['applications']}  "
+              f"failures: {r['failures']}  recoveries: {r['recoveries']}")
+        if r.get("quarantined"):
+            print(f"  quarantined: {', '.join(r['quarantined'])}")
+        if r.get("failed_passes"):
+            for entry in r["failed_passes"]:
+                print(f"  failed: {entry}")
+        if r.get("bundles"):
+            for path in r["bundles"]:
+                print(f"  bundle: {path}")
+        if "chaos" in r:
+            c = r["chaos"]
+            print(f"  chaos: seed={c['seed']} rate={c['rate']} "
+                  f"mode={c['mode']} injected={c['injected']}")
+    return failure_exit
+
+
+# -- python -m repro crash {list,show,replay} ------------------------------
+def _crash_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro crash",
+        description="Inspect and replay crash bundles captured by the "
+                    "guarded pass manager.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_list = sub.add_parser("list", help="list bundles under a directory")
+    p_list.add_argument("root", help="crash-bundle directory (--crash-dir)")
+    p_list.add_argument("--json", action="store_true")
+    p_show = sub.add_parser("show", help="print one bundle's manifest")
+    p_show.add_argument("bundle", help="path to a bundle directory")
+    p_show.add_argument("--ir", action="store_true",
+                        help="also print the pre-pass IR")
+    p_show.add_argument("--json", action="store_true")
+    p_replay = sub.add_parser(
+        "replay", help="re-run the recorded pass on the recorded IR")
+    p_replay.add_argument("path",
+                          help="a bundle directory, or a --crash-dir "
+                               "root (replays every bundle under it)")
+    p_replay.add_argument("--json", action="store_true")
+    return parser
+
+
+def _bundle_paths(path: str) -> List[str]:
+    import os
+
+    if os.path.isfile(os.path.join(path, "bundle.json")):
+        return [path]
+    return list_bundles(path)
+
+
+def _crash_main(argv: List[str]) -> int:
+    args = _crash_parser().parse_args(argv)
+    if args.command == "list":
+        paths = list_bundles(args.root)
+        if args.json:
+            rows = []
+            for path in paths:
+                b = load_bundle(path)
+                rows.append({"path": path, "pass": b["pass"],
+                             "function": b["function"],
+                             "application": b["application"],
+                             "kind": b["kind"],
+                             "injected": b.get("injected", False)})
+            print(json.dumps(rows, indent=2))
+        else:
+            for path in paths:
+                b = load_bundle(path)
+                injected = " [chaos]" if b.get("injected") else ""
+                print(f"{path}: {b['pass']} on @{b['function']} "
+                      f"(application #{b['application']}, "
+                      f"{b['kind']}){injected}")
+            if not paths:
+                print(f"no bundles under {args.root}")
+        return 0
+
+    if args.command == "show":
+        try:
+            bundle = load_bundle(args.bundle)
+        except OSError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 1
+        if args.json:
+            shown = dict(bundle)
+            if not args.ir:
+                shown.pop("before_ir", None)
+            print(json.dumps(shown, indent=2, sort_keys=True))
+        else:
+            for key in ("bundle_id", "pass", "function", "application",
+                        "kind", "error", "policy", "seed",
+                        "injected_action"):
+                if bundle.get(key) is not None:
+                    print(f"{key}: {bundle[key]}")
+            if args.ir:
+                print("\n--- before.ll ---")
+                print(bundle["before_ir"])
+        return 0
+
+    # replay
+    paths = _bundle_paths(args.path)
+    if not paths:
+        print(f"error: no bundles at {args.path}", file=sys.stderr)
+        return 1
+    results = [replay_bundle(p) for p in paths]
+    if args.json:
+        print(json.dumps([r.as_dict() for r in results], indent=2))
+    else:
+        for r in results:
+            status = "reproduced" if r.reproduced else "NOT reproduced"
+            print(f"{r.bundle}: {r.pass_name}: {status} ({r.outcome})")
+    return 0 if all(r.reproduced for r in results) else 1
+
+
+# -- python -m repro bisect -------------------------------------------------
+def _bisect_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bisect",
+        description="Binary-search the first pass application that makes "
+                    "a checker fail (the -opt-bisect-limit driver).")
+    parser.add_argument("input", help="path to a textual IR (.ll) file")
+    parser.add_argument("--pipeline", choices=sorted(_PIPELINES),
+                        default="o2")
+    parser.add_argument("--opt-config", choices=sorted(_CONFIGS),
+                        default="fixed", dest="opt_config")
+    parser.add_argument("--checker", choices=("verify", "interp"),
+                        default="verify",
+                        help="verify = the optimized module must pass "
+                             "the IR verifier; interp = interpreting the "
+                             "entry function must match the unoptimized "
+                             "module's behavior (default: verify)")
+    parser.add_argument("--entry", default=None,
+                        help="entry function for --checker=interp")
+    parser.add_argument("--fuel", type=int, default=100_000)
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every bisection probe")
+    parser.add_argument("--json", action="store_true")
+    _add_resilience_arguments(parser, with_policy=False)
+    return parser
+
+
+def _bisect_main(argv: List[str]) -> int:
+    args = _bisect_parser().parse_args(argv)
+    try:
+        with open(args.input) as f:
+            text = f.read()
+    except OSError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    try:
+        baseline = parse_module(text)
+    except ParseError as e:
+        print(f"error: {args.input}: {e}", file=sys.stderr)
+        return 1
+    config = _CONFIGS[args.opt_config]()
+    fail_at = _parse_fail_at(args.chaos_fail_at)
+    chaos_requested = args.chaos or bool(fail_at)
+
+    if args.checker == "verify":
+        def checker(module) -> bool:
+            try:
+                verify_module(module)
+                return True
+            except VerificationError:
+                return False
+    else:
+        entry = _pick_entry(baseline, args.entry).name
+        ref_fn = baseline.get_function(entry)
+        if not _traceable(ref_fn):
+            print(f"error: @{entry} takes non-integer arguments; "
+                  f"--checker=interp needs a traceable entry",
+                  file=sys.stderr)
+            return 1
+        reference = str(run_once(ref_fn, _zero_args(ref_fn),
+                                 config.semantics, fuel=args.fuel))
+
+        def checker(module) -> bool:
+            fn = module.get_function(entry)
+            if fn is None or fn.is_declaration:
+                return False
+            try:
+                verify_module(module)
+                behavior = run_once(fn, _zero_args(fn), config.semantics,
+                                    fuel=args.fuel)
+            except Exception:
+                return False
+            return str(behavior) == reference
+
+    def make_pipeline(limit):
+        # A fresh chaos engine per probe: schedules are keyed to
+        # executed-application indices, so every probe replays the same
+        # faults up to its limit.
+        chaos = (ChaosEngine(seed=args.chaos_seed, rate=args.chaos_rate,
+                             mode=args.chaos_mode, fail_at=fail_at)
+                 if chaos_requested else None)
+        return guarded_pipeline(args.pipeline, config, policy="recover",
+                                verify_each=False, bisect_limit=limit,
+                                chaos=chaos)
+
+    log = (lambda line: print(line, file=sys.stderr)) if args.verbose \
+        else None
+    result = bisect_failure(make_pipeline, lambda: parse_module(text),
+                            checker, log=log)
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2))
+    else:
+        print(result)
+    return 0 if result.status in ("found", "clean") else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,6 +24,17 @@ from .pipelines import (
     single_pass_pipeline,
 )
 from .reassociate import Reassociate
+from .resilience import (
+    ChaosEngine,
+    ChaosFault,
+    ChaosPass,
+    GuardedPassError,
+    GuardedPassManager,
+    PassFailure,
+    bisect_failure,
+    guarded_pipeline,
+    replay_bundle,
+)
 from .sccp import SCCP
 from .simplify_cfg import SimplifyCFG
 from .sink import Sink
@@ -38,4 +49,7 @@ __all__ = [
     "baseline_config", "codegen_pipeline", "o2_pipeline",
     "prototype_config", "quick_pipeline", "single_pass_pipeline",
     "Reassociate", "SCCP", "SimplifyCFG", "Sink",
+    "ChaosEngine", "ChaosFault", "ChaosPass", "GuardedPassError",
+    "GuardedPassManager", "PassFailure", "bisect_failure",
+    "guarded_pipeline", "replay_bundle",
 ]

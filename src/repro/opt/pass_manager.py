@@ -24,7 +24,7 @@ builds the historical one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Dict, List, Optional
 
 from ..diag import REMARK_PASSED, PassStats, PassTiming, emit_remark
@@ -84,6 +84,26 @@ class OptConfig:
 
     def with_(self, **kwargs) -> "OptConfig":
         return replace(self, **kwargs)
+
+    # -- serialization (crash bundles record the exact configuration) ------
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe form; the semantics config is stored by name."""
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["semantics"] = self.semantics.name
+        return data
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "OptConfig":
+        data = dict(data)
+        semantics = data.get("semantics", NEW)
+        if isinstance(semantics, str):
+            from ..semantics.config import ALL_CONFIGS
+
+            by_name = {c.name: c for c in ALL_CONFIGS}
+            if semantics not in by_name:
+                raise ValueError(f"unknown semantics config {semantics!r}")
+            data["semantics"] = by_name[semantics]
+        return OptConfig(**data)
 
 
 class FunctionPass:

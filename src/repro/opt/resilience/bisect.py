@@ -1,0 +1,130 @@
+"""Opt-bisect: binary-search the first bad pass application.
+
+LLVM's ``-opt-bisect-limit=N`` numbers every pass application and skips
+the ones beyond N; debugging a miscompile is then a binary search over
+N.  :func:`bisect_failure` automates that search: given a way to build
+a fresh (limited) pipeline, a way to build a fresh module, and a
+user-supplied checker over the optimized module, it finds the smallest
+limit at which the checker starts failing — i.e. **the exact pass
+application that introduces the problem** — in O(log N) pipeline runs.
+
+The search assumes the standard bisect invariant (once bad, stays bad
+as the limit grows), which holds for deterministic pipelines: the first
+K applications behave identically whatever the limit, because skipped
+applications never run and chaos fault schedules are keyed to executed
+application indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from ...ir.module import Module
+from .guard import GuardedPassManager
+
+PipelineFactory = Callable[[Optional[int]], GuardedPassManager]
+ModuleFactory = Callable[[], Module]
+Checker = Callable[[Module], bool]
+
+
+@dataclass
+class BisectResult:
+    """Outcome of a bisection run."""
+
+    #: smallest 1-based application index whose inclusion makes the
+    #: checker fail; 0 when no failure was found (or the unoptimized
+    #: module already fails).
+    culprit: int
+    pass_name: str
+    function: str
+    total_applications: int
+    probes: int
+    #: "found", "clean" (full pipeline passes the checker), or
+    #: "fails-without-passes" (the input module itself fails).
+    status: str
+
+    @property
+    def found(self) -> bool:
+        return self.status == "found"
+
+    def as_dict(self) -> dict:
+        return {
+            "culprit": self.culprit,
+            "pass": self.pass_name,
+            "function": self.function,
+            "total_applications": self.total_applications,
+            "probes": self.probes,
+            "status": self.status,
+        }
+
+    def __str__(self) -> str:
+        if self.status == "clean":
+            return (f"bisect: checker passes after all "
+                    f"{self.total_applications} pass application(s)")
+        if self.status == "fails-without-passes":
+            return "bisect: checker fails before any pass runs"
+        return (f"bisect: first bad pass application is #{self.culprit} "
+                f"of {self.total_applications}: {self.pass_name} on "
+                f"@{self.function} ({self.probes} probe(s))")
+
+
+def bisect_failure(make_pipeline: PipelineFactory,
+                   make_module: ModuleFactory,
+                   checker: Checker,
+                   log: Optional[Callable[[str], None]] = None
+                   ) -> BisectResult:
+    """Find the first pass application that makes ``checker`` fail.
+
+    ``make_pipeline(limit)`` must return a fresh
+    :class:`GuardedPassManager` with that ``bisect_limit`` (``None`` =
+    unlimited); ``make_module()`` a fresh copy of the input; and
+    ``checker(module)`` True when the optimized module is acceptable.
+    A pipeline run that raises counts as a failing probe.
+    """
+    probes = 0
+
+    def probe(limit: Optional[int]) -> Tuple[bool, GuardedPassManager]:
+        nonlocal probes
+        probes += 1
+        manager = make_pipeline(limit)
+        module = make_module()
+        try:
+            manager.run(module)
+            ok = bool(checker(module))
+        except Exception:
+            ok = False
+        if log is not None:
+            shown = "all" if limit is None else str(limit)
+            log(f"bisect probe: limit={shown} -> "
+                f"{'ok' if ok else 'BAD'}")
+        return ok, manager
+
+    full_ok, full_manager = probe(None)
+    total = full_manager.pass_counter
+    if full_ok:
+        return BisectResult(0, "", "", total, probes, "clean")
+
+    base_ok, _ = probe(0)
+    if not base_ok:
+        return BisectResult(0, "", "", total, probes,
+                            "fails-without-passes")
+
+    lo, hi = 0, total  # invariant: limit=lo ok, limit=hi bad
+    last_bad_manager = full_manager
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        ok, manager = probe(mid)
+        if ok:
+            lo = mid
+        else:
+            hi = mid
+            last_bad_manager = manager
+
+    # Identify application ``hi`` from a run that executed it.  The
+    # last bad probe had limit >= hi, so its application log contains
+    # the culprit triple.
+    if last_bad_manager.pass_counter < hi:
+        _, last_bad_manager = probe(hi)
+    _, pass_name, function = last_bad_manager.application(hi)
+    return BisectResult(hi, pass_name, function, total, probes, "found")

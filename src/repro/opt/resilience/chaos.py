@@ -1,0 +1,189 @@
+"""Fault injection: prove the resilience machinery works.
+
+A :class:`ChaosEngine` decides, deterministically from a seed, which
+pass applications fault and how; :class:`ChaosPass` wraps a real pass
+and consults the engine on every run.  Two fault kinds:
+
+* ``raise``   — the wrapped pass application raises :class:`ChaosFault`
+  before the inner pass runs (a crashing pass);
+* ``corrupt`` — the inner pass runs normally, then the function is
+  structurally corrupted in a verifier-detectable way (a silently
+  miscompiling pass — the bug class ``--verify-each`` exists to catch).
+
+Determinism is the load-bearing property: the engine numbers executed
+applications 1, 2, 3, … and derives each decision from
+``(seed, application index)`` alone.  Re-running the same pipeline with
+the same seed replays the identical fault schedule, which is what lets
+the bisection driver pinpoint an injected fault and lets campaign
+records stay independent of worker count.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Tuple
+
+from ...diag import Statistic
+from ...ir.function import Function
+from ...ir.instructions import PhiInst
+from ..pass_manager import FunctionPass
+
+CHAOS_RAISE = "raise"
+CHAOS_CORRUPT = "corrupt"
+CHAOS_MIXED = "mixed"
+CHAOS_MODES = (CHAOS_RAISE, CHAOS_CORRUPT, CHAOS_MIXED)
+
+NUM_FAULTS = Statistic(
+    "chaos", "num-faults-injected",
+    "Total faults injected by chaos mode")
+NUM_RAISE_FAULTS = Statistic(
+    "chaos", "num-raise-faults",
+    "Injected exceptions (crashing-pass simulation)")
+NUM_CORRUPT_FAULTS = Statistic(
+    "chaos", "num-corrupt-faults",
+    "Injected IR corruptions (silently-buggy-pass simulation)")
+
+
+class ChaosFault(RuntimeError):
+    """The exception a ``raise`` fault throws; marks itself injected so
+    the guard can label the failure (and its crash bundle) as chaos."""
+
+    injected = True
+
+
+class ChaosEngine:
+    """Seeded fault schedule over executed pass applications."""
+
+    def __init__(self, seed: int = 0, rate: float = 0.05,
+                 mode: str = CHAOS_MIXED,
+                 fail_at: Iterable[int] = ()):
+        if mode not in CHAOS_MODES:
+            raise ValueError(f"unknown chaos mode {mode!r}")
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("chaos rate must be in [0, 1]")
+        self.seed = seed
+        self.rate = rate
+        self.mode = mode
+        #: explicit injection points (1-based executed-application
+        #: indices); when non-empty, ``rate`` is ignored.
+        self.fail_at = frozenset(fail_at)
+        self.count = 0
+        self.injected = 0
+
+    def _rng(self, index: int) -> random.Random:
+        return random.Random(f"chaos:{self.seed}:{index}")
+
+    def plan(self, index: int) -> Optional[str]:
+        """The fault (if any) for executed application ``index``."""
+        rng = self._rng(index)
+        if self.fail_at:
+            if index not in self.fail_at:
+                return None
+        elif rng.random() >= self.rate:
+            return None
+        if self.mode == CHAOS_MIXED:
+            return rng.choice((CHAOS_RAISE, CHAOS_CORRUPT))
+        return self.mode
+
+    def next_event(self) -> Tuple[int, Optional[str]]:
+        """Number the next executed application and plan its fault."""
+        self.count += 1
+        action = self.plan(self.count)
+        if action is not None:
+            self.injected += 1
+            NUM_FAULTS.inc()
+            (NUM_RAISE_FAULTS if action == CHAOS_RAISE
+             else NUM_CORRUPT_FAULTS).inc()
+        return self.count, action
+
+    def corrupt(self, fn: Function, index: int) -> str:
+        """Deterministically corrupt ``fn``; returns a description."""
+        return inject_corruption(fn, self._rng(index))
+
+    def as_dict(self) -> dict:
+        return {"seed": self.seed, "rate": self.rate, "mode": self.mode,
+                "fail_at": sorted(self.fail_at)}
+
+
+def inject_corruption(fn: Function, rng: random.Random) -> str:
+    """Apply one verifier-detectable structural corruption to ``fn``.
+
+    Every corruption keeps use lists consistent (no dangling ``Use``
+    entries on shared values), so a later rollback leaves the world
+    clean.
+    """
+    choices = []
+    blocks_with_term = [b for b in fn.blocks if b.terminator is not None]
+    if blocks_with_term:
+        choices.append("drop-terminator")
+        if any(len(b) > 1 for b in blocks_with_term):
+            choices.append("misplace-instruction")
+    phis = [i for i in fn.instructions()
+            if isinstance(i, PhiInst) and i.incoming_blocks]
+    if phis:
+        choices.append("duplicate-phi-incoming")
+    if not choices:
+        return "no corruption applicable"
+
+    kind = rng.choice(choices)
+    if kind == "drop-terminator":
+        block = rng.choice(blocks_with_term)
+        term = block.instructions.pop()
+        term.drop_all_operands()
+        term.parent = None
+        return f"dropped terminator of %{block.name}"
+    if kind == "misplace-instruction":
+        block = rng.choice([b for b in blocks_with_term if len(b) > 1])
+        # Move a non-terminator after the terminator: "terminator in the
+        # middle of the block".
+        inst = block.instructions.pop(len(block.instructions) - 2)
+        block.instructions.append(inst)
+        return f"moved {inst.opcode.value} past the terminator of %{block.name}"
+    phi = rng.choice(phis)
+    pick = rng.randrange(len(phi.incoming_blocks))
+    phi.add_incoming(phi.incoming[pick][0], phi.incoming_blocks[pick])
+    return f"duplicated a phi incoming edge in %{phi.parent.name}"
+
+
+class ChaosPass(FunctionPass):
+    """Wraps a real pass; injects faults per the shared engine.
+
+    The wrapper reports the inner pass's name so stats, remarks, timing,
+    and bundles attribute failures to the pass under test, not to the
+    harness.
+    """
+
+    def __init__(self, inner: FunctionPass, engine: ChaosEngine):
+        super().__init__(inner.config)
+        self.inner = inner
+        self.engine = engine
+        self.name = inner.name
+        #: the fault injected by the most recent run (None = clean) —
+        #: read by the guard to mark failures as chaos-injected.
+        self.last_action: Optional[str] = None
+
+    def run_on_function(self, fn: Function) -> bool:
+        index, action = self.engine.next_event()
+        # last_action is only set once the fault actually lands, so a
+        # genuine inner-pass crash is never mislabeled as injected.
+        self.last_action = None
+        if action == CHAOS_RAISE:
+            self.last_action = CHAOS_RAISE
+            raise ChaosFault(
+                f"injected exception at pass application #{index} "
+                f"({self.inner.name} on @{fn.name})")
+        changed = self.inner.run_on_function(fn)
+        if action == CHAOS_CORRUPT:
+            what = self.engine.corrupt(fn, index)
+            self.last_action = CHAOS_CORRUPT
+            self.remark(f"chaos: {what} (application #{index})", fn=fn)
+            return True
+        return changed
+
+    def __repr__(self) -> str:
+        return f"<ChaosPass {self.inner!r}>"
+
+
+def wrap_with_chaos(passes, engine: ChaosEngine):
+    """Wrap every pass in a pipeline's pass list with one shared engine."""
+    return [ChaosPass(p, engine) for p in passes]

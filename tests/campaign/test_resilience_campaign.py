@@ -1,0 +1,162 @@
+"""Campaign × resilience: guarded shards survive buggy passes.
+
+Chaos campaigns must finish with zero dead shards, per-function crash
+records must be retried on resume (while fuel-exhausted functions get a
+terminal ``timeout`` verdict), and every recorded failure must come
+with a replayable crash bundle.
+"""
+
+import os
+
+import pytest
+
+from repro.campaign import CampaignSpec, CheckpointStore, run_campaign
+from repro.campaign.worker import FUEL_REASON, run_shard
+from repro.campaign.sharding import plan_shards
+from repro.opt.resilience import load_bundle, replay_bundle
+from repro.refine.exhaustive import RefinementResult
+
+#: Small corpus; every function runs under the guarded o2 pipeline with
+#: a fault rate high enough to inject on each function's pass stream.
+CHAOS_SPEC = CampaignSpec(
+    mode="enumerate", num_instructions=1, opcodes=("mul", "shl"),
+    pipeline="o2", opt_config="fixed", shard_size=32,
+    policy="recover", chaos_seed=11, chaos_rate=0.02,
+)
+
+
+class TestChaosCampaign:
+    def test_zero_dead_shards_under_chaos(self, tmp_path):
+        summary = run_campaign(CHAOS_SPEC, out_dir=str(tmp_path))
+        assert summary.shards_errored == []
+        assert summary.checked == 128
+        assert summary.recoveries > 0
+        assert summary.crashes == []
+
+    def test_every_recovery_has_a_replayable_bundle(self, tmp_path):
+        summary = run_campaign(CHAOS_SPEC, out_dir=str(tmp_path))
+        assert len(summary.bundle_paths) == summary.recoveries
+        path = summary.bundle_paths[0]
+        assert os.path.isdir(path)
+        bundle = load_bundle(path)
+        assert bundle["injected"]
+        result = replay_bundle(path)
+        assert result.reproduced, result.outcome
+
+    def test_chaos_verdicts_match_clean_run(self):
+        # Recovered faults must not change what the campaign concludes:
+        # rollback means the checked function saw only successful passes.
+        chaotic = run_campaign(CHAOS_SPEC)
+        clean = run_campaign(CHAOS_SPEC.with_(chaos_seed=None,
+                                              policy="none"))
+        assert chaotic.verdict_lines() == clean.verdict_lines()
+
+    def test_chaos_campaign_deterministic_across_worker_counts(
+            self, tmp_path):
+        one = run_campaign(CHAOS_SPEC, out_dir=str(tmp_path / "w1"))
+        two = run_campaign(CHAOS_SPEC, out_dir=str(tmp_path / "w2"),
+                           workers=2)
+        assert one.verdict_lines() == two.verdict_lines()
+        assert one.recoveries == two.recoveries
+        assert sorted(os.path.basename(p) for p in one.bundle_paths) == \
+            sorted(os.path.basename(p) for p in two.bundle_paths)
+
+
+class TestStrictPolicy:
+    def test_strict_records_per_function_crashes(self, tmp_path):
+        spec = CHAOS_SPEC.with_(policy="strict", shard_size=64)
+        summary = run_campaign(spec, out_dir=str(tmp_path))
+        # chaos rate 0.02 faults every function at the same application
+        # index, so under strict every function crashes — but the shards
+        # themselves complete and report.
+        assert summary.crashes
+        assert summary.shards_errored
+        assert len(summary.shards_errored) == summary.shards_total
+        first = summary.crashes[0]
+        assert first["pass"]
+        assert first["hash"]
+        assert "define" in first["source"]
+
+    def test_resume_retries_crashed_functions(self, tmp_path):
+        spec = CHAOS_SPEC.with_(policy="strict", shard_size=64)
+        first = run_campaign(spec, out_dir=str(tmp_path))
+        assert first.checked == 0 and first.crashes
+        # rerun without chaos: the crashed functions get verdicts now
+        store = CheckpointStore(str(tmp_path))
+        retry_spec = spec.with_(chaos_seed=None, policy="recover")
+        retried = run_campaign(retry_spec, out_dir=str(tmp_path),
+                               resume=True)
+        assert retried.shards_errored == []
+        assert len(store.load_dedup()) == 128
+
+    def test_crashed_functions_get_no_dedup_verdict(self, tmp_path):
+        spec = CHAOS_SPEC.with_(policy="strict", shard_size=64)
+        run_campaign(spec, out_dir=str(tmp_path))
+        assert CheckpointStore(str(tmp_path)).load_dedup() == {}
+
+
+class TestTimeoutVerdict:
+    def test_fuel_exhaustion_is_terminal_timeout(self, monkeypatch):
+        # Satellite: the interpreter running out of fuel is a timeout
+        # verdict, not a crash — terminal, deduped, never retried.
+        import repro.campaign.worker as worker_module
+
+        def fake_check(src, tgt, semantics, options=None):
+            return RefinementResult(
+                verdict="inconclusive",
+                reason="target execution exceeded its fuel budget")
+
+        monkeypatch.setattr(worker_module, "check_refinement", fake_check)
+        spec = CHAOS_SPEC.with_(chaos_seed=None)
+        shard = plan_shards(spec)[0]
+        record = run_shard(spec, shard)
+        assert record["status"] == "done"
+        assert record["crashes"] == []
+        assert record["verdicts"]["timeout"] == record["checked"]
+        assert all(v == "timeout" for v in record["hashes"].values())
+
+    def test_other_inconclusive_stays_inconclusive(self, monkeypatch):
+        import repro.campaign.worker as worker_module
+
+        def fake_check(src, tgt, semantics, options=None):
+            return RefinementResult(
+                verdict="inconclusive",
+                reason="path explosion: too many nondeterministic choices")
+
+        monkeypatch.setattr(worker_module, "check_refinement", fake_check)
+        spec = CHAOS_SPEC.with_(chaos_seed=None)
+        record = run_shard(spec, plan_shards(spec)[0])
+        assert record["verdicts"]["timeout"] == 0
+        assert record["verdicts"]["inconclusive"] == record["checked"]
+
+    def test_fuel_reason_matches_refinement_module(self):
+        # The sentinel must keep matching the reasons the checker emits.
+        import inspect
+
+        import repro.refine.refinement as refinement
+
+        assert FUEL_REASON in inspect.getsource(refinement)
+
+
+class TestSpecValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            CampaignSpec(policy="yolo")
+
+    def test_unknown_chaos_mode_rejected(self):
+        with pytest.raises(ValueError, match="chaos mode"):
+            CampaignSpec(chaos_mode="sideways")
+
+    def test_spec_roundtrips_resilience_fields(self):
+        spec = CHAOS_SPEC.with_(verify_each=True, chaos_mode="corrupt")
+        assert CampaignSpec.from_dict(spec.as_dict()) == spec
+
+    def test_policy_none_builds_plain_manager(self):
+        from repro.opt import GuardedPassManager, PassManager
+
+        plain = CampaignSpec(policy="none").make_pipeline()
+        assert type(plain) is not GuardedPassManager
+        assert isinstance(plain, PassManager)
+        guarded = CHAOS_SPEC.make_pipeline()
+        assert isinstance(guarded, GuardedPassManager)
+        assert guarded.verify_each  # forced on by chaos

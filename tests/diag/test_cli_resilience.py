@@ -1,0 +1,148 @@
+"""CLI surface of the resilience layer: guarded compile flags, exit
+codes, and the ``crash``/``bisect`` subcommands."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import EXIT_GUARDED_FAILURE, main
+
+EXAMPLE = str(Path(__file__).resolve().parents[2]
+              / "examples" / "unswitch_gvn.ll")
+
+CHAOS = ["--chaos", "--chaos-seed", "7", "--chaos-rate", "0.3"]
+
+
+def run_cli(capsys, *argv):
+    rc = main(list(argv))
+    captured = capsys.readouterr()
+    return rc, captured.out, captured.err
+
+
+class TestGuardedCompile:
+    def test_chaos_recover_exits_zero_with_report(self, capsys):
+        rc, out, _ = run_cli(capsys, EXAMPLE, *CHAOS, "--verify-each",
+                             "--json")
+        assert rc == 0
+        report = json.loads(out)
+        resilience = report["resilience"]
+        assert resilience["policy"] == "recover"
+        assert resilience["failures"] > 0
+        assert resilience["recoveries"] == resilience["failures"]
+        assert resilience["chaos"]["injected"] > 0
+
+    def test_strict_chaos_exits_nonzero(self, capsys):
+        rc, _, err = run_cli(capsys, EXAMPLE, *CHAOS, "--verify-each",
+                             "--policy", "strict")
+        assert rc == EXIT_GUARDED_FAILURE
+        assert "failed on @" in err
+
+    def test_verify_each_alone_defaults_to_strict(self, capsys):
+        rc, out, _ = run_cli(capsys, EXAMPLE, "--verify-each", "--json")
+        assert rc == 0  # clean pipeline: nothing to be strict about
+        assert json.loads(out)["resilience"]["policy"] == "strict"
+
+    def test_unguarded_compile_has_no_resilience_section(self, capsys):
+        rc, out, _ = run_cli(capsys, EXAMPLE, "--json")
+        assert rc == 0
+        assert "resilience" not in json.loads(out)
+
+    def test_crash_dir_writes_bundles(self, capsys, tmp_path):
+        crash_dir = tmp_path / "crashes"
+        rc, out, _ = run_cli(capsys, EXAMPLE, *CHAOS, "--verify-each",
+                             "--crash-dir", str(crash_dir), "--json")
+        assert rc == 0
+        bundles = json.loads(out)["resilience"]["bundles"]
+        assert bundles
+        assert all((Path(p) / "bundle.json").is_file() for p in bundles)
+        assert all((Path(p) / "before.ll").is_file() for p in bundles)
+
+    def test_opt_bisect_limit_zero_disables_all_passes(self, capsys):
+        rc, out, _ = run_cli(capsys, EXAMPLE, "--opt-bisect-limit", "0",
+                             "--emit-ir", "--json")
+        assert rc == 0
+        report = json.loads(out)
+        assert report["resilience"]["applications"] > 0
+        # with every pass skipped the module still round-trips
+        assert "define" in report["ir"]
+
+
+class TestCrashSubcommand:
+    @pytest.fixture()
+    def crash_dir(self, capsys, tmp_path):
+        crash_dir = tmp_path / "crashes"
+        rc, _, _ = run_cli(capsys, EXAMPLE, *CHAOS, "--verify-each",
+                           "--crash-dir", str(crash_dir))
+        assert rc == 0
+        return str(crash_dir)
+
+    def test_list(self, capsys, crash_dir):
+        rc, out, _ = run_cli(capsys, "crash", "list", crash_dir, "--json")
+        assert rc == 0
+        rows = json.loads(out)
+        assert rows
+        assert all(row["pass"] for row in rows)
+
+    def test_show(self, capsys, crash_dir):
+        rc, out, _ = run_cli(capsys, "crash", "list", crash_dir, "--json")
+        bundle = json.loads(out)[0]["path"]
+        rc, out, _ = run_cli(capsys, "crash", "show", bundle, "--ir")
+        assert rc == 0
+        assert "bundle_id:" in out
+        assert "define" in out
+
+    def test_replay_all_reproduce(self, capsys, crash_dir):
+        rc, out, _ = run_cli(capsys, "crash", "replay", crash_dir,
+                             "--json")
+        assert rc == 0
+        results = json.loads(out)
+        assert results
+        assert all(r["reproduced"] for r in results)
+
+    def test_replay_missing_path_fails(self, capsys, tmp_path):
+        rc, _, err = run_cli(capsys, "crash", "replay",
+                             str(tmp_path / "nope"))
+        assert rc == 1
+        assert "no bundles" in err
+
+
+class TestBisectSubcommand:
+    def test_pinpoints_injected_application(self, capsys):
+        rc, out, _ = run_cli(capsys, "bisect", EXAMPLE,
+                             "--chaos-fail-at", "5",
+                             "--chaos-mode", "corrupt", "--json")
+        assert rc == 0
+        result = json.loads(out)
+        assert result["status"] == "found"
+        assert result["culprit"] == 5
+        assert result["pass"]
+
+    def test_clean_input_reports_clean(self, capsys):
+        rc, out, _ = run_cli(capsys, "bisect", EXAMPLE, "--json")
+        assert rc == 0
+        assert json.loads(out)["status"] == "clean"
+
+    def test_interp_checker(self, capsys):
+        rc, out, _ = run_cli(capsys, "bisect", EXAMPLE,
+                             "--checker", "interp",
+                             "--chaos-fail-at", "3",
+                             "--chaos-mode", "corrupt", "--json")
+        assert rc == 0
+        assert json.loads(out)["status"] == "found"
+
+
+class TestCampaignResilienceFlags:
+    def test_chaos_campaign_summary(self, capsys, tmp_path):
+        rc, out, _ = run_cli(
+            capsys, "campaign", "run", "--width", "2",
+            "--instructions", "1", "--opcodes", "mul,shl",
+            "--pipeline", "o2", "--shard-size", "64",
+            "--out", str(tmp_path), "--chaos-seed", "11",
+            "--chaos-rate", "0.02", "--json")
+        assert rc == 0
+        summary = json.loads(out)
+        assert summary["shards_errored"] == []
+        assert summary["recoveries"] > 0
+        assert summary["bundles"]
+        assert (tmp_path / "crashes").is_dir()

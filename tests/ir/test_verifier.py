@@ -151,6 +151,116 @@ entry:
     verify_function(fn, forbid_undef=True)
 
 
+# -- exact diagnostics ------------------------------------------------------
+# The resilience layer matches on these messages (crash-bundle kinds,
+# verify-each remarks), so the exact text is part of the contract.
+def test_cross_block_dominance_exact_message():
+    fn = parse_function("""
+define i8 @f(i1 %c, i8 %x) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %v = add i8 %x, 1
+  br label %join
+b:
+  br label %join
+join:
+  %w = add i8 %x, 2
+  ret i8 %w
+}
+""")
+    v = fn.block_by_name("a").instructions[0]
+    w = fn.block_by_name("join").instructions[0]
+    w.set_operand(0, v)
+    with pytest.raises(VerificationError) as exc:
+        verify_function(fn)
+    assert exc.value.errors == [
+        "@f: def %v does not dominate use in %w"
+    ]
+
+
+def test_forbid_undef_exact_message():
+    fn = parse_function("""
+define i8 @f() {
+entry:
+  %a = add i8 undef, 1
+  ret i8 %a
+}
+""")
+    with pytest.raises(VerificationError) as exc:
+        verify_function(fn, forbid_undef=True)
+    assert exc.value.errors == [
+        "@f: undef operand in add "
+        "(forbidden under the poison/freeze semantics)"
+    ]
+
+
+def test_phi_missing_incoming_exact_message():
+    fn = parse_function("""
+define i8 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %p = phi i8 [ 1, %a ], [ 2, %b ]
+  ret i8 %p
+}
+""")
+    phi = fn.block_by_name("join").phis()[0]
+    phi.remove_incoming(fn.block_by_name("b"))
+    with pytest.raises(VerificationError) as exc:
+        verify_function(fn)
+    assert exc.value.errors == [
+        "@f: phi %p missing incoming for pred %b"
+    ]
+
+
+def test_phi_duplicate_incoming_exact_message():
+    fn = parse_function("""
+define i8 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %p = phi i8 [ 1, %a ], [ 2, %b ]
+  ret i8 %p
+}
+""")
+    phi = fn.block_by_name("join").phis()[0]
+    value, block = phi.incoming[0]
+    phi.add_incoming(value, block)
+    with pytest.raises(VerificationError) as exc:
+        verify_function(fn)
+    assert exc.value.errors == [
+        "@f: phi %p has duplicate incoming blocks"
+    ]
+
+
+def test_missing_terminator_exact_message():
+    fn = parse_function("""
+define i8 @f(i8 %x) {
+entry:
+  %a = add i8 %x, 1
+  ret i8 %a
+}
+""")
+    entry = fn.entry
+    term = entry.instructions.pop()
+    term.drop_all_operands()
+    term.parent = None
+    with pytest.raises(VerificationError) as exc:
+        verify_function(fn)
+    assert exc.value.errors == [
+        "@f: block %entry has no terminator"
+    ]
+
+
 def test_entry_with_predecessor_rejected():
     fn = parse_function("""
 define void @f() {
