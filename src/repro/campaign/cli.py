@@ -94,6 +94,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--chaos-mode",
                      choices=["raise", "corrupt", "mixed"],
                      default="mixed", dest="chaos_mode")
+    run.add_argument("--no-cache", action="store_false", dest="use_cache",
+                     help="disable the behavior-set memo cache (verdicts "
+                          "are byte-identical either way; this only "
+                          "re-does work)")
+    run.add_argument("--cache-dir", default=None, dest="cache_dir",
+                     help="shared on-disk memo directory (default: "
+                          "<out>/memo)")
 
     for p in (run, sub.add_parser("resume",
                                   help="finish an interrupted campaign")):
@@ -154,6 +161,8 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         chaos_seed=args.chaos_seed,
         chaos_rate=args.chaos_rate,
         chaos_mode=args.chaos_mode,
+        use_cache=args.use_cache,
+        cache_dir=args.cache_dir,
     )
 
 

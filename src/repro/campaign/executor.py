@@ -166,6 +166,12 @@ class CampaignRunner:
                  use_processes: Optional[bool] = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if (out_dir is not None and spec.use_cache
+                and spec.cache_dir is None):
+            # Default the shared on-disk memo layer next to the
+            # checkpoint, so shards (and later resumes) of this campaign
+            # share verdicts automatically.
+            spec = spec.with_(cache_dir=os.path.join(out_dir, "memo"))
         self.spec = spec
         self.out_dir = out_dir
         self.workers = workers

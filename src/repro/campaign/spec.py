@@ -74,6 +74,13 @@ class CampaignSpec:
     chaos_seed: Optional[int] = None
     chaos_rate: float = 0.05
     chaos_mode: str = "mixed"
+    #: consult/populate the behavior-set memo cache (``repro.perf``).
+    #: Verdict sets are byte-identical with the cache on or off; off
+    #: exists for benchmarking and distrust.
+    use_cache: bool = True
+    #: directory of the shared on-disk memo layer; None = in-memory
+    #: only.  The runner defaults this to ``<out_dir>/memo``.
+    cache_dir: Optional[str] = None
 
     def __post_init__(self):
         if self.mode not in ("enumerate", "random"):
@@ -124,6 +131,35 @@ class CampaignSpec:
     def check_options(self) -> CheckOptions:
         return CheckOptions(max_choices=self.max_choices, fuel=self.fuel,
                             max_inputs=self.max_inputs)
+
+    def memo_context(self) -> str:
+        """Hash of every non-function input the refinement verdict
+        depends on — the scope key of the behavior-set memo cache.
+        Two specs sharing a context may share memo entries; anything
+        that could change a verdict (pipeline, semantics, budgets) must
+        appear here."""
+        import hashlib
+        import json as json_module
+
+        relevant = {
+            "pipeline": self.pipeline,
+            "opt_config": self.opt_config,
+            "policy": self.policy,
+            "verify_each": self.verify_each,
+            "width": self.width,
+            "max_choices": self.max_choices,
+            "fuel": self.fuel,
+            "max_inputs": self.max_inputs,
+        }
+        blob = json_module.dumps(relevant, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    def memo_enabled(self) -> bool:
+        """Memoization is sound only for deterministic pipelines: chaos
+        injection draws from an engine shared across a shard, so
+        skipping one function would shift every later function's
+        faults."""
+        return self.use_cache and self.chaos_seed is None
 
     def total_functions(self) -> int:
         """Size of the corpus this campaign covers (across all shards)."""

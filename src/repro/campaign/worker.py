@@ -38,6 +38,7 @@ from typing import Dict, List, Optional
 from ..diag import stats_snapshot
 from ..ir import parse_function, print_function, print_module, verify_function
 from ..opt.resilience import GuardedPassError
+from ..perf import RefinementMemo
 from ..refine import check_refinement
 from .canon import DedupCache, canonical_hash
 from .sharding import Shard, iter_shard_functions
@@ -83,6 +84,11 @@ def run_shard(spec: CampaignSpec, shard: Shard,
     stats_before = stats_snapshot()
 
     cache = DedupCache(known_hashes)
+    # The perf-layer memo replays verdicts for canonical hashes decided
+    # by earlier shards/runs of the same context ("failed" is never
+    # memoized, so counterexample records always regenerate).
+    memo = (RefinementMemo(spec.memo_context(), disk_dir=spec.cache_dir)
+            if spec.memo_enabled() else None)
     options = spec.check_options()
     semantics = spec.semantics()
     verdicts = {"verified": 0, "failed": 0, "inconclusive": 0,
@@ -99,6 +105,15 @@ def run_shard(spec: CampaignSpec, shard: Shard,
         h = canonical_hash(fn)
         if cache.lookup(h) is not None:
             continue
+        if memo is not None:
+            replayed = memo.lookup(h)
+            if replayed is not None:
+                # Same record a full check would produce (the checker is
+                # deterministic), minus the work.
+                verdicts[replayed] = verdicts.get(replayed, 0) + 1
+                cache.add(h, replayed)
+                new_hashes[h] = replayed
+                continue
 
         before = parse_function(src_text)
         pipeline = spec.make_pipeline()
@@ -138,6 +153,8 @@ def run_shard(spec: CampaignSpec, shard: Shard,
         verdicts[verdict] = verdicts.get(verdict, 0) + 1
         cache.add(h, verdict)
         new_hashes[h] = verdict
+        if memo is not None:
+            memo.record(h, verdict)
         if result.failed:
             counterexamples.append({
                 "shard_id": shard.shard_id,
@@ -149,6 +166,8 @@ def run_shard(spec: CampaignSpec, shard: Shard,
                 "inputs_checked": result.inputs_checked,
             })
 
+    if memo is not None:
+        memo.flush()
     record = {
         "shard_id": shard.shard_id,
         "status": "errored" if crashes else "done",

@@ -1,0 +1,141 @@
+"""Behavior-set memoization for the validation hot path.
+
+A campaign checks enormous numbers of functions that are identical
+modulo register/block renaming; :mod:`repro.campaign.canon` already
+collapses those onto one canonical hash.  :class:`RefinementMemo`
+extends the collapse across *shards and runs*: a refinement verdict is a
+pure function of (canonical source function, pipeline under test,
+semantics configuration, checker budgets), so once any worker has
+decided a hash under a given *context* (the hash of those non-function
+inputs — see ``CampaignSpec.memo_context``), every later worker can
+reuse the verdict without re-optimizing or re-enumerating anything.
+
+Two layers:
+
+* an in-memory table, always on;
+* an optional on-disk layer: JSONL files under ``disk_dir``.  Each
+  process appends its fresh entries to its own ``memo-<pid>.jsonl``
+  (append-only, one writer per file — no locking needed), and loads
+  every ``memo-*.jsonl`` at construction, so concurrent campaign shards
+  share verdicts across process and run boundaries.
+
+Soundness rules:
+
+* the context string must capture everything besides the function that
+  the verdict depends on — two campaigns with different pipelines or
+  budgets never share entries;
+* ``"failed"`` verdicts are **never** memoized: a failure must re-run so
+  its counterexample record (witness behavior, reproducer IR) is
+  regenerated identically with the cache on or off;
+* entries only short-circuit work, never change answers: the checker is
+  deterministic, so a memo hit returns exactly the verdict a fresh
+  check would compute.  Campaign verdict sets are byte-identical with
+  the cache on and off (a property test holds this).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..diag import Statistic
+
+MEMO_HITS = Statistic(
+    "perf", "num-memo-hits",
+    "Refinement checks answered from the behavior-set memo cache")
+MEMO_MISSES = Statistic(
+    "perf", "num-memo-misses",
+    "Refinement checks that missed the memo cache and ran in full")
+MEMO_DISK_LOADED = Statistic(
+    "perf", "num-memo-disk-entries-loaded",
+    "Memo entries loaded from the shared on-disk layer")
+
+#: verdicts that are pure functions of (function, context) and safe to
+#: replay.  "failed" is deliberately absent (see module docstring).
+_CACHEABLE = ("verified", "inconclusive", "timeout")
+
+
+class RefinementMemo:
+    """Verdict memo keyed by canonical function hash, scoped to one
+    context string."""
+
+    def __init__(self, context: str, disk_dir: Optional[str] = None):
+        self.context = context
+        self.disk_dir = disk_dir
+        self._table: Dict[str, str] = {}
+        self._fresh: List[Tuple[str, str]] = []
+        if disk_dir:
+            self._load_disk(disk_dir)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    # -- queries -----------------------------------------------------------
+    def lookup(self, key: str) -> Optional[str]:
+        """The memoized verdict for canonical hash ``key``, or None."""
+        verdict = self._table.get(key)
+        if verdict is None:
+            MEMO_MISSES.inc()
+        else:
+            MEMO_HITS.inc()
+        return verdict
+
+    def record(self, key: str, verdict: str) -> None:
+        """Memoize a freshly computed verdict (no-op for "failed")."""
+        if verdict not in _CACHEABLE or key in self._table:
+            return
+        self._table[key] = verdict
+        self._fresh.append((key, verdict))
+
+    # -- the on-disk layer -------------------------------------------------
+    def flush(self) -> int:
+        """Append this process's fresh entries to its own JSONL file.
+
+        Returns the number of entries written.  Call at natural
+        boundaries (end of a shard); append-only writes by one process
+        per file keep concurrent workers safe without locking."""
+        if not self.disk_dir or not self._fresh:
+            count = len(self._fresh)
+            self._fresh = []
+            return count
+        os.makedirs(self.disk_dir, exist_ok=True)
+        path = os.path.join(self.disk_dir, f"memo-{os.getpid()}.jsonl")
+        with open(path, "a", encoding="utf-8") as fh:
+            for key, verdict in self._fresh:
+                fh.write(json.dumps(
+                    {"c": self.context, "k": key, "v": verdict}
+                ) + "\n")
+        count = len(self._fresh)
+        self._fresh = []
+        return count
+
+    def _load_disk(self, disk_dir: str) -> None:
+        if not os.path.isdir(disk_dir):
+            return
+        loaded = 0
+        for name in sorted(os.listdir(disk_dir)):
+            if not (name.startswith("memo-") and name.endswith(".jsonl")):
+                continue
+            try:
+                with open(os.path.join(disk_dir, name),
+                          encoding="utf-8") as fh:
+                    for line in fh:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            entry = json.loads(line)
+                        except json.JSONDecodeError:
+                            continue  # torn write: skip, never crash
+                        if entry.get("c") != self.context:
+                            continue
+                        verdict = entry.get("v")
+                        key = entry.get("k")
+                        if key and verdict in _CACHEABLE:
+                            if key not in self._table:
+                                self._table[key] = verdict
+                                loaded += 1
+            except OSError:
+                continue
+        MEMO_DISK_LOADED.inc(loaded)

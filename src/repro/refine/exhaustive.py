@@ -32,6 +32,7 @@ from ..semantics.domains import (
 from ..semantics.interp import (
     Behavior,
     PathLimitExceeded,
+    PlanCache,
     enumerate_behaviors,
 )
 from .refinement import check_behavior_sets
@@ -136,7 +137,13 @@ def _bit_patterns(nbits: int, config: SemanticsConfig,
                   poison_in_memory: bool = True) -> List[Bits]:
     """Initial-content candidates for a memory region of ``nbits`` bits."""
     uninit = UBIT if config.uninit_is_undef else PBIT
-    patterns: List[Bits] = [(uninit,) * nbits]
+    patterns: List[Bits] = []
+    # The uninitialized pattern models "never stored to".  Under the
+    # no-poison-in-memory reading an all-poison region is not a legal
+    # memory state, so only include it when uninit bits are undef or
+    # poison is allowed in memory.
+    if uninit is UBIT or poison_in_memory:
+        patterns.append((uninit,) * nbits)
     specials = [0, 1]
     if poison_in_memory:
         specials.append(PBIT)
@@ -150,6 +157,12 @@ def _bit_patterns(nbits: int, config: SemanticsConfig,
         patterns.append(tuple((i % 2) for i in range(nbits)))
         if poison_in_memory:
             patterns.append((PBIT,) + (0,) * (nbits - 1))
+        if config.has_undef:
+            # A partially-undef region must stay in the candidate set
+            # even when poison is excluded from memory: OLD-mode uninit
+            # bits are undef, and dropping them here silently narrowed
+            # the checked state space for large regions.
+            patterns.append((UBIT,) + (0,) * (nbits - 1))
     # dedupe, preserving order
     seen = set()
     out = []
@@ -183,6 +196,14 @@ class CheckOptions:
     #: is then "verified (sampled)" — sound for failures, evidence-only
     #: for verification).  ``None`` keeps the strict exhaustive behavior.
     sample_inputs: Optional[int] = None
+    #: maximum number of concretizations when union-expanding a target
+    #: behavior's undef bits; exceeding it makes that input (and hence
+    #: the check) inconclusive rather than silently deciding either way
+    undef_expansion_cap: int = 4096
+    #: stop enumerating a source input's nondeterminism once UB is
+    #: observed (UB licenses everything, so the rest of the behavior set
+    #: cannot change the verdict)
+    prune_src_ub: bool = True
 
 
 def _global_inits(src: Function, config: SemanticsConfig,
@@ -272,42 +293,51 @@ def check_refinement(src: Function, tgt: Function,
     checked = 0
     skipped = 0
     skip_reason = ""
-    if True:
-        for ginit, args in input_stream():
-            checked += 1
-            try:
-                src_b = enumerate_behaviors(
-                    src, args, config, global_init=ginit,
-                    max_paths=options.max_paths,
-                    max_choices=options.max_choices, fuel=options.fuel,
-                )
-                tgt_b = enumerate_behaviors(
-                    tgt, args, tgt_config, global_init=ginit,
-                    max_paths=options.max_paths,
-                    max_choices=options.max_choices, fuel=options.fuel,
-                )
-            except PathLimitExceeded as e:
-                # This input's nondeterminism is too wide to enumerate;
-                # keep scanning other inputs (a counterexample elsewhere
-                # is still definite).
-                skipped += 1
-                skip_reason = str(e)
-                continue
-            result = check_behavior_sets(src_b, tgt_b)
-            if result.inconclusive:
-                skipped += 1
-                skip_reason = result.reason
-                continue
-            if not result.ok:
-                cex = Counterexample(
-                    args=tuple(args),
-                    arg_types=tuple(a.type for a in src.args),
-                    global_init=tuple(sorted(ginit.items())),
-                    witness=result.witness,
-                    src_behaviors=tuple(src_b),
-                )
-                return RefinementResult("failed", counterexample=cex,
-                                        inputs_checked=checked)
+    # Compile each function once; every input and oracle path below
+    # reuses the plans (the functions are not mutated during the check).
+    src_plans = PlanCache(config)
+    tgt_plans = PlanCache(tgt_config)
+    for ginit, args in input_stream():
+        checked += 1
+        try:
+            src_b = enumerate_behaviors(
+                src, args, config, global_init=ginit,
+                max_paths=options.max_paths,
+                max_choices=options.max_choices, fuel=options.fuel,
+                plans=src_plans, stop_on_ub=options.prune_src_ub,
+            )
+            tgt_b = enumerate_behaviors(
+                tgt, args, tgt_config, global_init=ginit,
+                max_paths=options.max_paths,
+                max_choices=options.max_choices, fuel=options.fuel,
+                plans=tgt_plans,
+            )
+        except PathLimitExceeded as e:
+            # This input's nondeterminism is too wide to enumerate;
+            # keep scanning other inputs (a counterexample elsewhere
+            # is still definite).
+            skipped += 1
+            skip_reason = str(e)
+            continue
+        result = check_behavior_sets(
+            src_b, tgt_b,
+            undef_cap=options.undef_expansion_cap,
+            function=tgt.name,
+        )
+        if result.inconclusive:
+            skipped += 1
+            skip_reason = result.reason
+            continue
+        if not result.ok:
+            cex = Counterexample(
+                args=tuple(args),
+                arg_types=tuple(a.type for a in src.args),
+                global_init=tuple(sorted(ginit.items())),
+                witness=result.witness,
+                src_behaviors=tuple(src_b),
+            )
+            return RefinementResult("failed", counterexample=cex,
+                                    inputs_checked=checked)
     if skipped:
         return RefinementResult(
             "inconclusive",

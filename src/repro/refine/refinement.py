@@ -25,8 +25,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Optional
 
+from ..diag import REMARK_MISSED, Statistic, emit_remark
 from ..semantics.domains import Bit, Bits, PBIT, UBIT
 from ..semantics.interp import RET, TIMEOUT, UB, Behavior
+
+NUM_UNDEF_EXPANSION_OVERFLOW = Statistic(
+    "refine", "num-undef-expansion-overflow",
+    "Undef expansions that exceeded the concretization cap "
+    "(verdict forced to inconclusive)")
 
 
 def bit_covers(src: Bit, tgt: Bit) -> bool:
@@ -68,8 +74,15 @@ def behavior_covers(src: Behavior, tgt: Behavior) -> bool:
             return False
     if len(src.memory) != len(tgt.memory):
         return False
-    for (s_name, s_bits), (t_name, t_bits) in zip(src.memory, tgt.memory):
-        if s_name != t_name or not bits_cover(s_bits, t_bits):
+    # Regions are matched by *name*, never by position: two behaviors
+    # whose region lists agree but were recorded in different orders
+    # must compare equal.  (Behavior construction sorts regions by name,
+    # so this is also cheap — but the dict lookup keeps coverage correct
+    # even for hand-built behaviors that bypass the invariant.)
+    src_mem = dict(src.memory)
+    for t_name, t_bits in tgt.memory:
+        s_bits = src_mem.get(t_name)
+        if s_bits is None or not bits_cover(s_bits, t_bits):
             return False
     return True
 
@@ -93,11 +106,17 @@ def _expand_undef_bits(behavior: Behavior, cap: int = 4096):
     source behavior (e.g. ``ret undef`` is covered by the union
     {ret 0, ret 1, ...}).  Per-behavior coverage alone would reject
     such refinements — ``add x, 0 -> x`` with an undef ``x`` being the
-    canonical example.  Returns ``None`` if the expansion exceeds
-    ``cap``."""
-    import itertools
+    canonical example.
 
-    slots: list = []  # (kind, index path)
+    Returns ``(expansions, needed)`` where ``needed`` is the total
+    number of concretizations.  ``expansions`` is ``None`` when there is
+    nothing to expand (``needed == 0``) or when ``needed`` exceeds
+    ``cap``.  Callers must treat the overflow case — ``expansions is
+    None and needed > cap`` — as *inconclusive*: deciding either way on
+    a truncated expansion is unsound (a dropped concretization could
+    refute a claimed coverage, and union coverage could license a
+    behavior that per-behavior coverage rejected)."""
+    import itertools
 
     def count_ubits(bits: Optional[Bits]) -> int:
         if bits is None:
@@ -110,8 +129,11 @@ def _expand_undef_bits(behavior: Behavior, cap: int = 4096):
             total_ubits += count_ubits(a)
     for _, bits in behavior.memory:
         total_ubits += count_ubits(bits)
-    if total_ubits == 0 or (1 << total_ubits) > cap:
-        return None
+    if total_ubits == 0:
+        return None, 0
+    needed = 1 << total_ubits
+    if needed > cap:
+        return None, needed
 
     def fill(bits: Optional[Bits], values, pos: list) -> Optional[Bits]:
         if bits is None:
@@ -138,11 +160,13 @@ def _expand_undef_bits(behavior: Behavior, cap: int = 4096):
             for name, bits in behavior.memory
         )
         expansions.append(Behavior(behavior.kind, ret, events, memory))
-    return expansions
+    return expansions, needed
 
 
 def check_behavior_sets(src_behaviors: FrozenSet[Behavior],
-                        tgt_behaviors: FrozenSet[Behavior]) -> BehaviorSetResult:
+                        tgt_behaviors: FrozenSet[Behavior],
+                        undef_cap: int = 4096,
+                        function: str = "") -> BehaviorSetResult:
     if any(b.kind == UB for b in src_behaviors):
         return BehaviorSetResult(ok=True)
     src_may_diverge = any(b.kind == TIMEOUT for b in src_behaviors)
@@ -152,12 +176,31 @@ def check_behavior_sets(src_behaviors: FrozenSet[Behavior],
         # A target behavior with undef bits is a *set* of behaviors;
         # each concretization may be licensed by a different source
         # behavior (union coverage).
-        expanded = _expand_undef_bits(tgt)
+        expanded, needed = _expand_undef_bits(tgt, cap=undef_cap)
         if expanded is not None and all(
             any(behavior_covers(src, t) for src in src_behaviors)
             for t in expanded
         ):
             continue
+        if expanded is None and needed > undef_cap:
+            # The expansion was truncated: neither "covered" nor
+            # "uncovered" can be decided soundly.  Surface an explicit
+            # inconclusive verdict (never a silent pass or a spurious
+            # counterexample).
+            NUM_UNDEF_EXPANSION_OVERFLOW.inc()
+            emit_remark(
+                "refine",
+                f"undef expansion needs {needed} concretizations "
+                f"(cap {undef_cap}); verdict inconclusive",
+                kind=REMARK_MISSED, function=function,
+            )
+            return BehaviorSetResult(
+                ok=False, inconclusive=True,
+                reason=(
+                    f"undef expansion needs {needed} concretizations, "
+                    f"exceeding the cap of {undef_cap}"
+                ),
+            )
         # Not covered.  If either side ran out of fuel, a longer run
         # might change the answer: stay conservative.
         if tgt.kind == TIMEOUT:

@@ -5,11 +5,20 @@ These functions operate on *expanded* scalar operands: Python ints or
 concretized by the interpreter's per-use expansion).  They return a
 scalar result, or raise :class:`UBError` for immediate UB (division by
 zero, etc.), or return an undef/poison scalar for deferred UB.
+
+Because behavior enumeration executes the same instruction millions of
+times across inputs × oracle paths, the module also exposes
+*specializers* — :func:`binop_evaluator`, :func:`icmp_evaluator`,
+:func:`cast_evaluator` — that bake the opcode, bitwidth, flags, and
+semantics-config decisions into a closure once per instruction.  The
+interpreter's execution plan (:mod:`repro.semantics.interp`) resolves
+these at function entry, so the per-step cost is one call with no
+opcode chain, flag test, or config lookup.
 """
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Callable, Union
 
 from ..ir.instructions import IcmpPred, Opcode
 from .config import SemanticsConfig, ShiftOutOfRange
@@ -194,3 +203,151 @@ def eval_cast(opcode: Opcode, a: Scalar, src_width: int,
     if opcode in (Opcode.PTRTOINT, Opcode.INTTOPTR):
         return _wrap(a, dest_width)
     raise NotImplementedError(f"eval_cast: {opcode}")
+
+
+# ---------------------------------------------------------------------------
+# Specializers: per-instruction closures for the interpreter fast path.
+# Each returned callable must be semantically identical to the generic
+# eval_* function it specializes (the tests cross-check them).
+# ---------------------------------------------------------------------------
+
+#: an evaluator over two expanded scalars
+BinopFn = Callable[[Scalar, Scalar], Scalar]
+
+_DIVISION_OPS = (Opcode.UDIV, Opcode.SDIV, Opcode.UREM, Opcode.SREM)
+_SHIFT_OPS = (Opcode.SHL, Opcode.LSHR, Opcode.ASHR)
+
+
+def binop_evaluator(opcode: Opcode, width: int, config: SemanticsConfig,
+                    nsw: bool = False, nuw: bool = False,
+                    exact: bool = False) -> BinopFn:
+    """A closure computing ``eval_binop(opcode, ·, ·, width, config,
+    flags)`` with every static decision resolved up front."""
+    if opcode in _DIVISION_OPS:
+        def div(a: Scalar, b: Scalar) -> Scalar:
+            return _eval_division(opcode, a, b, width, exact)
+        return div
+    if opcode in _SHIFT_OPS:
+        def shift(a: Scalar, b: Scalar) -> Scalar:
+            if a is POISON or b is POISON:
+                return POISON
+            return _eval_shift(opcode, a, b, width, config, nsw, nuw, exact)
+        return shift
+
+    mask = (1 << width) - 1
+    if not nsw and not nuw:
+        # The hot no-flags cases: straight wrap-around arithmetic.
+        if opcode is Opcode.ADD:
+            def add(a, b):
+                if a is POISON or b is POISON:
+                    return POISON
+                return (a + b) & mask
+            return add
+        if opcode is Opcode.SUB:
+            def sub(a, b):
+                if a is POISON or b is POISON:
+                    return POISON
+                return (a - b) & mask
+            return sub
+        if opcode is Opcode.MUL:
+            def mul(a, b):
+                if a is POISON or b is POISON:
+                    return POISON
+                return (a * b) & mask
+            return mul
+    if opcode is Opcode.AND:
+        def and_(a, b):
+            if a is POISON or b is POISON:
+                return POISON
+            return a & b
+        return and_
+    if opcode is Opcode.OR:
+        def or_(a, b):
+            if a is POISON or b is POISON:
+                return POISON
+            return a | b
+        return or_
+    if opcode is Opcode.XOR:
+        def xor(a, b):
+            if a is POISON or b is POISON:
+                return POISON
+            return a ^ b
+        return xor
+
+    def generic(a: Scalar, b: Scalar) -> Scalar:
+        return eval_binop(opcode, a, b, width, config,
+                          nsw=nsw, nuw=nuw, exact=exact)
+    return generic
+
+
+_UNSIGNED_ICMP = {
+    IcmpPred.EQ: lambda a, b: a == b,
+    IcmpPred.NE: lambda a, b: a != b,
+    IcmpPred.UGT: lambda a, b: a > b,
+    IcmpPred.UGE: lambda a, b: a >= b,
+    IcmpPred.ULT: lambda a, b: a < b,
+    IcmpPred.ULE: lambda a, b: a <= b,
+}
+
+_SIGNED_ICMP = {
+    IcmpPred.SGT: lambda a, b: a > b,
+    IcmpPred.SGE: lambda a, b: a >= b,
+    IcmpPred.SLT: lambda a, b: a < b,
+    IcmpPred.SLE: lambda a, b: a <= b,
+}
+
+
+def icmp_evaluator(pred: IcmpPred, width: int) -> BinopFn:
+    """A closure computing ``eval_icmp(pred, ·, ·, width)``."""
+    cmp = _UNSIGNED_ICMP.get(pred)
+    if cmp is not None:
+        def unsigned(a, b):
+            if a is POISON or b is POISON:
+                return POISON
+            return int(cmp(a, b))
+        return unsigned
+    scmp = _SIGNED_ICMP[pred]
+    half = 1 << (width - 1)
+    full = 1 << width
+
+    def signed(a, b):
+        if a is POISON or b is POISON:
+            return POISON
+        if a >= half:
+            a -= full
+        if b >= half:
+            b -= full
+        return int(scmp(a, b))
+    return signed
+
+
+def cast_evaluator(opcode: Opcode, src_width: int,
+                   dest_width: int) -> Callable[[Scalar], Scalar]:
+    """A closure computing ``eval_cast(opcode, ·, src_w, dest_w)``."""
+    if opcode is Opcode.ZEXT:
+        def zext(a):
+            return POISON if a is POISON else a
+        return zext
+    if opcode is Opcode.TRUNC or opcode in (Opcode.PTRTOINT,
+                                            Opcode.INTTOPTR):
+        mask = (1 << dest_width) - 1
+
+        def trunc(a):
+            return POISON if a is POISON else a & mask
+        return trunc
+    if opcode is Opcode.SEXT:
+        half = 1 << (src_width - 1)
+        full = 1 << src_width
+        mask = (1 << dest_width) - 1
+
+        def sext(a):
+            if a is POISON:
+                return POISON
+            if a >= half:
+                a -= full
+            return a & mask
+        return sext
+
+    def generic(a: Scalar) -> Scalar:
+        return eval_cast(opcode, a, src_width, dest_width)
+    return generic

@@ -18,12 +18,29 @@ that refinement (:mod:`repro.refine`) is defined over.
 An observable behavior is: UB, or (return-value bits, external-call event
 trace, final contents of every global).  Undef/poison bits appear in
 observables un-expanded; the refinement checker interprets them.
+
+Execution plans (the validation hot path)
+-----------------------------------------
+Behavior enumeration re-executes the same function for every input ×
+every oracle path — the per-instruction cost is multiplied millions of
+times in a validation campaign.  The interpreter therefore *compiles*
+each function once per :class:`~repro.semantics.config.SemanticsConfig`
+into an :class:`ExecPlan`: per-block step lists whose operand fetchers,
+evaluator closures (:func:`~repro.semantics.eval.binop_evaluator` and
+friends), and config decisions are resolved up front, replacing the
+per-step ``isinstance`` dispatch chain and dict lookups.  Plans make
+*no* nondeterministic choices at compile time, so a planned execution
+consults the oracle in exactly the same order as the historical
+interpreter — behavior sets are unchanged, only faster to enumerate.
+A :class:`PlanCache` shares plans across paths and inputs; it is only
+valid while the compiled functions are not mutated (the refinement
+checker builds one per check, after the pipeline under test has run).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..diag import ExecTrace, Statistic
 from ..ir.basicblock import BasicBlock
@@ -78,7 +95,15 @@ from .domains import (
     undef_value,
     value_to_bits,
 )
-from .eval import UBError, eval_binop, eval_cast, eval_icmp
+from .eval import (
+    UBError,
+    binop_evaluator,
+    cast_evaluator,
+    eval_binop,
+    eval_cast,
+    eval_icmp,
+    icmp_evaluator,
+)
 from .memory import Memory, uninit_bit_for
 
 
@@ -88,6 +113,9 @@ NUM_FUEL_EXHAUSTED = Statistic(
 NUM_UB_EXECUTIONS = Statistic(
     "interp", "num-ub-executions",
     "Executions that triggered immediate UB")
+NUM_PLANS_COMPILED = Statistic(
+    "interp", "num-plans-compiled",
+    "Functions compiled into execution plans")
 
 
 class PathLimitExceeded(Exception):
@@ -158,6 +186,19 @@ class Behavior:
     #: behavior through different events are still the same behavior.
     trace: Optional[ExecTrace] = field(default=None, compare=False)
 
+    def __post_init__(self):
+        # Invariant: memory observables are sorted by region name, so
+        # equality/hashing and positional comparison are independent of
+        # construction order (the refinement checker additionally
+        # matches regions by name; see refine.refinement).
+        mem = self.memory
+        if len(mem) > 1 and any(
+            mem[i][0] > mem[i + 1][0] for i in range(len(mem) - 1)
+        ):
+            object.__setattr__(
+                self, "memory", tuple(sorted(mem, key=lambda r: r[0]))
+            )
+
     @staticmethod
     def ub(events: Tuple[Event, ...] = (),
            trace: Optional[ExecTrace] = None) -> "Behavior":
@@ -201,17 +242,530 @@ class _Return(Exception):
         self.value = value
 
 
+# ---------------------------------------------------------------------------
+# Plan compilation: pre-resolve operands, evaluators, and config decisions.
+# ---------------------------------------------------------------------------
+
+#: compile-time marker: the operand's value needs the running interpreter
+_DYNAMIC = object()
+
+
+def _static_constant(op: Value, config: SemanticsConfig):
+    """The operand's runtime value when it is fully determined at
+    compile time; :data:`_DYNAMIC` otherwise."""
+    if isinstance(op, ConstantInt):
+        return op.value
+    if isinstance(op, PoisonValue):
+        return poison_value(op.type)
+    if isinstance(op, UndefValue):
+        if not config.has_undef:
+            # In NEW-mode execution an undef constant is treated as
+            # poison (the migration story of Section 4).
+            return poison_value(op.type)
+        return undef_value(op.type)
+    if isinstance(op, ConstantVector):
+        elems = tuple(_static_constant(e, config) for e in op.elements)
+        if any(e is _DYNAMIC for e in elems):
+            return _DYNAMIC
+        return elems
+    return _DYNAMIC
+
+
+def _contains_undef(v: RuntimeValue) -> bool:
+    if type(v) is tuple:
+        return any(type(x) is PartialUndef for x in v)
+    return type(v) is PartialUndef
+
+
+def _compile_operand(op: Value, config: SemanticsConfig):
+    """A ``fetch(interp, regs) -> RuntimeValue`` closure for the raw
+    (un-expanded) value of ``op``."""
+    const = _static_constant(op, config)
+    if const is not _DYNAMIC:
+        def fetch_const(interp, regs, _v=const):
+            return _v
+        return fetch_const
+    if isinstance(op, GlobalVariable):
+        name = op.name
+
+        def fetch_global(interp, regs):
+            addr = interp.global_addrs.get(name)
+            if addr is None:
+                raise UBError(f"global @{name} not allocated")
+            return addr
+        return fetch_global
+    if isinstance(op, (ConstantInt, PoisonValue, UndefValue,
+                       ConstantVector)):
+        def fetch_slow(interp, regs):  # pragma: no cover - exotic consts
+            return interp._constant_value(op)
+        return fetch_slow
+
+    def fetch_reg(interp, regs):
+        try:
+            return regs[op]
+        except KeyError:
+            raise UBError(f"use of undefined register {op.ref()}") from None
+    return fetch_reg
+
+
+def _compile_use(op: Value, config: SemanticsConfig):
+    """A ``use(interp, regs)`` closure: fetch plus per-use undef
+    expansion (Section 3.1) when the value can carry undef bits."""
+    fetch = _compile_operand(op, config)
+    const = _static_constant(op, config)
+    if const is not _DYNAMIC and not _contains_undef(const):
+        return fetch
+    if not config.has_undef:
+        # NEW semantics has no undef values at all: registers can only
+        # hold ints, poison, or tuples thereof — nothing to expand.
+        return fetch
+
+    def use(interp, regs):
+        v = fetch(interp, regs)
+        if type(v) is PartialUndef:
+            return interp._expand_scalar(v)
+        if type(v) is tuple:
+            return tuple(interp._expand_scalar(x) for x in v)
+        return v
+    return use
+
+
+def _lanes(ty: Type):
+    if isinstance(ty, VectorType):
+        return ty.count, ty.elem
+    return None, ty
+
+
+def _compile_binary(inst: BinaryInst, config: SemanticsConfig):
+    use_a = _compile_use(inst.lhs, config)
+    use_b = _compile_use(inst.rhs, config)
+    count, elem = _lanes(inst.type)
+    ev = binop_evaluator(inst.opcode, scalar_width(elem), config,
+                         nsw=inst.nsw, nuw=inst.nuw, exact=inst.exact)
+    if count is None:
+        def ex(interp, regs, frame_allocas, depth):
+            return ev(use_a(interp, regs), use_b(interp, regs))
+        return ex
+
+    def ex_vec(interp, regs, frame_allocas, depth):
+        a = use_a(interp, regs)
+        b = use_b(interp, regs)
+        return tuple(ev(x, y) for x, y in zip(a, b))
+    return ex_vec
+
+
+def _compile_icmp(inst: IcmpInst, config: SemanticsConfig):
+    use_a = _compile_use(inst.lhs, config)
+    use_b = _compile_use(inst.rhs, config)
+    count, elem = _lanes(inst.lhs.type)
+    ev = icmp_evaluator(inst.pred, scalar_width(elem))
+    if count is None:
+        def ex(interp, regs, frame_allocas, depth):
+            return ev(use_a(interp, regs), use_b(interp, regs))
+        return ex
+
+    def ex_vec(interp, regs, frame_allocas, depth):
+        a = use_a(interp, regs)
+        b = use_b(interp, regs)
+        return tuple(ev(x, y) for x, y in zip(a, b))
+    return ex_vec
+
+
+def _compile_select(inst: SelectInst, config: SemanticsConfig):
+    mode = config.select_semantics
+    use_cond = _compile_use(inst.cond, config)  # expands undef conditions
+    fetch_t = _compile_operand(inst.true_value, config)
+    fetch_f = _compile_operand(inst.false_value, config)
+    ty = inst.type
+
+    if mode is SelectSemantics.ARITHMETIC:
+        def ex_arith(interp, regs, frame_allocas, depth):
+            cond = use_cond(interp, regs)
+            tv = fetch_t(interp, regs)
+            fv = fetch_f(interp, regs)
+            if cond is POISON:
+                return poison_value(ty)
+            # Result is poison if *either* arm is poison, mirroring the
+            # select -> or/and rewrites (Section 3.4).
+            if _any_poison(tv) or _any_poison(fv):
+                return poison_value(ty)
+            return tv if cond else fv
+        return ex_arith
+
+    if mode is SelectSemantics.UB_COND:
+        def ex_ub(interp, regs, frame_allocas, depth):
+            cond = use_cond(interp, regs)
+            tv = fetch_t(interp, regs)
+            fv = fetch_f(interp, regs)
+            if cond is POISON:
+                raise UBError("select on poison condition")
+            return tv if cond else fv
+        return ex_ub
+
+    if mode is SelectSemantics.NONDET_COND:
+        def ex_nondet(interp, regs, frame_allocas, depth):
+            cond = use_cond(interp, regs)
+            tv = fetch_t(interp, regs)
+            fv = fetch_f(interp, regs)
+            if cond is POISON:
+                cond = interp.oracle.choose(2)
+            return tv if cond else fv
+        return ex_nondet
+
+    # CONDITIONAL: poison condition poisons the result.
+    def ex_cond(interp, regs, frame_allocas, depth):
+        cond = use_cond(interp, regs)
+        tv = fetch_t(interp, regs)
+        fv = fetch_f(interp, regs)
+        if cond is POISON:
+            return poison_value(ty)
+        return tv if cond else fv
+    return ex_cond
+
+
+def _compile_freeze(inst: FreezeInst, config: SemanticsConfig):
+    fetch = _compile_operand(inst.value, config)
+    count, elem = _lanes(inst.type)
+    space = 1 << scalar_width(elem)
+
+    def one(interp, x: Scalar) -> Scalar:
+        if x is POISON:
+            interp.trace.freeze_resolutions += 1
+            return interp.oracle.choose(space)
+        if type(x) is PartialUndef:
+            pick = interp.oracle.choose(1 << x.num_undef_bits())
+            interp.trace.freeze_resolutions += 1
+            return x.concretize(pick)
+        return x
+
+    if count is None:
+        def ex(interp, regs, frame_allocas, depth):
+            return one(interp, fetch(interp, regs))
+        return ex
+
+    def ex_vec(interp, regs, frame_allocas, depth):
+        return tuple(one(interp, x) for x in fetch(interp, regs))
+    return ex_vec
+
+
+def _compile_cast(inst: CastInst, config: SemanticsConfig):
+    if inst.opcode is Opcode.BITCAST:
+        fetch = _compile_operand(inst.value, config)
+        src_ty = inst.value.type
+        dst_ty = inst.type
+
+        def ex_bitcast(interp, regs, frame_allocas, depth):
+            # pure re-interpretation: no per-use expansion
+            bits = value_to_bits(fetch(interp, regs), src_ty)
+            return bits_to_value(bits, dst_ty)
+        return ex_bitcast
+
+    use = _compile_use(inst.value, config)
+    count, elem = _lanes(inst.type)
+    ev = cast_evaluator(inst.opcode, scalar_width(inst.value.type.scalar),
+                        scalar_width(elem))
+    if count is None:
+        def ex(interp, regs, frame_allocas, depth):
+            return ev(use(interp, regs))
+        return ex
+
+    def ex_vec(interp, regs, frame_allocas, depth):
+        return tuple(ev(x) for x in use(interp, regs))
+    return ex_vec
+
+
+def _compile_gep(inst: GepInst, config: SemanticsConfig):
+    use_base = _compile_use(inst.pointer, config)
+    use_index = _compile_use(inst.index, config)
+    iw = scalar_width(inst.index.type)
+    half = 1 << (iw - 1)
+    full = 1 << iw
+    elem_size = inst.elem_size_bytes
+    inbounds = inst.inbounds
+
+    def ex(interp, regs, frame_allocas, depth):
+        base = use_base(interp, regs)
+        index = use_index(interp, regs)
+        if base is POISON or index is POISON:
+            return POISON
+        signed_index = index - full if index >= half else index
+        offset = signed_index * elem_size
+        addr = (base + offset) & 0xFFFFFFFF
+        if inbounds:
+            block = interp.memory.block_at(base, 1)
+            if block is not None:
+                # inbounds requires the result to stay within the object
+                # (one-past-the-end allowed); otherwise poison.
+                if not (block.addr <= base + offset
+                        <= block.addr + block.size):
+                    return POISON
+            elif base + offset != addr or base + offset < 0:
+                return POISON
+        return addr
+    return ex
+
+
+def _compile_alloca(inst: AllocaInst, config: SemanticsConfig):
+    nbytes = max(1, (inst.allocated_type.bitwidth() + 7) // 8)
+    name = inst.name or "alloca"
+
+    def ex(interp, regs, frame_allocas, depth):
+        addr = interp.memory.alloc(nbytes, name=name)
+        frame_allocas.append(addr)
+        return addr
+    return ex
+
+
+def _compile_load(inst: LoadInst, config: SemanticsConfig):
+    use_ptr = _compile_use(inst.pointer, config)
+    nbits = inst.type.bitwidth()
+    ty = inst.type
+
+    def ex(interp, regs, frame_allocas, depth):
+        addr = use_ptr(interp, regs)
+        interp.trace.loads += 1
+        if addr is POISON:
+            raise UBError("load from poison address")
+        bits = interp.memory.load_bits(addr, nbits)
+        if bits is None:
+            raise UBError(f"invalid load of {ty} at {addr:#x}")
+        return bits_to_value(bits, ty)
+    return ex
+
+
+def _compile_store(inst: StoreInst, config: SemanticsConfig):
+    use_ptr = _compile_use(inst.pointer, config)
+    fetch_value = _compile_operand(inst.value, config)  # store does not expand
+    value_ty = inst.value.type
+
+    def ex(interp, regs, frame_allocas, depth):
+        addr = use_ptr(interp, regs)
+        interp.trace.stores += 1
+        if addr is POISON:
+            raise UBError("store to poison address")
+        bits = value_to_bits(fetch_value(interp, regs), value_ty)
+        if not interp.memory.store_bits(addr, bits):
+            raise UBError(f"invalid store of {value_ty} at {addr:#x}")
+        return None
+    return ex
+
+
+def _compile_extractelement(inst: ExtractElementInst,
+                            config: SemanticsConfig):
+    fetch_vec = _compile_operand(inst.vector, config)
+    use_idx = _compile_use(inst.index, config)
+    count = inst.vector.type.count
+
+    def ex(interp, regs, frame_allocas, depth):
+        vec = fetch_vec(interp, regs)
+        idx = use_idx(interp, regs)
+        if idx is POISON or not isinstance(idx, int) or idx >= count:
+            return POISON
+        return vec[idx]
+    return ex
+
+
+def _compile_insertelement(inst: InsertElementInst,
+                           config: SemanticsConfig):
+    fetch_vec = _compile_operand(inst.vector, config)
+    fetch_elem = _compile_operand(inst.element, config)
+    use_idx = _compile_use(inst.index, config)
+    count = inst.vector.type.count
+    poison_result = poison_value(inst.type)
+
+    def ex(interp, regs, frame_allocas, depth):
+        vec = fetch_vec(interp, regs)
+        elem = fetch_elem(interp, regs)
+        idx = use_idx(interp, regs)
+        if idx is POISON or not isinstance(idx, int) or idx >= count:
+            return poison_result
+        out = list(vec)
+        out[idx] = elem
+        return tuple(out)
+    return ex
+
+
+def _compile_call(inst: CallInst, config: SemanticsConfig):
+    arg_fetchers = [_compile_operand(a, config) for a in inst.args]
+    callee = inst.callee
+
+    def ex(interp, regs, frame_allocas, depth):
+        args = [fetch(interp, regs) for fetch in arg_fetchers]
+        return interp._call_function(callee, args, depth + 1)
+    return ex
+
+
+_COMPILERS = {
+    BinaryInst: _compile_binary,
+    IcmpInst: _compile_icmp,
+    SelectInst: _compile_select,
+    FreezeInst: _compile_freeze,
+    CastInst: _compile_cast,
+    GepInst: _compile_gep,
+    AllocaInst: _compile_alloca,
+    LoadInst: _compile_load,
+    StoreInst: _compile_store,
+    ExtractElementInst: _compile_extractelement,
+    InsertElementInst: _compile_insertelement,
+    CallInst: _compile_call,
+}
+
+
+def _compile_instruction(inst: Instruction, config: SemanticsConfig):
+    compiler = _COMPILERS.get(type(inst))
+    if compiler is None:
+        # Defer the failure to execution time, matching the historical
+        # interpreter (an unsupported instruction on a dead path never
+        # fired).
+        msg = f"interpret {inst.opcode}"
+
+        def ex_unsupported(interp, regs, frame_allocas, depth):
+            raise NotImplementedError(msg)
+        return ex_unsupported
+    return compiler(inst, config)
+
+
+def _compile_terminator(inst: Instruction, config: SemanticsConfig):
+    """A ``term(interp, regs) -> BasicBlock`` closure (raises
+    :class:`_Return` to leave the function)."""
+    if isinstance(inst, ReturnInst):
+        if inst.value is None:
+            def term_void(interp, regs):
+                raise _Return(None)
+            return term_void
+        fetch = _compile_operand(inst.value, config)
+
+        def term_ret(interp, regs):
+            raise _Return(fetch(interp, regs))
+        return term_ret
+
+    if isinstance(inst, BranchInst):
+        if not inst.is_conditional:
+            target = inst.targets[0]
+
+            def term_jump(interp, regs):
+                return target
+            return term_jump
+        use_cond = _compile_use(inst.cond, config)
+        tb, fb = inst.true_block, inst.false_block
+        poison_is_ub = config.branch_on_poison is BranchOnPoison.UB
+
+        def term_br(interp, regs):
+            cond = use_cond(interp, regs)
+            if cond is POISON:
+                if poison_is_ub:
+                    raise UBError("branch on poison")
+                cond = interp.oracle.choose(2)
+            return tb if cond else fb
+        return term_br
+
+    if isinstance(inst, SwitchInst):
+        use_value = _compile_use(inst.value, config)
+        cases = tuple((const.value, block) for const, block in inst.cases)
+        default = inst.default
+        succs = tuple(inst.successors())
+        poison_is_ub = config.branch_on_poison is BranchOnPoison.UB
+
+        def term_switch(interp, regs):
+            value = use_value(interp, regs)
+            if value is POISON:
+                if poison_is_ub:
+                    raise UBError("switch on poison")
+                return succs[interp.oracle.choose(len(succs))]
+            for case_value, block in cases:
+                if case_value == value:
+                    return block
+            return default
+        return term_switch
+
+    if isinstance(inst, UnreachableInst):
+        def term_unreachable(interp, regs):
+            raise UBError("reached unreachable")
+        return term_unreachable
+
+    msg = f"terminator {inst.opcode}"
+
+    def term_unsupported(interp, regs):
+        raise NotImplementedError(msg)
+    return term_unsupported
+
+
+class _BlockPlan:
+    """One basic block, compiled."""
+
+    __slots__ = ("block", "phis", "steps", "terminate")
+
+    def __init__(self, block: BasicBlock, config: SemanticsConfig):
+        self.block = block
+        phis = block.phis()
+        self.phis = [
+            (phi, {pred: _compile_operand(value, config)
+                   for value, pred in phi.incoming})
+            for phi in phis
+        ]
+        #: (instruction, exec closure, has a register result)
+        self.steps: List[tuple] = []
+        self.terminate = None
+        for inst in block.instructions[len(phis):]:
+            if inst.is_terminator:
+                self.terminate = _compile_terminator(inst, config)
+                break
+            self.steps.append((inst, _compile_instruction(inst, config),
+                               not inst.type.is_void))
+
+
+class ExecPlan:
+    """A function compiled for one semantics configuration."""
+
+    __slots__ = ("fn", "config", "blocks")
+
+    def __init__(self, fn: Function, config: SemanticsConfig):
+        self.fn = fn
+        self.config = config
+        self.blocks: Dict[BasicBlock, _BlockPlan] = {
+            block: _BlockPlan(block, config) for block in fn.blocks
+        }
+        NUM_PLANS_COMPILED.inc()
+
+
+class PlanCache:
+    """Execution plans keyed by function, for one config.
+
+    A cache is valid only while the functions it compiled are not
+    mutated.  The refinement checker builds one per function under
+    check (after the pipeline under test has run) and reuses it across
+    every input and oracle path of the check.
+    """
+
+    __slots__ = ("config", "_plans")
+
+    def __init__(self, config: SemanticsConfig):
+        self.config = config
+        self._plans: Dict[Function, ExecPlan] = {}
+
+    def plan_for(self, fn: Function) -> ExecPlan:
+        plan = self._plans.get(fn)
+        if plan is None:
+            plan = ExecPlan(fn, self.config)
+            self._plans[fn] = plan
+        return plan
+
+
 class Interpreter:
     """Executes one function on one oracle path."""
 
     def __init__(self, config: SemanticsConfig, oracle: Oracle,
                  fuel: int = 10_000, max_call_depth: int = 16,
-                 ext_ret_choices: bool = True):
+                 ext_ret_choices: bool = True,
+                 plans: Optional[PlanCache] = None):
         self.config = config
         self.oracle = oracle
         self.fuel = fuel
         self.max_call_depth = max_call_depth
         self.ext_ret_choices = ext_ret_choices
+        if plans is not None and plans.config != config:
+            raise ValueError("plan cache was compiled for another config")
+        self.plans = plans if plans is not None else PlanCache(config)
         self.memory: Optional[Memory] = None
         self.global_addrs: Dict[str, int] = {}
         self.events: List[Event] = []
@@ -283,18 +837,21 @@ class Interpreter:
         if fn.is_declaration:
             return self._external_call(fn, args)
 
+        plan = self.plans.plan_for(fn)
         regs: Dict[Value, RuntimeValue] = {}
         for arg, value in zip(fn.args, args):
             regs[arg] = value
         frame_allocas: List[int] = []
 
-        block = fn.entry
+        blocks = plan.blocks
+        bplan = blocks[fn.entry]
         prev_block: Optional[BasicBlock] = None
         try:
             while True:
-                block, prev_block = self._run_block(
-                    fn, block, prev_block, regs, frame_allocas, depth
+                next_block, prev_block = self._run_block(
+                    fn, bplan, prev_block, regs, frame_allocas, depth
                 )
+                bplan = blocks[next_block]
         except _Return as r:
             return r.value
         finally:
@@ -324,40 +881,55 @@ class Interpreter:
         return ret_val
 
     # -- block execution ------------------------------------------------------
-    def _run_block(self, fn: Function, block: BasicBlock,
+    def _run_block(self, fn: Function, bplan: _BlockPlan,
                    prev_block: Optional[BasicBlock],
                    regs: Dict[Value, RuntimeValue],
                    frame_allocas: List[int], depth: int):
+        block = bplan.block
         self.current_function = fn
         self.current_block = block
         # Phi nodes read their inputs simultaneously.
-        phis = block.phis()
-        if phis:
+        if bplan.phis:
             if prev_block is None:
                 raise UBError("phi in entry block")
             staged = []
-            for phi in phis:
-                incoming = phi.incoming_for_block(prev_block)
-                if incoming is None:
+            for phi, incoming in bplan.phis:
+                fetch = incoming.get(prev_block)
+                if fetch is None:
                     raise UBError(
-                        f"phi {phi.ref()} has no incoming from %{prev_block.name}"
+                        f"phi {phi.ref()} has no incoming from "
+                        f"%{prev_block.name}"
                     )
-                staged.append((phi, self._value(incoming, regs)))
+                staged.append((phi, fetch(self, regs)))
             for phi, v in staged:
                 regs[phi] = v
 
-        for inst in block.instructions[len(phis):]:
+        fuel = self.fuel
+        for inst, execute, has_result in bplan.steps:
             self.steps += 1
-            if self.steps > self.fuel:
+            if self.steps > fuel:
                 raise FuelExhausted(
                     f"fuel exhausted after {self.steps} steps "
                     f"in @{fn.name}:%{block.name}"
                 )
-            if inst.is_terminator:
-                nxt = self._terminator(inst, regs)
-                return nxt, block
-            self._execute(inst, regs, frame_allocas, depth)
-        raise UBError(f"block %{block.name} fell off the end")
+            result = execute(self, regs, frame_allocas, depth)
+            if has_result:
+                if result is POISON or (
+                    type(result) is tuple
+                    and any(x is POISON for x in result)
+                ):
+                    self.trace.poison_created += 1
+                regs[inst] = result
+
+        if bplan.terminate is None:
+            raise UBError(f"block %{block.name} fell off the end")
+        self.steps += 1
+        if self.steps > fuel:
+            raise FuelExhausted(
+                f"fuel exhausted after {self.steps} steps "
+                f"in @{fn.name}:%{block.name}"
+            )
+        return bplan.terminate(self, regs), block
 
     # -- operand evaluation ------------------------------------------------------
     def _constant_value(self, c) -> RuntimeValue:
@@ -380,15 +952,6 @@ class Interpreter:
             return addr
         raise NotImplementedError(f"constant {c!r}")
 
-    def _value(self, op: Value, regs: Dict[Value, RuntimeValue]) -> RuntimeValue:
-        """The raw register/constant value — no per-use expansion."""
-        if isinstance(op, (ConstantInt, PoisonValue, UndefValue,
-                           ConstantVector, GlobalVariable)):
-            return self._constant_value(op)
-        if op in regs:
-            return regs[op]
-        raise UBError(f"use of undefined register {op.ref()}")
-
     def _expand_scalar(self, v: Scalar) -> Scalar:
         """Per-use expansion of undef bits (Section 3.1): a computational
         use observes *some* concrete assignment of the undef bits, chosen
@@ -399,231 +962,6 @@ class Interpreter:
             self.trace.undef_expansions += 1
             return v.concretize(pick)
         return v
-
-    def _use(self, op: Value, regs: Dict[Value, RuntimeValue]) -> RuntimeValue:
-        """Evaluate an operand for a computational use."""
-        v = self._value(op, regs)
-        if isinstance(v, tuple):
-            return tuple(self._expand_scalar(x) for x in v)
-        return self._expand_scalar(v)
-
-    # -- instruction execution ----------------------------------------------------
-    def _execute(self, inst: Instruction, regs: Dict[Value, RuntimeValue],
-                 frame_allocas: List[int], depth: int) -> None:
-        result = self._compute(inst, regs, frame_allocas, depth)
-        if not inst.type.is_void:
-            if result is POISON or (
-                type(result) is tuple
-                and any(x is POISON for x in result)
-            ):
-                self.trace.poison_created += 1
-            regs[inst] = result
-
-    def _compute(self, inst: Instruction, regs, frame_allocas, depth):
-        if isinstance(inst, BinaryInst):
-            return self._binary(inst, regs)
-        if isinstance(inst, IcmpInst):
-            return self._icmp(inst, regs)
-        if isinstance(inst, SelectInst):
-            return self._select(inst, regs)
-        if isinstance(inst, FreezeInst):
-            return self._freeze(inst, regs)
-        if isinstance(inst, CastInst):
-            return self._cast(inst, regs)
-        if isinstance(inst, GepInst):
-            return self._gep(inst, regs)
-        if isinstance(inst, AllocaInst):
-            nbytes = max(1, (inst.allocated_type.bitwidth() + 7) // 8)
-            addr = self.memory.alloc(nbytes, name=inst.name or "alloca")
-            frame_allocas.append(addr)
-            return addr
-        if isinstance(inst, LoadInst):
-            return self._load(inst, regs)
-        if isinstance(inst, StoreInst):
-            return self._store(inst, regs)
-        if isinstance(inst, ExtractElementInst):
-            return self._extractelement(inst, regs)
-        if isinstance(inst, InsertElementInst):
-            return self._insertelement(inst, regs)
-        if isinstance(inst, CallInst):
-            args = [self._value(a, regs) for a in inst.args]
-            return self._call_function(inst.callee, args, depth + 1)
-        raise NotImplementedError(f"interpret {inst.opcode}")
-
-    def _lanes(self, ty: Type):
-        if isinstance(ty, VectorType):
-            return ty.count, ty.elem
-        return None, ty
-
-    def _binary(self, inst: BinaryInst, regs):
-        a = self._use(inst.lhs, regs)
-        b = self._use(inst.rhs, regs)
-        count, elem = self._lanes(inst.type)
-        width = scalar_width(elem)
-
-        def one(x, y):
-            return eval_binop(inst.opcode, x, y, width, self.config,
-                              nsw=inst.nsw, nuw=inst.nuw, exact=inst.exact)
-
-        if count is None:
-            return one(a, b)
-        return tuple(one(x, y) for x, y in zip(a, b))
-
-    def _icmp(self, inst: IcmpInst, regs):
-        a = self._use(inst.lhs, regs)
-        b = self._use(inst.rhs, regs)
-        count, elem = self._lanes(inst.lhs.type)
-        width = scalar_width(elem)
-        if count is None:
-            return eval_icmp(inst.pred, a, b, width)
-        return tuple(eval_icmp(inst.pred, x, y, width) for x, y in zip(a, b))
-
-    def _select(self, inst: SelectInst, regs):
-        mode = self.config.select_semantics
-        cond = self._use(inst.cond, regs)  # expands undef conditions
-        tv = self._value(inst.true_value, regs)
-        fv = self._value(inst.false_value, regs)
-
-        if cond is POISON:
-            if mode is SelectSemantics.UB_COND:
-                raise UBError("select on poison condition")
-            if mode is SelectSemantics.NONDET_COND:
-                cond = self.oracle.choose(2)
-            else:
-                # ARITHMETIC and CONDITIONAL: poison condition poisons
-                # the result.
-                return poison_value(inst.type)
-
-        chosen = tv if cond else fv
-        if mode is SelectSemantics.ARITHMETIC:
-            # Result is poison if *either* arm is poison, mirroring the
-            # select -> or/and rewrites (Section 3.4).
-            if _any_poison(tv) or _any_poison(fv):
-                return poison_value(inst.type)
-        return chosen
-
-    def _freeze(self, inst: FreezeInst, regs):
-        v = self._value(inst.value, regs)
-        count, elem = self._lanes(inst.type)
-        width = scalar_width(elem)
-
-        def one(x: Scalar) -> Scalar:
-            if x is POISON:
-                self.trace.freeze_resolutions += 1
-                return self.oracle.choose(1 << width)
-            if isinstance(x, PartialUndef):
-                pick = self.oracle.choose(1 << x.num_undef_bits())
-                self.trace.freeze_resolutions += 1
-                return x.concretize(pick)
-            return x
-
-        if count is None:
-            return one(v)
-        return tuple(one(x) for x in v)
-
-    def _cast(self, inst: CastInst, regs):
-        if inst.opcode is Opcode.BITCAST:
-            v = self._value(inst.value, regs)  # pure re-interpretation
-            bits = value_to_bits(v, inst.value.type)
-            return bits_to_value(bits, inst.type)
-        a = self._use(inst.value, regs)
-        count, elem = self._lanes(inst.type)
-        src_w = scalar_width(inst.value.type.scalar)
-        dst_w = scalar_width(elem)
-        if count is None:
-            return eval_cast(inst.opcode, a, src_w, dst_w)
-        return tuple(eval_cast(inst.opcode, x, src_w, dst_w) for x in a)
-
-    def _gep(self, inst: GepInst, regs):
-        base = self._use(inst.pointer, regs)
-        index = self._use(inst.index, regs)
-        if base is POISON or index is POISON:
-            return POISON
-        iw = scalar_width(inst.index.type)
-        signed_index = index - (1 << iw) if index >= (1 << (iw - 1)) else index
-        offset = signed_index * inst.elem_size_bytes
-        addr = (base + offset) & 0xFFFFFFFF
-        if inst.inbounds:
-            block = self.memory.block_at(base, 1)
-            if block is not None:
-                # inbounds requires the result to stay within the object
-                # (one-past-the-end allowed); otherwise poison.
-                if not (block.addr <= base + offset <= block.addr + block.size):
-                    return POISON
-            elif base + offset != addr or base + offset < 0:
-                return POISON
-        return addr
-
-    def _load(self, inst: LoadInst, regs):
-        addr = self._use(inst.pointer, regs)
-        self.trace.loads += 1
-        if addr is POISON:
-            raise UBError("load from poison address")
-        bits = self.memory.load_bits(addr, inst.type.bitwidth())
-        if bits is None:
-            raise UBError(f"invalid load of {inst.type} at {addr:#x}")
-        return bits_to_value(bits, inst.type)
-
-    def _store(self, inst: StoreInst, regs):
-        addr = self._use(inst.pointer, regs)
-        self.trace.stores += 1
-        if addr is POISON:
-            raise UBError("store to poison address")
-        value = self._value(inst.value, regs)  # store does not expand
-        bits = value_to_bits(value, inst.value.type)
-        if not self.memory.store_bits(addr, bits):
-            raise UBError(f"invalid store of {inst.value.type} at {addr:#x}")
-        return None
-
-    def _extractelement(self, inst: ExtractElementInst, regs):
-        vec = self._value(inst.vector, regs)
-        idx = self._use(inst.index, regs)
-        count = inst.vector.type.count
-        if idx is POISON or not isinstance(idx, int) or idx >= count:
-            return POISON
-        return vec[idx]
-
-    def _insertelement(self, inst: InsertElementInst, regs):
-        vec = self._value(inst.vector, regs)
-        elem = self._value(inst.element, regs)
-        idx = self._use(inst.index, regs)
-        count = inst.vector.type.count
-        if idx is POISON or not isinstance(idx, int) or idx >= count:
-            return poison_value(inst.type)
-        out = list(vec)
-        out[idx] = elem
-        return tuple(out)
-
-    # -- terminators ------------------------------------------------------------
-    def _terminator(self, inst: Instruction, regs) -> BasicBlock:
-        if isinstance(inst, ReturnInst):
-            value = None
-            if inst.value is not None:
-                value = self._value(inst.value, regs)
-            raise _Return(value)
-        if isinstance(inst, BranchInst):
-            if not inst.is_conditional:
-                return inst.targets[0]
-            cond = self._use(inst.cond, regs)
-            if cond is POISON:
-                if self.config.branch_on_poison is BranchOnPoison.UB:
-                    raise UBError("branch on poison")
-                cond = self.oracle.choose(2)
-            return inst.true_block if cond else inst.false_block
-        if isinstance(inst, SwitchInst):
-            value = self._use(inst.value, regs)
-            if value is POISON:
-                if self.config.branch_on_poison is BranchOnPoison.UB:
-                    raise UBError("switch on poison")
-                succs = inst.successors()
-                return succs[self.oracle.choose(len(succs))]
-            for const, block in inst.cases:
-                if const.value == value:
-                    return block
-            return inst.default
-        if isinstance(inst, UnreachableInst):
-            raise UBError("reached unreachable")
-        raise NotImplementedError(f"terminator {inst.opcode}")
 
 
 def _any_poison(v: RuntimeValue) -> bool:
@@ -636,10 +974,11 @@ def run_once(fn: Function, args: Sequence[RuntimeValue],
              config: SemanticsConfig = NEW,
              choices: Optional[List[int]] = None,
              global_init: Optional[Dict[str, Bits]] = None,
-             fuel: int = 10_000) -> Behavior:
+             fuel: int = 10_000,
+             plans: Optional[PlanCache] = None) -> Behavior:
     """Execute one oracle path (default choices = all zeros)."""
     oracle = Oracle(choices)
-    interp = Interpreter(config, oracle, fuel=fuel)
+    interp = Interpreter(config, oracle, fuel=fuel, plans=plans)
     return interp.run(fn, args, global_init=global_init)
 
 
@@ -648,8 +987,21 @@ def enumerate_behaviors(fn: Function, args: Sequence[RuntimeValue],
                         global_init: Optional[Dict[str, Bits]] = None,
                         max_paths: int = 4096,
                         max_choices: int = 24,
-                        fuel: int = 10_000) -> frozenset:
-    """The full set of observable behaviors on the given input."""
+                        fuel: int = 10_000,
+                        plans: Optional[PlanCache] = None,
+                        stop_on_ub: bool = False) -> frozenset:
+    """The full set of observable behaviors on the given input.
+
+    ``plans`` shares compiled execution plans across calls (the
+    refinement checker passes one per function so compilation happens
+    once per check, not once per input).  ``stop_on_ub=True`` stops the
+    enumeration as soon as one UB behavior is found — the returned set
+    is then a *subset* of the behaviors that is sufficient for callers
+    who only need to know that UB is reachable (UB licenses every
+    refinement, so the source side of a check never needs more).
+    """
+    if plans is None or plans.config != config:
+        plans = PlanCache(config)
     behaviors = set()
     choices: Optional[List[int]] = []
     paths = 0
@@ -660,7 +1012,10 @@ def enumerate_behaviors(fn: Function, args: Sequence[RuntimeValue],
                 f"more than {max_paths} paths for @{fn.name}"
             )
         oracle = Oracle(choices, max_choices=max_choices)
-        interp = Interpreter(config, oracle, fuel=fuel)
-        behaviors.add(interp.run(fn, args, global_init=global_init))
+        interp = Interpreter(config, oracle, fuel=fuel, plans=plans)
+        behavior = interp.run(fn, args, global_init=global_init)
+        behaviors.add(behavior)
+        if stop_on_ub and behavior.kind == UB:
+            break
         choices = oracle.next_choice_vector()
     return frozenset(behaviors)

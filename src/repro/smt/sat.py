@@ -133,6 +133,8 @@ class SatSolver:
         self._enqueue(lit, None)
 
     def _backtrack(self, target_level: int) -> None:
+        if target_level >= self.decision_level:
+            return  # already at (or below) the target: nothing to undo
         while len(self.trail) > self.trail_lim[target_level]:
             lit = self.trail.pop()
             v = abs(lit)

@@ -1,0 +1,84 @@
+"""Memory initial-content enumeration corners (``_bit_patterns``).
+
+The audit behind these tests: OLD-mode uninitialized memory is *undef*,
+so even under the no-poison-in-memory reading the candidate set must
+keep its undef patterns — dropping them silently narrowed the checked
+state space.  Conversely NEW-mode uninitialized memory is poison, so
+with poison excluded from memory the all-uninit pattern is not a legal
+state and must not be enumerated.
+"""
+
+from repro.refine.exhaustive import _bit_patterns, input_candidates
+from repro.ir.types import IntType
+from repro.semantics import NEW, OLD
+from repro.semantics.domains import PBIT, UBIT, full_undef
+
+
+def _has(patterns, bit):
+    return any(bit in p for p in patterns)
+
+
+class TestSmallRegions:
+    def test_old_no_poison_keeps_undef(self):
+        patterns = _bit_patterns(2, OLD, poison_in_memory=False)
+        assert (UBIT, UBIT) in patterns  # the uninitialized state
+        assert _has(patterns, UBIT)
+        assert not _has(patterns, PBIT)
+
+    def test_new_no_poison_drops_uninit_pattern(self):
+        # NEW uninit is poison; with poison barred from memory the
+        # all-uninit pattern is not a representable state.
+        patterns = _bit_patterns(2, NEW, poison_in_memory=False)
+        assert not _has(patterns, PBIT)
+        assert not _has(patterns, UBIT)  # NEW has no undef at all
+        assert (0, 0) in patterns and (1, 1) in patterns
+
+    def test_new_with_poison_keeps_uninit_pattern(self):
+        patterns = _bit_patterns(2, NEW, poison_in_memory=True)
+        assert (PBIT, PBIT) in patterns
+        assert not _has(patterns, UBIT)
+
+    def test_old_exhaustive_covers_mixed_undef(self):
+        patterns = _bit_patterns(2, OLD, poison_in_memory=True)
+        assert (UBIT, 0) in patterns and (0, UBIT) in patterns
+
+
+class TestLargeRegions:
+    def test_old_large_region_keeps_partial_undef(self):
+        # Large regions fall back to a fixed candidate list; it must
+        # still include a partially-undef pattern in OLD mode even with
+        # poison excluded (the regression this file guards).
+        patterns = _bit_patterns(16, OLD, poison_in_memory=False)
+        assert (UBIT,) * 16 in patterns
+        assert (UBIT,) + (0,) * 15 in patterns
+        assert not _has(patterns, PBIT)
+
+    def test_new_large_region_no_poison_is_concrete_only(self):
+        patterns = _bit_patterns(16, NEW, poison_in_memory=False)
+        assert patterns  # never empty
+        assert not _has(patterns, PBIT)
+        assert not _has(patterns, UBIT)
+
+    def test_large_region_poison_pattern_gated(self):
+        with_p = _bit_patterns(16, NEW, poison_in_memory=True)
+        assert (PBIT,) + (0,) * 15 in with_p
+
+    def test_no_duplicates(self):
+        for config in (OLD, NEW):
+            for nbits in (2, 16):
+                for pim in (True, False):
+                    patterns = _bit_patterns(nbits, config,
+                                             poison_in_memory=pim)
+                    assert len(patterns) == len(set(patterns))
+
+
+class TestInputCandidates:
+    def test_old_includes_full_undef(self):
+        i2 = IntType(2)
+        values = input_candidates(i2, OLD)
+        assert full_undef(2) in values
+
+    def test_new_excludes_undef_even_when_requested(self):
+        i2 = IntType(2)
+        values = input_candidates(i2, NEW, undef_inputs=True)
+        assert full_undef(2) not in values

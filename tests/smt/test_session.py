@@ -1,0 +1,123 @@
+"""The incremental :class:`SolverSession` must answer every query
+exactly as a fresh one-shot solver would — circuits and learned clauses
+are shared across queries, so the risk this file guards is *state
+leakage*: one query's assertions or conflict analysis polluting the
+next answer."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import SAT, UNSAT, Solver, SolverSession
+from repro.smt import terms as T
+
+W = 6
+
+
+def _one_shot(term):
+    solver = Solver()
+    solver.add(term)
+    return solver.check(), solver
+
+
+class TestSessionAgreesWithOneShot:
+    def test_mixed_sat_unsat_sequence(self):
+        x = T.bv_var("x", W)
+        y = T.bv_var("y", W)
+        queries = [
+            T.eq(T.bvadd(x, y), T.bv_const(5, W)),                 # SAT
+            T.and_(T.ult(x, y), T.ult(y, x)),                      # UNSAT
+            T.eq(T.bvmul(x, x), T.bv_const(4, W)),                 # SAT
+            T.not_(T.eq(T.bvadd(x, y), T.bvadd(y, x))),            # UNSAT
+            T.and_(T.eq(x, T.bv_const(3, W)),
+                   T.eq(T.bvsub(x, y), T.bv_const(1, W))),         # SAT
+        ]
+        session = SolverSession()
+        for q in queries:
+            expected, _ = _one_shot(q)
+            assert session.check(q) == expected
+
+    def test_queries_are_independent(self):
+        # The second query contradicts the first; a session that
+        # conjoined them would wrongly answer UNSAT.
+        x = T.bv_var("x", W)
+        session = SolverSession()
+        assert session.check(T.eq(x, T.bv_const(1, W))) == SAT
+        assert session.check(T.eq(x, T.bv_const(2, W))) == SAT
+
+    def test_recovers_after_unsat(self):
+        p = T.bool_var("p")
+        session = SolverSession()
+        assert session.check(T.and_(p, T.not_(p))) == UNSAT
+        assert session.check(p) == SAT
+        assert session.model_bool(p) is True
+
+    def test_repeated_identical_query(self):
+        x = T.bv_var("x", W)
+        q = T.eq(T.bvmul(x, T.bv_const(3, W)), T.bv_const(9, W))
+        session = SolverSession()
+        assert session.check(q) == SAT
+        first = session.model_bv(x)
+        assert session.check(q) == SAT
+        assert session.model_bv(x) == first  # deterministic solver
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, (1 << W) - 1),
+                              st.integers(0, (1 << W) - 1)),
+                    min_size=1, max_size=6))
+    def test_random_equation_sequence(self, pairs):
+        x = T.bv_var("x", W)
+        session = SolverSession()
+        for a, b in pairs:
+            q = T.eq(T.bvadd(x, T.bv_const(a, W)), T.bv_const(b, W))
+            expected, _ = _one_shot(q)
+            assert session.check(q) == expected
+            if expected == SAT:
+                got = session.model_bv(x)
+                assert (got + a) % (1 << W) == b
+
+
+class TestSessionModels:
+    def test_model_satisfies_query(self):
+        x = T.bv_var("x", W)
+        y = T.bv_var("y", W)
+        q = T.and_(T.eq(T.bvadd(x, y), T.bv_const(10, W)),
+                   T.ult(x, T.bv_const(3, W)))
+        session = SolverSession()
+        assert session.check(q) == SAT
+        mx, my = session.model_bv(x), session.model_bv(y)
+        assert (mx + my) % (1 << W) == 10
+        assert mx < 3
+
+    def test_model_survives_snapshot(self):
+        # Models are snapshotted at SAT time; reading one after another
+        # query's backtrack must still reflect the *snapshotted* trail.
+        x = T.bv_var("x", W)
+        session = SolverSession()
+        assert session.check(T.eq(x, T.bv_const(7, W))) == SAT
+        assert session.model_bv(x) == 7
+
+    def test_unconstrained_var_defaults(self):
+        p = T.bool_var("never_used")
+        z = T.bv_var("never_used_bv", W)
+        session = SolverSession()
+        assert session.check(T.bool_var("q")) == SAT
+        assert session.model_bool(p) is False
+        assert session.model_bv(z) == 0
+
+
+class TestSessionReuse:
+    def test_circuits_are_reused_across_queries(self):
+        x = T.bv_var("x", W)
+        y = T.bv_var("y", W)
+        shared = T.bvmul(x, y)  # expensive subcircuit
+        session = SolverSession()
+        session.check(T.eq(shared, T.bv_const(6, W)))
+        hits_before = session.blaster.cache_hits
+        session.check(T.eq(shared, T.bv_const(8, W)))
+        assert session.blaster.cache_hits > hits_before
+
+    def test_query_counter(self):
+        p = T.bool_var("p")
+        session = SolverSession()
+        session.check(p)
+        session.check(T.not_(p))
+        assert session.queries == 2
