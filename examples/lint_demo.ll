@@ -1,0 +1,64 @@
+; Demo input for `python -m repro lint` — each function fires exactly one
+; rule, so CI can assert the complete rule-ID set:
+;
+; * @branchy   -> branch-on-maybe-poison  (nsw overflow feeds a branch)
+; * @sinky     -> ub-sink-reaches-poison  (nuw overflow feeds a divisor)
+; * @frosty    -> redundant-freeze        (dominating branch already
+;                 proved %x non-poison: branch-on-poison is UB)
+; * @hoisted   -> missing-freeze-on-hoist (unswitched dispatch on an
+;                 unfrozen condition)
+; * @deadflag  -> dead-on-poison-flag     (nsw on an unused result)
+
+define i8 @branchy(i8 %x) {
+entry:
+  %cmp.of = add nsw i8 %x, 1
+  %c = icmp eq i8 %cmp.of, 0
+  br i1 %c, label %t, label %e
+t:
+  ret i8 1
+e:
+  ret i8 0
+}
+
+define i8 @sinky(i8 %x, i8 %y) {
+entry:
+  %p = mul nuw i8 %x, 2
+  %q = udiv i8 %y, %p
+  ret i8 %q
+}
+
+define i8 @frosty(i8 %x) {
+entry:
+  %c = icmp ult i8 %x, 10
+  br i1 %c, label %use, label %out
+use:
+  %f = freeze i8 %x
+  ret i8 %f
+out:
+  ret i8 0
+}
+
+define i8 @hoisted(i8 %n, i1 %inv) {
+entry:
+  br i1 %inv, label %head, label %head.us
+head:
+  %i = phi i8 [ 0, %entry ], [ %next, %head ]
+  %next = add i8 %i, 1
+  %cmp = icmp ult i8 %next, 4
+  br i1 %cmp, label %head, label %exit
+head.us:
+  %j = phi i8 [ 0, %entry ], [ %jnext, %head.us ]
+  %jnext = add i8 %j, 2
+  %jcmp = icmp ult i8 %jnext, 4
+  br i1 %jcmp, label %head.us, label %exit
+exit:
+  %r = phi i8 [ %next, %head ], [ %jnext, %head.us ]
+  ret i8 %r
+}
+
+define i8 @deadflag(i8 %x, i8 %y) {
+entry:
+  %dead = add nsw i8 %x, %y
+  %sum = add i8 %x, %y
+  ret i8 %sum
+}

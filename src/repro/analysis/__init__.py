@@ -9,6 +9,16 @@ from .cfg import (
 )
 from .dominators import DominatorTree
 from .loops import Loop, LoopInfo
+from .poison_flow import (
+    MAY_POISON,
+    MUST_NOT_POISON,
+    MUST_POISON,
+    PoisonFact,
+    PoisonFlowResult,
+    analyze_poison_flow,
+    join_facts,
+    taint_sources,
+)
 from .scalar_evolution import AddRec, ScalarEvolution
 from .value_tracking import (
     KnownBits,
@@ -22,6 +32,9 @@ __all__ = [
     "postorder", "predecessor_map", "reachable_blocks",
     "remove_unreachable_blocks", "reverse_postorder",
     "DominatorTree", "Loop", "LoopInfo", "AddRec", "ScalarEvolution",
+    "MAY_POISON", "MUST_NOT_POISON", "MUST_POISON",
+    "PoisonFact", "PoisonFlowResult", "analyze_poison_flow",
+    "join_facts", "taint_sources",
     "KnownBits", "compute_known_bits", "is_guaranteed_not_poison",
     "is_known_nonzero", "is_known_power_of_two",
 ]

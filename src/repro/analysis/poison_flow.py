@@ -1,0 +1,612 @@
+"""Flow-sensitive poison dataflow: the fixpoint companion to
+:func:`~repro.analysis.value_tracking.is_guaranteed_not_poison`.
+
+Section 5.6 of the paper ("Pitfall 2") splits static facts into
+*up-to-poison* facts (known bits) and poison-freedom facts.  The shallow
+recursive walk in :mod:`value_tracking` proves the latter only for
+straight-line expression trees.  This module computes the same property
+as a forward dataflow over the whole function:
+
+* **Lattice** (per SSA value)::
+
+      MustPoison ⊑ MayPoison ⊒ MustNotPoison
+
+  ``MustNotPoison`` — every execution reaching the def produces a fully
+  defined value (no poison, no undef bits).  ``MustPoison`` — every
+  execution reaching the def produces poison.  ``MayPoison`` is top;
+  an internal ``Bottom`` (never executed / not yet seen) is the phi
+  join identity, exactly as in sparse conditional constant propagation.
+
+* **Transfer functions** follow the paper's Fig. 5 semantics (mirrored
+  executably in :mod:`repro.semantics.eval`): the flag-carrying ops
+  (``nsw``/``nuw``/``exact``) and out-of-range shifts *generate*
+  poison; ordinary arithmetic, ``icmp``, casts and ``getelementptr``
+  *propagate* it; and the three poison-blocking instructions behave per
+  the semantics config — ``freeze`` always blocks, ``phi`` joins only
+  executed edges, ``select`` blocks the unchosen arm under the
+  CONDITIONAL reading (and none under ARITHMETIC).
+
+* **Dominating-branch refinement**: under branch-on-poison-is-UB, a use
+  strictly dominated by ``br i1 (icmp ... %v ...)`` cannot observe a
+  poison ``%v`` — if ``%v`` were poison the branch itself was UB — so
+  the fact is strengthened to ``MustNotPoison`` at that use.  This is
+  what makes the analysis *flow-sensitive*: the same SSA value can be
+  ``MayPoison`` at its def and ``MustNotPoison`` inside a guarded block.
+
+* **Memory** is handled conservatively through the existing bit-level
+  model: a load forwards the stored fact only from a same-block store
+  to the *same pointer SSA value* with no intervening write or call;
+  anything else is ``MayPoison`` with an external origin.
+
+Every fact additionally carries its *origins* — which poison sources
+taint it.  Origins distinguish poison *generated* inside the function
+(flag ops, oob shifts, ``poison``/``undef`` literals) from values that
+are merely *external* (arguments, calls, loads).  The lint rules key on
+this: branching on an argument is everyday IR, branching on an
+``nsw``-generated maybe-poison is a latent bug.
+
+Soundness of every ``Must*`` claim is differentially validated against
+:func:`~repro.semantics.interp.enumerate_behaviors` by
+``python -m repro campaign lint-audit`` (and the hypothesis property in
+``tests/analysis/test_poison_flow.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from ..diag import Statistic
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    DIVISION_OPCODES,
+    ExtractElementInst,
+    FreezeInst,
+    GepInst,
+    IcmpInst,
+    InsertElementInst,
+    Instruction,
+    LoadInst,
+    Opcode,
+    PhiInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+)
+from ..ir.types import IntType
+from ..ir.values import (
+    Argument,
+    Constant,
+    ConstantInt,
+    ConstantVector,
+    GlobalVariable,
+    PoisonValue,
+    UndefValue,
+    Value,
+)
+from ..semantics.config import (
+    NEW,
+    BranchOnPoison,
+    SelectSemantics,
+    SemanticsConfig,
+)
+from .dominators import DominatorTree
+
+NUM_FUNCTIONS_ANALYZED = Statistic(
+    "poison-flow", "num-functions-analyzed",
+    "Functions run through the poison dataflow fixpoint")
+NUM_FIXPOINT_ITERATIONS = Statistic(
+    "poison-flow", "num-fixpoint-iterations",
+    "Total RPO sweeps until the poison dataflow stabilized")
+NUM_REFINED_USES = Statistic(
+    "poison-flow", "num-branch-refinements",
+    "Facts strengthened to MustNotPoison by a dominating branch")
+
+# Lattice states.  BOTTOM is internal (phi join identity).
+BOTTOM = "bottom"
+MUST_NOT_POISON = "must-not-poison"
+MAY_POISON = "may-poison"
+MUST_POISON = "must-poison"
+
+#: Origin kinds: where a (maybe-)poison taint comes from.
+ORIGIN_GENERATED = "generated"   # flag op / oob shift / inbounds gep inside fn
+ORIGIN_LITERAL = "literal"       # poison / undef constant in the IR
+ORIGIN_EXTERNAL = "external"     # argument, call result, loaded memory
+
+#: One origin: (kind, human-readable description).
+Origin = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class PoisonFact:
+    """One lattice element: state plus the taint origins behind it."""
+
+    state: str
+    origins: FrozenSet[Origin] = frozenset()
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.state == BOTTOM
+
+    @property
+    def is_must_not_poison(self) -> bool:
+        return self.state == MUST_NOT_POISON
+
+    @property
+    def is_must_poison(self) -> bool:
+        return self.state == MUST_POISON
+
+    @property
+    def may_be_poison(self) -> bool:
+        return self.state in (MAY_POISON, MUST_POISON)
+
+    @property
+    def has_generated_origin(self) -> bool:
+        """Does any taint originate *inside* the function (a flag op,
+        oob shift, or a poison/undef literal)?  The lint rules use this
+        to separate latent bugs from ordinary unknown inputs."""
+        return any(k in (ORIGIN_GENERATED, ORIGIN_LITERAL)
+                   for k, _ in self.origins)
+
+    def describe_origins(self, limit: int = 3) -> str:
+        descs = sorted(d for _, d in self.origins)
+        if not descs:
+            return ""
+        shown = ", ".join(descs[:limit])
+        if len(descs) > limit:
+            shown += f", ... ({len(descs) - limit} more)"
+        return shown
+
+    def __str__(self) -> str:
+        return self.state
+
+
+FACT_BOTTOM = PoisonFact(BOTTOM)
+FACT_MUST_NOT = PoisonFact(MUST_NOT_POISON)
+
+
+def _may(origins: FrozenSet[Origin]) -> PoisonFact:
+    return PoisonFact(MAY_POISON, origins)
+
+
+def _must(origins: FrozenSet[Origin]) -> PoisonFact:
+    return PoisonFact(MUST_POISON, origins)
+
+
+def join_facts(a: PoisonFact, b: PoisonFact) -> PoisonFact:
+    """Least upper bound in ``MustPoison ⊑ MayPoison ⊒ MustNotPoison``."""
+    if a.is_bottom:
+        return b
+    if b.is_bottom:
+        return a
+    origins = a.origins | b.origins
+    if a.state == b.state:
+        return PoisonFact(a.state, origins)
+    # Mixed Must/MustNot/May all meet at the top.
+    return PoisonFact(MAY_POISON, origins)
+
+
+def _propagate(operands, extra_origins=frozenset()):
+    """Plain taint propagation: poison in, poison out; blocked by
+    nothing.  ``operands`` is a list of PoisonFacts."""
+    if any(f.is_bottom for f in operands):
+        return FACT_BOTTOM
+    origins = frozenset().union(*(f.origins for f in operands)) \
+        if operands else frozenset()
+    origins |= extra_origins
+    if any(f.is_must_poison for f in operands):
+        return _must(origins)
+    if extra_origins:
+        return _may(origins)
+    if all(f.is_must_not_poison for f in operands):
+        return FACT_MUST_NOT
+    return _may(origins)
+
+
+class PoisonFlowResult:
+    """Queryable fixpoint of the poison dataflow for one function.
+
+    ``fact_of(value)`` is the context-free fact at the def;
+    ``fact_at(value, block)`` additionally applies dominating-branch
+    refinement for a use sited in ``block``.
+    """
+
+    def __init__(self, fn: Function, semantics: SemanticsConfig,
+                 facts: Dict[int, PoisonFact],
+                 refined: Dict[BasicBlock, Set[int]],
+                 iterations: int, pinned: Dict[int, Value]):
+        self.function = fn
+        self.semantics = semantics
+        self.iterations = iterations
+        self._facts = facts
+        self._refined = refined
+        # Keep every keyed object alive so id() keys can never be
+        # recycled onto new objects while this result is held.
+        self._pinned = pinned
+
+    # -- queries -----------------------------------------------------------
+    def fact_of(self, value: Value) -> PoisonFact:
+        """The fact at the def site (no use-site refinement)."""
+        fact = self._facts.get(id(value))
+        if fact is not None:
+            return fact
+        return constant_fact(value, self.semantics)
+
+    def fact_at(self, value: Value, block: Optional[BasicBlock]) -> PoisonFact:
+        """The fact for a use of ``value`` sited in ``block``, with
+        dominating-branch refinement applied."""
+        fact = self.fact_of(value)
+        if block is None or fact.is_must_not_poison or fact.is_bottom:
+            return fact
+        refined = self._refined.get(block)
+        if refined and id(value) in refined:
+            NUM_REFINED_USES.inc()
+            return FACT_MUST_NOT
+        return fact
+
+    def is_not_poison(self, value: Value,
+                      block: Optional[BasicBlock] = None) -> bool:
+        return self.fact_at(value, block).is_must_not_poison
+
+    # -- aggregates --------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        out = {MUST_NOT_POISON: 0, MAY_POISON: 0, MUST_POISON: 0, BOTTOM: 0}
+        for fact in self._facts.values():
+            out[fact.state] += 1
+        return out
+
+    def value_facts(self):
+        """Iterate ``(value, fact)`` over every analyzed def."""
+        for vid, fact in self._facts.items():
+            yield self._pinned[vid], fact
+
+
+def constant_fact(value: Value, semantics: SemanticsConfig) -> PoisonFact:
+    """Fact for a non-instruction operand."""
+    if isinstance(value, PoisonValue):
+        return _must(frozenset({(ORIGIN_LITERAL, "poison literal")}))
+    if isinstance(value, UndefValue):
+        # Under NEW there is no undef: the interpreter executes a stray
+        # UndefValue as poison.  Under OLD it is undef — never *poison*,
+        # but never a defined value either, so MayPoison (top) is the
+        # only sound non-Must state.
+        if not semantics.has_undef:
+            return _must(frozenset({(ORIGIN_LITERAL, "undef literal")}))
+        return _may(frozenset({(ORIGIN_LITERAL, "undef literal")}))
+    if isinstance(value, ConstantVector):
+        facts = [constant_fact(e, semantics) for e in value.elements]
+        return _propagate(facts)
+    if isinstance(value, (ConstantInt, GlobalVariable)):
+        return FACT_MUST_NOT
+    if isinstance(value, Constant):
+        return FACT_MUST_NOT
+    if isinstance(value, Argument):
+        return _may(frozenset({(ORIGIN_EXTERNAL, f"argument {value.ref()}")}))
+    # Unknown value kinds: top.
+    return _may(frozenset({(ORIGIN_EXTERNAL, "unknown value")}))
+
+
+def taint_sources(cond: Value, limit: int = 64) -> Set[int]:
+    """ids of values ``v`` with the property *v poison ⇒ cond poison*
+    (or an earlier instruction was immediate UB).
+
+    This is the backwards closure through poison-*propagating* ops only;
+    the poison blockers (``freeze``, ``select`` arms, ``phi``) stop it.
+    A conditional branch on ``cond`` therefore proves every one of these
+    values non-poison in strictly dominated blocks (branch-on-poison is
+    UB, so execution continuing past the branch refutes poison).
+    """
+    sources: Set[int] = set()
+    work = [cond]
+    while work and len(sources) < limit:
+        v = work.pop()
+        if id(v) in sources:
+            continue
+        if isinstance(v, (Constant,)):
+            continue
+        sources.add(id(v))
+        if isinstance(v, (BinaryInst, IcmpInst)):
+            # All binary ops propagate operand poison; for divisions a
+            # poison divisor is immediate UB, which also refutes
+            # reaching the dominated use.
+            work.append(v.operand(0))
+            work.append(v.operand(1))
+        elif isinstance(v, CastInst):
+            work.append(v.value)
+        elif isinstance(v, SelectInst):
+            # Only the condition is unconditionally observed; either arm
+            # may be the unchosen (blocked) one.
+            work.append(v.cond)
+        elif isinstance(v, GepInst):
+            work.append(v.pointer)
+            work.append(v.index)
+        # freeze / phi / load / call: blockers or unknown provenance.
+    return sources
+
+
+class _Analyzer:
+    def __init__(self, fn: Function, semantics: SemanticsConfig):
+        self.fn = fn
+        self.semantics = semantics
+        self.facts: Dict[int, PoisonFact] = {}
+        self.pinned: Dict[int, Value] = {}
+        self.dt = DominatorTree(fn)
+        self.rpo = self.dt.rpo
+        # Values proven non-poison *on entry* to each block by branches
+        # in strict dominators, and *on exit* (adds the block's own
+        # conditional terminator, for phi edges out of it).
+        self.refined_in: Dict[BasicBlock, Set[int]] = {}
+        self.refined_out: Dict[BasicBlock, Set[int]] = {}
+        self._compute_refinements()
+
+    # -- dominating-branch refinement -------------------------------------
+    def _compute_refinements(self) -> None:
+        branch_is_ub = (
+            self.semantics.branch_on_poison is BranchOnPoison.UB
+        )
+        own: Dict[BasicBlock, Set[int]] = {}
+        for block in self.rpo:
+            sources: Set[int] = set()
+            if branch_is_ub:
+                term = block.terminator
+                if isinstance(term, BranchInst) and term.is_conditional:
+                    sources = taint_sources(term.cond)
+                elif isinstance(term, SwitchInst):
+                    sources = taint_sources(term.value)
+            own[block] = sources
+        for block in self.rpo:
+            inherited: Set[int] = set()
+            dom = self.dt.idom.get(block)
+            while dom is not None:
+                inherited |= own[dom]
+                dom = self.dt.idom.get(dom)
+            self.refined_in[block] = inherited
+            self.refined_out[block] = inherited | own[block]
+
+    # -- fixpoint ----------------------------------------------------------
+    def run(self) -> PoisonFlowResult:
+        for arg in self.fn.args:
+            self._set(arg, constant_fact(arg, self.semantics))
+        iterations = 0
+        changed = True
+        while changed:
+            changed = False
+            iterations += 1
+            NUM_FIXPOINT_ITERATIONS.inc()
+            for block in self.rpo:
+                for inst in block.instructions:
+                    if inst.type.is_void:
+                        continue
+                    new = self._transfer(inst)
+                    old = self.facts.get(id(inst), FACT_BOTTOM)
+                    if new != old:
+                        self._set(inst, new)
+                        changed = True
+            if iterations > 2 * len(self.rpo) + 8:  # pragma: no cover
+                break  # safety net; the lattice is finite, so unreached
+        NUM_FUNCTIONS_ANALYZED.inc()
+        return PoisonFlowResult(self.fn, self.semantics, self.facts,
+                                self.refined_in, iterations, self.pinned)
+
+    def _set(self, value: Value, fact: PoisonFact) -> None:
+        self.facts[id(value)] = fact
+        self.pinned[id(value)] = value
+
+    def _operand_fact(self, value: Value, block: BasicBlock,
+                      refined: Set[int]) -> PoisonFact:
+        if isinstance(value, Instruction) or isinstance(value, Argument):
+            fact = self.facts.get(id(value), FACT_BOTTOM)
+            if isinstance(value, Argument) and fact.is_bottom:
+                fact = constant_fact(value, self.semantics)
+        else:
+            fact = constant_fact(value, self.semantics)
+        if fact.is_must_not_poison or fact.is_bottom:
+            return fact
+        if id(value) in refined:
+            return FACT_MUST_NOT
+        return fact
+
+    # -- transfer functions ------------------------------------------------
+    def _transfer(self, inst: Instruction) -> PoisonFact:
+        block = inst.parent
+        refined = self.refined_in[block] if block in self.refined_in \
+            else set()
+        opf = lambda v: self._operand_fact(v, block, refined)  # noqa: E731
+
+        if isinstance(inst, FreezeInst):
+            # The whole point of freeze: always a defined value.
+            return FACT_MUST_NOT
+
+        if isinstance(inst, BinaryInst):
+            return self._transfer_binary(inst, opf)
+
+        if isinstance(inst, IcmpInst):
+            return _propagate([opf(inst.lhs), opf(inst.rhs)])
+
+        if isinstance(inst, CastInst):
+            return _propagate([opf(inst.value)])
+
+        if isinstance(inst, SelectInst):
+            return self._transfer_select(inst, opf)
+
+        if isinstance(inst, PhiInst):
+            return self._transfer_phi(inst)
+
+        if isinstance(inst, LoadInst):
+            return self._transfer_load(inst, opf)
+
+        if isinstance(inst, AllocaInst):
+            return FACT_MUST_NOT  # a fresh address is a defined value
+
+        if isinstance(inst, CallInst):
+            callee = getattr(inst.callee, "name", "?")
+            return _may(frozenset({(ORIGIN_EXTERNAL, f"call @{callee}")}))
+
+        if isinstance(inst, GepInst):
+            extra = frozenset()
+            if getattr(inst, "inbounds", False):
+                extra = frozenset({
+                    (ORIGIN_GENERATED,
+                     f"{inst.ref()} (getelementptr inbounds)")})
+            return _propagate([opf(inst.pointer), opf(inst.index)], extra)
+
+        if isinstance(inst, ExtractElementInst):
+            return self._transfer_indexed(inst, [opf(inst.vector)],
+                                          inst.index, opf)
+        if isinstance(inst, InsertElementInst):
+            return self._transfer_indexed(
+                inst, [opf(inst.vector), opf(inst.element)], inst.index, opf)
+
+        # Unknown value-producing instruction: top, external.
+        return _may(frozenset({(ORIGIN_EXTERNAL,
+                                f"{inst.opcode.value} result")}))
+
+    def _transfer_binary(self, inst: BinaryInst, opf) -> PoisonFact:
+        fa, fb = opf(inst.lhs), opf(inst.rhs)
+        if fa.is_bottom or fb.is_bottom:
+            return FACT_BOTTOM
+
+        extra: FrozenSet[Origin] = frozenset()
+        flags = []
+        if inst.nsw:
+            flags.append("nsw")
+        if inst.nuw:
+            flags.append("nuw")
+        if inst.exact:
+            flags.append("exact")
+        if flags:
+            extra = frozenset({
+                (ORIGIN_GENERATED,
+                 f"{inst.ref()} ({inst.opcode.value} {' '.join(flags)})")})
+
+        if inst.opcode in (Opcode.SHL, Opcode.LSHR, Opcode.ASHR):
+            if not self._shift_amount_in_range(inst):
+                extra |= frozenset({
+                    (ORIGIN_GENERATED,
+                     f"{inst.ref()} (shift amount may be out of range)")})
+
+        if inst.opcode in DIVISION_OPCODES:
+            # A zero or poison divisor is *immediate* UB (not poison),
+            # so if the division executes and returns, only the dividend
+            # and the exact flag can make the result poison.
+            if fa.is_must_poison:
+                return _must(fa.origins | extra)
+            if extra:
+                return _may(fa.origins | fb.origins | extra)
+            if fa.is_must_not_poison:
+                return FACT_MUST_NOT
+            return _may(fa.origins | fb.origins)
+
+        if fa.is_must_poison or fb.is_must_poison:
+            # Poison propagates through every non-division binary op
+            # regardless of flags.
+            return _must(fa.origins | fb.origins | extra)
+        return _propagate([fa, fb], extra)
+
+    def _shift_amount_in_range(self, inst: BinaryInst) -> bool:
+        from .value_tracking import compute_known_bits
+
+        if not isinstance(inst.type, IntType):
+            return False
+        width = inst.type.bits
+        rhs = inst.rhs
+        if isinstance(rhs, ConstantInt):
+            return rhs.value < width
+        if isinstance(rhs, Instruction):
+            return compute_known_bits(rhs).max_unsigned < width
+        return False
+
+    def _transfer_select(self, inst: SelectInst, opf) -> PoisonFact:
+        fc, ft, ff = opf(inst.cond), opf(inst.true_value), \
+            opf(inst.false_value)
+        if fc.is_bottom or ft.is_bottom or ff.is_bottom:
+            return FACT_BOTTOM
+        sel = self.semantics.select_semantics
+        if sel is SelectSemantics.ARITHMETIC:
+            # Poison if *any* input is poison: a plain ternary op.
+            return _propagate([fc, ft, ff])
+        arms = join_facts(ft, ff)
+        if sel in (SelectSemantics.UB_COND, SelectSemantics.NONDET_COND):
+            # A poison condition never yields a poison *result* (it is
+            # UB, or a nondet pick of a defined arm); only the arms
+            # matter for the result fact.
+            return arms
+        # CONDITIONAL (Fig. 5): poison cond poisons the result, a
+        # defined cond passes through only the chosen arm.
+        if fc.is_must_poison:
+            return _must(fc.origins)
+        if fc.is_must_not_poison:
+            return arms
+        if arms.is_must_poison:
+            return _must(fc.origins | arms.origins)
+        return _may(fc.origins | arms.origins)
+
+    def _transfer_phi(self, inst: PhiInst) -> PoisonFact:
+        # Phi blocks poison from non-executed edges: join only over
+        # incoming edges, each refined by the facts proven at the *end*
+        # of the incoming block (its own conditional branch included —
+        # traversing the edge means the branch executed without UB).
+        result = FACT_BOTTOM
+        for value, pred in inst.incoming:
+            if value is inst:
+                continue
+            refined = self.refined_out.get(pred, set())
+            fact = self._operand_fact(value, pred, refined)
+            result = join_facts(result, fact)
+        return result
+
+    def _transfer_load(self, inst: LoadInst, opf) -> PoisonFact:
+        # Conservative bit-level memory handling: forward the stored
+        # fact only from a same-block store to the same pointer SSA
+        # value with no intervening may-write instruction.
+        block = inst.parent
+        seen_self = False
+        forwarded: Optional[PoisonFact] = None
+        for other in reversed(block.instructions):
+            if other is inst:
+                seen_self = True
+                continue
+            if not seen_self:
+                continue
+            if isinstance(other, StoreInst) and other.pointer is inst.pointer:
+                forwarded = opf(other.value)
+                break
+            if other.may_write_memory or isinstance(other, CallInst):
+                break
+        if forwarded is not None:
+            if forwarded.is_bottom:
+                return FACT_BOTTOM
+            return forwarded
+        return _may(frozenset({
+            (ORIGIN_EXTERNAL, f"{inst.ref()} (load from memory)")}))
+
+    def _transfer_indexed(self, inst, operand_facts, index: Value,
+                          opf) -> PoisonFact:
+        # extract/insertelement: an out-of-range or poison index makes
+        # the result poison.
+        facts = list(operand_facts) + [opf(index)]
+        count = getattr(getattr(inst, "vector", inst).type, "count", None)
+        in_range = (
+            isinstance(index, ConstantInt)
+            and count is not None and index.value < count
+        )
+        extra: FrozenSet[Origin] = frozenset()
+        if not in_range:
+            extra = frozenset({
+                (ORIGIN_GENERATED,
+                 f"{inst.ref()} (element index may be out of range)")})
+        return _propagate(facts, extra)
+
+
+def analyze_poison_flow(fn: Function,
+                        semantics: SemanticsConfig = NEW) -> PoisonFlowResult:
+    """Run the fixpoint dataflow; returns a queryable result."""
+    if fn.is_declaration:
+        return PoisonFlowResult(fn, semantics, {}, {}, 0, {})
+    return _Analyzer(fn, semantics).run()

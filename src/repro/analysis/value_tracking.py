@@ -259,10 +259,22 @@ def is_known_power_of_two(value: Value, depth: int = 6) -> bool:
     return False
 
 
-def is_guaranteed_not_poison(value: Value, depth: int = 6) -> bool:
+def is_guaranteed_not_poison(value: Value, depth: int = 6,
+                             flow=None, block=None) -> bool:
     """Sound (not up-to-poison) analysis: can ``value`` ever be poison or
     undef?  This is the companion API Section 5.6 says hoisting clients
-    need."""
+    need.
+
+    When the caller holds a
+    :class:`~repro.analysis.poison_flow.PoisonFlowResult` for the
+    enclosing function, passing it as ``flow`` (optionally with the use
+    site's ``block`` for dominating-branch refinement) delegates to the
+    fixpoint dataflow, which is strictly stronger than the local walk
+    (phis through loops, guarded blocks).  The cheap walk remains the
+    no-context fallback, so existing call sites keep working unchanged.
+    """
+    if flow is not None and flow.is_not_poison(value, block):
+        return True
     if isinstance(value, ConstantInt):
         return True
     if isinstance(value, (PoisonValue, UndefValue)):

@@ -132,6 +132,38 @@ def _build_parser() -> argparse.ArgumentParser:
                               "checkpoint")
     rep.add_argument("--out", default=DEFAULT_OUT)
     rep.add_argument("--json", action="store_true")
+
+    audit = sub.add_parser(
+        "lint-audit",
+        help="differentially validate the poison dataflow (and hence "
+             "every lint verdict) against the executable semantics")
+    audit.add_argument("--width", type=int, default=2)
+    audit.add_argument("--instructions", type=int, default=2)
+    audit.add_argument("--num-args", type=int, default=2,
+                       dest="num_args")
+    audit.add_argument("--opcodes", default="add,mul,udiv,shl",
+                       help="comma-separated opcode names (default "
+                            "covers flag carriers, shifts, divisions)")
+    audit.add_argument("--include-flags", action="store_true",
+                       dest="include_flags", default=True)
+    audit.add_argument("--no-flags", action="store_false",
+                       dest="include_flags")
+    audit.add_argument("--no-deferred", action="store_false",
+                       dest="include_deferred",
+                       help="exclude undef/poison literals from "
+                            "operand pools")
+    audit.add_argument("--limit", type=int, default=500,
+                       help="functions to audit (default: 500)")
+    audit.add_argument("--start", type=int, default=0)
+    audit.add_argument("--stride", type=int, default=0,
+                       help="sample every Nth corpus index; 0 picks a "
+                            "stride spreading --limit over the whole "
+                            "space (default)")
+    audit.add_argument("--bundle-dir", default=None, dest="bundle_dir",
+                       help="write contradiction bundles here "
+                            "(default: <out>/lint-audit-bundles)")
+    audit.add_argument("--out", default=DEFAULT_OUT)
+    audit.add_argument("--json", action="store_true")
     return parser
 
 
@@ -269,8 +301,76 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint_audit(args: argparse.Namespace) -> int:
+    import os
+
+    from ..fuzz.optfuzz import enumeration_size
+    from ..ir import Opcode
+    from .lint_audit import AuditOptions, run_lint_audit
+
+    opcodes = tuple(
+        name.strip() for name in args.opcodes.split(",") if name.strip()
+    )
+    try:
+        for name in opcodes:
+            Opcode(name)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    stride = args.stride
+    if stride <= 0:
+        total = enumeration_size(
+            args.instructions, width=args.width, num_args=args.num_args,
+            opcodes=tuple(Opcode(n) for n in opcodes),
+            include_deferred=args.include_deferred,
+            include_flags=args.include_flags)
+        stride = max(1, total // max(1, args.limit))
+    bundle_dir = args.bundle_dir or os.path.join(args.out,
+                                                 "lint-audit-bundles")
+
+    def progress(done, bad):
+        print(f"  audited {done} function(s), "
+              f"{bad} contradiction(s)", file=sys.stderr)
+
+    report = run_lint_audit(
+        width=args.width, instructions=args.instructions,
+        num_args=args.num_args, opcodes=opcodes,
+        include_flags=args.include_flags,
+        include_deferred=args.include_deferred,
+        limit=args.limit, start=args.start, stride=stride,
+        opts=AuditOptions(bundle_dir=bundle_dir),
+        progress=progress if not args.json else None)
+
+    bad = report["contradictions"]
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        t = report["totals"]
+        print(f"lint-audit: {t['functions']} function(s), "
+              f"{t['claims']} claim(s) "
+              f"({t['must_not']} must-not-poison, {t['must']} "
+              f"must-poison), {t['observations']} observation(s)")
+        print(f"  silent verdicts validated: {t['silent_verdicts']}")
+        if report["lint_findings"]:
+            findings = ", ".join(f"{k}: {v}" for k, v in
+                                 report["lint_findings"].items())
+            print(f"  lint findings over the corpus: {findings}")
+        if bad:
+            print(f"  {len(bad)} CONTRADICTION(S) — analyzer soundness "
+                  f"bug(s); bundles under {bundle_dir}")
+            for c in bad[:5]:
+                print(f"    {c['function']}#{c['index']}: {c['claim']} "
+                      f"on {c['value']} refuted (observed "
+                      f"{c['observed_bits']})")
+        else:
+            print("  no contradictions: every claim consistent with "
+                  "the executable semantics")
+    return 1 if bad else 0
+
+
 def campaign_main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {"run": _cmd_run, "resume": _cmd_resume,
-                "reduce": _cmd_reduce, "report": _cmd_report}
+                "reduce": _cmd_reduce, "report": _cmd_report,
+                "lint-audit": _cmd_lint_audit}
     return handlers[args.command](args)

@@ -1,0 +1,386 @@
+"""Differential validation of the poison dataflow against the semantics.
+
+The lint rules are pure functions of the fixpoint facts, so the whole
+checker is sound exactly when the facts are: a ``MustNotPoison`` claim
+must mean the value is *never* poison/undef in any execution, and a
+``MustPoison`` claim must mean it always is.  This module checks both
+against the executable semantics, exhaustively, over the opt-fuzz
+corpus.
+
+The oracle is the observation-call trick: for every claimed value we
+insert ``call void @__lint_obs_K(%v)`` right after its definition in a
+parsed copy of the function.  External calls record their argument
+*bits* (including poison/undef bit markers) as events, so
+``enumerate_behaviors`` hands us the exact runtime value of ``%v`` on
+every path of every input — including inputs that are themselves poison
+— while conditional execution is handled for free (a value is only
+observed when its definition actually runs).
+
+Any contradiction is an analyzer soundness bug: it is reduced to the
+claimed value's backward slice and written as a crash bundle
+(``kind: lint-audit-soundness``) for offline triage, and the audit
+exits nonzero.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..analysis.poison_flow import (
+    MUST_NOT_POISON,
+    MUST_POISON,
+    analyze_poison_flow,
+)
+from ..diag import Statistic
+from ..fuzz import enumerate_functions
+from ..ir.function import Function
+from ..ir.instructions import (
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    Instruction,
+    Opcode,
+    PhiInst,
+)
+from ..ir.parser import parse_module
+from ..ir.printer import print_function, print_instruction
+from ..ir.types import FunctionType, VoidType
+from ..opt.resilience.bundle import make_bundle_payload, write_bundle
+from ..refine.exhaustive import input_candidates
+from ..semantics.domains import PBIT, UBIT
+from ..semantics.interp import enumerate_behaviors
+
+NUM_FUNCTIONS_AUDITED = Statistic(
+    "lint-audit", "num-functions-audited",
+    "Corpus functions differentially audited")
+NUM_CLAIMS_CHECKED = Statistic(
+    "lint-audit", "num-claims-checked",
+    "MustNotPoison / MustPoison claims validated against the semantics")
+NUM_OBSERVATIONS = Statistic(
+    "lint-audit", "num-observations",
+    "Individual value observations compared against claims")
+NUM_CONTRADICTIONS = Statistic(
+    "lint-audit", "num-contradictions",
+    "Analyzer claims contradicted by the executable semantics")
+
+_OBS_PREFIX = "__lint_obs_"
+
+_DIVISIONS = (Opcode.UDIV, Opcode.SDIV, Opcode.UREM, Opcode.SREM)
+
+
+@dataclass
+class AuditOptions:
+    max_inputs: int = 4096
+    max_paths: int = 512
+    max_choices: int = 16
+    fuel: int = 2000
+    bundle_dir: Optional[str] = None
+
+
+@dataclass
+class Contradiction:
+    """One refuted claim: the analyzer bug record."""
+
+    function: str
+    index: int
+    claim: str           # "must-not-poison" | "must-poison"
+    value_ref: str
+    inputs: Tuple
+    observed_bits: str
+    reduced_ir: str
+    bundle_path: str = ""
+
+    def as_dict(self) -> Dict:
+        return {
+            "function": self.function,
+            "index": self.index,
+            "claim": self.claim,
+            "value": self.value_ref,
+            "inputs": [str(v) for v in self.inputs],
+            "observed_bits": self.observed_bits,
+            "reduced_ir": self.reduced_ir,
+            "bundle": self.bundle_path,
+        }
+
+
+def _bits_str(bits) -> str:
+    def one(b) -> str:
+        if b is PBIT:
+            return "p"
+        if b is UBIT:
+            return "u"
+        return str(b)
+
+    return "".join(one(b) for b in reversed(bits))
+
+
+def _is_poisoned(bits) -> bool:
+    return any(b is PBIT or b is UBIT for b in bits)
+
+
+def _is_all_poison(bits) -> bool:
+    return all(b is PBIT for b in bits)
+
+
+def _collect_claims(fn: Function, semantics) -> List[Tuple[Instruction, str]]:
+    """(instruction, claim) pairs the fixpoint commits to on ``fn``."""
+    flow = analyze_poison_flow(fn, semantics)
+    claims: List[Tuple[Instruction, str]] = []
+    for block in fn.blocks:
+        for inst in block.instructions:
+            if inst.type.is_void or inst.is_terminator:
+                continue
+            fact = flow.fact_of(inst)
+            if fact.is_must_not_poison:
+                claims.append((inst, MUST_NOT_POISON))
+            elif fact.is_must_poison:
+                claims.append((inst, MUST_POISON))
+    return claims
+
+
+def _instrument(fn: Function,
+                claims: List[Tuple[Instruction, str]]) -> Dict[str, str]:
+    """Insert one observation call per claim; returns obs-name -> claim."""
+    module = fn.module
+    void = VoidType()
+    obs_map: Dict[str, str] = {}
+    for k, (inst, claim) in enumerate(claims):
+        name = f"{_OBS_PREFIX}{k}"
+        callee = module.declare(name, FunctionType(void, (inst.type,)))
+        call = CallInst(callee, [inst])
+        block = inst.parent
+        insts = block.instructions
+        anchor = insts[insts.index(inst) + 1]
+        while isinstance(anchor, PhiInst):  # keep phis contiguous
+            anchor = insts[insts.index(anchor) + 1]
+        block.insert_before(anchor, call)
+        obs_map[name] = claim
+    return obs_map
+
+
+def _slice_refs(inst: Instruction) -> List[Instruction]:
+    """Backward slice of ``inst`` over instruction operands, in a
+    deterministic def-before-use order."""
+    seen = {id(inst)}
+    out = [inst]
+    work = [inst]
+    while work:
+        cur = work.pop()
+        for op in cur.operands:
+            if isinstance(op, Instruction) and id(op) not in seen:
+                seen.add(id(op))
+                out.append(op)
+                work.append(op)
+    block = inst.parent
+    order = {id(i): n for n, i in enumerate(block.instructions)}
+    out.sort(key=lambda i: order.get(id(i), 0))
+    return out
+
+
+def _reduce_claim(fn: Function, inst: Instruction, claim: str) -> str:
+    """Minimal single-block reproducer for a refuted claim: the claimed
+    value's backward slice plus its observation call."""
+    if len(fn.blocks) != 1:
+        return print_function(fn)  # multi-block: keep the whole body
+    width = inst.type.bitwidth()
+    args = ", ".join(f"{a.type} {a.ref()}" for a in fn.args)
+    lines = [f"declare void @__lint_obs(i{width})", "",
+             f"define void @reduced({args}) {{", "entry:"]
+    for sliced in _slice_refs(inst):
+        lines.append(f"  {print_instruction(sliced)}")
+    lines.append(f"  call void @__lint_obs({inst.type} {inst.ref()})")
+    lines.append("  ret void")
+    lines.append("}")
+    text = "\n".join(lines) + "\n"
+    try:  # the reducer must never produce unparsable output
+        parse_module(text)
+    except Exception:
+        return print_function(fn)
+    return text
+
+
+def audit_function(fn: Function, semantics, opts: AuditOptions,
+                   index: int = 0) -> Tuple[List[Contradiction], Dict]:
+    """Differentially validate every fixpoint claim on one function.
+
+    Returns the contradictions plus a small tally (claims checked,
+    observations made, silent lint verdicts validated).
+    """
+    NUM_FUNCTIONS_AUDITED.inc()
+    # Work on a parsed copy so instrumentation never mutates the input.
+    module = parse_module(print_function(fn))
+    copy = module.get_function(fn.name)
+    claims = _collect_claims(copy, semantics)
+    tally = {
+        "claims": len(claims),
+        "must_not": sum(1 for _, c in claims if c == MUST_NOT_POISON),
+        "must": sum(1 for _, c in claims if c == MUST_POISON),
+        "observations": 0,
+        "silent_verdicts": _count_silent_verdicts(copy, claims),
+    }
+    if not claims:
+        return [], tally
+
+    refs = {f"{_OBS_PREFIX}{k}": inst.ref()
+            for k, (inst, _) in enumerate(claims)}
+    insts = {f"{_OBS_PREFIX}{k}": inst
+             for k, (inst, _) in enumerate(claims)}
+    obs_map = _instrument(copy, claims)
+    NUM_CLAIMS_CHECKED.inc(len(claims))
+
+    pools = [input_candidates(a.type, semantics) for a in copy.args]
+    contradictions: List[Contradiction] = []
+    refuted = set()
+    n_inputs = 0
+    for combo in itertools.product(*pools) if pools else [()]:
+        n_inputs += 1
+        if n_inputs > opts.max_inputs:
+            break
+        behaviors = enumerate_behaviors(
+            copy, list(combo), config=semantics,
+            max_paths=opts.max_paths, max_choices=opts.max_choices,
+            fuel=opts.fuel)
+        for behavior in behaviors:
+            for name, arg_bits, _ret in behavior.events:
+                claim = obs_map.get(name)
+                if claim is None or name in refuted:
+                    continue
+                bits = arg_bits[0]
+                NUM_OBSERVATIONS.inc()
+                tally["observations"] += 1
+                bad = (_is_poisoned(bits) if claim == MUST_NOT_POISON
+                       else not _is_all_poison(bits))
+                if bad:
+                    refuted.add(name)
+                    NUM_CONTRADICTIONS.inc()
+                    contradictions.append(Contradiction(
+                        function=fn.name, index=index, claim=claim,
+                        value_ref=refs[name], inputs=combo,
+                        observed_bits=_bits_str(bits),
+                        reduced_ir=_reduce_claim(copy, insts[name], claim),
+                    ))
+    for c in contradictions:
+        c.bundle_path = _bundle(c, opts)
+    return contradictions, tally
+
+
+def _count_silent_verdicts(fn: Function,
+                           claims: List[Tuple[Instruction, str]]) -> int:
+    """Claims whose validation directly justifies a *silent* lint
+    verdict: a division divisor or branch condition the analysis proved
+    never-poison (so ub-sink / branch-on-poison said nothing)."""
+    proven = {id(inst) for inst, c in claims if c == MUST_NOT_POISON}
+    count = 0
+    for block in fn.blocks:
+        for inst in block.instructions:
+            if (isinstance(inst, BinaryInst) and inst.opcode in _DIVISIONS
+                    and id(inst.rhs) in proven):
+                count += 1
+            if (isinstance(inst, BranchInst) and inst.is_conditional
+                    and id(inst.cond) in proven):
+                count += 1
+    return count
+
+
+def _bundle(c: Contradiction, opts: AuditOptions) -> str:
+    if opts.bundle_dir is None:
+        return ""
+    payload = make_bundle_payload(
+        pre_ir=c.reduced_ir,
+        pass_name="poison-flow",
+        application=c.index,
+        kind="lint-audit-soundness",
+        error=(f"claim {c.claim} on {c.value_ref} refuted: observed "
+               f"bits {c.observed_bits} on inputs "
+               f"({', '.join(str(v) for v in c.inputs)})"),
+        traceback_text="",
+        function=c.function,
+    )
+    return write_bundle(opts.bundle_dir, payload)
+
+
+def run_lint_audit(width: int = 2, instructions: int = 2,
+                   num_args: int = 2, opcodes=(),
+                   include_flags: bool = True,
+                   include_deferred: bool = True,
+                   limit: Optional[int] = None, start: int = 0,
+                   stride: int = 1,
+                   semantics=None,
+                   opts: Optional[AuditOptions] = None,
+                   progress=None) -> Dict:
+    """Audit the analyzer over an exhaustive opt-fuzz corpus slice.
+
+    ``stride > 1`` samples every stride-th corpus index instead of a
+    contiguous window, so a bounded ``limit`` still covers the whole
+    enumeration space (the space orders flag variants and operand kinds
+    systematically, so contiguous windows are locally homogeneous).
+
+    Also runs the lint rules over every corpus function, so the report
+    doubles as a census of what the checker says about the space.
+    """
+    from ..fuzz.optfuzz import SMALL_OPCODES, enumeration_size, function_at_index
+    from ..ir import Opcode as _Op
+    from ..lint import lint_function
+    from ..semantics.config import NEW
+
+    semantics = semantics if semantics is not None else NEW
+    opts = opts or AuditOptions()
+    resolved = (tuple(_Op(o) for o in opcodes) if opcodes
+                else SMALL_OPCODES)
+
+    def corpus():
+        if stride <= 1:
+            yield from ((start + i, fn) for i, fn in enumerate(
+                enumerate_functions(
+                    instructions, width=width, num_args=num_args,
+                    opcodes=resolved, include_deferred=include_deferred,
+                    include_flags=include_flags, limit=limit,
+                    start=start)))
+            return
+        total = enumeration_size(
+            instructions, width=width, num_args=num_args,
+            opcodes=resolved, include_deferred=include_deferred,
+            include_flags=include_flags)
+        indices = range(start, total, stride)
+        if limit is not None:
+            indices = indices[:limit]
+        for idx in indices:
+            yield idx, function_at_index(
+                idx, instructions, width=width, num_args=num_args,
+                opcodes=resolved, include_deferred=include_deferred,
+                include_flags=include_flags)
+
+    totals = {"functions": 0, "claims": 0, "must_not": 0, "must": 0,
+              "observations": 0, "silent_verdicts": 0}
+    findings_by_rule: Dict[str, int] = {}
+    contradictions: List[Contradiction] = []
+    for index, (corpus_index, fn) in enumerate(corpus()):
+        found, tally = audit_function(fn, semantics, opts,
+                                      index=corpus_index)
+        contradictions.extend(found)
+        totals["functions"] += 1
+        for key in ("claims", "must_not", "must", "observations",
+                    "silent_verdicts"):
+            totals[key] += tally[key]
+        for diag in lint_function(fn, semantics=semantics):
+            findings_by_rule[diag.rule_id] = (
+                findings_by_rule.get(diag.rule_id, 0) + 1)
+        if progress is not None and (index + 1) % 50 == 0:
+            progress(index + 1, len(contradictions))
+
+    return {
+        "spec": {
+            "width": width, "instructions": instructions,
+            "num_args": num_args,
+            "opcodes": [o.value for o in resolved],
+            "include_flags": include_flags,
+            "include_deferred": include_deferred,
+            "limit": limit, "start": start, "stride": stride,
+        },
+        "totals": totals,
+        "lint_findings": dict(sorted(findings_by_rule.items())),
+        "contradictions": [c.as_dict() for c in contradictions],
+    }

@@ -254,6 +254,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _crash_main(argv[1:])
     if argv and argv[0] == "bisect":
         return _bisect_main(argv[1:])
+    if argv and argv[0] == "lint":
+        return _lint_main(argv[1:])
     args = _build_parser().parse_args(argv)
 
     try:
@@ -419,6 +421,86 @@ def _bundle_paths(path: str) -> List[str]:
     if os.path.isfile(os.path.join(path, "bundle.json")):
         return [path]
     return list_bundles(path)
+
+
+def _lint_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro lint",
+        description="UBSan-style static checker for the IR, powered by "
+                    "the poison dataflow fixpoint.")
+    p.add_argument("inputs", nargs="*", help=".ll files to lint")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON findings")
+    p.add_argument("--sarif", metavar="FILE",
+                   help="write SARIF 2.1.0 to FILE ('-' for stdout)")
+    p.add_argument("--rule", action="append", metavar="ID",
+                   help="run only this rule (repeatable)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list rule IDs and exit")
+    p.add_argument("--pipeline", choices=["none", "o2", "quick", "codegen"],
+                   default="none",
+                   help="optimize before linting (default: lint as-is)")
+    p.add_argument("--opt-config", choices=sorted(_CONFIGS),
+                   default="fixed",
+                   help="config for --pipeline (default: fixed)")
+    return p
+
+
+def _lint_main(argv: List[str]) -> int:
+    from .lint import (
+        RULES, lint_module, render_json, render_sarif, render_text,
+        severity_rank,
+    )
+
+    args = _lint_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.rule_id} ({rule.severity}): {rule.description}")
+        return 0
+    if not args.inputs:
+        print("error: no input files (see --help)", file=sys.stderr)
+        return 2
+    if args.rule:
+        unknown = [r for r in args.rule if r not in RULES]
+        if unknown:
+            print(f"error: unknown rule(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+
+    diags = []
+    for path in args.inputs:
+        try:
+            with open(path) as f:
+                text = f.read()
+        except OSError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        try:
+            module = parse_module(text)
+        except ParseError as e:
+            print(f"error: {path}: {e}", file=sys.stderr)
+            return 2
+        if args.pipeline != "none":
+            config = _CONFIGS[args.opt_config]()
+            _PIPELINES[args.pipeline](config).run(module)
+        # Lint always checks under the revised semantics: IR produced
+        # by the legacy config is exactly the IR with latent UB.
+        diags.extend(lint_module(module, rules=args.rule, file=path))
+
+    if args.sarif:
+        doc = render_sarif(diags)
+        if args.sarif == "-":
+            print(doc)
+        else:
+            with open(args.sarif, "w") as f:
+                f.write(doc + "\n")
+    if args.json:
+        print(render_json(diags))
+    elif not (args.sarif == "-"):
+        print(render_text(diags))
+
+    worst = max((severity_rank(d.severity) for d in diags), default=0)
+    return 1 if worst >= 1 else 0  # warnings/errors fail, notes pass
 
 
 def _crash_main(argv: List[str]) -> int:

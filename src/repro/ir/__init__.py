@@ -65,7 +65,13 @@ from .values import (
     const_bool,
     const_int,
 )
-from .verifier import VerificationError, verify_function, verify_module
+from .location import IRLocation
+from .verifier import (
+    VerificationError,
+    VerifierDiagnostic,
+    verify_function,
+    verify_module,
+)
 
 __all__ = [
     "BasicBlock", "IRBuilder", "Function", "Module",
@@ -81,5 +87,6 @@ __all__ = [
     "Argument", "Constant", "ConstantInt", "ConstantVector", "GlobalVariable",
     "PoisonValue", "UndefValue", "Use", "User", "Value", "const_bool",
     "const_int",
-    "VerificationError", "verify_function", "verify_module",
+    "IRLocation", "VerificationError", "VerifierDiagnostic",
+    "verify_function", "verify_module",
 ]

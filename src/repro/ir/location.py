@@ -1,0 +1,65 @@
+"""Structured IR locations shared by the verifier and the lint engine.
+
+An :class:`IRLocation` pins a diagnostic to (function, block label,
+instruction index) instead of a free-form string, so every consumer —
+verifier errors, lint diagnostics, SARIF output — renders the same
+uniformly clickable ``@fn:%block:#index`` form and tools can navigate
+back to the instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class IRLocation:
+    """A position inside a function: block label and instruction index.
+
+    ``index`` is the 0-based position of the instruction within its
+    block; ``ref`` is the SSA name (``%v``) when the instruction
+    produces a value, for human-facing rendering.
+    """
+
+    function: str
+    block: str = ""
+    index: Optional[int] = None
+    ref: str = ""
+
+    @staticmethod
+    def of(inst, function: Optional[str] = None) -> "IRLocation":
+        """Location of an instruction that is attached to a block."""
+        block = getattr(inst, "parent", None)
+        fn = getattr(block, "parent", None) if block is not None else None
+        index: Optional[int] = None
+        if block is not None:
+            for i, other in enumerate(block.instructions):
+                if other is inst:
+                    index = i
+                    break
+        ref = ""
+        if getattr(inst, "type", None) is not None and not inst.type.is_void:
+            ref = inst.ref()
+        return IRLocation(
+            function=function or (fn.name if fn is not None else ""),
+            block=block.name if block is not None else "",
+            index=index,
+            ref=ref,
+        )
+
+    def __str__(self) -> str:
+        out = f"@{self.function}"
+        if self.block:
+            out += f":%{self.block}"
+        if self.index is not None:
+            out += f":#{self.index}"
+        return out
+
+    def as_dict(self) -> dict:
+        return {
+            "function": self.function,
+            "block": self.block,
+            "index": self.index,
+            "ref": self.ref,
+        }

@@ -4,6 +4,13 @@ Raises :class:`VerificationError` listing every violation.  Passes run it
 after transforming (in tests) to catch IR corruption early — the same
 role ``opt -verify`` plays in LLVM.
 
+Each violation is recorded both as the historical message string (the
+``errors`` list, which existing tooling matches on) and as a
+:class:`VerifierDiagnostic` carrying a structured
+:class:`~repro.ir.location.IRLocation` (function, block label,
+instruction index) — the same location type the lint engine emits, so
+all diagnostics render uniformly clickable positions.
+
 The ``forbid_undef`` flag implements the paper's NEW semantics rule that
 ``undef`` no longer exists (Section 4): modules migrated to poison+freeze
 must not contain ``UndefValue``.
@@ -11,18 +18,65 @@ must not contain ``UndefValue``.
 
 from __future__ import annotations
 
-from typing import List
+from dataclasses import dataclass
+from typing import List, Optional
 
 from .function import Function
 from .instructions import Instruction, PhiInst
+from .location import IRLocation
 from .module import Module
 from .values import Argument, Constant, UndefValue
 
 
+@dataclass(frozen=True)
+class VerifierDiagnostic:
+    """One verifier violation with a structured location."""
+
+    message: str
+    loc: IRLocation
+
+    def __str__(self) -> str:
+        return f"{self.loc}: {self.message}"
+
+    def as_dict(self) -> dict:
+        return {"message": self.message, "loc": self.loc.as_dict()}
+
+
 class VerificationError(Exception):
-    def __init__(self, errors: List[str]):
+    def __init__(self, errors: List[str],
+                 diagnostics: Optional[List[VerifierDiagnostic]] = None):
         super().__init__("\n".join(errors))
         self.errors = errors
+        self.diagnostics = diagnostics or []
+
+
+class _Reporter:
+    """Accumulates (legacy string, structured diagnostic) pairs."""
+
+    def __init__(self, fn: Function):
+        self.fn = fn
+        self.errors: List[str] = []
+        self.diagnostics: List[VerifierDiagnostic] = []
+
+    def __bool__(self) -> bool:
+        return bool(self.errors)
+
+    def add(self, message: str, *, block=None, inst=None) -> None:
+        """Record ``message`` (without the ``@fn:`` prefix, which is
+        added here to keep the historical string format)."""
+        self.errors.append(f"@{self.fn.name}: {message}")
+        if inst is not None and getattr(inst, "parent", None) is not None:
+            loc = IRLocation.of(inst, function=self.fn.name)
+        else:
+            loc = IRLocation(
+                function=self.fn.name,
+                block=block.name if block is not None else "",
+            )
+        self.diagnostics.append(VerifierDiagnostic(message, loc))
+
+    def raise_if_any(self) -> None:
+        if self.errors:
+            raise VerificationError(self.errors, self.diagnostics)
 
 
 def verify_function(fn: Function, forbid_undef: bool = False) -> None:
@@ -31,8 +85,7 @@ def verify_function(fn: Function, forbid_undef: bool = False) -> None:
     from ..analysis.cfg import predecessor_map, reachable_blocks
     from ..analysis.dominators import DominatorTree
 
-    errors: List[str] = []
-    where = f"@{fn.name}"
+    report = _Reporter(fn)
 
     if fn.is_declaration:
         return
@@ -42,31 +95,27 @@ def verify_function(fn: Function, forbid_undef: bool = False) -> None:
     # Block structure.
     for block in fn.blocks:
         if block.terminator is None:
-            errors.append(f"{where}: block %{block.name} has no terminator")
+            report.add(f"block %{block.name} has no terminator", block=block)
         for i, inst in enumerate(block.instructions):
             if inst.is_terminator and i != len(block.instructions) - 1:
-                errors.append(
-                    f"{where}: terminator in the middle of %{block.name}"
-                )
+                report.add(f"terminator in the middle of %{block.name}",
+                           inst=inst)
             if isinstance(inst, PhiInst) and i > len(block.phis()) - 1:
-                errors.append(
-                    f"{where}: phi {inst.ref()} not at the start of "
-                    f"%{block.name}"
-                )
+                report.add(
+                    f"phi {inst.ref()} not at the start of %{block.name}",
+                    inst=inst)
             if inst.parent is not block:
-                errors.append(
-                    f"{where}: {inst.ref()} has wrong parent link"
-                )
+                report.add(f"{inst.ref()} has wrong parent link", block=block)
         for succ in block.successors():
             if succ not in block_set:
-                errors.append(
-                    f"{where}: %{block.name} branches to foreign block "
-                    f"%{succ.name}"
-                )
+                report.add(
+                    f"%{block.name} branches to foreign block %{succ.name}",
+                    block=block)
 
     preds = predecessor_map(fn)
     if preds[fn.entry]:
-        errors.append(f"{where}: entry block %{fn.entry.name} has predecessors")
+        report.add(f"entry block %{fn.entry.name} has predecessors",
+                   block=fn.entry)
 
     # Phi incoming edges must exactly match predecessors.
     reachable = reachable_blocks(fn)
@@ -79,22 +128,18 @@ def verify_function(fn: Function, forbid_undef: bool = False) -> None:
             missing = expected - got
             extra = got - expected
             for b in missing:
-                errors.append(
-                    f"{where}: phi {phi.ref()} missing incoming for "
-                    f"pred %{b.name}"
-                )
+                report.add(
+                    f"phi {phi.ref()} missing incoming for pred %{b.name}",
+                    inst=phi)
             for b in extra:
-                errors.append(
-                    f"{where}: phi {phi.ref()} has incoming for non-pred "
-                    f"%{b.name}"
-                )
+                report.add(
+                    f"phi {phi.ref()} has incoming for non-pred %{b.name}",
+                    inst=phi)
             if len(phi.incoming_blocks) != len(set(map(id, phi.incoming_blocks))):
-                errors.append(
-                    f"{where}: phi {phi.ref()} has duplicate incoming blocks"
-                )
+                report.add(f"phi {phi.ref()} has duplicate incoming blocks",
+                           inst=phi)
 
-    if errors:
-        raise VerificationError(errors)
+    report.raise_if_any()
 
     # SSA dominance (only meaningful once structure is sane).
     dt = DominatorTree(fn)
@@ -107,55 +152,53 @@ def verify_function(fn: Function, forbid_undef: bool = False) -> None:
                     if isinstance(value, (Constant, Argument)):
                         continue
                     if not isinstance(value, Instruction):
-                        errors.append(
-                            f"{where}: phi {inst.ref()} has non-SSA operand "
-                            f"{value!r}"
-                        )
+                        report.add(
+                            f"phi {inst.ref()} has non-SSA operand {value!r}",
+                            inst=inst)
                         continue
                     if pred in reachable and not dt.dominates_edge(value, pred):
-                        errors.append(
-                            f"{where}: def {value.ref()} does not dominate "
-                            f"phi edge from %{pred.name}"
-                        )
+                        report.add(
+                            f"def {value.ref()} does not dominate phi edge "
+                            f"from %{pred.name}", inst=inst)
                 continue
             for op in inst.operands:
                 if isinstance(op, (Constant, Argument)):
                     continue
                 if not isinstance(op, Instruction):
-                    errors.append(
-                        f"{where}: {inst.ref()} has non-SSA operand {op!r}"
-                    )
+                    report.add(f"{inst.ref()} has non-SSA operand {op!r}",
+                               inst=inst)
                     continue
                 if op.parent is None or op.parent.parent is not fn:
-                    errors.append(
-                        f"{where}: {inst.ref()} uses detached value {op.ref()}"
-                    )
+                    report.add(
+                        f"{inst.ref()} uses detached value {op.ref()}",
+                        inst=inst)
                     continue
                 if op.parent in reachable and not dt.dominates(op, inst):
-                    errors.append(
-                        f"{where}: def {op.ref()} does not dominate use in "
-                        f"{inst.ref() if not inst.type.is_void else inst.opcode.value}"
-                    )
+                    report.add(
+                        f"def {op.ref()} does not dominate use in "
+                        f"{inst.ref() if not inst.type.is_void else inst.opcode.value}",
+                        inst=inst)
 
     if forbid_undef:
         for inst in fn.instructions():
             for op in inst.operands:
                 if isinstance(op, UndefValue):
-                    errors.append(
-                        f"{where}: undef operand in {inst.opcode.value} "
-                        f"(forbidden under the poison/freeze semantics)"
-                    )
+                    report.add(
+                        f"undef operand in {inst.opcode.value} "
+                        f"(forbidden under the poison/freeze semantics)",
+                        inst=inst)
 
-    if errors:
-        raise VerificationError(errors)
+    report.raise_if_any()
 
 
 def verify_module(module: Module, forbid_undef: bool = False) -> None:
     errors: List[str] = []
+    diagnostics: List[VerifierDiagnostic] = []
     for fn in module.definitions():
         try:
             verify_function(fn, forbid_undef=forbid_undef)
         except VerificationError as e:
             errors.extend(e.errors)
+            diagnostics.extend(e.diagnostics)
     if errors:
-        raise VerificationError(errors)
+        raise VerificationError(errors, diagnostics)

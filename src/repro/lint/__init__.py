@@ -1,0 +1,26 @@
+"""repro lint: a UBSan-style static checker for the IR.
+
+Rules are powered by the poison dataflow fixpoint
+(:mod:`repro.analysis.poison_flow`) and differentially validated against
+the executable semantics by ``repro campaign lint-audit``.
+"""
+
+from .diagnostics import (
+    SEV_ERROR,
+    SEV_NOTE,
+    SEV_WARNING,
+    SEVERITIES,
+    LintDiagnostic,
+    severity_rank,
+)
+from .engine import lint_function, lint_module, worst_severity
+from .render import render_json, render_sarif, render_text
+from .rules import RULES, LintContext, LintRule, all_rule_ids
+
+__all__ = [
+    "SEV_ERROR", "SEV_NOTE", "SEV_WARNING", "SEVERITIES",
+    "LintDiagnostic", "severity_rank",
+    "lint_function", "lint_module", "worst_severity",
+    "render_json", "render_sarif", "render_text",
+    "RULES", "LintContext", "LintRule", "all_rule_ids",
+]

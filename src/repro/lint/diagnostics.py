@@ -1,0 +1,60 @@
+"""Lint diagnostics: severities and the finding record.
+
+Findings reuse :class:`repro.ir.location.IRLocation` — the same
+structured location type the IR verifier attaches to its errors — so a
+lint result and a verifier error point at code the same way and render
+the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..ir.location import IRLocation
+
+#: Severity levels, ordered from least to most severe.  They map 1:1
+#: onto SARIF result levels.
+SEV_NOTE = "note"
+SEV_WARNING = "warning"
+SEV_ERROR = "error"
+
+SEVERITIES = (SEV_NOTE, SEV_WARNING, SEV_ERROR)
+
+_SEV_RANK = {SEV_NOTE: 0, SEV_WARNING: 1, SEV_ERROR: 2}
+
+
+def severity_rank(severity: str) -> int:
+    return _SEV_RANK[severity]
+
+
+@dataclass(frozen=True)
+class LintDiagnostic:
+    """One lint finding, anchored to a structured IR location."""
+
+    rule_id: str
+    severity: str
+    message: str
+    loc: IRLocation
+    file: str = ""
+
+    def __post_init__(self):
+        assert self.severity in SEVERITIES, self.severity
+
+    def __str__(self) -> str:
+        prefix = f"{self.file}:" if self.file else ""
+        return (f"{prefix}{self.loc}: {self.severity}: "
+                f"{self.message} [{self.rule_id}]")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+            "location": self.loc.as_dict(),
+            "file": self.file,
+        }
+
+    def with_file(self, file: str) -> "LintDiagnostic":
+        return LintDiagnostic(self.rule_id, self.severity, self.message,
+                              self.loc, file)

@@ -1,0 +1,90 @@
+"""The lint engine: run rules over functions, with stats and remarks.
+
+Lint always analyzes under the *revised* semantics (``NEW``) by default,
+whatever optimization config produced the IR: the paper's point is that
+IR emitted or transformed under the permissive legacy reading contains
+latent UB once the semantics are tightened, and that is exactly what the
+checker should surface.  Pass ``semantics=`` to lint under a different
+reading.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..analysis.dominators import DominatorTree
+from ..analysis.loops import LoopInfo
+from ..analysis.poison_flow import analyze_poison_flow
+from ..diag import Statistic
+from ..diag.remarks import REMARK_ANALYSIS, emit_remark
+from ..ir.function import Function
+from ..ir.module import Module
+from .diagnostics import LintDiagnostic, severity_rank
+from .rules import RULES, LintContext
+
+#: one counter per rule, under the "lint" pass namespace
+_RULE_STATS: Dict[str, Statistic] = {
+    rule_id: Statistic("lint", f"num-{rule_id}",
+                       f"Findings from the {rule_id} rule")
+    for rule_id in RULES
+}
+
+NUM_FUNCTIONS_LINTED = Statistic(
+    "lint", "num-functions-linted", "Function bodies linted")
+
+
+def lint_function(fn: Function, semantics=None,
+                  rules: Optional[Iterable[str]] = None
+                  ) -> List[LintDiagnostic]:
+    """Run the (selected) rules over one function definition."""
+    from ..semantics.config import NEW
+
+    if fn.is_declaration:
+        return []
+    semantics = semantics if semantics is not None else NEW
+    selected = list(rules) if rules is not None else list(RULES)
+    unknown = [r for r in selected if r not in RULES]
+    if unknown:
+        raise ValueError(f"unknown lint rule(s): {', '.join(unknown)}")
+
+    NUM_FUNCTIONS_LINTED.inc()
+    flow = analyze_poison_flow(fn, semantics)
+    dt = DominatorTree(fn)
+    loops = LoopInfo(fn, dt)
+    ctx = LintContext(fn, flow, dt, loops, semantics)
+
+    found: List[LintDiagnostic] = []
+    for rule_id in selected:
+        for diag in RULES[rule_id].check(ctx):
+            _RULE_STATS[rule_id].inc()
+            emit_remark("lint", diag.message, kind=REMARK_ANALYSIS,
+                        function=diag.loc.function, block=diag.loc.block,
+                        instruction=diag.loc.ref)
+            found.append(diag)
+    # Stable presentation: program order (block, index), then severity
+    # (most severe first) for co-located findings.
+    order = {b.name: i for i, b in enumerate(fn.blocks)}
+    found.sort(key=lambda d: (
+        order.get(d.loc.block, len(order)),
+        d.loc.index if d.loc.index is not None else -1,
+        -severity_rank(d.severity),
+        d.rule_id,
+    ))
+    return found
+
+
+def lint_module(module: Module, semantics=None,
+                rules: Optional[Iterable[str]] = None,
+                file: str = "") -> List[LintDiagnostic]:
+    """Lint every function definition in the module."""
+    found: List[LintDiagnostic] = []
+    for fn in module.definitions():
+        for diag in lint_function(fn, semantics=semantics, rules=rules):
+            found.append(diag.with_file(file) if file else diag)
+    return found
+
+
+def worst_severity(diags: List[LintDiagnostic]) -> Optional[str]:
+    if not diags:
+        return None
+    return max(diags, key=lambda d: severity_rank(d.severity)).severity

@@ -1,0 +1,83 @@
+"""Render lint findings: human text, JSON, and SARIF 2.1.0.
+
+SARIF is the interchange format GitHub code scanning and most editors
+understand; the CI job uploads the SARIF file as an artifact.  The
+logical location carries the IR coordinates (``@fn:%block:#index``)
+since .ll files are linted per function, not per byte offset.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .diagnostics import LintDiagnostic
+from .rules import RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+TOOL_NAME = "repro-lint"
+
+
+def render_text(diags: List[LintDiagnostic]) -> str:
+    if not diags:
+        return "no findings"
+    return "\n".join(str(d) for d in diags)
+
+
+def render_json(diags: List[LintDiagnostic], indent: int = 2) -> str:
+    return json.dumps({
+        "tool": TOOL_NAME,
+        "findings": [d.as_dict() for d in diags],
+    }, indent=indent, sort_keys=True)
+
+
+def _sarif_rules() -> List[Dict]:
+    return [
+        {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {"level": rule.severity},
+        }
+        for rule in RULES.values()
+    ]
+
+
+def _sarif_result(diag: LintDiagnostic) -> Dict:
+    location: Dict = {
+        "logicalLocations": [{
+            "fullyQualifiedName": str(diag.loc),
+            "kind": "function",
+        }],
+    }
+    if diag.file:
+        location["physicalLocation"] = {
+            "artifactLocation": {"uri": diag.file},
+        }
+    return {
+        "ruleId": diag.rule_id,
+        "level": diag.severity,
+        "message": {"text": diag.message},
+        "locations": [location],
+    }
+
+
+def render_sarif(diags: List[LintDiagnostic], indent: int = 2) -> str:
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "informationUri":
+                        "https://example.invalid/repro-lint",
+                    "rules": _sarif_rules(),
+                },
+            },
+            "results": [_sarif_result(d) for d in diags],
+        }],
+    }
+    return json.dumps(doc, indent=indent, sort_keys=True)

@@ -1,0 +1,335 @@
+"""The lint rules: UBSan-style checks over the poison dataflow fixpoint.
+
+Every rule has a stable ID (referenced by ``--rule``, CI assertions and
+SARIF), a default severity, and a one-line description.  Rules consult
+the :class:`~repro.analysis.poison_flow.PoisonFlowResult` computed once
+per function by the engine; none of them re-walk the IR for poison
+facts.
+
+Origin gating keeps the checker quiet on ordinary code: facts whose
+*only* origin is external (a plain argument, a call result, loaded
+memory) do not fire the poison rules — every function taking an ``i8``
+argument may formally receive poison, and flagging that would drown real
+findings.  A rule fires when the analysis can point at a poison
+*producer inside the function* (an nsw/nuw/exact op, an out-of-range
+shift, an inbounds gep, a ``poison``/``undef`` literal) feeding the
+sink.  ``missing-freeze-on-hoist`` is the deliberate exception: loop
+unswitching hoists *argument* conditions, so it fires on any
+maybe-poison origin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional
+
+from ..analysis.poison_flow import PoisonFact
+from ..ir.basicblock import BasicBlock
+from ..ir.instructions import (
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    ExtractElementInst,
+    FreezeInst,
+    GepInst,
+    IcmpInst,
+    InsertElementInst,
+    Instruction,
+    LoadInst,
+    Opcode,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+)
+from ..ir.location import IRLocation
+from ..semantics.config import BranchOnPoison
+from .diagnostics import SEV_ERROR, SEV_NOTE, SEV_WARNING, LintDiagnostic
+
+_DIVISIONS = (Opcode.UDIV, Opcode.SDIV, Opcode.UREM, Opcode.SREM)
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """A registered rule: stable ID, default severity, check function."""
+
+    rule_id: str
+    severity: str
+    description: str
+    check: Callable[["LintContext"], Iterator[LintDiagnostic]]
+
+
+#: rule_id -> LintRule, in registration order (drives --list-rules and
+#: the SARIF rules array).
+RULES: Dict[str, LintRule] = {}
+
+
+def _register(rule_id: str, severity: str, description: str):
+    def deco(fn):
+        RULES[rule_id] = LintRule(rule_id, severity, description, fn)
+        return fn
+    return deco
+
+
+class LintContext:
+    """Everything a rule may consult, computed once per function."""
+
+    def __init__(self, fn, flow, dt, loops, semantics):
+        self.fn = fn
+        self.flow = flow          # PoisonFlowResult
+        self.dt = dt              # DominatorTree
+        self.loops = loops        # LoopInfo
+        self.semantics = semantics
+
+    def fact(self, value, block: Optional[BasicBlock]) -> PoisonFact:
+        return self.flow.fact_at(value, block)
+
+    def diag(self, rule_id: str, message: str,
+             inst: Optional[Instruction] = None,
+             block: Optional[BasicBlock] = None,
+             severity: Optional[str] = None) -> LintDiagnostic:
+        rule = RULES[rule_id]
+        if inst is not None:
+            loc = IRLocation.of(inst, function=self.fn.name)
+        else:
+            loc = IRLocation(self.fn.name,
+                             block.name if block is not None else "")
+        return LintDiagnostic(rule_id, severity or rule.severity,
+                              message, loc)
+
+
+def _flagged(fact: PoisonFact) -> bool:
+    """Poison traceable to a producer in this function (or a literal)?"""
+    from ..analysis.poison_flow import ORIGIN_GENERATED, ORIGIN_LITERAL
+
+    return any(kind in (ORIGIN_GENERATED, ORIGIN_LITERAL)
+               for kind, _ in fact.origins)
+
+
+def _blame(fact: PoisonFact) -> str:
+    desc = fact.describe_origins()
+    return f" (from {desc})" if desc else ""
+
+
+# ---------------------------------------------------------------------------
+# branch-on-maybe-poison
+
+
+@_register(
+    "branch-on-maybe-poison", SEV_WARNING,
+    "A conditional branch or switch condition may be poison; branching "
+    "on poison is immediate UB under the revised semantics.")
+def _check_branch_on_poison(ctx: LintContext):
+    if ctx.semantics.branch_on_poison is not BranchOnPoison.UB:
+        return
+    for block in ctx.fn.blocks:
+        term = block.terminator
+        if isinstance(term, BranchInst) and term.is_conditional:
+            cond = term.cond
+        elif isinstance(term, SwitchInst):
+            cond = term.value
+        else:
+            continue
+        fact = ctx.fact(cond, block)
+        if fact.is_must_poison:
+            yield ctx.diag(
+                "branch-on-maybe-poison",
+                f"branch condition {cond.ref()} is always poison"
+                f"{_blame(fact)}; executing this terminator is UB",
+                inst=term, severity=SEV_ERROR)
+        elif fact.may_be_poison and _flagged(fact):
+            yield ctx.diag(
+                "branch-on-maybe-poison",
+                f"branch condition {cond.ref()} may be poison"
+                f"{_blame(fact)}; branching on poison is UB",
+                inst=term)
+
+
+# ---------------------------------------------------------------------------
+# ub-sink-reaches-poison
+
+
+def _sinks(inst: Instruction):
+    """Yield (operand, role) pairs where poison triggers immediate UB."""
+    if isinstance(inst, BinaryInst) and inst.opcode in _DIVISIONS:
+        yield inst.rhs, f"{inst.opcode.value} divisor"
+    elif isinstance(inst, StoreInst):
+        yield inst.pointer, "store address"
+    elif isinstance(inst, LoadInst):
+        yield inst.pointer, "load address"
+    elif isinstance(inst, CallInst):
+        for i, arg in enumerate(inst.args):
+            callee = getattr(inst.callee, "name", "?")
+            yield arg, f"argument {i} of call @{callee}"
+
+
+@_register(
+    "ub-sink-reaches-poison", SEV_WARNING,
+    "A value that may be poison reaches a UB-or-escape sink: a division "
+    "divisor or load/store address (immediate UB), or a call argument "
+    "(poison handed to unknown code).")
+def _check_ub_sink(ctx: LintContext):
+    for block in ctx.fn.blocks:
+        for inst in block.instructions:
+            for operand, role in _sinks(inst):
+                fact = ctx.fact(operand, block)
+                if fact.is_must_poison:
+                    yield ctx.diag(
+                        "ub-sink-reaches-poison",
+                        f"{role} {operand.ref()} is always poison"
+                        f"{_blame(fact)}",
+                        inst=inst, severity=SEV_ERROR)
+                elif fact.may_be_poison and _flagged(fact):
+                    yield ctx.diag(
+                        "ub-sink-reaches-poison",
+                        f"{role} {operand.ref()} may be poison"
+                        f"{_blame(fact)}",
+                        inst=inst)
+
+
+# ---------------------------------------------------------------------------
+# redundant-freeze
+
+
+@_register(
+    "redundant-freeze", SEV_NOTE,
+    "A freeze whose operand the dataflow proves never poison at that "
+    "point; the freeze is a no-op and freeze-opts would remove it.")
+def _check_redundant_freeze(ctx: LintContext):
+    for block in ctx.fn.blocks:
+        for inst in block.instructions:
+            if not isinstance(inst, FreezeInst):
+                continue
+            fact = ctx.fact(inst.value, block)
+            if fact.is_must_not_poison:
+                yield ctx.diag(
+                    "redundant-freeze",
+                    f"freeze of {inst.value.ref()} is redundant: the "
+                    f"operand is provably not poison here",
+                    inst=inst)
+
+
+# ---------------------------------------------------------------------------
+# missing-freeze-on-hoist
+
+
+@_register(
+    "missing-freeze-on-hoist", SEV_WARNING,
+    "An unswitched-loop dispatch branches on a maybe-poison condition "
+    "hoisted out of the loops; the condition must be frozen (paper "
+    "Section 4, loop unswitching).")
+def _check_missing_freeze_on_hoist(ctx: LintContext):
+    headers = {}
+    for loop in ctx.loops.loops:
+        headers[loop.header] = loop
+    for block in ctx.fn.blocks:
+        term = block.terminator
+        if not (isinstance(term, BranchInst) and term.is_conditional):
+            continue
+        cond = term.cond
+        if isinstance(cond, FreezeInst):
+            continue
+        succs = term.targets
+        if len(succs) != 2 or succs[0] is succs[1]:
+            continue
+        la = headers.get(succs[0])
+        lb = headers.get(succs[1])
+        # The unswitched dispatch shape: a block outside every loop
+        # selecting between two distinct loop copies.
+        if la is None or lb is None or la is lb:
+            continue
+        if la.contains(block) or lb.contains(block):
+            continue
+        fact = ctx.fact(cond, block)
+        if not fact.may_be_poison:
+            continue
+        yield ctx.diag(
+            "missing-freeze-on-hoist",
+            f"loop-dispatch condition {cond.ref()} selects between "
+            f"unswitched copies %{succs[0].name} and %{succs[1].name} "
+            f"but may be poison{_blame(fact)}; hoisting a branch on it "
+            f"out of the loop needs a freeze",
+            inst=term)
+
+
+# ---------------------------------------------------------------------------
+# dead-on-poison-flag
+
+
+def _observes(inst: Instruction, value) -> bool:
+    """Does this use observe ``value``'s poison with UB or an externally
+    visible effect?"""
+    if isinstance(inst, ReturnInst):
+        return inst.value is value
+    if isinstance(inst, BranchInst):
+        return inst.is_conditional and inst.cond is value
+    if isinstance(inst, SwitchInst):
+        return inst.value is value
+    if isinstance(inst, StoreInst):
+        return True  # stored value or address both escape
+    if isinstance(inst, LoadInst):
+        return inst.pointer is value
+    if isinstance(inst, CallInst):
+        return any(a is value for a in inst.args)
+    if isinstance(inst, BinaryInst) and inst.opcode in _DIVISIONS:
+        if inst.rhs is value:
+            return True  # poison divisor is immediate UB
+    return False
+
+
+def _propagates(inst: Instruction) -> bool:
+    return isinstance(inst, (BinaryInst, IcmpInst, CastInst, SelectInst,
+                             PhiInst, GepInst, ExtractElementInst,
+                             InsertElementInst))
+
+
+@_register(
+    "dead-on-poison-flag", SEV_NOTE,
+    "A poison-generating flag (nsw/nuw/exact) on an instruction whose "
+    "result never reaches an observation point; the flag constrains "
+    "nothing and can be dropped.")
+def _check_dead_flag(ctx: LintContext):
+    for block in ctx.fn.blocks:
+        for inst in block.instructions:
+            if not isinstance(inst, BinaryInst):
+                continue
+            if not (inst.nsw or inst.nuw or inst.exact):
+                continue
+            if _poison_observed(inst):
+                continue
+            yield ctx.diag(
+                "dead-on-poison-flag",
+                f"flags '{inst.flags_str().strip()}' on {inst.ref()} are dead: "
+                f"the result never reaches a branch, return, memory or "
+                f"call; the poison they may generate is unobservable",
+                inst=inst)
+
+
+def _poison_observed(root: Instruction, limit: int = 256) -> bool:
+    """Forward closure over users: does poison from ``root`` ever reach
+    an observation?  Freeze launders poison, so it blocks the walk."""
+    seen = {id(root)}
+    work: List[Instruction] = [root]
+    steps = 0
+    while work:
+        steps += 1
+        if steps > limit:
+            return True  # give up conservatively: assume observed
+        value = work.pop()
+        for user in value.users():
+            if not isinstance(user, Instruction):
+                continue
+            if _observes(user, value):
+                return True
+            if isinstance(user, FreezeInst):
+                continue  # blocker: frozen result is never poison
+            if _propagates(user) and id(user) not in seen:
+                seen.add(id(user))
+                work.append(user)
+    return False
+
+
+def all_rule_ids() -> List[str]:
+    return list(RULES)

@@ -31,8 +31,16 @@ from .pass_manager import FunctionPass
 
 
 def simplify_instruction(inst: Instruction,
-                         config=None) -> Optional[Value]:
-    """Return a simpler existing value equal to ``inst``, or ``None``."""
+                         config=None, flow=None) -> Optional[Value]:
+    """Return a simpler existing value equal to ``inst``, or ``None``.
+
+    ``flow`` is an optional
+    :class:`~repro.analysis.poison_flow.PoisonFlowResult` for the
+    enclosing function; when present, every poison-freedom check
+    delegates to the fixpoint dataflow (with dominating-branch
+    refinement at this instruction's block), which proves strictly more
+    facts than the shallow walk.
+    """
     from ..semantics.config import NEW
 
     semantics = config.semantics if config is not None else NEW
@@ -41,16 +49,23 @@ def simplify_instruction(inst: Instruction,
         return folded
 
     if isinstance(inst, BinaryInst):
-        return _simplify_binary(inst)
+        return _simplify_binary(inst, flow)
     if isinstance(inst, IcmpInst):
-        return _simplify_icmp(inst)
+        return _simplify_icmp(inst, flow)
     if isinstance(inst, SelectInst):
         return _simplify_select(inst)
     if isinstance(inst, FreezeInst):
-        return _simplify_freeze(inst)
+        return _simplify_freeze(inst, flow)
     if isinstance(inst, PhiInst):
         return _simplify_phi(inst)
     return None
+
+
+def _not_poison(value: Value, inst: Instruction, flow) -> bool:
+    """Poison-freedom at this use site: fixpoint facts when available
+    (refined at the use block), shallow walk otherwise."""
+    return is_guaranteed_not_poison(
+        value, flow=flow, block=inst.parent if flow is not None else None)
 
 
 def _const_val(v: Value) -> Optional[int]:
@@ -59,7 +74,7 @@ def _const_val(v: Value) -> Optional[int]:
     return None
 
 
-def _simplify_binary(inst: BinaryInst) -> Optional[Value]:
+def _simplify_binary(inst: BinaryInst, flow=None) -> Optional[Value]:
     if not isinstance(inst.type, IntType):
         return None
     op = inst.opcode
@@ -77,7 +92,7 @@ def _simplify_binary(inst: BinaryInst) -> Optional[Value]:
         if bv == 0:
             return a
         # x - x == 0 requires x not poison/undef (undef uses may differ!)
-        if a is b and is_guaranteed_not_poison(a):
+        if a is b and _not_poison(a, inst, flow):
             return ConstantInt(inst.type, 0)
     elif op is Opcode.MUL:
         if bv == 1:
@@ -88,36 +103,36 @@ def _simplify_binary(inst: BinaryInst) -> Optional[Value]:
             # x * 0 == 0 even for poison x?  No: poison * 0 is poison.
             # Sound only when x cannot be poison.
             other = a if bv == 0 else b
-            if is_guaranteed_not_poison(other):
+            if _not_poison(other, inst, flow):
                 return ConstantInt(inst.type, 0)
     elif op is Opcode.AND:
         if bv == all_ones:
             return a
         if av == all_ones:
             return b
-        if a is b and is_guaranteed_not_poison(a):
+        if a is b and _not_poison(a, inst, flow):
             return a
-        if bv == 0 and is_guaranteed_not_poison(a):
+        if bv == 0 and _not_poison(a, inst, flow):
             return ConstantInt(inst.type, 0)
-        if av == 0 and is_guaranteed_not_poison(b):
+        if av == 0 and _not_poison(b, inst, flow):
             return ConstantInt(inst.type, 0)
     elif op is Opcode.OR:
         if bv == 0:
             return a
         if av == 0:
             return b
-        if a is b and is_guaranteed_not_poison(a):
+        if a is b and _not_poison(a, inst, flow):
             return a
-        if bv == all_ones and is_guaranteed_not_poison(a):
+        if bv == all_ones and _not_poison(a, inst, flow):
             return ConstantInt(inst.type, all_ones)
-        if av == all_ones and is_guaranteed_not_poison(b):
+        if av == all_ones and _not_poison(b, inst, flow):
             return ConstantInt(inst.type, all_ones)
     elif op is Opcode.XOR:
         if bv == 0:
             return a
         if av == 0:
             return b
-        if a is b and is_guaranteed_not_poison(a):
+        if a is b and _not_poison(a, inst, flow):
             return ConstantInt(inst.type, 0)
     elif op in (Opcode.SHL, Opcode.LSHR, Opcode.ASHR):
         if bv == 0:
@@ -126,15 +141,15 @@ def _simplify_binary(inst: BinaryInst) -> Optional[Value]:
         if bv == 1:
             return a
     elif op in (Opcode.UREM, Opcode.SREM):
-        if bv == 1 and is_guaranteed_not_poison(a):
+        if bv == 1 and _not_poison(a, inst, flow):
             return ConstantInt(inst.type, 0)
     return None
 
 
-def _simplify_icmp(inst: IcmpInst) -> Optional[Value]:
+def _simplify_icmp(inst: IcmpInst, flow=None) -> Optional[Value]:
     a, b = inst.lhs, inst.rhs
     i1 = IntType(1)
-    if a is b and is_guaranteed_not_poison(a):
+    if a is b and _not_poison(a, inst, flow):
         return ConstantInt(
             i1,
             int(inst.pred in (IcmpPred.EQ, IcmpPred.UGE, IcmpPred.ULE,
@@ -144,13 +159,13 @@ def _simplify_icmp(inst: IcmpInst) -> Optional[Value]:
         bv = _const_val(b)
         # unsigned range tautologies
         if bv == 0 and inst.pred is IcmpPred.ULT:
-            if is_guaranteed_not_poison(a):
+            if _not_poison(a, inst, flow):
                 return ConstantInt(i1, 0)
         if bv == 0 and inst.pred is IcmpPred.UGE:
-            if is_guaranteed_not_poison(a):
+            if _not_poison(a, inst, flow):
                 return ConstantInt(i1, 1)
         if bv == a.type.unsigned_max and inst.pred is IcmpPred.UGT:
-            if is_guaranteed_not_poison(a):
+            if _not_poison(a, inst, flow):
                 return ConstantInt(i1, 0)
         folded = _fold_icmp_by_known_bits(inst)
         if folded is not None:
@@ -215,13 +230,16 @@ def _simplify_select(inst: SelectInst) -> Optional[Value]:
     return None
 
 
-def _simplify_freeze(inst: FreezeInst) -> Optional[Value]:
+def _simplify_freeze(inst: FreezeInst, flow=None) -> Optional[Value]:
     v = inst.value
     # freeze(freeze(x)) -> freeze(x) (Section 6's InstCombine addition).
     if isinstance(v, FreezeInst):
         return v
-    # freeze(x) -> x when x is provably never poison/undef.
-    if is_guaranteed_not_poison(v):
+    # freeze(x) -> x when x is provably never poison/undef at this
+    # program point.  With a fixpoint result this includes values a
+    # dominating branch already observed (branch-on-poison is UB), which
+    # the shallow walk can never prove.
+    if _not_poison(v, inst, flow):
         return v
     return None
 
@@ -238,13 +256,21 @@ def _simplify_phi(inst: PhiInst) -> Optional[Value]:
 class InstSimplify(FunctionPass):
     name = "instsimplify"
 
+    #: consult the poison dataflow fixpoint (strictly stronger facts);
+    #: disable to fall back to the shallow walk only.
+    use_flow = True
+
     def run_on_function(self, fn: Function) -> bool:
+        from ..analysis.poison_flow import analyze_poison_flow
+
+        flow = (analyze_poison_flow(fn, self.config.semantics)
+                if self.use_flow else None)
         changed = False
         for block in fn.blocks:
             for inst in list(block.instructions):
                 if inst.type.is_void or inst.is_terminator:
                     continue
-                simpler = simplify_instruction(inst, self.config)
+                simpler = simplify_instruction(inst, self.config, flow=flow)
                 if simpler is not None and simpler is not inst:
                     inst.replace_all_uses_with(simpler)
                     block.erase(inst)

@@ -1,0 +1,137 @@
+"""Differential lint audit: claim validation, planted-bug detection,
+reduction, bundles, and the campaign CLI surface."""
+
+import json
+import os
+from unittest import mock
+
+from repro.campaign import lint_audit
+from repro.campaign.cli import campaign_main
+from repro.campaign.lint_audit import (
+    AuditOptions,
+    audit_function,
+    run_lint_audit,
+)
+from repro.analysis.poison_flow import MUST_NOT_POISON, MUST_POISON
+from repro.ir import parse_module
+from repro.opt.resilience.bundle import list_bundles, load_bundle
+from repro.semantics import NEW
+
+
+def _fn(text, name="f"):
+    return parse_module(text).get_function(name)
+
+
+def test_sound_claims_have_no_contradictions():
+    fn = _fn("""
+define i2 @f(i2 %a, i2 %b) {
+entry:
+  %v0 = add i2 %a, %b
+  %v1 = shl nsw i2 %v0, poison
+  ret i2 %v1
+}""")
+    found, tally = audit_function(fn, NEW, AuditOptions())
+    assert found == []
+    assert tally["must"] >= 1  # %v1 has a poison operand: must-poison
+    assert tally["observations"] > 0
+
+
+def test_silent_verdicts_counted():
+    fn = _fn("""
+define i2 @f(i2 %a) {
+entry:
+  %v0 = add i2 0, 1
+  %v1 = udiv i2 %a, %v0
+  ret i2 %v1
+}""")
+    _, tally = audit_function(fn, NEW, AuditOptions())
+    assert tally["must_not"] == 1
+    assert tally["silent_verdicts"] == 1
+
+
+def test_planted_bug_is_caught_and_reduced(tmp_path):
+    # Force the auditor to believe `add nsw %a, 1` is never poison; the
+    # interpreter refutes it on an overflowing input.
+    def bogus(fn, semantics):
+        return [(inst, MUST_NOT_POISON)
+                for b in fn.blocks for inst in b.instructions
+                if not inst.type.is_void and not inst.is_terminator]
+
+    fn = _fn("""
+define i2 @f(i2 %a) {
+entry:
+  %v0 = add nsw i2 %a, 1
+  ret i2 %v0
+}""")
+    bundles = str(tmp_path / "bundles")
+    with mock.patch.object(lint_audit, "_collect_claims", bogus):
+        found, _ = audit_function(
+            fn, NEW, AuditOptions(bundle_dir=bundles), index=7)
+    assert len(found) == 1
+    (c,) = found
+    assert c.claim == MUST_NOT_POISON and c.value_ref == "%v0"
+    assert "p" in c.observed_bits
+    # the reduced reproducer is parseable and contains only the slice
+    reduced = parse_module(c.reduced_ir)
+    body = reduced.get_function("reduced")
+    assert [i.ref() for i in body.entry.instructions[:1]] == ["%v0"]
+    # a crash bundle was written for offline triage
+    assert c.bundle_path
+    paths = list_bundles(bundles)
+    assert len(paths) == 1
+    bundle = load_bundle(paths[0])
+    assert bundle["kind"] == "lint-audit-soundness"
+    assert bundle["pass"] == "poison-flow"
+    assert bundle["application"] == 7
+    assert "refuted" in bundle["error"]
+
+
+def test_planted_must_poison_bug_is_caught():
+    def bogus(fn, semantics):
+        return [(inst, MUST_POISON)
+                for b in fn.blocks for inst in b.instructions
+                if not inst.type.is_void and not inst.is_terminator]
+
+    fn = _fn("""
+define i2 @f(i2 %a) {
+entry:
+  %v0 = add i2 %a, 1
+  ret i2 %v0
+}""")
+    with mock.patch.object(lint_audit, "_collect_claims", bogus):
+        found, _ = audit_function(fn, NEW, AuditOptions())
+    assert found and found[0].claim == MUST_POISON
+
+
+def test_run_lint_audit_strided_clean():
+    report = run_lint_audit(width=2, instructions=1,
+                            opcodes=("add", "udiv"),
+                            include_flags=True, limit=60, stride=17)
+    assert report["contradictions"] == []
+    # the strided walk covers the whole (small) space
+    assert 0 < report["totals"]["functions"] <= 60
+    assert report["totals"]["observations"] > 0
+    assert report["spec"]["stride"] == 17
+
+
+def test_campaign_cli_lint_audit(tmp_path, capsys):
+    out = str(tmp_path / "campaign")
+    code = campaign_main([
+        "lint-audit", "--instructions", "1", "--opcodes", "add,udiv",
+        "--limit", "40", "--out", out, "--json"])
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["contradictions"] == []
+    assert report["totals"]["functions"] == 40
+    # default stride spreads the limit across the whole space
+    assert report["spec"]["stride"] > 1
+
+
+def test_campaign_cli_lint_audit_human_output(tmp_path, capsys):
+    out = str(tmp_path / "campaign")
+    code = campaign_main([
+        "lint-audit", "--instructions", "1", "--opcodes", "add",
+        "--limit", "20", "--out", out])
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "no contradictions" in text

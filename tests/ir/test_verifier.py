@@ -276,3 +276,70 @@ next:
     builder.br(fn.entry)
     with pytest.raises(VerificationError, match="entry block"):
         verify_function(fn)
+
+
+# ---------------------------------------------------------------------------
+# structured diagnostics (IRLocation)
+
+
+def test_diagnostics_carry_structured_locations():
+    fn = parse_function("""
+define i8 @f(i8 %x) {
+entry:
+  %a = add i8 %x, 1
+  %b = add i8 %a, 1
+  ret i8 %b
+}
+""")
+    entry = fn.entry
+    a = entry.instructions[0]
+    entry.remove(a)
+    entry.insert_before(entry.terminator, a)  # use-before-def
+    with pytest.raises(VerificationError) as exc:
+        verify_function(fn)
+    diags = exc.value.diagnostics
+    assert diags, "structured diagnostics must accompany string errors"
+    (d,) = diags
+    assert d.loc.function == "f"
+    assert d.loc.block == "entry"
+    assert d.loc.index is not None
+    # the rendered diagnostic leads with the clickable location
+    assert str(d).startswith("@f:%entry:#")
+
+
+def test_diagnostics_match_legacy_strings():
+    fn = parse_function("""
+define i8 @f(i8 %x) {
+entry:
+  %a = add i8 %x, 1
+  ret i8 %a
+}
+""")
+    entry = fn.entry
+    term = entry.instructions.pop()
+    term.drop_all_operands()
+    term.parent = None
+    with pytest.raises(VerificationError) as exc:
+        verify_function(fn)
+    # legacy string list is unchanged; the structured list parallels it
+    assert exc.value.errors == ["@f: block %entry has no terminator"]
+    assert len(exc.value.diagnostics) == 1
+    assert exc.value.diagnostics[0].loc.block == "entry"
+    assert exc.value.diagnostics[0].loc.index is None
+
+
+def test_lint_reuses_verifier_location_type():
+    from repro.ir.location import IRLocation
+    from repro.lint import lint_function
+
+    fn = parse_function("""
+define i8 @f(i8 %x, i8 %y) {
+entry:
+  %dead = add nsw i8 %x, %y
+  %sum = add i8 %x, %y
+  ret i8 %sum
+}
+""")
+    (diag,) = lint_function(fn)
+    assert isinstance(diag.loc, IRLocation)
+    assert diag.loc.function == "f" and diag.loc.index == 0

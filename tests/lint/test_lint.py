@@ -1,0 +1,333 @@
+"""Lint rules, renderers, and CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.ir import parse_function, parse_module
+from repro.lint import (
+    RULES,
+    SEV_ERROR,
+    SEV_NOTE,
+    SEV_WARNING,
+    lint_function,
+    lint_module,
+    render_json,
+    render_sarif,
+    render_text,
+    worst_severity,
+)
+from repro.semantics import NEW, OLD
+
+DEMO = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                    "examples", "lint_demo.ll")
+
+ALL_RULES = {
+    "branch-on-maybe-poison",
+    "ub-sink-reaches-poison",
+    "redundant-freeze",
+    "missing-freeze-on-hoist",
+    "dead-on-poison-flag",
+}
+
+
+def _rules_of(diags):
+    return {d.rule_id for d in diags}
+
+
+# ---------------------------------------------------------------------------
+# rules
+
+
+def test_registry_is_complete():
+    assert set(RULES) == ALL_RULES
+
+
+def test_branch_on_flagged_value_fires():
+    fn = parse_function("""
+define i8 @f(i8 %x) {
+entry:
+  %of = add nsw i8 %x, 1
+  %c = icmp eq i8 %of, 0
+  br i1 %c, label %t, label %e
+t:
+  ret i8 1
+e:
+  ret i8 0
+}""")
+    diags = lint_function(fn)
+    assert _rules_of(diags) == {"branch-on-maybe-poison"}
+    (d,) = diags
+    assert d.severity == SEV_WARNING
+    assert d.loc.function == "f" and d.loc.block == "entry"
+
+
+def test_branch_on_plain_argument_is_silent():
+    # External-only origins must not fire: every function taking an i1
+    # may formally receive poison; flagging that would flood real code.
+    fn = parse_function("""
+define i8 @f(i1 %c) {
+entry:
+  br i1 %c, label %t, label %e
+t:
+  ret i8 1
+e:
+  ret i8 0
+}""")
+    assert lint_function(fn) == []
+
+
+def test_branch_on_literal_poison_is_error():
+    fn = parse_function("""
+define i8 @f() {
+entry:
+  %c = icmp eq i8 poison, 0
+  br i1 %c, label %t, label %e
+t:
+  ret i8 1
+e:
+  ret i8 0
+}""")
+    diags = lint_function(fn)
+    assert [d for d in diags if d.rule_id == "branch-on-maybe-poison"
+            and d.severity == SEV_ERROR]
+
+
+def test_branch_rule_respects_old_semantics():
+    # Under OLD, branch-on-poison is nondeterministic, not UB.
+    fn = parse_function("""
+define i8 @f(i8 %x) {
+entry:
+  %of = add nsw i8 %x, 1
+  %c = icmp eq i8 %of, 0
+  br i1 %c, label %t, label %e
+t:
+  ret i8 1
+e:
+  ret i8 0
+}""")
+    diags = lint_function(fn, semantics=OLD)
+    assert "branch-on-maybe-poison" not in _rules_of(diags)
+
+
+def test_ub_sink_divisor():
+    fn = parse_function("""
+define i8 @f(i8 %x, i8 %y) {
+entry:
+  %p = mul nuw i8 %x, 2
+  %q = udiv i8 %y, %p
+  ret i8 %q
+}""")
+    diags = lint_function(fn)
+    assert "ub-sink-reaches-poison" in _rules_of(diags)
+
+
+def test_ub_sink_silent_when_divisor_proven():
+    fn = parse_function("""
+define i8 @f(i8 %x) {
+entry:
+  %q = udiv i8 %x, 3
+  ret i8 %q
+}""")
+    assert "ub-sink-reaches-poison" not in _rules_of(lint_function(fn))
+
+
+def test_redundant_freeze_via_refinement():
+    fn = parse_function("""
+define i8 @f(i8 %x) {
+entry:
+  %c = icmp ult i8 %x, 10
+  br i1 %c, label %use, label %out
+use:
+  %f = freeze i8 %x
+  ret i8 %f
+out:
+  ret i8 0
+}""")
+    diags = lint_function(fn)
+    assert _rules_of(diags) == {"redundant-freeze"}
+    (d,) = diags
+    assert d.severity == SEV_NOTE
+
+
+def test_necessary_freeze_not_flagged():
+    fn = parse_function("""
+define i8 @f(i8 %x) {
+entry:
+  %f = freeze i8 %x
+  ret i8 %f
+}""")
+    assert lint_function(fn) == []
+
+
+def test_dead_flag_fires_on_unused_result():
+    fn = parse_function("""
+define i8 @f(i8 %x, i8 %y) {
+entry:
+  %dead = add nsw i8 %x, %y
+  %sum = add i8 %x, %y
+  ret i8 %sum
+}""")
+    diags = lint_function(fn)
+    assert _rules_of(diags) == {"dead-on-poison-flag"}
+
+
+def test_flag_observed_through_freeze_is_dead():
+    # freeze launders poison: the nsw can never be observed behind it.
+    fn = parse_function("""
+define i8 @f(i8 %x) {
+entry:
+  %a = add nsw i8 %x, 1
+  %fr = freeze i8 %a
+  ret i8 %fr
+}""")
+    diags = lint_function(fn)
+    assert "dead-on-poison-flag" in _rules_of(diags)
+
+
+def test_flag_reaching_return_is_live():
+    fn = parse_function("""
+define i8 @f(i8 %x) {
+entry:
+  %a = add nsw i8 %x, 1
+  ret i8 %a
+}""")
+    assert "dead-on-poison-flag" not in _rules_of(lint_function(fn))
+
+
+def test_rule_selection_and_unknown_rule():
+    fn = parse_function("""
+define i8 @f(i8 %x, i8 %y) {
+entry:
+  %dead = add nsw i8 %x, %y
+  %sum = add i8 %x, %y
+  ret i8 %sum
+}""")
+    assert lint_function(fn, rules=["redundant-freeze"]) == []
+    with pytest.raises(ValueError, match="unknown lint rule"):
+        lint_function(fn, rules=["no-such-rule"])
+
+
+# ---------------------------------------------------------------------------
+# the demo file fires every rule exactly once
+
+
+def test_demo_fires_every_rule_exactly_once():
+    with open(DEMO) as f:
+        module = parse_module(f.read())
+    diags = lint_module(module)
+    assert len(diags) == len(ALL_RULES)
+    assert _rules_of(diags) == ALL_RULES
+
+
+# ---------------------------------------------------------------------------
+# renderers
+
+
+def _demo_diags():
+    with open(DEMO) as f:
+        module = parse_module(f.read())
+    return lint_module(module, file="examples/lint_demo.ll")
+
+
+def test_text_renderer():
+    diags = _demo_diags()
+    text = render_text(diags)
+    for d in diags:
+        assert f"[{d.rule_id}]" in text
+        assert str(d.loc) in text
+    assert render_text([]) == "no findings"
+
+
+def test_json_renderer():
+    doc = json.loads(render_json(_demo_diags()))
+    assert doc["tool"] == "repro-lint"
+    assert {f["rule"] for f in doc["findings"]} == ALL_RULES
+    for f in doc["findings"]:
+        assert f["file"] == "examples/lint_demo.ll"
+        assert set(f["location"]) == {"function", "block", "index", "ref"}
+
+
+def test_sarif_structure():
+    doc = json.loads(render_sarif(_demo_diags()))
+    assert doc["version"] == "2.1.0"
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    assert {r["id"] for r in driver["rules"]} == ALL_RULES
+    assert len(run["results"]) == len(ALL_RULES)
+    for result in run["results"]:
+        assert result["ruleId"] in ALL_RULES
+        assert result["level"] in ("note", "warning", "error")
+        (loc,) = result["locations"]
+        assert loc["physicalLocation"]["artifactLocation"]["uri"] == \
+            "examples/lint_demo.ll"
+        assert loc["logicalLocations"][0]["fullyQualifiedName"].startswith("@")
+
+
+def test_worst_severity():
+    diags = _demo_diags()
+    assert worst_severity(diags) == SEV_WARNING
+    assert worst_severity([]) is None
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean.ll"
+    clean.write_text("""
+define i8 @id(i8 %x) {
+entry:
+  ret i8 %x
+}
+""")
+    assert repro_main(["lint", str(clean)]) == 0
+    assert repro_main(["lint", DEMO]) == 1  # warnings present
+    assert repro_main(["lint", str(tmp_path / "missing.ll")]) == 2
+    assert repro_main(["lint"]) == 2
+    assert repro_main(["lint", DEMO, "--rule", "bogus"]) == 2
+    capsys.readouterr()
+
+
+def test_cli_notes_only_pass(tmp_path, capsys):
+    # note-severity findings alone do not fail the run
+    assert repro_main(["lint", DEMO, "--rule", "dead-on-poison-flag"]) == 0
+    out = capsys.readouterr().out
+    assert "dead-on-poison-flag" in out
+
+
+def test_cli_json_and_sarif(tmp_path, capsys):
+    sarif_path = tmp_path / "out.sarif"
+    code = repro_main(["lint", DEMO, "--json",
+                       "--sarif", str(sarif_path)])
+    assert code == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert {f["rule"] for f in doc["findings"]} == ALL_RULES
+    sarif = json.loads(sarif_path.read_text())
+    assert sarif["version"] == "2.1.0"
+
+
+def test_cli_pipeline_unswitch_legacy_vs_fixed(capsys):
+    example = os.path.join(os.path.dirname(DEMO), "unswitch_gvn.ll")
+    # legacy config unswitches without freezing: the checker flags it
+    code = repro_main(["lint", example, "--pipeline", "o2",
+                       "--opt-config", "legacy"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "missing-freeze-on-hoist" in out
+    # the fixed config freezes the hoisted condition: clean
+    code = repro_main(["lint", example, "--pipeline", "o2",
+                       "--opt-config", "fixed"])
+    capsys.readouterr()
+    assert code == 0
+
+
+def test_cli_list_rules(capsys):
+    assert repro_main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ALL_RULES:
+        assert rule_id in out
