@@ -1,7 +1,14 @@
 """Entry point: ``python -m repro <file.ll> [flags]``."""
 
+import os
 import sys
 
 from .cli import main
 
-sys.exit(main())
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # piping report output into `head`/`grep -q` closes stdout early;
+    # exit quietly instead of tracebacking (the Python docs recipe)
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    sys.exit(120)

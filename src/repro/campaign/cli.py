@@ -116,6 +116,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        dest="stop_after",
                        help="stop after N completed shards (graceful "
                             "interrupt; resume finishes the rest)")
+        p.add_argument("--trace-out", nargs="?", const="", default=None,
+                       dest="trace_out", metavar="FILE",
+                       help="trace this run: workers stream spans + "
+                            "metric snapshots under <out>/spans, merged "
+                            "after the run into a Chrome-trace FILE "
+                            "(default: <out>/trace.json) — load it in "
+                            "Perfetto or feed it to `repro diag top`")
         p.add_argument("--json", action="store_true",
                        help="emit the summary as JSON")
 
@@ -198,6 +205,39 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
     )
 
 
+def _spans_dir(out: str) -> str:
+    import os
+
+    return os.path.join(out, "spans")
+
+
+def _apply_trace(spec: CampaignSpec, args: argparse.Namespace
+                 ) -> CampaignSpec:
+    """Tracing is per-invocation: ``--trace-out`` turns it on for this
+    run/resume; its absence turns it off even if the manifest recorded
+    a traced earlier run."""
+    trace_dir = (_spans_dir(args.out)
+                 if getattr(args, "trace_out", None) is not None else None)
+    return spec.with_(trace_dir=trace_dir)
+
+
+def _finish_trace(args: argparse.Namespace) -> None:
+    """Merge the per-shard span files into one trace.json."""
+    import os
+
+    from ..diag.trace_export import merge_trace
+
+    trace_path = args.trace_out or os.path.join(args.out, "trace.json")
+    trace = merge_trace(_spans_dir(args.out), trace_path)
+    events = sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+    pids = len({e.get("pid") for e in trace["traceEvents"]})
+    # under --json stdout is the machine-readable summary; keep it pure
+    sink = sys.stderr if getattr(args, "json", False) else sys.stdout
+    print(f"trace: {events} span(s) from {pids} worker(s) merged into "
+          f"{trace_path} (Perfetto-loadable; see `repro diag top "
+          f"--trace {trace_path}`)", file=sink)
+
+
 def _print_summary(summary, as_json: bool) -> None:
     if as_json:
         print(json.dumps(summary.as_dict(), indent=2, sort_keys=True))
@@ -231,10 +271,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    spec = _apply_trace(spec, args)
     runner = CampaignRunner(spec, out_dir=args.out, workers=args.workers,
                             shard_timeout=args.shard_timeout)
     summary = runner.run(stop_after=args.stop_after)
     _print_summary(summary, args.json)
+    if args.trace_out is not None:
+        _finish_trace(args)
     return 0
 
 
@@ -246,10 +289,13 @@ def _cmd_resume(args: argparse.Namespace) -> int:
               f"(run `campaign run --out {args.out}` first)",
               file=sys.stderr)
         return 1
+    spec = _apply_trace(spec, args)
     runner = CampaignRunner(spec, out_dir=args.out, workers=args.workers,
                             shard_timeout=args.shard_timeout)
     summary = runner.run(resume=True, stop_after=args.stop_after)
     _print_summary(summary, args.json)
+    if args.trace_out is not None:
+        _finish_trace(args)
     return 0
 
 

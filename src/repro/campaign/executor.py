@@ -29,7 +29,16 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from ..diag import PassStats, PassTiming, Statistic, emit_remark
+from ..diag import (
+    FlightRecorder,
+    PassStats,
+    PassTiming,
+    Statistic,
+    default_registry,
+    emit_remark,
+    set_recorder,
+    span,
+)
 from ..diag.remarks import REMARK_ANALYSIS
 from ..opt.resilience import write_bundle
 from .checkpoint import CheckpointStore, save_manifest
@@ -96,6 +105,9 @@ class CampaignSummary:
     #: canonical hash → verdict, merged across shards in shard-id order
     #: (first occurrence wins), so the set is schedule-independent.
     verdicts: Dict[str, str] = field(default_factory=dict)
+    #: merged worker stats deltas (``{pass: {counter: n}}``) — the full
+    #: registry view across every shard, process-local or not.
+    stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
     timing: PassTiming = field(default_factory=PassTiming, repr=False)
     records: Dict[int, dict] = field(default_factory=dict, repr=False)
 
@@ -128,6 +140,7 @@ class CampaignSummary:
             "bundles": self.bundle_paths,
             "wall_seconds": self.wall_seconds,
             "counterexamples": self.counterexamples,
+            "stats": self.stats,
         }
 
 
@@ -135,11 +148,21 @@ def _shard_entry(conn, spec_dict: dict, shard_dict: dict,
                  known_hashes: Dict[str, str]) -> None:
     """Child-process entry: run one shard, report through the pipe."""
     shard = Shard.from_dict(shard_dict)
+    # Black box for this worker: if the shard dies catastrophically
+    # (outside the worker's own per-function handling), its last
+    # recorded moments still reach the errored-shard record.
+    recorder = FlightRecorder()
+    set_recorder(recorder)
+    recorder.install()
     try:
         record = run_shard(CampaignSpec.from_dict(spec_dict), shard,
                            known_hashes)
     except BaseException as e:  # report instead of dying silently
         record = _errored_record(shard, repr(e))
+        record["flight_recorder"] = recorder.dump()
+    finally:
+        recorder.uninstall()
+        set_recorder(None)
     try:
         conn.send(record)
     finally:
@@ -225,10 +248,13 @@ class CampaignRunner:
 
         run_processes = (self.use_processes if self.use_processes is not None
                          else self.workers > 1)
-        if run_processes:
-            self._run_subprocess(pending, known, finalize)
-        else:
-            self._run_inprocess(pending, known, finalize)
+        with span("campaign-run", cat="campaign") as sp:
+            if run_processes:
+                self._run_subprocess(pending, known, finalize)
+            else:
+                self._run_inprocess(pending, known, finalize)
+            sp.set(shards=len(pending), workers=self.workers,
+                   processes=run_processes)
 
         summary = self._summarize({**prior, **new_records}, shards,
                                   shards_run=len(new_records),
@@ -255,10 +281,17 @@ class CampaignRunner:
     def _run_inprocess(self, pending: List[Shard], known: Dict[str, str],
                        finalize) -> None:
         for shard in pending:
+            recorder = FlightRecorder()
+            old_recorder = set_recorder(recorder)
+            recorder.install()
             try:
                 record = run_shard(self.spec, shard, known)
             except Exception as e:
                 record = _errored_record(shard, repr(e))
+                record["flight_recorder"] = recorder.dump()
+            finally:
+                recorder.uninstall()
+                set_recorder(old_recorder)
             finalize(shard, record)
 
     def _run_subprocess(self, pending: List[Shard], known: Dict[str, str],
@@ -312,7 +345,21 @@ class CampaignRunner:
                     continue
                 conn.close()
                 del running[sid]
+                self._merge_worker_stats(record)
                 finalize(shard, record)
+
+    @staticmethod
+    def _merge_worker_stats(record: dict) -> None:
+        """Fold a child process's stats delta into this process's
+        registry: the worker's own `StatsRegistry` died with it, and
+        without this merge every refine/memo/pass counter a parallel
+        campaign produced would reduce to zero at the runner.  In-process
+        shards bump the shared registry directly, so only the subprocess
+        path merges (merging both would double-count)."""
+        registry = default_registry()
+        for pass_name, counters in (record.get("stats") or {}).items():
+            for name, value in counters.items():
+                registry.add(pass_name, name, value)
 
     # -- aggregation -------------------------------------------------------
     def _summarize(self, records: Dict[int, dict], shards: List[Shard],
@@ -349,6 +396,10 @@ class CampaignRunner:
             # set is independent of worker count and scheduling order.
             for h, v in sorted(record.get("hashes", {}).items()):
                 summary.verdicts.setdefault(h, v)
+            for pass_name, counters in (record.get("stats") or {}).items():
+                dest = summary.stats.setdefault(pass_name, {})
+                for name, value in counters.items():
+                    dest[name] = dest.get(name, 0) + value
             summary.timing.passes.setdefault(
                 "campaign-shard", PassStats()
             ).record(f"shard{sid}", record.get("wall_seconds", 0.0),

@@ -35,7 +35,19 @@ import time
 import traceback as traceback_module
 from typing import Dict, List, Optional
 
-from ..diag import stats_snapshot
+from ..diag import (
+    FlightRecorder,
+    MetricsWriter,
+    SpanCollector,
+    current_collector,
+    current_recorder,
+    default_registry,
+    metrics_snapshot,
+    prom_name,
+    set_collector,
+    set_recorder,
+    stats_snapshot,
+)
 from ..ir import parse_function, print_function, print_module, verify_function
 from ..opt.resilience import GuardedPassError
 from ..perf import RefinementMemo
@@ -57,6 +69,26 @@ def _maybe_crash(shard_id: int) -> None:
     crash_ids = os.environ.get(CRASH_ENV, "")
     if crash_ids and str(shard_id) in crash_ids.split(","):
         os._exit(17)  # simulate a hard worker death (no cleanup, no report)
+
+
+def _shard_metrics(stats_before: Dict[str, Dict[str, int]]) -> dict:
+    """A metrics snapshot whose stats are rebased to this shard's start.
+
+    One worker process can run several shards, but each shard flushes to
+    its own metrics file and :func:`merge_latest_metrics` *sums* the
+    latest stats across files — so the flushed stats must be shard-local
+    deltas, not the process registry's cumulative totals.
+    """
+    snap = metrics_snapshot()
+    base = {prom_name(pass_name, name): value
+            for pass_name, counters in stats_before.items()
+            for name, value in counters.items()}
+    snap["stats"] = {
+        name: value - base.get(name, 0)
+        for name, value in snap["stats"].items()
+        if value - base.get(name, 0)
+    }
+    return snap
 
 
 def _stats_delta(before: Dict[str, Dict[str, int]],
@@ -83,6 +115,63 @@ def run_shard(spec: CampaignSpec, shard: Shard,
     start_time = time.perf_counter()
     stats_before = stats_snapshot()
 
+    # -- observability plumbing (must never change a verdict) -----------
+    # With spec.trace_dir set, this shard streams spans to its own JSONL
+    # file (pid = shard id in the merged trace) and periodic metric
+    # snapshots alongside.  A flight recorder runs either way: the
+    # executor installs one around us; direct callers get a local one.
+    collector = current_collector()
+    old_collector = None
+    if spec.trace_dir:
+        collector = SpanCollector()
+        collector.open(
+            os.path.join(spec.trace_dir,
+                         f"spans-shard{shard.shard_id:04d}.jsonl"),
+            pid=shard.shard_id, label=f"shard {shard.shard_id}")
+        old_collector = set_collector(collector)
+    recorder = current_recorder()
+    owns_recorder = recorder is None
+    if owns_recorder:
+        recorder = FlightRecorder()
+        set_recorder(recorder)
+        recorder.install(collector=collector)
+    elif old_collector is not None:
+        # The executor wired the recorder to the (disabled) default
+        # collector; mirror completions from the traced one as well.
+        collector.on_complete.append(recorder.on_span)
+    metrics = None
+    if spec.trace_dir:
+        metrics = MetricsWriter(
+            os.path.join(spec.trace_dir,
+                         f"metrics-shard{shard.shard_id:04d}.jsonl"),
+            interval=spec.metrics_interval)
+    registry = default_registry()
+    tracing = collector.enabled
+    if tracing:
+        # per-function stat deltas come off the increment journal:
+        # O(counters that moved) per function, no snapshot churn
+        registry.start_journal()
+    try:
+        return _run_shard_body(
+            spec, shard, known_hashes, start_time, stats_before,
+            collector, recorder, metrics, registry, tracing)
+    finally:
+        if tracing:
+            registry.stop_journal()
+        if owns_recorder:
+            recorder.uninstall()
+            set_recorder(None)
+        elif old_collector is not None:
+            collector.on_complete.remove(recorder.on_span)
+        if old_collector is not None:
+            collector.close()
+            set_collector(old_collector)
+
+
+def _run_shard_body(spec: CampaignSpec, shard: Shard,
+                    known_hashes: Optional[Dict[str, str]],
+                    start_time: float, stats_before, collector,
+                    recorder, metrics, registry, tracing: bool) -> dict:
     cache = DedupCache(known_hashes)
     # The perf-layer memo replays verdicts for canonical hashes decided
     # by earlier shards/runs of the same context ("failed" is never
@@ -99,75 +188,109 @@ def run_shard(spec: CampaignSpec, shard: Shard,
     bundles: List[dict] = []
     recoveries = 0
 
-    for offset, fn in enumerate(iter_shard_functions(spec, shard)):
-        index = shard.start + offset
-        src_text = print_module(fn.module)
-        h = canonical_hash(fn)
-        if cache.lookup(h) is not None:
-            continue
+    with collector.span("shard", cat="campaign") as shard_span:
+        for offset, fn in enumerate(iter_shard_functions(spec, shard)):
+            index = shard.start + offset
+            src_text = print_module(fn.module)
+            h = canonical_hash(fn)
+            recorder.record("check-function", shard=shard.shard_id,
+                            index=index, fn=fn.name, hash=h)
+            if metrics is not None:
+                # lazy: the registry walk only happens on the calls
+                # the flush interval lets through
+                metrics.maybe_flush(
+                    lambda: _shard_metrics(stats_before),
+                    shard=shard.shard_id,
+                    checked=sum(verdicts.values()))
+            mark = registry.journal_mark() if tracing else 0
+            with collector.span("check-function", cat="campaign",
+                                function=fn.name) as sp:
+                try:
+                    if cache.lookup(h) is not None:
+                        sp.set(outcome="dedup-hit")
+                        continue
+                    if memo is not None:
+                        replayed = memo.lookup(h)
+                        if replayed is not None:
+                            # Same record a full check would produce (the
+                            # checker is deterministic), minus the work.
+                            verdicts[replayed] = verdicts.get(replayed, 0) + 1
+                            cache.add(h, replayed)
+                            new_hashes[h] = replayed
+                            sp.set(outcome="memo-replay", verdict=replayed)
+                            continue
+
+                    before = parse_function(src_text)
+                    pipeline = spec.make_pipeline()
+                    try:
+                        pipeline.run_on_function(fn)
+                        verify_function(fn)
+                    except Exception as e:
+                        # A failure the policy did not absorb:
+                        # GuardedPassError under strict, or a raw
+                        # crash/verifier rejection from an unguarded
+                        # pipeline.  Record it per-function — no dedup
+                        # verdict, so resume retries exactly this function —
+                        # and keep the shard alive.  The flight recorder's
+                        # last moments ride along for the post-mortem.
+                        failure = getattr(e, "failure", None)
+                        crashes.append({
+                            "shard_id": shard.shard_id,
+                            "index": index,
+                            "hash": h,
+                            "pass": failure.pass_name if failure else "",
+                            "kind": failure.kind if failure else "exception",
+                            "error": repr(e),
+                            "traceback": traceback_module.format_exc(),
+                            "source": src_text,
+                            "flight_recorder": recorder.dump(),
+                        })
+                        recovered, payloads = _harvest(pipeline, fatal=failure)
+                        recoveries += recovered
+                        bundles.extend(payloads)
+                        sp.set(outcome="crashed")
+                        continue
+
+                    recovered, payloads = _harvest(pipeline)
+                    recoveries += recovered
+                    bundles.extend(payloads)
+
+                    result = check_refinement(before, fn, semantics,
+                                              options=options)
+                    verdict = result.verdict
+                    if verdict == "inconclusive" and FUEL_REASON in result.reason:
+                        verdict = "timeout"
+                    verdicts[verdict] = verdicts.get(verdict, 0) + 1
+                    cache.add(h, verdict)
+                    new_hashes[h] = verdict
+                    if memo is not None:
+                        memo.record(h, verdict)
+                    sp.set(outcome="checked", verdict=verdict)
+                    if result.failed:
+                        counterexamples.append({
+                            "shard_id": shard.shard_id,
+                            "index": index,
+                            "hash": h,
+                            "source": src_text,
+                            "optimized": print_function(fn),
+                            "counterexample": str(result.counterexample),
+                            "inputs_checked": result.inputs_checked,
+                        })
+                finally:
+                    if tracing:
+                        sp.set(index=index, hash=h)
+                        sp.stats = registry.journal_delta(mark,
+                                                          truncate=True)
+
         if memo is not None:
-            replayed = memo.lookup(h)
-            if replayed is not None:
-                # Same record a full check would produce (the checker is
-                # deterministic), minus the work.
-                verdicts[replayed] = verdicts.get(replayed, 0) + 1
-                cache.add(h, replayed)
-                new_hashes[h] = replayed
-                continue
-
-        before = parse_function(src_text)
-        pipeline = spec.make_pipeline()
-        try:
-            pipeline.run_on_function(fn)
-            verify_function(fn)
-        except Exception as e:
-            # A failure the policy did not absorb: GuardedPassError
-            # under strict, or a raw crash/verifier rejection from an
-            # unguarded pipeline.  Record it per-function — no dedup
-            # verdict, so resume retries exactly this function — and
-            # keep the shard alive.
-            failure = getattr(e, "failure", None)
-            crashes.append({
-                "shard_id": shard.shard_id,
-                "index": index,
-                "hash": h,
-                "pass": failure.pass_name if failure else "",
-                "kind": failure.kind if failure else "exception",
-                "error": repr(e),
-                "traceback": traceback_module.format_exc(),
-                "source": src_text,
-            })
-            recovered, payloads = _harvest(pipeline, fatal=failure)
-            recoveries += recovered
-            bundles.extend(payloads)
-            continue
-
-        recovered, payloads = _harvest(pipeline)
-        recoveries += recovered
-        bundles.extend(payloads)
-
-        result = check_refinement(before, fn, semantics, options=options)
-        verdict = result.verdict
-        if verdict == "inconclusive" and FUEL_REASON in result.reason:
-            verdict = "timeout"
-        verdicts[verdict] = verdicts.get(verdict, 0) + 1
-        cache.add(h, verdict)
-        new_hashes[h] = verdict
-        if memo is not None:
-            memo.record(h, verdict)
-        if result.failed:
-            counterexamples.append({
-                "shard_id": shard.shard_id,
-                "index": index,
-                "hash": h,
-                "source": src_text,
-                "optimized": print_function(fn),
-                "counterexample": str(result.counterexample),
-                "inputs_checked": result.inputs_checked,
-            })
-
-    if memo is not None:
-        memo.flush()
+            memo.flush()
+        shard_span.set(shard=shard.shard_id,
+                       checked=sum(verdicts.values()),
+                       dedup_hits=cache.hits, crashes=len(crashes))
+    if metrics is not None:
+        metrics.flush(_shard_metrics(stats_before),
+                      shard=shard.shard_id,
+                      checked=sum(verdicts.values()), final=True)
     record = {
         "shard_id": shard.shard_id,
         "status": "errored" if crashes else "done",

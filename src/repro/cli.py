@@ -34,6 +34,14 @@ Resilience (``repro.opt.resilience``) is wired in three places:
   driver: binary-search the first pass application that makes a checker
   (IR verification, or interpreted behavior vs. the unoptimized module)
   fail.
+
+``python -m repro diag {top,merge,prom} ...`` is the observability
+toolbox (:mod:`repro.diag`): render a profiler-style ``top`` table from
+a merged span trace, merge per-shard span files into a
+Perfetto-loadable ``trace.json``, and render metric snapshots in the
+Prometheus text format.  Compile mode grows ``--trace-out FILE`` which
+records an in-memory span tree for the single compilation and writes
+the same trace format.
 """
 
 from __future__ import annotations
@@ -49,6 +57,7 @@ from .diag import (
     default_registry,
     format_stats,
     reset_stats,
+    span,
 )
 from .ir import ParseError, parse_module, print_module, verify_module
 from .ir.types import IntType, VectorType
@@ -120,6 +129,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="print the optimized module")
     parser.add_argument("--json", action="store_true",
                         help="emit the whole report as one JSON document")
+    parser.add_argument("--trace-out", default=None, dest="trace_out",
+                        metavar="FILE",
+                        help="record spans for this compilation and "
+                             "write a Chrome-trace FILE (load in "
+                             "Perfetto, or `repro diag top --trace`)")
     _add_resilience_arguments(parser)
     return parser
 
@@ -256,6 +270,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _bisect_main(argv[1:])
     if argv and argv[0] == "lint":
         return _lint_main(argv[1:])
+    if argv and argv[0] == "diag":
+        return _diag_main(argv[1:])
     args = _build_parser().parse_args(argv)
 
     try:
@@ -276,6 +292,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     timing = PassTiming()
     emitter = default_emitter()
 
+    collector = old_collector = None
+    if args.trace_out:
+        import os
+
+        from .diag import SpanCollector, set_collector
+
+        collector = SpanCollector(
+            label=os.path.basename(args.input) or args.input, keep=True)
+        old_collector = set_collector(collector)
+
     chaos = _chaos_engine(args)
     guarded = _wants_guard(args, chaos)
     policy = args.policy
@@ -284,27 +310,53 @@ def main(argv: Optional[List[str]] = None) -> int:
         # default to surviving their own injected faults.
         policy = "recover" if chaos is not None else "strict"
 
+    # Guarded compiles fly with the black box on: crash bundles then
+    # carry the last events before the failure (`repro crash show`).
+    recorder = None
+    if guarded:
+        from .diag import FlightRecorder, set_recorder
+
+        recorder = FlightRecorder()
+        set_recorder(recorder)
+        recorder.install(collector=collector)
+
     failure_exit = 0
-    with emitter.collect() as remarks:
-        if guarded:
-            pm = guarded_pipeline(
-                args.pipeline, config, timing=timing, policy=policy,
-                verify_each=args.verify_each,
-                quarantine_after=args.quarantine_after,
-                bisect_limit=args.bisect_limit,
-                crash_dir=args.crash_dir, chaos=chaos)
-        else:
-            pm = _PIPELINES[args.pipeline](config, timing=timing)
-        try:
-            pm.run(module)
-            verify_module(module)
-        except GuardedPassError as e:
-            print(f"error: {e}", file=sys.stderr)
-            failure_exit = EXIT_GUARDED_FAILURE
-        except VerificationError as e:
-            print(f"error: verification failed after the pipeline: {e}",
-                  file=sys.stderr)
-            failure_exit = EXIT_GUARDED_FAILURE
+    try:
+        with emitter.collect() as remarks:
+            if guarded:
+                pm = guarded_pipeline(
+                    args.pipeline, config, timing=timing, policy=policy,
+                    verify_each=args.verify_each,
+                    quarantine_after=args.quarantine_after,
+                    bisect_limit=args.bisect_limit,
+                    crash_dir=args.crash_dir, chaos=chaos)
+            else:
+                pm = _PIPELINES[args.pipeline](config, timing=timing)
+            try:
+                with span("compile", cat="driver") as sp:
+                    pm.run(module)
+                    verify_module(module)
+                    sp.set(pipeline=args.pipeline)
+            except GuardedPassError as e:
+                print(f"error: {e}", file=sys.stderr)
+                failure_exit = EXIT_GUARDED_FAILURE
+            except VerificationError as e:
+                print(f"error: verification failed after the pipeline: {e}",
+                      file=sys.stderr)
+                failure_exit = EXIT_GUARDED_FAILURE
+    finally:
+        if recorder is not None:
+            from .diag import set_recorder
+
+            recorder.uninstall()
+            set_recorder(None)
+
+    if collector is not None:
+        from .diag import set_collector
+
+        set_collector(old_collector)
+        collector.close()
+        _write_compile_trace(collector, args.trace_out)
 
     json_mode = args.json or args.remarks == "json"
     report: dict = {
@@ -389,6 +441,145 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  chaos: seed={c['seed']} rate={c['rate']} "
                   f"mode={c['mode']} injected={c['injected']}")
     return failure_exit
+
+
+def _write_compile_trace(collector, trace_out: str) -> None:
+    """Dump a single-compile in-memory span tree as a Chrome trace."""
+    import os
+
+    from .diag.trace_export import merge_traces
+
+    meta = {"pid": 0, "label": collector.label}
+    trace = merge_traces([(meta, [s.as_dict() for s in collector.spans])])
+    parent = os.path.dirname(trace_out)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(trace_out, "w", encoding="utf-8") as f:
+        json.dump(trace, f)
+    spans = sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+    print(f"trace: {spans} span(s) written to {trace_out} "
+          f"(Perfetto-loadable; see `repro diag top --trace "
+          f"{trace_out}`)", file=sys.stderr)
+
+
+# -- python -m repro diag {top,merge,prom} ---------------------------------
+def _diag_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro diag",
+        description="Observability toolbox: profile merged span traces, "
+                    "merge per-shard span files, render Prometheus "
+                    "metrics.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    top = sub.add_parser(
+        "top", help="profiler-style top table from a span trace")
+    src = top.add_mutually_exclusive_group(required=True)
+    src.add_argument("--trace", metavar="FILE",
+                     help="a merged trace.json (campaign --trace-out or "
+                          "compile --trace-out)")
+    src.add_argument("--out", metavar="DIR",
+                     help="a campaign directory: reads DIR/trace.json "
+                          "if present, else merges DIR/spans on the fly")
+    top.add_argument("--sort", choices=("self", "total", "count"),
+                     default="self",
+                     help="row order (default: self time)")
+    top.add_argument("--limit", type=int, default=20,
+                     help="rows to show (default: 20)")
+    top.add_argument("--json", action="store_true",
+                     help="emit the profile rows as JSON")
+
+    merge = sub.add_parser(
+        "merge", help="merge per-shard span files into one trace.json")
+    merge.add_argument("spans_dir",
+                       help="directory of spans-*.jsonl files "
+                            "(a campaign's <out>/spans)")
+    merge.add_argument("-o", "--output", default=None,
+                       help="trace file to write (default: "
+                            "<spans_dir>/../trace.json)")
+
+    prom = sub.add_parser(
+        "prom", help="render metric snapshots as Prometheus text")
+    prom.add_argument("paths", nargs="+",
+                      help="metrics JSONL file(s), or directories "
+                           "containing metrics-*.jsonl")
+    return parser
+
+
+def _metrics_files(paths: List[str]) -> List[str]:
+    import glob
+    import os
+
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            files.extend(sorted(
+                glob.glob(os.path.join(path, "metrics-*.jsonl"))))
+        else:
+            files.append(path)
+    return files
+
+
+def _diag_main(argv: List[str]) -> int:
+    import os
+
+    from .diag.trace_export import (
+        build_profile, load_trace, merge_trace, render_top,
+    )
+
+    args = _diag_parser().parse_args(argv)
+
+    if args.command == "top":
+        if args.trace:
+            try:
+                trace = load_trace(args.trace)
+            except (OSError, ValueError) as e:
+                print(f"error: {args.trace}: {e}", file=sys.stderr)
+                return 1
+        else:
+            trace_path = os.path.join(args.out, "trace.json")
+            spans_dir = os.path.join(args.out, "spans")
+            if os.path.isfile(trace_path):
+                trace = load_trace(trace_path)
+            elif os.path.isdir(spans_dir):
+                trace = merge_trace(spans_dir)
+            else:
+                print(f"error: neither {trace_path} nor {spans_dir} "
+                      f"exists (run the campaign with --trace-out)",
+                      file=sys.stderr)
+                return 1
+        profile = build_profile(trace)
+        if args.json:
+            print(json.dumps(profile, indent=2, sort_keys=True))
+        else:
+            print(render_top(profile, sort=args.sort, limit=args.limit))
+        return 0
+
+    if args.command == "merge":
+        if not os.path.isdir(args.spans_dir):
+            print(f"error: {args.spans_dir} is not a directory",
+                  file=sys.stderr)
+            return 1
+        out = args.output or os.path.join(
+            os.path.dirname(os.path.abspath(args.spans_dir)),
+            "trace.json")
+        trace = merge_trace(args.spans_dir, out)
+        events = sum(1 for e in trace["traceEvents"]
+                     if e.get("ph") == "X")
+        pids = len({e.get("pid") for e in trace["traceEvents"]})
+        print(f"trace: {events} span(s) from {pids} worker(s) merged "
+              f"into {out}")
+        return 0
+
+    # prom
+    from .diag.metrics import merge_latest_metrics, render_prometheus
+
+    files = _metrics_files(args.paths)
+    if not files:
+        print("error: no metrics JSONL files found", file=sys.stderr)
+        return 1
+    snapshot = merge_latest_metrics(files)
+    sys.stdout.write(render_prometheus(snapshot))
+    return 0
 
 
 # -- python -m repro crash {list,show,replay} ------------------------------
@@ -503,6 +694,26 @@ def _lint_main(argv: List[str]) -> int:
     return 1 if worst >= 1 else 0  # warnings/errors fail, notes pass
 
 
+def _print_flight_recorder(dump: Optional[dict],
+                           tail: int = 16) -> None:
+    """Render a bundle's black-box flight-recorder tail."""
+    if not dump or not dump.get("events"):
+        return
+    events = dump["events"]
+    dropped = dump.get("dropped", 0)
+    print(f"flight recorder: {dump.get('recorded', len(events))} "
+          f"event(s) recorded"
+          + (f", {dropped} dropped (ring capacity "
+             f"{dump.get('capacity')})" if dropped else "")
+          + f"; last {min(tail, len(events))}:")
+    base = events[0].get("t", 0.0)
+    for event in events[-tail:]:
+        fields = " ".join(f"{k}={v}" for k, v in event.items()
+                          if k not in ("t", "kind"))
+        offset = event.get("t", base) - base
+        print(f"  +{offset:8.3f}s {event.get('kind', '?'):<16} {fields}")
+
+
 def _crash_main(argv: List[str]) -> int:
     args = _crash_parser().parse_args(argv)
     if args.command == "list":
@@ -545,6 +756,7 @@ def _crash_main(argv: List[str]) -> int:
                         "injected_action"):
                 if bundle.get(key) is not None:
                     print(f"{key}: {bundle[key]}")
+            _print_flight_recorder(bundle.get("flight_recorder"))
             if args.ir:
                 print("\n--- before.ll ---")
                 print(bundle["before_ir"])

@@ -1,0 +1,155 @@
+"""Black-box flight recorder: the last N events before a failure.
+
+A :class:`FlightRecorder` keeps a bounded ring of recent events —
+completed spans, optimization remarks, and explicit breadcrumbs like
+"checking function f_0042" — per worker process.  When a pass crashes
+or a shard errors, the ring is dumped into the crash bundle / errored
+shard record, so post-mortems replay the last moments *without
+rerunning* (the whole point of a black box: the evidence survives the
+crash).
+
+Cost discipline: the ring is a ``deque(maxlen=N)`` of small dicts, so
+recording is O(1) and memory is bounded.  The recorder subscribes to
+the remark emitter and the span collector only while *installed*, and
+installation happens per guarded run / per worker shard — never
+globally — so the emitter's ``active`` no-op fast path still holds for
+uninstrumented runs.
+
+This module deliberately imports nothing from the rest of ``repro``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from .remarks import Remark, RemarkEmitter, default_emitter
+from .spans import Span, SpanCollector, current_collector
+
+#: default ring capacity (events, not bytes).
+DEFAULT_CAPACITY = 128
+
+
+class FlightRecorder:
+    """Bounded ring buffer of recent diagnostic events."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        #: total events ever recorded (dropped = recorded - len(ring)).
+        self.recorded = 0
+        self._emitter: Optional[RemarkEmitter] = None
+        self._collector: Optional[SpanCollector] = None
+
+    # -- recording ---------------------------------------------------------
+    def record(self, kind: str, **fields: Any) -> None:
+        """Append one breadcrumb event (JSON-safe fields only)."""
+        event = {"t": time.time(), "kind": kind}
+        event.update(fields)
+        self._ring.append(event)
+        self.recorded += 1
+
+    def on_remark(self, remark: Remark) -> None:
+        self.record("remark", pass_name=remark.pass_name,
+                    remark_kind=remark.kind, function=remark.function,
+                    message=remark.message)
+
+    def on_span(self, span: Span) -> None:
+        # Store (timestamp, Span) and defer building the JSON-safe dict
+        # to :meth:`events` / :meth:`dump` — those run on crashes and
+        # post-mortems, while this callback runs on *every* completed
+        # span (per-span dict building showed up in the E12 overhead
+        # gate).  The span is final by the time it completes, so the
+        # lazy rendering sees the same data.
+        self._ring.append((time.time(), span))
+        self.recorded += 1
+
+    @staticmethod
+    def _render(event) -> Dict[str, Any]:
+        if type(event) is not tuple:
+            return event  # breadcrumb/remark dicts are stored eagerly
+        t, span = event
+        out: Dict[str, Any] = {
+            "t": t, "kind": "span", "name": span.name,
+            "cat": span.cat, "dur": round(span.wall, 6),
+        }
+        if span.function:
+            out["fn"] = span.function
+        if span.attrs:
+            out["attrs"] = span.attrs
+        return out
+
+    # -- wiring ------------------------------------------------------------
+    def install(self, emitter: Optional[RemarkEmitter] = None,
+                collector: Optional[SpanCollector] = None) -> "FlightRecorder":
+        """Subscribe to the remark emitter and span collector.  Callers
+        pair this with :meth:`uninstall` in a ``finally``."""
+        self._emitter = emitter or default_emitter()
+        self._emitter.subscribe(self.on_remark)
+        self._collector = collector or current_collector()
+        self._collector.on_complete.append(self.on_span)
+        return self
+
+    def uninstall(self) -> None:
+        if self._emitter is not None:
+            try:
+                self._emitter.unsubscribe(self.on_remark)
+            except ValueError:
+                pass
+            self._emitter = None
+        if self._collector is not None:
+            try:
+                self._collector.on_complete.remove(self.on_span)
+            except ValueError:
+                pass
+            self._collector = None
+
+    # -- inspection --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def events(self) -> List[Dict[str, Any]]:
+        return [self._render(e) for e in self._ring]
+
+    def dump(self) -> Dict[str, Any]:
+        """JSON-safe dump for crash bundles and errored-shard records."""
+        return {
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "dropped": max(0, self.recorded - len(self._ring)),
+            "events": [self._render(e) for e in self._ring],
+        }
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.recorded = 0
+
+
+#: The process-wide recorder, if one is installed (workers install one
+#: for the duration of a shard; None means no black box is running).
+_CURRENT_RECORDER: Optional[FlightRecorder] = None
+
+
+def current_recorder() -> Optional[FlightRecorder]:
+    return _CURRENT_RECORDER
+
+
+def set_recorder(recorder: Optional[FlightRecorder]
+                 ) -> Optional[FlightRecorder]:
+    """Install ``recorder`` as the process-wide black box; returns the
+    old one (callers restore it in a ``finally``)."""
+    global _CURRENT_RECORDER
+    old = _CURRENT_RECORDER
+    _CURRENT_RECORDER = recorder
+    return old
+
+
+def recorder_dump() -> Optional[Dict[str, Any]]:
+    """Dump of the installed recorder, or None when no black box is
+    running (crash-bundle payloads store this verbatim)."""
+    if _CURRENT_RECORDER is None:
+        return None
+    return _CURRENT_RECORDER.dump()

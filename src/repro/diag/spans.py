@@ -1,0 +1,362 @@
+"""Hierarchical spans: cross-process tracing for the validation stack.
+
+A *span* is one timed region of work — a pass application, a refinement
+check, an SMT query — with a name, a category, wall + CPU time, a parent
+(spans nest), free-form attributes, and optionally a statistics delta
+covering exactly that region.  Spans are recorded through a
+:class:`SpanCollector` whose context-manager API mirrors
+:meth:`~repro.diag.timing.PassTiming.measure`::
+
+    sc = current_collector()
+    with sc.span("refine-check", cat="refine", function=fn.name) as sp:
+        ...
+        sp.set(verdict=result.verdict)
+
+Two cost tiers keep instrumented hot paths honest:
+
+* **spans** produce one record each.  When tracing is disabled (the
+  default), :meth:`SpanCollector.span` returns a shared no-op context —
+  a branch and a singleton, no allocation — so instrumentation costs
+  ~nothing in normal runs (BENCH_e12 gates this).
+* **phases** (:meth:`SpanCollector.phase`) are for per-input work that
+  is far too frequent to record individually (one refinement check
+  enumerates hundreds of inputs).  A phase accumulates ``(count,
+  wall)`` into the *enclosing open span's* phase table instead of
+  emitting its own record; the context objects are cached per span and
+  name, and phases deliberately skip CPU-time sampling
+  (``time.process_time`` is ~3x the cost of ``perf_counter`` and was
+  the bulk of the tracing-on overhead E12 measures).
+
+Cross-process operation: each campaign worker opens its own JSONL sink
+(one writer per file, append-only — the checkpoint-store discipline), a
+``meta`` line records the logical pid (shard id) and OS pid, and
+completed spans are written as JSON array lines of up to
+:data:`SINK_BATCH` spans each.  The runner merges the
+per-shard files into a Chrome-trace-event ``trace.json``
+(:mod:`repro.diag.trace_export`).  Torn final lines from killed workers
+are tolerated by the loader, exactly like campaign checkpoints.
+
+This module deliberately imports nothing from the rest of ``repro``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, IO, List, Optional
+
+#: schema version stamped on every meta line.
+SPAN_SCHEMA = 1
+
+#: completed spans buffered before each sink write.  A batch is
+#: serialized as ONE JSON array line in a single C-encoder call — far
+#: cheaper than per-span ``json.dumps`` — and written in one call,
+#: amortizing the text-IO lock and syscall.  The loader accepts array
+#: lines alongside plain dict lines.  A worker killed mid-shard loses
+#: at most this many trailing spans, which the torn-line-tolerant
+#: loader already accepts.
+SINK_BATCH = 64
+
+#: reusable compact encoder (json.dumps with separators would build a
+#: fresh JSONEncoder on every call).
+_ENCODE = json.JSONEncoder(separators=(",", ":")).encode
+
+
+class Span:
+    """One completed (or in-flight) timed region.
+
+    A Span is its own context manager (``__enter__`` returns it,
+    ``__exit__`` finishes it through the collector that created it) —
+    one object per recorded region instead of a span plus a wrapper.
+    """
+
+    __slots__ = ("name", "cat", "function", "span_id", "parent_id",
+                 "start", "wall", "cpu_start", "cpu", "attrs", "phases",
+                 "stats", "_phase_ctxs", "_collector")
+
+    def __init__(self, name: str, cat: str, function: str,
+                 span_id: int, parent_id: Optional[int],
+                 start: float, cpu_start: float,
+                 collector: Optional["SpanCollector"] = None):
+        self._collector = collector
+        self.name = name
+        self.cat = cat
+        self.function = function
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.cpu_start = cpu_start
+        self.wall = 0.0
+        self.cpu = 0.0
+        #: free-form JSON-safe attributes (set via :meth:`set`).
+        self.attrs: Dict[str, Any] = {}
+        #: phase name -> [count, wall seconds]; with the per-name phase
+        #: context cache, allocated lazily on first use — most spans
+        #: never accumulate phases.
+        self.phases: Optional[Dict[str, List[float]]] = None
+        self._phase_ctxs: Optional[Dict[str, "_PhaseContext"]] = None
+        #: optional "pass/counter" -> increment stats delta.
+        self.stats: Dict[str, int] = {}
+
+    def __enter__(self) -> "Span":
+        self._collector._stack.append(self)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._collector._finish(self)
+        return False
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes (JSON-safe values) to this span."""
+        if self.attrs:
+            self.attrs.update(attrs)
+        else:
+            self.attrs = attrs  # adopt the kwargs dict (hot-path alloc)
+        return self
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The JSONL line schema (also what the merger consumes)."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "cat": self.cat,
+            "id": self.span_id,
+            "ts": round(self.start, 9),
+            "dur": round(self.wall, 9),
+            "cpu": round(self.cpu, 9),
+        }
+        if self.function:
+            out["fn"] = self.function
+        if self.parent_id is not None:
+            out["parent"] = self.parent_id
+        if self.attrs:
+            out["attrs"] = self.attrs
+        if self.phases:
+            phases = {
+                name: {"count": int(c), "seconds": round(w, 9)}
+                for name, (c, w) in sorted(self.phases.items())
+                if c  # a never-entered cached context leaves count 0
+            }
+            if phases:
+                out["phases"] = phases
+        if self.stats:
+            out["stats"] = self.stats
+        return out
+
+
+class _NullContext:
+    """Shared no-op span/phase context — the disabled-tracing fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullContext":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullContext":
+        return self
+
+    # mirror the Span surface sites may poke at
+    stats: Dict[str, int] = {}
+    attrs: Dict[str, Any] = {}
+
+
+NULL_SPAN = _NullContext()
+
+
+class _PhaseContext:
+    """Accumulates one timed region into the enclosing span's phase
+    table (per-input granularity without per-input records).
+
+    Deliberately minimal: bound directly to its ``[count, wall]``
+    accumulator, one ``perf_counter`` call per side, no CPU-time
+    sampling, and cached per ``(span, name)`` so the hot loop never
+    allocates.  Not reentrant for the same name — real call sites
+    never nest a phase inside itself.
+    """
+
+    __slots__ = ("_entry", "_start")
+
+    def __init__(self, entry: List[float]):
+        self._entry = entry
+
+    def __enter__(self) -> "_PhaseContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        entry = self._entry
+        entry[0] += 1
+        entry[1] += time.perf_counter() - self._start
+        return False
+
+
+class SpanCollector:
+    """Per-process span recorder with an optional streaming JSONL sink.
+
+    ``enabled`` gates everything: a disabled collector's :meth:`span`
+    and :meth:`phase` return the shared :data:`NULL_SPAN` without
+    allocating.  Enabling happens either by :meth:`open`-ing a sink
+    (campaign workers) or by setting ``keep=True`` for in-memory
+    collection (single-compile ``--trace-out``, tests).
+    """
+
+    def __init__(self, pid: int = 0, label: str = "",
+                 keep: bool = False):
+        self.enabled = keep
+        #: logical process id for the merged trace (campaigns: shard id).
+        self.pid = pid
+        self.label = label or f"pid {pid}"
+        #: completed spans retained in memory when ``keep`` is set.
+        self.keep = keep
+        self.spans: List[Span] = []
+        #: callbacks invoked with every completed Span (flight recorder).
+        self.on_complete: List[Any] = []
+        self._sink: Optional[IO[str]] = None
+        self._buf: List[Span] = []  # completed spans awaiting a batch write
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    # -- sink management ---------------------------------------------------
+    def open(self, path: str, pid: Optional[int] = None,
+             label: str = "") -> None:
+        """Stream completed spans to ``path`` (append mode; one writer
+        per file).  Writes a ``meta`` line identifying this session."""
+        if pid is not None:
+            self.pid = pid
+        if label:
+            self.label = label
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._sink = open(path, "a", encoding="utf-8")
+        self._sink.write(_ENCODE({
+            "kind": "meta", "schema": SPAN_SCHEMA, "pid": self.pid,
+            "os_pid": os.getpid(), "label": self.label,
+        }) + "\n")
+        self.enabled = True
+
+    def close(self) -> None:
+        if self._sink is not None:
+            self._drain()
+            self._sink.flush()
+            self._sink.close()
+            self._sink = None
+        if not self.keep:
+            self.enabled = False
+
+    def _drain(self) -> None:
+        """Serialize and write the batched spans as one array line."""
+        if self._buf:
+            self._sink.write(
+                _ENCODE([s.as_dict() for s in self._buf]) + "\n")
+            self._buf.clear()
+
+    # -- recording ---------------------------------------------------------
+    def span(self, name: str, cat: str = "", function: str = ""):
+        """Open a span; use as a context manager yielding the Span."""
+        if not self.enabled:
+            return NULL_SPAN
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(name, cat, function, self._next_id, parent,
+                    time.perf_counter(), time.process_time(),
+                    collector=self)
+        self._next_id += 1
+        return span
+
+    def phase(self, name: str):
+        """Accumulate a timed region into the innermost open span."""
+        stack = self._stack
+        if not self.enabled or not stack:
+            return NULL_SPAN
+        span = stack[-1]
+        ctxs = span._phase_ctxs
+        if ctxs is None:
+            ctxs = span._phase_ctxs = {}
+            span.phases = {}
+        ctx = ctxs.get(name)
+        if ctx is None:
+            entry = span.phases[name] = [0, 0.0]
+            ctx = ctxs[name] = _PhaseContext(entry)
+        return ctx
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def _finish(self, span: Span) -> None:
+        span.wall = time.perf_counter() - span.start
+        span.cpu = time.process_time() - span.cpu_start
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        if self.keep:
+            self.spans.append(span)
+        if self._sink is not None:
+            self._buf.append(span)
+            if len(self._buf) >= SINK_BATCH:
+                self._drain()
+        for callback in self.on_complete:
+            callback(span)
+
+
+#: The process-wide collector instrumented code records through.  It
+#: starts disabled; campaign workers and the CLI swap in enabled ones.
+_DEFAULT_COLLECTOR = SpanCollector()
+
+
+def current_collector() -> SpanCollector:
+    return _DEFAULT_COLLECTOR
+
+
+def set_collector(collector: SpanCollector) -> SpanCollector:
+    """Install ``collector`` as the process default; returns the old
+    one (callers restore it in a ``finally``)."""
+    global _DEFAULT_COLLECTOR
+    old = _DEFAULT_COLLECTOR
+    _DEFAULT_COLLECTOR = collector
+    return old
+
+
+def span(name: str, cat: str = "", function: str = ""):
+    """Record a span through the process-wide collector (no-op context
+    when tracing is disabled)."""
+    return _DEFAULT_COLLECTOR.span(name, cat, function=function)
+
+
+def phase(name: str):
+    """Accumulate a phase into the current span of the process-wide
+    collector (no-op context when tracing is disabled)."""
+    return _DEFAULT_COLLECTOR.phase(name)
+
+
+def phase_entries(*names: str) -> Optional[List[List[float]]]:
+    """Raw ``[count, seconds]`` accumulators on the innermost open
+    span of the process-wide collector, or ``None`` when tracing is
+    off (or no span is open).
+
+    The escape hatch for the very hottest loops: where even the cached
+    :meth:`SpanCollector.phase` context costs too much (six clock
+    reads and six method calls per input for three adjacent phases), a
+    call site can chain ``perf_counter`` timestamps once and add the
+    differences into these lists directly.  The accumulators are the
+    same ones ``phase()`` would feed, so the merged trace cannot tell
+    the two styles apart.
+    """
+    collector = _DEFAULT_COLLECTOR
+    stack = collector._stack
+    if not collector.enabled or not stack:
+        return None
+    span = stack[-1]
+    phases = span.phases
+    if phases is None:
+        phases = span.phases = {}
+        span._phase_ctxs = {}
+    out = []
+    for name in names:
+        entry = phases.get(name)
+        if entry is None:
+            entry = phases[name] = [0, 0.0]
+        out.append(entry)
+    return out

@@ -23,7 +23,7 @@ classic aligned report of non-zero counters, :meth:`StatsRegistry.as_dict`
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 
 class StatsRegistry:
@@ -32,18 +32,35 @@ class StatsRegistry:
     def __init__(self):
         self._values: Dict[Tuple[str, str], int] = {}
         self._descriptions: Dict[Tuple[str, str], str] = {}
+        #: memoized "pass/counter" strings so flat_snapshot (taken per
+        #: traced region) never re-formats keys.
+        self._flat_keys: Dict[Tuple[str, str], str] = {}
+        #: increment journal — a list of ("pass/counter", n) appended by
+        #: :meth:`add` while :meth:`start_journal` is active.  Lets a
+        #: traced region compute its stats delta from just the counters
+        #: that actually moved (a handful per region) instead of two
+        #: full-registry snapshots, which both cost CPU and — being
+        #: fresh tracked containers — fed the GC pressure that was most
+        #: of the E12 tracing-on overhead.
+        self._journal: Optional[List[Tuple[str, int]]] = None
 
     # -- registration and update ------------------------------------------
     def register(self, pass_name: str, name: str,
                  description: str = "") -> None:
         key = (pass_name, name)
         self._values.setdefault(key, 0)
+        self._flat_keys.setdefault(key, f"{pass_name}/{name}")
         if description:
             self._descriptions[key] = description
 
     def add(self, pass_name: str, name: str, n: int = 1) -> None:
         key = (pass_name, name)
+        flat = self._flat_keys.get(key)
+        if flat is None:
+            flat = self._flat_keys[key] = f"{pass_name}/{name}"
         self._values[key] = self._values.get(key, 0) + n
+        if self._journal is not None:
+            self._journal.append((flat, n))
 
     def get(self, pass_name: str, name: str) -> int:
         return self._values.get((pass_name, name), 0)
@@ -77,11 +94,58 @@ class StatsRegistry:
         return json.dumps(self.snapshot(nonzero_only=nonzero_only),
                           indent=indent, sort_keys=True)
 
+    def flat_snapshot(self, nonzero_only: bool = False) -> Dict[str, int]:
+        """Flat ``{"pass/counter": value}`` copy — cheap enough to take
+        before and after a traced region (:func:`flat_delta`)."""
+        keys = self._flat_keys
+        if nonzero_only:
+            return {keys[k]: v for k, v in self._values.items() if v}
+        return {keys[k]: v for k, v in self._values.items()}
+
+    # -- increment journal -------------------------------------------------
+    def start_journal(self) -> None:
+        """Begin recording every :meth:`add` as a ``("pass/counter", n)``
+        entry.  Campaign workers enable this for traced shards so each
+        check-function span can attach its stats delta without taking
+        before/after registry snapshots."""
+        self._journal = []
+
+    def stop_journal(self) -> None:
+        self._journal = None
+
+    def journal_mark(self) -> int:
+        """Position token for :meth:`journal_delta` (0 when inactive)."""
+        journal = self._journal
+        return len(journal) if journal is not None else 0
+
+    def journal_delta(self, mark: int,
+                      truncate: bool = False) -> Dict[str, int]:
+        """Aggregate increments recorded since ``mark`` — the same
+        nonzero delta :func:`flat_delta` would compute from snapshots
+        bracketing the region, in O(increments) instead of O(registry).
+
+        ``truncate`` drops the consumed entries so a long-lived journal
+        (one per shard, marked per function) stays a few entries long.
+        """
+        journal = self._journal
+        if journal is None:
+            return {}
+        out: Dict[str, int] = {}
+        for flat, n in journal[mark:]:
+            out[flat] = out.get(flat, 0) + n
+        if truncate:
+            del journal[mark:]
+        if not all(out.values()):  # rare: increments that net to zero
+            out = {k: v for k, v in out.items() if v}
+        return out
+
     def load_dict(self, data: Dict[str, Dict[str, int]]) -> None:
         """Inverse of :meth:`snapshot` (JSON round-trips in the tests)."""
         for pass_name, counters in data.items():
             for name, value in counters.items():
-                self._values[(pass_name, name)] = value
+                key = (pass_name, name)
+                self._values[key] = value
+                self._flat_keys.setdefault(key, f"{pass_name}/{name}")
 
     def format_text(self, nonzero_only: bool = True) -> str:
         """The classic LLVM ``-stats`` report."""
@@ -126,6 +190,18 @@ def stats_snapshot(nonzero_only: bool = False) -> Dict[str, Dict[str, int]]:
 
 def format_stats(nonzero_only: bool = True) -> str:
     return _DEFAULT_REGISTRY.format_text(nonzero_only=nonzero_only)
+
+
+def flat_delta(before: Dict[str, int],
+               after: Dict[str, int]) -> Dict[str, int]:
+    """Nonzero increments between two :meth:`StatsRegistry.flat_snapshot`
+    copies — the stat delta spans attach to a traced region."""
+    out = {}
+    for key, value in after.items():
+        diff = value - before.get(key, 0)
+        if diff:
+            out[key] = diff
+    return out
 
 
 class Statistic:

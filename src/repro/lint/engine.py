@@ -15,7 +15,7 @@ from typing import Dict, Iterable, List, Optional
 from ..analysis.dominators import DominatorTree
 from ..analysis.loops import LoopInfo
 from ..analysis.poison_flow import analyze_poison_flow
-from ..diag import Statistic
+from ..diag import Statistic, span
 from ..diag.remarks import REMARK_ANALYSIS, emit_remark
 from ..ir.function import Function
 from ..ir.module import Module
@@ -48,19 +48,22 @@ def lint_function(fn: Function, semantics=None,
         raise ValueError(f"unknown lint rule(s): {', '.join(unknown)}")
 
     NUM_FUNCTIONS_LINTED.inc()
-    flow = analyze_poison_flow(fn, semantics)
-    dt = DominatorTree(fn)
-    loops = LoopInfo(fn, dt)
-    ctx = LintContext(fn, flow, dt, loops, semantics)
+    with span("lint-function", cat="lint", function=fn.name) as sp:
+        flow = analyze_poison_flow(fn, semantics)
+        dt = DominatorTree(fn)
+        loops = LoopInfo(fn, dt)
+        ctx = LintContext(fn, flow, dt, loops, semantics)
 
-    found: List[LintDiagnostic] = []
-    for rule_id in selected:
-        for diag in RULES[rule_id].check(ctx):
-            _RULE_STATS[rule_id].inc()
-            emit_remark("lint", diag.message, kind=REMARK_ANALYSIS,
-                        function=diag.loc.function, block=diag.loc.block,
-                        instruction=diag.loc.ref)
-            found.append(diag)
+        found: List[LintDiagnostic] = []
+        for rule_id in selected:
+            for diag in RULES[rule_id].check(ctx):
+                _RULE_STATS[rule_id].inc()
+                emit_remark("lint", diag.message, kind=REMARK_ANALYSIS,
+                            function=diag.loc.function,
+                            block=diag.loc.block,
+                            instruction=diag.loc.ref)
+                found.append(diag)
+        sp.set(findings=len(found))
     # Stable presentation: program order (block, index), then severity
     # (most severe first) for co-located findings.
     order = {b.name: i for i, b in enumerate(fn.blocks)}

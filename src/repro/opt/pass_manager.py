@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields, replace
 from typing import Dict, List, Optional
 
-from ..diag import REMARK_PASSED, PassStats, PassTiming, emit_remark
+from ..diag import REMARK_PASSED, PassStats, PassTiming, emit_remark, span
 from ..ir.function import Function
 from ..ir.instructions import Instruction
 from ..ir.module import Module
@@ -177,9 +177,12 @@ class PassManager:
             for p in self.passes:
                 # measure() accounts in a finally block: a pass that
                 # raises mid-run still records its elapsed time with a
-                # matching runs increment.
-                with self.timing.measure(p.name, fn.name) as m:
-                    m.changed = p.run_on_function(fn)
+                # matching runs increment.  The span is a no-op unless
+                # tracing is enabled for this process.
+                with span(p.name, cat="pass", function=fn.name) as sp:
+                    with self.timing.measure(p.name, fn.name) as m:
+                        m.changed = p.run_on_function(fn)
+                    sp.set(changed=m.changed)
                 changed |= m.changed
             changed_any |= changed
             if not changed:

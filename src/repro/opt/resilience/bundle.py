@@ -67,8 +67,16 @@ def make_bundle_payload(*, pre_ir: str, pass_name: str, application: int,
                         config: Optional[OptConfig] = None,
                         function: str = "", seed: Optional[int] = None,
                         injected_action: Optional[str] = None,
-                        policy: str = "") -> dict:
-    """The self-contained (JSON-serializable) form of one failure."""
+                        policy: str = "",
+                        flight_recorder: Optional[dict] = None) -> dict:
+    """The self-contained (JSON-serializable) form of one failure.
+
+    ``flight_recorder`` is the black-box dump of the worker's last
+    events before the failure (:func:`repro.diag.recorder_dump`).  It
+    rides in the manifest but is excluded from :func:`bundle_id`, which
+    hashes only the identifying content — two runs of the same failure
+    still land in the same bundle directory.
+    """
     payload = {
         "schema": 1,
         "pass": pass_name,
@@ -82,6 +90,7 @@ def make_bundle_payload(*, pre_ir: str, pass_name: str, application: int,
         "injected": injected_action is not None,
         "injected_action": injected_action,
         "policy": policy,
+        "flight_recorder": flight_recorder,
         "before_ir": pre_ir,
     }
     payload["bundle_id"] = bundle_id(payload)

@@ -32,7 +32,14 @@ import traceback as traceback_module
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from ...diag import REMARK_ANALYSIS, Statistic, default_registry, emit_remark
+from ...diag import (
+    REMARK_ANALYSIS,
+    Statistic,
+    default_registry,
+    emit_remark,
+    recorder_dump,
+    span,
+)
 from ...diag.timing import PassTiming
 from ...ir.function import Function
 from ...ir.module import Module
@@ -175,16 +182,19 @@ class GuardedPassManager(PassManager):
             return False
 
         snapshot = clone_function(fn)
-        try:
-            with self.timing.measure(p.name, fn.name) as m:
-                m.changed = p.run_on_function(fn)
-            if self.verify_each:
-                verify_function(fn, forbid_undef=self.forbid_undef)
-            discard_snapshot(snapshot)
-            return m.changed
-        except Exception as e:
-            self._handle_failure(p, fn, snapshot, e, index)
-            return False
+        with span(p.name, cat="pass", function=fn.name) as sp:
+            try:
+                with self.timing.measure(p.name, fn.name) as m:
+                    m.changed = p.run_on_function(fn)
+                if self.verify_each:
+                    verify_function(fn, forbid_undef=self.forbid_undef)
+                discard_snapshot(snapshot)
+                sp.set(changed=m.changed)
+                return m.changed
+            except Exception as e:
+                sp.set(failed=True)
+                self._handle_failure(p, fn, snapshot, e, index)
+                return False
 
     # -- failure handling --------------------------------------------------
     def _handle_failure(self, p: FunctionPass, fn: Function,
@@ -211,7 +221,7 @@ class GuardedPassManager(PassManager):
             kind=kind, error=error_text, traceback_text=tb,
             config=getattr(p, "config", None), function=fn.name,
             seed=self.seed, injected_action=injected_action,
-            policy=self.policy,
+            policy=self.policy, flight_recorder=recorder_dump(),
         )
         failure = PassFailure(
             pass_name=p.name, function=fn.name, kind=kind,

@@ -39,7 +39,7 @@ import json
 import os
 from typing import Dict, List, Optional, Tuple
 
-from ..diag import Statistic
+from ..diag import Statistic, span
 
 MEMO_HITS = Statistic(
     "perf", "num-memo-hits",
@@ -99,20 +99,28 @@ class RefinementMemo:
             count = len(self._fresh)
             self._fresh = []
             return count
-        os.makedirs(self.disk_dir, exist_ok=True)
-        path = os.path.join(self.disk_dir, f"memo-{os.getpid()}.jsonl")
-        with open(path, "a", encoding="utf-8") as fh:
-            for key, verdict in self._fresh:
-                fh.write(json.dumps(
-                    {"c": self.context, "k": key, "v": verdict}
-                ) + "\n")
-        count = len(self._fresh)
+        with span("memo-flush", cat="perf") as sp:
+            os.makedirs(self.disk_dir, exist_ok=True)
+            path = os.path.join(self.disk_dir, f"memo-{os.getpid()}.jsonl")
+            with open(path, "a", encoding="utf-8") as fh:
+                for key, verdict in self._fresh:
+                    fh.write(json.dumps(
+                        {"c": self.context, "k": key, "v": verdict}
+                    ) + "\n")
+            count = len(self._fresh)
+            sp.set(entries=count)
         self._fresh = []
         return count
 
     def _load_disk(self, disk_dir: str) -> None:
         if not os.path.isdir(disk_dir):
             return
+        with span("memo-load-disk", cat="perf") as sp:
+            loaded = self._load_disk_files(disk_dir)
+            sp.set(entries=loaded)
+        MEMO_DISK_LOADED.inc(loaded)
+
+    def _load_disk_files(self, disk_dir: str) -> int:
         loaded = 0
         for name in sorted(os.listdir(disk_dir)):
             if not (name.startswith("memo-") and name.endswith(".jsonl")):
@@ -138,4 +146,4 @@ class RefinementMemo:
                                 loaded += 1
             except OSError:
                 continue
-        MEMO_DISK_LOADED.inc(loaded)
+        return loaded

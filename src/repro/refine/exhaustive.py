@@ -14,9 +14,11 @@ Entry point: :func:`check_refinement`.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..diag import Statistic, phase_entries, span
 from ..ir.function import Function
 from ..ir.types import IntType, PointerType, Type, VectorType
 from ..semantics.config import NEW, SemanticsConfig
@@ -36,6 +38,13 @@ from ..semantics.interp import (
     enumerate_behaviors,
 )
 from .refinement import check_behavior_sets
+
+NUM_CHECKS = Statistic(
+    "refine", "num-checks",
+    "Refinement checks run (one per source/target function pair)")
+NUM_INPUTS_CHECKED = Statistic(
+    "refine", "num-inputs-checked",
+    "Concrete inputs enumerated across all refinement checks")
 
 
 @dataclass(frozen=True)
@@ -238,6 +247,18 @@ def check_refinement(src: Function, tgt: Function,
     migration story: a NEW-semantics target refining an OLD-semantics
     source).  Defaults to ``config``.
     """
+    NUM_CHECKS.inc()
+    with span("refine-check", cat="refine", function=tgt.name) as sp:
+        result = _check_refinement(src, tgt, config, tgt_config, options)
+        NUM_INPUTS_CHECKED.inc(result.inputs_checked)
+        sp.set(verdict=result.verdict, inputs=result.inputs_checked)
+        return result
+
+
+def _check_refinement(src: Function, tgt: Function,
+                      config: SemanticsConfig,
+                      tgt_config: Optional[SemanticsConfig],
+                      options: Optional[CheckOptions]) -> RefinementResult:
     options = options or CheckOptions()
     tgt_config = tgt_config or config
 
@@ -297,8 +318,17 @@ def check_refinement(src: Function, tgt: Function,
     # reuses the plans (the functions are not mutated during the check).
     src_plans = PlanCache(config)
     tgt_plans = PlanCache(tgt_config)
+    # Per-input timing accumulates into the enclosing refine-check
+    # span's phase table — no per-input records, so tracing a campaign
+    # stays cheap (the E12 overhead gate).  This is the hottest
+    # instrumented loop in the stack, so it chains four perf_counter
+    # timestamps across the three adjacent phases instead of nesting
+    # three context managers per input.
+    entries = phase_entries("enumerate-src", "enumerate-tgt", "compare")
+    clock = time.perf_counter
     for ginit, args in input_stream():
         checked += 1
+        t0 = clock()
         try:
             src_b = enumerate_behaviors(
                 src, args, config, global_init=ginit,
@@ -306,6 +336,7 @@ def check_refinement(src: Function, tgt: Function,
                 max_choices=options.max_choices, fuel=options.fuel,
                 plans=src_plans, stop_on_ub=options.prune_src_ub,
             )
+            t1 = clock()
             tgt_b = enumerate_behaviors(
                 tgt, args, tgt_config, global_init=ginit,
                 max_paths=options.max_paths,
@@ -319,11 +350,21 @@ def check_refinement(src: Function, tgt: Function,
             skipped += 1
             skip_reason = str(e)
             continue
+        t2 = clock()
         result = check_behavior_sets(
             src_b, tgt_b,
             undef_cap=options.undef_expansion_cap,
             function=tgt.name,
         )
+        if entries is not None:
+            t3 = clock()
+            e_src, e_tgt, e_cmp = entries
+            e_src[0] += 1
+            e_src[1] += t1 - t0
+            e_tgt[0] += 1
+            e_tgt[1] += t2 - t1
+            e_cmp[0] += 1
+            e_cmp[1] += t3 - t2
         if result.inconclusive:
             skipped += 1
             skip_reason = result.reason

@@ -42,7 +42,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..diag import ExecTrace, Statistic
+from ..diag import ExecTrace, Statistic, phase
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import (
@@ -746,7 +746,11 @@ class PlanCache:
     def plan_for(self, fn: Function) -> ExecPlan:
         plan = self._plans.get(fn)
         if plan is None:
-            plan = ExecPlan(fn, self.config)
+            # a phase, not a span: plans compile twice per checked
+            # function, and a full record each was 40% of all span
+            # traffic (the E12 overhead gate)
+            with phase("plan-compile"):
+                plan = ExecPlan(fn, self.config)
             self._plans[fn] = plan
         return plan
 

@@ -6,7 +6,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..diag import Statistic
+from ..diag import Statistic, span
 from .bitblast import BitBlaster
 from .sat import SAT, UNKNOWN, UNSAT, SatSolver
 from .terms import BOOL, Term, bv_var
@@ -90,23 +90,28 @@ class SolverSession:
         assert term.sort == BOOL
         self.queries += 1
         NUM_SESSION_QUERIES.inc()
-        self._model = None
-        hits_before = self.blaster.cache_hits
-        if self.sat.trail_lim:
-            self.sat._backtrack(0)
-        lit = self.blaster.lower_bool(term)
-        NUM_CIRCUITS_REUSED.inc(self.blaster.cache_hits - hits_before)
-        gate = self.sat.new_var()
-        if not self.sat.add_clause([-gate, lit]):
-            self._result = UNSAT
-            return UNSAT
-        result = self.sat.solve(assumptions=[gate],
-                                max_conflicts=self.max_conflicts)
-        if result == SAT:
-            # Snapshot before the next query rewinds the trail.
-            self._model = list(self.sat.assignment)
-        self._result = result
-        return result
+        with span("smt-query", cat="smt") as sp:
+            self._model = None
+            hits_before = self.blaster.cache_hits
+            if self.sat.trail_lim:
+                self.sat._backtrack(0)
+            lit = self.blaster.lower_bool(term)
+            reused = self.blaster.cache_hits - hits_before
+            NUM_CIRCUITS_REUSED.inc(reused)
+            gate = self.sat.new_var()
+            if not self.sat.add_clause([-gate, lit]):
+                self._result = UNSAT
+                sp.set(result=UNSAT, query=self.queries)
+                return UNSAT
+            result = self.sat.solve(assumptions=[gate],
+                                    max_conflicts=self.max_conflicts)
+            if result == SAT:
+                # Snapshot before the next query rewinds the trail.
+                self._model = list(self.sat.assignment)
+            self._result = result
+            sp.set(result=result, query=self.queries,
+                   circuits_reused=reused)
+            return result
 
     # -- model access (valid after a SAT result, until the next check) --
     def model_bool(self, term: Term) -> bool:

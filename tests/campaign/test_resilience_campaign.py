@@ -40,6 +40,9 @@ class TestChaosCampaign:
         assert os.path.isdir(path)
         bundle = load_bundle(path)
         assert bundle["injected"]
+        # the worker's black-box flight recorder rides in every bundle
+        assert bundle["flight_recorder"] is not None
+        assert bundle["flight_recorder"]["events"]
         result = replay_bundle(path)
         assert result.reproduced, result.outcome
 

@@ -1,0 +1,72 @@
+"""The stable-names check: every stat the stack can emit is cataloged.
+
+Renaming a counter or adding one without a catalog entry breaks
+dashboards, Prometheus scrapes, and BENCH gates silently — so the
+catalog is the reviewed interface and this test is its enforcement.
+"""
+
+import importlib
+import pkgutil
+import re
+
+import repro
+from repro.diag import default_registry
+from repro.diag.metrics_catalog import (
+    METRIC_CATALOG,
+    STAT_CATALOG,
+    catalog_prom_names,
+    is_cataloged,
+    uncataloged,
+)
+
+_PROM_NAME = re.compile(r"^[a-z_][a-z0-9_]*$")
+
+
+def _import_everything():
+    """Import every repro module so all module-scope Statistics
+    register in the default registry."""
+    for info in pkgutil.walk_packages(repro.__path__,
+                                      prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing it would run the CLI
+        importlib.import_module(info.name)
+
+
+class TestCatalogCoverage:
+    def test_every_registered_stat_is_cataloged(self):
+        _import_everything()
+        pairs = [(p, n) for p, n, _ in default_registry()]
+        assert pairs, "no statistics registered at all?"
+        missing = uncataloged(pairs)
+        assert not missing, (
+            f"uncataloged stats {sorted(missing)}: add them to "
+            f"repro/diag/metrics_catalog.py (reviewed interface)")
+
+    def test_catalog_entries_look_like_stats(self):
+        for pass_name, counter in STAT_CATALOG:
+            assert pass_name and counter
+            assert counter.startswith("num-"), (pass_name, counter)
+
+
+class TestPatterns:
+    def test_per_pass_guard_failures_match_any_pass(self):
+        assert is_cataloged("instcombine", "num-guard-failures")
+        assert is_cataloged("some-future-pass", "num-guard-failures")
+
+    def test_lint_rules_are_open_ended(self):
+        assert is_cataloged("lint", "num-some-new-rule")
+
+    def test_unknown_stats_are_rejected(self):
+        assert not is_cataloged("refine", "num-borrowed-checks")
+        assert not is_cataloged("nope", "num-things")
+
+
+class TestPromNames:
+    def test_every_catalog_name_is_prometheus_legal(self):
+        for name in catalog_prom_names():
+            assert _PROM_NAME.match(name), name
+
+    def test_stat_names_are_distinct_after_sanitization(self):
+        names = [name for name in catalog_prom_names()
+                 if name not in METRIC_CATALOG]
+        assert len(names) == len(set(names)) == len(STAT_CATALOG)

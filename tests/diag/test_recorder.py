@@ -1,0 +1,110 @@
+"""The black-box flight recorder: bounded ring, wiring, dumps."""
+
+import json
+
+import pytest
+
+from repro.diag.recorder import (
+    FlightRecorder,
+    current_recorder,
+    recorder_dump,
+    set_recorder,
+)
+from repro.diag.remarks import default_emitter, emit_remark
+from repro.diag.spans import SpanCollector
+
+
+class TestRing:
+    def test_capacity_bounds_memory_and_counts_drops(self):
+        r = FlightRecorder(capacity=3)
+        for i in range(5):
+            r.record("step", i=i)
+        assert len(r) == 3
+        d = r.dump()
+        assert d["capacity"] == 3
+        assert d["recorded"] == 5
+        assert d["dropped"] == 2
+        assert [e["i"] for e in d["events"]] == [2, 3, 4]
+
+    def test_zero_capacity_is_rejected(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_dump_is_json_safe(self):
+        r = FlightRecorder(capacity=4)
+        r.record("check-function", shard=1, fn="f", hash="abc")
+        json.dumps(r.dump())
+
+    def test_clear_resets_everything(self):
+        r = FlightRecorder(capacity=2)
+        r.record("x")
+        r.clear()
+        assert len(r) == 0
+        assert r.dump()["recorded"] == 0
+
+
+class TestWiring:
+    def test_installed_recorder_sees_remarks(self):
+        r = FlightRecorder(capacity=8)
+        r.install(emitter=default_emitter())
+        try:
+            emit_remark("gvn", "eliminated a load", function="f")
+        finally:
+            r.uninstall()
+        kinds = [e["kind"] for e in r.events()]
+        assert "remark" in kinds
+        remark = next(e for e in r.events() if e["kind"] == "remark")
+        assert remark["pass_name"] == "gvn"
+        assert remark["message"] == "eliminated a load"
+
+    def test_installed_recorder_sees_completed_spans(self):
+        sc = SpanCollector(keep=True)
+        r = FlightRecorder(capacity=8)
+        r.install(collector=sc)
+        try:
+            with sc.span("refine-check", cat="refine", function="f") as sp:
+                sp.set(verdict="verified")
+        finally:
+            r.uninstall()
+        spans = [e for e in r.events() if e["kind"] == "span"]
+        assert len(spans) == 1
+        assert spans[0]["name"] == "refine-check"
+        assert spans[0]["fn"] == "f"
+        assert spans[0]["attrs"] == {"verdict": "verified"}
+
+    def test_uninstall_detaches_and_is_idempotent(self):
+        sc = SpanCollector(keep=True)
+        r = FlightRecorder()
+        r.install(emitter=default_emitter(), collector=sc)
+        r.uninstall()
+        r.uninstall()  # second call must not raise
+        with sc.span("after"):
+            pass
+        emit_remark("gvn", "after uninstall")
+        assert len(r) == 0
+
+    def test_emitter_stays_inactive_after_uninstall(self):
+        # The remark no-op fast path must survive a recorder lifecycle.
+        emitter = default_emitter()
+        was_active = emitter.active
+        r = FlightRecorder().install(emitter=emitter)
+        r.uninstall()
+        assert emitter.active == was_active
+
+
+class TestProcessWideSlot:
+    def test_set_and_restore(self):
+        r = FlightRecorder()
+        old = set_recorder(r)
+        try:
+            assert current_recorder() is r
+            assert recorder_dump() == r.dump()
+        finally:
+            set_recorder(old)
+
+    def test_dump_is_none_without_a_recorder(self):
+        old = set_recorder(None)
+        try:
+            assert recorder_dump() is None
+        finally:
+            set_recorder(old)

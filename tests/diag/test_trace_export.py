@@ -1,0 +1,224 @@
+"""Trace export round-trips: arbitrary span forests written as JSONL
+survive merging into a Chrome trace with ids, parents, phases, and
+stats intact — torn final lines and shard retries included."""
+
+import json
+import shutil
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.diag.spans import SpanCollector
+from repro.diag.trace_export import (
+    build_profile,
+    load_span_file,
+    merge_trace,
+    render_top,
+)
+
+_NAMES = st.sampled_from(
+    ["shard", "check-function", "refine-check", "smt-query",
+     "plan-compile", "instcombine"])
+_CATS = st.sampled_from(["campaign", "refine", "smt", "interp", "pass"])
+
+
+@st.composite
+def span_records(draw, max_spans=8):
+    """A session's span list with sequential ids and well-formed
+    parents (every parent id is an earlier span's id)."""
+    n = draw(st.integers(min_value=0, max_value=max_spans))
+    spans = []
+    for i in range(n):
+        record = {
+            "name": draw(_NAMES),
+            "cat": draw(_CATS),
+            "id": i + 1,
+            "ts": draw(st.floats(min_value=0.0, max_value=1e4,
+                                 allow_nan=False, allow_infinity=False)),
+            "dur": draw(st.floats(min_value=0.0, max_value=10.0,
+                                  allow_nan=False,
+                                  allow_infinity=False)),
+            "cpu": draw(st.floats(min_value=0.0, max_value=10.0,
+                                  allow_nan=False,
+                                  allow_infinity=False)),
+        }
+        if i and draw(st.booleans()):
+            record["parent"] = draw(st.integers(min_value=1, max_value=i))
+        if draw(st.booleans()):
+            record["phases"] = {
+                "enumerate": {"count": draw(st.integers(1, 100)),
+                              "seconds": 0.001, "cpu_seconds": 0.001}}
+        if draw(st.booleans()):
+            record["stats"] = {
+                "perf/num-memo-hits": draw(st.integers(0, 5)),
+                "perf/num-memo-misses": draw(st.integers(0, 5))}
+        spans.append(record)
+    return spans
+
+
+@st.composite
+def shard_files(draw, max_shards=3, max_sessions=2):
+    """{shard id: [session span lists]} — one file per shard, possibly
+    re-opened (retried) for extra sessions."""
+    num_shards = draw(st.integers(min_value=1, max_value=max_shards))
+    return {
+        shard: [draw(span_records())
+                for _ in range(draw(st.integers(1, max_sessions)))]
+        for shard in range(num_shards)
+    }
+
+
+def _write_files(tmp_path, files, torn=False):
+    """Materialize the generated shard files into a fresh spans dir
+    (hypothesis reuses one tmp_path across examples)."""
+    out = tmp_path / "spans"
+    if out.exists():
+        shutil.rmtree(out)
+    out.mkdir()
+    for shard, sessions in files.items():
+        path = out / f"spans-shard{shard:04d}.jsonl"
+        with open(path, "w") as f:
+            for session in sessions:
+                f.write(json.dumps({"kind": "meta", "schema": 1,
+                                    "pid": shard, "os_pid": 1,
+                                    "label": f"shard {shard}"}) + "\n")
+                for record in session:
+                    f.write(json.dumps(record) + "\n")
+            if torn:
+                f.write('{"name": "killed", "ts": 1.0, "du')
+    return out
+
+
+@settings(max_examples=30,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(files=shard_files())
+def test_merged_trace_is_wellformed(tmp_path, files):
+    out = _write_files(tmp_path, files)
+    trace = merge_trace(str(out), str(tmp_path / "trace.json"))
+
+    # round-trips through JSON byte-for-byte
+    assert json.loads(json.dumps(trace)) == trace
+    assert json.load(open(tmp_path / "trace.json")) == trace
+
+    events = trace["traceEvents"]
+    xs = [e for e in events if e["ph"] == "X"]
+    total_spans = sum(len(s) for sessions in files.values()
+                      for s in sessions)
+    assert len(xs) == total_spans
+
+    # every shard appears as a named pid; every lane is named
+    pids = {e["pid"] for e in events if e["name"] == "process_name"}
+    assert pids == set(files)
+    named_tids = {(e["pid"], e["tid"]) for e in events
+                  if e["name"] == "thread_name"}
+    assert {(e["pid"], e["tid"]) for e in xs} <= named_tids
+
+    for e in xs:
+        assert e["ts"] >= 0.0 and e["dur"] >= 0.0  # rebased, µs
+
+
+@settings(max_examples=30,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(files=shard_files())
+def test_parent_ids_resolve_within_their_session(tmp_path, files):
+    out = _write_files(tmp_path, files)
+    trace = merge_trace(str(out))
+    xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    ids = {(e["pid"], e["args"]["session"], e["args"]["id"])
+           for e in xs}
+    for e in xs:
+        parent = e["args"].get("parent")
+        if parent is not None:
+            key = (e["pid"], e["args"]["session"], parent)
+            assert key in ids, f"dangling parent {key}"
+
+
+@settings(max_examples=30,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(files=shard_files(), sort=st.sampled_from(["self", "total",
+                                                  "count"]))
+def test_profile_aggregates_and_renders(tmp_path, files, sort):
+    out = _write_files(tmp_path, files)
+    trace = merge_trace(str(out))
+    profile = build_profile(trace)
+    for row in profile.values():
+        assert row["count"] >= 1
+        assert row["self_us"] >= 0.0
+        if row["cat"] != "phase":
+            assert row["self_us"] <= row["total_us"] + 1e-6
+    text = render_top(profile, sort=sort)
+    assert text  # renders something for every generated forest
+
+
+@settings(max_examples=20,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(files=shard_files())
+def test_torn_final_lines_are_tolerated(tmp_path, files):
+    out = _write_files(tmp_path, files, torn=True)
+    trace = merge_trace(str(out))
+    xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    total_spans = sum(len(s) for sessions in files.values()
+                      for s in sessions)
+    assert len(xs) == total_spans  # the torn record is dropped, no crash
+
+
+class TestCollectorRoundTrip:
+    def test_real_collector_output_merges_cleanly(self, tmp_path):
+        for shard in (0, 1):
+            sc = SpanCollector()
+            sc.open(str(tmp_path / f"spans-shard{shard:04d}.jsonl"),
+                    pid=shard, label=f"shard {shard}")
+            with sc.span("shard", cat="campaign"):
+                with sc.span("check-function", cat="campaign",
+                             function="f") as sp:
+                    with sc.phase("enumerate-src"):
+                        pass
+                    sp.set(verdict="verified")
+                    sp.stats = {"refine/num-checks": 1}
+            sc.close()
+        trace = merge_trace(str(tmp_path))
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 4
+        assert {e["pid"] for e in xs} == {0, 1}
+        check = next(e for e in xs if e["name"] == "check-function")
+        assert check["args"]["attrs"]["verdict"] == "verified"
+        assert check["args"]["stats"] == {"refine/num-checks": 1}
+        assert check["args"]["phases"]["enumerate-src"]["count"] == 1
+
+        profile = build_profile(trace)
+        assert profile["check-function"]["count"] == 2
+        assert profile["check-function/enumerate-src"]["cat"] == "phase"
+        assert profile["shard"]["self_us"] <= profile["shard"]["total_us"]
+
+    def test_loader_skips_blank_and_corrupt_lines(self, tmp_path):
+        path = tmp_path / "spans-shard0000.jsonl"
+        path.write_text('\n{"kind": "meta", "pid": 0}\nnot json\n'
+                        '{"name": "ok", "id": 1, "ts": 0.0, '
+                        '"dur": 1.0}\n[1, 2]\n')
+        records = load_span_file(str(path))
+        assert [r.get("name", r.get("kind")) for r in records] == \
+            ["meta", "ok"]
+
+    def test_empty_directory_merges_to_an_empty_trace(self, tmp_path):
+        trace = merge_trace(str(tmp_path))
+        assert trace["traceEvents"] == []
+        assert render_top(build_profile(trace)) == "(empty trace)"
+
+    def test_sessions_do_not_leak_parents_across_retries(self, tmp_path):
+        # Two sessions in one file reuse span id 1; ids must resolve
+        # within their own session namespace only.
+        path = tmp_path / "spans-shard0000.jsonl"
+        lines = []
+        for _ in range(2):
+            lines.append({"kind": "meta", "pid": 0, "label": "shard 0"})
+            lines.append({"name": "root", "cat": "campaign", "id": 1,
+                          "ts": 0.0, "dur": 2.0})
+            lines.append({"name": "child", "cat": "campaign", "id": 2,
+                          "parent": 1, "ts": 0.5, "dur": 1.0})
+        path.write_text("".join(json.dumps(l) + "\n" for l in lines))
+        merged = merge_trace(str(tmp_path))
+        xs = [e for e in merged["traceEvents"] if e["ph"] == "X"]
+        assert {e["args"]["session"] for e in xs} == {0, 1}
+        profile = build_profile(merged)
+        # each root's self time excludes exactly its own session's child
+        assert profile["root"]["count"] == 2
+        assert profile["root"]["self_us"] >= 0
