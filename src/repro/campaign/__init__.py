@@ -11,7 +11,13 @@ with the observability layer.
 from .canon import DedupCache, canonical_function, canonical_hash, canonical_text
 from .checkpoint import CheckpointStore, load_manifest, save_manifest
 from .cli import campaign_main
-from .executor import CampaignRunner, CampaignSummary, run_campaign
+from .executor import (
+    CampaignRunner,
+    CampaignSummary,
+    ShardExecutor,
+    merge_worker_stats,
+    run_campaign,
+)
 from .reduce import (
     ReductionResult,
     make_failure_oracle,
@@ -25,7 +31,8 @@ from .worker import run_shard
 
 __all__ = [
     "CampaignRunner", "CampaignSpec", "CampaignSummary", "CheckpointStore",
-    "DedupCache", "ReductionResult", "Shard", "aggregate_records",
+    "DedupCache", "ReductionResult", "Shard", "ShardExecutor",
+    "aggregate_records", "merge_worker_stats",
     "build_diag", "campaign_main", "canonical_function", "canonical_hash",
     "canonical_text", "iter_shard_functions", "load_manifest",
     "make_failure_oracle", "plan_shards", "reduce_counterexamples",

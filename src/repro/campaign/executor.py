@@ -177,6 +177,146 @@ def _errored_record(shard: Shard, reason: str) -> dict:
             "wall_seconds": 0.0}
 
 
+def merge_worker_stats(record: dict) -> None:
+    """Fold a child process's stats delta into this process's registry:
+    the worker's own `StatsRegistry` died with it, and without this
+    merge every refine/memo/pass counter a parallel campaign produced
+    would reduce to zero at the coordinator.  Only subprocess records
+    merge (in-process shards bump the shared registry directly; merging
+    both would double-count)."""
+    registry = default_registry()
+    for pass_name, counters in (record.get("stats") or {}).items():
+        for name, value in counters.items():
+            registry.add(pass_name, name, value)
+
+
+class ShardExecutor:
+    """A reusable process-per-shard pool: submit shards, poll results.
+
+    This is the submission API under both batch campaigns
+    (:class:`CampaignRunner`) and the long-running service front-end
+    (:mod:`repro.serve`): callers :meth:`submit` any number of
+    ``(spec, shard)`` jobs and :meth:`poll` completions as they land,
+    instead of handing over control until a whole campaign finishes.
+
+    Crash semantics match the batch path exactly — a worker that dies
+    without reporting, or exceeds ``shard_timeout``, yields an
+    ``errored`` record (never a lost or hung job), and each subprocess
+    record's stats delta is merged into this process's registry.
+    """
+
+    def __init__(self, workers: int = 1,
+                 shard_timeout: Optional[float] = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.shard_timeout = shard_timeout
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        self._queue: deque = deque()       # (job_id, spec_dict, shard, known)
+        self._running: Dict[int, tuple] = {}  # job_id -> (proc, conn, t0, shard)
+        self._next_job = 0
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        """Jobs currently running in child processes."""
+        return len(self._running)
+
+    @property
+    def queued(self) -> int:
+        """Jobs submitted but not yet started."""
+        return len(self._queue)
+
+    @property
+    def idle(self) -> bool:
+        return not (self._queue or self._running)
+
+    # -- submission --------------------------------------------------------
+    def submit(self, spec: CampaignSpec, shard: Shard,
+               known_hashes: Optional[Dict[str, str]] = None) -> int:
+        """Enqueue one shard; returns its job id.  Jobs start as pool
+        slots free up (at most ``workers`` children at a time)."""
+        job_id = self._next_job
+        self._next_job += 1
+        self._queue.append((job_id, spec.as_dict(), shard,
+                            dict(known_hashes or {})))
+        self._start_pending()
+        return job_id
+
+    def _start_pending(self) -> None:
+        while self._queue and len(self._running) < self.workers:
+            job_id, spec_dict, shard, known = self._queue.popleft()
+            parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+            proc = self._ctx.Process(
+                target=_shard_entry,
+                args=(child_conn, spec_dict, shard.as_dict(), known),
+            )
+            proc.start()
+            child_conn.close()
+            self._running[job_id] = (proc, parent_conn,
+                                     time.monotonic(), shard)
+
+    # -- completion --------------------------------------------------------
+    def poll(self, wait: float = 0.01) -> List[tuple]:
+        """Reap finished jobs; returns ``[(job_id, shard, record), ...]``.
+
+        Blocks at most ``wait`` seconds per still-running child.  Dead
+        and timed-out workers are converted to ``errored`` records here,
+        and their stats deltas merged into the coordinator registry."""
+        done: List[tuple] = []
+        for job_id in list(self._running):
+            proc, conn, started, shard = self._running[job_id]
+            record = None
+            if conn.poll(wait):
+                try:
+                    record = conn.recv()
+                except EOFError:
+                    record = None
+                proc.join()
+                if record is None:
+                    record = _errored_record(
+                        shard, f"worker died mid-report "
+                               f"(exit code {proc.exitcode})")
+            elif not proc.is_alive():
+                proc.join()
+                record = _errored_record(
+                    shard, f"worker crashed without reporting "
+                           f"(exit code {proc.exitcode})")
+            elif (self.shard_timeout is not None
+                  and time.monotonic() - started > self.shard_timeout):
+                proc.terminate()
+                proc.join()
+                record = _errored_record(
+                    shard, f"shard exceeded its {self.shard_timeout}s "
+                           f"timeout")
+            else:
+                continue
+            conn.close()
+            del self._running[job_id]
+            merge_worker_stats(record)
+            done.append((job_id, shard, record))
+        self._start_pending()
+        return done
+
+    def drain(self, wait: float = 0.01):
+        """Yield ``(job_id, shard, record)`` until every job completes."""
+        while not self.idle:
+            for item in self.poll(wait):
+                yield item
+
+    def shutdown(self, kill: bool = False) -> None:
+        """Drop queued jobs; with ``kill`` also terminate running ones."""
+        self._queue.clear()
+        if kill:
+            for proc, conn, _, _ in self._running.values():
+                proc.terminate()
+                proc.join()
+                conn.close()
+            self._running.clear()
+
+
 class CampaignRunner:
     """Run (or resume) one campaign against an output directory.
 
@@ -296,70 +436,12 @@ class CampaignRunner:
 
     def _run_subprocess(self, pending: List[Shard], known: Dict[str, str],
                         finalize) -> None:
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context(
-            "fork" if "fork" in methods else "spawn")
-        spec_dict = self.spec.as_dict()
-        queue = deque(pending)
-        running: Dict[int, tuple] = {}
-
-        while queue or running:
-            while queue and len(running) < self.workers:
-                shard = queue.popleft()
-                parent_conn, child_conn = ctx.Pipe(duplex=False)
-                proc = ctx.Process(
-                    target=_shard_entry,
-                    args=(child_conn, spec_dict, shard.as_dict(), known),
-                )
-                proc.start()
-                child_conn.close()
-                running[shard.shard_id] = (proc, parent_conn,
-                                           time.monotonic(), shard)
-
-            for sid in list(running):
-                proc, conn, started, shard = running[sid]
-                record = None
-                if conn.poll(0.01):
-                    try:
-                        record = conn.recv()
-                    except EOFError:
-                        record = None
-                    proc.join()
-                    if record is None:
-                        record = _errored_record(
-                            shard, f"worker died mid-report "
-                                   f"(exit code {proc.exitcode})")
-                elif not proc.is_alive():
-                    proc.join()
-                    record = _errored_record(
-                        shard, f"worker crashed without reporting "
-                               f"(exit code {proc.exitcode})")
-                elif (self.shard_timeout is not None
-                      and time.monotonic() - started > self.shard_timeout):
-                    proc.terminate()
-                    proc.join()
-                    record = _errored_record(
-                        shard, f"shard exceeded its {self.shard_timeout}s "
-                               f"timeout")
-                else:
-                    continue
-                conn.close()
-                del running[sid]
-                self._merge_worker_stats(record)
-                finalize(shard, record)
-
-    @staticmethod
-    def _merge_worker_stats(record: dict) -> None:
-        """Fold a child process's stats delta into this process's
-        registry: the worker's own `StatsRegistry` died with it, and
-        without this merge every refine/memo/pass counter a parallel
-        campaign produced would reduce to zero at the runner.  In-process
-        shards bump the shared registry directly, so only the subprocess
-        path merges (merging both would double-count)."""
-        registry = default_registry()
-        for pass_name, counters in (record.get("stats") or {}).items():
-            for name, value in counters.items():
-                registry.add(pass_name, name, value)
+        executor = ShardExecutor(workers=self.workers,
+                                 shard_timeout=self.shard_timeout)
+        for shard in pending:
+            executor.submit(self.spec, shard, known)
+        for _job_id, shard, record in executor.drain():
+            finalize(shard, record)
 
     # -- aggregation -------------------------------------------------------
     def _summarize(self, records: Dict[int, dict], shards: List[Shard],

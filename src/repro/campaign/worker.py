@@ -103,6 +103,89 @@ def _stats_delta(before: Dict[str, Dict[str, int]],
     return delta
 
 
+def check_function(spec: CampaignSpec, fn, src_text: str, h: str,
+                   memo: Optional[RefinementMemo] = None,
+                   options=None, semantics=None) -> dict:
+    """Optimize ``fn`` in place and refinement-check it against its
+    source text — the per-function unit of a shard, reusable outside
+    the shard loop (the serve layer batches requests through it).
+
+    Returns an outcome dict: ``status`` is ``"memo-replay"``,
+    ``"crashed"``, or ``"checked"`` (with ``verdict``); crash and
+    counterexample payloads carry everything but the shard/index
+    coordinates, which only the shard loop knows.
+    """
+    options = spec.check_options() if options is None else options
+    semantics = spec.semantics() if semantics is None else semantics
+    outcome: dict = {"hash": h, "recoveries": 0, "bundles": []}
+    if memo is not None:
+        replayed = memo.lookup(h)
+        if replayed is not None:
+            # Same record a full check would produce (the checker is
+            # deterministic), minus the work.
+            outcome.update(status="memo-replay", verdict=replayed)
+            return outcome
+
+    before = parse_function(src_text)
+    pipeline = spec.make_pipeline()
+    try:
+        pipeline.run_on_function(fn)
+        verify_function(fn)
+    except Exception as e:
+        # A failure the policy did not absorb: GuardedPassError under
+        # strict, or a raw crash/verifier rejection from an unguarded
+        # pipeline.
+        failure = getattr(e, "failure", None)
+        recovered, payloads = _harvest(pipeline, fatal=failure)
+        outcome.update(
+            status="crashed", recoveries=recovered, bundles=payloads,
+            crash={
+                "hash": h,
+                "pass": failure.pass_name if failure else "",
+                "kind": failure.kind if failure else "exception",
+                "error": repr(e),
+                "traceback": traceback_module.format_exc(),
+                "source": src_text,
+            })
+        return outcome
+
+    recovered, payloads = _harvest(pipeline)
+    outcome["recoveries"] = recovered
+    outcome["bundles"] = payloads
+
+    result = check_refinement(before, fn, semantics, options=options)
+    verdict = result.verdict
+    if verdict == "inconclusive" and FUEL_REASON in result.reason:
+        verdict = "timeout"
+    if memo is not None:
+        memo.record(h, verdict)
+    outcome.update(status="checked", verdict=verdict,
+                   inputs_checked=result.inputs_checked)
+    if result.failed:
+        outcome["counterexample"] = {
+            "hash": h,
+            "source": src_text,
+            "optimized": print_function(fn),
+            "counterexample": str(result.counterexample),
+            "inputs_checked": result.inputs_checked,
+        }
+    return outcome
+
+
+def check_source(spec: CampaignSpec, src_text: str,
+                 memo: Optional[RefinementMemo] = None,
+                 options=None, semantics=None) -> dict:
+    """Parse, optimize, and check one textual IR function.
+
+    The serve-layer entry point: identical to what a campaign shard
+    does for one corpus function, so service verdicts are byte-for-byte
+    the batch CLI's verdicts on the same source."""
+    fn = parse_function(src_text)
+    canonical_src = print_module(fn.module)
+    return check_function(spec, fn, canonical_src, canonical_hash(fn),
+                          memo=memo, options=options, semantics=semantics)
+
+
 def run_shard(spec: CampaignSpec, shard: Shard,
               known_hashes: Optional[Dict[str, str]] = None) -> dict:
     """Check every function in ``shard``; returns the checkpoint record.
@@ -209,73 +292,33 @@ def _run_shard_body(spec: CampaignSpec, shard: Shard,
                     if cache.lookup(h) is not None:
                         sp.set(outcome="dedup-hit")
                         continue
-                    if memo is not None:
-                        replayed = memo.lookup(h)
-                        if replayed is not None:
-                            # Same record a full check would produce (the
-                            # checker is deterministic), minus the work.
-                            verdicts[replayed] = verdicts.get(replayed, 0) + 1
-                            cache.add(h, replayed)
-                            new_hashes[h] = replayed
-                            sp.set(outcome="memo-replay", verdict=replayed)
-                            continue
-
-                    before = parse_function(src_text)
-                    pipeline = spec.make_pipeline()
-                    try:
-                        pipeline.run_on_function(fn)
-                        verify_function(fn)
-                    except Exception as e:
-                        # A failure the policy did not absorb:
-                        # GuardedPassError under strict, or a raw
-                        # crash/verifier rejection from an unguarded
-                        # pipeline.  Record it per-function — no dedup
-                        # verdict, so resume retries exactly this function —
-                        # and keep the shard alive.  The flight recorder's
-                        # last moments ride along for the post-mortem.
-                        failure = getattr(e, "failure", None)
-                        crashes.append({
-                            "shard_id": shard.shard_id,
-                            "index": index,
-                            "hash": h,
-                            "pass": failure.pass_name if failure else "",
-                            "kind": failure.kind if failure else "exception",
-                            "error": repr(e),
-                            "traceback": traceback_module.format_exc(),
-                            "source": src_text,
-                            "flight_recorder": recorder.dump(),
-                        })
-                        recovered, payloads = _harvest(pipeline, fatal=failure)
-                        recoveries += recovered
-                        bundles.extend(payloads)
+                    outcome = check_function(spec, fn, src_text, h,
+                                             memo=memo, options=options,
+                                             semantics=semantics)
+                    recoveries += outcome["recoveries"]
+                    bundles.extend(outcome["bundles"])
+                    if outcome["status"] == "crashed":
+                        # Record it per-function — no dedup verdict, so
+                        # resume retries exactly this function — and keep
+                        # the shard alive.  The flight recorder's last
+                        # moments ride along for the post-mortem.
+                        crashes.append(dict(
+                            outcome["crash"],
+                            shard_id=shard.shard_id, index=index,
+                            flight_recorder=recorder.dump(),
+                        ))
                         sp.set(outcome="crashed")
                         continue
-
-                    recovered, payloads = _harvest(pipeline)
-                    recoveries += recovered
-                    bundles.extend(payloads)
-
-                    result = check_refinement(before, fn, semantics,
-                                              options=options)
-                    verdict = result.verdict
-                    if verdict == "inconclusive" and FUEL_REASON in result.reason:
-                        verdict = "timeout"
+                    verdict = outcome["verdict"]
                     verdicts[verdict] = verdicts.get(verdict, 0) + 1
                     cache.add(h, verdict)
                     new_hashes[h] = verdict
-                    if memo is not None:
-                        memo.record(h, verdict)
-                    sp.set(outcome="checked", verdict=verdict)
-                    if result.failed:
-                        counterexamples.append({
-                            "shard_id": shard.shard_id,
-                            "index": index,
-                            "hash": h,
-                            "source": src_text,
-                            "optimized": print_function(fn),
-                            "counterexample": str(result.counterexample),
-                            "inputs_checked": result.inputs_checked,
-                        })
+                    sp.set(outcome=outcome["status"], verdict=verdict)
+                    if outcome.get("counterexample"):
+                        counterexamples.append(dict(
+                            outcome["counterexample"],
+                            shard_id=shard.shard_id, index=index,
+                        ))
                 finally:
                     if tracing:
                         sp.set(index=index, hash=h)

@@ -42,6 +42,12 @@ Perfetto-loadable ``trace.json``, and render metric snapshots in the
 Prometheus text format.  Compile mode grows ``--trace-out FILE`` which
 records an in-memory span tree for the single compilation and writes
 the same trace format.
+
+``python -m repro serve`` runs the validation service
+(:mod:`repro.serve`): a persistent asyncio front-end over the campaign
+executor speaking HTTP and an NDJSON socket protocol on one port, with
+warm cross-request verdict caches.  ``python -m repro client`` talks to
+it.
 """
 
 from __future__ import annotations
@@ -260,6 +266,20 @@ def _run_trace(module, args: argparse.Namespace, config) -> dict:
 
 def main(argv: Optional[List[str]] = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:
+        # Piping any subcommand's report into `head`/`grep -q` closes
+        # stdout early; exit quietly instead of tracebacking (the
+        # Python docs recipe).  Covers every subcommand and direct
+        # `main()` callers, not just the `python -m repro` entry point.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 120
+
+
+def _dispatch(argv: List[str]) -> int:
     if argv and argv[0] == "campaign":
         from .campaign import campaign_main
 
@@ -272,6 +292,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _lint_main(argv[1:])
     if argv and argv[0] == "diag":
         return _diag_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from .serve.cli import serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "client":
+        from .serve.cli import client_main
+
+        return client_main(argv[1:])
     args = _build_parser().parse_args(argv)
 
     try:

@@ -86,6 +86,18 @@ STAT_CATALOG: Set[Tuple[str, str]] = {
     ("poison-flow", "num-branch-refinements"),
     ("poison-flow", "num-fixpoint-iterations"),
     ("poison-flow", "num-functions-analyzed"),
+    # validation service front-end
+    ("serve", "num-batched-functions"),
+    ("serve", "num-batches"),
+    ("serve", "num-campaign-shards"),
+    ("serve", "num-connections"),
+    ("serve", "num-refines-memo-served"),
+    ("serve", "num-request-errors"),
+    ("serve", "num-request-timeouts"),
+    ("serve", "num-requests"),
+    ("serve", "num-requests-completed"),
+    ("serve", "num-requests-rejected"),
+    ("serve", "num-stream-chunks"),
     # refinement checker
     ("refine", "num-checks"),
     ("refine", "num-inputs-checked"),
@@ -123,6 +135,10 @@ METRIC_CATALOG: Set[str] = {
     "repro_worker_uptime_seconds",
     "repro_worker_functions_inflight",
     "repro_span_seconds",
+    # validation service front-end
+    "repro_serve_queue_depth",
+    "repro_serve_inflight",
+    "repro_serve_request_seconds",
 }
 
 

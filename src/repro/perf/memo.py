@@ -19,6 +19,22 @@ Two layers:
   every ``memo-*.jsonl`` at construction, so concurrent campaign shards
   share verdicts across process and run boundaries.
 
+Concurrent-reader hardening (the serve layer keeps one memo warm for
+the lifetime of the server, with worker processes appending underneath
+it and request threads querying it in parallel):
+
+* lookups/records/flushes are thread-safe (one lock, held only around
+  table mutation — never around I/O of other processes);
+* :meth:`refresh` re-reads the disk layer *incrementally*: per-file
+  byte offsets mean each call only parses what other processes appended
+  since the last call;
+* a **torn final line** — a writer's partial append that does not yet
+  end in a newline — is never consumed: the reader stops its offset
+  *before* the torn tail, so the entry is picked up whole by a later
+  refresh once the writer finishes the line.  (Torn lines that do end
+  in a newline, e.g. from a writer killed mid-``write``, fail JSON
+  parsing and are skipped, exactly like campaign checkpoints.)
+
 Soundness rules:
 
 * the context string must capture everything besides the function that
@@ -37,6 +53,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from typing import Dict, List, Optional, Tuple
 
 from ..diag import Statistic, span
@@ -65,6 +82,9 @@ class RefinementMemo:
         self.disk_dir = disk_dir
         self._table: Dict[str, str] = {}
         self._fresh: List[Tuple[str, str]] = []
+        #: per-file byte offset of the next unread disk entry.
+        self._offsets: Dict[str, int] = {}
+        self._lock = threading.Lock()
         if disk_dir:
             self._load_disk(disk_dir)
 
@@ -74,7 +94,8 @@ class RefinementMemo:
     # -- queries -----------------------------------------------------------
     def lookup(self, key: str) -> Optional[str]:
         """The memoized verdict for canonical hash ``key``, or None."""
-        verdict = self._table.get(key)
+        with self._lock:
+            verdict = self._table.get(key)
         if verdict is None:
             MEMO_MISSES.inc()
         else:
@@ -83,34 +104,48 @@ class RefinementMemo:
 
     def record(self, key: str, verdict: str) -> None:
         """Memoize a freshly computed verdict (no-op for "failed")."""
-        if verdict not in _CACHEABLE or key in self._table:
+        if verdict not in _CACHEABLE:
             return
-        self._table[key] = verdict
-        self._fresh.append((key, verdict))
+        with self._lock:
+            if key in self._table:
+                return
+            self._table[key] = verdict
+            self._fresh.append((key, verdict))
 
     # -- the on-disk layer -------------------------------------------------
     def flush(self) -> int:
         """Append this process's fresh entries to its own JSONL file.
 
         Returns the number of entries written.  Call at natural
-        boundaries (end of a shard); append-only writes by one process
-        per file keep concurrent workers safe without locking."""
-        if not self.disk_dir or not self._fresh:
-            count = len(self._fresh)
-            self._fresh = []
-            return count
+        boundaries (end of a shard, end of a request batch); append-only
+        writes by one process per file keep concurrent workers safe
+        without locking."""
+        with self._lock:
+            fresh, self._fresh = self._fresh, []
+        if not self.disk_dir or not fresh:
+            return len(fresh)
         with span("memo-flush", cat="perf") as sp:
             os.makedirs(self.disk_dir, exist_ok=True)
             path = os.path.join(self.disk_dir, f"memo-{os.getpid()}.jsonl")
-            with open(path, "a", encoding="utf-8") as fh:
-                for key, verdict in self._fresh:
-                    fh.write(json.dumps(
-                        {"c": self.context, "k": key, "v": verdict}
-                    ) + "\n")
-            count = len(self._fresh)
-            sp.set(entries=count)
-        self._fresh = []
-        return count
+            with open(path, "ab") as fh:
+                fh.write(b"".join(
+                    json.dumps({"c": self.context, "k": key, "v": verdict}
+                               ).encode("ascii") + b"\n"
+                    for key, verdict in fresh))
+            sp.set(entries=len(fresh))
+        return len(fresh)
+
+    def refresh(self) -> int:
+        """Incrementally pick up entries other processes appended since
+        construction (or the last refresh).  Returns entries adopted.
+
+        Safe to call from any thread at any time; cheap when nothing
+        changed (one ``listdir`` + one ``stat``-sized read per file)."""
+        if not self.disk_dir:
+            return 0
+        loaded = self._load_disk_files(self.disk_dir)
+        MEMO_DISK_LOADED.inc(loaded)
+        return loaded
 
     def _load_disk(self, disk_dir: str) -> None:
         if not os.path.isdir(disk_dir):
@@ -121,29 +156,50 @@ class RefinementMemo:
         MEMO_DISK_LOADED.inc(loaded)
 
     def _load_disk_files(self, disk_dir: str) -> int:
+        if not os.path.isdir(disk_dir):
+            return 0
         loaded = 0
         for name in sorted(os.listdir(disk_dir)):
             if not (name.startswith("memo-") and name.endswith(".jsonl")):
                 continue
+            path = os.path.join(disk_dir, name)
             try:
-                with open(os.path.join(disk_dir, name),
-                          encoding="utf-8") as fh:
-                    for line in fh:
-                        line = line.strip()
-                        if not line:
-                            continue
-                        try:
-                            entry = json.loads(line)
-                        except json.JSONDecodeError:
-                            continue  # torn write: skip, never crash
-                        if entry.get("c") != self.context:
-                            continue
-                        verdict = entry.get("v")
-                        key = entry.get("k")
-                        if key and verdict in _CACHEABLE:
-                            if key not in self._table:
-                                self._table[key] = verdict
-                                loaded += 1
+                loaded += self._load_one_file(path)
             except OSError:
                 continue
+        return loaded
+
+    def _load_one_file(self, path: str) -> int:
+        """Parse complete lines from ``path`` past the remembered
+        offset; a torn final line (no trailing newline yet) stays
+        unread until its writer completes it."""
+        offset = self._offsets.get(path, 0)
+        with open(path, "rb") as fh:
+            fh.seek(offset)
+            data = fh.read()
+        if not data:
+            return 0
+        end = data.rfind(b"\n")
+        if end < 0:
+            return 0  # only a torn tail so far; retry next refresh
+        complete, consumed = data[:end + 1], offset + end + 1
+        loaded = 0
+        with self._lock:
+            self._offsets[path] = consumed
+            for line in complete.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn-but-terminated write: skip, never crash
+                if entry.get("c") != self.context:
+                    continue
+                verdict = entry.get("v")
+                key = entry.get("k")
+                if key and verdict in _CACHEABLE:
+                    if key not in self._table:
+                        self._table[key] = verdict
+                        loaded += 1
         return loaded

@@ -1,0 +1,103 @@
+"""Asyncio adapter over the campaign engine's process-per-shard pool.
+
+:class:`AsyncShardPool` lets the event loop submit shards to a
+:class:`~repro.campaign.ShardExecutor` (child processes, crash/timeout
+accounting included) and await their records as futures, while a single
+daemon poller thread reaps completions.  A worker that segfaults or
+overruns its timeout resolves its future with an ``errored`` record —
+never an exception, never a hang — which is what lets the server turn a
+mid-request worker crash into a structured error response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Dict, Optional
+
+from ..campaign.executor import ShardExecutor
+from ..campaign.sharding import Shard
+from ..campaign.spec import CampaignSpec
+
+
+class AsyncShardPool:
+    """Futures over a shared :class:`ShardExecutor`."""
+
+    def __init__(self, workers: int = 2,
+                 shard_timeout: Optional[float] = None,
+                 poll_interval: float = 0.02):
+        self.executor = ShardExecutor(workers=workers,
+                                      shard_timeout=shard_timeout)
+        self.poll_interval = poll_interval
+        self._pending: Dict[int, tuple] = {}  # job_id -> (loop, future)
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        self._stop = False
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def _ensure_thread(self) -> None:
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._poll_loop, name="shard-pool-poller",
+                daemon=True)
+            self._thread.start()
+
+    def close(self) -> None:
+        self._stop = True
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+        with self._lock:
+            self.executor.shutdown(kill=True)
+            pending, self._pending = dict(self._pending), {}
+        for loop, future in pending.values():
+            loop.call_soon_threadsafe(
+                _resolve_cancelled, future)
+
+    # -- submission --------------------------------------------------------
+    def submit(self, spec: CampaignSpec, shard: Shard,
+               known_hashes=None) -> "asyncio.Future":
+        """Submit one shard; returns a future resolving to its record."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        with self._lock:
+            job_id = self.executor.submit(spec, shard, known_hashes)
+            self._pending[job_id] = (loop, future)
+        self._ensure_thread()
+        self._wake.set()
+        return future
+
+    @property
+    def busy(self) -> int:
+        with self._lock:
+            return self.executor.inflight + self.executor.queued
+
+    # -- the poller thread -------------------------------------------------
+    def _poll_loop(self) -> None:
+        while not self._stop:
+            with self._lock:
+                idle = self.executor.idle
+            if idle:
+                self._wake.wait(timeout=0.2)
+                self._wake.clear()
+                continue
+            with self._lock:
+                done = self.executor.poll(self.poll_interval)
+            for job_id, _shard, record in done:
+                with self._lock:
+                    entry = self._pending.pop(job_id, None)
+                if entry is None:
+                    continue
+                loop, future = entry
+                loop.call_soon_threadsafe(_resolve_record, future, record)
+
+
+def _resolve_record(future: "asyncio.Future", record: dict) -> None:
+    if not future.done():
+        future.set_result(record)
+
+
+def _resolve_cancelled(future: "asyncio.Future") -> None:
+    if not future.done():
+        future.cancel()

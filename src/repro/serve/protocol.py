@@ -1,0 +1,124 @@
+"""Newline-delimited-JSON framing for the validation service.
+
+One frame per line, UTF-8/ASCII on the wire.  Frames are encoded with
+``ensure_ascii=True``, so a payload may contain *anything* JSON can
+name — embedded newlines, control characters, even lone surrogates
+(invalid UTF-8 escapes like ``"\\ud800"``) — and the encoded frame is
+still exactly one ``\\n``-terminated line of 7-bit ASCII.  A property
+test round-trips arbitrary payloads through
+:func:`encode_frame`/:func:`decode_frame` to hold that invariant.
+
+Requests carry a client-chosen correlation id::
+
+    {"id": 7, "op": "refine", "payload": {...}}
+
+and are answered by zero or more ``chunk`` frames (incremental results,
+in ``seq`` order) followed by exactly one terminal frame — ``done`` or
+``error``::
+
+    {"id": 7, "kind": "chunk", "seq": 0, "payload": {...}}
+    {"id": 7, "kind": "done", "payload": {...}}
+    {"id": 7, "kind": "error", "code": "timeout", "error": "..."}
+
+The same frames ride inside HTTP streaming responses (one frame per
+chunked-transfer chunk), so both transports share one schema.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple, Union
+
+#: every operation the service answers.
+OPS = ("ping", "health", "metrics", "stats", "parse", "optimize",
+       "lint", "refine", "campaign")
+
+#: machine-readable error codes a terminal ``error`` frame may carry.
+ERROR_CODES = ("bad-frame", "bad-request", "unknown-op", "parse-error",
+               "queue-full", "draining", "timeout", "crashed", "internal")
+
+#: hard cap on one encoded frame; a decoder may reject longer lines
+#: without reading them (an accidental binary stream must not balloon).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A malformed frame or request; carries its wire error code."""
+
+    def __init__(self, message: str, code: str = "bad-frame"):
+        super().__init__(message)
+        self.code = code
+
+
+def encode_frame(obj: Dict[str, Any]) -> bytes:
+    """One frame: compact ASCII JSON + newline."""
+    data = json.dumps(obj, ensure_ascii=True, separators=(",", ":"),
+                      allow_nan=False)
+    encoded = data.encode("ascii") + b"\n"
+    if len(encoded) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(encoded)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap", code="bad-frame")
+    return encoded
+
+
+def decode_frame(line: Union[bytes, str]) -> Dict[str, Any]:
+    """Parse one frame line; raises :class:`ProtocolError` on garbage."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_FRAME_BYTES:
+            raise ProtocolError("frame exceeds the size cap")
+        try:
+            line = line.decode("utf-8", errors="surrogatepass")
+        except UnicodeDecodeError as e:
+            raise ProtocolError(f"frame is not UTF-8: {e}")
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty frame")
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as e:
+        raise ProtocolError(f"frame is not JSON: {e}")
+    if not isinstance(obj, dict):
+        raise ProtocolError("frame must be a JSON object")
+    return obj
+
+
+# -- frame constructors ------------------------------------------------------
+def request_frame(request_id: Any, op: str,
+                  payload: Optional[Dict[str, Any]] = None
+                  ) -> Dict[str, Any]:
+    return {"id": request_id, "op": op, "payload": payload or {}}
+
+
+def chunk_frame(request_id: Any, seq: int,
+                payload: Dict[str, Any]) -> Dict[str, Any]:
+    return {"id": request_id, "kind": "chunk", "seq": seq,
+            "payload": payload}
+
+
+def done_frame(request_id: Any,
+               payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    return {"id": request_id, "kind": "done", "payload": payload or {}}
+
+
+def error_frame(request_id: Any, code: str, message: str) -> Dict[str, Any]:
+    if code not in ERROR_CODES:
+        code = "internal"
+    return {"id": request_id, "kind": "error", "code": code,
+            "error": message}
+
+
+def validate_request(frame: Dict[str, Any]) -> Tuple[Any, str, Dict]:
+    """Check a decoded request frame; returns ``(id, op, payload)``."""
+    if "op" not in frame:
+        raise ProtocolError("request frame has no 'op'",
+                            code="bad-request")
+    op = frame["op"]
+    if not isinstance(op, str) or op not in OPS:
+        raise ProtocolError(f"unknown op {op!r} (want one of "
+                            f"{', '.join(OPS)})", code="unknown-op")
+    payload = frame.get("payload") or {}
+    if not isinstance(payload, dict):
+        raise ProtocolError("request payload must be a JSON object",
+                            code="bad-request")
+    return frame.get("id"), op, payload

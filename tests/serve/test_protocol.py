@@ -1,0 +1,144 @@
+"""Unit + property tests for the NDJSON wire protocol."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    OPS,
+    ProtocolError,
+    chunk_frame,
+    decode_frame,
+    done_frame,
+    encode_frame,
+    error_frame,
+    request_frame,
+    validate_request,
+)
+
+
+class TestFraming:
+    def test_one_ascii_line(self):
+        encoded = encode_frame({"id": 1, "op": "ping", "payload": {}})
+        assert encoded.endswith(b"\n")
+        assert encoded.count(b"\n") == 1
+        encoded.decode("ascii")  # must not raise
+
+    def test_round_trip(self):
+        frame = {"id": 7, "op": "lint", "payload": {"source": "x\ny"}}
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_newlines_stay_inside_the_frame(self):
+        # The whole point of ensure_ascii framing: payload newlines
+        # never produce a second wire line.
+        frame = {"payload": {"source": "line1\nline2\r\nline3"}}
+        encoded = encode_frame(frame)
+        assert encoded.count(b"\n") == 1
+        assert decode_frame(encoded) == frame
+
+    def test_lone_surrogate_survives(self):
+        frame = {"payload": {"text": "bad \ud800 escape"}}
+        encoded = encode_frame(frame)
+        encoded.decode("ascii")
+        assert decode_frame(encoded) == frame
+
+    def test_decode_str_input(self):
+        assert decode_frame('{"a": 1}') == {"a": 1}
+
+    def test_garbage_rejected(self):
+        for bad in (b"", b"   \n", b"not json\n", b"[1,2]\n", b'"str"\n'):
+            with pytest.raises(ProtocolError):
+                decode_frame(bad)
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"payload": "x" * (MAX_FRAME_BYTES + 1)})
+        with pytest.raises(ProtocolError):
+            decode_frame(b"x" * (MAX_FRAME_BYTES + 1))
+
+    def test_nan_rejected(self):
+        with pytest.raises((ProtocolError, ValueError)):
+            encode_frame({"x": float("nan")})
+
+
+class TestRequestValidation:
+    def test_valid(self):
+        rid, op, payload = validate_request(
+            request_frame(3, "lint", {"source": "s"}))
+        assert (rid, op, payload) == (3, "lint", {"source": "s"})
+
+    def test_missing_op(self):
+        with pytest.raises(ProtocolError) as err:
+            validate_request({"id": 1})
+        assert err.value.code == "bad-request"
+
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError) as err:
+            validate_request({"id": 1, "op": "frobnicate"})
+        assert err.value.code == "unknown-op"
+
+    def test_non_dict_payload(self):
+        with pytest.raises(ProtocolError) as err:
+            validate_request({"op": "ping", "payload": [1]})
+        assert err.value.code == "bad-request"
+
+    def test_null_payload_tolerated(self):
+        _, _, payload = validate_request({"op": "ping", "payload": None})
+        assert payload == {}
+
+
+class TestTerminalFrames:
+    def test_chunk_done_error_shapes(self):
+        assert chunk_frame(1, 0, {"a": 1})["kind"] == "chunk"
+        assert done_frame(1)["payload"] == {}
+        err = error_frame(1, "timeout", "too slow")
+        assert err["code"] == "timeout"
+
+    def test_unknown_code_coerced_to_internal(self):
+        assert error_frame(1, "nonsense", "m")["code"] == "internal"
+
+    def test_catalogued_codes(self):
+        for code in ERROR_CODES:
+            assert error_frame(None, code, "m")["code"] == code
+
+    def test_every_op_is_requestable(self):
+        for op in OPS:
+            _, got, _ = validate_request(request_frame(1, op))
+            assert got == op
+
+
+# Text including newlines, control characters, and lone surrogates —
+# everything JSON can name that line-delimited framing must survive.
+_nasty_text = st.text(
+    alphabet=st.characters(min_codepoint=0, max_codepoint=0x10FFFF),
+    max_size=60)
+
+_payloads = st.recursive(
+    st.none() | st.booleans()
+    | st.integers(min_value=-2**53, max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False) | _nasty_text,
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(_nasty_text, children, max_size=4),
+    max_leaves=12)
+
+
+class TestProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(payload=st.dictionaries(_nasty_text, _payloads, max_size=4),
+           rid=st.integers() | _nasty_text)
+    def test_frame_round_trip(self, payload, rid):
+        frame = request_frame(rid, "refine", payload)
+        encoded = encode_frame(frame)
+        # exactly one ASCII line on the wire, whatever the payload
+        assert encoded.count(b"\n") == 1
+        encoded.decode("ascii")
+        assert decode_frame(encoded) == frame
+
+    @settings(max_examples=100, deadline=None)
+    @given(payload=_payloads)
+    def test_json_value_round_trip(self, payload):
+        frame = done_frame(1, {"value": payload})
+        assert decode_frame(encode_frame(frame)) == frame

@@ -1,0 +1,165 @@
+"""Unit tests for request admission and the refine micro-batcher."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.queueing import Batcher, Draining, QueueFull, RequestGate
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRequestGate:
+    def test_admit_release_cycle(self):
+        gate = RequestGate(high_water=2)
+        gate.try_admit()
+        gate.try_admit()
+        assert gate.inflight == 2
+        gate.release()
+        gate.release()
+        assert gate.inflight == 0
+        assert gate.admitted_total == 2
+
+    def test_queue_full_past_high_water(self):
+        gate = RequestGate(high_water=1)
+        gate.try_admit()
+        with pytest.raises(QueueFull):
+            gate.try_admit()
+        # a release frees the slot again
+        gate.release()
+        gate.try_admit()
+
+    def test_draining_rejects_new_work(self):
+        gate = RequestGate(high_water=4)
+        gate.try_admit()
+        gate.start_drain()
+        with pytest.raises(Draining):
+            gate.try_admit()
+        assert gate.inflight == 1  # in-flight slot untouched
+
+    def test_bad_high_water(self):
+        with pytest.raises(ValueError):
+            RequestGate(high_water=0)
+
+    def test_wait_idle(self):
+        async def scenario():
+            gate = RequestGate(high_water=4)
+            gate.try_admit()
+            gate.start_drain()
+            assert not await gate.wait_idle(timeout=0.01)
+            gate.release()
+            assert await gate.wait_idle(timeout=1.0)
+
+        run(scenario())
+
+    def test_wait_idle_immediate_when_never_used(self):
+        async def scenario():
+            gate = RequestGate()
+            assert await gate.wait_idle(timeout=0.1)
+
+        run(scenario())
+
+
+class TestBatcher:
+    def test_groups_items_on_one_lane(self):
+        batches = []
+
+        async def run_batch(key, batch):
+            batches.append((key, len(batch)))
+            for item, future in batch:
+                future.set_result(item * 10)
+
+        async def scenario():
+            batcher = Batcher(run_batch, max_batch=8, linger=0.05)
+            results = await asyncio.gather(
+                *(batcher.submit("lane", i) for i in range(5)))
+            await batcher.aclose()
+            return results
+
+        assert run(scenario()) == [0, 10, 20, 30, 40]
+        # the linger window collects trailing items into few batches
+        assert sum(n for _, n in batches) == 5
+        assert len(batches) <= 2
+
+    def test_max_batch_cap(self):
+        sizes = []
+
+        async def run_batch(key, batch):
+            sizes.append(len(batch))
+            for item, future in batch:
+                future.set_result(item)
+
+        async def scenario():
+            batcher = Batcher(run_batch, max_batch=2, linger=0.05)
+            await asyncio.gather(
+                *(batcher.submit("lane", i) for i in range(6)))
+            await batcher.aclose()
+
+        run(scenario())
+        assert max(sizes) <= 2
+
+    def test_lanes_are_independent(self):
+        seen = {}
+
+        async def run_batch(key, batch):
+            seen.setdefault(key, 0)
+            seen[key] += len(batch)
+            for item, future in batch:
+                future.set_result(item)
+
+        async def scenario():
+            batcher = Batcher(run_batch, max_batch=8, linger=0.02)
+            await asyncio.gather(
+                batcher.submit("a", 1), batcher.submit("b", 2),
+                batcher.submit("a", 3))
+            await batcher.aclose()
+
+        run(scenario())
+        assert seen == {"a": 2, "b": 1}
+
+    def test_batch_exception_fails_every_waiter(self):
+        async def run_batch(key, batch):
+            raise RuntimeError("boom")
+
+        async def scenario():
+            batcher = Batcher(run_batch, linger=0.0)
+            with pytest.raises(RuntimeError, match="boom"):
+                await batcher.submit("lane", 1)
+            await batcher.aclose()
+
+        run(scenario())
+
+    def test_dropped_item_fails_its_waiter(self):
+        # a batch runner that forgets an item must not hang its caller
+        async def run_batch(key, batch):
+            batch[0][1].set_result("ok")  # resolves only the first
+
+        async def scenario():
+            batcher = Batcher(run_batch, max_batch=2, linger=0.2)
+            first = asyncio.ensure_future(batcher.submit("lane", 1))
+            second = asyncio.ensure_future(batcher.submit("lane", 2))
+            results = await asyncio.gather(first, second,
+                                           return_exceptions=True)
+            await batcher.aclose()
+            return results
+
+        first, second = run(scenario())
+        dropped = [r for r in (first, second)
+                   if isinstance(r, RuntimeError)]
+        assert len(dropped) == 1
+        assert "dropped" in str(dropped[0])
+
+    def test_closed_batcher_rejects(self):
+        async def run_batch(key, batch):
+            for _, future in batch:
+                future.set_result(None)
+
+        async def scenario():
+            batcher = Batcher(run_batch)
+            await batcher.aclose()
+            with pytest.raises(Draining):
+                await batcher.submit("lane", 1)
+
+        run(scenario())

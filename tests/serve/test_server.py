@@ -1,0 +1,284 @@
+"""End-to-end tests over real sockets: both protocols, backpressure,
+drain, and a worker process dying mid-request."""
+
+import asyncio
+import json
+import socket
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import (
+    ServeClient,
+    ServeError,
+    ServiceConfig,
+    ValidationServer,
+)
+
+SRC = """define i4 @f(i4 %a, i4 %b) {
+entry:
+  %t = add i4 %a, %b
+  ret i4 %t
+}
+"""
+
+QUICK = {"pipeline": "quick", "fuel": 300, "max_inputs": 4000}
+
+CAMPAIGN = {"mode": "random", "count": 8, "num_instructions": 1,
+            "pipeline": "quick", "shard_size": 4, "fuel": 200,
+            "max_inputs": 2000}
+
+
+def with_server(scenario, config=None, **server_kw):
+    """Start a server, run blocking ``scenario(host, port)`` in a
+    thread, shut down."""
+
+    async def main():
+        server = ValidationServer(
+            config=config or ServiceConfig(workers=1, check_threads=2),
+            **server_kw)
+        host, port = await server.start()
+        try:
+            return await asyncio.to_thread(scenario, host, port)
+        finally:
+            await server.shutdown(drain_timeout=10)
+
+    return asyncio.run(main())
+
+
+class TestNDJSONTransport:
+    def test_many_requests_one_connection(self):
+        def scenario(host, port):
+            with ServeClient(host=host, port=port) as client:
+                assert client.ping()["status"] == "ok"
+                assert client.parse(SRC)["functions"] == ["f"]
+                chunks, done = client.collect(
+                    "refine", {"functions": [SRC], **QUICK})
+                assert done["checked"] == 1
+                assert chunks[0]["verdict"] == "verified"
+                # the connection survives a request-level error
+                with pytest.raises(ServeError) as err:
+                    client.parse("garbage")
+                assert err.value.code == "parse-error"
+                assert client.ping()["status"] == "ok"
+
+        with_server(scenario)
+
+    def test_bad_frame_keeps_connection(self):
+        def scenario(host, port):
+            with socket.create_connection((host, port), timeout=30) as s:
+                fh = s.makefile("rwb")
+                fh.write(b"this is not json\n")
+                fh.flush()
+                frame = json.loads(fh.readline())
+                assert frame["kind"] == "error"
+                assert frame["code"] == "bad-frame"
+                fh.write(json.dumps({"id": 1, "op": "ping"}).encode()
+                         + b"\n")
+                fh.flush()
+                frame = json.loads(fh.readline())
+                assert frame["kind"] == "done"
+                assert frame["payload"]["status"] == "ok"
+
+        with_server(scenario)
+
+    def test_concurrent_clients_share_the_warm_cache(self):
+        import threading
+
+        def scenario(host, port):
+            barrier = threading.Barrier(2)
+            results = []
+
+            def one_client():
+                with ServeClient(host=host, port=port) as client:
+                    barrier.wait()
+                    _, done = client.collect(
+                        "refine", {"functions": [SRC], **QUICK})
+                    results.append(done)
+
+            threads = [threading.Thread(target=one_client)
+                       for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            lines = {tuple(r["verdict_lines"]) for r in results}
+            assert len(lines) == 1  # identical verdicts either way
+            # distinct connections, one verdict store: at least one of
+            # the two requests was served warm (memo or micro-batch)
+            with ServeClient(host=host, port=port) as client:
+                _, done = client.collect("refine",
+                                         {"functions": [SRC], **QUICK})
+                assert done["cached"] == 1
+
+        with_server(scenario)
+
+
+class TestHTTPTransport:
+    def test_healthz_metrics_stats(self):
+        def scenario(host, port):
+            base = f"http://{host}:{port}"
+            with urllib.request.urlopen(base + "/healthz") as r:
+                assert r.status == 200
+                assert json.load(r)["status"] == "ok"
+            with urllib.request.urlopen(base + "/metrics") as r:
+                text = r.read().decode()
+                assert r.headers["Content-Type"].startswith("text/plain")
+                assert "repro_serve_queue_depth" in text
+                assert "# TYPE" in text
+            with urllib.request.urlopen(base + "/stats") as r:
+                assert "stats" in json.load(r)
+
+        with_server(scenario)
+
+    def test_api_streams_ndjson_frames(self):
+        def scenario(host, port):
+            req = urllib.request.Request(
+                f"http://{host}:{port}/api/v1/refine",
+                data=json.dumps({"functions": [SRC], **QUICK}).encode())
+            with urllib.request.urlopen(req) as r:
+                assert r.headers["Content-Type"] == "application/x-ndjson"
+                frames = [json.loads(line)
+                          for line in r.read().splitlines() if line.strip()]
+            kinds = [f["kind"] for f in frames]
+            assert kinds == ["chunk", "done"]
+            assert frames[0]["payload"]["verdict"] == "verified"
+
+        with_server(scenario)
+
+    def test_error_statuses(self):
+        def scenario(host, port):
+            base = f"http://{host}:{port}"
+            cases = [
+                ("/api/v1/parse", {"source": 5}, 400, "bad-request"),
+                ("/api/v1/parse", {"source": "garbage"}, 422,
+                 "parse-error"),
+                ("/api/v1/frobnicate", {}, 404, "unknown-op"),
+            ]
+            for path, payload, status, code in cases:
+                req = urllib.request.Request(
+                    base + path, data=json.dumps(payload).encode())
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    urllib.request.urlopen(req)
+                assert err.value.code == status, path
+                assert json.load(err.value)["code"] == code
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(base + "/nowhere")
+            assert err.value.code == 404
+
+        with_server(scenario)
+
+
+class TestWorkerCrash:
+    def test_crash_mid_campaign_is_a_structured_record(self, monkeypatch):
+        # Shard 0's worker process dies with os._exit(17) mid-request;
+        # the client must get a structured per-shard error and a
+        # terminal done frame — not a hang, not a dropped connection.
+        monkeypatch.setenv("REPRO_CAMPAIGN_CRASH_SHARDS", "0")
+
+        def scenario(host, port):
+            with ServeClient(host=host, port=port, timeout=120) as client:
+                shards = []
+                done = client.campaign(
+                    CAMPAIGN, on_shard=lambda s: shards.append(s))
+            by_id = {s["shard"]["shard_id"]: s["shard"] for s in shards}
+            assert by_id[0]["status"] == "errored"
+            assert "died" in by_id[0]["error"]
+            assert by_id[1]["status"] == "done"
+            assert done["shards_errored"] == [0]
+            # the healthy shard's verdicts still arrived
+            assert len(done["verdict_lines"]) == by_id[1]["checked"]
+
+        with_server(scenario)
+
+    def test_server_survives_the_crash(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CAMPAIGN_CRASH_SHARDS", "0,1")
+
+        def scenario(host, port):
+            with ServeClient(host=host, port=port, timeout=120) as client:
+                done = client.campaign(CAMPAIGN)
+                assert done["shards_errored"] == [0, 1]
+                monkeypatch.delenv("REPRO_CAMPAIGN_CRASH_SHARDS")
+                # the pool replaced its dead workers; new work runs
+                done = client.campaign(CAMPAIGN)
+                assert done["shards_errored"] == []
+                assert done["checked"] == 8
+
+        with_server(scenario)
+
+
+class TestBackpressureAndDrain:
+    def test_queue_full_over_the_wire(self):
+        config = ServiceConfig(workers=1, high_water=1, check_threads=1)
+
+        def scenario(host, port):
+            import threading
+
+            started = threading.Event()
+            slow_result = {}
+
+            variants = [SRC.replace("add", op).replace("@f", f"@f{i}")
+                        for i, op in enumerate(
+                            ("add", "sub", "and", "or", "xor", "mul"))]
+
+            def slow_request():
+                with ServeClient(host=host, port=port, timeout=120) as c:
+                    started.set()
+                    slow_result.update(c.collect(
+                        "refine",
+                        {"functions": variants,
+                         "pipeline": "o2", "fuel": 5000,
+                         "max_inputs": 20000})[1])
+
+            t = threading.Thread(target=slow_request)
+            t.start()
+            started.wait()
+            rejected = None
+            with ServeClient(host=host, port=port) as client:
+                for _ in range(200):
+                    try:
+                        client.collect("lint", {"source": SRC})
+                    except ServeError as e:
+                        rejected = e
+                        break
+                t.join()
+            assert rejected is not None
+            assert rejected.code == "queue-full"
+            assert slow_result.get("checked") == 6  # in-flight finished
+
+        with_server(scenario, config)
+
+    def test_drain_finishes_inflight_rejects_new(self):
+        async def main():
+            server = ValidationServer(
+                config=ServiceConfig(workers=1, check_threads=2))
+            host, port = await server.start()
+
+            inflight = {}
+            rejected = {}
+
+            def slow_client():
+                with ServeClient(host=host, port=port, timeout=120) as c:
+                    inflight.update(c.collect(
+                        "refine", {"functions": [SRC], **QUICK})[1])
+
+            def late_client():
+                try:
+                    with ServeClient(host=host, port=port) as c:
+                        c.collect("lint", {"source": SRC})
+                except ServeError as e:
+                    rejected["code"] = e.code
+
+            slow = asyncio.ensure_future(asyncio.to_thread(slow_client))
+            while server.service.gate.inflight == 0:
+                await asyncio.sleep(0.005)
+            server.service.start_drain()  # what SIGTERM triggers
+            await asyncio.to_thread(late_client)
+            clean = await server.shutdown(drain_timeout=30)
+            await slow
+            assert clean
+            assert rejected["code"] == "draining"
+            assert inflight.get("checked") == 1
+
+        asyncio.run(main())
