@@ -27,11 +27,13 @@ from .reduce import (
 from .report import aggregate_records, build_diag, render_report
 from .sharding import Shard, iter_shard_functions, plan_shards, shard_stream_seed
 from .spec import CampaignSpec
+from .supervisor import SupervisorPolicy, WorkerSupervisor
 from .worker import run_shard
 
 __all__ = [
     "CampaignRunner", "CampaignSpec", "CampaignSummary", "CheckpointStore",
     "DedupCache", "ReductionResult", "Shard", "ShardExecutor",
+    "SupervisorPolicy", "WorkerSupervisor",
     "aggregate_records", "merge_worker_stats",
     "build_diag", "campaign_main", "canonical_function", "canonical_hash",
     "canonical_text", "iter_shard_functions", "load_manifest",

@@ -44,6 +44,7 @@ from ..opt.resilience import write_bundle
 from .checkpoint import CheckpointStore, save_manifest
 from .sharding import Shard, plan_shards
 from .spec import CampaignSpec
+from .supervisor import SupervisorPolicy, WorkerSupervisor
 from .worker import run_shard
 
 #: subdirectory of a campaign's out_dir holding crash bundles.
@@ -98,6 +99,10 @@ class CampaignSummary:
     #: per-function pipeline crashes (strict policy or unguarded code);
     #: these functions have no verdict and are retried on resume.
     crashes: List[dict] = field(default_factory=list)
+    #: supervisor activity: worker restarts behind delivered records,
+    #: and shards quarantined as poison pills after the restart budget.
+    worker_restarts: int = 0
+    shards_quarantined: List[int] = field(default_factory=list)
     #: crash-bundle paths written under ``out_dir/crashes/``.
     bundle_paths: List[str] = field(default_factory=list)
     wall_seconds: float = 0.0
@@ -137,6 +142,8 @@ class CampaignSummary:
             "timeout": self.timeout,
             "recoveries": self.recoveries,
             "crashes": self.crashes,
+            "worker_restarts": self.worker_restarts,
+            "shards_quarantined": list(self.shards_quarantined),
             "bundles": self.bundle_paths,
             "wall_seconds": self.wall_seconds,
             "counterexamples": self.counterexamples,
@@ -199,23 +206,39 @@ class ShardExecutor:
     ``(spec, shard)`` jobs and :meth:`poll` completions as they land,
     instead of handing over control until a whole campaign finishes.
 
-    Crash semantics match the batch path exactly — a worker that dies
-    without reporting, or exceeds ``shard_timeout``, yields an
-    ``errored`` record (never a lost or hung job), and each subprocess
-    record's stats delta is merged into this process's registry.
+    Crash semantics extend the batch path with *supervision*: a worker
+    that dies without reporting, exceeds ``shard_timeout``, or outlives
+    its per-job deadline is detected here, and a
+    :class:`~repro.campaign.supervisor.WorkerSupervisor` decides between
+    a jittered-backoff restart (the job silently re-enqueues; callers
+    just see a longer-running job) and final delivery of an ``errored``
+    record — after the restart budget, with ``quarantined: True`` and
+    the full attempt history (the poison-pill lane).  Either way a job
+    always terminates in exactly one record — never lost, never hung —
+    and each subprocess record's stats delta is merged into this
+    process's registry.  ``supervisor=None`` disables retries (one
+    attempt per job, the pre-supervision behavior).
     """
 
     def __init__(self, workers: int = 1,
-                 shard_timeout: Optional[float] = None):
+                 shard_timeout: Optional[float] = None,
+                 supervisor: Optional[WorkerSupervisor] = "default"):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
         self.shard_timeout = shard_timeout
+        if supervisor == "default":
+            supervisor = WorkerSupervisor(SupervisorPolicy())
+        self.supervisor = supervisor
         methods = multiprocessing.get_all_start_methods()
         self._ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn")
-        self._queue: deque = deque()       # (job_id, spec_dict, shard, known)
-        self._running: Dict[int, tuple] = {}  # job_id -> (proc, conn, t0, shard)
+        #: (job_id, spec_dict, shard, known, not_before, deadline)
+        self._queue: deque = deque()
+        #: job_id -> (proc, conn, t0, shard, deadline)
+        self._running: Dict[int, tuple] = {}
+        #: job_id -> its submit-time queue entry (for restarts).
+        self._job_inputs: Dict[int, tuple] = {}
         self._next_job = 0
 
     # -- introspection -----------------------------------------------------
@@ -226,7 +249,7 @@ class ShardExecutor:
 
     @property
     def queued(self) -> int:
-        """Jobs submitted but not yet started."""
+        """Jobs submitted (or re-enqueued for restart) but not started."""
         return len(self._queue)
 
     @property
@@ -235,19 +258,33 @@ class ShardExecutor:
 
     # -- submission --------------------------------------------------------
     def submit(self, spec: CampaignSpec, shard: Shard,
-               known_hashes: Optional[Dict[str, str]] = None) -> int:
+               known_hashes: Optional[Dict[str, str]] = None,
+               deadline: Optional[float] = None) -> int:
         """Enqueue one shard; returns its job id.  Jobs start as pool
-        slots free up (at most ``workers`` children at a time)."""
+        slots free up (at most ``workers`` children at a time).
+
+        ``deadline`` is an absolute :func:`time.monotonic` instant; a
+        job that has not finished by then is killed and delivered as an
+        ``errored`` record without consuming restart budget."""
         job_id = self._next_job
         self._next_job += 1
-        self._queue.append((job_id, spec.as_dict(), shard,
-                            dict(known_hashes or {})))
+        entry = (job_id, spec.as_dict(), shard,
+                 dict(known_hashes or {}), 0.0, deadline)
+        self._queue.append(entry)
+        if self.supervisor is not None:
+            self._job_inputs[job_id] = entry
         self._start_pending()
         return job_id
 
     def _start_pending(self) -> None:
+        """Start queued jobs whose backoff delay has elapsed."""
+        delayed = []
         while self._queue and len(self._running) < self.workers:
-            job_id, spec_dict, shard, known = self._queue.popleft()
+            entry = self._queue.popleft()
+            job_id, spec_dict, shard, known, not_before, deadline = entry
+            if not_before > time.monotonic():
+                delayed.append(entry)
+                continue
             parent_conn, child_conn = self._ctx.Pipe(duplex=False)
             proc = self._ctx.Process(
                 target=_shard_entry,
@@ -256,19 +293,29 @@ class ShardExecutor:
             proc.start()
             child_conn.close()
             self._running[job_id] = (proc, parent_conn,
-                                     time.monotonic(), shard)
+                                     time.monotonic(), shard, deadline)
+        self._queue.extendleft(reversed(delayed))
+
+    def _requeue(self, job_id: int, shard: Shard, known_entry: tuple,
+                 not_before: float) -> None:
+        _, spec_dict, _, known, _, deadline = known_entry
+        self._queue.append((job_id, spec_dict, shard, known,
+                            not_before, deadline))
 
     # -- completion --------------------------------------------------------
     def poll(self, wait: float = 0.01) -> List[tuple]:
         """Reap finished jobs; returns ``[(job_id, shard, record), ...]``.
 
-        Blocks at most ``wait`` seconds per still-running child.  Dead
-        and timed-out workers are converted to ``errored`` records here,
-        and their stats deltas merged into the coordinator registry."""
+        Blocks at most ``wait`` seconds per still-running child.  Dead,
+        timed-out, and deadline-overrun workers either restart (per the
+        supervisor) or convert to ``errored`` records here, with their
+        stats deltas merged into the coordinator registry."""
         done: List[tuple] = []
         for job_id in list(self._running):
-            proc, conn, started, shard = self._running[job_id]
+            proc, conn, started, shard, deadline = self._running[job_id]
             record = None
+            failure = None
+            retryable = True
             if conn.poll(wait):
                 try:
                     record = conn.recv()
@@ -276,29 +323,85 @@ class ShardExecutor:
                     record = None
                 proc.join()
                 if record is None:
-                    record = _errored_record(
-                        shard, f"worker died mid-report "
+                    failure = (f"worker died mid-report "
                                f"(exit code {proc.exitcode})")
             elif not proc.is_alive():
                 proc.join()
-                record = _errored_record(
-                    shard, f"worker crashed without reporting "
+                failure = (f"worker crashed without reporting "
                            f"(exit code {proc.exitcode})")
+            elif deadline is not None and time.monotonic() >= deadline:
+                proc.terminate()
+                proc.join()
+                failure = "job exceeded its request deadline"
             elif (self.shard_timeout is not None
                   and time.monotonic() - started > self.shard_timeout):
                 proc.terminate()
                 proc.join()
-                record = _errored_record(
-                    shard, f"shard exceeded its {self.shard_timeout}s "
+                failure = (f"shard exceeded its {self.shard_timeout}s "
                            f"timeout")
+                # Re-running the same pure shard against the same wall
+                # budget deterministically times out again.
+                retryable = False
             else:
                 continue
             conn.close()
             del self._running[job_id]
+            if failure is not None:
+                record = self._handle_failure(job_id, shard, failure,
+                                              deadline, retryable)
+                if record is None:
+                    continue  # supervisor re-enqueued the job
+            if self.supervisor is not None:
+                # A healed job's record remembers its restarts (absent
+                # on clean runs, so fault-free records stay identical).
+                # history.attempts counts failures, and for a job that
+                # ultimately reported, every failure became a restart.
+                history = self.supervisor.history_for(job_id)
+                if (record is not None and history is not None
+                        and history.attempts > 0):
+                    record.setdefault("restarts", history.attempts)
+                self.supervisor.forget(job_id)
+            self._job_inputs.pop(job_id, None)
             merge_worker_stats(record)
             done.append((job_id, shard, record))
+        self._sleep_if_backing_off(wait)
         self._start_pending()
         return done
+
+    def _handle_failure(self, job_id: int, shard: Shard, reason: str,
+                        deadline: Optional[float],
+                        retryable: bool = True) -> Optional[dict]:
+        """Supervisor hook: returns the final record, or None on retry."""
+        if self.supervisor is None:
+            return _errored_record(shard, reason)
+        decision = self.supervisor.on_failure(job_id, shard, reason,
+                                              deadline=deadline,
+                                              retryable=retryable)
+        entry = self._job_inputs.get(job_id)
+        if decision.action == "restart" and entry is not None:
+            # Re-enqueue under the same job id: callers' futures stay
+            # pending across the restart, and a successful retry's
+            # record is byte-identical (run_shard is a pure function of
+            # the re-used (spec, shard, known) inputs).
+            self._queue.append(entry[:4] + (decision.not_before,
+                                            entry[5]))
+            return None
+        history = self.supervisor.history_for(job_id)
+        record = _errored_record(shard, decision.reason)
+        if history is not None:
+            record["restarts"] = max(0, history.attempts - 1)
+        if decision.action == "quarantine":
+            record["quarantined"] = True
+        return record
+
+    def _sleep_if_backing_off(self, wait: float) -> None:
+        """Avoid a hot poll loop when only backed-off retries remain."""
+        if self._running or not self._queue:
+            return
+        soonest = min(entry[4] for entry in self._queue)
+        delay = min(wait, max(0.0, soonest - time.monotonic()))
+        if delay > 0:
+            time.sleep(delay)
 
     def drain(self, wait: float = 0.01):
         """Yield ``(job_id, shard, record)`` until every job completes."""
@@ -310,11 +413,12 @@ class ShardExecutor:
         """Drop queued jobs; with ``kill`` also terminate running ones."""
         self._queue.clear()
         if kill:
-            for proc, conn, _, _ in self._running.values():
+            for proc, conn, _, _, _ in self._running.values():
                 proc.terminate()
                 proc.join()
                 conn.close()
             self._running.clear()
+            self._job_inputs.clear()
 
 
 class CampaignRunner:
@@ -326,7 +430,8 @@ class CampaignRunner:
 
     def __init__(self, spec: CampaignSpec, out_dir: Optional[str] = None,
                  workers: int = 1, shard_timeout: Optional[float] = None,
-                 use_processes: Optional[bool] = None):
+                 use_processes: Optional[bool] = None,
+                 supervisor_policy: Optional[SupervisorPolicy] = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if (out_dir is not None and spec.use_cache
@@ -339,6 +444,9 @@ class CampaignRunner:
         self.out_dir = out_dir
         self.workers = workers
         self.shard_timeout = shard_timeout
+        #: restart/quarantine policy for subprocess shards; None = the
+        #: supervisor defaults.
+        self.supervisor_policy = supervisor_policy
         #: None = processes exactly when workers > 1.
         self.use_processes = use_processes
         self.store = CheckpointStore(out_dir) if out_dir else None
@@ -436,8 +544,9 @@ class CampaignRunner:
 
     def _run_subprocess(self, pending: List[Shard], known: Dict[str, str],
                         finalize) -> None:
-        executor = ShardExecutor(workers=self.workers,
-                                 shard_timeout=self.shard_timeout)
+        executor = ShardExecutor(
+            workers=self.workers, shard_timeout=self.shard_timeout,
+            supervisor=WorkerSupervisor(self.supervisor_policy))
         for shard in pending:
             executor.submit(self.spec, shard, known)
         for _job_id, shard, record in executor.drain():
@@ -461,6 +570,9 @@ class CampaignRunner:
                 # crashes reports partial results (everything that did
                 # conclude) instead of losing the whole shard.
                 summary.shards_errored.append(sid)
+            summary.worker_restarts += record.get("restarts", 0)
+            if record.get("quarantined"):
+                summary.shards_quarantined.append(sid)
             summary.checked += record.get("checked", 0)
             summary.dedup_hits += record.get("dedup_hits", 0)
             verdicts = record.get("verdicts", {})

@@ -51,7 +51,7 @@ from ..diag import (
 from ..ir import parse_function, print_function, print_module, verify_function
 from ..opt.resilience import GuardedPassError
 from ..perf import RefinementMemo
-from ..refine import check_refinement
+from ..refine import DEADLINE_REASON, check_refinement
 from .canon import DedupCache, canonical_hash
 from .sharding import Shard, iter_shard_functions
 from .spec import CampaignSpec
@@ -155,9 +155,18 @@ def check_function(spec: CampaignSpec, fn, src_text: str, h: str,
 
     result = check_refinement(before, fn, semantics, options=options)
     verdict = result.verdict
+    deadline_aborted = (verdict == "inconclusive"
+                        and DEADLINE_REASON in result.reason)
     if verdict == "inconclusive" and FUEL_REASON in result.reason:
         verdict = "timeout"
-    if memo is not None:
+    if deadline_aborted:
+        # The *request's* clock ran out, not the function's fuel: the
+        # same function under a fresh budget may still conclude.  Report
+        # it as a timeout for this caller but never memoize it — a
+        # cached deadline abort would poison every later request.
+        verdict = "timeout"
+        outcome["deadline_expired"] = True
+    elif memo is not None:
         memo.record(h, verdict)
     outcome.update(status="checked", verdict=verdict,
                    inputs_checked=result.inputs_checked)

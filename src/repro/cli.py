@@ -300,6 +300,10 @@ def _dispatch(argv: List[str]) -> int:
         from .serve.cli import client_main
 
         return client_main(argv[1:])
+    if argv and argv[0] == "memo":
+        from .perf.cli import memo_main
+
+        return memo_main(argv[1:])
     args = _build_parser().parse_args(argv)
 
     try:

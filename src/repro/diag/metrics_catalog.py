@@ -39,6 +39,8 @@ STAT_CATALOG: Set[Tuple[str, str]] = {
     # chaos / fault injection
     ("chaos", "num-corrupt-faults"),
     ("chaos", "num-faults-injected"),
+    ("chaos", "num-io-faults"),
+    ("chaos", "num-kill-faults"),
     ("chaos", "num-raise-faults"),
     # optimization passes
     ("freeze-opts", "num-freezes-simplified"),
@@ -79,6 +81,8 @@ STAT_CATALOG: Set[Tuple[str, str]] = {
     ("perf", "num-memo-disk-entries-loaded"),
     ("perf", "num-memo-hits"),
     ("perf", "num-memo-misses"),
+    ("perf", "num-memo-quarantined"),
+    ("perf", "num-memo-disk-errors"),
     # pipeline summary counters
     ("pipeline", "num-freeze-instructions"),
     ("pipeline", "num-ir-instructions"),
@@ -98,9 +102,20 @@ STAT_CATALOG: Set[Tuple[str, str]] = {
     ("serve", "num-requests-completed"),
     ("serve", "num-requests-rejected"),
     ("serve", "num-stream-chunks"),
+    ("serve", "num-poller-leaks"),
+    ("serve", "num-idempotent-replays"),
+    # retrying clients / circuit breakers
+    ("serve-client", "num-retries"),
+    ("serve-client", "num-breaker-opens"),
+    ("serve-client", "num-breaker-shed"),
+    # worker supervision
+    ("supervisor", "num-worker-restarts"),
+    ("supervisor", "num-jobs-quarantined"),
+    ("supervisor", "num-restart-budget-exhausted"),
     # refinement checker
     ("refine", "num-checks"),
     ("refine", "num-inputs-checked"),
+    ("refine", "num-deadline-aborts"),
     ("refine", "num-undef-expansion-overflow"),
     # pass-guard resilience layer
     ("resilience", "num-bisect-skipped"),

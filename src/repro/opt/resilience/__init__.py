@@ -37,6 +37,7 @@ from .chaos import (
     ChaosEngine,
     ChaosFault,
     ChaosPass,
+    ServiceChaos,
     inject_corruption,
     wrap_with_chaos,
 )
@@ -97,8 +98,8 @@ __all__ = [
     "ReplayResult", "bundle_id", "list_bundles", "load_bundle",
     "make_bundle_payload", "replay_bundle", "write_bundle",
     "CHAOS_CORRUPT", "CHAOS_MIXED", "CHAOS_MODES", "CHAOS_RAISE",
-    "ChaosEngine", "ChaosFault", "ChaosPass", "inject_corruption",
-    "wrap_with_chaos",
+    "ChaosEngine", "ChaosFault", "ChaosPass", "ServiceChaos",
+    "inject_corruption", "wrap_with_chaos",
     "POLICIES", "POLICY_QUARANTINE", "POLICY_RECOVER", "POLICY_STRICT",
     "GuardedPassError", "GuardedPassManager", "PassFailure",
     "clone_function", "discard_snapshot", "restore_function",

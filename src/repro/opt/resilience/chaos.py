@@ -20,8 +20,12 @@ records stay independent of worker count.
 
 from __future__ import annotations
 
+import os
 import random
-from typing import Iterable, Optional, Tuple
+import signal
+import socket
+import time
+from typing import Iterable, List, Optional, Tuple
 
 from ...diag import Statistic
 from ...ir.function import Function
@@ -42,6 +46,13 @@ NUM_RAISE_FAULTS = Statistic(
 NUM_CORRUPT_FAULTS = Statistic(
     "chaos", "num-corrupt-faults",
     "Injected IR corruptions (silently-buggy-pass simulation)")
+NUM_KILL_FAULTS = Statistic(
+    "chaos", "num-kill-faults",
+    "Worker processes SIGKILLed mid-shard by service chaos")
+NUM_IO_FAULTS = Statistic(
+    "chaos", "num-io-faults",
+    "Injected I/O faults (corrupted memo records, dropped/stalled "
+    "connections)")
 
 
 class ChaosFault(RuntimeError):
@@ -187,3 +198,163 @@ class ChaosPass(FunctionPass):
 def wrap_with_chaos(passes, engine: ChaosEngine):
     """Wrap every pass in a pipeline's pass list with one shared engine."""
     return [ChaosPass(p, engine) for p in passes]
+
+
+class ServiceChaos:
+    """Process- and I/O-level faults against a live validation service.
+
+    Where :class:`ChaosEngine` faults *pass applications inside* a
+    worker, this faults the *environment around* the service — the
+    three failure families the self-healing machinery exists to
+    contain:
+
+    * :meth:`kill_worker` — SIGKILL a shard worker mid-run (the
+      supervisor must respawn it and re-run the shard, verdicts
+      unchanged);
+    * :meth:`corrupt_memo_record` — flip one byte inside a complete
+      record of an on-disk memo file (the checksum layer must
+      quarantine exactly that record and keep serving the rest);
+    * :meth:`drop_connection` / :meth:`stall_connection` — abandon a
+      request socket mid-frame, or hold one open half-written (the
+      server must shrug both off without failing other clients).
+
+    Deterministic from its seed, like the engine: every byte position
+    and file choice comes from one seeded RNG, and every injected fault
+    is appended to :attr:`events` for the bench report.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(f"service-chaos:{seed}")
+        self.events: List[dict] = []
+
+    def _record(self, kind: str, **detail) -> None:
+        self.events.append({"kind": kind, **detail})
+        NUM_FAULTS.inc()
+        (NUM_KILL_FAULTS if kind == "kill-worker" else NUM_IO_FAULTS).inc()
+
+    # -- process faults ------------------------------------------------------
+    def kill_worker(self, executor) -> Optional[int]:
+        """SIGKILL one live shard worker of a
+        :class:`~repro.campaign.executor.ShardExecutor`; returns the
+        pid, or None when nothing was running."""
+        running = getattr(executor, "_running", {})
+        for job_id, entry in sorted(running.items()):
+            proc = entry[0]
+            pid = getattr(proc, "pid", None)
+            if pid is None or not proc.is_alive():
+                continue
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (OSError, ProcessLookupError):
+                continue
+            self._record("kill-worker", pid=pid, job_id=job_id)
+            return pid
+        return None
+
+    def kill_worker_when_busy(self, executor, timeout: float = 10.0,
+                              poll: float = 0.01) -> Optional[int]:
+        """Wait until the executor has a live worker, then kill it."""
+        end = time.monotonic() + timeout
+        while time.monotonic() < end:
+            pid = self.kill_worker(executor)
+            if pid is not None:
+                return pid
+            time.sleep(poll)
+        return None
+
+    # -- I/O faults ----------------------------------------------------------
+    def corrupt_memo_record(self, memo_dir: str) -> Optional[str]:
+        """Flip one byte inside one complete record line of one
+        ``memo-*.jsonl`` under ``memo_dir``; returns a description, or
+        None when no complete record exists to corrupt."""
+        candidates = []
+        try:
+            names = sorted(os.listdir(memo_dir))
+        except OSError:
+            return None
+        for name in names:
+            if not (name.startswith("memo-") and name.endswith(".jsonl")):
+                continue
+            path = os.path.join(memo_dir, name)
+            try:
+                with open(path, "rb") as fh:
+                    data = fh.read()
+            except OSError:
+                continue
+            # only complete (newline-terminated) lines are fair game —
+            # a torn tail is the *writer's* fault family, not bit rot.
+            end = data.rfind(b"\n")
+            if end > 0:
+                candidates.append((path, data, end))
+        if not candidates:
+            return None
+        path, data, end = candidates[
+            self._rng.randrange(len(candidates))]
+        lines = data[:end].split(b"\n")
+        idx = self._rng.randrange(len(lines))
+        line = lines[idx]
+        if not line:
+            return None
+        pos = self._rng.randrange(len(line))
+        old = line[pos]
+        new = old ^ 0x20 if 0x21 <= (old ^ 0x20) <= 0x7E else 0x21
+        if new == old:
+            new = 0x23
+        lines[idx] = line[:pos] + bytes([new]) + line[pos + 1:]
+        patched = b"\n".join(lines) + data[end:]
+        try:
+            with open(path, "wb") as fh:
+                fh.write(patched)
+        except OSError:
+            return None
+        what = (f"flipped byte {pos} of record {idx} in "
+                f"{os.path.basename(path)}")
+        self._record("corrupt-memo", file=os.path.basename(path),
+                     record=idx, byte=pos)
+        return what
+
+    def drop_connection(self, host: str, port: int) -> bool:
+        """Connect, send half a request frame, vanish (RST via
+        SO_LINGER 0 where supported, plain close otherwise)."""
+        try:
+            sock = socket.create_connection((host, port), timeout=5)
+            try:
+                sock.sendall(b'{"op": "ping", "id": "chaos-dr')
+                try:
+                    import struct
+                    sock.setsockopt(
+                        socket.SOL_SOCKET, socket.SO_LINGER,
+                        struct.pack("ii", 1, 0))
+                except OSError:
+                    pass
+            finally:
+                sock.close()
+        except OSError:
+            return False
+        self._record("drop-connection", host=host, port=port)
+        return True
+
+    def stall_connection(self, host: str, port: int,
+                         hold: float = 0.25) -> bool:
+        """Hold a half-written frame open for ``hold`` seconds, then
+        close without ever completing it."""
+        try:
+            sock = socket.create_connection((host, port), timeout=5)
+            try:
+                sock.sendall(b'{"op": "lint", "payload": {"sou')
+                time.sleep(hold)
+            finally:
+                sock.close()
+        except OSError:
+            return False
+        self._record("stall-connection", host=host, port=port,
+                     hold=hold)
+        return True
+
+    def report(self) -> dict:
+        kinds: dict = {}
+        for event in self.events:
+            kinds[event["kind"]] = kinds.get(event["kind"], 0) + 1
+        return {"seed": self.seed, "events": len(self.events),
+                "by_kind": kinds}

@@ -13,15 +13,23 @@ hashable inputs, so each gets a cache at its own layer:
 """
 
 from .memo import (
+    MEMO_DISK_ERRORS,
     MEMO_DISK_LOADED,
     MEMO_HITS,
     MEMO_MISSES,
+    MEMO_QUARANTINED,
     RefinementMemo,
+    compact,
+    fsck,
 )
 
 __all__ = [
+    "MEMO_DISK_ERRORS",
     "MEMO_DISK_LOADED",
     "MEMO_HITS",
     "MEMO_MISSES",
+    "MEMO_QUARANTINED",
     "RefinementMemo",
+    "compact",
+    "fsck",
 ]

@@ -1,0 +1,89 @@
+"""``python -m repro memo`` — offline maintenance of the on-disk
+verdict store.
+
+Two subcommands over a ``--dir`` of ``memo-*.jsonl`` files::
+
+    python -m repro memo fsck --dir /tmp/memo           # audit
+    python -m repro memo compact --dir /tmp/memo        # rebuild
+
+``fsck`` is read-only: it reports per-file valid/legacy/corrupt record
+counts and torn tails, exiting 65 when corruption (or an unreadable
+file) was found so scripts can gate on it.  ``compact`` rewrites every
+surviving record — deduplicated, all checksummed — into one file and
+removes the inputs; run it only while no server or campaign is
+appending to the store.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .memo import compact, fsck
+
+#: exit codes: 0 clean, 65 corruption found (fsck), 70 compact failed.
+EXIT_CORRUPT = 65
+EXIT_FAILED = 70
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro memo",
+        description="Audit or rebuild the on-disk refinement-verdict "
+                    "store.")
+    sub = p.add_subparsers(dest="cmd", required=True)
+    for name, doc in (("fsck", "audit the store (read-only)"),
+                      ("compact", "rewrite the store as one "
+                                  "deduplicated, checksummed file")):
+        sp = sub.add_parser(name, help=doc)
+        sp.add_argument("--dir", required=True, dest="memo_dir",
+                        help="memo store directory")
+        sp.add_argument("--json", action="store_true",
+                        help="print the full report as JSON")
+    return p
+
+
+def _print_fsck(report: dict) -> None:
+    print(f"memo fsck: {report['dir']}")
+    for entry in report["files"]:
+        torn = " +torn-tail" if entry.get("torn_tail") else ""
+        if "error" in entry:
+            print(f"  {entry['file']}: READ ERROR: {entry['error']}")
+            continue
+        print(f"  {entry['file']}: {entry['valid']} valid, "
+              f"{entry['legacy']} legacy, {entry['corrupt']} "
+              f"corrupt{torn}")
+    print(f"total: {report['valid']} valid, {report['legacy']} legacy, "
+          f"{report['corrupt']} corrupt, {report['torn_tails']} torn "
+          f"tail(s), {report['read_errors']} read error(s)")
+    print("status: " + ("clean" if report["ok"] else "CORRUPTION FOUND"))
+
+
+def _print_compact(result: dict) -> None:
+    print(f"memo compact: {result['dir']}")
+    print(f"  kept {result['kept']} record(s); dropped "
+          f"{result['dropped_corrupt']} corrupt, "
+          f"{result['dropped_duplicates']} duplicate(s); removed "
+          f"{result['files_removed']} input file(s)")
+    if not result["ok"]:
+        why = result.get("error", "read errors during scan")
+        print(f"  FAILED: {why}", file=sys.stderr)
+
+
+def memo_main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.cmd == "fsck":
+        report = fsck(args.memo_dir)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            _print_fsck(report)
+        return 0 if report["ok"] else EXIT_CORRUPT
+    result = compact(args.memo_dir)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        _print_compact(result)
+    return 0 if result["ok"] else EXIT_FAILED

@@ -35,6 +35,25 @@ it and request threads querying it in parallel):
   in a newline, e.g. from a writer killed mid-``write``, fail JSON
   parsing and are skipped, exactly like campaign checkpoints.)
 
+Integrity hardening (chaos runs SIGKILL workers mid-append and corrupt
+records in place, and the store must stay trustworthy through both):
+
+* every record carries a CRC32 **checksum** over its semantic fields;
+  a record that parses as JSON but fails its checksum (bit rot, an
+  interleaved write, deliberate corruption) is **quarantined**: skipped,
+  counted per file and in ``perf/num-memo-quarantined``, and never
+  adopted into the table.  Records written before checksums existed
+  (no ``"s"`` field) are accepted as legacy.
+* disk I/O failures never take the service down: a flush that cannot
+  write re-queues its entries and counts ``perf/num-memo-disk-errors``;
+  after :data:`_MAX_FLUSH_FAILURES` consecutive failures the memo goes
+  **degraded** — a pure in-memory cache, cold across restarts but warm
+  within the process.
+* ``python -m repro memo fsck|compact`` (see :func:`fsck`,
+  :func:`compact`) audit and rebuild the store offline: fsck reports
+  per-file valid/legacy/corrupt/torn counts; compact rewrites every
+  surviving record, checksummed and deduplicated, into one file.
+
 Soundness rules:
 
 * the context string must capture everything besides the function that
@@ -52,11 +71,15 @@ Soundness rules:
 from __future__ import annotations
 
 import json
+import logging
 import os
 import threading
+import zlib
 from typing import Dict, List, Optional, Tuple
 
 from ..diag import Statistic, span
+
+logger = logging.getLogger(__name__)
 
 MEMO_HITS = Statistic(
     "perf", "num-memo-hits",
@@ -67,10 +90,57 @@ MEMO_MISSES = Statistic(
 MEMO_DISK_LOADED = Statistic(
     "perf", "num-memo-disk-entries-loaded",
     "Memo entries loaded from the shared on-disk layer")
+MEMO_QUARANTINED = Statistic(
+    "perf", "num-memo-quarantined",
+    "On-disk memo records rejected by checksum or parse failure")
+MEMO_DISK_ERRORS = Statistic(
+    "perf", "num-memo-disk-errors",
+    "Memo disk operations (flush/load) that failed with an OS error")
 
 #: verdicts that are pure functions of (function, context) and safe to
 #: replay.  "failed" is deliberately absent (see module docstring).
 _CACHEABLE = ("verified", "inconclusive", "timeout")
+
+#: consecutive flush failures before the memo stops touching disk.
+_MAX_FLUSH_FAILURES = 3
+
+
+def _checksum(context: str, key: str, verdict: str) -> str:
+    """CRC32 (hex) over the semantic fields of one record."""
+    blob = f"{context}\x00{key}\x00{verdict}".encode("utf-8")
+    return f"{zlib.crc32(blob) & 0xFFFFFFFF:08x}"
+
+
+def _encode_record(context: str, key: str, verdict: str) -> bytes:
+    return json.dumps(
+        {"c": context, "k": key, "v": verdict,
+         "s": _checksum(context, key, verdict)}).encode("ascii") + b"\n"
+
+
+def _classify(line: bytes) -> Tuple[str, Optional[dict]]:
+    """One complete JSONL line -> ("valid"|"legacy"|"corrupt", entry).
+
+    "valid" records carry a matching checksum; "legacy" records predate
+    checksums (no ``"s"`` field) and are accepted; everything else —
+    unparsable JSON, non-object JSON, missing fields, checksum
+    mismatch — is "corrupt" and must be quarantined."""
+    try:
+        entry = json.loads(line)
+    except json.JSONDecodeError:
+        return "corrupt", None
+    if not isinstance(entry, dict):
+        return "corrupt", None
+    context, key, verdict = (entry.get("c"), entry.get("k"),
+                             entry.get("v"))
+    if not (isinstance(context, str) and isinstance(key, str)
+            and isinstance(verdict, str)):
+        return "corrupt", None
+    stamp = entry.get("s")
+    if stamp is None:
+        return "legacy", entry
+    if stamp != _checksum(context, key, verdict):
+        return "corrupt", None
+    return "valid", entry
 
 
 class RefinementMemo:
@@ -84,6 +154,12 @@ class RefinementMemo:
         self._fresh: List[Tuple[str, str]] = []
         #: per-file byte offset of the next unread disk entry.
         self._offsets: Dict[str, int] = {}
+        #: per-file count of records quarantined by checksum/parse.
+        self._corrupt: Dict[str, int] = {}
+        self._flush_failures = 0
+        #: True once the disk layer is abandoned after repeated I/O
+        #: errors; the memo keeps serving warm in-memory hits.
+        self.degraded = False
         self._lock = threading.Lock()
         if disk_dir:
             self._load_disk(disk_dir)
@@ -112,6 +188,11 @@ class RefinementMemo:
             self._table[key] = verdict
             self._fresh.append((key, verdict))
 
+    def quarantined(self) -> Dict[str, int]:
+        """Per-file counts of records this memo has quarantined."""
+        with self._lock:
+            return dict(self._corrupt)
+
     # -- the on-disk layer -------------------------------------------------
     def flush(self) -> int:
         """Append this process's fresh entries to its own JSONL file.
@@ -119,20 +200,47 @@ class RefinementMemo:
         Returns the number of entries written.  Call at natural
         boundaries (end of a shard, end of a request batch); append-only
         writes by one process per file keep concurrent workers safe
-        without locking."""
+        without locking.
+
+        A write failure is contained, not fatal: the entries go back on
+        the fresh queue (still served from memory), the error is
+        counted, and after :data:`_MAX_FLUSH_FAILURES` consecutive
+        failures the memo goes :attr:`degraded` and stops touching
+        disk."""
         with self._lock:
             fresh, self._fresh = self._fresh, []
-        if not self.disk_dir or not fresh:
+        if not self.disk_dir or self.degraded or not fresh:
             return len(fresh)
-        with span("memo-flush", cat="perf") as sp:
-            os.makedirs(self.disk_dir, exist_ok=True)
-            path = os.path.join(self.disk_dir, f"memo-{os.getpid()}.jsonl")
-            with open(path, "ab") as fh:
-                fh.write(b"".join(
-                    json.dumps({"c": self.context, "k": key, "v": verdict}
-                               ).encode("ascii") + b"\n"
-                    for key, verdict in fresh))
-            sp.set(entries=len(fresh))
+        try:
+            with span("memo-flush", cat="perf") as sp:
+                os.makedirs(self.disk_dir, exist_ok=True)
+                path = os.path.join(self.disk_dir,
+                                    f"memo-{os.getpid()}.jsonl")
+                with open(path, "ab") as fh:
+                    fh.write(b"".join(
+                        _encode_record(self.context, key, verdict)
+                        for key, verdict in fresh))
+                sp.set(entries=len(fresh))
+        except OSError as e:
+            MEMO_DISK_ERRORS.inc()
+            with self._lock:
+                # Preserve order: the failed batch precedes anything
+                # recorded while the write was in flight.
+                self._fresh[:0] = fresh
+                self._flush_failures += 1
+                if self._flush_failures >= _MAX_FLUSH_FAILURES:
+                    self.degraded = True
+            if self.degraded:
+                logger.error(
+                    "memo disk layer degraded after %d consecutive "
+                    "flush failures (last: %s); continuing in-memory "
+                    "only", self._flush_failures, e)
+            else:
+                logger.warning("memo flush to %s failed: %s",
+                               self.disk_dir, e)
+            return 0
+        with self._lock:
+            self._flush_failures = 0
         return len(fresh)
 
     def refresh(self) -> int:
@@ -166,6 +274,7 @@ class RefinementMemo:
             try:
                 loaded += self._load_one_file(path)
             except OSError:
+                MEMO_DISK_ERRORS.inc()
                 continue
         return loaded
 
@@ -183,17 +292,20 @@ class RefinementMemo:
         if end < 0:
             return 0  # only a torn tail so far; retry next refresh
         complete, consumed = data[:end + 1], offset + end + 1
-        loaded = 0
+        loaded = quarantined = 0
         with self._lock:
             self._offsets[path] = consumed
             for line in complete.splitlines():
                 line = line.strip()
                 if not line:
                     continue
-                try:
-                    entry = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn-but-terminated write: skip, never crash
+                kind, entry = _classify(line)
+                if kind == "corrupt":
+                    # Checksum mismatch or unparsable write: quarantine
+                    # the record (skip + count), never adopt it.
+                    quarantined += 1
+                    self._corrupt[path] = self._corrupt.get(path, 0) + 1
+                    continue
                 if entry.get("c") != self.context:
                     continue
                 verdict = entry.get("v")
@@ -202,4 +314,121 @@ class RefinementMemo:
                     if key not in self._table:
                         self._table[key] = verdict
                         loaded += 1
+        if quarantined:
+            MEMO_QUARANTINED.inc(quarantined)
+            logger.warning("memo: quarantined %d corrupt record(s) in "
+                           "%s", quarantined, path)
         return loaded
+
+
+# -- offline maintenance: fsck and compact -----------------------------------
+def _memo_files(disk_dir: str) -> List[str]:
+    return sorted(
+        os.path.join(disk_dir, name)
+        for name in os.listdir(disk_dir)
+        if name.startswith("memo-") and name.endswith(".jsonl"))
+
+
+def fsck(disk_dir: str) -> dict:
+    """Audit every memo file under ``disk_dir`` without mutating it.
+
+    Returns a report dict: per-file ``valid``/``legacy``/``corrupt``
+    record counts plus whether the file ends in a torn (unterminated)
+    tail, and store-wide totals.  ``ok`` is True iff no corruption and
+    no read errors were found (torn tails are not corruption — they are
+    an append in progress)."""
+    report: dict = {"dir": disk_dir, "files": [], "ok": True,
+                    "valid": 0, "legacy": 0, "corrupt": 0,
+                    "torn_tails": 0, "read_errors": 0}
+    if not os.path.isdir(disk_dir):
+        return report
+    for path in _memo_files(disk_dir):
+        entry = {"file": os.path.basename(path), "valid": 0,
+                 "legacy": 0, "corrupt": 0, "torn_tail": False}
+        try:
+            with open(path, "rb") as fh:
+                data = fh.read()
+        except OSError as e:
+            MEMO_DISK_ERRORS.inc()
+            entry["error"] = str(e)
+            report["read_errors"] += 1
+            report["ok"] = False
+            report["files"].append(entry)
+            continue
+        if data and not data.endswith(b"\n"):
+            entry["torn_tail"] = True
+            report["torn_tails"] += 1
+            data = data[:data.rfind(b"\n") + 1] if b"\n" in data else b""
+        for line in data.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            kind, _ = _classify(line)
+            entry[kind] += 1
+            report[kind] += 1
+        if entry["corrupt"]:
+            report["ok"] = False
+        report["files"].append(entry)
+    return report
+
+
+def compact(disk_dir: str) -> dict:
+    """Rewrite the store as one deduplicated, fully checksummed file.
+
+    Reads every ``memo-*.jsonl``, keeps valid and legacy records (first
+    occurrence of each ``(context, key)`` wins — matching reader
+    adoption order), drops corrupt records and torn tails, writes the
+    survivors (with fresh checksums, legacy included) to
+    ``memo-compacted.jsonl`` via a temp file + atomic rename, then
+    removes the input files.  Offline maintenance only: run it while no
+    writer is appending."""
+    report = fsck(disk_dir)
+    result = {"dir": disk_dir, "kept": 0,
+              "dropped_corrupt": report["corrupt"],
+              "dropped_duplicates": 0,
+              "files_removed": 0, "ok": report["read_errors"] == 0}
+    if not os.path.isdir(disk_dir):
+        return result
+    survivors: Dict[Tuple[str, str], str] = {}
+    inputs = []
+    for path in _memo_files(disk_dir):
+        try:
+            with open(path, "rb") as fh:
+                data = fh.read()
+        except OSError:
+            MEMO_DISK_ERRORS.inc()
+            continue
+        inputs.append(path)
+        if data and not data.endswith(b"\n"):
+            data = data[:data.rfind(b"\n") + 1] if b"\n" in data else b""
+        for line in data.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            kind, entry = _classify(line)
+            if kind == "corrupt":
+                continue
+            pair = (entry["c"], entry["k"])
+            if pair in survivors:
+                result["dropped_duplicates"] += 1
+                continue
+            survivors[pair] = entry["v"]
+    out = os.path.join(disk_dir, "memo-compacted.jsonl")
+    tmp = out + ".tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(b"".join(
+                _encode_record(context, key, verdict)
+                for (context, key), verdict in sorted(survivors.items())))
+        os.replace(tmp, out)
+        for path in inputs:
+            if path != out:
+                os.unlink(path)
+                result["files_removed"] += 1
+    except OSError as e:
+        MEMO_DISK_ERRORS.inc()
+        result["ok"] = False
+        result["error"] = str(e)
+        return result
+    result["kept"] = len(survivors)
+    return result

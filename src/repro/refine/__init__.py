@@ -1,6 +1,7 @@
 """Alive-style translation validation: refinement checking."""
 
 from .exhaustive import (
+    DEADLINE_REASON,
     CheckOptions,
     Counterexample,
     RefinementResult,
@@ -17,6 +18,7 @@ from .refinement import (
 )
 
 __all__ = [
+    "DEADLINE_REASON",
     "CheckOptions", "Counterexample", "RefinementResult",
     "check_equivalence", "check_refinement", "input_candidates",
     "BehaviorSetResult", "behavior_covers", "bit_covers", "bits_cover",

@@ -45,6 +45,15 @@ NUM_CHECKS = Statistic(
 NUM_INPUTS_CHECKED = Statistic(
     "refine", "num-inputs-checked",
     "Concrete inputs enumerated across all refinement checks")
+NUM_DEADLINE_ABORTS = Statistic(
+    "refine", "num-deadline-aborts",
+    "Refinement checks abandoned because their request deadline expired")
+
+#: RefinementResult reasons with this substring mean the check was cut
+#: short by a *request* deadline — a property of one request's budget,
+#: not of the function.  Unlike fuel exhaustion these verdicts must
+#: never be memoized (see :mod:`repro.campaign.worker`).
+DEADLINE_REASON = "request deadline"
 
 
 @dataclass(frozen=True)
@@ -213,6 +222,11 @@ class CheckOptions:
     #: observed (UB licenses everything, so the rest of the behavior set
     #: cannot change the verdict)
     prune_src_ub: bool = True
+    #: absolute :func:`time.monotonic` instant after which the check
+    #: aborts with an inconclusive ``request deadline`` verdict.  Set
+    #: per request by the serve layer — never derived from the spec, so
+    #: it cannot leak into memo contexts or cached verdicts.
+    deadline: Optional[float] = None
 
 
 def _global_inits(src: Function, config: SemanticsConfig,
@@ -326,7 +340,16 @@ def _check_refinement(src: Function, tgt: Function,
     # three context managers per input.
     entries = phase_entries("enumerate-src", "enumerate-tgt", "compare")
     clock = time.perf_counter
+    deadline = options.deadline
     for ginit, args in input_stream():
+        if deadline is not None and time.monotonic() >= deadline:
+            NUM_DEADLINE_ABORTS.inc()
+            return RefinementResult(
+                "inconclusive",
+                reason=(f"{DEADLINE_REASON} expired after "
+                        f"{checked} inputs"),
+                inputs_checked=checked,
+            )
         checked += 1
         t0 = clock()
         try:

@@ -355,7 +355,8 @@ class FunctionEncoder:
 
 def check_refinement_symbolic(src: Function, tgt: Function,
                               max_conflicts: int = 500_000,
-                              session: Optional[SolverSession] = None
+                              session: Optional[SolverSession] = None,
+                              deadline: Optional[float] = None
                               ) -> RefinementResult:
     """SMT-based refinement check (NEW semantics, poison-only fragment).
 
@@ -407,15 +408,21 @@ def check_refinement_symbolic(src: Function, tgt: Function,
 
     if session is not None:
         solver = session
-        result = session.check(vc)
+        result = session.check(vc, deadline=deadline)
     else:
         solver = Solver(max_conflicts)
         solver.add(vc)
-        result = solver.check()
+        result = solver.check(deadline=deadline)
     if result == UNSAT:
         return RefinementResult("verified",
                                 inputs_checked=-1)  # all inputs, symbolically
     if result != SAT:
+        if getattr(solver.sat, "deadline_hit", False):
+            from .exhaustive import DEADLINE_REASON
+
+            return RefinementResult(
+                "inconclusive",
+                reason=f"{DEADLINE_REASON} expired mid-query")
         return RefinementResult("inconclusive", reason="solver budget")
 
     # Build a readable counterexample.

@@ -27,6 +27,7 @@ machinery into a persistent service:
 """
 
 from .client import ServeClient, ServeError
+from .deadline import Deadline, validate_timeout
 from .pool import AsyncShardPool
 from .protocol import (
     OPS,
@@ -40,15 +41,25 @@ from .protocol import (
     validate_request,
 )
 from .queueing import Batcher, Draining, QueueFull, RequestGate
+from .retry import (
+    CircuitBreaker,
+    RetryingClient,
+    RetryPolicy,
+    breaker_for,
+    reset_breakers,
+)
 from .server import ValidationServer
 from .service import ServiceConfig, ValidationService
 from .cli import client_main, serve_main
 
 __all__ = [
-    "AsyncShardPool", "Batcher", "Draining", "OPS", "ProtocolError",
-    "QueueFull", "RequestGate", "ServeClient", "ServeError",
+    "AsyncShardPool", "Batcher", "CircuitBreaker", "Deadline",
+    "Draining", "OPS", "ProtocolError",
+    "QueueFull", "RequestGate", "RetryPolicy", "RetryingClient",
+    "ServeClient", "ServeError",
     "ServiceConfig", "ValidationServer", "ValidationService",
-    "chunk_frame", "client_main", "decode_frame", "done_frame",
-    "encode_frame", "error_frame", "request_frame", "serve_main",
+    "breaker_for", "chunk_frame", "client_main", "decode_frame",
+    "done_frame", "encode_frame", "error_frame", "request_frame",
+    "reset_breakers", "serve_main", "validate_timeout",
     "validate_request",
 ]

@@ -28,7 +28,19 @@ from .service import ServiceConfig
 #: wire error code -> client exit code (0 done, 1 transport trouble).
 EXIT_CODES = {"queue-full": 75, "draining": 75, "timeout": 74,
               "crashed": 70, "parse-error": 65, "bad-request": 64,
-              "unknown-op": 64, "bad-frame": 76, "internal": 70}
+              "bad-payload": 64, "unknown-op": 64, "bad-frame": 76,
+              "internal": 70}
+
+
+def _positive_float(text: str) -> float:
+    """argparse type for timeout flags: a finite, positive float."""
+    from .deadline import validate_timeout
+
+    try:
+        return validate_timeout(float(text), name="value")
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number of seconds, got {text!r}")
 
 
 # -- python -m repro serve ---------------------------------------------------
@@ -50,9 +62,10 @@ def _serve_parser() -> argparse.ArgumentParser:
                    help="refine micro-batch size cap")
     p.add_argument("--batch-linger", type=float, default=0.005,
                    help="seconds a refine batch waits for company")
-    p.add_argument("--request-timeout", type=float, default=120.0,
+    p.add_argument("--request-timeout", type=_positive_float,
+                   default=120.0,
                    help="default per-request deadline (seconds)")
-    p.add_argument("--shard-timeout", type=float, default=None,
+    p.add_argument("--shard-timeout", type=_positive_float, default=None,
                    help="per-campaign-shard deadline (seconds)")
     p.add_argument("--memo-dir", default=None,
                    help="shared on-disk verdict store directory")
@@ -95,7 +108,7 @@ def _client_parser() -> argparse.ArgumentParser:
         description="Talk to a running validation service.")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8371)
-    p.add_argument("--timeout", type=float, default=300.0,
+    p.add_argument("--timeout", type=_positive_float, default=300.0,
                    help="socket timeout (seconds)")
     p.add_argument("op", choices=sorted(OPS))
     p.add_argument("inputs", nargs="*",
@@ -122,8 +135,12 @@ def _client_parser() -> argparse.ArgumentParser:
                    help="campaign: file (or '-') holding the spec JSON")
     p.add_argument("--payload", default=None,
                    help="extra payload fields as inline JSON")
-    p.add_argument("--request-timeout", type=float, default=None,
+    p.add_argument("--request-timeout", type=_positive_float,
+                   default=None,
                    help="server-side deadline for this request")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retry transport failures/backpressure up to N "
+                        "times (jittered backoff, idempotency keys)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress streamed chunks; print only the "
                         "terminal payload")
@@ -180,16 +197,22 @@ def client_main(argv: Optional[List[str]] = None) -> int:
     except (OSError, ValueError) as e:
         print(f"error: {e}", file=sys.stderr)
         return 1
-    client = ServeClient(host=args.host, port=args.port,
-                         timeout=args.timeout)
+    if args.retries > 0:
+        from .retry import RetryingClient, RetryPolicy
+
+        client = RetryingClient(
+            host=args.host, port=args.port, timeout=args.timeout,
+            policy=RetryPolicy(max_attempts=args.retries + 1))
+    else:
+        client = ServeClient(host=args.host, port=args.port,
+                             timeout=args.timeout)
     try:
         with client:
-            done = {}
-            for kind, data in client.stream(args.op, payload):
-                if kind == "chunk" and not args.quiet:
+            def show(data):
+                if not args.quiet:
                     print(json.dumps(data, ensure_ascii=True))
-                elif kind == "done":
-                    done = data
+
+            done = client.request(args.op, payload, on_chunk=show)
             print(json.dumps(done, indent=2, ensure_ascii=True,
                              sort_keys=True))
             return 0

@@ -46,8 +46,14 @@ class ServeClient:
     # -- connection management ----------------------------------------------
     def connect(self) -> "ServeClient":
         if self._sock is None:
-            self._sock = socket.create_connection(
-                (self.host, self.port), timeout=self.timeout)
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout)
+            except OSError as e:
+                # Surface a down server as the transport-level wire
+                # code, so retry loops and circuit breakers treat a
+                # refused connection like any other transport failure.
+                raise ServeError("internal", f"connect failed: {e}")
             self._file = self._sock.makefile("rb")
         return self
 

@@ -4,20 +4,42 @@
 :class:`~repro.campaign.ShardExecutor` (child processes, crash/timeout
 accounting included) and await their records as futures, while a single
 daemon poller thread reaps completions.  A worker that segfaults or
-overruns its timeout resolves its future with an ``errored`` record —
-never an exception, never a hang — which is what lets the server turn a
-mid-request worker crash into a structured error response.
+overruns its timeout is handled by the executor's
+:class:`~repro.campaign.supervisor.WorkerSupervisor` — restarted with
+backoff, or (past the restart budget) resolved as an ``errored``
+record — never an exception, never a hang — which is what lets the
+server turn a mid-request worker crash into either a transparently
+retried shard or a structured error response.
+
+Jobs may carry an absolute monotonic **deadline** (the serve layer's
+request deadline): the executor kills and fails any worker that
+outlives it, so a hung shard can never outlive the request that
+spawned it.
 """
 
 from __future__ import annotations
 
 import asyncio
+import logging
 import threading
 from typing import Dict, Optional
 
 from ..campaign.executor import ShardExecutor
 from ..campaign.sharding import Shard
 from ..campaign.spec import CampaignSpec
+from ..campaign.supervisor import SupervisorPolicy, WorkerSupervisor
+from ..diag import Statistic
+
+NUM_POLLER_LEAKS = Statistic(
+    "serve", "num-poller-leaks",
+    "Shard-pool poller threads that outlived their escalated join "
+    "timeout at close()")
+
+logger = logging.getLogger("repro.serve.pool")
+
+#: close() join budget: first a polite join, then an escalated one.
+_JOIN_TIMEOUT = 2.0
+_JOIN_ESCALATED = 10.0
 
 
 class AsyncShardPool:
@@ -25,15 +47,21 @@ class AsyncShardPool:
 
     def __init__(self, workers: int = 2,
                  shard_timeout: Optional[float] = None,
-                 poll_interval: float = 0.02):
-        self.executor = ShardExecutor(workers=workers,
-                                      shard_timeout=shard_timeout)
+                 poll_interval: float = 0.02,
+                 supervisor_policy: Optional[SupervisorPolicy] = None):
+        self.executor = ShardExecutor(
+            workers=workers, shard_timeout=shard_timeout,
+            supervisor=WorkerSupervisor(supervisor_policy))
         self.poll_interval = poll_interval
         self._pending: Dict[int, tuple] = {}  # job_id -> (loop, future)
         self._lock = threading.Lock()
         self._wake = threading.Event()
         self._stop = False
         self._thread: Optional[threading.Thread] = None
+
+    @property
+    def supervisor(self) -> WorkerSupervisor:
+        return self.executor.supervisor
 
     # -- lifecycle ---------------------------------------------------------
     def _ensure_thread(self) -> None:
@@ -47,7 +75,23 @@ class AsyncShardPool:
         self._stop = True
         self._wake.set()
         if self._thread is not None:
-            self._thread.join(timeout=2.0)
+            self._thread.join(timeout=_JOIN_TIMEOUT)
+            if self._thread.is_alive():
+                # The poller is stuck (most likely inside a pipe poll on
+                # a wedged worker).  Don't abandon it silently: say so,
+                # count it, and escalate the join once before falling
+                # back to the daemon-thread backstop.
+                logger.warning(
+                    "shard-pool poller did not stop within %.1fs; "
+                    "escalating join to %.1fs", _JOIN_TIMEOUT,
+                    _JOIN_ESCALATED)
+                self._thread.join(timeout=_JOIN_ESCALATED)
+                if self._thread.is_alive():
+                    NUM_POLLER_LEAKS.inc()
+                    logger.error(
+                        "shard-pool poller leaked: still alive after "
+                        "%.1fs; leaving the daemon thread behind",
+                        _JOIN_TIMEOUT + _JOIN_ESCALATED)
         with self._lock:
             self.executor.shutdown(kill=True)
             pending, self._pending = dict(self._pending), {}
@@ -57,12 +101,17 @@ class AsyncShardPool:
 
     # -- submission --------------------------------------------------------
     def submit(self, spec: CampaignSpec, shard: Shard,
-               known_hashes=None) -> "asyncio.Future":
-        """Submit one shard; returns a future resolving to its record."""
+               known_hashes=None,
+               deadline: Optional[float] = None) -> "asyncio.Future":
+        """Submit one shard; returns a future resolving to its record.
+
+        ``deadline`` (absolute ``time.monotonic``) propagates to the
+        executor: the job is killed and errored when it expires."""
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         with self._lock:
-            job_id = self.executor.submit(spec, shard, known_hashes)
+            job_id = self.executor.submit(spec, shard, known_hashes,
+                                          deadline=deadline)
             self._pending[job_id] = (loop, future)
         self._ensure_thread()
         self._wake.set()

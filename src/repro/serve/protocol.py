@@ -34,8 +34,9 @@ OPS = ("ping", "health", "metrics", "stats", "parse", "optimize",
        "lint", "refine", "campaign")
 
 #: machine-readable error codes a terminal ``error`` frame may carry.
-ERROR_CODES = ("bad-frame", "bad-request", "unknown-op", "parse-error",
-               "queue-full", "draining", "timeout", "crashed", "internal")
+ERROR_CODES = ("bad-frame", "bad-request", "bad-payload", "unknown-op",
+               "parse-error", "queue-full", "draining", "timeout",
+               "crashed", "internal")
 
 #: hard cap on one encoded frame; a decoder may reject longer lines
 #: without reading them (an accidental binary stream must not balloon).

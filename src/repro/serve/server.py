@@ -49,7 +49,8 @@ NUM_CONNECTIONS = Statistic(
 
 #: HTTP status for each wire error code.
 _HTTP_STATUS = {
-    "bad-frame": 400, "bad-request": 400, "unknown-op": 404,
+    "bad-frame": 400, "bad-request": 400, "bad-payload": 400,
+    "unknown-op": 404,
     "parse-error": 422, "queue-full": 429, "draining": 503,
     "timeout": 504, "crashed": 500, "internal": 500,
 }

@@ -42,8 +42,10 @@ byte-for-byte the batch CLI's verdict for the same source and budgets.
 from __future__ import annotations
 
 import asyncio
+import inspect
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, fields as dataclass_fields
 from typing import Any, Awaitable, Callable, Dict, List, Optional
 
@@ -67,6 +69,7 @@ from ..perf import RefinementMemo
 from ..refine import CheckOptions, check_refinement
 from ..refine.symbolic import check_refinement_symbolic
 from ..smt.solver import SolverSession
+from .deadline import Deadline, deadline_at, validate_timeout
 from .pool import AsyncShardPool
 from .queueing import Batcher, Draining, QueueFull, RequestGate
 
@@ -90,6 +93,10 @@ NUM_CAMPAIGN_SHARDS = Statistic(
 NUM_MEMO_SERVED = Statistic(
     "serve", "num-refines-memo-served",
     "Refine requests answered from the warm cross-request verdict store")
+NUM_IDEMPOTENT_REPLAYS = Statistic(
+    "serve", "num-idempotent-replays",
+    "Requests answered from the idempotency replay cache (a retry of "
+    "work already completed)")
 
 #: liveness/observability ops that must answer even when the admission
 #: queue is saturated or the server is draining.
@@ -127,6 +134,11 @@ class ServiceConfig:
     memo_dir: Optional[str] = None
     #: concurrent in-process check threads (refine/lint/optimize).
     check_threads: int = 2
+    #: completed ``done`` payloads remembered per ``idempotency_key``
+    #: (LRU); a client retry whose first attempt actually finished is
+    #: answered from here instead of re-running the work.  Safe because
+    #: verdicts are deterministic.  0 disables.
+    idempotency_cache: int = 256
 
 
 class ValidationService:
@@ -149,6 +161,9 @@ class ValidationService:
         self._sessions_lock = threading.Lock()
         self._check_slots = asyncio.Semaphore(
             max(1, self.config.check_threads))
+        #: (op, idempotency_key) -> completed done payload, LRU order.
+        self._idempotency: "OrderedDict[tuple, Dict[str, Any]]" = \
+            OrderedDict()
         metrics = default_metrics()
         self._latency = metrics.histogram(
             "repro_serve_request_seconds",
@@ -199,6 +214,26 @@ class ValidationService:
             raise ServiceError("unknown-op", f"unknown op {op!r}")
         if op in UNGATED_OPS:
             return await handler(payload, emit)
+        idem_key = payload.get("idempotency_key")
+        if not isinstance(idem_key, str):
+            idem_key = None
+        if idem_key is not None:
+            # A retry of work that already completed: replay the
+            # terminal payload (chunks are not replayed — verdicts are
+            # deterministic, so the done payload is the whole answer).
+            # Checked before admission, so replays cost no queue slot.
+            replay = self._idempotency.get((op, idem_key))
+            if replay is not None:
+                self._idempotency.move_to_end((op, idem_key))
+                NUM_IDEMPOTENT_REPLAYS.inc()
+                return replay
+        try:
+            timeout = validate_timeout(
+                payload.get("timeout", self.config.request_timeout),
+                name='payload field "timeout"')
+        except ValueError as e:
+            NUM_ERRORS.inc()
+            raise ServiceError("bad-payload", str(e))
         try:
             self.gate.try_admit()
         except Draining as e:
@@ -206,7 +241,9 @@ class ValidationService:
         except QueueFull as e:
             raise ServiceError("queue-full", str(e))
         NUM_REQUESTS.inc()
-        deadline = payload.get("timeout", self.config.request_timeout)
+        # The request's entire time budget, fixed here and inherited by
+        # every layer below (shard pool, checker fuel, solver loops).
+        deadline = Deadline.after(timeout)
         started = time.perf_counter()
         self._inflight_gauge.inc(1)
         try:
@@ -214,14 +251,21 @@ class ValidationService:
                 sp.set(op=op)
                 try:
                     result = await asyncio.wait_for(
-                        handler(payload, self._counted(emit)),
-                        timeout=deadline)
+                        self._call(handler, payload,
+                                   self._counted(emit), deadline),
+                        timeout=timeout)
                 except asyncio.TimeoutError:
                     NUM_TIMEOUTS.inc()
                     raise ServiceError(
                         "timeout",
-                        f"request exceeded its {deadline}s deadline")
+                        f"request exceeded its {timeout}s deadline")
             NUM_COMPLETED.inc()
+            if idem_key is not None and self.config.idempotency_cache > 0:
+                self._idempotency[(op, idem_key)] = result
+                self._idempotency.move_to_end((op, idem_key))
+                while (len(self._idempotency)
+                       > self.config.idempotency_cache):
+                    self._idempotency.popitem(last=False)
             return result
         except ServiceError:
             NUM_ERRORS.inc()
@@ -239,6 +283,21 @@ class ValidationService:
             self._inflight_gauge.inc(-1)
             self._latency.observe(time.perf_counter() - started)
             self.gate.release()
+
+    @staticmethod
+    def _call(handler, payload, emit, deadline):
+        """Invoke a handler, forwarding the deadline only when it is
+        declared — externally-injected handlers with the older
+        ``(payload, emit)`` shape keep working."""
+        try:
+            params = inspect.signature(handler).parameters
+        except (TypeError, ValueError):
+            params = {}
+        if "deadline" in params or any(
+                p.kind is inspect.Parameter.VAR_KEYWORD
+                for p in params.values()):
+            return handler(payload, emit, deadline=deadline)
+        return handler(payload, emit)
 
     @staticmethod
     def _counted(emit):
@@ -292,7 +351,9 @@ class ValidationService:
             raise ServiceError("bad-request", f"bad spec: {e}")
 
     # -- ungated ops --------------------------------------------------------
-    async def _op_ping(self, payload, emit) -> Dict[str, Any]:
+    async def _op_ping(self, payload, emit,
+                       deadline: Optional[Deadline] = None
+                       ) -> Dict[str, Any]:
         with self._memos_lock:
             warm = sum(len(m) for m in self._memos.values())
         return {
@@ -303,20 +364,27 @@ class ValidationService:
             "requests_total": self.gate.admitted_total,
             "warm_verdicts": warm,
             "workers": self.config.workers,
+            "supervisor": self.pool.supervisor.report(),
         }
 
-    async def _op_metrics(self, payload, emit) -> Dict[str, Any]:
+    async def _op_metrics(self, payload, emit,
+                          deadline: Optional[Deadline] = None
+                          ) -> Dict[str, Any]:
         snapshot = metrics_snapshot()
         return {
             "prometheus": render_prometheus(snapshot),
             "snapshot": snapshot,
         }
 
-    async def _op_stats(self, payload, emit) -> Dict[str, Any]:
+    async def _op_stats(self, payload, emit,
+                        deadline: Optional[Deadline] = None
+                        ) -> Dict[str, Any]:
         return {"stats": stats_snapshot(nonzero_only=True)}
 
     # -- in-process ops (parse / optimize / lint) ---------------------------
-    async def _op_parse(self, payload, emit) -> Dict[str, Any]:
+    async def _op_parse(self, payload, emit,
+                        deadline: Optional[Deadline] = None
+                        ) -> Dict[str, Any]:
         source = _require_source(payload)
 
         def work():
@@ -330,7 +398,9 @@ class ValidationService:
         async with self._check_slots:
             return await asyncio.to_thread(work)
 
-    async def _op_optimize(self, payload, emit) -> Dict[str, Any]:
+    async def _op_optimize(self, payload, emit,
+                           deadline: Optional[Deadline] = None
+                           ) -> Dict[str, Any]:
         source = _require_source(payload)
         spec = self._spec_from(payload, defaults={
             "pipeline": payload.get("pipeline", "o2"),
@@ -362,7 +432,9 @@ class ValidationService:
         async with self._check_slots:
             return await asyncio.to_thread(work)
 
-    async def _op_lint(self, payload, emit) -> Dict[str, Any]:
+    async def _op_lint(self, payload, emit,
+                       deadline: Optional[Deadline] = None
+                       ) -> Dict[str, Any]:
         source = _require_source(payload)
         rules = payload.get("rules")
         want_sarif = bool(payload.get("sarif", False))
@@ -385,9 +457,11 @@ class ValidationService:
         return result
 
     # -- refine -------------------------------------------------------------
-    async def _op_refine(self, payload, emit) -> Dict[str, Any]:
+    async def _op_refine(self, payload, emit,
+                         deadline: Optional[Deadline] = None
+                         ) -> Dict[str, Any]:
         if "target" in payload:
-            return await self._refine_pair(payload)
+            return await self._refine_pair(payload, deadline)
         sources = payload.get("functions")
         if sources is None:
             sources = [_require_source(payload)]
@@ -403,7 +477,8 @@ class ValidationService:
         })
         lane = spec.memo_context()
         futures = [
-            asyncio.ensure_future(self.batcher.submit(lane, (spec, src)))
+            asyncio.ensure_future(
+                self.batcher.submit(lane, (spec, src, deadline)))
             for src in sources
         ]
         counts: Dict[str, int] = {}
@@ -440,11 +515,20 @@ class ValidationService:
             if memo is not None:
                 memo.refresh()
             outcomes = []
-            for (item_spec, source), _future in batch:
+            for (item_spec, source, item_deadline), _future in batch:
+                if item_deadline is not None and item_deadline.expired:
+                    # The request is already being answered with a
+                    # timeout error; don't burn a check slot on it.
+                    outcomes.append(ServiceError(
+                        "timeout", "request deadline expired before "
+                                   "its refine batch ran"))
+                    continue
+                options = item_spec.check_options()
+                options.deadline = deadline_at(item_deadline)
                 try:
                     outcomes.append(check_source(
                         item_spec, source, memo=memo,
-                        options=item_spec.check_options(),
+                        options=options,
                         semantics=item_spec.semantics()))
                 except (ParseError, VerificationError) as e:
                     outcomes.append(ServiceError("parse-error", str(e)))
@@ -454,7 +538,7 @@ class ValidationService:
 
         async with self._check_slots:
             outcomes = await asyncio.to_thread(work)
-        for ((_spec, _src), future), outcome in zip(batch, outcomes):
+        for (_item, future), outcome in zip(batch, outcomes):
             if future.done():
                 continue
             if isinstance(outcome, ServiceError):
@@ -462,7 +546,9 @@ class ValidationService:
             else:
                 future.set_result(outcome)
 
-    async def _refine_pair(self, payload) -> Dict[str, Any]:
+    async def _refine_pair(self, payload,
+                           deadline: Optional[Deadline] = None
+                           ) -> Dict[str, Any]:
         from ..ir import parse_function
 
         src_text = _require_source(payload)
@@ -484,12 +570,15 @@ class ValidationService:
                 session = self._session()
                 try:
                     result = check_refinement_symbolic(
-                        src, tgt, session=session)
+                        src, tgt, session=session,
+                        deadline=deadline_at(deadline))
                 finally:
                     self._release_session(session)
             else:
+                options = spec.check_options()
+                options.deadline = deadline_at(deadline)
                 result = check_refinement(src, tgt, spec.semantics(),
-                                          options=spec.check_options())
+                                          options=options)
             out = {
                 "verdict": result.verdict,
                 "method": method,
@@ -506,7 +595,9 @@ class ValidationService:
             return await asyncio.to_thread(work)
 
     # -- campaign -----------------------------------------------------------
-    async def _op_campaign(self, payload, emit) -> Dict[str, Any]:
+    async def _op_campaign(self, payload, emit,
+                           deadline: Optional[Deadline] = None
+                           ) -> Dict[str, Any]:
         spec = self._spec_from(payload)
         if (spec.use_cache and spec.cache_dir is None
                 and self.config.memo_dir):
@@ -516,7 +607,9 @@ class ValidationService:
         shards = plan_shards(spec)
         if not shards:
             raise ServiceError("bad-request", "campaign covers no corpus")
-        futures = [self.pool.submit(spec, shard) for shard in shards]
+        futures = [self.pool.submit(spec, shard,
+                                    deadline=deadline_at(deadline))
+                   for shard in shards]
         records: Dict[int, dict] = {}
         try:
             for shard, future in zip(shards, futures):

@@ -14,6 +14,7 @@ from 1.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
 SAT = "sat"
@@ -52,6 +53,8 @@ class SatSolver:
         self.propagate_head = 0
         self.ok = True
         self.conflicts = 0
+        #: last solve() stopped because its deadline expired
+        self.deadline_hit = False
 
     # -- variable / clause management ---------------------------------------
     def new_var(self) -> int:
@@ -232,7 +235,12 @@ class SatSolver:
 
     # -- main search --------------------------------------------------------------
     def solve(self, assumptions: Iterable[int] = (),
-              max_conflicts: Optional[int] = None) -> str:
+              max_conflicts: Optional[int] = None,
+              deadline: Optional[float] = None) -> str:
+        """``deadline`` is an absolute :func:`time.monotonic` instant;
+        past it the search stops with UNKNOWN (``deadline_hit`` set), so
+        a hung query honors its request's budget like fuel."""
+        self.deadline_hit = False
         if not self.ok:
             return UNSAT
         conflict = self._propagate()
@@ -244,8 +252,15 @@ class SatSolver:
         restart_idx = 0
         conflicts_until_restart = 32 * _luby(restart_idx)
         total_conflicts = 0
+        steps = 0
 
         while True:
+            if deadline is not None:
+                steps += 1
+                if steps % 64 == 0 and time.monotonic() >= deadline:
+                    self.deadline_hit = True
+                    self._backtrack(0)
+                    return UNKNOWN
             conflict = self._propagate()
             if conflict is not None:
                 total_conflicts += 1

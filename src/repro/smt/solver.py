@@ -35,8 +35,9 @@ class Solver:
         self.assertions.append(term)
         self.blaster.assert_true(term)
 
-    def check(self) -> str:
-        self._result = self.sat.solve(max_conflicts=self.max_conflicts)
+    def check(self, deadline: Optional[float] = None) -> str:
+        self._result = self.sat.solve(max_conflicts=self.max_conflicts,
+                                      deadline=deadline)
         return self._result
 
     # -- model access (valid after a SAT result) ----------------------------------
@@ -84,9 +85,14 @@ class SolverSession:
         self._model: Optional[List[Optional[bool]]] = None
         self._result: Optional[str] = None
 
-    def check(self, term: Term) -> str:
+    def check(self, term: Term,
+              deadline: Optional[float] = None) -> str:
         """Satisfiability of ``term`` (alone, not conjoined with prior
-        queries), reusing everything learned so far."""
+        queries), reusing everything learned so far.
+
+        ``deadline`` (absolute :func:`time.monotonic`) bounds this one
+        query: past it the solver answers UNKNOWN, which — like a
+        conflict-budget UNKNOWN — poisons nothing for later queries."""
         assert term.sort == BOOL
         self.queries += 1
         NUM_SESSION_QUERIES.inc()
@@ -104,7 +110,8 @@ class SolverSession:
                 sp.set(result=UNSAT, query=self.queries)
                 return UNSAT
             result = self.sat.solve(assumptions=[gate],
-                                    max_conflicts=self.max_conflicts)
+                                    max_conflicts=self.max_conflicts,
+                                    deadline=deadline)
             if result == SAT:
                 # Snapshot before the next query rewinds the trail.
                 self._model = list(self.sat.assignment)

@@ -1,0 +1,175 @@
+"""Unit tests for the worker supervisor's restart/quarantine policy,
+plus integration tests for supervised healing in the executor pool."""
+
+import time
+
+import pytest
+
+from repro.campaign import CampaignSpec, ShardExecutor, run_campaign
+from repro.campaign.sharding import plan_shards
+from repro.campaign.supervisor import SupervisorPolicy, WorkerSupervisor
+
+SPEC = CampaignSpec(mode="random", count=12, num_instructions=1,
+                    pipeline="quick", shard_size=4, fuel=200,
+                    max_inputs=2000)
+
+
+class TestDecisionLadder:
+    def test_first_crash_restarts_with_backoff(self):
+        sup = WorkerSupervisor(SupervisorPolicy(backoff_base=0.1,
+                                                jitter=0.0))
+        before = time.monotonic()
+        decision = sup.on_failure(1, None, "worker died (exit code -9)")
+        assert decision.action == "restart"
+        assert decision.not_before >= before + 0.1
+        assert sup.restarts == 1
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = SupervisorPolicy(max_restarts=10, backoff_base=0.1,
+                                  backoff_cap=0.4, jitter=0.0)
+        sup = WorkerSupervisor(policy)
+        delays = []
+        for _ in range(4):
+            before = time.monotonic()
+            decision = sup.on_failure(1, None, "crash")
+            delays.append(decision.not_before - before)
+        assert delays[0] == pytest.approx(0.1, abs=0.02)
+        assert delays[1] == pytest.approx(0.2, abs=0.02)
+        assert delays[2] == pytest.approx(0.4, abs=0.02)  # capped
+        assert delays[3] == pytest.approx(0.4, abs=0.02)
+
+    def test_jitter_is_deterministic_per_seed(self):
+        policy = SupervisorPolicy(jitter=0.5, seed=42)
+        a = WorkerSupervisor(policy)._backoff(1)
+        b = WorkerSupervisor(policy)._backoff(1)
+        assert a == b
+        c = WorkerSupervisor(SupervisorPolicy(jitter=0.5,
+                                              seed=43))._backoff(1)
+        assert a != c
+
+    def test_quarantine_after_max_restarts(self):
+        sup = WorkerSupervisor(SupervisorPolicy(max_restarts=2,
+                                                backoff_base=0.0))
+        assert sup.on_failure(7, None, "crash").action == "restart"
+        assert sup.on_failure(7, None, "crash").action == "restart"
+        final = sup.on_failure(7, None, "crash")
+        assert final.action == "quarantine"
+        assert "quarantined after 3 failed attempts" in final.reason
+        assert "crash" in final.reason  # raw reason embedded
+        assert sup.quarantined == 1
+        assert sup.poison_pills[0]["job_id"] == 7
+        assert sup.poison_pills[0]["attempts"] == 3
+
+    def test_non_retryable_failure_quarantines_immediately(self):
+        sup = WorkerSupervisor(SupervisorPolicy())
+        decision = sup.on_failure(1, None, "shard exceeded its timeout",
+                                  retryable=False)
+        assert decision.action == "quarantine"
+        assert sup.restarts == 0
+
+    def test_retry_timeouts_opt_in(self):
+        sup = WorkerSupervisor(SupervisorPolicy(retry_timeouts=True,
+                                                backoff_base=0.0))
+        decision = sup.on_failure(1, None, "shard exceeded its timeout",
+                                  retryable=False)
+        assert decision.action == "restart"
+
+    def test_expired_deadline_fails_without_spending_budget(self):
+        sup = WorkerSupervisor(SupervisorPolicy())
+        decision = sup.on_failure(1, None, "crash",
+                                  deadline=time.monotonic() - 1.0)
+        assert decision.action == "fail"
+        assert sup.restarts == 0
+
+    def test_insufficient_runway_fails_instead_of_restarting(self):
+        # backoff would be 1.0s but only ~0.1s of deadline remains
+        sup = WorkerSupervisor(SupervisorPolicy(backoff_base=1.0,
+                                                jitter=0.0))
+        decision = sup.on_failure(1, None, "crash",
+                                  deadline=time.monotonic() + 0.1)
+        assert decision.action == "fail"
+        assert sup.restarts == 0
+
+    def test_global_restart_budget(self):
+        sup = WorkerSupervisor(SupervisorPolicy(restart_budget=2,
+                                                backoff_base=0.0))
+        assert sup.on_failure(1, None, "crash").action == "restart"
+        assert sup.on_failure(2, None, "crash").action == "restart"
+        spent = sup.on_failure(3, None, "crash")
+        assert spent.action == "fail"
+        assert "restart budget" in spent.reason
+
+    def test_forget_drops_history(self):
+        sup = WorkerSupervisor(SupervisorPolicy(backoff_base=0.0))
+        sup.on_failure(5, None, "crash")
+        assert sup.history_for(5).attempts == 1
+        sup.forget(5)
+        assert sup.history_for(5) is None
+
+    def test_report_shape(self):
+        sup = WorkerSupervisor(SupervisorPolicy(max_restarts=0))
+        sup.on_failure(9, None, "boom")
+        report = sup.report()
+        assert report["restarts"] == 0
+        assert report["quarantined"] == 1
+        assert report["poison_pills"][0]["reasons"] == ["boom"]
+
+
+class TestSupervisedExecutor:
+    def test_crash_heals_with_identical_verdicts(self, monkeypatch):
+        """A crashing shard is respawned and its verdicts match the
+        batch path — the healed record is the record."""
+        batch = run_campaign(SPEC, workers=1)
+
+        monkeypatch.setenv("REPRO_CAMPAIGN_CRASH_SHARDS", "1")
+        executor = ShardExecutor(workers=2)
+        crashed_once = {"done": False}
+
+        # crash exactly the first attempt of shard 1: flip the env off
+        # once the supervisor has scheduled the restart (the backoff
+        # delay guarantees the retry forks after the delenv)
+        try:
+            shards = plan_shards(SPEC)
+            for shard in shards:
+                executor.submit(SPEC, shard)
+            records = {}
+            while not executor.idle:
+                for _job, shard, record in executor.poll(wait=0.01):
+                    records[shard.shard_id] = record
+                if (not crashed_once["done"]
+                        and executor.supervisor.restarts > 0):
+                    monkeypatch.delenv("REPRO_CAMPAIGN_CRASH_SHARDS")
+                    crashed_once["done"] = True
+        finally:
+            executor.shutdown(kill=True)
+
+        assert crashed_once["done"], "the injected crash never fired"
+        assert records[1]["status"] == "done"
+        assert records[1]["restarts"] >= 1
+        merged = {}
+        for sid in sorted(records):
+            for h, v in sorted(records[sid]["hashes"].items()):
+                merged.setdefault(h, v)
+        assert ([f"{h} {v}" for h, v in sorted(merged.items())]
+                == batch.verdict_lines())
+
+    def test_permanent_crasher_is_quarantined(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CAMPAIGN_CRASH_SHARDS", "0")
+        executor = ShardExecutor(
+            workers=1,
+            supervisor=WorkerSupervisor(
+                SupervisorPolicy(max_restarts=1, backoff_base=0.0)))
+        try:
+            shard = plan_shards(SPEC)[0]
+            executor.submit(SPEC, shard)
+            records = [r for _j, _s, r in executor.drain()]
+        finally:
+            executor.shutdown(kill=True)
+
+        assert len(records) == 1
+        assert records[0]["status"] == "errored"
+        assert records[0].get("quarantined") is True
+        assert "quarantined after 2 failed attempts" in records[0]["error"]
+        report = executor.supervisor.report()
+        assert report["quarantined"] == 1
+        assert report["poison_pills"][0]["shard_id"] == shard.shard_id

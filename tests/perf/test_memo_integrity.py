@@ -1,0 +1,236 @@
+"""Memo-store integrity: checksums, quarantine, degraded mode, fsck,
+compact, and the ``repro memo`` CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.perf import RefinementMemo, compact, fsck
+from repro.perf.cli import EXIT_CORRUPT, memo_main
+from repro.perf.memo import _checksum, _classify, _encode_record
+
+CTX = "ctx-integrity"
+
+
+def write_lines(path, lines):
+    with open(path, "wb") as fh:
+        for line in lines:
+            fh.write(line if isinstance(line, bytes)
+                     else line.encode("ascii"))
+            fh.write(b"\n")
+
+
+def record_line(context, key, verdict, stamp="good"):
+    entry = {"c": context, "k": key, "v": verdict}
+    if stamp == "good":
+        entry["s"] = _checksum(context, key, verdict)
+    elif stamp == "bad":
+        entry["s"] = "00000000"
+    # stamp == "legacy": no "s" field at all
+    return json.dumps(entry)
+
+
+class TestChecksum:
+    def test_roundtrip(self):
+        line = _encode_record(CTX, "h1", "verified").rstrip(b"\n")
+        kind, entry = _classify(line)
+        assert kind == "valid"
+        assert entry == {"c": CTX, "k": "h1", "v": "verified",
+                         "s": _checksum(CTX, "h1", "verified")}
+
+    def test_checksum_covers_every_semantic_field(self):
+        base = _checksum(CTX, "h1", "verified")
+        assert _checksum("other", "h1", "verified") != base
+        assert _checksum(CTX, "h2", "verified") != base
+        assert _checksum(CTX, "h1", "timeout") != base
+
+    @pytest.mark.parametrize("line,why", [
+        (b"not json", "unparsable"),
+        (b"[1, 2]", "non-object"),
+        (b'{"c": "x", "k": "y"}', "missing verdict"),
+        (b'{"c": 1, "k": "y", "v": "verified"}', "non-string field"),
+    ])
+    def test_malformed_lines_are_corrupt(self, line, why):
+        assert _classify(line)[0] == "corrupt", why
+
+    def test_bad_stamp_is_corrupt_and_missing_stamp_is_legacy(self):
+        assert _classify(
+            record_line(CTX, "h", "verified", "bad").encode())[0] \
+            == "corrupt"
+        assert _classify(
+            record_line(CTX, "h", "verified", "legacy").encode())[0] \
+            == "legacy"
+
+
+class TestQuarantine:
+    def test_corrupt_records_never_enter_the_table(self, tmp_path):
+        path = tmp_path / "memo-1.jsonl"
+        write_lines(path, [
+            record_line(CTX, "good", "verified"),
+            record_line(CTX, "evil", "verified", "bad"),
+            record_line(CTX, "old", "timeout", "legacy"),
+        ])
+        memo = RefinementMemo(CTX, disk_dir=str(tmp_path))
+        assert memo.lookup("good") == "verified"
+        assert memo.lookup("old") == "timeout"  # legacy accepted
+        assert memo.lookup("evil") is None
+        assert memo.quarantined() == {str(path): 1}
+
+    def test_torn_tail_is_not_quarantined(self, tmp_path):
+        path = tmp_path / "memo-1.jsonl"
+        complete = record_line(CTX, "done", "verified")
+        torn = record_line(CTX, "torn", "verified")[:20]
+        with open(path, "wb") as fh:
+            fh.write(complete.encode() + b"\n" + torn.encode())
+        memo = RefinementMemo(CTX, disk_dir=str(tmp_path))
+        assert memo.lookup("done") == "verified"
+        assert memo.lookup("torn") is None
+        assert memo.quarantined() == {}
+        # the writer finishes the line; a refresh adopts it whole
+        with open(path, "ab") as fh:
+            fh.write(record_line(CTX, "torn", "verified")[20:].encode()
+                     + b"\n")
+        memo.refresh()
+        assert memo.lookup("torn") == "verified"
+
+    def test_flush_then_reload_is_checksummed(self, tmp_path):
+        memo = RefinementMemo(CTX, disk_dir=str(tmp_path))
+        memo.record("k1", "verified")
+        assert memo.flush() == 1
+        report = fsck(str(tmp_path))
+        assert report["valid"] == 1
+        assert report["legacy"] == report["corrupt"] == 0
+        again = RefinementMemo(CTX, disk_dir=str(tmp_path))
+        assert again.lookup("k1") == "verified"
+
+
+class TestDegradedMode:
+    def test_flush_failures_requeue_then_degrade(self, tmp_path,
+                                                 monkeypatch):
+        memo = RefinementMemo(CTX, disk_dir=str(tmp_path / "store"))
+
+        def boom(*a, **kw):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "makedirs", boom)
+        for attempt in range(3):
+            memo.record(f"k{attempt}", "verified")
+            assert memo.flush() == 0
+            # warm hits survive every failed flush
+            assert memo.lookup(f"k{attempt}") == "verified"
+        assert memo.degraded
+
+        # degraded mode never touches disk again — flush drains the
+        # queue in memory even though makedirs still raises
+        monkeypatch.undo()
+        memo.record("k3", "verified")
+        assert memo.flush() == 4  # 3 re-queued + 1 new, no I/O
+        assert not os.path.isdir(str(tmp_path / "store"))
+        assert memo.lookup("k3") == "verified"
+
+    def test_one_failure_recovers_without_losing_entries(self, tmp_path,
+                                                         monkeypatch):
+        store = tmp_path / "store"
+        memo = RefinementMemo(CTX, disk_dir=str(store))
+        memo.record("k1", "verified")
+
+        real_makedirs = os.makedirs
+        calls = {"n": 0}
+
+        def flaky(*a, **kw):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("transient")
+            return real_makedirs(*a, **kw)
+
+        monkeypatch.setattr(os, "makedirs", flaky)
+        assert memo.flush() == 0
+        assert not memo.degraded
+        assert memo.flush() == 1  # the re-queued entry lands on disk
+        assert RefinementMemo(CTX, disk_dir=str(store)) \
+            .lookup("k1") == "verified"
+
+
+class TestFsckAndCompact:
+    def _seed_store(self, tmp_path):
+        write_lines(tmp_path / "memo-1.jsonl", [
+            record_line(CTX, "a", "verified"),
+            record_line(CTX, "b", "timeout", "legacy"),
+            record_line(CTX, "c", "verified", "bad"),
+        ])
+        write_lines(tmp_path / "memo-2.jsonl", [
+            record_line(CTX, "a", "verified"),   # duplicate of file 1
+            record_line(CTX, "d", "inconclusive"),
+        ])
+
+    def test_fsck_reports_per_file_and_totals(self, tmp_path):
+        self._seed_store(tmp_path)
+        report = fsck(str(tmp_path))
+        assert not report["ok"]
+        assert (report["valid"], report["legacy"],
+                report["corrupt"]) == (3, 1, 1)
+        by_file = {e["file"]: e for e in report["files"]}
+        assert by_file["memo-1.jsonl"]["corrupt"] == 1
+        assert by_file["memo-2.jsonl"]["corrupt"] == 0
+
+    def test_fsck_on_clean_or_missing_store(self, tmp_path):
+        assert fsck(str(tmp_path / "nope"))["ok"]
+        write_lines(tmp_path / "memo-1.jsonl",
+                    [record_line(CTX, "a", "verified")])
+        assert fsck(str(tmp_path))["ok"]
+
+    def test_compact_dedups_drops_and_rewrites(self, tmp_path):
+        self._seed_store(tmp_path)
+        result = compact(str(tmp_path))
+        assert result["ok"]
+        assert result["kept"] == 3          # a, b, d (c corrupt, a dup)
+        assert result["dropped_corrupt"] == 1
+        assert result["dropped_duplicates"] == 1
+        assert result["files_removed"] == 2
+        assert os.listdir(tmp_path) == ["memo-compacted.jsonl"]
+        # the rebuilt store is fully checksummed (legacy re-stamped)
+        report = fsck(str(tmp_path))
+        assert report["ok"]
+        assert report["valid"] == 3 and report["legacy"] == 0
+        memo = RefinementMemo(CTX, disk_dir=str(tmp_path))
+        assert memo.lookup("a") == "verified"
+        assert memo.lookup("b") == "timeout"
+        assert memo.lookup("d") == "inconclusive"
+        assert memo.lookup("c") is None
+
+
+class TestMemoCLI:
+    def test_fsck_exit_codes(self, tmp_path, capsys):
+        write_lines(tmp_path / "memo-1.jsonl",
+                    [record_line(CTX, "a", "verified")])
+        assert memo_main(["fsck", "--dir", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+        write_lines(tmp_path / "memo-2.jsonl",
+                    [record_line(CTX, "b", "verified", "bad")])
+        assert memo_main(["fsck", "--dir", str(tmp_path)]) \
+            == EXIT_CORRUPT
+        assert "CORRUPTION FOUND" in capsys.readouterr().out
+
+    def test_fsck_json_output(self, tmp_path, capsys):
+        write_lines(tmp_path / "memo-1.jsonl",
+                    [record_line(CTX, "a", "verified")])
+        assert memo_main(["fsck", "--dir", str(tmp_path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["valid"] == 1 and report["ok"]
+
+    def test_compact_via_cli(self, tmp_path, capsys):
+        write_lines(tmp_path / "memo-1.jsonl", [
+            record_line(CTX, "a", "verified"),
+            record_line(CTX, "b", "verified", "bad"),
+        ])
+        assert memo_main(["compact", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "kept 1" in out
+        assert memo_main(["fsck", "--dir", str(tmp_path)]) == 0
+
+    def test_dispatch_through_repro_cli(self, tmp_path, capsys):
+        from repro.cli import main
+        write_lines(tmp_path / "memo-1.jsonl",
+                    [record_line(CTX, "a", "verified")])
+        assert main(["memo", "fsck", "--dir", str(tmp_path)]) == 0

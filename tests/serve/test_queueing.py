@@ -62,6 +62,112 @@ class TestRequestGate:
         run(scenario())
 
 
+class TestDrainRace:
+    """start_drain racing newly-accepted connections: a slot claimed a
+    tick before the drain must finish normally and hold wait_idle open;
+    a connection arriving a tick after must be rejected — never half
+    admitted, never leaked."""
+
+    def test_admitted_just_before_drain_completes(self):
+        async def scenario():
+            gate = RequestGate(high_water=8)
+            finished = []
+
+            async def request(i, delay):
+                gate.try_admit()
+                try:
+                    await asyncio.sleep(delay)
+                    finished.append(i)
+                finally:
+                    gate.release()
+
+            # admitted before the drain: must run to completion
+            early = [asyncio.ensure_future(request(i, 0.03))
+                     for i in range(3)]
+            await asyncio.sleep(0)  # let them claim their slots
+            assert gate.inflight == 3
+            gate.start_drain()
+            # arrives after the drain: rejected, no slot consumed
+            with pytest.raises(Draining):
+                gate.try_admit()
+            assert gate.inflight == 3
+            # the drain waits for exactly the admitted set
+            assert not await gate.wait_idle(timeout=0.005)
+            await asyncio.gather(*early)
+            assert await gate.wait_idle(timeout=1.0)
+            assert sorted(finished) == [0, 1, 2]
+            assert gate.inflight == 0
+
+        run(scenario())
+
+    def test_storm_of_admissions_racing_one_drain(self):
+        """Interleave 50 admission attempts with a mid-stream drain:
+        every attempt either fully admits (and releases) or raises
+        Draining — the bookkeeping never drifts."""
+
+        async def scenario():
+            gate = RequestGate(high_water=64)
+            outcomes = {"done": 0, "rejected": 0}
+
+            async def request(i):
+                try:
+                    gate.try_admit()
+                except Draining:
+                    outcomes["rejected"] += 1
+                    return
+                try:
+                    await asyncio.sleep(0.001 * (i % 4))
+                finally:
+                    gate.release()
+                outcomes["done"] += 1
+
+            async def drainer():
+                await asyncio.sleep(0.004)
+                gate.start_drain()
+
+            tasks = [asyncio.ensure_future(drainer())]
+            for i in range(50):
+                tasks.append(asyncio.ensure_future(request(i)))
+                await asyncio.sleep(0.0003)
+            await asyncio.gather(*tasks)
+            assert await gate.wait_idle(timeout=1.0)
+            return gate, outcomes
+
+        gate, outcomes = run(scenario())
+        assert outcomes["done"] + outcomes["rejected"] == 50
+        assert outcomes["done"] >= 1      # someone got in before
+        assert outcomes["rejected"] >= 1  # someone hit the drain
+        assert gate.admitted_total == outcomes["done"]
+        assert gate.inflight == 0
+
+    def test_drain_on_idle_gate_is_immediately_idle(self):
+        async def scenario():
+            gate = RequestGate(high_water=2)
+            gate.try_admit()
+            gate.release()
+            gate.start_drain()
+            assert await gate.wait_idle(timeout=0.05)
+            with pytest.raises(Draining):
+                gate.try_admit()
+
+        run(scenario())
+
+    def test_release_after_drain_still_wakes_waiters(self):
+        """The waiter ordering race: wait_idle entered *after* the
+        drain begins but *before* the last release must still wake."""
+
+        async def scenario():
+            gate = RequestGate(high_water=2)
+            gate.try_admit()
+            gate.start_drain()
+            waiter = asyncio.ensure_future(gate.wait_idle(timeout=1.0))
+            await asyncio.sleep(0.01)  # waiter is parked on the event
+            gate.release()
+            assert await waiter
+
+        run(scenario())
+
+
 class TestBatcher:
     def test_groups_items_on_one_lane(self):
         batches = []

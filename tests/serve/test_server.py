@@ -214,6 +214,7 @@ class TestBackpressureAndDrain:
 
         def scenario(host, port):
             import threading
+            import time
 
             started = threading.Event()
             slow_result = {}
@@ -236,6 +237,13 @@ class TestBackpressureAndDrain:
             started.wait()
             rejected = None
             with ServeClient(host=host, port=port) as client:
+                # ping is ungated: wait until the slow refine actually
+                # holds the queue slot before hammering, so the hammer
+                # cannot win the admission race and evict it.
+                for _ in range(500):
+                    if client.ping().get("inflight", 0) >= 1:
+                        break
+                    time.sleep(0.002)
                 for _ in range(200):
                     try:
                         client.collect("lint", {"source": SRC})
