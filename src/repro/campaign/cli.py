@@ -75,6 +75,23 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-choices", type=int, default=20,
                      dest="max_choices")
     run.add_argument("--fuel", type=int, default=600)
+    run.add_argument("--sample-inputs", type=int, default=None,
+                     dest="sample_inputs", metavar="N",
+                     help="when a function's input space exceeds the "
+                          "max-inputs budget, check N deterministically-"
+                          "sampled inputs instead of giving up (verdicts "
+                          "become 'verified (sampled)')")
+    run.add_argument("--engine", choices=["auto", "scalar", "vector"],
+                     default="auto",
+                     help="refinement engine: auto/vector use the numpy "
+                          "lane-parallel engine where eligible, with "
+                          "transparent scalar fallback; scalar forces "
+                          "the interpreter (default: auto)")
+    run.add_argument("--cross-check", action="store_true",
+                     dest="cross_check",
+                     help="run every vector-eligible check under both "
+                          "engines and record any verdict drift as a "
+                          "per-function crash (disables the memo cache)")
     run.add_argument("--policy",
                      choices=["none", "strict", "recover", "quarantine"],
                      default="recover",
@@ -195,6 +212,9 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         start=args.start,
         max_choices=args.max_choices,
         fuel=args.fuel,
+        sample_inputs=args.sample_inputs,
+        engine=args.engine,
+        cross_check=args.cross_check,
         policy=args.policy,
         verify_each=args.verify_each,
         chaos_seed=args.chaos_seed,
@@ -248,7 +268,9 @@ def _print_summary(summary, as_json: bool) -> None:
     print(f"  {summary.checked} functions checked, "
           f"{summary.dedup_hits} dedup hits "
           f"({summary.dedup_hit_rate * 100:.1f}%)")
-    print(f"  verdicts: {summary.verified} verified, "
+    sampled = (f" ({summary.sampled_verified} sampled)"
+               if summary.sampled_verified else "")
+    print(f"  verdicts: {summary.verified} verified{sampled}, "
           f"{summary.failed} failed, "
           f"{summary.inconclusive} inconclusive, "
           f"{summary.timeout} timeout")

@@ -93,6 +93,9 @@ class CampaignSummary:
     failed: int = 0
     inconclusive: int = 0
     timeout: int = 0
+    #: subset of ``verified`` whose verdict came from input sampling
+    #: (``spec.sample_inputs``) — evidence, not exhaustive proof.
+    sampled_verified: int = 0
     #: guarded pass failures rolled back inside shards (the pipeline
     #: survived; the functions still concluded).
     recoveries: int = 0
@@ -137,6 +140,7 @@ class CampaignSummary:
             "dedup_hits": self.dedup_hits,
             "dedup_hit_rate": self.dedup_hit_rate,
             "verified": self.verified,
+            "sampled_verified": self.sampled_verified,
             "failed": self.failed,
             "inconclusive": self.inconclusive,
             "timeout": self.timeout,
@@ -580,6 +584,7 @@ class CampaignRunner:
             summary.failed += verdicts.get("failed", 0)
             summary.inconclusive += verdicts.get("inconclusive", 0)
             summary.timeout += verdicts.get("timeout", 0)
+            summary.sampled_verified += record.get("sampled_verified", 0)
             summary.recoveries += record.get("recoveries", 0)
             summary.crashes.extend(record.get("crashes", []))
             summary.bundle_paths.extend(record.get("bundles", []))

@@ -26,6 +26,7 @@ def aggregate_records(spec: CampaignSpec,
         "checked": 0,
         "dedup_hits": 0,
         "verified": 0,
+        "sampled_verified": 0,
         "failed": 0,
         "inconclusive": 0,
         "timeout": 0,
@@ -50,6 +51,7 @@ def aggregate_records(spec: CampaignSpec,
         agg["dedup_hits"] += record.get("dedup_hits", 0)
         verdicts = record.get("verdicts", {})
         agg["verified"] += verdicts.get("verified", 0)
+        agg["sampled_verified"] += record.get("sampled_verified", 0)
         agg["failed"] += verdicts.get("failed", 0)
         agg["inconclusive"] += verdicts.get("inconclusive", 0)
         agg["timeout"] += verdicts.get("timeout", 0)
@@ -116,8 +118,10 @@ def render_report(spec: CampaignSpec, records: Dict[int, dict]) -> str:
         f"  functions:    {agg['checked']} checked, "
         f"{agg['dedup_hits']} dedup hits "
         f"({agg['dedup_hit_rate'] * 100:.1f}%)",
-        f"  verdicts:     {agg['verified']} verified, "
-        f"{agg['failed']} failed, {agg['inconclusive']} inconclusive, "
+        f"  verdicts:     {agg['verified']} verified"
+        + (f" ({agg['sampled_verified']} sampled)"
+           if agg["sampled_verified"] else "")
+        + f", {agg['failed']} failed, {agg['inconclusive']} inconclusive, "
         f"{agg['timeout']} timeout",
         f"  shard wall:   {agg['wall_seconds']:.3f}s total",
     ]

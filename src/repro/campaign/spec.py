@@ -61,6 +61,18 @@ class CampaignSpec:
     max_choices: int = 20
     fuel: int = 600
     max_inputs: int = 20_000
+    #: when the input space exceeds ``max_inputs``, check this many
+    #: deterministically-sampled inputs instead of declaring the
+    #: function inconclusive; verdicts become "verified (sampled)" —
+    #: see :attr:`repro.refine.CheckOptions.sample_inputs`.
+    sample_inputs: Optional[int] = None
+    #: refinement engine: "auto" / "vector" attempt the numpy
+    #: lane-parallel engine with transparent scalar fallback, "scalar"
+    #: forces the interpreter (the differential oracle).
+    engine: str = "auto"
+    #: run every vector-eligible check under *both* engines and fail
+    #: the function (as a crash record) on any verdict drift.
+    cross_check: bool = False
     #: recovery policy for the pipeline under test: "none" runs the
     #: plain PassManager (a pass crash kills the whole shard, as before);
     #: everything else runs a GuardedPassManager, turning a pass crash
@@ -101,6 +113,10 @@ class CampaignSpec:
             raise ValueError(f"unknown recovery policy {self.policy!r}")
         if self.chaos_mode not in CHAOS_MODES:
             raise ValueError(f"unknown chaos mode {self.chaos_mode!r}")
+        if self.engine not in ("auto", "scalar", "vector"):
+            raise ValueError(f"unknown refinement engine {self.engine!r}")
+        if self.sample_inputs is not None and self.sample_inputs <= 0:
+            raise ValueError("sample_inputs must be positive")
         for name in self.opcodes:
             Opcode(name)  # raises ValueError on an unknown opcode name
 
@@ -138,7 +154,10 @@ class CampaignSpec:
 
     def check_options(self) -> CheckOptions:
         return CheckOptions(max_choices=self.max_choices, fuel=self.fuel,
-                            max_inputs=self.max_inputs)
+                            max_inputs=self.max_inputs,
+                            sample_inputs=self.sample_inputs,
+                            engine=self.engine,
+                            cross_check=self.cross_check)
 
     def memo_context(self) -> str:
         """Hash of every non-function input the refinement verdict
@@ -159,6 +178,22 @@ class CampaignSpec:
             "fuel": self.fuel,
             "max_inputs": self.max_inputs,
         }
+        # Verdict-relevant knobs added after the cache format shipped
+        # join the context only at non-default values, so default-spec
+        # contexts (and every memo entry recorded under them) are
+        # unchanged.  ``sample_inputs`` MUST be here: a sampled
+        # "verified" is evidence, not proof, and may never be replayed
+        # into a context that would have enumerated exhaustively.
+        # ``engine`` is here for distrust symmetry — the engines are
+        # byte-identical by construction, but if that ever breaks, the
+        # cache must not launder one engine's verdicts into the other's
+        # context.  ``cross_check`` is deliberately absent: it can only
+        # raise, never alter a returned verdict (and memoization is
+        # disabled under it, see :meth:`memo_enabled`).
+        if self.sample_inputs is not None:
+            relevant["sample_inputs"] = self.sample_inputs
+        if self.engine != "auto":
+            relevant["engine"] = self.engine
         blob = json_module.dumps(relevant, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()[:16]
 
@@ -166,8 +201,11 @@ class CampaignSpec:
         """Memoization is sound only for deterministic pipelines: chaos
         injection draws from an engine shared across a shard, so
         skipping one function would shift every later function's
-        faults."""
-        return self.use_cache and self.chaos_seed is None
+        faults.  Cross-check mode also disables it — a memo replay
+        skips both engines, which is exactly the comparison the mode
+        exists to run."""
+        return (self.use_cache and self.chaos_seed is None
+                and not self.cross_check)
 
     def total_functions(self) -> int:
         """Size of the corpus this campaign covers (across all shards)."""

@@ -51,7 +51,7 @@ from ..diag import (
 from ..ir import parse_function, print_function, print_module, verify_function
 from ..opt.resilience import GuardedPassError
 from ..perf import RefinementMemo
-from ..refine import DEADLINE_REASON, check_refinement
+from ..refine import DEADLINE_REASON, CrossCheckMismatch, check_refinement
 from .canon import DedupCache, canonical_hash
 from .sharding import Shard, iter_shard_functions
 from .spec import CampaignSpec
@@ -123,7 +123,11 @@ def check_function(spec: CampaignSpec, fn, src_text: str, h: str,
         if replayed is not None:
             # Same record a full check would produce (the checker is
             # deterministic), minus the work.
-            outcome.update(status="memo-replay", verdict=replayed)
+            if replayed == "verified-sampled":
+                outcome.update(status="memo-replay", verdict="verified",
+                               sampled=True)
+            else:
+                outcome.update(status="memo-replay", verdict=replayed)
             return outcome
 
     before = parse_function(src_text)
@@ -153,7 +157,23 @@ def check_function(spec: CampaignSpec, fn, src_text: str, h: str,
     outcome["recoveries"] = recovered
     outcome["bundles"] = payloads
 
-    result = check_refinement(before, fn, semantics, options=options)
+    try:
+        result = check_refinement(before, fn, semantics, options=options)
+    except CrossCheckMismatch as e:
+        # Engine disagreement under --cross-check: a checker bug, not a
+        # pipeline bug.  Record it like a crash — no verdict, retried
+        # on resume — so drift can never be silently absorbed.
+        outcome.update(
+            status="crashed",
+            crash={
+                "hash": h,
+                "pass": "",
+                "kind": "cross-check-mismatch",
+                "error": repr(e),
+                "traceback": traceback_module.format_exc(),
+                "source": src_text,
+            })
+        return outcome
     verdict = result.verdict
     deadline_aborted = (verdict == "inconclusive"
                         and DEADLINE_REASON in result.reason)
@@ -167,9 +187,11 @@ def check_function(spec: CampaignSpec, fn, src_text: str, h: str,
         verdict = "timeout"
         outcome["deadline_expired"] = True
     elif memo is not None:
-        memo.record(h, verdict)
+        memo.record(h, "verified-sampled" if result.sampled else verdict)
     outcome.update(status="checked", verdict=verdict,
                    inputs_checked=result.inputs_checked)
+    if result.sampled:
+        outcome["sampled"] = True
     if result.failed:
         outcome["counterexample"] = {
             "hash": h,
@@ -274,6 +296,7 @@ def _run_shard_body(spec: CampaignSpec, shard: Shard,
     semantics = spec.semantics()
     verdicts = {"verified": 0, "failed": 0, "inconclusive": 0,
                 "timeout": 0}
+    sampled_verified = 0
     new_hashes: Dict[str, str] = {}
     counterexamples = []
     crashes: List[dict] = []
@@ -320,6 +343,11 @@ def _run_shard_body(spec: CampaignSpec, shard: Shard,
                         continue
                     verdict = outcome["verdict"]
                     verdicts[verdict] = verdicts.get(verdict, 0) + 1
+                    if outcome.get("sampled"):
+                        # verdicts["verified"] still counts it; this
+                        # subtotal keeps evidence distinguishable from
+                        # proof in the aggregated report.
+                        sampled_verified += 1
                     cache.add(h, verdict)
                     new_hashes[h] = verdict
                     sp.set(outcome=outcome["status"], verdict=verdict)
@@ -351,6 +379,7 @@ def _run_shard_body(spec: CampaignSpec, shard: Shard,
         "checked": sum(verdicts.values()),
         "dedup_hits": cache.hits,
         "verdicts": verdicts,
+        "sampled_verified": sampled_verified,
         "hashes": new_hashes,
         "counterexamples": counterexamples,
         "crashes": crashes,

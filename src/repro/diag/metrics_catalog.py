@@ -117,6 +117,13 @@ STAT_CATALOG: Set[Tuple[str, str]] = {
     ("refine", "num-inputs-checked"),
     ("refine", "num-deadline-aborts"),
     ("refine", "num-undef-expansion-overflow"),
+    # vector (numpy lane-parallel) refinement engine
+    ("refine", "num-vector-checks"),
+    ("refine", "num-vector-fallbacks"),
+    ("refine", "num-cross-checks"),
+    ("refine", "num-vector-lanes"),
+    ("vector", "num-plans-lowered"),
+    ("vector", "num-plan-runs"),
     # pass-guard resilience layer
     ("resilience", "num-bisect-skipped"),
     ("resilience", "num-guard-failures"),
@@ -143,6 +150,9 @@ STAT_PATTERNS: Set[Tuple[str, str]] = {
     ("*", "num-guard-failures"),
     # lint rules are pluggable; any rule id is a legal counter.
     ("lint", "num-*"),
+    # vector-engine fallbacks book one counter per ineligibility
+    # reason slug (see repro.semantics.vector.VectorIneligible).
+    ("refine", "num-vector-ineligible-*"),
 }
 
 #: First-class (non-stat-derived) metric names the diag layer exports.

@@ -99,7 +99,12 @@ MEMO_DISK_ERRORS = Statistic(
 
 #: verdicts that are pure functions of (function, context) and safe to
 #: replay.  "failed" is deliberately absent (see module docstring).
-_CACHEABLE = ("verified", "inconclusive", "timeout")
+#: "verified-sampled" keeps sampled verifications distinguishable on
+#: replay — the context hash already separates sampled campaigns
+#: (``sample_inputs`` is part of the memo context), but the *verdict
+#: string* must round-trip the distinction too, or a replay would
+#: upgrade evidence into proof in the reports.
+_CACHEABLE = ("verified", "verified-sampled", "inconclusive", "timeout")
 
 #: consecutive flush failures before the memo stops touching disk.
 _MAX_FLUSH_FAILURES = 3

@@ -4,6 +4,7 @@ from .exhaustive import (
     DEADLINE_REASON,
     CheckOptions,
     Counterexample,
+    CrossCheckMismatch,
     RefinementResult,
     check_equivalence,
     check_refinement,
@@ -19,7 +20,8 @@ from .refinement import (
 
 __all__ = [
     "DEADLINE_REASON",
-    "CheckOptions", "Counterexample", "RefinementResult",
+    "CheckOptions", "Counterexample", "CrossCheckMismatch",
+    "RefinementResult",
     "check_equivalence", "check_refinement", "input_candidates",
     "BehaviorSetResult", "behavior_covers", "bit_covers", "bits_cover",
     "check_behavior_sets",

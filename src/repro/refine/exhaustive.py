@@ -64,6 +64,12 @@ class RefinementResult:
     counterexample: Optional["Counterexample"] = None
     reason: str = ""
     inputs_checked: int = 0
+    #: the "verified" verdict came from a deterministic sample of the
+    #: input space, not exhaustive enumeration — sound for failures,
+    #: evidence-only for verification.  Must stay visible everywhere a
+    #: verdict is rendered (``__str__``, campaign reports, serve
+    #: chunks) so a sampled pass can never masquerade as a proof.
+    sampled: bool = False
 
     @property
     def ok(self) -> bool:
@@ -75,6 +81,8 @@ class RefinementResult:
 
     def __str__(self) -> str:
         if self.ok:
+            if self.sampled:
+                return f"verified ({self.reason})"
             return f"verified ({self.inputs_checked} inputs)"
         if self.failed:
             return f"FAILED\n{self.counterexample}"
@@ -227,6 +235,18 @@ class CheckOptions:
     #: per request by the serve layer — never derived from the spec, so
     #: it cannot leak into memo contexts or cached verdicts.
     deadline: Optional[float] = None
+    #: which evaluation engine decides the check: ``"scalar"`` is the
+    #: one-input-at-a-time interpreter (the differential oracle),
+    #: ``"vector"``/``"auto"`` attempt the numpy lane-parallel engine
+    #: (:mod:`repro.refine.vector`) and transparently fall back to
+    #: scalar for ineligible (function, config) pairs or when numpy is
+    #: not installed.
+    engine: str = "auto"
+    #: run *both* engines on every vector-eligible check and raise
+    #: :class:`CrossCheckMismatch` unless their results are
+    #: byte-identical.  Differential-testing mode: slower than either
+    #: engine alone, never changes a verdict.
+    cross_check: bool = False
 
 
 def _global_inits(src: Function, config: SemanticsConfig,
@@ -251,22 +271,91 @@ def _global_inits(src: Function, config: SemanticsConfig,
     return inits
 
 
+class CrossCheckMismatch(RuntimeError):
+    """The scalar and vector engines disagreed on a check that both
+    decided — a bug in one of them.  Raised (never swallowed) so a
+    campaign records the function as crashed instead of picking a
+    winner."""
+
+
+_ENGINES = ("auto", "scalar", "vector")
+
+
 def check_refinement(src: Function, tgt: Function,
                      config: SemanticsConfig = NEW,
                      tgt_config: Optional[SemanticsConfig] = None,
-                     options: Optional[CheckOptions] = None) -> RefinementResult:
+                     options: Optional[CheckOptions] = None,
+                     engine: Optional[str] = None) -> RefinementResult:
     """Decide whether ``tgt`` refines ``src`` under ``config``.
 
     ``tgt_config`` allows cross-semantics checks (e.g. validating the
     migration story: a NEW-semantics target refining an OLD-semantics
     source).  Defaults to ``config``.
+
+    ``engine`` overrides ``options.engine`` (see
+    :attr:`CheckOptions.engine`); every engine produces byte-identical
+    results, so the knob only moves work between implementations.
     """
     NUM_CHECKS.inc()
     with span("refine-check", cat="refine", function=tgt.name) as sp:
-        result = _check_refinement(src, tgt, config, tgt_config, options)
+        result = _dispatch_refinement(src, tgt, config, tgt_config,
+                                      options, engine)
         NUM_INPUTS_CHECKED.inc(result.inputs_checked)
         sp.set(verdict=result.verdict, inputs=result.inputs_checked)
         return result
+
+
+def _dispatch_refinement(src: Function, tgt: Function,
+                         config: SemanticsConfig,
+                         tgt_config: Optional[SemanticsConfig],
+                         options: Optional[CheckOptions],
+                         engine: Optional[str]) -> RefinementResult:
+    options = options or CheckOptions()
+    engine = engine or options.engine
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown refinement engine {engine!r} "
+                         f"(expected one of {', '.join(_ENGINES)})")
+    if engine == "scalar":
+        return _check_refinement(src, tgt, config, tgt_config, options)
+
+    # Imported lazily: refine.vector depends on this module's result
+    # types, and the scalar path must work with numpy absent.
+    from ..diag import default_registry
+    from ..semantics.vector import VectorIneligible
+    from .vector import (
+        NUM_CROSS_CHECKS,
+        NUM_VECTOR_CHECKS,
+        NUM_VECTOR_FALLBACKS,
+        check_refinement_vector,
+    )
+
+    try:
+        vector_result = check_refinement_vector(src, tgt, config,
+                                                tgt_config, options)
+    except VectorIneligible as e:
+        NUM_VECTOR_FALLBACKS.inc()
+        default_registry().add("refine",
+                               f"num-vector-ineligible-{e.reason}")
+        return _check_refinement(src, tgt, config, tgt_config, options)
+    NUM_VECTOR_CHECKS.inc()
+    if not options.cross_check:
+        return vector_result
+    NUM_CROSS_CHECKS.inc()
+    scalar_result = _check_refinement(src, tgt, config, tgt_config, options)
+    if _result_key(vector_result) != _result_key(scalar_result):
+        raise CrossCheckMismatch(
+            f"engine disagreement on @{tgt.name}: "
+            f"vector={vector_result!s} ({vector_result.inputs_checked} "
+            f"inputs) vs scalar={scalar_result!s} "
+            f"({scalar_result.inputs_checked} inputs)")
+    return vector_result
+
+
+def _result_key(result: RefinementResult) -> Tuple[str, str, str, int, bool]:
+    """Byte-level identity of a result: verdict, full rendering
+    (including the counterexample), reason, input count, sampled flag."""
+    return (result.verdict, str(result), result.reason,
+            result.inputs_checked, result.sampled)
 
 
 def _check_refinement(src: Function, tgt: Function,
@@ -287,10 +376,15 @@ def _check_refinement(src: Function, tgt: Function,
         return RefinementResult("inconclusive",
                                 reason="return type mismatch")
 
+    # Cross-semantics checks quantify over inputs *representable on
+    # both sides*: an undef argument has no NEW-semantics reading, so
+    # OLD-vs-NEW comparisons range over concrete and poison inputs only
+    # (the paper's migration erases undef from the language).
+    undef_inputs = options.undef_inputs and tgt_config.has_undef
     try:
         arg_spaces = [
             input_candidates(a.type, config, options.poison_inputs,
-                             options.undef_inputs)
+                             undef_inputs)
             for a in src.args
         ]
     except TypeError as e:
@@ -414,17 +508,33 @@ def _check_refinement(src: Function, tgt: Function,
             "verified",
             reason=f"sampled {checked} of {total} inputs",
             inputs_checked=checked,
+            sampled=True,
         )
     return RefinementResult("verified", inputs_checked=checked)
 
 
 def check_equivalence(a: Function, b: Function,
                       config: SemanticsConfig = NEW,
-                      options: Optional[CheckOptions] = None
+                      tgt_config: Optional[SemanticsConfig] = None,
+                      options: Optional[CheckOptions] = None,
+                      engine: Optional[str] = None,
                       ) -> Tuple[RefinementResult, RefinementResult]:
     """Refinement in both directions (semantic equivalence when both
-    verify)."""
+    verify).
+
+    ``config`` is ``a``'s semantics and ``tgt_config`` is ``b``'s
+    (defaulting to ``config``), regardless of direction: the reverse
+    check swaps which function is source and target, so it must also
+    swap the configs.  Passing ``config=OLD, tgt_config=NEW`` therefore
+    asks the migration-story question in both directions — "does the
+    NEW-semantics ``b`` refine the OLD-semantics ``a``, and vice
+    versa" — which the old signature (one config for both sides of both
+    directions) could not express.
+    """
+    b_config = tgt_config or config
     return (
-        check_refinement(a, b, config, options=options),
-        check_refinement(b, a, config, options=options),
+        check_refinement(a, b, config, tgt_config=b_config,
+                         options=options, engine=engine),
+        check_refinement(b, a, b_config, tgt_config=config,
+                         options=options, engine=engine),
     )

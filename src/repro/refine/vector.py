@@ -1,0 +1,235 @@
+"""Lane-parallel refinement checking over numpy array programs.
+
+:func:`check_refinement_vector` is the vector engine behind
+``check_refinement(engine="vector")``: it lowers both functions with
+:mod:`repro.semantics.vector`, lays the *entire* input space out as
+array lanes (one lane per input tuple, in the scalar checker's
+``itertools.product`` order), runs every freeze-choice combination of
+each side over all lanes at once, and applies the Alive coverage rule
+(`refinement.check_behavior_sets`) as boolean-array algebra:
+
+* a lane where *any* source run is UB is covered outright
+  (source UB licenses everything);
+* a target run's lane is otherwise covered iff some non-UB source run
+  returns poison there (poison covers anything) or returns the same
+  concrete value as a non-poison target lane;
+* a target-UB lane with no source UB is a definite failure.
+
+Whole-scalar poison makes the bit-level ``ty↓`` coverage collapse to
+this per-lane form: an eligible config has no undef, so a behavior's
+return bits are either all concrete or all ``PBIT`` — exactly one
+boolean lane of information.
+
+The engine either returns a result **byte-identical** to the scalar
+checker's (same verdict, same ``inputs_checked``, same rendered
+counterexample — the first failing lane in input order is re-run
+through the scalar interpreter to materialize the witness) or raises
+:class:`~repro.semantics.vector.VectorIneligible`, in which case the
+dispatcher falls back to the scalar engine.  The scalar path thus stays
+the differential oracle; ``CheckOptions.cross_check`` runs both and
+asserts the equality instead of assuming it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from ..diag import Statistic
+from ..ir.function import Function
+from ..semantics.config import SemanticsConfig
+from ..semantics.interp import enumerate_behaviors
+from ..semantics.vector import (
+    VectorIneligible,
+    VectorPlan,
+    freeze_combinations,
+    numpy_available,
+)
+from .refinement import check_behavior_sets
+
+try:  # pragma: no cover - exercised via the no-numpy CI leg
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+NUM_VECTOR_CHECKS = Statistic(
+    "refine", "num-vector-checks",
+    "Refinement checks decided by the vector (numpy) engine")
+NUM_VECTOR_FALLBACKS = Statistic(
+    "refine", "num-vector-fallbacks",
+    "Vector-engine attempts that fell back to the scalar interpreter")
+NUM_CROSS_CHECKS = Statistic(
+    "refine", "num-cross-checks",
+    "Refinement checks run under both engines and compared")
+NUM_VECTOR_LANES = Statistic(
+    "refine", "num-vector-lanes",
+    "Input lanes decided by vector plan executions")
+
+#: lane-index arrays are pure functions of (arg widths, poison flag);
+#: cache them across checks of a same-shaped corpus.
+_LANE_CACHE: Dict[Tuple[Tuple[int, ...], bool], tuple] = {}
+_LANE_CACHE_CAP = 32
+
+
+def _lane_arrays(widths: Tuple[int, ...], poison_inputs: bool):
+    """Per-argument ``(val, pois)`` lane arrays covering the full input
+    cross product, lane ``i`` being the ``i``-th tuple of the scalar
+    checker's ``itertools.product`` enumeration (last argument varies
+    fastest)."""
+    key = (widths, poison_inputs)
+    cached = _LANE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    sizes = [(1 << w) + (1 if poison_inputs else 0) for w in widths]
+    total = 1
+    for k in sizes:
+        total *= k
+    lane = np.arange(total, dtype=np.int64)
+    arg_vals: List = []
+    arg_pois: List = []
+    stride = total
+    for w, k in zip(widths, sizes):
+        stride //= k
+        idx = (lane // stride) % k
+        pois = idx == (1 << w)  # all-False when poison_inputs is off
+        arg_vals.append(np.where(pois, 0, idx))
+        arg_pois.append(pois)
+    if len(_LANE_CACHE) >= _LANE_CACHE_CAP:
+        _LANE_CACHE.clear()
+    result = (total, arg_vals, arg_pois)
+    _LANE_CACHE[key] = result
+    return result
+
+
+def check_refinement_vector(src: Function, tgt: Function,
+                            config: SemanticsConfig,
+                            tgt_config: Optional[SemanticsConfig],
+                            options) -> "RefinementResult":
+    """Vector-engine refinement check; byte-identical to the scalar
+    engine when it returns, :class:`VectorIneligible` when it cannot
+    promise that."""
+    from .exhaustive import (  # local: exhaustive imports this module's caller
+        Counterexample,
+        RefinementResult,
+        input_candidates,
+    )
+
+    if np is None:
+        raise VectorIneligible(
+            "numpy-unavailable",
+            "numpy is not installed (pip install 'repro[vector]')")
+    if options.deadline is not None:
+        # Deadline verdicts depend on wall-clock progress through the
+        # scalar input loop; reproducing them lane-parallel is
+        # meaningless.  Let the scalar engine own deadline semantics.
+        raise VectorIneligible("deadline", "request has a deadline")
+    tgt_config = tgt_config or config
+
+    # The scalar engine's signature mismatches produce canonical
+    # inconclusive verdicts; routing them through the fallback keeps
+    # those strings byte-identical.
+    if len(src.args) != len(tgt.args):
+        raise VectorIneligible("signature", "argument count mismatch")
+    for a, b in zip(src.args, tgt.args):
+        if a.type is not b.type:
+            raise VectorIneligible("signature", "argument type mismatch")
+    if src.return_type is not tgt.return_type:
+        raise VectorIneligible("signature", "return type mismatch")
+
+    src_plan = VectorPlan(src, config, max_choices=options.max_choices,
+                          fuel=options.fuel)
+    tgt_plan = VectorPlan(tgt, tgt_config, max_choices=options.max_choices,
+                          fuel=options.fuel)
+    src_combos = freeze_combinations(src_plan, options.max_paths)
+    tgt_combos = freeze_combinations(tgt_plan, options.max_paths)
+
+    widths = tuple(a.type.bits for a in src.args)
+    total, arg_vals, arg_pois = _lane_arrays(widths, options.poison_inputs)
+    if total > options.max_inputs:
+        # Scalar owns both the "input space too large" inconclusive and
+        # the sample_inputs fallback.
+        raise VectorIneligible(
+            "input-space",
+            f"input space {total} exceeds max_inputs={options.max_inputs}")
+
+    src_runs = [src_plan.run(arg_vals, arg_pois, combo)
+                for combo in src_combos]
+    tgt_runs = [tgt_plan.run(arg_vals, arg_pois, combo)
+                for combo in tgt_combos]
+
+    src_ub_any = src_runs[0][2].copy()
+    for _, _, sub in src_runs[1:]:
+        src_ub_any |= sub
+
+    fail = np.zeros(total, dtype=bool)
+    for tval, tpois, tub in tgt_runs:
+        covered = src_ub_any.copy()
+        for sval, spois, sub in src_runs:
+            covered |= (~sub & ~tub
+                        & (spois | (~tpois & (sval == tval))))
+        fail |= ~covered
+    NUM_VECTOR_LANES.inc(total)
+
+    if not bool(fail.any()):
+        return RefinementResult("verified", inputs_checked=total)
+
+    # First failing input in enumeration order; materialize the exact
+    # scalar counterexample by re-running the interpreter on that one
+    # input (witness selection, behavior formatting, and the
+    # src-behavior listing all come from the oracle itself).
+    lane = int(np.argmax(fail))
+    arg_spaces = [
+        input_candidates(a.type, config, options.poison_inputs,
+                         options.undef_inputs)
+        for a in src.args
+    ]
+    args = []
+    stride = total
+    for space in arg_spaces:
+        stride //= len(space)
+        args.append(space[(lane // stride) % len(space)])
+    args = tuple(args)
+
+    src_b = enumerate_behaviors(
+        src, args, config, global_init={},
+        max_paths=options.max_paths, max_choices=options.max_choices,
+        fuel=options.fuel, stop_on_ub=options.prune_src_ub,
+    )
+    tgt_b = enumerate_behaviors(
+        tgt, args, tgt_config, global_init={},
+        max_paths=options.max_paths, max_choices=options.max_choices,
+        fuel=options.fuel,
+    )
+    oracle = check_behavior_sets(
+        src_b, tgt_b,
+        undef_cap=options.undef_expansion_cap,
+        function=tgt.name,
+    )
+    if oracle.ok or oracle.inconclusive:
+        # The oracle disagrees with the lane algebra on this input —
+        # refuse to decide and let the scalar engine rule (and surface
+        # the disagreement in the fallback stats).
+        raise VectorIneligible(
+            "lane-disagreement",
+            f"vector engine flagged lane {lane} of @{tgt.name} but the "
+            f"scalar oracle does not fail it")
+    cex = Counterexample(
+        args=args,
+        arg_types=tuple(a.type for a in src.args),
+        global_init=(),
+        witness=oracle.witness,
+        src_behaviors=tuple(src_b),
+    )
+    return RefinementResult("failed", counterexample=cex,
+                            inputs_checked=lane + 1)
+
+
+__all__ = [
+    "check_refinement_vector",
+    "numpy_available",
+    "VectorIneligible",
+    "NUM_VECTOR_CHECKS",
+    "NUM_VECTOR_FALLBACKS",
+    "NUM_CROSS_CHECKS",
+    "NUM_VECTOR_LANES",
+]

@@ -43,6 +43,14 @@ from .interp import (
     run_once,
 )
 from .memory import Memory
+from .vector import (
+    VectorIneligible,
+    VectorPlan,
+    numpy_available,
+    vector_binop_kernel,
+    vector_cast_kernel,
+    vector_icmp_kernel,
+)
 
 __all__ = [
     "ALL_CONFIGS", "NEW", "OLD", "OLD_GVN_VIEW", "OLD_UNSWITCH_VIEW",
@@ -55,4 +63,6 @@ __all__ = [
     "Behavior", "FuelExhausted", "Interpreter", "Oracle", "PathLimitExceeded",
     "enumerate_behaviors", "run_once",
     "Memory",
+    "VectorIneligible", "VectorPlan", "numpy_available",
+    "vector_binop_kernel", "vector_cast_kernel", "vector_icmp_kernel",
 ]

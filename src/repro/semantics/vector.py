@@ -1,0 +1,703 @@
+"""Numpy lowering of loop-free functions into lane-parallel array programs.
+
+The exhaustive checker's scaling axis is raw checks/sec (Section 6: the
+paper validated every small function over tiny bitwidths), and the
+scalar interpreter pays Python dispatch once per (input, oracle path,
+instruction).  For the corpus shapes opt-fuzz actually generates —
+loop-free functions with at most a handful of acyclic paths — the whole
+input space fits in one set of numpy arrays, so every instruction can
+execute over *all* input tuples at once:
+
+* **value lanes** — one ``int64`` array per SSA value, lane ``i``
+  holding the value on input tuple ``i``;
+* **poison lanes** — a parallel boolean array (poison is whole-scalar
+  in this IR, so one bit per lane suffices; the bit-level ``ty↓`` view
+  is recovered only when a behavior must be materialized);
+* **UB mask** — a boolean accumulator of lanes whose execution hit
+  immediate UB (division by zero, branch on poison, ``unreachable``);
+  once set it overrides whatever the value lanes contain.
+
+Nondeterminism is handled outside the array program: ``freeze`` of a
+poison lane is the only choice point a lowered function can contain
+(undef does not exist under eligible configs), so the driver enumerates
+the small cross product of freeze choices and runs the plan once per
+combination — the union over combinations is exactly the behavior set
+the scalar oracle enumerates.
+
+Branching functions are lowered path-at-a-time: every acyclic
+entry→exit path becomes straight-line code executed under an *active*
+lane mask (the conjunction of its branch conditions); each lane follows
+exactly one path per choice combination, and a poison branch condition
+marks the lane UB, mirroring the fixed semantics.
+
+Everything outside this fragment — loops, memory, calls, vectors,
+undef-bearing configs — raises :class:`VectorIneligible`, and the
+caller falls back to the scalar interpreter, which remains the
+differential oracle (``repro.refine`` cross-checks the two engines).
+
+numpy is an optional dependency (the ``[vector]`` extra): when it is
+missing, :func:`numpy_available` is ``False`` and every lowering raises
+``VectorIneligible("numpy-unavailable")`` — the scalar path keeps the
+stack fully functional.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - exercised via the no-numpy CI leg
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+from ..diag import Statistic
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    BinaryInst,
+    BranchInst,
+    CastInst,
+    FreezeInst,
+    IcmpInst,
+    IcmpPred,
+    Instruction,
+    Opcode,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    UnreachableInst,
+)
+from ..ir.types import IntType, Type
+from ..ir.values import ConstantInt, PoisonValue, UndefValue, Value
+from .config import BranchOnPoison, SelectSemantics, SemanticsConfig, ShiftOutOfRange
+
+NUM_PLANS_LOWERED = Statistic(
+    "vector", "num-plans-lowered",
+    "Functions lowered into numpy-vectorized execution plans")
+NUM_PLAN_RUNS = Statistic(
+    "vector", "num-plan-runs",
+    "Vector plan executions (one per freeze-choice combination)")
+
+#: widest integer the kernels handle without int64 overflow risk
+#: (mul/shl of two w-bit values must fit: 2w + 1 < 63).
+MAX_WIDTH = 16
+#: acyclic entry→exit paths beyond this are not worth lowering.
+MAX_PATHS = 8
+#: cap on the freeze-choice cross product one check may enumerate.
+MAX_FREEZE_COMBOS = 64
+
+_DIVISION_OPS = (Opcode.UDIV, Opcode.SDIV, Opcode.UREM, Opcode.SREM)
+_SHIFT_OPS = (Opcode.SHL, Opcode.LSHR, Opcode.ASHR)
+
+
+def numpy_available() -> bool:
+    return _np is not None
+
+
+class VectorIneligible(Exception):
+    """This (function, config) pair cannot be vector-lowered.
+
+    ``reason`` is a short stable slug (suitable as a stat suffix);
+    the message carries the human detail.
+    """
+
+    def __init__(self, reason: str, detail: str = ""):
+        super().__init__(detail or reason)
+        self.reason = reason
+
+
+def _require_numpy() -> None:
+    if _np is None:
+        raise VectorIneligible(
+            "numpy-unavailable",
+            "numpy is not installed (pip install 'repro[vector]')")
+
+
+def _signed(val, width: int):
+    """Two's-complement reinterpretation of lanes in ``[0, 2^w)``."""
+    half = 1 << (width - 1)
+    full = 1 << width
+    return val - (val >= half) * full
+
+
+# ---------------------------------------------------------------------------
+# Per-opcode kernels, mirroring the eval.py specializers lane-wise.
+#
+# A kernel maps operand lanes ``(aval, apois[, bval, bpois])`` to
+# ``(val, pois, ub)`` where ``ub`` is None for opcodes that cannot
+# trigger immediate UB.  Value lanes are always masked into [0, 2^w),
+# so garbage under poison/UB lanes stays bounded; the caller masks
+# ``ub`` with its active-lane mask before accumulating.
+# ---------------------------------------------------------------------------
+
+#: (val, pois, ub) lane triple.
+KernelResult = Tuple[object, object, Optional[object]]
+BinopKernel = Callable[[object, object, object, object], KernelResult]
+
+
+def vector_binop_kernel(opcode: Opcode, width: int,
+                        config: SemanticsConfig,
+                        nsw: bool = False, nuw: bool = False,
+                        exact: bool = False) -> BinopKernel:
+    """Lane-parallel analog of :func:`repro.semantics.eval.binop_evaluator`.
+
+    Must agree with ``eval_binop`` on every lane (the hypothesis suite
+    in ``tests/semantics/test_vector_kernels.py`` holds the two to
+    element-wise equality over random widths, flags, and poison lanes).
+    """
+    _require_numpy()
+    np = _np
+    mask = (1 << width) - 1
+    half = 1 << (width - 1)
+    full = 1 << width
+
+    if opcode in _DIVISION_OPS:
+        signed_op = opcode in (Opcode.SDIV, Opcode.SREM)
+
+        def div(aval, apois, bval, bpois):
+            # A zero or poison divisor is immediate UB even when the
+            # dividend is poison (eval._eval_division's ordering).
+            ub = bpois | (bval == 0)
+            if signed_op:
+                sa = _signed(aval, width)
+                sb = _signed(bval, width)
+                ub = ub | (~ub & ~apois & (sa == -half) & (sb == -1))
+                sb_safe = np.where(ub, 1, sb)
+                q_abs = np.abs(sa) // np.abs(sb_safe)
+                q = np.where((sa < 0) != (sb_safe < 0), -q_abs, q_abs)
+                r = sa - q * sb_safe
+                pois = apois
+                if opcode is Opcode.SDIV:
+                    if exact:
+                        pois = pois | (r != 0)
+                    val = q & mask
+                else:
+                    val = r & mask
+            else:
+                b_safe = np.where(ub, 1, bval)
+                pois = apois
+                if opcode is Opcode.UDIV:
+                    if exact:
+                        pois = pois | (aval % b_safe != 0)
+                    val = aval // b_safe
+                else:
+                    val = aval % b_safe
+            return np.where(pois | ub, 0, val), pois, ub
+        return div
+
+    if opcode in _SHIFT_OPS:
+        if config.shift_oob is ShiftOutOfRange.UNDEF:
+            # Out-of-range shifts yield *undef* under this config; the
+            # lane model has no undef, so the whole config is
+            # vector-ineligible for shift-bearing functions.
+            raise VectorIneligible(
+                "shift-oob-undef",
+                "out-of-range shifts produce undef under "
+                f"config {config.name!r}")
+
+        def shift(aval, apois, bval, bpois):
+            oob = bval >= width
+            pois = apois | bpois | oob
+            b_safe = np.where(oob, 0, bval)
+            if opcode is Opcode.SHL:
+                raw = aval << b_safe
+                val = raw & mask
+                if nuw:
+                    pois = pois | (raw >= full)
+                if nsw:
+                    pois = pois | (
+                        (_signed(val, width) >> b_safe)
+                        != _signed(aval, width))
+            else:
+                if exact:
+                    pois = pois | ((aval & ((1 << b_safe) - 1)) != 0)
+                if opcode is Opcode.LSHR:
+                    val = aval >> b_safe
+                else:
+                    val = (_signed(aval, width) >> b_safe) & mask
+            return np.where(pois, 0, val), pois, None
+        return shift
+
+    if opcode in (Opcode.ADD, Opcode.SUB, Opcode.MUL):
+        def arith(aval, apois, bval, bpois):
+            pois = apois | bpois
+            if opcode is Opcode.ADD:
+                raw = aval + bval
+                if nuw:
+                    pois = pois | (raw >= full)
+            elif opcode is Opcode.SUB:
+                raw = aval - bval
+                if nuw:
+                    pois = pois | (raw < 0)
+            else:
+                raw = aval * bval
+                if nuw:
+                    pois = pois | (raw >= full)
+            if nsw:
+                sa = _signed(aval, width)
+                sb = _signed(bval, width)
+                if opcode is Opcode.ADD:
+                    s = sa + sb
+                elif opcode is Opcode.SUB:
+                    s = sa - sb
+                else:
+                    s = sa * sb
+                pois = pois | (s < -half) | (s > half - 1)
+            return np.where(pois, 0, raw & mask), pois, None
+        return arith
+
+    if opcode in (Opcode.AND, Opcode.OR, Opcode.XOR):
+        def bitwise(aval, apois, bval, bpois):
+            pois = apois | bpois
+            if opcode is Opcode.AND:
+                val = aval & bval
+            elif opcode is Opcode.OR:
+                val = aval | bval
+            else:
+                val = aval ^ bval
+            return np.where(pois, 0, val), pois, None
+        return bitwise
+
+    raise VectorIneligible("unsupported-op",
+                           f"no vector kernel for {opcode.value}")
+
+
+def vector_icmp_kernel(pred: IcmpPred, width: int) -> BinopKernel:
+    """Lane-parallel analog of :func:`repro.semantics.eval.icmp_evaluator`."""
+    _require_numpy()
+    np = _np
+
+    def icmp(aval, apois, bval, bpois):
+        pois = apois | bpois
+        a, b = aval, bval
+        if pred.is_signed:
+            a = _signed(a, width)
+            b = _signed(b, width)
+        if pred in (IcmpPred.EQ,):
+            bits = a == b
+        elif pred in (IcmpPred.NE,):
+            bits = a != b
+        elif pred in (IcmpPred.UGT, IcmpPred.SGT):
+            bits = a > b
+        elif pred in (IcmpPred.UGE, IcmpPred.SGE):
+            bits = a >= b
+        elif pred in (IcmpPred.ULT, IcmpPred.SLT):
+            bits = a < b
+        else:
+            bits = a <= b
+        return np.where(pois, 0, bits * 1), pois, None
+    return icmp
+
+
+def vector_cast_kernel(opcode: Opcode, src_width: int,
+                       dest_width: int) -> Callable[[object, object],
+                                                    KernelResult]:
+    """Lane-parallel analog of :func:`repro.semantics.eval.cast_evaluator`."""
+    _require_numpy()
+    np = _np
+    dest_mask = (1 << dest_width) - 1
+
+    if opcode is Opcode.ZEXT:
+        def zext(aval, apois):
+            return np.where(apois, 0, aval), apois, None
+        return zext
+    if opcode is Opcode.TRUNC:
+        def trunc(aval, apois):
+            return np.where(apois, 0, aval & dest_mask), apois, None
+        return trunc
+    if opcode is Opcode.SEXT:
+        def sext(aval, apois):
+            return np.where(apois, 0,
+                            _signed(aval, src_width) & dest_mask), apois, None
+        return sext
+    raise VectorIneligible("unsupported-op",
+                           f"no vector kernel for cast {opcode.value}")
+
+
+# ---------------------------------------------------------------------------
+# Lowering: Function -> VectorPlan (straight-line programs per acyclic path).
+# ---------------------------------------------------------------------------
+
+class _LaneState:
+    """Mutable per-path execution state."""
+
+    __slots__ = ("active", "ub")
+
+    def __init__(self, active, ub):
+        self.active = active
+        self.ub = ub
+
+
+def _int_width(ty: Type, what: str) -> int:
+    if not isinstance(ty, IntType):
+        raise VectorIneligible("non-int-type",
+                               f"{what} has non-integer type {ty}")
+    if ty.bits > MAX_WIDTH:
+        raise VectorIneligible("width",
+                               f"{what} is {ty.bits} bits wide "
+                               f"(vector cap {MAX_WIDTH})")
+    return ty.bits
+
+
+def _compile_fetch(op: Value, config: SemanticsConfig):
+    """``fetch(env) -> (val, pois)`` for one operand; constants fold to
+    broadcastable Python scalars."""
+    if isinstance(op, ConstantInt):
+        # numpy scalars, not Python ints/bools: ``~`` on a Python bool
+        # is integer complement (``~False == -1``), which silently
+        # turns downstream masks into int64 lanes.
+        const = _np.int64(op.value)
+
+        def fetch_const(env):
+            return const, _np.False_
+        return fetch_const
+    if isinstance(op, (PoisonValue, UndefValue)):
+        # Eligible configs have no undef, so an undef constant executes
+        # as poison (the Section 4 migration story — exactly what the
+        # scalar interpreter does when config.has_undef is False).
+        def fetch_poison(env):
+            return _np.int64(0), _np.True_
+        return fetch_poison
+
+    def fetch_reg(env):
+        return env[op]
+    return fetch_reg
+
+
+class _PathProgram:
+    """One acyclic entry→exit path, compiled to closures."""
+
+    __slots__ = ("steps", "ret_fetch", "unreachable")
+
+    def __init__(self):
+        #: ``step(env, state) -> None`` closures, in execution order.
+        self.steps: List[Callable] = []
+        #: fetch for the returned value; None for ``ret void`` paths.
+        self.ret_fetch: Optional[Callable] = None
+        #: path ends at ``unreachable`` (active lanes are UB).
+        self.unreachable = False
+
+
+class VectorPlan:
+    """A function lowered for one semantics configuration.
+
+    ``run`` executes one freeze-choice combination over all lanes;
+    drivers enumerate :attr:`freeze_spaces` combinations and union the
+    per-lane outcomes.
+    """
+
+    __slots__ = ("fn", "config", "paths", "freeze_spaces", "ret_width",
+                 "max_path_steps")
+
+    def __init__(self, fn: Function, config: SemanticsConfig,
+                 max_choices: int = 24, fuel: int = 10_000):
+        _require_numpy()
+        self.fn = fn
+        self.config = config
+        _check_config(fn, config)
+        #: choice cardinality per freeze instruction, in block order.
+        self.freeze_spaces: List[int] = []
+        freeze_index: Dict[Instruction, int] = {}
+        for block in fn.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, FreezeInst):
+                    w = _int_width(inst.type, f"freeze {inst.ref()}")
+                    freeze_index[inst] = len(self.freeze_spaces)
+                    self.freeze_spaces.append(1 << w)
+        if len(self.freeze_spaces) > max_choices:
+            raise VectorIneligible(
+                "choice-points",
+                f"{len(self.freeze_spaces)} freeze choice points exceed "
+                f"max_choices={max_choices}")
+
+        self.ret_width = (None if fn.return_type.is_void
+                          else _int_width(fn.return_type, "return"))
+        for arg in fn.args:
+            _int_width(arg.type, f"argument {arg.ref()}")
+
+        block_paths = _enumerate_paths(fn)
+        self.paths = [_compile_path(p, config, freeze_index)
+                      for p in block_paths]
+        self.max_path_steps = max(
+            sum(len(b.instructions) - len(b.phis()) for b in p)
+            for p in block_paths
+        )
+        if self.max_path_steps >= fuel:
+            raise VectorIneligible(
+                "fuel", f"longest path needs {self.max_path_steps} steps "
+                        f"with fuel={fuel}")
+        NUM_PLANS_LOWERED.inc()
+
+    def run(self, arg_vals: Sequence, arg_pois: Sequence,
+            choices: Sequence[int]):
+        """Execute all lanes under one freeze-choice vector.
+
+        Returns ``(ret_val, ret_pois, ub)`` int64/bool/bool arrays; for
+        void functions ``ret_val``/``ret_pois`` are all-zero (every
+        non-UB lane observes the same ``ret void`` behavior).
+        """
+        np = _np
+        NUM_PLAN_RUNS.inc()
+        n = len(arg_vals[0]) if arg_vals else 1
+        base_env: Dict[Value, Tuple[object, object]] = {}
+        for arg, val, pois in zip(self.fn.args, arg_vals, arg_pois):
+            base_env[arg] = (val, pois)
+        ub = np.zeros(n, dtype=bool)
+        ret_val = np.zeros(n, dtype=np.int64)
+        ret_pois = np.zeros(n, dtype=bool)
+        covered = np.zeros(n, dtype=bool)
+        for path in self.paths:
+            env = dict(base_env)
+            env["__choices__"] = choices
+            state = _LaneState(np.ones(n, dtype=bool),
+                               np.zeros(n, dtype=bool))
+            for step in path.steps:
+                step(env, state)
+            ub |= state.ub
+            if path.unreachable:
+                ub |= state.active
+                continue
+            take = state.active
+            covered |= take
+            if path.ret_fetch is not None:
+                val, pois = path.ret_fetch(env)
+                ret_val = np.where(take, val, ret_val)
+                ret_pois = np.where(take, pois, ret_pois)
+            else:
+                covered |= take
+        if not bool(np.all(covered | ub)):
+            # Every lane must either conclude on some path or be UB; a
+            # gap means the lowering missed a control-flow case.  Fall
+            # back rather than risk a wrong verdict.
+            raise VectorIneligible(
+                "lane-coverage",
+                f"lowering left lanes of @{self.fn.name} unassigned")
+        return ret_val, ret_pois, ub
+
+
+def _check_config(fn: Function, config: SemanticsConfig) -> None:
+    if config.has_undef:
+        raise VectorIneligible(
+            "config-undef",
+            f"config {config.name!r} has undef values (per-use "
+            f"expansion is not lane-parallel)")
+    module = fn.module
+    if module is not None and module.globals:
+        raise VectorIneligible(
+            "globals", "module has global variables (memory observables)")
+
+
+def _enumerate_paths(fn: Function) -> List[List[BasicBlock]]:
+    """All acyclic entry→exit block sequences, or raise."""
+    paths: List[List[BasicBlock]] = []
+    stack: List[Tuple[BasicBlock, List[BasicBlock]]] = [(fn.entry, [])]
+    while stack:
+        block, prefix = stack.pop()
+        if block in prefix:
+            raise VectorIneligible("cfg-loop",
+                                   f"@{fn.name} has a CFG cycle through "
+                                   f"%{block.name}")
+        path = prefix + [block]
+        term = block.instructions[-1] if block.instructions else None
+        if isinstance(term, (ReturnInst, UnreachableInst)):
+            paths.append(path)
+            if len(paths) > MAX_PATHS:
+                raise VectorIneligible(
+                    "paths", f"@{fn.name} has more than {MAX_PATHS} "
+                             f"acyclic paths")
+            continue
+        if isinstance(term, BranchInst):
+            for succ in term.successors():
+                stack.append((succ, path))
+            continue
+        raise VectorIneligible(
+            "terminator",
+            f"unsupported terminator {term.opcode.value if term else '?'}")
+    return paths
+
+
+def _compile_path(blocks: List[BasicBlock], config: SemanticsConfig,
+                  freeze_index: Dict[Instruction, int]) -> _PathProgram:
+    program = _PathProgram()
+    for i, block in enumerate(blocks):
+        pred = blocks[i - 1] if i else None
+        phis = block.phis()
+        if phis:
+            if pred is None:
+                raise VectorIneligible("phi-entry", "phi in entry block")
+            fetches = []
+            for phi in phis:
+                incoming = phi.incoming_for_block(pred)
+                if incoming is None:
+                    raise VectorIneligible(
+                        "phi-incoming",
+                        f"phi {phi.ref()} has no incoming from "
+                        f"%{pred.name}")
+                _int_width(phi.type, f"phi {phi.ref()}")
+                fetches.append((phi, _compile_fetch(incoming, config)))
+
+            def run_phis(env, state, fetches=tuple(fetches)):
+                # simultaneous reads: fetch everything before assigning
+                staged = [(phi, fetch(env)) for phi, fetch in fetches]
+                for phi, lanes in staged:
+                    env[phi] = lanes
+            program.steps.append(run_phis)
+
+        for inst in block.instructions[len(phis):]:
+            if inst.is_terminator:
+                _compile_path_terminator(inst, blocks, i, config, program)
+                break
+            program.steps.append(
+                _compile_vector_instruction(inst, config, freeze_index))
+    return program
+
+
+def _compile_path_terminator(inst: Instruction, blocks: List[BasicBlock],
+                             i: int, config: SemanticsConfig,
+                             program: _PathProgram) -> None:
+    if isinstance(inst, ReturnInst):
+        if inst.value is not None:
+            program.ret_fetch = _compile_fetch(inst.value, config)
+        return
+    if isinstance(inst, UnreachableInst):
+        program.unreachable = True
+        return
+    if isinstance(inst, BranchInst):
+        if not inst.is_conditional:
+            return  # unconditional: no mask refinement
+        if config.branch_on_poison is not BranchOnPoison.UB:
+            raise VectorIneligible(
+                "branch-nondet",
+                f"branch on poison is nondeterministic under "
+                f"config {config.name!r}")
+        taken = blocks[i + 1]
+        want_true = taken is inst.true_block
+        fetch_cond = _compile_fetch(inst.cond, config)
+
+        def take_edge(env, state, fetch=fetch_cond, want=want_true):
+            cval, cpois = fetch(env)
+            state.ub |= state.active & cpois
+            edge = (cval != 0) if want else (cval == 0)
+            state.active = state.active & ~cpois & edge
+        program.steps.append(take_edge)
+        return
+    raise VectorIneligible(
+        "terminator", f"unsupported terminator {inst.opcode.value}")
+
+
+def _compile_vector_instruction(inst: Instruction,
+                                config: SemanticsConfig,
+                                freeze_index: Dict[Instruction, int]):
+    if isinstance(inst, BinaryInst):
+        width = _int_width(inst.type, inst.ref())
+        kernel = vector_binop_kernel(
+            inst.opcode, width, config,
+            nsw=inst.nsw, nuw=inst.nuw, exact=inst.exact)
+        fetch_a = _compile_fetch(inst.lhs, config)
+        fetch_b = _compile_fetch(inst.rhs, config)
+
+        def run_binop(env, state):
+            aval, apois = fetch_a(env)
+            bval, bpois = fetch_b(env)
+            val, pois, ub = kernel(aval, apois, bval, bpois)
+            if ub is not None:
+                state.ub |= state.active & ub
+            env[inst] = (val, pois)
+        return run_binop
+
+    if isinstance(inst, IcmpInst):
+        width = _int_width(inst.lhs.type, inst.ref())
+        kernel = vector_icmp_kernel(inst.pred, width)
+        fetch_a = _compile_fetch(inst.lhs, config)
+        fetch_b = _compile_fetch(inst.rhs, config)
+
+        def run_icmp(env, state):
+            aval, apois = fetch_a(env)
+            bval, bpois = fetch_b(env)
+            val, pois, _ = kernel(aval, apois, bval, bpois)
+            env[inst] = (val, pois)
+        return run_icmp
+
+    if isinstance(inst, SelectInst):
+        return _compile_vector_select(inst, config)
+
+    if isinstance(inst, CastInst):
+        src_w = _int_width(inst.value.type, inst.ref())
+        dest_w = _int_width(inst.type, inst.ref())
+        kernel = vector_cast_kernel(inst.opcode, src_w, dest_w)
+        fetch = _compile_fetch(inst.value, config)
+
+        def run_cast(env, state):
+            aval, apois = fetch(env)
+            val, pois, _ = kernel(aval, apois)
+            env[inst] = (val, pois)
+        return run_cast
+
+    if isinstance(inst, FreezeInst):
+        index = freeze_index[inst]
+        fetch = _compile_fetch(inst.value, config)
+        np = _np
+
+        def run_freeze(env, state):
+            aval, apois = fetch(env)
+            chosen = env["__choices__"][index]
+            env[inst] = (np.where(apois, chosen, aval), np.False_)
+        return run_freeze
+
+    raise VectorIneligible(
+        "unsupported-op",
+        f"no vector lowering for {inst.opcode.value}")
+
+
+def _compile_vector_select(inst: SelectInst, config: SemanticsConfig):
+    mode = config.select_semantics
+    if mode is SelectSemantics.NONDET_COND:
+        raise VectorIneligible(
+            "select-nondet",
+            f"select on poison is nondeterministic under "
+            f"config {config.name!r}")
+    _int_width(inst.type, inst.ref())
+    fetch_c = _compile_fetch(inst.cond, config)
+    fetch_t = _compile_fetch(inst.true_value, config)
+    fetch_f = _compile_fetch(inst.false_value, config)
+    np = _np
+
+    def run_select(env, state):
+        cval, cpois = fetch_c(env)
+        tval, tpois = fetch_t(env)
+        fval, fpois = fetch_f(env)
+        pick_true = cval != 0
+        val = np.where(pick_true, tval, fval)
+        pois = np.where(pick_true, tpois, fpois)
+        if mode is SelectSemantics.ARITHMETIC:
+            # poison if cond or *either* arm is poison (Section 3.4's
+            # select -> or/and rewrites).
+            pois = cpois | tpois | fpois
+        elif mode is SelectSemantics.UB_COND:
+            state.ub |= state.active & cpois
+            pois = pois & ~cpois
+        else:  # CONDITIONAL (Figure 5): poison cond poisons the result
+            pois = pois | cpois
+        env[inst] = (np.where(pois, 0, val), pois)
+    return run_select
+
+
+def freeze_combinations(plan: VectorPlan,
+                        max_paths: int = 4096) -> List[Tuple[int, ...]]:
+    """Every freeze-choice vector the plan must be run under.
+
+    Raises :class:`VectorIneligible` when the cross product exceeds
+    either the engine cap or the scalar checker's ``max_paths`` budget
+    (past that budget the scalar oracle would declare the input
+    undecided, and the vector engine must not decide what the oracle
+    would not)."""
+    total = 1
+    for space in plan.freeze_spaces:
+        total *= space
+    if total > MAX_FREEZE_COMBOS or total > max_paths:
+        raise VectorIneligible(
+            "freeze-combos",
+            f"{total} freeze-choice combinations exceed the cap "
+            f"(engine {MAX_FREEZE_COMBOS}, max_paths {max_paths})")
+    return list(itertools.product(*[range(s) for s in plan.freeze_spaces]))

@@ -585,6 +585,8 @@ class ValidationService:
                 "inputs_checked": getattr(result, "inputs_checked", 0),
                 "reason": getattr(result, "reason", "") or "",
             }
+            if getattr(result, "sampled", False):
+                out["sampled"] = True
             cex = getattr(result, "counterexample", None)
             if cex is not None:
                 out["counterexample"] = (
@@ -655,6 +657,10 @@ def _refine_chunk(index: int, outcome: dict) -> Dict[str, Any]:
         "cached": outcome.get("status") == "memo-replay",
         "inputs_checked": outcome.get("inputs_checked", 0),
     }
+    if outcome.get("sampled"):
+        # a sampled "verified" is evidence, not an exhaustive proof —
+        # the distinction must survive into streamed verdicts
+        item["sampled"] = True
     if outcome.get("status") == "crashed":
         item["crash"] = outcome.get("crash")
     if outcome.get("counterexample") is not None:

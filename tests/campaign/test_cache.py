@@ -85,6 +85,30 @@ class TestCampaignInvariance:
         assert SPEC.with_(shard_size=64).memo_context() == base
         assert SPEC.with_(limit=10).memo_context() == base
 
+    def test_context_separates_verdict_shaping_knobs(self):
+        """Audit fix: ``sample_inputs`` changes what "verified" means
+        and ``engine`` changes who computed it; replaying across either
+        flip would launder a sampled or vector verdict into a different
+        spec's cache."""
+        base = SPEC.memo_context()
+        assert SPEC.with_(sample_inputs=50).memo_context() != base
+        assert SPEC.with_(engine="scalar").memo_context() != base
+        assert SPEC.with_(engine="vector").memo_context() != base
+        assert (SPEC.with_(engine="scalar").memo_context()
+                != SPEC.with_(engine="vector").memo_context())
+        # cross_check is not a context key — it never changes verdicts,
+        # it only audits them — but it disables the memo outright so
+        # both engines really run.
+        assert SPEC.with_(cross_check=True).memo_context() == base
+        assert not SPEC.with_(cross_check=True).memo_enabled()
+
+    def test_sampled_verdicts_replay_as_sampled(self):
+        """Bugfix: a sampled pass must round-trip the memo as
+        "verified-sampled", never as a plain exhaustive "verified"."""
+        memo = RefinementMemo("ctx")
+        memo.record("h1", "verified-sampled")
+        assert memo.lookup("h1") == "verified-sampled"
+
 
 class TestMemoMatchesFreshCheck:
     @_FAST

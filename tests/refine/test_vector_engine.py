@@ -1,0 +1,220 @@
+"""Engine dispatch, eligibility boundaries, and the two verdict bugfixes.
+
+The vector engine is an optimization, never an authority: on every
+shape it cannot lower it must fall back to the scalar interpreter with
+an identical verdict, and on every shape it can, ``cross_check`` holds
+the two engines to byte-identical results.
+"""
+
+import pytest
+
+from repro.diag import stats_snapshot
+from repro.ir import parse_function
+from repro.refine import CheckOptions, CrossCheckMismatch, check_refinement
+from repro.refine.exhaustive import RefinementResult, check_equivalence
+from repro.semantics import NEW, OLD, numpy_available
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy not installed ([vector] extra)")
+
+STRAIGHT_SRC = """
+define i4 @f(i4 %x, i4 %y) {
+entry:
+  %a = add i4 %x, %y
+  %m = mul i4 %a, 2
+  ret i4 %m
+}
+"""
+# mul 2 -> shl 1: a sound strength reduction.
+STRAIGHT_TGT = """
+define i4 @f(i4 %x, i4 %y) {
+entry:
+  %a = add i4 %x, %y
+  %m = shl i4 %a, 1
+  ret i4 %m
+}
+"""
+# add nsw -> add drops no information, but the reverse direction
+# *introduces* poison: a refinement failure with a counterexample.
+NSW_SRC = """
+define i4 @f(i4 %x) {
+entry:
+  %r = add i4 %x, 1
+  ret i4 %r
+}
+"""
+NSW_TGT = """
+define i4 @f(i4 %x) {
+entry:
+  %r = add nsw i4 %x, 1
+  ret i4 %r
+}
+"""
+LOOP_FN = """
+define i4 @f(i4 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i4 [ 0, %entry ], [ %i1, %head ]
+  %i1 = add i4 %i, 1
+  %c = icmp ult i4 %i1, %n
+  br i1 %c, label %head, label %exit
+exit:
+  ret i4 %i1
+}
+"""
+
+
+def _refine_stat(name):
+    return stats_snapshot().get("refine", {}).get(name, 0)
+
+
+def _key(result):
+    return (result.verdict, str(result), result.reason,
+            result.inputs_checked, result.sampled)
+
+
+def _check(src, tgt, engine, config=NEW, **kwargs):
+    return check_refinement(parse_function(src), parse_function(tgt),
+                            config, options=CheckOptions(engine=engine,
+                                                         **kwargs))
+
+
+class TestDispatch:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown refinement engine"):
+            _check(STRAIGHT_SRC, STRAIGHT_TGT, "warp-drive")
+
+    def test_scalar_engine_never_touches_vector(self):
+        before = _refine_stat("num-vector-checks")
+        result = _check(STRAIGHT_SRC, STRAIGHT_TGT, "scalar")
+        assert result.ok
+        assert _refine_stat("num-vector-checks") == before
+
+    @requires_numpy
+    def test_vector_decides_and_matches_scalar(self):
+        before = _refine_stat("num-vector-checks")
+        vec = _check(STRAIGHT_SRC, STRAIGHT_TGT, "vector")
+        assert _refine_stat("num-vector-checks") == before + 1
+        assert _key(vec) == _key(_check(STRAIGHT_SRC, STRAIGHT_TGT,
+                                        "scalar"))
+        assert vec.ok and vec.inputs_checked == 17 * 17
+
+    @requires_numpy
+    def test_counterexamples_byte_identical(self):
+        vec = _check(NSW_SRC, NSW_TGT, "vector")
+        sca = _check(NSW_SRC, NSW_TGT, "scalar")
+        assert vec.failed and sca.failed
+        # str() renders the counterexample; inputs_checked tells how
+        # far enumeration got.  All of it must match the oracle.
+        assert _key(vec) == _key(sca)
+
+    @requires_numpy
+    def test_cross_check_passes_when_engines_agree(self):
+        before = _refine_stat("num-cross-checks")
+        result = _check(STRAIGHT_SRC, STRAIGHT_TGT, "auto",
+                        cross_check=True)
+        assert result.ok
+        assert _refine_stat("num-cross-checks") == before + 1
+
+    def test_cross_check_mismatch_is_a_runtime_error(self):
+        # The exception type is part of the campaign contract (the
+        # worker books it as a crash, not a verdict).
+        assert issubclass(CrossCheckMismatch, RuntimeError)
+
+
+class TestEligibilityBoundary:
+    @requires_numpy
+    def test_loop_falls_back_to_scalar_identically(self):
+        before = _refine_stat("num-vector-fallbacks")
+        vec = _check(LOOP_FN, LOOP_FN, "vector")
+        assert _refine_stat("num-vector-fallbacks") == before + 1
+        assert _refine_stat("num-vector-ineligible-cfg-loop") >= 1
+        assert _key(vec) == _key(_check(LOOP_FN, LOOP_FN, "scalar"))
+
+    @requires_numpy
+    def test_undef_config_falls_back(self):
+        # OLD has undef: not lane-representable.
+        vec = _check(STRAIGHT_SRC, STRAIGHT_TGT, "vector", config=OLD)
+        assert _key(vec) == _key(_check(STRAIGHT_SRC, STRAIGHT_TGT,
+                                        "scalar", config=OLD))
+
+    @requires_numpy
+    def test_large_input_space_falls_back(self):
+        vec = _check(STRAIGHT_SRC, STRAIGHT_TGT, "vector", max_inputs=10)
+        sca = _check(STRAIGHT_SRC, STRAIGHT_TGT, "scalar", max_inputs=10)
+        assert vec.verdict == "inconclusive"
+        assert _key(vec) == _key(sca)
+
+    def test_numpy_absence_is_a_clean_fallback(self, monkeypatch):
+        # Simulate the no-numpy install: the auto engine must degrade
+        # to scalar without error (this is the [vector]-less CI leg).
+        import repro.semantics.vector as vector_mod
+        monkeypatch.setattr(vector_mod, "_np", None)
+        assert not vector_mod.numpy_available()
+        result = _check(STRAIGHT_SRC, STRAIGHT_TGT, "auto")
+        assert result.ok
+        result = _check(STRAIGHT_SRC, STRAIGHT_TGT, "vector")
+        assert result.ok
+
+
+class TestSampledVerdictRendering:
+    """Bugfix: the ok-path ``__str__`` dropped ``reason``, so sampled
+    passes printed exactly like exhaustive proofs."""
+
+    def test_sampled_str_and_flag(self):
+        src = parse_function("""
+define i8 @f(i8 %a, i8 %b) {
+entry:
+  %r = add i8 %a, %b
+  ret i8 %r
+}
+""")
+        result = check_refinement(
+            src, src, NEW,
+            options=CheckOptions(max_inputs=100, sample_inputs=50))
+        assert result.ok
+        assert result.sampled
+        assert str(result) == "verified (sampled 50 of 66049 inputs)"
+
+    def test_exhaustive_str_unchanged(self):
+        result = _check(STRAIGHT_SRC, STRAIGHT_TGT, "scalar")
+        assert not result.sampled
+        assert str(result) == "verified (289 inputs)"
+
+    def test_sampled_default_false(self):
+        assert RefinementResult("verified").sampled is False
+
+
+class TestCrossSemanticsEquivalence:
+    """Bugfix: ``check_equivalence`` hardcoded one config for both
+    directions, so OLD-vs-NEW equivalence crashed feeding undef inputs
+    to a NEW-semantics interpreter."""
+
+    SRC = """
+define i4 @f(i4 %x) {
+entry:
+  %r = add i4 %x, 0
+  ret i4 %r
+}
+"""
+
+    def test_cross_config_does_not_crash(self):
+        a = parse_function(self.SRC)
+        b = parse_function(self.SRC)
+        fwd, rev = check_equivalence(a, b, OLD, tgt_config=NEW)
+        assert fwd.ok and rev.ok
+
+    def test_reverse_direction_swaps_configs(self):
+        # x and freeze(x) are equivalent only when x cannot be undef:
+        # OLD->NEW holds forward but the NEW->OLD reverse is the
+        # direction that must be checked under OLD source semantics.
+        a = parse_function(self.SRC)
+        b = parse_function(self.SRC)
+        fwd, rev = check_equivalence(a, b, NEW, tgt_config=OLD)
+        assert fwd.verdict == rev.verdict == "verified"
+
+    def test_same_config_default_unchanged(self):
+        a = parse_function(self.SRC)
+        fwd, rev = check_equivalence(a, parse_function(self.SRC), NEW)
+        assert fwd.ok and rev.ok

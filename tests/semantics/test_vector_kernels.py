@@ -1,0 +1,245 @@
+"""Differential tests: numpy lane kernels vs. the scalar evaluator.
+
+Every vector kernel must agree element-wise with *both* the generic
+``eval_*`` functions and the per-instruction specializers they mirror
+(``binop_evaluator`` & co.), over random widths, flags, and poison
+lanes.  The scalar side is the oracle; the outcome correspondence is
+
+* ``UBError`` raised        <-> the kernel's ub lane is set,
+* ``POISON`` returned       <-> the poison lane is set,
+* a concrete value returned <-> equal value lanes.
+
+The whole module skips when numpy is absent (the scalar engine is the
+only one in play on that CI leg).
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.instructions import IcmpPred, Opcode
+from repro.semantics import NEW, OLD, POISON
+from repro.semantics.eval import (
+    UBError,
+    binop_evaluator,
+    cast_evaluator,
+    eval_binop,
+    eval_cast,
+    eval_icmp,
+    icmp_evaluator,
+)
+from repro.semantics.vector import (
+    MAX_WIDTH,
+    VectorIneligible,
+    vector_binop_kernel,
+    vector_cast_kernel,
+    vector_icmp_kernel,
+)
+
+np = pytest.importorskip("numpy")
+
+BINOPS = [
+    Opcode.ADD, Opcode.SUB, Opcode.MUL,
+    Opcode.UDIV, Opcode.SDIV, Opcode.UREM, Opcode.SREM,
+    Opcode.SHL, Opcode.LSHR, Opcode.ASHR,
+    Opcode.AND, Opcode.OR, Opcode.XOR,
+]
+#: opcodes where nsw/nuw are meaningful
+WRAP_FLAG_OPS = (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.SHL)
+#: opcodes where exact is meaningful
+EXACT_OPS = (Opcode.UDIV, Opcode.SDIV, Opcode.LSHR, Opcode.ASHR)
+
+
+def _lane_arrays(lanes):
+    """(aval, apois, bval, bpois) tuples -> numpy lane arrays."""
+    aval = np.array([a for a, _, _, _ in lanes], dtype=np.int64)
+    apois = np.array([ap for _, ap, _, _ in lanes], dtype=bool)
+    bval = np.array([b for _, _, b, _ in lanes], dtype=np.int64)
+    bpois = np.array([bp for _, _, _, bp in lanes], dtype=bool)
+    return aval, apois, bval, bpois
+
+
+def _scalar_outcome(fn, *args):
+    """Run a scalar evaluator, normalizing to an outcome tag."""
+    try:
+        result = fn(*args)
+    except UBError:
+        return ("ub", None)
+    if result is POISON:
+        return ("poison", None)
+    return ("val", int(result))
+
+
+def _kernel_outcome(val, pois, ub, i):
+    if ub is not None and bool(ub[i]):
+        return ("ub", None)
+    if bool(pois[i]):
+        return ("poison", None)
+    return ("val", int(val[i]))
+
+
+def _assert_lane_invariants(val, pois, ub, width):
+    """Value lanes stay masked into [0, 2^w) and zeroed under
+    poison/UB — the plan layer relies on bounded garbage."""
+    mask = (1 << width) - 1
+    assert bool(np.all((val >= 0) & (val <= mask)))
+    dead = pois if ub is None else (pois | ub)
+    assert bool(np.all(val[dead] == 0))
+
+
+def _check_binop_lanes(opcode, width, lanes, nsw, nuw, exact):
+    kernel = vector_binop_kernel(opcode, width, NEW,
+                                 nsw=nsw, nuw=nuw, exact=exact)
+    specialized = binop_evaluator(opcode, width, NEW,
+                                  nsw=nsw, nuw=nuw, exact=exact)
+    aval, apois, bval, bpois = _lane_arrays(lanes)
+    val, pois, ub = kernel(aval, apois, bval, bpois)
+    val, pois = np.broadcast_to(val, aval.shape), np.broadcast_to(
+        pois, aval.shape)
+    if ub is not None:
+        ub = np.broadcast_to(ub, aval.shape)
+    _assert_lane_invariants(val, pois, ub, width)
+    for i, (a, ap, b, bp) in enumerate(lanes):
+        sa = POISON if ap else a
+        sb = POISON if bp else b
+        want_generic = _scalar_outcome(
+            eval_binop, opcode, sa, sb, width, NEW, nsw, nuw, exact)
+        want_special = _scalar_outcome(specialized, sa, sb)
+        got = _kernel_outcome(val, pois, ub, i)
+        context = (f"{opcode.value} w={width} nsw={nsw} nuw={nuw} "
+                   f"exact={exact} lane {i}: a={sa} b={sb}")
+        assert want_generic == want_special, context
+        assert got == want_generic, context
+
+
+@st.composite
+def binop_cases(draw):
+    opcode = draw(st.sampled_from(BINOPS))
+    width = draw(st.integers(1, MAX_WIDTH))
+    nsw = nuw = exact = False
+    if opcode in WRAP_FLAG_OPS:
+        nsw = draw(st.booleans())
+        nuw = draw(st.booleans())
+    if opcode in EXACT_OPS:
+        exact = draw(st.booleans())
+    maxu = (1 << width) - 1
+    lanes = draw(st.lists(
+        st.tuples(st.integers(0, maxu), st.booleans(),
+                  st.integers(0, maxu), st.booleans()),
+        min_size=1, max_size=24))
+    return opcode, width, lanes, nsw, nuw, exact
+
+
+class TestBinopKernels:
+    @given(binop_cases())
+    def test_matches_scalar_evaluators(self, case):
+        _check_binop_lanes(*case)
+
+    @pytest.mark.parametrize("opcode", BINOPS)
+    def test_exhaustive_small_width(self, opcode):
+        """Every (a, b) pair over i2 including poison lanes, under
+        every meaningful flag combination."""
+        width = 2
+        flag_sets = [(False, False, False)]
+        if opcode in WRAP_FLAG_OPS:
+            flag_sets += [(True, False, False), (False, True, False),
+                          (True, True, False)]
+        if opcode in EXACT_OPS:
+            flag_sets += [(False, False, True)]
+        candidates = [(v, False) for v in range(4)] + [(0, True)]
+        lanes = [(a, ap, b, bp)
+                 for a, ap in candidates for b, bp in candidates]
+        for nsw, nuw, exact in flag_sets:
+            _check_binop_lanes(opcode, width, lanes, nsw, nuw, exact)
+
+    @pytest.mark.parametrize("opcode", [Opcode.SHL, Opcode.LSHR,
+                                        Opcode.ASHR])
+    def test_shift_under_undef_config_is_ineligible(self, opcode):
+        # OLD's out-of-range shifts produce undef, which the lane
+        # model cannot represent — the kernel must refuse, not guess.
+        with pytest.raises(VectorIneligible) as exc:
+            vector_binop_kernel(opcode, 4, OLD)
+        assert exc.value.reason == "shift-oob-undef"
+
+
+class TestIcmpKernels:
+    @given(st.sampled_from(list(IcmpPred)),
+           st.integers(1, MAX_WIDTH),
+           st.data())
+    def test_matches_scalar_evaluators(self, pred, width, data):
+        maxu = (1 << width) - 1
+        lanes = data.draw(st.lists(
+            st.tuples(st.integers(0, maxu), st.booleans(),
+                      st.integers(0, maxu), st.booleans()),
+            min_size=1, max_size=24))
+        kernel = vector_icmp_kernel(pred, width)
+        specialized = icmp_evaluator(pred, width)
+        aval, apois, bval, bpois = _lane_arrays(lanes)
+        val, pois, ub = kernel(aval, apois, bval, bpois)
+        assert ub is None
+        _assert_lane_invariants(val, pois, None, 1)
+        for i, (a, ap, b, bp) in enumerate(lanes):
+            sa = POISON if ap else a
+            sb = POISON if bp else b
+            want = _scalar_outcome(eval_icmp, pred, sa, sb, width)
+            assert _scalar_outcome(specialized, sa, sb) == want
+            assert _kernel_outcome(val, pois, None, i) == want, \
+                f"{pred.value} w={width} lane {i}: a={sa} b={sb}"
+
+    def test_exhaustive_small_width(self):
+        width = 3
+        candidates = [(v, False) for v in range(8)] + [(0, True)]
+        lanes = [(a, ap, b, bp)
+                 for a, ap in candidates for b, bp in candidates]
+        aval, apois, bval, bpois = _lane_arrays(lanes)
+        for pred in IcmpPred:
+            val, pois, _ = vector_icmp_kernel(pred, width)(
+                aval, apois, bval, bpois)
+            for i, (a, ap, b, bp) in enumerate(lanes):
+                sa = POISON if ap else a
+                sb = POISON if bp else b
+                want = _scalar_outcome(eval_icmp, pred, sa, sb, width)
+                assert _kernel_outcome(val, pois, None, i) == want
+
+
+CAST_OPS = [Opcode.ZEXT, Opcode.SEXT, Opcode.TRUNC]
+
+
+@st.composite
+def cast_cases(draw):
+    opcode = draw(st.sampled_from(CAST_OPS))
+    if opcode is Opcode.TRUNC:
+        src_w = draw(st.integers(2, MAX_WIDTH))
+        dest_w = draw(st.integers(1, src_w - 1))
+    else:
+        dest_w = draw(st.integers(2, MAX_WIDTH))
+        src_w = draw(st.integers(1, dest_w - 1))
+    maxu = (1 << src_w) - 1
+    lanes = draw(st.lists(
+        st.tuples(st.integers(0, maxu), st.booleans()),
+        min_size=1, max_size=24))
+    return opcode, src_w, dest_w, lanes
+
+
+class TestCastKernels:
+    @given(cast_cases())
+    def test_matches_scalar_evaluators(self, case):
+        opcode, src_w, dest_w, lanes = case
+        kernel = vector_cast_kernel(opcode, src_w, dest_w)
+        specialized = cast_evaluator(opcode, src_w, dest_w)
+        aval = np.array([a for a, _ in lanes], dtype=np.int64)
+        apois = np.array([ap for _, ap in lanes], dtype=bool)
+        val, pois, ub = kernel(aval, apois)
+        assert ub is None
+        _assert_lane_invariants(val, pois, None, dest_w)
+        for i, (a, ap) in enumerate(lanes):
+            sa = POISON if ap else a
+            want = _scalar_outcome(eval_cast, opcode, sa, src_w, dest_w)
+            assert _scalar_outcome(specialized, sa) == want
+            assert _kernel_outcome(val, pois, None, i) == want, \
+                (f"{opcode.value} i{src_w}->i{dest_w} lane {i}: "
+                 f"a={sa}")
+
+    def test_pointer_casts_are_ineligible(self):
+        with pytest.raises(VectorIneligible) as exc:
+            vector_cast_kernel(Opcode.PTRTOINT, 4, 8)
+        assert exc.value.reason == "unsupported-op"

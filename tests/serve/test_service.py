@@ -238,6 +238,37 @@ class TestRefine:
 
         serve(scenario)
 
+    def test_pair_sampled_verdict_is_flagged(self):
+        # SRC's input space is 17 x 17 = 289; capping max_inputs below
+        # that with sampling on must mark the verdict, not dress the
+        # sample up as an exhaustive proof.
+        async def scenario(service):
+            _, done = await call(service, "refine",
+                                 {"source": SRC, "target": SRC,
+                                  "spec": {"max_inputs": 100,
+                                           "sample_inputs": 5}})
+            assert done["verdict"] == "verified"
+            assert done["sampled"] is True
+            assert done["inputs_checked"] == 5
+            # the exhaustive path never carries the flag
+            _, full = await call(service, "refine",
+                                 {"source": SRC, "target": SRC})
+            assert "sampled" not in full
+
+        serve(scenario)
+
+    def test_batch_sampled_verdicts_flagged_in_chunks(self):
+        async def scenario(service):
+            chunks, _ = await call(service, "refine",
+                                   {"functions": [SRC],
+                                    "max_inputs": 100,
+                                    "sample_inputs": 5,
+                                    "pipeline": "quick", "fuel": 300})
+            assert chunks[0]["verdict"] == "verified"
+            assert chunks[0]["sampled"] is True
+
+        serve(scenario)
+
 
 class TestCampaign:
     SPEC = {"mode": "random", "count": 8, "num_instructions": 1,
