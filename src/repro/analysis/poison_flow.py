@@ -266,6 +266,21 @@ class PoisonFlowResult:
         for vid, fact in self._facts.items():
             yield self._pinned[vid], fact
 
+    def generated_origin_sites(self):
+        """Iterate ``(value, fact)`` over defs whose poison is traceable
+        to a producer inside the function (a flagged op, an out-of-range
+        shift) or a ``poison``/``undef`` literal.
+
+        This is the mutation surface the adversarial lint-attack
+        campaign perturbs: every such site is a place where a mutator
+        can plausibly flip a rule's verdict, and every origin-gated rule
+        fires only on these sites."""
+        wanted = (ORIGIN_GENERATED, ORIGIN_LITERAL)
+        for vid, fact in self._facts.items():
+            if fact.may_be_poison and any(kind in wanted
+                                          for kind, _ in fact.origins):
+                yield self._pinned[vid], fact
+
 
 def constant_fact(value: Value, semantics: SemanticsConfig) -> PoisonFact:
     """Fact for a non-instruction operand."""

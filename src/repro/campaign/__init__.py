@@ -9,7 +9,13 @@ with the observability layer.
 """
 
 from .canon import DedupCache, canonical_function, canonical_hash, canonical_text
-from .checkpoint import CheckpointStore, load_manifest, save_manifest
+from .checkpoint import (
+    CheckpointStore,
+    load_manifest,
+    load_manifest_payload,
+    manifest_kind,
+    save_manifest,
+)
 from .cli import campaign_main
 from .executor import (
     CampaignRunner,
@@ -17,6 +23,16 @@ from .executor import (
     ShardExecutor,
     merge_worker_stats,
     run_campaign,
+)
+from .lint_attack import (
+    AttackRunner,
+    AttackSpec,
+    AttackSummary,
+    aggregate_attack_records,
+    plan_attack_shards,
+    render_attack_report,
+    run_attack,
+    run_attack_shard,
 )
 from .reduce import (
     ReductionResult,
@@ -31,13 +47,16 @@ from .supervisor import SupervisorPolicy, WorkerSupervisor
 from .worker import run_shard
 
 __all__ = [
+    "AttackRunner", "AttackSpec", "AttackSummary",
     "CampaignRunner", "CampaignSpec", "CampaignSummary", "CheckpointStore",
     "DedupCache", "ReductionResult", "Shard", "ShardExecutor",
     "SupervisorPolicy", "WorkerSupervisor",
-    "aggregate_records", "merge_worker_stats",
+    "aggregate_attack_records", "aggregate_records", "merge_worker_stats",
     "build_diag", "campaign_main", "canonical_function", "canonical_hash",
     "canonical_text", "iter_shard_functions", "load_manifest",
-    "make_failure_oracle", "plan_shards", "reduce_counterexamples",
-    "reduce_failure", "render_report", "run_campaign", "run_shard",
+    "load_manifest_payload", "make_failure_oracle", "manifest_kind",
+    "plan_attack_shards", "plan_shards", "reduce_counterexamples",
+    "reduce_failure", "render_attack_report", "render_report",
+    "run_attack", "run_attack_shard", "run_campaign", "run_shard",
     "save_manifest", "shard_stream_seed",
 ]

@@ -121,8 +121,23 @@ def save_manifest(out_dir: str, spec: CampaignSpec,
     return path
 
 
-def load_manifest(out_dir: str) -> Tuple[CampaignSpec, dict]:
+def load_manifest_payload(out_dir: str) -> dict:
+    """The raw manifest dict; callers dispatch on ``payload["kind"]``
+    before committing to a spec class (refine campaigns predate the
+    tag, so a missing kind means refine)."""
     path = os.path.join(out_dir, MANIFEST_NAME)
     with open(path, encoding="utf-8") as f:
-        payload = json.load(f)
+        return json.load(f)
+
+
+def manifest_kind(out_dir: str) -> str:
+    return load_manifest_payload(out_dir).get("kind", "refine")
+
+
+def load_manifest(out_dir: str) -> Tuple[CampaignSpec, dict]:
+    payload = load_manifest_payload(out_dir)
+    kind = payload.get("kind", "refine")
+    if kind != "refine":
+        raise ValueError(
+            f"manifest in {out_dir} is a {kind!r} campaign, not refine")
     return CampaignSpec.from_dict(payload["spec"]), payload

@@ -22,7 +22,12 @@ import json
 import sys
 from typing import List, Optional
 
-from .checkpoint import CheckpointStore, load_manifest
+from .checkpoint import (
+    CheckpointStore,
+    load_manifest,
+    load_manifest_payload,
+    manifest_kind,
+)
 from .executor import CampaignRunner
 from .report import aggregate_records, render_report
 from .reduce import reduce_counterexamples
@@ -188,6 +193,63 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default: <out>/lint-audit-bundles)")
     audit.add_argument("--out", default=DEFAULT_OUT)
     audit.add_argument("--json", action="store_true")
+
+    attack = sub.add_parser(
+        "lint-attack",
+        help="fuzz the lint engine and poison-flow analyzer with "
+             "semantics-aware mutators, scoring every fired/silent "
+             "verdict against exact behavior enumeration")
+    attack.add_argument("--width", type=int, default=2)
+    attack.add_argument("--instructions", type=int, default=2)
+    attack.add_argument("--num-args", type=int, default=2,
+                        dest="num_args")
+    attack.add_argument("--opcodes", default="",
+                        help="comma-separated opcode names (default: "
+                             "the small enumeration set)")
+    attack.add_argument("--include-flags", action="store_true",
+                        dest="include_flags", default=True)
+    attack.add_argument("--no-flags", action="store_false",
+                        dest="include_flags")
+    attack.add_argument("--no-deferred", action="store_false",
+                        dest="include_deferred",
+                        help="exclude undef/poison literals from "
+                             "operand pools")
+    attack.add_argument("--limit", type=int, default=32,
+                        help="seed functions to attack (default: 32)")
+    attack.add_argument("--start", type=int, default=0)
+    attack.add_argument("--stride", type=int, default=0,
+                        help="sample every Nth corpus index; 0 picks a "
+                             "stride spreading --limit over the whole "
+                             "space (default)")
+    attack.add_argument("--mutators", default="",
+                        help="comma-separated mutator names "
+                             "(default: all; see --list-mutators)")
+    attack.add_argument("--rules", default="",
+                        help="comma-separated lint rule IDs to score "
+                             "(default: all)")
+    attack.add_argument("--shard-size", type=int, default=8,
+                        dest="shard_size",
+                        help="seed functions per shard (default: 8)")
+    attack.add_argument("--max-inputs", type=int, default=4096,
+                        dest="max_inputs",
+                        help="oracle input-combination budget per mutant")
+    attack.add_argument("--max-paths", type=int, default=512,
+                        dest="max_paths")
+    attack.add_argument("--fuel", type=int, default=4000)
+    attack.add_argument("--list-mutators", action="store_true",
+                        dest="list_mutators",
+                        help="print the mutator library and exit")
+    attack.add_argument("--out", default=DEFAULT_OUT,
+                        help=f"campaign directory (default: "
+                             f"{DEFAULT_OUT})")
+    attack.add_argument("--workers", type=int, default=1)
+    attack.add_argument("--shard-timeout", type=float, default=None,
+                        dest="shard_timeout")
+    attack.add_argument("--stop-after", type=int, default=None,
+                        dest="stop_after",
+                        help="stop after N completed shards (graceful "
+                             "interrupt; resume finishes the rest)")
+    attack.add_argument("--json", action="store_true")
     return parser
 
 
@@ -305,6 +367,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_resume(args: argparse.Namespace) -> int:
     try:
+        if manifest_kind(args.out) == "lint-attack":
+            return _resume_attack(args)
         spec, _ = load_manifest(args.out)
     except FileNotFoundError:
         print(f"error: no campaign manifest under {args.out!r} "
@@ -323,6 +387,12 @@ def _cmd_resume(args: argparse.Namespace) -> int:
 
 def _cmd_reduce(args: argparse.Namespace) -> int:
     try:
+        if manifest_kind(args.out) == "lint-attack":
+            print("error: `campaign reduce` applies to refine "
+                  "campaigns; lint-attack disagreements are already "
+                  "reduced and bundled under <out>/crashes",
+                  file=sys.stderr)
+            return 1
         spec, _ = load_manifest(args.out)
     except FileNotFoundError:
         print(f"error: no campaign manifest under {args.out!r}",
@@ -355,6 +425,8 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     try:
+        if manifest_kind(args.out) == "lint-attack":
+            return _report_attack(args)
         spec, _ = load_manifest(args.out)
     except FileNotFoundError:
         print(f"error: no campaign manifest under {args.out!r}",
@@ -436,9 +508,106 @@ def _cmd_lint_audit(args: argparse.Namespace) -> int:
     return 1 if bad else 0
 
 
+def _attack_spec_from_args(args: argparse.Namespace):
+    from .lint_attack import AttackSpec
+
+    def csv(text):
+        return tuple(n.strip() for n in text.split(",") if n.strip())
+
+    spec = AttackSpec(
+        width=args.width,
+        num_instructions=args.instructions,
+        num_args=args.num_args,
+        opcodes=csv(args.opcodes),
+        include_flags=args.include_flags,
+        include_deferred=args.include_deferred,
+        limit=args.limit,
+        start=args.start,
+        stride=max(1, args.stride),
+        mutators=csv(args.mutators),
+        rules=csv(args.rules),
+        shard_size=args.shard_size,
+        max_inputs=args.max_inputs,
+        max_paths=args.max_paths,
+        fuel=args.fuel,
+    )
+    if args.stride <= 0:
+        total = spec.enumeration_size()
+        spec = spec.with_(
+            stride=max(1, total // max(1, args.limit)))
+    return spec
+
+
+def _print_attack_summary(summary, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(summary.as_dict(), indent=2, sort_keys=True))
+        return
+    from .lint_attack import render_attack_report
+
+    print(render_attack_report(summary.spec, summary.records))
+    if summary.bundle_paths:
+        print(f"  {len(summary.bundle_paths)} disagreement bundle(s) "
+              f"written; replay with `repro crash replay <bundle>`")
+
+
+def _cmd_lint_attack(args: argparse.Namespace) -> int:
+    from .lint_attack import AttackRunner
+
+    if args.list_mutators:
+        from ..mutate import MUTATORS, rules_attacked_by
+
+        for name in sorted(MUTATORS):
+            m = MUTATORS[name]
+            rules = ", ".join(rules_attacked_by(name)) or "-"
+            print(f"{name:<16} [{m.kind}] {m.description}")
+            print(f"{'':<16} attacks: {rules}")
+        return 0
+    try:
+        spec = _attack_spec_from_args(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    runner = AttackRunner(spec, out_dir=args.out, workers=args.workers,
+                          shard_timeout=args.shard_timeout)
+    summary = runner.run(stop_after=args.stop_after)
+    _print_attack_summary(summary, args.json)
+    return 1 if summary.shards_errored else 0
+
+
+def _resume_attack(args: argparse.Namespace) -> int:
+    from .lint_attack import AttackRunner, AttackSpec
+
+    payload = load_manifest_payload(args.out)
+    spec = AttackSpec.from_dict(payload["spec"])
+    runner = AttackRunner(spec, out_dir=args.out, workers=args.workers,
+                          shard_timeout=args.shard_timeout)
+    summary = runner.run(resume=True, stop_after=args.stop_after)
+    _print_attack_summary(summary, args.json)
+    return 1 if summary.shards_errored else 0
+
+
+def _report_attack(args: argparse.Namespace) -> int:
+    from .lint_attack import (
+        AttackSpec,
+        aggregate_attack_records,
+        render_attack_report,
+    )
+
+    payload = load_manifest_payload(args.out)
+    spec = AttackSpec.from_dict(payload["spec"])
+    records = CheckpointStore(args.out).load()
+    if args.json:
+        print(json.dumps(aggregate_attack_records(spec, records),
+                         indent=2, sort_keys=True))
+    else:
+        print(render_attack_report(spec, records))
+    return 0
+
+
 def campaign_main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {"run": _cmd_run, "resume": _cmd_resume,
                 "reduce": _cmd_reduce, "report": _cmd_report,
-                "lint-audit": _cmd_lint_audit}
+                "lint-audit": _cmd_lint_audit,
+                "lint-attack": _cmd_lint_attack}
     return handlers[args.command](args)

@@ -155,10 +155,22 @@ class CampaignSummary:
         }
 
 
-def _shard_entry(conn, spec_dict: dict, shard_dict: dict,
+def _resolve_work(kind: str):
+    """Map a work kind to ``(spec_from_dict, run_fn)``.
+
+    Lazy imports keep spawn-start children cheap and break the module
+    cycle with :mod:`.lint_attack` (which imports this executor)."""
+    if kind == "lint-attack":
+        from .lint_attack import AttackSpec, run_attack_shard
+        return AttackSpec.from_dict, run_attack_shard
+    return CampaignSpec.from_dict, run_shard
+
+
+def _shard_entry(conn, work: str, spec_dict: dict, shard_dict: dict,
                  known_hashes: Dict[str, str]) -> None:
     """Child-process entry: run one shard, report through the pipe."""
     shard = Shard.from_dict(shard_dict)
+    spec_from_dict, run_fn = _resolve_work(work)
     # Black box for this worker: if the shard dies catastrophically
     # (outside the worker's own per-function handling), its last
     # recorded moments still reach the errored-shard record.
@@ -166,8 +178,7 @@ def _shard_entry(conn, spec_dict: dict, shard_dict: dict,
     set_recorder(recorder)
     recorder.install()
     try:
-        record = run_shard(CampaignSpec.from_dict(spec_dict), shard,
-                           known_hashes)
+        record = run_fn(spec_from_dict(spec_dict), shard, known_hashes)
     except BaseException as e:  # report instead of dying silently
         record = _errored_record(shard, repr(e))
         record["flight_recorder"] = recorder.dump()
@@ -226,11 +237,14 @@ class ShardExecutor:
 
     def __init__(self, workers: int = 1,
                  shard_timeout: Optional[float] = None,
-                 supervisor: Optional[WorkerSupervisor] = "default"):
+                 supervisor: Optional[WorkerSupervisor] = "default",
+                 work: str = "refine"):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
         self.shard_timeout = shard_timeout
+        #: work kind run by child processes (see :func:`_resolve_work`).
+        self.work = work
         if supervisor == "default":
             supervisor = WorkerSupervisor(SupervisorPolicy())
         self.supervisor = supervisor
@@ -292,7 +306,8 @@ class ShardExecutor:
             parent_conn, child_conn = self._ctx.Pipe(duplex=False)
             proc = self._ctx.Process(
                 target=_shard_entry,
-                args=(child_conn, spec_dict, shard.as_dict(), known),
+                args=(child_conn, self.work, spec_dict,
+                      shard.as_dict(), known),
             )
             proc.start()
             child_conn.close()

@@ -1,0 +1,602 @@
+"""``campaign lint-attack``: adversarial validation of the checker stack.
+
+The campaign under this mode inverts the usual arrangement: the *lint
+engine and poison-flow analyzer* are the system under test, and the
+exact behavior enumerator is the oracle.  Each shard walks a sampled
+slice of the opt-fuzz corpus, applies every selected mutator from
+:mod:`repro.mutate` to each seed, and classifies every (mutant, rule,
+site) observation into the FN/FP/TP/TN taxonomy via
+:func:`repro.mutate.classify_mutation`.  Every disagreement (a false
+negative or false positive) is reduced to the site's backward slice and
+recorded as a replayable ``lint-attack-soundness`` crash bundle.
+
+Campaign mechanics mirror ``campaign run``: a frozen JSON-serializable
+:class:`AttackSpec`, index-range sharding that is a pure function of the
+spec, fsync'd JSONL checkpoints with last-record-per-shard-id-wins
+semantics, and a manifest (tagged ``"kind": "lint-attack"``) that
+``campaign resume`` and ``campaign report`` dispatch on.  Shard records
+are pure functions of ``(spec, shard)``, so the merged taxonomy is
+byte-identical across worker counts and resume boundaries.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import asdict, dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..diag import (
+    FlightRecorder,
+    PassStats,
+    PassTiming,
+    Statistic,
+    set_recorder,
+    span,
+    stats_snapshot,
+)
+from ..mutate import (
+    VERDICTS,
+    ClassifyOptions,
+    all_mutator_names,
+    classify_mutation,
+    mutate_function,
+)
+from ..opt.resilience import write_bundle
+from ..opt.resilience.bundle import make_bundle_payload
+from ..semantics.config import NEW, OLD
+from .checkpoint import CheckpointStore, save_manifest
+from .executor import CRASHES_DIR, ShardExecutor, _errored_record
+from .sharding import Shard
+from .supervisor import SupervisorPolicy, WorkerSupervisor
+from .worker import _maybe_crash, _stats_delta
+
+#: manifest tag the CLI dispatches resume/report on.
+MANIFEST_KIND = "lint-attack"
+
+#: crash-bundle kind for recorded disagreements.
+BUNDLE_KIND = "lint-attack-soundness"
+
+NUM_SEEDS = Statistic(
+    "lint-attack", "num-seeds-attacked",
+    "Corpus seed functions run through the mutator library")
+NUM_MUTANTS = Statistic(
+    "lint-attack", "num-mutants",
+    "Mutants generated and classified against ground truth")
+NUM_OBSERVATIONS = Statistic(
+    "lint-attack", "num-observations",
+    "Scored (mutant, rule, site) taxonomy observations")
+NUM_ORACLE_EVENTS = Statistic(
+    "lint-attack", "num-oracle-events",
+    "Raw observation-call events recorded by the exact oracle")
+NUM_DISAGREEMENTS = Statistic(
+    "lint-attack", "num-disagreements",
+    "False-negative/false-positive observations (checker bugs found)")
+NUM_UNCLASSIFIED = Statistic(
+    "lint-attack", "num-unclassified",
+    "Observations the oracle could not classify within budget")
+
+#: (rule, verdict) -> Statistic, created on first booking so the stats
+#: namespace only carries rules the campaign actually scored.
+_VERDICT_STATS: Dict[Tuple[str, str], Statistic] = {}
+
+
+def _verdict_stat(rule: str, verdict: str) -> Statistic:
+    key = (rule, verdict)
+    stat = _VERDICT_STATS.get(key)
+    if stat is None:
+        stat = _VERDICT_STATS[key] = Statistic(
+            "lint-attack", f"num-{rule}-{verdict}",
+            f"{verdict} observations for the {rule} rule")
+    return stat
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """Everything needed to reproduce a lint-attack campaign."""
+
+    width: int = 2
+    num_instructions: int = 2
+    num_args: int = 2
+    #: opcode names; empty = SMALL_OPCODES.
+    opcodes: Tuple[str, ...] = ()
+    include_flags: bool = True
+    include_deferred: bool = True
+    #: cap on sampled seeds (positions, after striding).
+    limit: Optional[int] = 32
+    #: first corpus index to sample.
+    start: int = 0
+    #: sample every Nth corpus index (spreads a bounded limit over the
+    #: whole enumeration space, which orders variants systematically).
+    stride: int = 1
+    #: mutator names; empty = every registered mutator.
+    mutators: Tuple[str, ...] = ()
+    #: rule IDs to score; empty = every registered rule.
+    rules: Tuple[str, ...] = ()
+    #: sampled seed positions per shard.
+    shard_size: int = 8
+    #: oracle budgets (per mutant).
+    max_inputs: int = 4096
+    max_paths: int = 512
+    max_choices: int = 16
+    fuel: int = 4000
+    #: semantics the lint engine and the oracle agree on.
+    semantics_name: str = "new"
+
+    def __post_init__(self):
+        from ..ir import Opcode
+        from ..lint.rules import RULES
+        from ..mutate import MUTATORS
+
+        if self.shard_size <= 0:
+            raise ValueError("shard_size must be positive")
+        if self.stride < 1:
+            raise ValueError("stride must be >= 1")
+        if self.semantics_name not in ("new", "old"):
+            raise ValueError(
+                f"unknown semantics {self.semantics_name!r}")
+        for name in self.opcodes:
+            Opcode(name)  # raises ValueError on unknown names
+        for name in self.mutators:
+            if name not in MUTATORS:
+                raise ValueError(f"unknown mutator {name!r}")
+        for name in self.rules:
+            if name not in RULES:
+                raise ValueError(f"unknown lint rule {name!r}")
+
+    # -- serialization -----------------------------------------------------
+    def as_dict(self) -> Dict:
+        data = asdict(self)
+        data["opcodes"] = list(self.opcodes)
+        data["mutators"] = list(self.mutators)
+        data["rules"] = list(self.rules)
+        return data
+
+    @staticmethod
+    def from_dict(data: Dict) -> "AttackSpec":
+        data = dict(data)
+        for key in ("opcodes", "mutators", "rules"):
+            if key in data:
+                data[key] = tuple(data[key])
+        return AttackSpec(**data)
+
+    def with_(self, **changes) -> "AttackSpec":
+        return replace(self, **changes)
+
+    # -- resolution --------------------------------------------------------
+    def semantics(self):
+        return NEW if self.semantics_name == "new" else OLD
+
+    def resolved_opcodes(self):
+        from ..fuzz import SMALL_OPCODES
+        from ..ir import Opcode
+
+        if self.opcodes:
+            return tuple(Opcode(name) for name in self.opcodes)
+        return SMALL_OPCODES
+
+    def resolved_mutators(self) -> List[str]:
+        return list(self.mutators) if self.mutators else all_mutator_names()
+
+    def resolved_rules(self) -> Optional[List[str]]:
+        return list(self.rules) if self.rules else None
+
+    def classify_options(self) -> ClassifyOptions:
+        return ClassifyOptions(
+            max_inputs=self.max_inputs, max_paths=self.max_paths,
+            max_choices=self.max_choices, fuel=self.fuel)
+
+    # -- corpus addressing -------------------------------------------------
+    def enumeration_size(self) -> int:
+        from ..fuzz.optfuzz import enumeration_size
+
+        return enumeration_size(
+            self.num_instructions, width=self.width,
+            num_args=self.num_args, opcodes=self.resolved_opcodes(),
+            include_deferred=self.include_deferred,
+            include_flags=self.include_flags)
+
+    def total_functions(self) -> int:
+        """Number of sampled seed *positions* (the sharded unit)."""
+        indices = range(self.start, self.enumeration_size(), self.stride)
+        n = len(indices)
+        if self.limit is not None:
+            n = min(n, self.limit)
+        return n
+
+    def corpus_index(self, position: int) -> int:
+        """Map a sampled position to its raw corpus index."""
+        return self.start + position * self.stride
+
+    def seed_at(self, position: int):
+        from ..fuzz.optfuzz import function_at_index
+
+        return function_at_index(
+            self.corpus_index(position), self.num_instructions,
+            width=self.width, num_args=self.num_args,
+            opcodes=self.resolved_opcodes(),
+            include_deferred=self.include_deferred,
+            include_flags=self.include_flags)
+
+
+def plan_attack_shards(spec: AttackSpec) -> List[Shard]:
+    """The full shard plan over sampled positions — a pure function of
+    the spec (shards address positions, not raw corpus indices)."""
+    total = spec.total_functions()
+    return [
+        Shard(shard_id, lo, min(lo + spec.shard_size, total))
+        for shard_id, lo in enumerate(range(0, total, spec.shard_size))
+    ]
+
+
+def run_attack_shard(spec: AttackSpec, shard: Shard,
+                     known_hashes: Optional[Dict[str, str]] = None) -> dict:
+    """Attack one shard's seeds; a pure function of ``(spec, shard)``.
+
+    ``known_hashes`` is accepted for executor-interface compatibility
+    and ignored (attack shards have no cross-shard dedup: every scored
+    observation is wanted, per-rule).
+    """
+    _maybe_crash(shard.shard_id)
+    stats_before = stats_snapshot()
+    t0 = time.monotonic()
+    semantics = spec.semantics()
+    opts = spec.classify_options()
+    mutators = spec.resolved_mutators()
+    rules = spec.resolved_rules()
+
+    taxonomy: Dict[str, Dict[str, int]] = {}
+    disagreements: List[dict] = []
+    bundles: List[dict] = []
+    seeds = mutants = observations = oracle_events = 0
+    with span("attack-shard", cat="campaign") as sp:
+        sp.set(shard=shard.shard_id)
+        for position in range(shard.start, shard.stop):
+            index = spec.corpus_index(position)
+            fn = spec.seed_at(position)
+            seeds += 1
+            NUM_SEEDS.inc()
+            for mutation in mutate_function(fn, mutators):
+                mutants += 1
+                NUM_MUTANTS.inc()
+                scored, events = classify_mutation(
+                    mutation, semantics, opts, rules=rules)
+                oracle_events += events
+                NUM_ORACLE_EVENTS.inc(events)
+                for obs in scored:
+                    observations += 1
+                    NUM_OBSERVATIONS.inc()
+                    bucket = taxonomy.setdefault(
+                        obs.rule, {v: 0 for v in VERDICTS})
+                    bucket[obs.verdict] += 1
+                    _verdict_stat(obs.rule, obs.verdict).inc()
+                    if obs.verdict == "unclassified":
+                        NUM_UNCLASSIFIED.inc()
+                    if not obs.is_disagreement:
+                        continue
+                    NUM_DISAGREEMENTS.inc()
+                    payload = make_bundle_payload(
+                        pre_ir=obs.reduced_ir,
+                        pass_name="poison-flow",
+                        application=index,
+                        kind=BUNDLE_KIND,
+                        error=(f"{obs.rule} {obs.verdict} at {obs.site} "
+                               f"(mutator {obs.mutator}): {obs.detail}"),
+                        traceback_text="",
+                        function=f"{mutation.seed}+{mutation.mutator}",
+                    )
+                    bundles.append(payload)
+                    entry = obs.as_dict()
+                    entry["index"] = index
+                    entry["bundle_id"] = payload.get("bundle_id", "")
+                    disagreements.append(entry)
+
+    return {
+        "shard_id": shard.shard_id,
+        "status": "done",
+        "start": shard.start,
+        "stop": shard.stop,
+        "seeds": seeds,
+        "mutants": mutants,
+        "observations": observations,
+        "oracle_events": oracle_events,
+        "taxonomy": taxonomy,
+        "disagreements": disagreements,
+        "crashes": [],
+        "bundles": bundles,
+        "wall_seconds": time.monotonic() - t0,
+        "stats": _stats_delta(stats_before, stats_snapshot()),
+    }
+
+
+@dataclass
+class AttackSummary:
+    """Aggregate view over every checkpointed shard of an attack."""
+
+    spec: AttackSpec
+    shards_total: int
+    shards_run: int
+    shards_skipped: int
+    shards_errored: List[int]
+    seeds: int = 0
+    mutants: int = 0
+    observations: int = 0
+    oracle_events: int = 0
+    #: rule -> verdict -> count, merged in shard-id order.
+    taxonomy: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    disagreements: List[dict] = field(default_factory=list)
+    bundle_paths: List[str] = field(default_factory=list)
+    worker_restarts: int = 0
+    shards_quarantined: List[int] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    timing: PassTiming = field(default_factory=PassTiming, repr=False)
+    records: Dict[int, dict] = field(default_factory=dict, repr=False)
+
+    @property
+    def unclassified(self) -> int:
+        return sum(bucket.get("unclassified", 0)
+                   for bucket in self.taxonomy.values())
+
+    @property
+    def classified(self) -> int:
+        return self.observations - self.unclassified
+
+    @property
+    def mutants_per_second(self) -> float:
+        return self.mutants / self.wall_seconds if self.wall_seconds else 0.0
+
+    def taxonomy_lines(self) -> List[str]:
+        """Canonical, worker-count-independent result lines."""
+        lines = []
+        for rule in sorted(self.taxonomy):
+            bucket = self.taxonomy[rule]
+            lines.append(
+                f"{rule} " + " ".join(
+                    f"{v}={bucket.get(v, 0)}" for v in VERDICTS))
+        lines.extend(sorted(
+            f"disagree {d['rule']} {d['verdict']} seed#{d['index']} "
+            f"{d['mutator']} {d['site']}"
+            for d in self.disagreements))
+        return lines
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": MANIFEST_KIND,
+            "spec": self.spec.as_dict(),
+            "shards_total": self.shards_total,
+            "shards_run": self.shards_run,
+            "shards_skipped": self.shards_skipped,
+            "shards_errored": list(self.shards_errored),
+            "seeds": self.seeds,
+            "mutants": self.mutants,
+            "observations": self.observations,
+            "oracle_events": self.oracle_events,
+            "classified": self.classified,
+            "unclassified": self.unclassified,
+            "taxonomy": self.taxonomy,
+            "disagreements": self.disagreements,
+            "bundles": self.bundle_paths,
+            "worker_restarts": self.worker_restarts,
+            "shards_quarantined": list(self.shards_quarantined),
+            "wall_seconds": self.wall_seconds,
+            "mutants_per_second": self.mutants_per_second,
+            "stats": self.stats,
+        }
+
+
+class AttackRunner:
+    """Run (or resume) one lint-attack campaign against an output
+    directory; ``out_dir=None`` runs fully in memory (benchmarks)."""
+
+    def __init__(self, spec: AttackSpec, out_dir: Optional[str] = None,
+                 workers: int = 1, shard_timeout: Optional[float] = None,
+                 use_processes: Optional[bool] = None,
+                 supervisor_policy: Optional[SupervisorPolicy] = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.spec = spec
+        self.out_dir = out_dir
+        self.workers = workers
+        self.shard_timeout = shard_timeout
+        self.use_processes = use_processes
+        self.supervisor_policy = supervisor_policy
+        self.store = CheckpointStore(out_dir) if out_dir else None
+
+    def run(self, resume: bool = False, stop_after: Optional[int] = None,
+            progress: Optional[Callable[[dict], None]] = None
+            ) -> AttackSummary:
+        shards = plan_attack_shards(self.spec)
+        prior: Dict[int, dict] = {}
+        if self.store is not None:
+            if resume:
+                prior = {
+                    sid: record
+                    for sid, record in self.store.load().items()
+                    if record.get("status") == "done"
+                }
+            else:
+                save_manifest(self.out_dir, self.spec,
+                              extra={"kind": MANIFEST_KIND,
+                                     "shards": len(shards)})
+
+        pending = [s for s in shards if s.shard_id not in prior]
+        if stop_after is not None:
+            pending = pending[:stop_after]
+
+        new_records: Dict[int, dict] = {}
+
+        def finalize(shard: Shard, record: dict) -> None:
+            self._persist_bundles(record)
+            new_records[shard.shard_id] = record
+            if self.store is not None:
+                self.store.append(record)
+            if progress is not None:
+                progress(record)
+
+        run_processes = (self.use_processes
+                         if self.use_processes is not None
+                         else self.workers > 1)
+        with span("lint-attack-run", cat="campaign") as sp:
+            if run_processes:
+                self._run_subprocess(pending, finalize)
+            else:
+                self._run_inprocess(pending, finalize)
+            sp.set(shards=len(pending), workers=self.workers,
+                   processes=run_processes)
+
+        return self._summarize({**prior, **new_records}, shards,
+                               shards_run=len(new_records),
+                               shards_skipped=len(prior))
+
+    # -- execution strategies ---------------------------------------------
+    def _run_inprocess(self, pending: List[Shard], finalize) -> None:
+        for shard in pending:
+            recorder = FlightRecorder()
+            old_recorder = set_recorder(recorder)
+            recorder.install()
+            try:
+                record = run_attack_shard(self.spec, shard)
+            except Exception as e:
+                record = _errored_record(shard, repr(e))
+                record["flight_recorder"] = recorder.dump()
+            finally:
+                recorder.uninstall()
+                set_recorder(old_recorder)
+            finalize(shard, record)
+
+    def _run_subprocess(self, pending: List[Shard], finalize) -> None:
+        executor = ShardExecutor(
+            workers=self.workers, shard_timeout=self.shard_timeout,
+            supervisor=WorkerSupervisor(self.supervisor_policy),
+            work=MANIFEST_KIND)
+        for shard in pending:
+            executor.submit(self.spec, shard)
+        for _job_id, shard, record in executor.drain():
+            finalize(shard, record)
+
+    def _persist_bundles(self, record: dict) -> None:
+        payloads = record.get("bundles") or []
+        if not payloads:
+            return
+        if self.out_dir is None:
+            record["bundles"] = [p.get("bundle_id", "") for p in payloads]
+            return
+        root = os.path.join(self.out_dir, CRASHES_DIR)
+        record["bundles"] = [write_bundle(root, p) for p in payloads]
+
+    # -- aggregation -------------------------------------------------------
+    def _summarize(self, records: Dict[int, dict], shards: List[Shard],
+                   shards_run: int, shards_skipped: int) -> AttackSummary:
+        summary = AttackSummary(
+            spec=self.spec,
+            shards_total=len(shards),
+            shards_run=shards_run,
+            shards_skipped=shards_skipped,
+            shards_errored=[],
+            records=records,
+        )
+        _merge_attack_records(summary, records)
+        return summary
+
+
+def _merge_attack_records(summary: AttackSummary,
+                          records: Dict[int, dict]) -> None:
+    for sid in sorted(records):
+        record = records[sid]
+        if record.get("status") == "errored":
+            summary.shards_errored.append(sid)
+        summary.worker_restarts += record.get("restarts", 0)
+        if record.get("quarantined"):
+            summary.shards_quarantined.append(sid)
+        summary.seeds += record.get("seeds", 0)
+        summary.mutants += record.get("mutants", 0)
+        summary.observations += record.get("observations", 0)
+        summary.oracle_events += record.get("oracle_events", 0)
+        for rule, bucket in (record.get("taxonomy") or {}).items():
+            dest = summary.taxonomy.setdefault(
+                rule, {v: 0 for v in VERDICTS})
+            for verdict, n in bucket.items():
+                dest[verdict] = dest.get(verdict, 0) + n
+        summary.disagreements.extend(record.get("disagreements", []))
+        summary.bundle_paths.extend(record.get("bundles", []))
+        summary.wall_seconds += record.get("wall_seconds", 0.0)
+        for pass_name, counters in (record.get("stats") or {}).items():
+            dest = summary.stats.setdefault(pass_name, {})
+            for name, value in counters.items():
+                dest[name] = dest.get(name, 0) + value
+        summary.timing.passes.setdefault(
+            "attack-shard", PassStats()
+        ).record(f"shard{sid}", record.get("wall_seconds", 0.0),
+                 changed=bool(record.get("disagreements")))
+
+
+def aggregate_attack_records(spec: AttackSpec,
+                             records: Dict[int, dict]) -> dict:
+    """Report-side aggregation from checkpointed records only."""
+    summary = AttackSummary(
+        spec=spec, shards_total=0, shards_run=len(records),
+        shards_skipped=0, shards_errored=[], records=records)
+    summary.shards_total = len(plan_attack_shards(spec))
+    _merge_attack_records(summary, records)
+    return summary.as_dict()
+
+
+def render_attack_report(spec: AttackSpec,
+                         records: Dict[int, dict]) -> str:
+    """Human-readable attack report (see DESIGN, "Adversarial
+    validation", for how to read it)."""
+    summary = AttackSummary(
+        spec=spec, shards_total=len(plan_attack_shards(spec)),
+        shards_run=len(records), shards_skipped=0, shards_errored=[],
+        records=records)
+    _merge_attack_records(summary, records)
+    lines = [
+        (f"lint-attack: width={spec.width} "
+         f"instructions={spec.num_instructions} "
+         f"seeds sampled={spec.total_functions()} "
+         f"stride={spec.stride}"),
+        (f"  shards: {len(records)}/{summary.shards_total} recorded, "
+         f"{len(summary.shards_errored)} errored"),
+        (f"  {summary.seeds} seed(s) -> {summary.mutants} mutant(s), "
+         f"{summary.observations} observation(s) "
+         f"({summary.oracle_events} oracle events)"),
+        (f"  classified: {summary.classified}, "
+         f"unclassified: {summary.unclassified}"),
+        "",
+        "  rule                           tp    fp    fn    tn  uncl",
+    ]
+    for rule in sorted(summary.taxonomy):
+        b = summary.taxonomy[rule]
+        lines.append(
+            f"  {rule:<28} {b.get('tp', 0):>5} {b.get('fp', 0):>5} "
+            f"{b.get('fn', 0):>5} {b.get('tn', 0):>5} "
+            f"{b.get('unclassified', 0):>5}")
+    if summary.disagreements:
+        lines.append("")
+        lines.append(f"  {len(summary.disagreements)} disagreement(s) "
+                     f"— checker bugs, bundled for replay:")
+        for d in summary.disagreements[:10]:
+            lines.append(f"    {d['rule']} {d['verdict']} on "
+                         f"seed#{d['index']} via {d['mutator']} at "
+                         f"{d['site']}")
+        if len(summary.disagreements) > 10:
+            lines.append(
+                f"    ... {len(summary.disagreements) - 10} more")
+    else:
+        lines.append("  no disagreements: every fired/silent verdict "
+                     "consistent with the exact semantics")
+    if summary.shards_errored:
+        lines.append(f"  errored shards (will retry on resume): "
+                     f"{summary.shards_errored}")
+    return "\n".join(lines)
+
+
+def run_attack(spec: AttackSpec, out_dir: Optional[str] = None,
+               workers: int = 1, resume: bool = False,
+               shard_timeout: Optional[float] = None,
+               stop_after: Optional[int] = None) -> AttackSummary:
+    """One-call convenience wrapper around :class:`AttackRunner`."""
+    runner = AttackRunner(spec, out_dir=out_dir, workers=workers,
+                          shard_timeout=shard_timeout)
+    return runner.run(resume=resume, stop_after=stop_after)

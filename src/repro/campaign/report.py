@@ -36,6 +36,10 @@ def aggregate_records(spec: CampaignSpec,
         "wall_seconds": 0.0,
         "counterexamples": [],
         "verdicts": {},
+        #: per-rule lint fire counts over the shards' functions.
+        "lint_findings": {},
+        #: per-reason counts of checks the vector engine declined.
+        "vector_ineligible": {},
     }
     for sid in sorted(records):
         record = records[sid]
@@ -62,6 +66,19 @@ def aggregate_records(spec: CampaignSpec,
         agg["counterexamples"].extend(record.get("counterexamples", []))
         for h, v in sorted(record.get("hashes", {}).items()):
             agg["verdicts"].setdefault(h, v)
+        stats = record.get("stats") or {}
+        for name, value in stats.get("lint", {}).items():
+            if name == "num-functions-linted":
+                continue
+            rule = name[len("num-"):] if name.startswith("num-") else name
+            agg["lint_findings"][rule] = (
+                agg["lint_findings"].get(rule, 0) + value)
+        prefix = "num-vector-ineligible-"
+        for name, value in stats.get("refine", {}).items():
+            if name.startswith(prefix):
+                reason = name[len(prefix):]
+                agg["vector_ineligible"][reason] = (
+                    agg["vector_ineligible"].get(reason, 0) + value)
     total = agg["checked"] + agg["dedup_hits"]
     agg["dedup_hit_rate"] = agg["dedup_hits"] / total if total else 0.0
     return agg
@@ -129,6 +146,17 @@ def render_report(spec: CampaignSpec, records: Dict[int, dict]) -> str:
         lines.append(
             f"  resilience:   {agg['recoveries']} pass failure(s) "
             f"recovered, {len(agg['crashes'])} function(s) crashed")
+    if agg["lint_findings"]:
+        findings = ", ".join(
+            f"{rule}: {n}"
+            for rule, n in sorted(agg["lint_findings"].items()))
+        lines.append(f"  lint fires:   {findings}")
+    if agg["vector_ineligible"]:
+        reasons = ", ".join(
+            f"{reason}: {n}"
+            for reason, n in sorted(agg["vector_ineligible"].items()))
+        lines.append(f"  vector decl.: {reasons} "
+                     f"(checks routed to the scalar engine)")
     for bundle in agg["bundles"]:
         lines.append(f"  crash bundle: {bundle}")
     for err in agg["shards_errored"]:

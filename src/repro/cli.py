@@ -650,8 +650,17 @@ def _lint_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro lint",
         description="UBSan-style static checker for the IR, powered by "
-                    "the poison dataflow fixpoint.")
+                    "the poison dataflow fixpoint.",
+        epilog="exit codes: 0 = no finding at or above --min-severity "
+               "(after filtering); 1 = at least one warning or error "
+               "survived the filter; 2 = usage or parse error.")
     p.add_argument("inputs", nargs="*", help=".ll files to lint")
+    p.add_argument("--min-severity",
+                   choices=["note", "warning", "error"],
+                   default="note", dest="min_severity",
+                   help="drop findings below this severity from every "
+                        "output format and from the exit code "
+                        "(default: note = keep all)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable JSON findings")
     p.add_argument("--sarif", metavar="FILE",
@@ -710,8 +719,11 @@ def _lint_main(argv: List[str]) -> int:
         # by the legacy config is exactly the IR with latent UB.
         diags.extend(lint_module(module, rules=args.rule, file=path))
 
+    floor = severity_rank(args.min_severity)
+    diags = [d for d in diags if severity_rank(d.severity) >= floor]
+
     if args.sarif:
-        doc = render_sarif(diags)
+        doc = render_sarif(diags, rules=args.rule)
         if args.sarif == "-":
             print(doc)
         else:

@@ -74,6 +74,13 @@ STAT_CATALOG: Set[Tuple[str, str]] = {
     ("lint-audit", "num-contradictions"),
     ("lint-audit", "num-functions-audited"),
     ("lint-audit", "num-observations"),
+    # adversarial lint-attack campaigns
+    ("lint-attack", "num-seeds-attacked"),
+    ("lint-attack", "num-mutants"),
+    ("lint-attack", "num-observations"),
+    ("lint-attack", "num-oracle-events"),
+    ("lint-attack", "num-disagreements"),
+    ("lint-attack", "num-unclassified"),
     # fuzzers
     ("optfuzz", "num-functions-enumerated"),
     ("optfuzz", "num-random-functions"),
@@ -150,6 +157,8 @@ STAT_PATTERNS: Set[Tuple[str, str]] = {
     ("*", "num-guard-failures"),
     # lint rules are pluggable; any rule id is a legal counter.
     ("lint", "num-*"),
+    # lint-attack books one counter per (rule, taxonomy verdict).
+    ("lint-attack", "num-*"),
     # vector-engine fallbacks book one counter per ineligibility
     # reason slug (see repro.semantics.vector.VectorIneligible).
     ("refine", "num-vector-ineligible-*"),

@@ -15,7 +15,16 @@ from .diagnostics import (
 )
 from .engine import lint_function, lint_module, worst_severity
 from .render import render_json, render_sarif, render_text
-from .rules import RULES, LintContext, LintRule, all_rule_ids
+from .rules import (
+    POLARITY_PRECISION,
+    POLARITY_SOUNDNESS,
+    RULES,
+    LintContext,
+    LintRule,
+    all_rule_ids,
+    hoist_dispatch_sites,
+    iter_sinks,
+)
 
 __all__ = [
     "SEV_ERROR", "SEV_NOTE", "SEV_WARNING", "SEVERITIES",
@@ -23,4 +32,6 @@ __all__ = [
     "lint_function", "lint_module", "worst_severity",
     "render_json", "render_sarif", "render_text",
     "RULES", "LintContext", "LintRule", "all_rule_ids",
+    "POLARITY_PRECISION", "POLARITY_SOUNDNESS",
+    "hoist_dispatch_sites", "iter_sinks",
 ]

@@ -34,7 +34,7 @@ def render_json(diags: List[LintDiagnostic], indent: int = 2) -> str:
     }, indent=indent, sort_keys=True)
 
 
-def _sarif_rules() -> List[Dict]:
+def _sarif_rules(rule_ids: List[str]) -> List[Dict]:
     return [
         {
             "id": rule.rule_id,
@@ -42,10 +42,11 @@ def _sarif_rules() -> List[Dict]:
             "defaultConfiguration": {"level": rule.severity},
         }
         for rule in RULES.values()
+        if rule.rule_id in rule_ids
     ]
 
 
-def _sarif_result(diag: LintDiagnostic) -> Dict:
+def _sarif_result(diag: LintDiagnostic, rule_index: Dict[str, int]) -> Dict:
     location: Dict = {
         "logicalLocations": [{
             "fullyQualifiedName": str(diag.loc),
@@ -56,15 +57,27 @@ def _sarif_result(diag: LintDiagnostic) -> Dict:
         location["physicalLocation"] = {
             "artifactLocation": {"uri": diag.file},
         }
-    return {
+    result = {
         "ruleId": diag.rule_id,
         "level": diag.severity,
         "message": {"text": diag.message},
         "locations": [location],
     }
+    if diag.rule_id in rule_index:
+        result["ruleIndex"] = rule_index[diag.rule_id]
+    return result
 
 
-def render_sarif(diags: List[LintDiagnostic], indent: int = 2) -> str:
+def render_sarif(diags: List[LintDiagnostic], indent: int = 2,
+                 rules: List[str] = None) -> str:
+    """Render a SARIF 2.1.0 document.
+
+    ``rules`` restricts the driver's ``rules`` array (e.g. when the CLI
+    ran with ``--rule``); each result's ``ruleIndex`` always points at
+    its rule's position in the emitted array, whatever the filter.
+    """
+    rule_ids = [r for r in RULES if rules is None or r in rules]
+    rule_index = {rid: i for i, rid in enumerate(rule_ids)}
     doc = {
         "$schema": SARIF_SCHEMA,
         "version": SARIF_VERSION,
@@ -74,10 +87,10 @@ def render_sarif(diags: List[LintDiagnostic], indent: int = 2) -> str:
                     "name": TOOL_NAME,
                     "informationUri":
                         "https://example.invalid/repro-lint",
-                    "rules": _sarif_rules(),
+                    "rules": _sarif_rules(rule_ids),
                 },
             },
-            "results": [_sarif_result(d) for d in diags],
+            "results": [_sarif_result(d, rule_index) for d in diags],
         }],
     }
     return json.dumps(doc, indent=indent, sort_keys=True)

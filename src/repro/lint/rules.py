@@ -20,8 +20,8 @@ maybe-poison origin.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..analysis.poison_flow import PoisonFact
 from ..ir.basicblock import BasicBlock
@@ -51,14 +51,41 @@ from .diagnostics import SEV_ERROR, SEV_NOTE, SEV_WARNING, LintDiagnostic
 _DIVISIONS = (Opcode.UDIV, Opcode.SDIV, Opcode.UREM, Opcode.SREM)
 
 
+#: A rule whose *silence* is the contract: it promises to fire whenever
+#: the hazard is realizable, so a missed hazard is a false negative.
+POLARITY_SOUNDNESS = "soundness"
+#: A rule whose *firing* is the contract: it promises its claim is right
+#: whenever it fires, but staying silent is always permitted.
+POLARITY_PRECISION = "precision"
+
+
 @dataclass(frozen=True)
 class LintRule:
-    """A registered rule: stable ID, default severity, check function."""
+    """A registered rule: stable ID, default severity, check function.
+
+    The adversarial-validation metadata (``polarity``, ``attacked_by``,
+    ``origin_gated``) is consumed by ``repro campaign lint-attack``: each
+    rule declares which mutators from :mod:`repro.mutate` attack it and
+    how its fire/silent verdicts map onto the FN/FP/TP/TN taxonomy.
+    """
 
     rule_id: str
     severity: str
     description: str
     check: Callable[["LintContext"], Iterator[LintDiagnostic]]
+    #: "soundness" (silence on a real hazard is a false negative) or
+    #: "precision" (a fire with a wrong claim is a false positive;
+    #: silence is always acceptable).
+    polarity: str = POLARITY_SOUNDNESS
+    #: Names of mutators (see ``repro.mutate.MUTATORS``) that target
+    #: this rule's blind spots; the attack campaign only scores a rule
+    #: against mutants produced by its declared attackers.
+    attacked_by: Tuple[str, ...] = field(default=())
+    #: Does origin gating excuse silence when the hazard needs a poison
+    #: *argument* to manifest?  True for every rule except
+    #: missing-freeze-on-hoist (which deliberately fires on external
+    #: origins, see module docstring).
+    origin_gated: bool = True
 
 
 #: rule_id -> LintRule, in registration order (drives --list-rules and
@@ -66,9 +93,15 @@ class LintRule:
 RULES: Dict[str, LintRule] = {}
 
 
-def _register(rule_id: str, severity: str, description: str):
+def _register(rule_id: str, severity: str, description: str, *,
+              polarity: str = POLARITY_SOUNDNESS,
+              attacked_by: Tuple[str, ...] = (),
+              origin_gated: bool = True):
     def deco(fn):
-        RULES[rule_id] = LintRule(rule_id, severity, description, fn)
+        RULES[rule_id] = LintRule(rule_id, severity, description, fn,
+                                  polarity=polarity,
+                                  attacked_by=attacked_by,
+                                  origin_gated=origin_gated)
         return fn
     return deco
 
@@ -120,7 +153,9 @@ def _blame(fact: PoisonFact) -> str:
 @_register(
     "branch-on-maybe-poison", SEV_WARNING,
     "A conditional branch or switch condition may be poison; branching "
-    "on poison is immediate UB under the revised semantics.")
+    "on poison is immediate UB under the revised semantics.",
+    attacked_by=("route-branch", "guard-branch", "narrow-shift",
+                 "hoist-dispatch", "freeze-dispatch"))
 def _check_branch_on_poison(ctx: LintContext):
     if ctx.semantics.branch_on_poison is not BranchOnPoison.UB:
         return
@@ -151,8 +186,12 @@ def _check_branch_on_poison(ctx: LintContext):
 # ub-sink-reaches-poison
 
 
-def _sinks(inst: Instruction):
-    """Yield (operand, role) pairs where poison triggers immediate UB."""
+def iter_sinks(inst: Instruction):
+    """Yield (operand, role) pairs where poison triggers immediate UB.
+
+    Shared with the attack campaign's ground-truth instrumenter so the
+    rule and the oracle agree on what a sink is.
+    """
     if isinstance(inst, BinaryInst) and inst.opcode in _DIVISIONS:
         yield inst.rhs, f"{inst.opcode.value} divisor"
     elif isinstance(inst, StoreInst):
@@ -165,11 +204,16 @@ def _sinks(inst: Instruction):
             yield arg, f"argument {i} of call @{callee}"
 
 
+_sinks = iter_sinks
+
+
 @_register(
     "ub-sink-reaches-poison", SEV_WARNING,
     "A value that may be poison reaches a UB-or-escape sink: a division "
     "divisor or load/store address (immediate UB), or a call argument "
-    "(poison handed to unknown code).")
+    "(poison handed to unknown code).",
+    attacked_by=("route-divisor", "route-call", "poison-operand",
+                 "undef-operand", "insert-freeze", "drop-flags"))
 def _check_ub_sink(ctx: LintContext):
     for block in ctx.fn.blocks:
         for inst in block.instructions:
@@ -196,7 +240,9 @@ def _check_ub_sink(ctx: LintContext):
 @_register(
     "redundant-freeze", SEV_NOTE,
     "A freeze whose operand the dataflow proves never poison at that "
-    "point; the freeze is a no-op and freeze-opts would remove it.")
+    "point; the freeze is a no-op and freeze-opts would remove it.",
+    polarity=POLARITY_PRECISION,
+    attacked_by=("insert-freeze",))
 def _check_redundant_freeze(ctx: LintContext):
     for block in ctx.fn.blocks:
         for inst in block.instructions:
@@ -215,21 +261,18 @@ def _check_redundant_freeze(ctx: LintContext):
 # missing-freeze-on-hoist
 
 
-@_register(
-    "missing-freeze-on-hoist", SEV_WARNING,
-    "An unswitched-loop dispatch branches on a maybe-poison condition "
-    "hoisted out of the loops; the condition must be frozen (paper "
-    "Section 4, loop unswitching).")
-def _check_missing_freeze_on_hoist(ctx: LintContext):
+def hoist_dispatch_sites(fn, loops) -> List[BranchInst]:
+    """Terminators in the unswitched-dispatch shape: a conditional
+    branch outside every loop selecting between two distinct loop
+    headers.  Shared with the attack campaign's ground truth so the
+    rule and the oracle agree on what a dispatch site is."""
     headers = {}
-    for loop in ctx.loops.loops:
+    for loop in loops.loops:
         headers[loop.header] = loop
-    for block in ctx.fn.blocks:
+    sites: List[BranchInst] = []
+    for block in fn.blocks:
         term = block.terminator
         if not (isinstance(term, BranchInst) and term.is_conditional):
-            continue
-        cond = term.cond
-        if isinstance(cond, FreezeInst):
             continue
         succs = term.targets
         if len(succs) != 2 or succs[0] is succs[1]:
@@ -242,9 +285,27 @@ def _check_missing_freeze_on_hoist(ctx: LintContext):
             continue
         if la.contains(block) or lb.contains(block):
             continue
+        sites.append(term)
+    return sites
+
+
+@_register(
+    "missing-freeze-on-hoist", SEV_WARNING,
+    "An unswitched-loop dispatch branches on a maybe-poison condition "
+    "hoisted out of the loops; the condition must be frozen (paper "
+    "Section 4, loop unswitching).",
+    attacked_by=("hoist-dispatch", "freeze-dispatch"),
+    origin_gated=False)
+def _check_missing_freeze_on_hoist(ctx: LintContext):
+    for term in hoist_dispatch_sites(ctx.fn, ctx.loops):
+        cond = term.cond
+        if isinstance(cond, FreezeInst):
+            continue
+        block = term.parent
         fact = ctx.fact(cond, block)
         if not fact.may_be_poison:
             continue
+        succs = term.targets
         yield ctx.diag(
             "missing-freeze-on-hoist",
             f"loop-dispatch condition {cond.ref()} selects between "
@@ -289,7 +350,9 @@ def _propagates(inst: Instruction) -> bool:
     "dead-on-poison-flag", SEV_NOTE,
     "A poison-generating flag (nsw/nuw/exact) on an instruction whose "
     "result never reaches an observation point; the flag constrains "
-    "nothing and can be dropped.")
+    "nothing and can be dropped.",
+    polarity=POLARITY_PRECISION,
+    attacked_by=("add-nsw", "add-nuw", "add-exact", "discard-result"))
 def _check_dead_flag(ctx: LintContext):
     for block in ctx.fn.blocks:
         for inst in block.instructions:

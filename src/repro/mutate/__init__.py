@@ -1,0 +1,36 @@
+"""repro.mutate: semantics-aware IR mutators + exact-oracle scoring.
+
+The adversarial half of the checker-validation story: mutators perturb
+corpus functions toward (UB-injecting) or away from (UB-removing) the
+hazards each lint rule covers, and the ground-truth classifier scores
+every fired/silent verdict against exhaustive behavior enumeration.
+``repro campaign lint-attack`` drives both at campaign scale.
+"""
+
+from .ground_truth import (
+    VERDICTS,
+    ClassifyOptions,
+    Observation,
+    attacked_rules,
+    classify_mutation,
+    tally_verdicts,
+)
+from .mutators import (
+    KIND_UB_INJECT,
+    KIND_UB_REMOVE,
+    MUTATORS,
+    SINK_NAME,
+    Mutation,
+    Mutator,
+    all_mutator_names,
+    mutate_function,
+    rules_attacked_by,
+)
+
+__all__ = [
+    "VERDICTS", "ClassifyOptions", "Observation",
+    "attacked_rules", "classify_mutation", "tally_verdicts",
+    "KIND_UB_INJECT", "KIND_UB_REMOVE", "MUTATORS", "SINK_NAME",
+    "Mutation", "Mutator", "all_mutator_names", "mutate_function",
+    "rules_attacked_by",
+]

@@ -29,6 +29,7 @@ from .loop_unswitch import LoopUnswitch
 from .mem2reg import Mem2Reg
 from ..diag import PassTiming
 from .pass_manager import FunctionPass, OptConfig, PassManager
+from .poison_check import PoisonFlowCheck
 from .reassociate import Reassociate
 from .sccp import SCCP
 from .simplify_cfg import SimplifyCFG
@@ -112,6 +113,8 @@ def single_pass_pipeline(pass_name: str,
         "sink": Sink,
         "codegenprepare": CodeGenPrepare,
         "inline": Inliner,
+        # Analysis-only: replays lint-audit / lint-attack bundles.
+        "poison-flow": PoisonFlowCheck,
     }
     if pass_name not in factory:
         raise ValueError(f"unknown pass {pass_name!r}")

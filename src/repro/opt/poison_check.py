@@ -1,0 +1,33 @@
+"""PoisonFlowCheck: an analysis-only pass wrapping the checker stack.
+
+Crash bundles produced by ``campaign lint-audit`` and
+``campaign lint-attack`` record ``pass_name = "poison-flow"``: the
+"pass" under test is the static-analysis stack itself (the poison
+dataflow fixpoint plus the lint rules), not an IR transform.  This pass
+makes those bundles genuinely replayable via ``repro crash replay``: the
+replay re-runs the analyzer and every lint rule over the reduced IR, so
+an analyzer crash or verifier-visible corruption reproduces, while a
+clean run means the recorded disagreement is a *verdict* bug (consult
+the bundle's ``error`` field for the expected-vs-observed taxonomy).
+
+The pass never mutates the function.
+"""
+
+from __future__ import annotations
+
+from .pass_manager import FunctionPass
+
+
+class PoisonFlowCheck(FunctionPass):
+    name = "poison-flow"
+
+    def run_on_function(self, fn) -> bool:
+        # Imported lazily: repro.lint pulls in the analysis layer, and
+        # opt passes must stay importable without it.
+        from ..analysis.poison_flow import analyze_poison_flow
+        from ..lint import lint_function
+
+        semantics = self.config.semantics
+        analyze_poison_flow(fn, semantics)
+        lint_function(fn, semantics=semantics)
+        return False

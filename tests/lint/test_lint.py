@@ -331,3 +331,34 @@ def test_cli_list_rules(capsys):
     out = capsys.readouterr().out
     for rule_id in ALL_RULES:
         assert rule_id in out
+
+
+def test_cli_min_severity_filters_output_and_exit(capsys):
+    # the demo's worst finding is a warning: an error floor drops
+    # everything and the run passes
+    assert repro_main(["lint", DEMO, "--min-severity", "error"]) == 0
+    assert "no findings" in capsys.readouterr().out
+    # a warning floor keeps the warnings (exit 1) but drops the
+    # note-severity findings from every output format
+    code = repro_main(["lint", DEMO, "--min-severity", "warning",
+                       "--json"])
+    assert code == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["findings"]
+    assert all(f["severity"] != "note" for f in doc["findings"])
+    assert "dead-on-poison-flag" not in {f["rule"] for f in doc["findings"]}
+
+
+def test_cli_min_severity_default_keeps_notes(capsys):
+    code = repro_main(["lint", DEMO, "--json"])
+    assert code == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert "dead-on-poison-flag" in {f["rule"] for f in doc["findings"]}
+
+
+def test_cli_help_documents_exit_codes(capsys):
+    with pytest.raises(SystemExit):
+        repro_main(["lint", "--help"])
+    out = capsys.readouterr().out
+    assert "exit codes" in out
+    assert "2 = usage or parse error" in out

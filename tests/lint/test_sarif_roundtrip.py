@@ -1,0 +1,83 @@
+"""SARIF 2.1.0 round-trip: required fields survive serialization and
+``ruleIndex`` stays consistent with the driver rule table under
+``--rule`` filtering."""
+
+import json
+import os
+
+from repro.cli import main as repro_main
+from repro.ir import parse_module
+from repro.lint import RULES, lint_module, render_sarif
+
+DEMO = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                    "examples", "lint_demo.ll")
+
+
+def _demo_diags(rules=None):
+    with open(DEMO) as f:
+        module = parse_module(f.read())
+    return lint_module(module, rules=rules, file="examples/lint_demo.ll")
+
+
+def _check_roundtrip(doc_text, expected_rules):
+    doc = json.loads(doc_text)
+    assert doc["version"] == "2.1.0"
+    assert doc["$schema"].startswith("https://")
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    rule_ids = [r["id"] for r in driver["rules"]]
+    assert set(rule_ids) == expected_rules
+    for rule in driver["rules"]:
+        assert rule["shortDescription"]["text"]
+        assert rule["defaultConfiguration"]["level"]
+    for result in run["results"]:
+        # every result must index back into the driver's rule table
+        idx = result["ruleIndex"]
+        assert rule_ids[idx] == result["ruleId"]
+        assert result["message"]["text"]
+        (loc,) = result["locations"]
+        physical = loc["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == \
+            "examples/lint_demo.ll"
+    return doc
+
+
+def test_full_document_roundtrip():
+    doc = _check_roundtrip(render_sarif(_demo_diags()), set(RULES))
+    results = doc["runs"][0]["results"]
+    assert len(results) == len(RULES)  # the demo fires every rule once
+
+
+def test_rule_filtering_keeps_ruleindex_stable():
+    chosen = ["dead-on-poison-flag", "redundant-freeze"]
+    diags = _demo_diags(rules=chosen)
+    doc = _check_roundtrip(render_sarif(diags, rules=chosen), set(chosen))
+    results = doc["runs"][0]["results"]
+    assert {r["ruleId"] for r in results} == set(chosen)
+    # the filtered driver table contains exactly the selected rules, in
+    # registry order, and each result's index agrees with it
+    rule_ids = [r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]]
+    assert rule_ids == [rid for rid in RULES if rid in chosen]
+
+
+def test_unfiltered_render_accepts_diag_subset():
+    # rendering a subset of diags without a rules= filter keeps the
+    # full driver table; indices still match.
+    chosen = ["branch-on-maybe-poison"]
+    diags = _demo_diags(rules=chosen)
+    _check_roundtrip(render_sarif(diags), set(RULES))
+
+
+def test_cli_sarif_respects_rule_filter(tmp_path, capsys):
+    sarif_path = tmp_path / "out.sarif"
+    code = repro_main(["lint", DEMO, "--rule", "ub-sink-reaches-poison",
+                       "--sarif", str(sarif_path)])
+    capsys.readouterr()
+    assert code == 1  # the demo's sink finding is warning severity
+    doc = json.loads(sarif_path.read_text())
+    (run,) = doc["runs"]
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert rule_ids == ["ub-sink-reaches-poison"]
+    for result in run["results"]:
+        assert result["ruleId"] == "ub-sink-reaches-poison"
+        assert result["ruleIndex"] == 0
